@@ -1,0 +1,187 @@
+/**
+ * @file
+ * Ablation studies for the design choices DESIGN.md calls out:
+ *
+ *  1. path + data compaction on/off: DAG lines for the structures
+ *     each rule targets (sparse maps for path compaction, small-int
+ *     arrays for data compaction) — paper §3.2's motivation;
+ *  2. line-size sweep: dedup gain vs DAG overhead across 16/32/64 B
+ *     lines on a redundant text corpus;
+ *  3. signature quality: measured false-positive rate of the 8-bit
+ *     bucket signatures vs the paper's <5% bound (footnote 4);
+ *  4. mCAS vs plain CAS under contention: commits lost to retry.
+ */
+
+#include <cstdio>
+#include <unordered_set>
+
+#include "common/table.hh"
+#include "lang/harray.hh"
+#include "seg/iterator.hh"
+#include "workloads/webcorpus.hh"
+
+using namespace hicamp;
+
+namespace {
+
+MemoryConfig
+cfg(unsigned ls = 16)
+{
+    MemoryConfig c;
+    c.lineBytes = ls;
+    c.numBuckets = 1 << 16;
+    return c;
+}
+
+std::uint64_t
+linesFor(Memory &mem, SegBuilder &b, const std::vector<Word> &w)
+{
+    std::vector<WordMeta> m(w.size(), WordMeta::raw());
+    SegDesc d = b.buildWords(w.data(), m.data(), w.size());
+    SegReader r(mem);
+    std::unordered_set<Plid> seen;
+    std::uint64_t lines = r.countLines(d.root, d.height, seen);
+    b.releaseSeg(d);
+    return lines;
+}
+
+void
+compactionAblation()
+{
+    std::printf("-- ablation 1: compaction rules (DAG lines) --\n");
+    // Sparse map: one value at a far offset (path compaction's case).
+    std::vector<Word> sparse(1 << 16, 0);
+    sparse[50000] = ~Word{0};
+    // Dense small integers (data compaction's case).
+    std::vector<Word> small(1 << 12);
+    for (std::size_t i = 0; i < small.size(); ++i)
+        small[i] = i % 199;
+
+    Table t({"policy", "sparse(64K,1 elem)", "smallints(4K)"});
+    struct Case {
+        const char *name;
+        CompactionPolicy p;
+    } cases[] = {
+        {"full (paper)", {true, true}},
+        {"no path compaction", {true, false}},
+        {"no data compaction", {false, true}},
+        {"neither", {false, false}},
+    };
+    for (const auto &c : cases) {
+        Memory mem(cfg());
+        SegBuilder b(mem, false, c.p);
+        std::uint64_t s1 = linesFor(mem, b, sparse);
+        std::uint64_t s2 = linesFor(mem, b, small);
+        t.addRow({c.name, strfmt("%llu", (unsigned long long)s1),
+                  strfmt("%llu", (unsigned long long)s2)});
+    }
+    t.print();
+    std::printf("\n");
+}
+
+void
+lineSizeSweep()
+{
+    std::printf("-- ablation 2: line-size sweep on a redundant text "
+                "corpus --\n");
+    WebCorpus::Params p;
+    p.numItems = 800;
+    p.minBytes = 512;
+    p.maxBytes = 8192;
+    p.seed = 5;
+    auto items = WebCorpus::generate(p);
+    std::uint64_t raw = WebCorpus::totalBytes(items);
+    Table t({"line size", "HICAMP bytes", "compaction", "fanout"});
+    for (unsigned ls : {16u, 32u, 64u}) {
+        MemoryConfig c = cfg(ls);
+        c.numBuckets = 1 << 17;
+        Memory mem(c);
+        SegBuilder b(mem);
+        std::vector<SegDesc> keep;
+        for (const auto &it : items)
+            keep.push_back(
+                b.buildBytes(it.payload.data(), it.payload.size()));
+        t.addRow({strfmt("%u B", ls),
+                  strfmt("%.2f MB",
+                         static_cast<double>(mem.liveBytes()) / 1e6),
+                  strfmt("%.2f", static_cast<double>(raw) /
+                                     static_cast<double>(mem.liveBytes())),
+                  strfmt("%u", mem.fanout())});
+    }
+    t.print();
+    std::printf("\n");
+}
+
+void
+signatureQuality()
+{
+    std::printf("-- ablation 3: 8-bit signature false positives --\n");
+    Table t({"lines stored", "bucket occupancy", "false-positive rate"});
+    for (std::uint64_t n : {20000ull, 100000ull, 400000ull}) {
+        MemoryConfig c = cfg();
+        c.numBuckets = 1 << 15; // 393K data slots
+        Memory mem(c);
+        for (Word v = 1; v <= n; ++v) {
+            Line l = mem.makeLine();
+            l.set(0, v);
+            l.set(1, v * 2654435761ull);
+            mem.lookup(l);
+        }
+        double occupancy =
+            static_cast<double>(n) /
+            static_cast<double>(c.numBuckets * 12);
+        double fp = static_cast<double>(mem.sigFalsePositives()) /
+                    static_cast<double>(mem.lookupOps());
+        t.addRow({strfmt("%llu", (unsigned long long)n),
+                  strfmt("%.0f%%", occupancy * 100.0),
+                  strfmt("%.2f%%", fp * 100.0)});
+    }
+    t.print();
+    std::printf("paper footnote 4: <5%% with twelve lines per bucket\n\n");
+}
+
+void
+mcasVsCas()
+{
+    std::printf("-- ablation 4: mCAS vs plain CAS under contention --\n");
+    const int rounds = 300;
+    for (bool merge : {false, true}) {
+        Hicamp hc(cfg());
+        HArray<std::uint64_t> arr(hc, std::vector<std::uint64_t>(16, 0),
+                                  merge ? std::uint32_t{kSegMergeUpdate} : std::uint32_t{0});
+        std::uint64_t retries = 0;
+        for (int i = 0; i < rounds; ++i) {
+            IteratorRegister a(hc.mem, hc.vsm), b(hc.mem, hc.vsm);
+            a.load(arr.vsid(), i % 16);
+            b.load(arr.vsid(), (i + 7) % 16);
+            a.write(a.read() + 1);
+            b.write(b.read() + 1);
+            a.tryCommit();
+            while (!b.tryCommit()) { // stale under plain CAS
+                ++retries;
+                std::uint64_t pos = b.offset();
+                b.load(arr.vsid(), pos);
+                b.write(b.read() + 1);
+            }
+        }
+        std::printf("%-10s %d conflicting commit pairs -> %llu "
+                    "application-level retries, %llu merge commits\n",
+                    merge ? "mCAS:" : "plain CAS:", rounds,
+                    static_cast<unsigned long long>(retries),
+                    static_cast<unsigned long long>(hc.vsm.mergeCommits()));
+    }
+    std::printf("\n");
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Ablation benches ==\n\n");
+    compactionAblation();
+    lineSizeSweep();
+    signatureQuality();
+    mcasVsCas();
+    return 0;
+}

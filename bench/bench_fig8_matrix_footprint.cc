@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reproduces paper Figure 8: per-matrix memory footprint of the best
+ * HICAMP sparse format relative to the conventional representation,
+ * across the whole 100-matrix suite. The paper's plot shows most
+ * matrices below 100% (down to fractions of a percent for the
+ * extreme-self-similarity outlier) with a few slightly above due to
+ * DAG overhead.
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "apps/spmv/hicamp_matrix.hh"
+#include "common/table.hh"
+#include "workloads/matrixgen.hh"
+
+using namespace hicamp;
+
+int
+main()
+{
+    const char *sc = std::getenv("HICAMP_SUITE_SCALE");
+    double scale = sc ? std::atof(sc) : 1.0;
+    auto suite = MatrixGen::standardSuite(scale);
+
+    struct Item {
+        std::string name;
+        std::string cat;
+        std::uint64_t nnz;
+        std::uint64_t conv;
+        std::uint64_t qts;
+        std::uint64_t nzd;
+        double pct;
+    };
+    std::vector<Item> items;
+    for (const auto &m : suite) {
+        auto fp = measureFootprint(m);
+        items.push_back({m.name(), m.category(), m.nnz(), m.convBytes(),
+                         fp.qtsBytes, fp.nzdBytes,
+                         100.0 * static_cast<double>(fp.bestBytes()) /
+                             static_cast<double>(m.convBytes())});
+    }
+    std::sort(items.begin(), items.end(),
+              [](const Item &a, const Item &b) { return a.pct < b.pct; });
+
+    std::printf("== Figure 8: sparse matrix memory footprint, "
+                "HICAMP %% of conventional (sorted; scale %.1f) ==\n\n",
+                scale);
+    Table t({"matrix", "category", "nnz", "conv KB", "QTS KB", "NZD KB",
+             "best %"});
+    for (const auto &it : items) {
+        t.addRow({it.name, it.cat,
+                  strfmt("%llu", static_cast<unsigned long long>(it.nnz)),
+                  strfmt("%llu",
+                         static_cast<unsigned long long>(it.conv / 1024)),
+                  strfmt("%llu",
+                         static_cast<unsigned long long>(it.qts / 1024)),
+                  strfmt("%llu",
+                         static_cast<unsigned long long>(it.nzd / 1024)),
+                  strfmt("%.1f%%", it.pct)});
+    }
+    t.print();
+
+    std::uint64_t above = 0;
+    for (const auto &it : items)
+        above += it.pct > 100.0 ? 1 : 0;
+    std::printf("\nmatrices above 100%% (DAG overhead dominates): "
+                "%llu of %zu; most compact: %.3f%%\n",
+                static_cast<unsigned long long>(above), items.size(),
+                items.front().pct);
+    std::printf("paper shape: broad spread below 100%%, a few "
+                "negligible increases, one extreme (~4000x) point.\n");
+    return 0;
+}

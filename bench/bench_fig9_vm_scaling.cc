@@ -1,0 +1,53 @@
+/**
+ * @file
+ * Reproduces paper Figure 9: memory consumption of individual VMmark
+ * workload VMs scaled 1..10 instances — Allocated vs ideal page
+ * sharing vs HICAMP 64-byte-line dedup.
+ *
+ * Paper result at 10 VMs: HICAMP compacts 1.86x (database server) to
+ * 10.87x (standby server); ideal page sharing 1.44x-5.21x.
+ */
+
+#include <cstdio>
+
+#include "apps/vm/vm_model.hh"
+#include "common/table.hh"
+
+using namespace hicamp;
+
+int
+main()
+{
+    std::printf("== Figure 9: memory consumption of individual VMs "
+                "in a VMmark tile (GB) ==\n");
+    for (const auto &p : VmProfile::tile()) {
+        std::printf("\n-- %s (%s, %.2f GB/VM) --\n", p.name.c_str(),
+                    p.os.c_str(),
+                    static_cast<double>(p.memBytes) / (1ull << 30));
+        Table t({"# VMs", "Allocated", "Page sharing", "HICAMP 64B",
+                 "HICAMP x", "sharing x"});
+        VmDedupModel model;
+        for (int i = 1; i <= 10; ++i) {
+            model.addVm(p, 100 + i);
+            VmUsage u = model.measure();
+            auto gb = [](std::uint64_t b) {
+                return strfmt("%.2f",
+                              static_cast<double>(b) / (1ull << 30));
+            };
+            t.addRow({strfmt("%d", i), gb(u.allocatedBytes),
+                      gb(u.pageSharedBytes), gb(u.hicampBytes),
+                      strfmt("%.2f", static_cast<double>(
+                                         u.allocatedBytes) /
+                                         static_cast<double>(
+                                             u.hicampBytes)),
+                      strfmt("%.2f", static_cast<double>(
+                                         u.allocatedBytes) /
+                                         static_cast<double>(
+                                             u.pageSharedBytes))});
+        }
+        t.print();
+    }
+    std::printf("\npaper at 10 VMs: HICAMP 1.86x (database) .. 10.87x "
+                "(standby); page sharing 1.44x .. 5.21x.\n");
+    return 0;
+}

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Micro-benchmarks of the core HICAMP operations (google-benchmark):
+ * host-time throughput of the simulator's lookup-by-content, PLID
+ * reads, canonical segment construction, iterator traversal and map
+ * operations. These gauge simulator engineering quality rather than
+ * modelled hardware performance; the modelled costs are the DRAM
+ * counters exercised by the figure/table benches.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "lang/hmap.hh"
+#include "seg/iterator.hh"
+
+using namespace hicamp;
+
+namespace {
+
+MemoryConfig
+cfg()
+{
+    MemoryConfig c;
+    c.numBuckets = 1 << 16;
+    return c;
+}
+
+void
+BM_LookupByContentMiss(benchmark::State &state)
+{
+    Memory mem(cfg());
+    Word v = 1;
+    for (auto _ : state) {
+        Line l = mem.makeLine();
+        l.set(0, v++);
+        l.set(1, v * 13);
+        benchmark::DoNotOptimize(mem.lookup(l));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LookupByContentMiss);
+
+void
+BM_LookupByContentHit(benchmark::State &state)
+{
+    Memory mem(cfg());
+    Line l = mem.makeLine();
+    l.set(0, 0x1234);
+    Plid p = mem.lookup(l);
+    (void)p;
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mem.lookup(l));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_LookupByContentHit);
+
+void
+BM_ReadLineCached(benchmark::State &state)
+{
+    Memory mem(cfg());
+    Line l = mem.makeLine();
+    l.set(0, 77);
+    Plid p = mem.lookup(l);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(mem.readLine(p));
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ReadLineCached);
+
+void
+BM_BuildSegment4K(benchmark::State &state)
+{
+    Memory mem(cfg());
+    SegBuilder b(mem);
+    std::vector<char> data(4096);
+    std::uint64_t salt = 0;
+    for (auto _ : state) {
+        // Vary content so dedup does not trivialize the build.
+        ++salt;
+        std::memcpy(data.data(), &salt, sizeof(salt));
+        SegDesc d = b.buildBytes(data.data(), data.size());
+        b.releaseSeg(d);
+    }
+    state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                            4096);
+}
+BENCHMARK(BM_BuildSegment4K);
+
+void
+BM_IteratorSequentialRead(benchmark::State &state)
+{
+    Memory mem(cfg());
+    SegmentMap vsm(mem);
+    std::vector<Word> w(4096);
+    for (std::size_t i = 0; i < w.size(); ++i)
+        w[i] = i + 1;
+    std::vector<WordMeta> m(w.size(), WordMeta::raw());
+    SegBuilder b(mem);
+    Vsid v = vsm.create(b.buildWords(w.data(), m.data(), w.size()));
+    IteratorRegister it(mem, vsm);
+    it.load(v);
+    std::uint64_t pos = 0;
+    for (auto _ : state) {
+        it.seek(pos);
+        benchmark::DoNotOptimize(it.read());
+        pos = (pos + 1) % w.size();
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_IteratorSequentialRead);
+
+void
+BM_CommitSingleWordUpdate(benchmark::State &state)
+{
+    Memory mem(cfg());
+    SegmentMap vsm(mem);
+    std::vector<Word> w(4096, 7);
+    std::vector<WordMeta> m(w.size(), WordMeta::raw());
+    SegBuilder b(mem);
+    Vsid v = vsm.create(b.buildWords(w.data(), m.data(), w.size()));
+    IteratorRegister it(mem, vsm);
+    Word x = 0;
+    for (auto _ : state) {
+        it.load(v, x % w.size());
+        it.write(++x);
+        benchmark::DoNotOptimize(it.tryCommit());
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CommitSingleWordUpdate);
+
+void
+BM_MapSet(benchmark::State &state)
+{
+    Hicamp hc(cfg());
+    HMap map(hc);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        map.set(HString(hc, "key-" + std::to_string(i % 4096)),
+                HString(hc, "value-" + std::to_string(i)));
+        ++i;
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MapSet);
+
+void
+BM_MapGet(benchmark::State &state)
+{
+    Hicamp hc(cfg());
+    HMap map(hc);
+    for (int i = 0; i < 4096; ++i) {
+        map.set(HString(hc, "key-" + std::to_string(i)),
+                HString(hc, "value-" + std::to_string(i)));
+    }
+    IteratorRegister reg(hc.mem, hc.vsm);
+    std::uint64_t i = 0;
+    for (auto _ : state) {
+        HString k(hc, "key-" + std::to_string(i++ % 4096));
+        benchmark::DoNotOptimize(map.getWith(reg, k));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MapGet);
+
+void
+BM_StringEquality(benchmark::State &state)
+{
+    Hicamp hc(cfg());
+    std::string big(1 << 16, 'e');
+    HString a(hc, big), b(hc, big);
+    for (auto _ : state)
+        benchmark::DoNotOptimize(a == b); // O(1) regardless of size
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StringEquality);
+
+} // namespace
+
+BENCHMARK_MAIN();

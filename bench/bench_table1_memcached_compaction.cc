@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Reproduces paper Table 1: memcached data compaction (conventional
+ * bytes / HICAMP bytes) for web-page, script and image datasets at
+ * 16/32/64-byte lines.
+ *
+ * Datasets are synthetic equivalents of the paper's Wikipedia and
+ * Facebook dumps (see DESIGN.md): text corpora are near-duplicate
+ * versions of base pages (aligned redundancy), images are high-
+ * entropy blobs. Item counts/sizes are scaled ~1/10 to laptop scale;
+ * the compaction ratio depends on redundancy structure, not absolute
+ * volume.
+ */
+
+#include <bit>
+#include <cstdio>
+
+#include "common/table.hh"
+#include "mem/memory.hh"
+#include "seg/builder.hh"
+#include "workloads/webcorpus.hh"
+
+using namespace hicamp;
+
+namespace {
+
+struct Dataset {
+    const char *name;
+    WebCorpus::Params params;
+};
+
+std::vector<Dataset>
+datasets()
+{
+    std::vector<Dataset> ds;
+    auto text = [](const char *name, WebCorpus::Kind kind,
+                   std::uint64_t items, std::uint64_t max_bytes,
+                   double bases_per_item, std::uint64_t seed) {
+        WebCorpus::Params p;
+        p.kind = kind;
+        p.numItems = items;
+        p.minBytes = 128;
+        p.maxBytes = max_bytes;
+        p.basesPerItem = bases_per_item;
+        p.seed = seed;
+        return Dataset{name, p};
+    };
+    // Wikipedia pages: many revisions of the same articles -> very
+    // high redundancy (paper: 1.71x at 16 B).
+    ds.push_back(text("wiki-pages", WebCorpus::Kind::Pages, 3000,
+                      32768, 0.30, 11));
+    // Facebook pages May'08 (smaller crawl, heavier templates: 4.27x)
+    ds.push_back(text("fb-pages-may08", WebCorpus::Kind::Pages, 600,
+                      16384, 0.08, 12));
+    // Facebook pages Sept'08 (larger, more diverse: 1.84x)
+    ds.push_back(text("fb-pages-sep08", WebCorpus::Kind::Pages, 2000,
+                      16384, 0.25, 13));
+    // Scripts: shared library code (3.17x / 4.06x)
+    ds.push_back(text("fb-scripts-may08", WebCorpus::Kind::Scripts, 300,
+                      4096, 0.12, 14));
+    ds.push_back(text("fb-scripts-sep08", WebCorpus::Kind::Scripts, 150,
+                      2048, 0.10, 15));
+    // Images: compressed media, no dedup opportunity (0.9x / 0.93x)
+    ds.push_back(text("fb-images-may08", WebCorpus::Kind::Images, 1200,
+                      8192, 0.2, 16));
+    ds.push_back(text("fb-images-sep08", WebCorpus::Kind::Images, 1500,
+                      6144, 0.2, 17));
+    return ds;
+}
+
+} // namespace
+
+int
+main()
+{
+    std::printf("== Table 1: memcached data compaction "
+                "(conventional bytes per HICAMP byte) ==\n\n");
+    Table t({"dataset", "items", "MB", "LS=16", "LS=32", "LS=64"});
+    for (const auto &ds : datasets()) {
+        auto items = WebCorpus::generate(ds.params);
+        std::uint64_t raw = WebCorpus::totalBytes(items);
+        std::vector<std::string> row{
+            ds.name, strfmt("%zu", items.size()),
+            strfmt("%.2f", static_cast<double>(raw) / 1e6)};
+        for (unsigned ls : {16u, 32u, 64u}) {
+            MemoryConfig cfg;
+            cfg.lineBytes = ls;
+            cfg.numBuckets = std::bit_ceil(raw * 3 / ls / 12 + 4096);
+            Memory mem(cfg);
+            SegBuilder b(mem);
+            std::vector<SegDesc> keep;
+            keep.reserve(items.size());
+            for (const auto &it : items) {
+                keep.push_back(
+                    b.buildBytes(it.payload.data(), it.payload.size()));
+            }
+            double compaction = static_cast<double>(raw) /
+                                static_cast<double>(mem.liveBytes());
+            row.push_back(strfmt("%.2f", compaction));
+        }
+        t.addRow(row);
+    }
+    t.print();
+    std::printf(
+        "\npaper: text 1.5-4.3x, scripts 2.1-4.1x, images 0.9-1.1x.\n"
+        "Note: we model full 64-bit tagged words, so interior-node "
+        "overhead at 16 B lines is ~2x (the paper's footnote-6 worst "
+        "case); hardware packing 32-bit PLIDs would lift the LS=16 "
+        "column toward the paper's, which is why our text compaction "
+        "peaks at 32 B instead of falling monotonically.\n");
+    return 0;
+}

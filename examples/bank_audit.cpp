@@ -1,0 +1,94 @@
+/**
+ * @file
+ * The paper's §2.2 database example: a long-running, read-only audit
+ * sums every account balance at one point in time while customer
+ * transactions keep committing. On HICAMP this "consistent read"
+ * costs nothing: the auditor saves the root PLID and iterates over an
+ * immutable snapshot — no block copying, no serialization, no stalls.
+ *
+ * Build & run:  ./build/examples/example_bank_audit
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hh"
+#include "lang/context.hh"
+#include "seg/iterator.hh"
+
+using namespace hicamp;
+
+int
+main()
+{
+    Hicamp hc;
+    constexpr std::uint64_t kAccounts = 20000;
+    constexpr std::uint64_t kOpening = 1000;
+
+    // The bank: one segment of balances, merge-update enabled so
+    // concurrent transfers to disjoint accounts never retry.
+    std::vector<Word> init(kAccounts, kOpening);
+    std::vector<WordMeta> metas(init.size(), WordMeta::raw());
+    SegBuilder builder(hc.mem, /*model_staging=*/true);
+    Vsid bank = hc.vsm.create(
+        builder.buildWords(init.data(), metas.data(), init.size()),
+        kSegMergeUpdate);
+
+    const std::uint64_t expected_total = kAccounts * kOpening;
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> transfers{0};
+
+    // Customer traffic: random balance-preserving transfers.
+    std::thread teller([&] {
+        Rng rng(7);
+        IteratorRegister it(hc.mem, hc.vsm);
+        while (!stop.load(std::memory_order_relaxed)) {
+            std::uint64_t from = rng.below(kAccounts);
+            std::uint64_t to = rng.below(kAccounts);
+            std::uint64_t amount = 1 + rng.below(50);
+            it.load(bank, from);
+            std::uint64_t bal = it.read();
+            if (bal < amount || from == to)
+                continue;
+            it.write(bal - amount);
+            it.seek(to);
+            it.write(it.read() + amount);
+            if (it.tryCommit())
+                ++transfers;
+        }
+    });
+
+    // The auditor: a long-running read-only pass over a snapshot.
+    // Loading the iterator register pins the root PLID; everything it
+    // reads is the state at exactly that instant.
+    std::uint64_t audits_ok = 0;
+    for (int round = 0; round < 5; ++round) {
+        IteratorRegister auditor(hc.mem, hc.vsm);
+        auditor.load(bank, 0);
+        std::uint64_t total = 0;
+        for (std::uint64_t i = 0; i < kAccounts; ++i) {
+            auditor.seek(i);
+            total += auditor.read();
+        }
+        bool consistent = total == expected_total;
+        audits_ok += consistent ? 1 : 0;
+        std::printf("audit %d: total=%llu (%s) — %llu transfers "
+                    "committed so far\n",
+                    round,
+                    static_cast<unsigned long long>(total),
+                    consistent ? "consistent" : "TORN!",
+                    static_cast<unsigned long long>(transfers.load()));
+    }
+    stop = true;
+    teller.join();
+
+    std::printf("\n%llu/5 audits saw a perfectly consistent snapshot "
+                "while %llu concurrent transfers committed.\n",
+                static_cast<unsigned long long>(audits_ok),
+                static_cast<unsigned long long>(transfers.load()));
+    std::printf("No locks were taken; updates were never stalled "
+                "(snapshot isolation, paper §2.2).\n");
+    return audits_ok == 5 ? 0 : 1;
+}

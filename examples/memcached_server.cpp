@@ -1,0 +1,88 @@
+/**
+ * @file
+ * The paper's motivating application (§4.4): a memcached-style shared
+ * store accessed by multiple client threads WITHOUT sockets, locks or
+ * copies. Each client works directly on the shared key-value map;
+ * snapshot isolation keeps readers consistent, and mCAS/merge-update
+ * absorbs concurrent writers.
+ *
+ * Build & run:  ./build/examples/example_memcached_server
+ */
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "apps/memcached/hicamp_memcached.hh"
+#include "workloads/memcached_workload.hh"
+
+using namespace hicamp;
+
+int
+main()
+{
+    MemoryConfig cfg;
+    cfg.numBuckets = 1 << 17;
+    Hicamp hc(cfg);
+    HicampMemcached server(hc);
+
+    // Preload a small synthetic web corpus.
+    WebCorpus::Params cp;
+    cp.numItems = 2000;
+    cp.minBytes = 128;
+    cp.maxBytes = 4096;
+    auto items = WebCorpus::generate(cp);
+    for (const auto &it : items)
+        server.set(it.key, it.payload);
+    std::printf("preloaded %zu items, %.1f MB of content, "
+                "%.1f MB resident after dedup\n",
+                items.size(),
+                static_cast<double>(WebCorpus::totalBytes(items)) / 1e6,
+                static_cast<double>(server.residentBytes()) / 1e6);
+
+    // Four "client processes" hammer the store concurrently. In a
+    // conventional deployment each request would cross a socket; here
+    // a client reads the shared segment directly under its own
+    // snapshot, with hardware-enforced isolation.
+    constexpr int kClients = 4;
+    constexpr int kRequestsPerClient = 1500;
+    std::atomic<std::uint64_t> hits{0}, misses{0}, sets{0};
+    std::vector<std::thread> clients;
+    for (int c = 0; c < kClients; ++c) {
+        clients.emplace_back([&, c] {
+            Rng rng(1000 + c);
+            Zipf pop(items.size(), 0.9);
+            for (int i = 0; i < kRequestsPerClient; ++i) {
+                const auto idx = pop.sample(rng);
+                if (rng.chance(0.9)) {
+                    if (server.get(items[idx].key))
+                        ++hits;
+                    else
+                        ++misses;
+                } else {
+                    std::string v = WebCorpus::mutate(
+                        items[idx].payload, rng);
+                    server.set(items[idx].key, v);
+                    ++sets;
+                }
+            }
+        });
+    }
+    for (auto &t : clients)
+        t.join();
+
+    std::printf("%d clients x %d requests: %llu hits, %llu misses, "
+                "%llu sets\n",
+                kClients, kRequestsPerClient,
+                static_cast<unsigned long long>(hits.load()),
+                static_cast<unsigned long long>(misses.load()),
+                static_cast<unsigned long long>(sets.load()));
+    std::printf("conflicting commits resolved by merge-update: %llu "
+                "(true conflicts: %llu)\n",
+                static_cast<unsigned long long>(hc.vsm.mergeCommits()),
+                static_cast<unsigned long long>(hc.vsm.mergeFailures()));
+    std::printf("map entries now: %llu\n",
+                static_cast<unsigned long long>(server.map().size()));
+    return 0;
+}

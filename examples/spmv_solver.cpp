@@ -1,0 +1,85 @@
+/**
+ * @file
+ * Sparse-matrix computation on HICAMP (paper §5.2): build a FEM
+ * stiffness matrix in the quad-tree-symmetric format and solve the
+ * Poisson problem with conjugate gradients — every SpMV goes through
+ * the simulated memory system. Reports footprint and traffic against
+ * the conventional CSR baseline.
+ *
+ * Build & run:  ./build/examples/example_spmv_solver
+ */
+
+#include <cmath>
+#include <cstdio>
+
+#include "apps/spmv/hicamp_matrix.hh"
+#include "workloads/matrixgen.hh"
+
+using namespace hicamp;
+
+int
+main()
+{
+    const std::uint32_t grid = 96; // 9216 unknowns
+    SparseMatrix A = MatrixGen::fem2d(grid, MatrixGen::Coef::Constant,
+                                      /*symmetric=*/true, 1,
+                                      "poisson2d");
+    std::printf("2D Poisson, %u x %u grid: %u unknowns, %llu non-zeros\n",
+                grid, grid, A.rows(),
+                static_cast<unsigned long long>(A.nnz()));
+
+    MemoryConfig cfg;
+    cfg.numBuckets = 1 << 16;
+    Memory mem(cfg);
+    QtsMatrix Ah(mem, A);
+
+    std::printf("storage: CSR %.1f KB vs HICAMP QTS %.1f KB "
+                "(constant-coefficient stencil deduplicates)\n",
+                static_cast<double>(A.convBytes()) / 1024.0,
+                static_cast<double>(Ah.footprintBytes()) / 1024.0);
+
+    // Conjugate gradients on A x = b, with b = A * ones so the exact
+    // solution is the all-ones vector.
+    const std::uint32_t n = A.rows();
+    std::vector<double> ones(n, 1.0);
+    std::vector<double> b = A.multiply(ones);
+    std::vector<double> x(n, 0.0), r = b, p = b;
+    double rr = 0.0;
+    for (double v : r)
+        rr += v * v;
+    const double rr0 = rr;
+
+    mem.flushAndResetTraffic();
+    int iters = 0;
+    for (; iters < 2000 && rr > 1e-20 * rr0; ++iters) {
+        std::vector<double> Ap = Ah.spmv(p); // through the memory model
+        double pAp = 0.0;
+        for (std::uint32_t i = 0; i < n; ++i)
+            pAp += p[i] * Ap[i];
+        double alpha = rr / pAp;
+        double rr_new = 0.0;
+        for (std::uint32_t i = 0; i < n; ++i) {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * Ap[i];
+            rr_new += r[i] * r[i];
+        }
+        double beta = rr_new / rr;
+        rr = rr_new;
+        for (std::uint32_t i = 0; i < n; ++i)
+            p[i] = r[i] + beta * p[i];
+    }
+
+    double err = 0.0;
+    for (std::uint32_t i = 0; i < n; ++i)
+        err = std::max(err, std::abs(x[i] - 1.0));
+    std::printf("CG converged in %d iterations, |r|/|r0| = %.2e, "
+                "max error vs exact solution %.2e\n",
+                iters, std::sqrt(rr / rr0), err);
+    std::printf("memory traffic for the whole solve: %llu DRAM "
+                "accesses through the HICAMP hierarchy\n",
+                static_cast<unsigned long long>(mem.dram().total()));
+    std::printf("(zero sub-blocks were skipped by entry inspection; "
+                "repeated stencil blocks hit in cache — the paper's "
+                "'duplicate sub-matrix detection')\n");
+    return err < 1e-6 ? 0 : 1;
+}

@@ -1,0 +1,181 @@
+#include "apps/memcached/conv_memcached.hh"
+
+#include <bit>
+
+namespace hicamp {
+
+ConvMemcached::ConvMemcached(unsigned line_bytes,
+                             std::uint64_t expected_items)
+    : hier_(ConvHierarchy::paperDefault(line_bytes)),
+      slabs_(/*base=*/0x2000'0000ull)
+{
+    numBuckets_ = std::bit_ceil(expected_items + expected_items / 2 + 1);
+    tableBase_ = 0x1000'0000ull;
+    tableBytes_ = numBuckets_ * 8;
+    sockBase_ = 0x0800'0000ull;
+    clientBase_ = 0x0400'0000ull;
+    bucketHead_.assign(numBuckets_, -1);
+}
+
+std::uint64_t
+ConvMemcached::residentBytes() const
+{
+    return slabs_.reservedBytes() + tableBytes_;
+}
+
+void
+ConvMemcached::requestPath(std::uint64_t payload_bytes)
+{
+    const unsigned conn = rr_++ % kConns;
+    const Addr cli = clientBase_ + conn * (1 << 20);
+    const Addr sock = sockBase_ + conn * (1 << 20);
+    const std::uint64_t n = kReqHeader + payload_bytes;
+    hier_.write(cli, n);       // client marshals the request
+    hier_.read(cli, n);        // kernel copies into the socket buffer
+    hier_.write(sock, n);
+    hier_.read(sock, n);       // server parses the request
+}
+
+void
+ConvMemcached::responsePath(std::uint64_t payload_bytes)
+{
+    const unsigned conn = rr_ % kConns; // same connection as request
+    const Addr cli = clientBase_ + conn * (1 << 20) + (1 << 19);
+    const Addr sock = sockBase_ + conn * (1 << 20) + (1 << 19);
+    const std::uint64_t n = kReqHeader + payload_bytes;
+    hier_.write(sock, n);      // server writes the response
+    hier_.read(sock, n);       // kernel copies to the client side
+    hier_.write(cli, n);
+    hier_.read(cli, n);        // client application consumes it
+}
+
+std::int64_t
+ConvMemcached::findInChain(const std::string &key, std::uint64_t h,
+                           std::int64_t *prev_out)
+{
+    const std::uint64_t b = bucketOf(h);
+    hier_.read(bucketAddr(b), 8); // bucket head pointer
+    std::int64_t prev = -1;
+    std::int64_t cur = bucketHead_[b];
+    while (cur >= 0) {
+        const Item &it = items_[cur];
+        hier_.read(it.addr, kHeaderBytes); // item header (incl. hash)
+        if (it.hash == h && it.keyLen == key.size()) {
+            hier_.read(it.addr + kHeaderBytes, it.keyLen); // key compare
+            // Ground truth resolves the compare exactly.
+            if (index_.count(key) &&
+                index_.at(key) == cur) {
+                if (prev_out)
+                    *prev_out = prev;
+                return cur;
+            }
+        }
+        prev = cur;
+        cur = it.next;
+    }
+    if (prev_out)
+        *prev_out = prev;
+    return -1;
+}
+
+void
+ConvMemcached::set(const std::string &key, std::uint64_t value_bytes)
+{
+    const std::uint64_t h = fnv1a(key.data(), key.size());
+    requestPath(key.size() + value_bytes);
+
+    std::int64_t prev = -1;
+    std::int64_t found = findInChain(key, h, &prev);
+    if (found >= 0) {
+        // Replace: free the old chunk, unlink from the chain.
+        Item &old = items_[found];
+        const std::uint64_t old_total =
+            kHeaderBytes + old.keyLen + old.valLen;
+        slabs_.free(old.addr, old_total);
+        if (prev >= 0) {
+            hier_.write(items_[prev].addr, 8); // prev->next
+            items_[prev].next = old.next;
+        } else {
+            hier_.write(bucketAddr(bucketOf(h)), 8);
+            bucketHead_[bucketOf(h)] = old.next;
+        }
+        index_.erase(key);
+        freeSlots_.push_back(found);
+    }
+
+    // Allocate and fill the new item.
+    const std::uint64_t total = kHeaderBytes + key.size() + value_bytes;
+    Item it;
+    it.addr = slabs_.alloc(total);
+    it.keyLen = static_cast<std::uint32_t>(key.size());
+    it.valLen = static_cast<std::uint32_t>(value_bytes);
+    it.hash = h;
+    hier_.write(it.addr, kHeaderBytes);               // header
+    hier_.write(it.addr + kHeaderBytes, key.size());  // key bytes
+    hier_.write(it.addr + kHeaderBytes + key.size(),  // value bytes
+                value_bytes);
+
+    // Link at the chain head.
+    const std::uint64_t b = bucketOf(h);
+    it.next = bucketHead_[b];
+    std::int64_t slot;
+    if (!freeSlots_.empty()) {
+        slot = freeSlots_.back();
+        freeSlots_.pop_back();
+        items_[slot] = it;
+    } else {
+        slot = static_cast<std::int64_t>(items_.size());
+        items_.push_back(it);
+    }
+    hier_.write(bucketAddr(b), 8);
+    bucketHead_[b] = slot;
+    index_[key] = slot;
+
+    responsePath(8); // "STORED"
+}
+
+bool
+ConvMemcached::get(const std::string &key)
+{
+    const std::uint64_t h = fnv1a(key.data(), key.size());
+    requestPath(key.size());
+    std::int64_t found = findInChain(key, h, nullptr);
+    if (found < 0) {
+        responsePath(8); // "END"
+        return false;
+    }
+    const Item &it = items_[found];
+    // Server copies the value into the response; the response path
+    // models the remaining kernel + client copies.
+    hier_.read(it.addr + kHeaderBytes + it.keyLen, it.valLen);
+    responsePath(it.valLen);
+    return true;
+}
+
+bool
+ConvMemcached::del(const std::string &key)
+{
+    const std::uint64_t h = fnv1a(key.data(), key.size());
+    requestPath(key.size());
+    std::int64_t prev = -1;
+    std::int64_t found = findInChain(key, h, &prev);
+    if (found < 0) {
+        responsePath(8);
+        return false;
+    }
+    Item &it = items_[found];
+    if (prev >= 0) {
+        hier_.write(items_[prev].addr, 8);
+        items_[prev].next = it.next;
+    } else {
+        hier_.write(bucketAddr(bucketOf(h)), 8);
+        bucketHead_[bucketOf(h)] = it.next;
+    }
+    slabs_.free(it.addr, kHeaderBytes + it.keyLen + it.valLen);
+    index_.erase(key);
+    freeSlots_.push_back(found);
+    responsePath(8);
+    return true;
+}
+
+} // namespace hicamp

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Conventional memcached model (the paper's baseline for Fig. 6).
+ *
+ * Models the full conventional path at memory-trace level: client
+ * request marshalling, socket buffer copies, hash-table chain walks,
+ * slab-allocated items (header + key + value) and the value copies on
+ * the response path. Every load/store lands in the Dinero-class cache
+ * hierarchy, whose misses/writebacks are the DRAM access counts the
+ * evaluation consumes. No payload bytes are actually stored — only
+ * realistically laid-out addresses.
+ */
+
+#ifndef HICAMP_APPS_MEMCACHED_CONV_MEMCACHED_HH
+#define HICAMP_APPS_MEMCACHED_CONV_MEMCACHED_HH
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "cache/address_space.hh"
+#include "cache/conv_cache.hh"
+#include "common/hash.hh"
+
+namespace hicamp {
+
+class ConvMemcached
+{
+  public:
+    /**
+     * @param line_bytes cache line size (16/32/64, per Fig. 6)
+     * @param expected_items sizes the hash table (load factor ~0.7)
+     */
+    ConvMemcached(unsigned line_bytes, std::uint64_t expected_items);
+
+    /** Store (or replace) a key/value pair. */
+    void set(const std::string &key, std::uint64_t value_bytes);
+
+    /** Look up a key; models the full response path on a hit. */
+    bool get(const std::string &key);
+
+    /** Delete a key. */
+    bool del(const std::string &key);
+
+    ConvHierarchy &hierarchy() { return hier_; }
+    const ConvHierarchy &hierarchy() const { return hier_; }
+
+    /** Bytes of slab memory reserved (resident footprint). */
+    std::uint64_t residentBytes() const;
+
+    std::uint64_t itemCount() const { return items_.size(); }
+
+  private:
+    struct Item {
+        Addr addr = 0;          ///< slab chunk base
+        std::uint32_t keyLen = 0;
+        std::uint32_t valLen = 0;
+        std::uint64_t hash = 0;
+        std::int64_t next = -1; ///< chain link (index into items_)
+    };
+
+    static constexpr std::uint64_t kHeaderBytes = 48;
+    static constexpr std::uint64_t kReqHeader = 32;
+
+    std::uint64_t bucketOf(std::uint64_t h) const
+    {
+        return h & (numBuckets_ - 1);
+    }
+    Addr bucketAddr(std::uint64_t b) const { return tableBase_ + b * 8; }
+
+    /** Model the client->server request copy chain. */
+    void requestPath(std::uint64_t payload_bytes);
+    /** Model the server->client response copy chain. */
+    void responsePath(std::uint64_t payload_bytes);
+
+    /**
+     * Walk the chain for @p key; touches bucket head, item headers and
+     * key compares. Returns the item slot index or -1, and the
+     * predecessor slot (for unlinking).
+     */
+    std::int64_t findInChain(const std::string &key, std::uint64_t h,
+                             std::int64_t *prev_out);
+
+    ConvHierarchy hier_;
+    SlabAllocator slabs_;
+    std::uint64_t numBuckets_;
+    Addr tableBase_;
+    std::uint64_t tableBytes_;
+
+    // Rotating connection buffers (requests and responses reuse them).
+    static constexpr unsigned kConns = 8;
+    Addr sockBase_;
+    Addr clientBase_;
+    unsigned rr_ = 0;
+
+    std::vector<Item> items_;
+    std::vector<std::int64_t> freeSlots_;
+    std::vector<std::int64_t> bucketHead_;
+    std::unordered_map<std::string, std::int64_t> index_;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_APPS_MEMCACHED_CONV_MEMCACHED_HH

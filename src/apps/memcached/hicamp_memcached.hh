@@ -1,0 +1,120 @@
+/**
+ * @file
+ * HICAMP memcached (paper §4.4): the key-value map is a sparse array
+ * indexed by the key string's content identity; values are segments.
+ * A get takes a snapshot through an iterator register — no sockets,
+ * no locks, no copies: the consumer reads the value's lines directly.
+ * A set builds the value segment (transient staging + lookups) and
+ * commits it with mCAS, so concurrent non-conflicting updates merge.
+ */
+
+#ifndef HICAMP_APPS_MEMCACHED_HICAMP_MEMCACHED_HH
+#define HICAMP_APPS_MEMCACHED_HICAMP_MEMCACHED_HH
+
+#include <optional>
+#include <string>
+
+#include "lang/hmap.hh"
+
+namespace hicamp {
+
+class HicampMemcached
+{
+  public:
+    explicit HicampMemcached(Hicamp &hc)
+        : hc_(hc), map_(hc, /*merge_update=*/true), reader_(hc.mem)
+    {}
+
+    /** Store a key/value pair. */
+    void
+    set(const std::string &key, const std::string &value)
+    {
+        HString k(hc_, key);
+        HString v(hc_, value);
+        map_.set(k, v);
+    }
+
+    /**
+     * Look up a key. On a hit the consumer traverses the value's
+     * lines once (the single read that replaces the conventional
+     * path's four copies). Returns the value size, or nullopt.
+     */
+    std::optional<std::uint64_t>
+    get(const std::string &key)
+    {
+        // Iterator registers are per-core hardware state: each client
+        // thread uses its own; the paper's clients (re)load a register
+        // per get command (§4.4).
+        IteratorRegister reg(hc_.mem, hc_.vsm);
+        HString k(hc_, key);
+        auto v = map_.getWith(reg, k);
+        if (!v)
+            return std::nullopt;
+        // Consumer reads the value content (snapshot-isolated).
+        std::vector<Word> w;
+        std::vector<WordMeta> m;
+        reader_.materialize(v->desc().root, v->desc().height, w, m);
+        return v->size();
+    }
+
+    bool
+    del(const std::string &key)
+    {
+        HString k(hc_, key);
+        return map_.erase(k);
+    }
+
+    /** memcached "add": store only if absent. */
+    bool
+    add(const std::string &key, const std::string &value)
+    {
+        return map_.add(HString(hc_, key), HString(hc_, value));
+    }
+
+    /** memcached "replace": store only if present. */
+    bool
+    replace(const std::string &key, const std::string &value)
+    {
+        return map_.replace(HString(hc_, key), HString(hc_, value));
+    }
+
+    /**
+     * memcached "incr"/"decr": atomically adjust a numeric value.
+     * Returns the new value, or nullopt if the key is absent or not
+     * numeric. Implemented as a value-CAS loop: a racing increment
+     * changes the value's content identity, so the commit retries.
+     */
+    std::optional<std::int64_t>
+    incr(const std::string &key, std::int64_t delta)
+    {
+        HString k(hc_, key);
+        for (;;) {
+            auto cur = map_.get(k);
+            if (!cur)
+                return std::nullopt;
+            std::string s = cur->str();
+            char *end = nullptr;
+            long long v = std::strtoll(s.c_str(), &end, 10);
+            if (end == s.c_str() || *end != '\0')
+                return std::nullopt;
+            std::int64_t nv = v + delta;
+            if (map_.compareAndSet(k, *cur,
+                                   HString(hc_, std::to_string(nv))))
+                return nv;
+        }
+    }
+
+    HMap &map() { return map_; }
+
+    /** Live HICAMP memory held by the store (deduplicated). */
+    std::uint64_t residentBytes() const { return hc_.mem.liveBytes(); }
+
+  private:
+    Hicamp &hc_;
+    HMap map_;
+    SegReader reader_;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_APPS_MEMCACHED_HICAMP_MEMCACHED_HH

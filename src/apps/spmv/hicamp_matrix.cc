@@ -1,0 +1,490 @@
+#include "apps/spmv/hicamp_matrix.hh"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace hicamp {
+
+namespace {
+
+Word
+wordOf(double v)
+{
+    return std::bit_cast<std::uint64_t>(v);
+}
+
+double
+doubleOf(Word w)
+{
+    return std::bit_cast<double>(w);
+}
+
+/** Vector element ids for x and y in the transient region. */
+constexpr std::uint64_t kXBase = std::uint64_t{1} << 36;
+constexpr std::uint64_t kYBase = std::uint64_t{1} << 37;
+
+/** Partition region-relative triplets into the four quadrants. */
+struct QuadSplit {
+    std::vector<Triplet> q11, q12, q21, q22;
+};
+
+QuadSplit
+splitQuad(std::span<const Triplet> elems, std::uint32_t half)
+{
+    QuadSplit s;
+    for (const auto &t : elems) {
+        if (t.r < half) {
+            if (t.c < half)
+                s.q11.push_back(t);
+            else
+                s.q12.push_back({t.r, t.c - half, t.v});
+        } else {
+            if (t.c < half)
+                s.q21.push_back({t.r - half, t.c, t.v});
+            else
+                s.q22.push_back({t.r - half, t.c - half, t.v});
+        }
+    }
+    return s;
+}
+
+std::vector<Triplet>
+transposeTriplets(std::vector<Triplet> v)
+{
+    for (auto &t : v)
+        std::swap(t.r, t.c);
+    return v;
+}
+
+} // namespace
+
+QtsMatrix::QtsMatrix(Memory &mem, const SparseMatrix &m)
+    : mem_(mem), builder_(mem), reader_(mem), rows_(m.rows()),
+      cols_(m.cols())
+{
+    dim_ = std::bit_ceil(std::max({m.rows(), m.cols(), 2u}));
+    // Region-relative copy of the elements.
+    std::vector<Triplet> elems(m.elems().begin(), m.elems().end());
+    root_ = buildQuad(elems, 0, 0, dim_, false);
+    // Height: F=2 uses two DAG levels per quad level; wider fanouts
+    // use one.
+    const unsigned F = mem.fanout();
+    int quad_levels = std::countr_zero(dim_) - 1; // down to size 2
+    height_ = F == 2 ? 2 * quad_levels + 1 : quad_levels;
+}
+
+QtsMatrix::~QtsMatrix()
+{
+    builder_.release(root_);
+}
+
+Entry
+QtsMatrix::buildQuad(std::span<const Triplet> elems, std::uint32_t r0,
+                     std::uint32_t c0, std::uint32_t size,
+                     bool transposed)
+{
+    (void)r0;
+    (void)c0;
+    (void)transposed;
+    if (elems.empty())
+        return Entry::zero();
+    const unsigned F = mem_.fanout();
+
+    if (size == 2) {
+        double a11 = 0, a12 = 0, a21 = 0, a22 = 0;
+        for (const auto &t : elems) {
+            if (t.r == 0 && t.c == 0)
+                a11 = t.v;
+            else if (t.r == 0 && t.c == 1)
+                a12 = t.v;
+            else if (t.r == 1 && t.c == 0)
+                a21 = t.v;
+            else
+                a22 = t.v;
+        }
+        WordMeta raw[kMaxLineWords];
+        std::fill(raw, raw + kMaxLineWords, WordMeta::raw());
+        if (F == 2) {
+            Word l[2] = {wordOf(a11), wordOf(a22)};
+            Word r[2] = {wordOf(a12), wordOf(a21)};
+            Entry kids[kMaxLineWords];
+            kids[0] = builder_.makeLeaf(l, raw);
+            kids[1] = builder_.makeLeaf(r, raw);
+            return builder_.makeNode(kids, 0);
+        }
+        Word w[kMaxLineWords] = {wordOf(a11), wordOf(a22), wordOf(a12),
+                                 wordOf(a21)};
+        return builder_.makeLeaf(w, raw);
+    }
+
+    const std::uint32_t half = size / 2;
+    QuadSplit s = splitQuad(elems, half);
+    Entry e11 = buildQuad(s.q11, 0, 0, half, transposed);
+    Entry e22 = buildQuad(s.q22, 0, 0, half, transposed);
+    Entry e12 = buildQuad(s.q12, 0, 0, half, transposed);
+    std::vector<Triplet> q21t = transposeTriplets(std::move(s.q21));
+    std::sort(q21t.begin(), q21t.end(),
+              [](const Triplet &a, const Triplet &b) {
+                  return a.r != b.r ? a.r < b.r : a.c < b.c;
+              });
+    Entry e21t = buildQuad(q21t, 0, 0, half, !transposed);
+
+    const int child_quad_levels = std::countr_zero(half) - 1;
+    const unsigned F2 = mem_.fanout();
+    if (F2 == 2) {
+        int ch = 2 * child_quad_levels + 1; // child subtree height
+        Entry left_kids[kMaxLineWords] = {e11, e22};
+        Entry left = builder_.makeNode(left_kids, ch);
+        Entry right_kids[kMaxLineWords] = {e12, e21t};
+        Entry right = builder_.makeNode(right_kids, ch);
+        Entry top_kids[kMaxLineWords] = {left, right};
+        return builder_.makeNode(top_kids, ch + 1);
+    }
+    int ch = child_quad_levels;
+    Entry kids[kMaxLineWords] = {e11, e22, e12, e21t};
+    return builder_.makeNode(kids, ch);
+}
+
+void
+QtsMatrix::touchVector(std::uint64_t base_id, std::uint64_t elem,
+                       bool write) const
+{
+    const std::uint64_t words_per_line = mem_.lineWords();
+    mem_.transientAccess(base_id + elem / words_per_line, write);
+}
+
+std::uint64_t
+QtsMatrix::uniqueLines() const
+{
+    std::unordered_set<Plid> seen;
+    return reader_.countLines(root_, height_, seen);
+}
+
+std::uint64_t
+QtsMatrix::footprintBytes() const
+{
+    return uniqueLines() * mem_.lineBytes();
+}
+
+std::vector<double>
+QtsMatrix::spmv(const std::vector<double> &x) const
+{
+    HICAMP_ASSERT(x.size() >= cols_, "x too short");
+    std::vector<double> y(dim_, 0.0);
+    std::vector<double> xp(dim_, 0.0);
+    std::copy(x.begin(), x.begin() + cols_, xp.begin());
+    spmvRec(root_, height_, 0, 0, dim_, false, xp, y);
+    y.resize(rows_);
+    return y;
+}
+
+void
+QtsMatrix::spmvRec(const Entry &e, int h, std::uint32_t r0,
+                   std::uint32_t c0, std::uint32_t size, bool transposed,
+                   const std::vector<double> &x,
+                   std::vector<double> &y) const
+{
+    if (e.isZero())
+        return; // zero sub-DAG detected by entry inspection: skip
+
+    const unsigned F = mem_.fanout();
+    auto scalar = [&](double v, std::uint32_t si, std::uint32_t sj) {
+        if (v == 0.0)
+            return;
+        std::uint32_t row = r0 + (transposed ? sj : si);
+        std::uint32_t col = c0 + (transposed ? si : sj);
+        touchVector(kXBase, col, false);
+        touchVector(kYBase, row, false);
+        touchVector(kYBase, row, true);
+        y[row] += v * x[col];
+    };
+
+    if (size == 2) {
+        if (F == 2) {
+            Entry kids[kMaxLineWords];
+            reader_.children(e, h, kids);
+            Word w[kMaxLineWords];
+            WordMeta m[kMaxLineWords];
+            reader_.leafWords(kids[0], w, m);
+            scalar(doubleOf(w[0]), 0, 0);
+            scalar(doubleOf(w[1]), 1, 1);
+            reader_.leafWords(kids[1], w, m);
+            scalar(doubleOf(w[0]), 0, 1);
+            scalar(doubleOf(w[1]), 1, 0);
+        } else {
+            Word w[kMaxLineWords];
+            WordMeta m[kMaxLineWords];
+            reader_.leafWords(e, w, m);
+            scalar(doubleOf(w[0]), 0, 0);
+            scalar(doubleOf(w[1]), 1, 1);
+            scalar(doubleOf(w[2]), 0, 1);
+            scalar(doubleOf(w[3]), 1, 0);
+        }
+        return;
+    }
+
+    const std::uint32_t half = size / 2;
+    // Multiply-coordinate bases for the four stored quadrants (see
+    // header): A11, A22, A12 keep the orientation; A21^T flips it.
+    const std::uint32_t r12 = r0 + (transposed ? half : 0);
+    const std::uint32_t c12 = c0 + (transposed ? 0 : half);
+    const std::uint32_t r21 = r0 + (transposed ? 0 : half);
+    const std::uint32_t c21 = c0 + (transposed ? half : 0);
+
+    Entry q11, q22, q12, q21t;
+    int ch;
+    if (F == 2) {
+        Entry top[kMaxLineWords];
+        reader_.children(e, h, top);
+        Entry lk[kMaxLineWords], rk[kMaxLineWords];
+        reader_.children(top[0], h - 1, lk);
+        reader_.children(top[1], h - 1, rk);
+        q11 = lk[0];
+        q22 = lk[1];
+        q12 = rk[0];
+        q21t = rk[1];
+        ch = h - 2;
+    } else {
+        Entry kids[kMaxLineWords];
+        reader_.children(e, h, kids);
+        q11 = kids[0];
+        q22 = kids[1];
+        q12 = kids[2];
+        q21t = kids[3];
+        ch = h - 1;
+    }
+    spmvRec(q11, ch, r0, c0, half, transposed, x, y);
+    spmvRec(q22, ch, r0 + half, c0 + half, half, transposed, x, y);
+    spmvRec(q12, ch, r12, c12, half, transposed, x, y);
+    spmvRec(q21t, ch, r21, c21, half, !transposed, x, y);
+}
+
+// ---------------------------------------------------------------- NZD
+
+NzdMatrix::NzdMatrix(Memory &mem, const SparseMatrix &m)
+    : mem_(mem), builder_(mem), reader_(mem), rows_(m.rows()),
+      cols_(m.cols()), nnz_(m.nnz())
+{
+    dim_ = std::bit_ceil(
+        std::max({m.rows(), m.cols(), 2 * kBlock}));
+    std::vector<Triplet> elems(m.elems().begin(), m.elems().end());
+    std::vector<double> values;
+    values.reserve(m.nnz());
+    pattern_ = buildPattern(elems, 0, 0, dim_, values);
+
+    const unsigned F = mem.fanout();
+    int quad_levels =
+        std::countr_zero(dim_ / kBlock) - 1; // down to 2x2 masks
+    int base_h = F == 2 ? 1 : 0;             // 4 masks per base group
+    patternHeight_ = (F == 2 ? 2 * quad_levels : quad_levels) + base_h;
+
+    std::vector<Word> vw(values.size());
+    for (std::size_t i = 0; i < values.size(); ++i)
+        vw[i] = wordOf(values[i]);
+    std::vector<WordMeta> vm(vw.size(), WordMeta::raw());
+    values_ = vw.empty()
+                  ? SegDesc{}
+                  : builder_.buildWords(vw.data(), vm.data(), vw.size());
+}
+
+NzdMatrix::~NzdMatrix()
+{
+    builder_.release(pattern_);
+    builder_.releaseSeg(values_);
+}
+
+Entry
+NzdMatrix::buildPattern(std::span<const Triplet> elems, std::uint32_t r0,
+                        std::uint32_t c0, std::uint32_t size,
+                        std::vector<double> &values_out)
+{
+    (void)r0;
+    (void)c0;
+    if (elems.empty())
+        return Entry::zero(); // empty region: zero subtree, no values
+    const unsigned F = mem_.fanout();
+
+    if (size == 2 * kBlock) {
+        // Four 8x8 blocks -> four mask words (plus their values, in
+        // bit order, appended to the dense value stream).
+        Word masks[4] = {0, 0, 0, 0};
+        double vals[4][64] = {};
+        for (const auto &t : elems) {
+            unsigned q = (t.r >= kBlock ? 2 : 0) + (t.c >= kBlock ? 1 : 0);
+            unsigned bit =
+                (t.r % kBlock) * kBlock + (t.c % kBlock);
+            masks[q] |= Word{1} << bit;
+            vals[q][bit] = t.v;
+        }
+        for (unsigned q = 0; q < 4; ++q) {
+            for (unsigned bit = 0; bit < 64; ++bit) {
+                if ((masks[q] >> bit) & 1)
+                    values_out.push_back(vals[q][bit]);
+            }
+        }
+        WordMeta raw[kMaxLineWords];
+        std::fill(raw, raw + kMaxLineWords, WordMeta::raw());
+        if (F == 2) {
+            Word a[2] = {masks[0], masks[1]};
+            Word b[2] = {masks[2], masks[3]};
+            Entry kids[kMaxLineWords];
+            kids[0] = builder_.makeLeaf(a, raw);
+            kids[1] = builder_.makeLeaf(b, raw);
+            return builder_.makeNode(kids, 0);
+        }
+        Word w[kMaxLineWords] = {masks[0], masks[1], masks[2], masks[3]};
+        return builder_.makeLeaf(w, raw);
+    }
+
+    const std::uint32_t half = size / 2;
+    QuadSplit s = splitQuad(elems, half);
+    // Traversal (and value) order: Q11, Q12, Q21, Q22.
+    Entry e11 = buildPattern(s.q11, 0, 0, half, values_out);
+    Entry e12 = buildPattern(s.q12, 0, 0, half, values_out);
+    Entry e21 = buildPattern(s.q21, 0, 0, half, values_out);
+    Entry e22 = buildPattern(s.q22, 0, 0, half, values_out);
+
+    const unsigned F2 = mem_.fanout();
+    int child_quad = std::countr_zero(half / kBlock) - 1;
+    if (F2 == 2) {
+        int ch = 2 * child_quad + 1; // child pattern height
+        Entry top_kids[kMaxLineWords] = {e11, e12};
+        Entry top = builder_.makeNode(top_kids, ch);
+        Entry bot_kids[kMaxLineWords] = {e21, e22};
+        Entry bot = builder_.makeNode(bot_kids, ch);
+        Entry kids[kMaxLineWords] = {top, bot};
+        return builder_.makeNode(kids, ch + 1);
+    }
+    int ch = child_quad + 0;
+    Entry kids[kMaxLineWords] = {e11, e12, e21, e22};
+    return builder_.makeNode(kids, ch);
+}
+
+std::uint64_t
+NzdMatrix::uniqueLines() const
+{
+    std::unordered_set<Plid> seen;
+    std::uint64_t n = reader_.countLines(pattern_, patternHeight_, seen);
+    n += reader_.countLines(values_.root, values_.height, seen);
+    return n;
+}
+
+std::uint64_t
+NzdMatrix::footprintBytes() const
+{
+    return uniqueLines() * mem_.lineBytes();
+}
+
+std::vector<double>
+NzdMatrix::spmv(const std::vector<double> &x) const
+{
+    std::vector<double> y(dim_, 0.0);
+    std::vector<double> xp(dim_, 0.0);
+    std::copy(x.begin(), x.begin() + cols_, xp.begin());
+    std::uint64_t cursor = 0;
+    spmvRec(pattern_, patternHeight_, 0, 0, dim_, xp, y, cursor);
+    y.resize(rows_);
+    return y;
+}
+
+void
+NzdMatrix::spmvRec(const Entry &e, int h, std::uint32_t r0,
+                   std::uint32_t c0, std::uint32_t size,
+                   const std::vector<double> &x, std::vector<double> &y,
+                   std::uint64_t &cursor) const
+{
+    if (e.isZero())
+        return;
+    const unsigned F = mem_.fanout();
+
+    auto do_mask = [&](Word mask, std::uint32_t br, std::uint32_t bc) {
+        for (unsigned bit = 0; bit < 64 && mask >> bit; ++bit) {
+            if (!((mask >> bit) & 1))
+                continue;
+            std::uint32_t row = br + bit / kBlock;
+            std::uint32_t col = bc + bit % kBlock;
+            double v = doubleOf(reader_.readWord(
+                values_.root, values_.height, cursor));
+            ++cursor;
+            mem_.transientAccess(kXBase + col / mem_.lineWords(), false);
+            mem_.transientAccess(kYBase + row / mem_.lineWords(), false);
+            mem_.transientAccess(kYBase + row / mem_.lineWords(), true);
+            y[row] += v * x[col];
+        }
+    };
+
+    if (size == 2 * kBlock) {
+        Word w[kMaxLineWords];
+        WordMeta m[kMaxLineWords];
+        if (F == 2) {
+            Entry kids[kMaxLineWords];
+            reader_.children(e, h, kids);
+            reader_.leafWords(kids[0], w, m);
+            do_mask(w[0], r0, c0);
+            do_mask(w[1], r0, c0 + kBlock);
+            reader_.leafWords(kids[1], w, m);
+            do_mask(w[0], r0 + kBlock, c0);
+            do_mask(w[1], r0 + kBlock, c0 + kBlock);
+        } else {
+            reader_.leafWords(e, w, m);
+            do_mask(w[0], r0, c0);
+            do_mask(w[1], r0, c0 + kBlock);
+            do_mask(w[2], r0 + kBlock, c0);
+            do_mask(w[3], r0 + kBlock, c0 + kBlock);
+        }
+        return;
+    }
+
+    const std::uint32_t half = size / 2;
+    Entry q11, q12, q21, q22;
+    int ch;
+    if (F == 2) {
+        Entry top[kMaxLineWords];
+        reader_.children(e, h, top);
+        Entry a[kMaxLineWords], b[kMaxLineWords];
+        reader_.children(top[0], h - 1, a);
+        reader_.children(top[1], h - 1, b);
+        q11 = a[0];
+        q12 = a[1];
+        q21 = b[0];
+        q22 = b[1];
+        ch = h - 2;
+    } else {
+        Entry kids[kMaxLineWords];
+        reader_.children(e, h, kids);
+        q11 = kids[0];
+        q12 = kids[1];
+        q21 = kids[2];
+        q22 = kids[3];
+        ch = h - 1;
+    }
+    spmvRec(q11, ch, r0, c0, half, x, y, cursor);
+    spmvRec(q12, ch, r0, c0 + half, half, x, y, cursor);
+    spmvRec(q21, ch, r0 + half, c0, half, x, y, cursor);
+    spmvRec(q22, ch, r0 + half, c0 + half, half, x, y, cursor);
+}
+
+HicampMatrixFootprint
+measureFootprint(const SparseMatrix &m, unsigned line_bytes)
+{
+    MemoryConfig cfg;
+    cfg.lineBytes = line_bytes;
+    std::uint64_t want = std::max<std::uint64_t>(m.nnz() / 2, 1 << 12);
+    cfg.numBuckets = std::bit_ceil(want);
+    HicampMatrixFootprint fp{};
+    {
+        Memory mem(cfg);
+        QtsMatrix q(mem, m);
+        fp.qtsBytes = q.footprintBytes();
+    }
+    {
+        Memory mem(cfg);
+        NzdMatrix n(mem, m);
+        fp.nzdBytes = n.footprintBytes();
+    }
+    return fp;
+}
+
+} // namespace hicamp

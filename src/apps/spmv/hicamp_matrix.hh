@@ -1,0 +1,140 @@
+/**
+ * @file
+ * HICAMP sparse-matrix formats (paper §5.2):
+ *
+ *  - QTS (symmetric quad-tree): the matrix is split recursively into
+ *    four regions; A11/A22 go in the left subtree and A12/A21^T in
+ *    the right, so a symmetric matrix's off-diagonal quadrants
+ *    deduplicate to one sub-DAG. Zero quadrants collapse to the zero
+ *    entry and content-unique lines share any repeated block.
+ *
+ *  - NZD (non-zero dense): a quad-tree over 8x8-block occupancy
+ *    bitmasks (the pattern, which dedups well even when values do
+ *    not) plus a nearly-dense segment of the non-zero values in
+ *    traversal order.
+ *
+ * Both provide a tree-recursive SpMV whose line traffic flows through
+ * the HICAMP cache hierarchy; x and y live in the conventional
+ * (transient) part of memory, as thread-local kernel state.
+ */
+
+#ifndef HICAMP_APPS_SPMV_HICAMP_MATRIX_HH
+#define HICAMP_APPS_SPMV_HICAMP_MATRIX_HH
+
+#include <span>
+#include <vector>
+
+#include "apps/spmv/sparse_matrix.hh"
+#include "seg/builder.hh"
+#include "seg/reader.hh"
+
+namespace hicamp {
+
+/** Quad-tree-symmetric HICAMP matrix. */
+class QtsMatrix
+{
+  public:
+    /** Build from a host matrix; the DAG is interned in @p mem. */
+    QtsMatrix(Memory &mem, const SparseMatrix &m);
+    ~QtsMatrix();
+
+    QtsMatrix(const QtsMatrix &) = delete;
+    QtsMatrix &operator=(const QtsMatrix &) = delete;
+
+    /** Padded dimension (power of two). */
+    std::uint32_t dim() const { return dim_; }
+    Entry root() const { return root_; }
+    int height() const { return height_; }
+
+    /** Unique lines (and bytes) of this matrix's DAG. */
+    std::uint64_t uniqueLines() const;
+    std::uint64_t footprintBytes() const;
+
+    /**
+     * y = A x through the memory system. Zero sub-DAGs are skipped by
+     * entry inspection; duplicate sub-DAGs cost cache hits instead of
+     * DRAM reads (content uniqueness makes them the same lines).
+     */
+    std::vector<double> spmv(const std::vector<double> &x) const;
+
+  private:
+    Entry buildQuad(std::span<const Triplet> elems, std::uint32_t r0,
+                    std::uint32_t c0, std::uint32_t size,
+                    bool transposed);
+    void spmvRec(const Entry &e, int h, std::uint32_t r0,
+                 std::uint32_t c0, std::uint32_t size, bool transposed,
+                 const std::vector<double> &x,
+                 std::vector<double> &y) const;
+    void touchVector(std::uint64_t base_id, std::uint64_t elem,
+                     bool write) const;
+
+    Memory &mem_;
+    SegBuilder builder_;
+    mutable SegReader reader_;
+    std::uint32_t rows_;
+    std::uint32_t cols_;
+    std::uint32_t dim_ = 0;
+    Entry root_;
+    int height_ = 0;
+};
+
+/** Non-zero-dense HICAMP matrix: pattern quad-tree + value segment. */
+class NzdMatrix
+{
+  public:
+    NzdMatrix(Memory &mem, const SparseMatrix &m);
+    ~NzdMatrix();
+
+    NzdMatrix(const NzdMatrix &) = delete;
+    NzdMatrix &operator=(const NzdMatrix &) = delete;
+
+    std::uint64_t uniqueLines() const;
+    std::uint64_t footprintBytes() const;
+
+    std::vector<double> spmv(const std::vector<double> &x) const;
+
+    std::uint32_t dim() const { return dim_; }
+
+  private:
+    /// base block edge: one word = 8x8 occupancy bits
+    static constexpr std::uint32_t kBlock = 8;
+
+    Entry buildPattern(std::span<const Triplet> elems, std::uint32_t r0,
+                       std::uint32_t c0, std::uint32_t size,
+                       std::vector<double> &values_out);
+    void spmvRec(const Entry &e, int h, std::uint32_t r0,
+                 std::uint32_t c0, std::uint32_t size,
+                 const std::vector<double> &x, std::vector<double> &y,
+                 std::uint64_t &value_cursor) const;
+
+    Memory &mem_;
+    SegBuilder builder_;
+    mutable SegReader reader_;
+    std::uint32_t rows_;
+    std::uint32_t cols_;
+    std::uint32_t dim_ = 0;
+    Entry pattern_;
+    int patternHeight_ = 0;
+    SegDesc values_;
+    std::uint64_t nnz_ = 0;
+};
+
+/**
+ * Footprint of the best HICAMP format for @p m (paper Table 2 picks
+ * QTS or NZD per matrix), measured in a fresh private store.
+ */
+struct HicampMatrixFootprint {
+    std::uint64_t qtsBytes;
+    std::uint64_t nzdBytes;
+    std::uint64_t
+    bestBytes() const
+    {
+        return qtsBytes < nzdBytes ? qtsBytes : nzdBytes;
+    }
+};
+HicampMatrixFootprint measureFootprint(const SparseMatrix &m,
+                                       unsigned line_bytes = 16);
+
+} // namespace hicamp
+
+#endif // HICAMP_APPS_SPMV_HICAMP_MATRIX_HH

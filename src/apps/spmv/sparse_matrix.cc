@@ -1,0 +1,125 @@
+#include "apps/spmv/sparse_matrix.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hicamp {
+
+SparseMatrix::SparseMatrix(std::string name, std::string category,
+                           std::uint32_t rows, std::uint32_t cols,
+                           std::vector<Triplet> elems, bool symmetric)
+    : name_(std::move(name)), category_(std::move(category)),
+      rows_(rows), cols_(cols), symmetric_(symmetric),
+      elems_(std::move(elems))
+{
+    std::sort(elems_.begin(), elems_.end(),
+              [](const Triplet &a, const Triplet &b) {
+                  return a.r != b.r ? a.r < b.r : a.c < b.c;
+              });
+    // Drop duplicates (keep first) and explicit zeros.
+    std::vector<Triplet> clean;
+    clean.reserve(elems_.size());
+    for (const auto &t : elems_) {
+        HICAMP_ASSERT(t.r < rows_ && t.c < cols_,
+                      "triplet out of bounds");
+        if (t.v == 0.0)
+            continue;
+        if (!clean.empty() && clean.back().r == t.r &&
+            clean.back().c == t.c) {
+            continue;
+        }
+        clean.push_back(t);
+    }
+    elems_ = std::move(clean);
+}
+
+std::uint64_t
+SparseMatrix::diagNnz() const
+{
+    std::uint64_t d = 0;
+    for (const auto &t : elems_)
+        d += t.r == t.c ? 1 : 0;
+    return d;
+}
+
+std::uint64_t
+SparseMatrix::csrBytes() const
+{
+    // 8-byte doubles, 4-byte column indices, 4-byte row pointers:
+    // 12*nnz + 4*(m+1) ~= 8*(1.5 nnz + 0.5 m)   (paper §5.2.2)
+    return 8 * (3 * nnz() + rows_) / 2;
+}
+
+std::uint64_t
+SparseMatrix::symCsrBytes() const
+{
+    std::uint64_t d = diagNnz();
+    std::uint64_t eff = d + (nnz() - d) / 2;
+    return 8 * (3 * eff + rows_) / 2;
+}
+
+std::vector<double>
+SparseMatrix::multiply(const std::vector<double> &x) const
+{
+    HICAMP_ASSERT(x.size() >= cols_, "x too short");
+    std::vector<double> y(rows_, 0.0);
+    for (const auto &t : elems_)
+        y[t.r] += t.v * x[t.c];
+    return y;
+}
+
+std::uint64_t
+convSpmvTraffic(const SparseMatrix &m, ConvHierarchy &hier)
+{
+    // Simulated layout.
+    const Addr row_ptr = 0x1000'0000ull;
+    const Addr col_idx = 0x2000'0000ull;
+    const Addr vals = 0x3000'0000ull;
+    const Addr xv = 0x4000'0000ull;
+    const Addr yv = 0x5000'0000ull;
+
+    const std::uint64_t before = hier.dramTotal();
+    const auto &e = m.elems();
+
+    if (!m.symmetric()) {
+        std::uint64_t k = 0;
+        for (std::uint32_t i = 0; i < m.rows(); ++i) {
+            hier.read(row_ptr + i * 4, 8); // rowPtr[i], rowPtr[i+1]
+            while (k < e.size() && e[k].r == i) {
+                hier.read(col_idx + k * 4, 4);
+                hier.read(vals + k * 8, 8);
+                hier.read(xv + std::uint64_t{e[k].c} * 8, 8);
+                ++k;
+            }
+            hier.write(yv + std::uint64_t{i} * 8, 8);
+        }
+    } else {
+        // Symmetric CSR: upper triangle stored; off-diagonal elements
+        // update y[j] as well (random write traffic).
+        std::uint64_t k = 0;
+        std::uint64_t stored = 0;
+        for (std::uint32_t i = 0; i < m.rows(); ++i) {
+            hier.read(row_ptr + i * 4, 8);
+            while (k < e.size() && e[k].r == i) {
+                if (e[k].c >= i) { // stored element
+                    hier.read(col_idx + stored * 4, 4);
+                    hier.read(vals + stored * 8, 8);
+                    hier.read(xv + std::uint64_t{e[k].c} * 8, 8);
+                    if (e[k].c != i) {
+                        // y[j] += v * x[i]
+                        hier.read(xv + std::uint64_t{i} * 8, 8);
+                        hier.read(yv + std::uint64_t{e[k].c} * 8, 8);
+                        hier.write(yv + std::uint64_t{e[k].c} * 8, 8);
+                    }
+                    ++stored;
+                }
+                ++k;
+            }
+            hier.write(yv + std::uint64_t{i} * 8, 8);
+        }
+    }
+    return hier.dramTotal() - before;
+}
+
+} // namespace hicamp

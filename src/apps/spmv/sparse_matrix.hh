@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Host-side sparse matrix representation plus the conventional
+ * baselines of paper §5.2: CSR and symmetric-CSR storage sizing
+ * (8*(1.5nnz + 0.5m) bytes) and trace-driven SpMV kernels that emit
+ * their memory accesses into the Dinero-class hierarchy.
+ */
+
+#ifndef HICAMP_APPS_SPMV_SPARSE_MATRIX_HH
+#define HICAMP_APPS_SPMV_SPARSE_MATRIX_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/conv_cache.hh"
+
+namespace hicamp {
+
+/** One non-zero element. */
+struct Triplet {
+    std::uint32_t r;
+    std::uint32_t c;
+    double v;
+};
+
+/**
+ * A sparse matrix in triplet form (row-major sorted), with metadata
+ * used by the evaluation (category, symmetry).
+ */
+class SparseMatrix
+{
+  public:
+    SparseMatrix() = default;
+    SparseMatrix(std::string name, std::string category,
+                 std::uint32_t rows, std::uint32_t cols,
+                 std::vector<Triplet> elems, bool symmetric);
+
+    const std::string &name() const { return name_; }
+    const std::string &category() const { return category_; }
+    std::uint32_t rows() const { return rows_; }
+    std::uint32_t cols() const { return cols_; }
+    bool symmetric() const { return symmetric_; }
+    std::uint64_t nnz() const { return elems_.size(); }
+    const std::vector<Triplet> &elems() const { return elems_; }
+
+    /** CSR storage bytes: 8 * (1.5 nnz + 0.5 m), paper §5.2.2. */
+    std::uint64_t csrBytes() const;
+
+    /**
+     * Symmetric-CSR storage bytes: nnz replaced by on-diagonal plus
+     * half the off-diagonal count.
+     */
+    std::uint64_t symCsrBytes() const;
+
+    /** Best conventional representation for this matrix. */
+    std::uint64_t
+    convBytes() const
+    {
+        return symmetric_ ? symCsrBytes() : csrBytes();
+    }
+
+    /** Reference y = A x (dense vectors), for correctness checks. */
+    std::vector<double> multiply(const std::vector<double> &x) const;
+
+    /** Count of on-diagonal non-zeros. */
+    std::uint64_t diagNnz() const;
+
+  private:
+    std::string name_;
+    std::string category_;
+    std::uint32_t rows_ = 0;
+    std::uint32_t cols_ = 0;
+    bool symmetric_ = false;
+    std::vector<Triplet> elems_; ///< row-major sorted
+};
+
+/**
+ * Trace-driven conventional SpMV: walks CSR (or symmetric CSR for
+ * symmetric matrices, storing the upper triangle and updating both
+ * y[i] and y[j] per off-diagonal element) and feeds every access into
+ * the cache hierarchy. Returns DRAM accesses (reads + writes).
+ */
+std::uint64_t convSpmvTraffic(const SparseMatrix &m,
+                              ConvHierarchy &hier);
+
+} // namespace hicamp
+
+#endif // HICAMP_APPS_SPMV_SPARSE_MATRIX_HH

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * Virtual-machine hosting study (paper §5.3, Figs. 9-10).
+ *
+ * The paper loads VMmark VM memory snapshots into the HICAMP memory
+ * simulator and compares three quantities: allocated memory, an ideal
+ * page-sharing scheme (instantaneous 4 KB dedup — the upper bound for
+ * ESX-style sharing) and HICAMP 64-byte-line dedup.
+ *
+ * We model VM memory images generatively instead of materializing
+ * them: each VM's pages are drawn from content pools (per-OS kernel
+ * and library images, per-OS file-cache contents, a global pool of
+ * common heap constants), per-VM unique heap with controlled zero-
+ * line and common-line fractions, and whole zero pages. Because every
+ * pool is addressed by stable offsets, distinct-page and distinct-
+ * line counting reduces to interval-union arithmetic — exact within
+ * the model and fast at full scale (tens of GB).
+ *
+ * HICAMP accounting treats each 4 KB page as a segment of 64-byte
+ * lines (64 leaves, 8 level-1 nodes, 1 root with fanout 8); zero
+ * lines, zero nodes and zero pages cost nothing (zero entries).
+ */
+
+#ifndef HICAMP_APPS_VM_VM_MODEL_HH
+#define HICAMP_APPS_VM_VM_MODEL_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace hicamp {
+
+/** Composition of one VMmark-style workload VM. */
+struct VmProfile {
+    std::string name;
+    std::string os;            ///< pool key: same-OS VMs share images
+    std::uint64_t memBytes;    ///< allocated guest memory
+    // Page-type fractions (sum <= 1; remainder is unique heap).
+    double osFrac;             ///< kernel + shared library pages
+    double cacheFrac;          ///< file-cache pages (per-OS pool)
+    double appFrac;            ///< application data (per-profile pool):
+                               ///< VMmark runs the same benchmark in
+                               ///< every VM, so DB/file contents are
+                               ///< identical across same-profile VMs
+    double zeroFrac;           ///< entirely zero pages
+    // Heap line composition.
+    double heapZeroLines;      ///< zero lines inside heap pages
+    double heapCommonLines;    ///< lines from the global-common pool
+    // Pool geometry / sampling.
+    std::uint64_t osPoolBytes = 768ull << 20;
+    std::uint64_t cachePoolBytes = 2ull << 30;
+    double osCoreFrac = 0.85;  ///< deterministic shared OS portion
+    double cacheCoreFrac = 0.3;
+    double appCoreFrac = 0.7;  ///< same data, similar resident set
+    /**
+     * Fraction of pool pages whose copy in this VM differs by a few
+     * lines (relocation fixups, page LSNs, timestamps). These defeat
+     * whole-page sharing but still deduplicate at line granularity —
+     * the Difference Engine observation the paper builds on.
+     */
+    double osDirtyFrac = 0.30;
+    double cacheDirtyFrac = 0.10;
+    double appDirtyFrac = 0.40;
+    /// unique lines in each dirty page (out of 64)
+    static constexpr std::uint64_t kDirtyLinesPerPage = 2;
+
+    double heapFrac() const
+    {
+        return 1.0 - osFrac - cacheFrac - appFrac - zeroFrac;
+    }
+
+    /// The six VMmark tile workloads (paper Fig. 9), sized to match
+    /// the figure's per-VM allocated curves.
+    static VmProfile databaseServer();
+    static VmProfile javaServer();
+    static VmProfile mailServer();
+    static VmProfile webServer();
+    static VmProfile fileServer();
+    static VmProfile standbyServer();
+    /** The whole tile, in Fig. 9 order. */
+    static std::vector<VmProfile> tile();
+};
+
+/** Measured memory consumption at some point in VM scaling. */
+struct VmUsage {
+    std::uint64_t allocatedBytes = 0;
+    std::uint64_t pageSharedBytes = 0; ///< ideal 4 KB page sharing
+    std::uint64_t hicampBytes = 0;     ///< 64 B line dedup + DAG nodes
+};
+
+/**
+ * Incremental dedup model: add VMs one at a time and measure the
+ * three curves after each addition.
+ */
+class VmDedupModel
+{
+  public:
+    VmDedupModel() = default;
+
+    /** Add one VM instance (seeded per instance for sampling). */
+    void addVm(const VmProfile &p, std::uint64_t vm_seed);
+
+    VmUsage measure() const;
+
+    static constexpr std::uint64_t kPageBytes = 4096;
+    static constexpr std::uint64_t kLineBytes = 64;
+    static constexpr std::uint64_t kLinesPerPage =
+        kPageBytes / kLineBytes;
+
+  private:
+    struct Interval {
+        std::uint64_t lo;
+        std::uint64_t hi; ///< exclusive, page-granular
+    };
+
+    /** Union length of a set of intervals (pages). */
+    static std::uint64_t unionPages(std::vector<Interval> &ivs);
+
+    /// per-OS pools of page intervals in use
+    std::map<std::string, std::vector<Interval>> osUse_;
+    std::map<std::string, std::vector<Interval>> cacheUse_;
+    /// per-profile application-data pools
+    std::map<std::string, std::vector<Interval>> appUse_;
+    std::uint64_t globalCommonLines_ = 0; ///< union of the common pool
+
+    std::uint64_t allocated_ = 0;
+    std::uint64_t totalPages_ = 0;
+    std::uint64_t heapPages_ = 0;       ///< distinct per VM
+    std::uint64_t heapUniqueLines_ = 0;
+    std::uint64_t heapL1Nodes_ = 0;
+    std::uint64_t dirtyPages_ = 0;      ///< per-VM modified pool pages
+    bool zeroPageUsed_ = false;
+
+    static constexpr std::uint64_t kCommonPoolLines = 1ull << 20;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_APPS_VM_VM_MODEL_HH

@@ -1,0 +1,61 @@
+#include "cache/address_space.hh"
+
+namespace hicamp {
+
+SlabAllocator::SlabAllocator(Addr base, std::uint64_t min_chunk,
+                             std::uint64_t max_chunk, double growth)
+    : region_(base), maxChunk_(max_chunk)
+{
+    std::uint64_t chunk = min_chunk;
+    while (chunk < max_chunk) {
+        classes_.push_back({chunk, {}, 0, 0});
+        auto next = static_cast<std::uint64_t>(
+            static_cast<double>(chunk) * growth);
+        chunk = next > chunk ? next : chunk + 16;
+        chunk = (chunk + 7) & ~std::uint64_t{7};
+    }
+    classes_.push_back({max_chunk, {}, 0, 0});
+}
+
+std::size_t
+SlabAllocator::classFor(std::uint64_t bytes) const
+{
+    for (std::size_t i = 0; i < classes_.size(); ++i) {
+        if (classes_[i].chunk >= bytes)
+            return i;
+    }
+    HICAMP_FATAL("slab allocation larger than max chunk");
+}
+
+std::uint64_t
+SlabAllocator::chunkSize(std::uint64_t bytes) const
+{
+    return classes_[classFor(bytes)].chunk;
+}
+
+Addr
+SlabAllocator::alloc(std::uint64_t bytes)
+{
+    SizeClass &sc = classes_[classFor(bytes)];
+    if (!sc.freeList.empty()) {
+        Addr a = sc.freeList.back();
+        sc.freeList.pop_back();
+        return a;
+    }
+    if (sc.bump + sc.chunk > sc.pageEnd) {
+        std::uint64_t page = kPageBytes < sc.chunk ? sc.chunk : kPageBytes;
+        sc.bump = region_.alloc(page);
+        sc.pageEnd = sc.bump + page;
+    }
+    Addr a = sc.bump;
+    sc.bump += sc.chunk;
+    return a;
+}
+
+void
+SlabAllocator::free(Addr addr, std::uint64_t bytes)
+{
+    classes_[classFor(bytes)].freeList.push_back(addr);
+}
+
+} // namespace hicamp

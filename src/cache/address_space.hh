@@ -1,0 +1,92 @@
+/**
+ * @file
+ * A trivial simulated address space for the conventional baseline
+ * application models: region-labelled bump allocation plus a slab
+ * allocator in the style of memcached's. The models never store real
+ * data here — they only need stable, realistically-laid-out addresses
+ * to feed the cache simulator.
+ */
+
+#ifndef HICAMP_CACHE_ADDRESS_SPACE_HH
+#define HICAMP_CACHE_ADDRESS_SPACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cache/conv_cache.hh"
+#include "common/logging.hh"
+
+namespace hicamp {
+
+/**
+ * Bump allocator over a fresh simulated address range. Allocations are
+ * 16-byte aligned like a production malloc.
+ */
+class BumpRegion
+{
+  public:
+    /** @param base starting simulated address of the region. */
+    explicit BumpRegion(Addr base) : base_(base), next_(base) {}
+
+    Addr
+    alloc(std::uint64_t bytes)
+    {
+        Addr a = next_;
+        next_ += (bytes + 15) & ~std::uint64_t{15};
+        return a;
+    }
+
+    Addr base() const { return base_; }
+    std::uint64_t used() const { return next_ - base_; }
+
+  private:
+    Addr base_;
+    Addr next_;
+};
+
+/**
+ * Slab allocator in the memcached style: size classes grow by a factor
+ * (default 1.25), each class carves fixed-size chunks out of 1 MB slab
+ * pages, and freed chunks go on a per-class free list. Captures the
+ * address-reuse and internal-fragmentation behaviour of the real
+ * allocator, which is what the cache simulation sees.
+ */
+class SlabAllocator
+{
+  public:
+    SlabAllocator(Addr base, std::uint64_t min_chunk = 96,
+                  std::uint64_t max_chunk = 1 << 20, double growth = 1.25);
+
+    /** Allocate a chunk of at least @p bytes; returns its address. */
+    Addr alloc(std::uint64_t bytes);
+
+    /** Release a chunk previously returned for @p bytes. */
+    void free(Addr addr, std::uint64_t bytes);
+
+    /** Rounded chunk size used for a request of @p bytes. */
+    std::uint64_t chunkSize(std::uint64_t bytes) const;
+
+    /** Total simulated bytes reserved from the region (slab pages). */
+    std::uint64_t reservedBytes() const { return region_.used(); }
+
+  private:
+    struct SizeClass {
+        std::uint64_t chunk;
+        std::vector<Addr> freeList;
+        Addr bump = 0;      ///< next unused chunk inside current page
+        Addr pageEnd = 0;
+    };
+
+    std::size_t classFor(std::uint64_t bytes) const;
+
+    static constexpr std::uint64_t kPageBytes = 1 << 20;
+
+    BumpRegion region_;
+    std::vector<SizeClass> classes_;
+    std::uint64_t maxChunk_;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_CACHE_ADDRESS_SPACE_HH

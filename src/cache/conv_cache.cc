@@ -1,0 +1,128 @@
+#include "cache/conv_cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace hicamp {
+
+SetAssocCache::SetAssocCache(const CacheParams &p)
+    : lineBytes_(p.lineBytes), ways_(p.ways),
+      numSets_(p.sizeBytes / (p.lineBytes * p.ways)), lruClock_(0),
+      slots_(numSets_ * ways_)
+{
+    HICAMP_ASSERT(numSets_ > 0 && std::has_single_bit(numSets_),
+                  "cache set count must be a power of two");
+}
+
+SetAssocCache::Access
+SetAssocCache::access(std::uint64_t line_id, bool is_write)
+{
+    const std::uint64_t set = setOf(line_id);
+    Way *base = &slots_[set * ways_];
+    Way *victim = base;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Way &way = base[w];
+        if (way.valid && way.tag == line_id) {
+            way.lru = ++lruClock_;
+            way.dirty = way.dirty || is_write;
+            ++hits;
+            return {true, false, 0};
+        }
+        if (!way.valid) {
+            victim = &way;
+        } else if (victim->valid && way.lru < victim->lru) {
+            victim = &way;
+        }
+    }
+    ++misses;
+    Access result{false, false, 0};
+    if (victim->valid && victim->dirty) {
+        result.writeback = true;
+        result.victimTag = victim->tag;
+    }
+    victim->valid = true;
+    victim->dirty = is_write;
+    victim->tag = line_id;
+    victim->lru = ++lruClock_;
+    return result;
+}
+
+bool
+SetAssocCache::contains(std::uint64_t line_id) const
+{
+    const std::uint64_t set = setOf(line_id);
+    const Way *base = &slots_[set * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == line_id)
+            return true;
+    }
+    return false;
+}
+
+bool
+SetAssocCache::invalidate(std::uint64_t line_id)
+{
+    const std::uint64_t set = setOf(line_id);
+    Way *base = &slots_[set * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].tag == line_id) {
+            bool dirty = base[w].dirty;
+            base[w].valid = false;
+            base[w].dirty = false;
+            return dirty;
+        }
+    }
+    return false;
+}
+
+ConvHierarchy
+ConvHierarchy::paperDefault(unsigned line_bytes)
+{
+    return ConvHierarchy({32 * 1024, 4, line_bytes},
+                         {4 * 1024 * 1024, 16, line_bytes});
+}
+
+ConvHierarchy::ConvHierarchy(const CacheParams &l1, const CacheParams &l2)
+    : l1_(l1), l2_(l2),
+      lineShift_(static_cast<unsigned>(std::countr_zero(
+          static_cast<std::uint64_t>(l1.lineBytes))))
+{
+    HICAMP_ASSERT(l1.lineBytes == l2.lineBytes,
+                  "hierarchy levels must share a line size");
+}
+
+void
+ConvHierarchy::access(Addr addr, std::uint64_t bytes, bool is_write)
+{
+    if (bytes == 0)
+        return;
+    const std::uint64_t first = addr >> lineShift_;
+    const std::uint64_t last = (addr + bytes - 1) >> lineShift_;
+    for (std::uint64_t id = first; id <= last; ++id)
+        accessLine(id, is_write);
+}
+
+void
+ConvHierarchy::accessLine(std::uint64_t line_id, bool is_write)
+{
+    auto a1 = l1_.access(line_id, is_write);
+    if (a1.writeback) {
+        // L1 dirty victim merges into L2; if L2 itself victimizes a
+        // dirty line, that becomes DRAM write traffic.
+        auto wb = l2_.access(a1.victimTag, true);
+        if (!wb.hit)
+            ++dramReads_; // allocate-on-writeback fill
+        if (wb.writeback)
+            ++dramWrites_;
+    }
+    if (a1.hit)
+        return;
+    auto a2 = l2_.access(line_id, false);
+    if (!a2.hit)
+        ++dramReads_;
+    if (a2.writeback)
+        ++dramWrites_;
+}
+
+} // namespace hicamp

@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Conventional (byte-addressed) cache hierarchy simulator — the
+ * DineroIV/PTLSim stand-in used for the paper's baseline measurements.
+ *
+ * Geometry defaults follow paper §5: a 4-way 32 KB L1 data cache and a
+ * 16-way 4 MB L2, write-back / write-allocate, LRU replacement, with a
+ * configurable line size (16, 32 or 64 bytes). The only outputs the
+ * evaluation consumes are DRAM reads (L2 misses) and DRAM writes
+ * (dirty L2 writebacks).
+ */
+
+#ifndef HICAMP_CACHE_CONV_CACHE_HH
+#define HICAMP_CACHE_CONV_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace hicamp {
+
+/** Byte address in the simulated conventional address space. */
+using Addr = std::uint64_t;
+
+/** Configuration of one set-associative cache level. */
+struct CacheParams {
+    std::uint64_t sizeBytes;
+    unsigned ways;
+    unsigned lineBytes;
+};
+
+/**
+ * One set-associative, write-back, write-allocate cache level with LRU
+ * replacement. Tracks tags only (no data): sufficient for access
+ * counting.
+ */
+class SetAssocCache
+{
+  public:
+    explicit SetAssocCache(const CacheParams &p);
+
+    /** Result of a probe-and-fill access. */
+    struct Access {
+        bool hit;
+        bool writeback;       ///< a dirty victim was evicted
+        std::uint64_t victimTag; ///< full line address of the victim
+    };
+
+    /**
+     * Access the line containing @p line_addr (already line-aligned
+     * id, i.e. addr >> log2(lineBytes)). Fills on miss.
+     */
+    Access access(std::uint64_t line_id, bool is_write);
+
+    /** Probe without filling or LRU update. */
+    bool contains(std::uint64_t line_id) const;
+
+    /** Invalidate a line if present; returns true if it was dirty. */
+    bool invalidate(std::uint64_t line_id);
+
+    unsigned lineBytes() const { return lineBytes_; }
+    std::uint64_t numSets() const { return numSets_; }
+
+    Counter hits;
+    Counter misses;
+
+  private:
+    struct Way {
+        bool valid = false;
+        bool dirty = false;
+        std::uint64_t tag = 0;
+        std::uint64_t lru = 0; ///< larger == more recently used
+    };
+
+    std::uint64_t setOf(std::uint64_t line_id) const
+    {
+        return line_id & (numSets_ - 1);
+    }
+
+    unsigned lineBytes_;
+    unsigned ways_;
+    std::uint64_t numSets_;
+    std::uint64_t lruClock_;
+    std::vector<Way> slots_; ///< numSets_ * ways_, row-major by set
+};
+
+/**
+ * Two-level data-cache hierarchy with DRAM traffic counting. All
+ * baseline application models funnel their loads and stores through
+ * access(); multi-byte accesses are split across line boundaries.
+ */
+class ConvHierarchy
+{
+  public:
+    /** Paper §5 geometry at the given line size. */
+    static ConvHierarchy paperDefault(unsigned line_bytes);
+
+    ConvHierarchy(const CacheParams &l1, const CacheParams &l2);
+
+    /** Simulate a load (@p is_write false) or store of @p bytes. */
+    void access(Addr addr, std::uint64_t bytes, bool is_write);
+
+    /** Convenience wrappers. */
+    void read(Addr addr, std::uint64_t bytes) { access(addr, bytes, false); }
+    void write(Addr addr, std::uint64_t bytes) { access(addr, bytes, true); }
+
+    unsigned lineBytes() const { return l1_.lineBytes(); }
+
+    std::uint64_t dramReads() const { return dramReads_.value(); }
+    std::uint64_t dramWrites() const { return dramWrites_.value(); }
+    std::uint64_t dramTotal() const { return dramReads() + dramWrites(); }
+
+    SetAssocCache &l1() { return l1_; }
+    SetAssocCache &l2() { return l2_; }
+
+  private:
+    void accessLine(std::uint64_t line_id, bool is_write);
+
+    SetAssocCache l1_;
+    SetAssocCache l2_;
+    unsigned lineShift_;
+    Counter dramReads_;
+    Counter dramWrites_;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_CACHE_CONV_CACHE_HH

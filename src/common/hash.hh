@@ -1,0 +1,96 @@
+/**
+ * @file
+ * Hash primitives used throughout the model: a 64-bit FNV-1a for byte
+ * and word streams, a strong 64-bit mixer, and helpers for deriving
+ * hash-bucket numbers and 8-bit signatures from a line-content hash as
+ * required by the main-memory organization of paper Fig. 2.
+ */
+
+#ifndef HICAMP_COMMON_HASH_HH
+#define HICAMP_COMMON_HASH_HH
+
+#include <cstddef>
+#include <cstdint>
+
+namespace hicamp {
+
+/** 64-bit FNV-1a offset basis. */
+inline constexpr std::uint64_t kFnvOffset = 0xcbf29ce484222325ull;
+/** 64-bit FNV-1a prime. */
+inline constexpr std::uint64_t kFnvPrime = 0x100000001b3ull;
+
+/** Incrementally fold one byte into an FNV-1a state. */
+inline constexpr std::uint64_t
+fnv1aByte(std::uint64_t h, std::uint8_t b)
+{
+    return (h ^ b) * kFnvPrime;
+}
+
+/** Fold a 64-bit value (little-endian byte order) into an FNV-1a state. */
+inline constexpr std::uint64_t
+fnv1aWord(std::uint64_t h, std::uint64_t w)
+{
+    for (int i = 0; i < 8; ++i) {
+        h = fnv1aByte(h, static_cast<std::uint8_t>(w >> (i * 8)));
+    }
+    return h;
+}
+
+/** FNV-1a over a byte buffer. */
+inline std::uint64_t
+fnv1a(const void *data, std::size_t len, std::uint64_t seed = kFnvOffset)
+{
+    const auto *p = static_cast<const std::uint8_t *>(data);
+    std::uint64_t h = seed;
+    for (std::size_t i = 0; i < len; ++i)
+        h = fnv1aByte(h, p[i]);
+    return h;
+}
+
+/**
+ * Strong finalizer (splitmix64 / murmur3-style avalanche). Used so that
+ * bucket index bits and signature bits of a content hash are
+ * effectively independent.
+ */
+inline constexpr std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9e3779b97f4a7c15ull;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+    return x ^ (x >> 31);
+}
+
+/** Combine two 64-bit hashes. */
+inline constexpr std::uint64_t
+hashCombine(std::uint64_t a, std::uint64_t b)
+{
+    return mix64(a ^ (b + 0x9e3779b97f4a7c15ull + (a << 6) + (a >> 2)));
+}
+
+/**
+ * Hash-bucket number for a content hash (bucket count must be a power
+ * of two). Uses the low bits of the mixed hash.
+ */
+inline constexpr std::uint64_t
+bucketOfHash(std::uint64_t content_hash, std::uint64_t num_buckets)
+{
+    return content_hash & (num_buckets - 1);
+}
+
+/**
+ * 8-bit line signature (paper §3.1): derived from hash bits independent
+ * of the bucket index so that signature collisions within a bucket stay
+ * near the 1/256 ideal. Signature 0 is reserved to mean "empty way", so
+ * the value is remapped into 1..255.
+ */
+inline constexpr std::uint8_t
+signatureOfHash(std::uint64_t content_hash)
+{
+    auto sig = static_cast<std::uint8_t>(content_hash >> 56);
+    return sig == 0 ? std::uint8_t{1} : sig;
+}
+
+} // namespace hicamp
+
+#endif // HICAMP_COMMON_HASH_HH

@@ -1,0 +1,140 @@
+/**
+ * @file
+ * The fixed-size memory line: the unit of content-uniqueness in the
+ * HICAMP store. A line is lineWords() tagged words; content identity
+ * (and therefore deduplication) covers both the word values and their
+ * hardware tags.
+ */
+
+#ifndef HICAMP_COMMON_LINE_HH
+#define HICAMP_COMMON_LINE_HH
+
+#include <array>
+#include <cstddef>
+#include <cstring>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace hicamp {
+
+/**
+ * A single memory line. Sized at construction to the machine's line
+ * width (2, 4 or 8 words for 16-, 32- or 64-byte lines); storage is a
+ * fixed-capacity array so lines are cheap to copy and hash.
+ */
+class Line
+{
+  public:
+    Line() : nWords_(0) {}
+
+    /** An all-zero line of @p n_words words. */
+    explicit Line(unsigned n_words) : nWords_(n_words)
+    {
+        HICAMP_ASSERT(n_words >= 2 && n_words <= kMaxLineWords &&
+                          (n_words & (n_words - 1)) == 0,
+                      "line width must be 2, 4 or 8 words");
+        words_.fill(0);
+        metas_.fill(WordMeta::raw());
+    }
+
+    unsigned size() const { return nWords_; }
+    std::size_t bytes() const { return nWords_ * kWordBytes; }
+
+    Word
+    word(unsigned i) const
+    {
+        HICAMP_ASSERT(i < nWords_, "line word index out of range");
+        return words_[i];
+    }
+
+    WordMeta
+    meta(unsigned i) const
+    {
+        HICAMP_ASSERT(i < nWords_, "line meta index out of range");
+        return metas_[i];
+    }
+
+    void
+    set(unsigned i, Word w, WordMeta m = WordMeta::raw())
+    {
+        HICAMP_ASSERT(i < nWords_, "line word index out of range");
+        words_[i] = w;
+        metas_[i] = m;
+    }
+
+    /** True iff every word is zero with a Raw tag. */
+    bool
+    isZero() const
+    {
+        for (unsigned i = 0; i < nWords_; ++i) {
+            if (words_[i] != 0 || !(metas_[i] == WordMeta::raw()))
+                return false;
+        }
+        return true;
+    }
+
+    /** Load raw little-endian bytes into the line (Raw tags). */
+    void
+    loadBytes(const void *src, std::size_t len)
+    {
+        HICAMP_ASSERT(len <= bytes(), "byte load larger than line");
+        words_.fill(0);
+        metas_.fill(WordMeta::raw());
+        std::memcpy(words_.data(), src, len);
+    }
+
+    /** Store the line's raw bytes out (little-endian). */
+    void
+    storeBytes(void *dst) const
+    {
+        std::memcpy(dst, words_.data(), bytes());
+    }
+
+    /** Content hash covering word values and tags. */
+    std::uint64_t
+    contentHash() const
+    {
+        std::uint64_t h = kFnvOffset;
+        for (unsigned i = 0; i < nWords_; ++i) {
+            h = fnv1aWord(h, words_[i]);
+            h = fnv1aByte(h, static_cast<std::uint8_t>(metas_[i].value()));
+            h = fnv1aByte(h,
+                          static_cast<std::uint8_t>(metas_[i].value() >> 8));
+        }
+        return mix64(h);
+    }
+
+    friend bool
+    operator==(const Line &a, const Line &b)
+    {
+        if (a.nWords_ != b.nWords_)
+            return false;
+        for (unsigned i = 0; i < a.nWords_; ++i) {
+            if (a.words_[i] != b.words_[i] ||
+                !(a.metas_[i] == b.metas_[i])) {
+                return false;
+            }
+        }
+        return true;
+    }
+
+  private:
+    unsigned nWords_;
+    std::array<Word, kMaxLineWords> words_;
+    std::array<WordMeta, kMaxLineWords> metas_;
+};
+
+/** std::hash adapter so Line can key unordered containers. */
+struct LineHash {
+    std::size_t
+    operator()(const Line &l) const
+    {
+        return static_cast<std::size_t>(l.contentHash());
+    }
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_COMMON_LINE_HH

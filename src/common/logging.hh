@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Minimal gem5-style logging / assertion helpers.
+ *
+ * panic()  — a simulator bug: something that must never happen did.
+ * fatal()  — a user/configuration error the simulation cannot survive.
+ * warn()   — questionable but survivable condition.
+ * inform() — plain status output.
+ */
+
+#ifndef HICAMP_COMMON_LOGGING_HH
+#define HICAMP_COMMON_LOGGING_HH
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace hicamp {
+
+[[noreturn]] inline void
+panicImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "panic: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::abort();
+}
+
+[[noreturn]] inline void
+fatalImpl(const char *file, int line, const std::string &msg)
+{
+    std::fprintf(stderr, "fatal: %s (%s:%d)\n", msg.c_str(), file, line);
+    std::exit(1);
+}
+
+inline void
+warn(const std::string &msg)
+{
+    std::fprintf(stderr, "warn: %s\n", msg.c_str());
+}
+
+inline void
+inform(const std::string &msg)
+{
+    std::fprintf(stdout, "info: %s\n", msg.c_str());
+}
+
+} // namespace hicamp
+
+#define HICAMP_PANIC(msg) ::hicamp::panicImpl(__FILE__, __LINE__, (msg))
+#define HICAMP_FATAL(msg) ::hicamp::fatalImpl(__FILE__, __LINE__, (msg))
+
+/** Invariant check that stays on in release builds (simulator bug). */
+#define HICAMP_ASSERT(cond, msg)                                          \
+    do {                                                                  \
+        if (!(cond))                                                      \
+            HICAMP_PANIC(std::string("assertion '" #cond "' failed: ") + \
+                         (msg));                                          \
+    } while (0)
+
+#endif // HICAMP_COMMON_LOGGING_HH

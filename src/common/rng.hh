@@ -1,0 +1,147 @@
+/**
+ * @file
+ * Deterministic random-number utilities for workload generation:
+ * xoshiro256** engine plus Zipf / power-law samplers used by the
+ * memcached request generator and the synthetic corpora.
+ */
+
+#ifndef HICAMP_COMMON_RNG_HH
+#define HICAMP_COMMON_RNG_HH
+
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+
+namespace hicamp {
+
+/** xoshiro256** 1.0; seeded deterministically via splitmix64. */
+class Rng
+{
+  public:
+    explicit Rng(std::uint64_t seed = 1)
+    {
+        std::uint64_t x = seed;
+        for (auto &s : s_) {
+            x += 0x9e3779b97f4a7c15ull;
+            s = mix64(x);
+        }
+    }
+
+    std::uint64_t
+    next()
+    {
+        const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+        const std::uint64_t t = s_[1] << 17;
+        s_[2] ^= s_[0];
+        s_[3] ^= s_[1];
+        s_[1] ^= s_[2];
+        s_[0] ^= s_[3];
+        s_[2] ^= t;
+        s_[3] = rotl(s_[3], 45);
+        return result;
+    }
+
+    /** Uniform integer in [0, bound). */
+    std::uint64_t
+    below(std::uint64_t bound)
+    {
+        HICAMP_ASSERT(bound > 0, "below(0)");
+        return next() % bound;
+    }
+
+    /** Uniform integer in [lo, hi]. */
+    std::uint64_t
+    range(std::uint64_t lo, std::uint64_t hi)
+    {
+        HICAMP_ASSERT(hi >= lo, "bad range");
+        return lo + below(hi - lo + 1);
+    }
+
+    /** Uniform double in [0, 1). */
+    double
+    uniform()
+    {
+        return static_cast<double>(next() >> 11) * 0x1.0p-53;
+    }
+
+    /** Bernoulli draw. */
+    bool chance(double p) { return uniform() < p; }
+
+    /**
+     * Pareto-ish power-law sample in [lo, hi] with shape alpha > 0
+     * (density ~ x^-(alpha+1)); used for memcached item sizes.
+     */
+    std::uint64_t
+    powerLaw(std::uint64_t lo, std::uint64_t hi, double alpha)
+    {
+        double u = uniform();
+        double lo_d = static_cast<double>(lo);
+        double hi_d = static_cast<double>(hi);
+        double x =
+            lo_d / std::pow(1.0 - u * (1.0 - std::pow(lo_d / hi_d, alpha)),
+                            1.0 / alpha);
+        if (x > hi_d)
+            x = hi_d;
+        return static_cast<std::uint64_t>(x);
+    }
+
+  private:
+    static std::uint64_t
+    rotl(std::uint64_t x, int k)
+    {
+        return (x << k) | (x >> (64 - k));
+    }
+
+    std::uint64_t s_[4];
+};
+
+/**
+ * Zipf(s) sampler over ranks 1..n using the precomputed CDF; O(log n)
+ * per draw. Rank popularity ~ 1/rank^s, the classic model for
+ * memcached key popularity.
+ */
+class Zipf
+{
+  public:
+    Zipf(std::uint64_t n, double s) : cdf_(n)
+    {
+        HICAMP_ASSERT(n > 0, "zipf over empty domain");
+        double sum = 0.0;
+        for (std::uint64_t k = 1; k <= n; ++k)
+            sum += 1.0 / std::pow(static_cast<double>(k), s);
+        double acc = 0.0;
+        for (std::uint64_t k = 1; k <= n; ++k) {
+            acc += 1.0 / std::pow(static_cast<double>(k), s) / sum;
+            cdf_[k - 1] = acc;
+        }
+        cdf_.back() = 1.0;
+    }
+
+    /** Draw a 0-based rank. */
+    std::uint64_t
+    sample(Rng &rng) const
+    {
+        double u = rng.uniform();
+        std::size_t lo = 0, hi = cdf_.size() - 1;
+        while (lo < hi) {
+            std::size_t mid = (lo + hi) / 2;
+            if (cdf_[mid] < u)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return lo;
+    }
+
+    std::size_t domain() const { return cdf_.size(); }
+
+  private:
+    std::vector<double> cdf_;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_COMMON_RNG_HH

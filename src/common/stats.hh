@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Lightweight named-counter statistics, in the spirit of gem5's stats
+ * package: components expose Counter members registered in a StatGroup
+ * so benches and tests can enumerate, print and reset them uniformly.
+ */
+
+#ifndef HICAMP_COMMON_STATS_HH
+#define HICAMP_COMMON_STATS_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hicamp {
+
+/** A single monotonically increasing statistic. */
+class Counter
+{
+  public:
+    Counter() : value_(0) {}
+
+    void operator+=(std::uint64_t n) { value_ += n; }
+    void operator++() { ++value_; }
+    void operator++(int) { ++value_; }
+
+    std::uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    std::uint64_t value_;
+};
+
+/** A named collection of counters owned by a component. */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Register a counter; the group does not own it. */
+    void
+    add(const std::string &stat_name, Counter *c)
+    {
+        stats_.emplace_back(stat_name, c);
+    }
+
+    const std::string &name() const { return name_; }
+
+    std::vector<std::pair<std::string, std::uint64_t>>
+    snapshot() const
+    {
+        std::vector<std::pair<std::string, std::uint64_t>> out;
+        out.reserve(stats_.size());
+        for (const auto &[n, c] : stats_)
+            out.emplace_back(n, c->value());
+        return out;
+    }
+
+    void
+    resetAll()
+    {
+        for (auto &[n, c] : stats_) {
+            (void)n;
+            c->reset();
+        }
+    }
+
+  private:
+    std::string name_;
+    std::vector<std::pair<std::string, Counter *>> stats_;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_COMMON_STATS_HH

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Plain-text table printer used by the benchmark harnesses to emit the
+ * paper's tables and figure series in a readable aligned form.
+ */
+
+#ifndef HICAMP_COMMON_TABLE_HH
+#define HICAMP_COMMON_TABLE_HH
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace hicamp {
+
+/** Column-aligned ASCII table with a header row. */
+class Table
+{
+  public:
+    explicit Table(std::vector<std::string> header)
+        : header_(std::move(header))
+    {}
+
+    void
+    addRow(std::vector<std::string> row)
+    {
+        rows_.push_back(std::move(row));
+    }
+
+    /** Render to stdout with a separator under the header. */
+    void
+    print(FILE *out = stdout) const
+    {
+        std::vector<std::size_t> width(header_.size(), 0);
+        auto widen = [&](const std::vector<std::string> &row) {
+            for (std::size_t i = 0; i < row.size() && i < width.size(); ++i)
+                if (row[i].size() > width[i])
+                    width[i] = row[i].size();
+        };
+        widen(header_);
+        for (const auto &r : rows_)
+            widen(r);
+
+        auto emit = [&](const std::vector<std::string> &row) {
+            for (std::size_t i = 0; i < width.size(); ++i) {
+                const std::string &cell = i < row.size() ? row[i] : "";
+                std::fprintf(out, "%-*s%s", static_cast<int>(width[i]),
+                             cell.c_str(),
+                             i + 1 < width.size() ? "  " : "");
+            }
+            std::fprintf(out, "\n");
+        };
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t w : width)
+            total += w + 2;
+        std::fprintf(out, "%s\n", std::string(total, '-').c_str());
+        for (const auto &r : rows_)
+            emit(r);
+    }
+
+  private:
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** printf-style std::string formatting helper. */
+inline std::string
+strfmt(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    char buf[512];
+    std::vsnprintf(buf, sizeof(buf), fmt, ap);
+    va_end(ap);
+    return std::string(buf);
+}
+
+} // namespace hicamp
+
+#endif // HICAMP_COMMON_TABLE_HH

@@ -1,0 +1,199 @@
+/**
+ * @file
+ * Fundamental HICAMP model types: machine words, hardware word tags,
+ * physical line IDs (PLIDs) and virtual segment IDs (VSIDs).
+ *
+ * The HICAMP paper (ASPLOS'12) models memory as an array of small
+ * fixed-size lines whose words carry hardware tags (stored in spare ECC
+ * bits) distinguishing raw data from protected references. This header
+ * defines the software model of those quantities.
+ */
+
+#ifndef HICAMP_COMMON_TYPES_HH
+#define HICAMP_COMMON_TYPES_HH
+
+#include <cstdint>
+#include <cstddef>
+
+namespace hicamp {
+
+/** One 64-bit machine word; the unit of tagging and of line content. */
+using Word = std::uint64_t;
+
+/**
+ * Physical Line ID. Addresses one content-unique line in the
+ * deduplicated store. PLID 0 is the distinguished zero line: it stands
+ * for an all-zero line and, in a DAG slot, for an all-zero subtree of
+ * any height. PLIDs are a protected type: software can only obtain one
+ * from a lookup-by-content operation or by copying an existing PLID.
+ */
+using Plid = std::uint64_t;
+
+/** Virtual Segment ID; index into a virtual segment map. 0 == null. */
+using Vsid = std::uint64_t;
+
+/** The distinguished zero line / zero subtree. */
+inline constexpr Plid kZeroPlid = 0;
+
+/** Null segment reference. */
+inline constexpr Vsid kNullVsid = 0;
+
+/** Bytes per machine word. */
+inline constexpr std::size_t kWordBytes = 8;
+
+/** Largest supported line size (64 bytes == 8 words). */
+inline constexpr std::size_t kMaxLineWords = 8;
+
+/**
+ * Kind of content held by a tagged word. The hardware stores this in
+ * spare ECC bits alongside the word; we model it as a 16-bit out-of-band
+ * meta value per word (see WordMeta). Tags participate in content
+ * identity: two lines are equal only if words *and* tags match.
+ */
+enum class TagKind : std::uint8_t {
+    Raw = 0,     ///< plain data word
+    Plid = 1,    ///< protected reference to a line / subtree root
+    Vsid = 2,    ///< protected reference to a segment-map entry
+    Inline = 3,  ///< data-compacted word: packs a small all-raw subtree
+};
+
+/**
+ * Per-word hardware tag, packed into 16 bits.
+ *
+ * Layout (bit 0 = LSB):
+ *  - bits [1:0]  TagKind
+ *  - TagKind::Plid
+ *      bits [5:2]   skip  — path-compaction level-skip count (0..15)
+ *      bits [15:6]  path  — skipped child indices, log2(fanout) bits
+ *                   each, the index for the topmost skipped level in
+ *                   the lowest bits (read first on descent)
+ *  - TagKind::Inline
+ *      bits [3:2]   widthCode — packed element width: 0 -> 8-bit,
+ *                   1 -> 16-bit, 2 -> 32-bit
+ *      bits [7:4]   skip  — path compaction over the inline word
+ *      bits [15:8]  path  — as above, 8 bits
+ *
+ * Path compaction (paper §3.2) encodes, in otherwise unused reference
+ * bits, the chain of single-non-zero-child interior nodes that would
+ * sit between this slot and the referenced node. Data compaction packs
+ * an entire all-raw subtree whose values are small into one word.
+ */
+class WordMeta
+{
+  public:
+    constexpr WordMeta() : bits_(0) {}
+    constexpr explicit WordMeta(std::uint16_t raw) : bits_(raw) {}
+
+    static constexpr WordMeta
+    raw()
+    {
+        return WordMeta(0);
+    }
+
+    static constexpr WordMeta
+    plid(unsigned skip = 0, unsigned path = 0)
+    {
+        return WordMeta(static_cast<std::uint16_t>(
+            static_cast<unsigned>(TagKind::Plid) | (skip << 2) |
+            (path << 6)));
+    }
+
+    static constexpr WordMeta
+    vsid()
+    {
+        return WordMeta(static_cast<std::uint16_t>(TagKind::Vsid));
+    }
+
+    static constexpr WordMeta
+    inlineData(unsigned width_code, unsigned skip = 0, unsigned path = 0)
+    {
+        return WordMeta(static_cast<std::uint16_t>(
+            static_cast<unsigned>(TagKind::Inline) | (width_code << 2) |
+            (skip << 4) | (path << 8)));
+    }
+
+    constexpr TagKind
+    kind() const
+    {
+        return static_cast<TagKind>(bits_ & 0x3);
+    }
+
+    constexpr bool isRaw() const { return kind() == TagKind::Raw; }
+    constexpr bool isPlid() const { return kind() == TagKind::Plid; }
+    constexpr bool isVsid() const { return kind() == TagKind::Vsid; }
+    constexpr bool isInline() const { return kind() == TagKind::Inline; }
+
+    /** Path-compaction skip count (valid for Plid and Inline kinds). */
+    constexpr unsigned
+    skip() const
+    {
+        if (isPlid())
+            return (bits_ >> 2) & 0xF;
+        if (isInline())
+            return (bits_ >> 4) & 0xF;
+        return 0;
+    }
+
+    /** Packed skipped-child-index path (valid for Plid and Inline). */
+    constexpr unsigned
+    path() const
+    {
+        if (isPlid())
+            return (bits_ >> 6) & 0x3FF;
+        if (isInline())
+            return (bits_ >> 8) & 0xFF;
+        return 0;
+    }
+
+    /** Max bits available for the packed path, per kind. */
+    static constexpr unsigned
+    pathBits(TagKind k)
+    {
+        return k == TagKind::Plid ? 10 : 8;
+    }
+
+    /** Inline element width code (Inline kind only). */
+    constexpr unsigned
+    widthCode() const
+    {
+        return (bits_ >> 2) & 0x3;
+    }
+
+    /** Inline element width in bits: 8, 16 or 32. */
+    constexpr unsigned
+    inlineWidth() const
+    {
+        return 8u << widthCode();
+    }
+
+    /** Number of words an inline word packs (64 / width). */
+    constexpr unsigned
+    inlineWordCount() const
+    {
+        return 64u / inlineWidth();
+    }
+
+    /** Return a copy with skip/path replaced (preserving kind fields). */
+    WordMeta
+    withPath(unsigned skip, unsigned path) const
+    {
+        if (isPlid())
+            return plid(skip, path);
+        return inlineData(widthCode(), skip, path);
+    }
+
+    constexpr std::uint16_t value() const { return bits_; }
+
+    friend constexpr bool
+    operator==(WordMeta a, WordMeta b)
+    {
+        return a.bits_ == b.bits_;
+    }
+
+  private:
+    std::uint16_t bits_;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_COMMON_TYPES_HH

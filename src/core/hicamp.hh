@@ -1,0 +1,48 @@
+/**
+ * @file
+ * Single-include public API for the HICAMP library.
+ *
+ * The paper's primary contribution — the content-unique deduplicating
+ * memory system, canonical segment DAGs, iterator registers, the
+ * virtual segment map and merge-update — lives in mem/, seg/ and
+ * vsm/; the programming model built on it lives in lang/ and the
+ * processor model in cpu/. This header pulls in everything a
+ * downstream application needs:
+ *
+ *   #include "core/hicamp.hh"
+ *   hicamp::Hicamp hc;
+ *   hicamp::HMap map(hc);
+ *   ...
+ */
+
+#ifndef HICAMP_CORE_HICAMP_HH
+#define HICAMP_CORE_HICAMP_HH
+
+// Memory system: content-unique lines, dedup store, caches, traffic.
+#include "mem/memory.hh"
+
+// Segments: canonical DAGs, compaction, readers, iterator registers,
+// merge-update.
+#include "seg/builder.hh"
+#include "seg/iterator.hh"
+#include "seg/merge.hh"
+#include "seg/reader.hh"
+
+// Virtual segment map: VSIDs, snapshots, CAS/mCAS.
+#include "vsm/segment_map.hh"
+
+// Programming model.
+#include "lang/atomic_heap.hh"
+#include "lang/context.hh"
+#include "lang/harray.hh"
+#include "lang/hmap.hh"
+#include "lang/hobject.hh"
+#include "lang/hqueue.hh"
+#include "lang/hsharded_map.hh"
+#include "lang/hstring.hh"
+#include "lang/htable.hh"
+
+// Processor model (iterator-register ISA).
+#include "cpu/processor.hh"
+
+#endif // HICAMP_CORE_HICAMP_HH

@@ -1,0 +1,120 @@
+#include "cpu/processor.hh"
+
+namespace hicamp {
+
+void
+HicampCpu::run(Program &prog, std::uint64_t max_instructions)
+{
+    prog.link();
+    const auto &code = prog.code();
+    std::size_t pc = 0;
+
+    auto jump = [&](std::int64_t target) {
+        HICAMP_ASSERT(target >= 0 &&
+                          target <= static_cast<std::int64_t>(code.size()),
+                      "branch target out of range");
+        pc = static_cast<std::size_t>(target);
+    };
+
+    while (pc < code.size()) {
+        HICAMP_ASSERT(stats_.instructions < max_instructions,
+                      "instruction budget exceeded (runaway program?)");
+        const Instr &in = code[pc];
+        ++pc;
+        ++stats_.instructions;
+        switch (in.op) {
+          case Op::Add:
+            gp_.at(in.a) = gp_.at(in.b) + gp_.at(in.c);
+            ++stats_.aluOps;
+            break;
+          case Op::Sub:
+            gp_.at(in.a) = gp_.at(in.b) - gp_.at(in.c);
+            ++stats_.aluOps;
+            break;
+          case Op::Mul:
+            gp_.at(in.a) = gp_.at(in.b) * gp_.at(in.c);
+            ++stats_.aluOps;
+            break;
+          case Op::And:
+            gp_.at(in.a) = gp_.at(in.b) & gp_.at(in.c);
+            ++stats_.aluOps;
+            break;
+          case Op::Or:
+            gp_.at(in.a) = gp_.at(in.b) | gp_.at(in.c);
+            ++stats_.aluOps;
+            break;
+          case Op::Xor:
+            gp_.at(in.a) = gp_.at(in.b) ^ gp_.at(in.c);
+            ++stats_.aluOps;
+            break;
+          case Op::Shl:
+            gp_.at(in.a) = gp_.at(in.b) << (gp_.at(in.c) & 63);
+            ++stats_.aluOps;
+            break;
+          case Op::Shr:
+            gp_.at(in.a) = gp_.at(in.b) >> (gp_.at(in.c) & 63);
+            ++stats_.aluOps;
+            break;
+          case Op::Movi:
+            gp_.at(in.a) = static_cast<Word>(in.imm);
+            ++stats_.aluOps;
+            break;
+          case Op::Addi:
+            gp_.at(in.a) =
+                gp_.at(in.b) + static_cast<Word>(in.imm);
+            ++stats_.aluOps;
+            break;
+          case Op::Beq:
+            ++stats_.branches;
+            if (gp_.at(in.a) == gp_.at(in.b))
+                jump(in.imm);
+            break;
+          case Op::Bne:
+            ++stats_.branches;
+            if (gp_.at(in.a) != gp_.at(in.b))
+                jump(in.imm);
+            break;
+          case Op::Blt:
+            ++stats_.branches;
+            if (gp_.at(in.a) < gp_.at(in.b))
+                jump(in.imm);
+            break;
+          case Op::Jmp:
+            ++stats_.branches;
+            jump(in.imm);
+            break;
+          case Op::Halt:
+            return;
+          case Op::ItLoad:
+            iters_.at(in.a)->load(gp_.at(in.b), gp_.at(in.c));
+            break;
+          case Op::ItSeek:
+            iters_.at(in.a)->seek(gp_.at(in.b));
+            break;
+          case Op::ItRead:
+            gp_.at(in.a) = iters_.at(in.b)->read();
+            ++stats_.itReads;
+            break;
+          case Op::ItWrite:
+            iters_.at(in.a)->write(gp_.at(in.b));
+            ++stats_.itWrites;
+            break;
+          case Op::ItNext:
+            gp_.at(in.a) = iters_.at(in.b)->next() ? 1 : 0;
+            ++stats_.itNexts;
+            break;
+          case Op::ItOffs:
+            gp_.at(in.a) = iters_.at(in.b)->offset();
+            break;
+          case Op::ItCommit:
+            gp_.at(in.a) = iters_.at(in.b)->tryCommit() ? 1 : 0;
+            ++stats_.commits;
+            break;
+          case Op::ItAbort:
+            iters_.at(in.a)->abort();
+            break;
+        }
+    }
+}
+
+} // namespace hicamp

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * A minimal HICAMP processor model (the P in HICAMP): a register
+ * machine whose ONLY path to memory is through iterator registers
+ * (paper §3.3 — "In HICAMP, each memory access is made through an
+ * iterator register", Fig. 5), with 16 general-purpose registers and
+ * 16 iterator registers as architectural state.
+ *
+ * The instruction set is deliberately small but complete enough to
+ * express the paper's kernels: ALU ops, conditional branches, and the
+ * iterator operations (load/seek/read/write/next/commit/abort). A
+ * tiny assembler-style builder with labels constructs programs; the
+ * interpreter executes them against a real simulated machine, so
+ * every ITREAD/ITWRITE generates the same modelled memory traffic as
+ * the library API.
+ */
+
+#ifndef HICAMP_CPU_PROCESSOR_HH
+#define HICAMP_CPU_PROCESSOR_HH
+
+#include <array>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "lang/context.hh"
+#include "seg/iterator.hh"
+
+namespace hicamp {
+
+/** Opcodes of the model ISA. */
+enum class Op : std::uint8_t {
+    // ALU: rd <- ra (op) rb
+    Add,
+    Sub,
+    Mul,
+    And,
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    // immediates
+    Movi, ///< rd <- imm
+    Addi, ///< rd <- ra + imm
+    // control flow (branch targets are label ids)
+    Beq, ///< if ra == rb goto target
+    Bne,
+    Blt, ///< unsigned <
+    Jmp,
+    Halt,
+    // iterator register ops
+    ItLoad,   ///< it[a] loads segment vsid=reg[b] at offset reg[c]
+    ItSeek,   ///< it[a] seeks to offset reg[b]
+    ItRead,   ///< rd <- current word of it[a]
+    ItWrite,  ///< it[a] current word <- reg[b] (buffered)
+    ItNext,   ///< rd <- 1 and advance if a next non-zero exists else 0
+    ItOffs,   ///< rd <- current offset of it[a]
+    ItCommit, ///< rd <- tryCommit(it[a])
+    ItAbort,  ///< discard it[a]'s buffered writes
+};
+
+/** One decoded instruction. */
+struct Instr {
+    Op op;
+    std::uint8_t a = 0; ///< rd or iterator index
+    std::uint8_t b = 0;
+    std::uint8_t c = 0;
+    std::int64_t imm = 0; ///< immediate or branch label id
+};
+
+/** Label-aware program builder (a two-pass mini assembler). */
+class Program
+{
+  public:
+    /** Define (or forward-declare) a label at the current position. */
+    Program &
+    label(const std::string &name)
+    {
+        labels_[name] = code_.size();
+        return *this;
+    }
+
+    Program &
+    emit(Op op, std::uint8_t a = 0, std::uint8_t b = 0,
+         std::uint8_t c = 0, std::int64_t imm = 0)
+    {
+        code_.push_back({op, a, b, c, imm});
+        return *this;
+    }
+
+    /** Emit a branch/jump to a (possibly not yet defined) label. */
+    Program &
+    branch(Op op, const std::string &target, std::uint8_t a = 0,
+           std::uint8_t b = 0)
+    {
+        fixups_.emplace_back(code_.size(), target);
+        code_.push_back({op, a, b, 0, 0});
+        return *this;
+    }
+
+    /** Resolve label fixups; call once before execution. */
+    void
+    link()
+    {
+        for (auto &[pos, name] : fixups_) {
+            auto it = labels_.find(name);
+            HICAMP_ASSERT(it != labels_.end(),
+                          "undefined label: " + name);
+            code_[pos].imm = static_cast<std::int64_t>(it->second);
+        }
+        fixups_.clear();
+    }
+
+    const std::vector<Instr> &code() const { return code_; }
+
+  private:
+    std::vector<Instr> code_;
+    std::unordered_map<std::string, std::size_t> labels_;
+    std::vector<std::pair<std::size_t, std::string>> fixups_;
+};
+
+/** Execution statistics. */
+struct CpuStats {
+    std::uint64_t instructions = 0;
+    std::uint64_t aluOps = 0;
+    std::uint64_t branches = 0;
+    std::uint64_t itReads = 0;
+    std::uint64_t itWrites = 0;
+    std::uint64_t itNexts = 0;
+    std::uint64_t commits = 0;
+};
+
+class HicampCpu
+{
+  public:
+    static constexpr unsigned kGpRegs = 16;
+    static constexpr unsigned kItRegs = 16;
+
+    explicit HicampCpu(Hicamp &hc) : hc_(hc)
+    {
+        for (auto &it : iters_)
+            it = std::make_unique<IteratorRegister>(hc.mem, hc.vsm);
+    }
+
+    Word reg(unsigned r) const { return gp_.at(r); }
+    void setReg(unsigned r, Word v) { gp_.at(r) = v; }
+
+    const CpuStats &stats() const { return stats_; }
+
+    /**
+     * Run @p prog until Halt (or the instruction budget trips, which
+     * panics — runaway programs are simulator bugs).
+     */
+    void run(Program &prog, std::uint64_t max_instructions = 100000000);
+
+  private:
+    Hicamp &hc_;
+    std::array<Word, kGpRegs> gp_{};
+    std::array<std::unique_ptr<IteratorRegister>, kItRegs> iters_;
+    CpuStats stats_;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_CPU_PROCESSOR_HH

@@ -1,0 +1,103 @@
+/**
+ * @file
+ * AtomicHeap: multi-segment atomic update (paper §2.3: "When the
+ * segment map itself is implemented as a HICAMP segment ... multiple
+ * segments can be updated by one atomic update/commit of the segment
+ * map"). The heap is one segment whose word i holds the boxed
+ * descriptor of logical segment i; a transaction buffers any number of
+ * slot replacements and publishes them with a single root CAS, so
+ * concurrent readers see either all of the transaction's segments or
+ * none.
+ */
+
+#ifndef HICAMP_LANG_ATOMIC_HEAP_HH
+#define HICAMP_LANG_ATOMIC_HEAP_HH
+
+#include "lang/hstring.hh"
+#include "seg/iterator.hh"
+
+namespace hicamp {
+
+class AtomicHeap
+{
+  public:
+    explicit AtomicHeap(Hicamp &hc, bool merge_update = true) : hc_(hc)
+    {
+        vsid_ = hc.vsm.create(SegDesc{},
+                              merge_update ? std::uint32_t{kSegMergeUpdate} : std::uint32_t{0});
+    }
+
+    ~AtomicHeap() { hc_.vsm.destroy(vsid_); }
+
+    AtomicHeap(const AtomicHeap &) = delete;
+    AtomicHeap &operator=(const AtomicHeap &) = delete;
+
+    Vsid vsid() const { return vsid_; }
+
+    /**
+     * A transaction over the heap: reads see one snapshot; writes are
+     * buffered; commit() installs everything atomically (false on an
+     * unresolvable conflict — nothing is published).
+     */
+    class Tx
+    {
+      public:
+        explicit Tx(AtomicHeap &heap)
+            : heap_(heap), it_(heap.hc_.mem, heap.hc_.vsm)
+        {
+            it_.load(heap.vsid_, 0);
+        }
+
+        /** Read slot @p i's string (empty if unset). */
+        HString
+        read(std::uint64_t i)
+        {
+            it_.seek(i);
+            WordMeta m;
+            Word box = it_.read(&m);
+            if (box == 0 || !m.isPlid())
+                return HString(heap_.hc_);
+            SegDesc d = heap_.hc_.unboxSegment(box);
+            SegBuilder(heap_.hc_.mem).retain(d.root);
+            return HString::adopt(heap_.hc_, d);
+        }
+
+        /** Replace slot @p i with @p value (buffered). */
+        void
+        write(std::uint64_t i, const HString &value)
+        {
+            SegBuilder(heap_.hc_.mem).retain(value.desc().root);
+            Plid box = heap_.hc_.boxSegment(value.desc());
+            it_.seek(i);
+            it_.write(box, WordMeta::plid());
+        }
+
+        /** Clear slot @p i (buffered). */
+        void
+        erase(std::uint64_t i)
+        {
+            it_.seek(i);
+            it_.write(0);
+        }
+
+        /** Publish all buffered writes atomically. */
+        bool commit(MergeStats *stats = nullptr)
+        {
+            return it_.tryCommit(stats);
+        }
+
+        void abort() { it_.abort(); }
+
+      private:
+        AtomicHeap &heap_;
+        IteratorRegister it_;
+    };
+
+  private:
+    Hicamp &hc_;
+    Vsid vsid_;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_LANG_ATOMIC_HEAP_HH

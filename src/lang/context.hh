@@ -1,0 +1,71 @@
+/**
+ * @file
+ * The top-level HICAMP machine context: one memory system plus one
+ * virtual segment map, with a helper for boxing segment descriptors
+ * into content-unique lines (used wherever a whole segment value must
+ * be stored in a single tagged word, e.g. map values).
+ */
+
+#ifndef HICAMP_LANG_CONTEXT_HH
+#define HICAMP_LANG_CONTEXT_HH
+
+#include "mem/memory.hh"
+#include "seg/builder.hh"
+#include "seg/iterator.hh"
+#include "seg/reader.hh"
+#include "vsm/segment_map.hh"
+
+namespace hicamp {
+
+/**
+ * A HICAMP machine: the unit every programming-model object hangs off.
+ */
+class Hicamp
+{
+  public:
+    explicit Hicamp(const MemoryConfig &cfg = {}) : mem(cfg), vsm(mem) {}
+
+    Hicamp(const Hicamp &) = delete;
+    Hicamp &operator=(const Hicamp &) = delete;
+
+    /**
+     * Box a segment descriptor into a content-unique line and return
+     * its PLID (owning one reference). The box line stores the root
+     * word with its tag preserved plus the packed (height, byteLen),
+     * so dedup makes the box PLID unique per segment value — the
+     * single-word "name" of a whole segment.
+     *
+     * Consumes one reference of @p d's root (the box line owns it).
+     */
+    Plid
+    boxSegment(const SegDesc &d)
+    {
+        Line box = mem.makeLine();
+        box.set(0, d.root.word, d.root.meta);
+        box.set(1, (static_cast<Word>(d.height) << 48) | d.byteLen);
+        return mem.internLine(box);
+    }
+
+    /**
+     * Unbox: read a box line back into a segment descriptor. The
+     * returned descriptor is borrowed (the box owns the root
+     * reference); retain it to keep it across the box's life.
+     */
+    SegDesc
+    unboxSegment(Plid box_plid, DramCat cat = DramCat::Read)
+    {
+        Line box = mem.readLine(box_plid, cat);
+        SegDesc d;
+        d.root = {box.word(0), box.meta(0)};
+        d.height = static_cast<std::int32_t>(box.word(1) >> 48);
+        d.byteLen = box.word(1) & ((Word{1} << 48) - 1);
+        return d;
+    }
+
+    Memory mem;
+    SegmentMap vsm;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_LANG_CONTEXT_HH

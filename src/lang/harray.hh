@@ -1,0 +1,188 @@
+/**
+ * @file
+ * HArray<T>: a dynamically growable array of word-sized elements in a
+ * HICAMP segment (paper §4.1). Unlike a conventional array it extends
+ * without reallocation or copy, cannot overflow into neighbouring
+ * objects, and stores sparse content space-efficiently thanks to zero
+ * suppression and data/path compaction.
+ *
+ * Also provides HCounterArray — a merge-update array of 64-bit
+ * counters whose concurrent increments merge to the sum (§3.4).
+ */
+
+#ifndef HICAMP_LANG_HARRAY_HH
+#define HICAMP_LANG_HARRAY_HH
+
+#include <bit>
+#include <cstring>
+#include <type_traits>
+#include <vector>
+
+#include "lang/context.hh"
+
+namespace hicamp {
+
+template <typename T>
+class HArray
+{
+    static_assert(std::is_trivially_copyable_v<T> && sizeof(T) <= 8,
+                  "HArray elements must be word-sized scalars");
+
+  public:
+    /** Empty array (optionally pre-flagged for merge-update). */
+    explicit HArray(Hicamp &hc, std::uint32_t seg_flags = 0) : hc_(hc)
+    {
+        vsid_ = hc.vsm.create(SegDesc{}, seg_flags);
+    }
+
+    /** Array initialized from host data. */
+    HArray(Hicamp &hc, const std::vector<T> &init,
+           std::uint32_t seg_flags = 0)
+        : hc_(hc)
+    {
+        std::vector<Word> w(init.size(), 0);
+        for (std::size_t i = 0; i < init.size(); ++i)
+            w[i] = toWord(init[i]);
+        std::vector<WordMeta> m(w.size(), WordMeta::raw());
+        SegBuilder b(hc.mem, /*model_staging=*/true);
+        SegDesc d = w.empty() ? SegDesc{}
+                              : b.buildWords(w.data(), m.data(), w.size());
+        vsid_ = hc.vsm.create(d, seg_flags);
+    }
+
+    ~HArray() { hc_.vsm.destroy(vsid_); }
+
+    HArray(const HArray &) = delete;
+    HArray &operator=(const HArray &) = delete;
+
+    Vsid vsid() const { return vsid_; }
+
+    /** Elements (from the committed byte length). */
+    std::uint64_t
+    size()
+    {
+        return hc_.vsm.get(vsid_).byteLen / kWordBytes;
+    }
+
+    T
+    get(std::uint64_t i)
+    {
+        IteratorRegister it(hc_.mem, hc_.vsm);
+        it.load(vsid_, i);
+        return fromWord(it.read());
+    }
+
+    /** Single-element update; retries on CAS conflicts. */
+    void
+    set(std::uint64_t i, T v)
+    {
+        IteratorRegister it(hc_.mem, hc_.vsm);
+        for (;;) {
+            it.load(vsid_, i);
+            it.write(toWord(v));
+            if (it.tryCommit())
+                return;
+        }
+    }
+
+    /**
+     * Batched writer: buffer many writes in one iterator register and
+     * publish them with a single atomic commit.
+     */
+    class Writer
+    {
+      public:
+        explicit Writer(HArray &a) : arr_(a), it_(a.hc_.mem, a.hc_.vsm)
+        {
+            it_.load(a.vsid_, 0);
+        }
+
+        void
+        set(std::uint64_t i, T v)
+        {
+            it_.seek(i);
+            it_.write(HArray::toWord(v));
+        }
+
+        bool commit() { return it_.tryCommit(); }
+        void abort() { it_.abort(); }
+
+      private:
+        HArray &arr_;
+        IteratorRegister it_;
+    };
+
+    static Word
+    toWord(T v)
+    {
+        if constexpr (std::is_same_v<T, double>) {
+            return std::bit_cast<std::uint64_t>(v);
+        } else {
+            Word w = 0;
+            std::memcpy(&w, &v, sizeof(T));
+            return w;
+        }
+    }
+
+    static T
+    fromWord(Word w)
+    {
+        if constexpr (std::is_same_v<T, double>) {
+            return std::bit_cast<double>(w);
+        } else {
+            T v{};
+            std::memcpy(&v, &w, sizeof(T));
+            return v;
+        }
+    }
+
+  private:
+    friend class Writer;
+
+    Hicamp &hc_;
+    Vsid vsid_;
+};
+
+/**
+ * A merge-update counter array: concurrent add() calls never lose
+ * updates — conflicting commits are merged by applying deltas
+ * (paper §3.4 "merge-update can also apply to a segment of counters").
+ */
+class HCounterArray
+{
+  public:
+    HCounterArray(Hicamp &hc, std::uint64_t n)
+        : hc_(hc), arr_(hc, std::vector<std::uint64_t>(n),
+                        kSegMergeUpdate)
+    {}
+
+    std::uint64_t get(std::uint64_t i) { return arr_.get(i); }
+
+    /** Atomically add @p delta; merge-update absorbs races. */
+    void
+    add(std::uint64_t i, std::uint64_t delta)
+    {
+        IteratorRegister it(hc_.mem, hc_.vsm);
+        for (;;) {
+            it.load(arr_.vsid(), i);
+            std::uint64_t cur = it.read();
+            it.write(cur + delta);
+            if (it.tryCommit())
+                return;
+        }
+    }
+
+    Vsid vsid() const { return arr_.vsid(); }
+
+  private:
+    Hicamp &hc_;
+    HArray<std::uint64_t> arr_;
+
+    // HArray(Hicamp&, span) needs a materializable container:
+    template <typename T>
+    friend class HArray;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_LANG_HARRAY_HH

@@ -1,0 +1,280 @@
+/**
+ * @file
+ * HMap: the paper's key-value map (§4.1, §4.4) — a sparse array
+ * indexed by the content fingerprint of the key string (the paper
+ * indexes by the key's root PLID; our fingerprint additionally folds
+ * in height and length). Each occupied slot holds the PLID of a pair
+ * line [key-box, value-box]: keeping the key referenced pins its
+ * canonical segment, which is what makes root-PLID indexing sound —
+ * if the key segment were reclaimed, its PLID could be recycled for
+ * different content and alias the slot.
+ *
+ * Deduplication guarantees one box per distinct segment value, so
+ * equal keys/values collide to identical words and merge-update
+ * resolves concurrent non-conflicting updates (§4.3).
+ */
+
+#ifndef HICAMP_LANG_HMAP_HH
+#define HICAMP_LANG_HMAP_HH
+
+#include <optional>
+#include <utility>
+
+#include "lang/hstring.hh"
+#include "seg/iterator.hh"
+
+namespace hicamp {
+
+class HMap
+{
+  public:
+    /**
+     * @param merge_update resolve concurrent commits by merge-update
+     * (paper §4.3) instead of failing the CAS.
+     */
+    explicit HMap(Hicamp &hc, bool merge_update = true)
+        : hc_(hc)
+    {
+        SegGeometry geo(hc.mem.fanout());
+        SegDesc empty;
+        empty.height = geo.heightForWords(kIndexSpace);
+        vsid_ = hc.vsm.create(empty,
+                              merge_update ? std::uint32_t{kSegMergeUpdate} : std::uint32_t{0});
+    }
+
+    ~HMap() { hc_.vsm.destroy(vsid_); }
+
+    HMap(const HMap &) = delete;
+    HMap &operator=(const HMap &) = delete;
+
+    Vsid vsid() const { return vsid_; }
+
+    /** Word index a key maps to. */
+    std::uint64_t
+    slotOf(const HString &key) const
+    {
+        return key.fingerprint() & (kIndexSpace - 1);
+    }
+
+    /**
+     * Insert or update. Retries internally on commit conflicts (rare
+     * under merge-update: only same-slot value races).
+     */
+    void
+    set(const HString &key, const HString &value)
+    {
+        IteratorRegister it(hc_.mem, hc_.vsm);
+        for (;;) {
+            Plid pair = makePair(key, value);
+            it.load(vsid_, slotOf(key));
+            it.write(pair, WordMeta::plid());
+            if (it.tryCommit())
+                return;
+            it.abort(); // releases the pending pair reference
+        }
+    }
+
+    /** Point lookup against a fresh snapshot. */
+    std::optional<HString>
+    get(const HString &key)
+    {
+        IteratorRegister it(hc_.mem, hc_.vsm);
+        it.load(vsid_, slotOf(key));
+        return readValue(it);
+    }
+
+    /**
+     * Point lookup reusing a caller-held register. Paper §4.4: a
+     * client thread (re)loads its register per get command, taking a
+     * fresh snapshot; upper DAG levels hit in the cache hierarchy.
+     */
+    std::optional<HString>
+    getWith(IteratorRegister &it, const HString &key)
+    {
+        it.load(vsid_, slotOf(key));
+        return readValue(it);
+    }
+
+    /**
+     * Conditional insert (memcached "add"): store only if the key is
+     * absent. Atomic: the commit fails (and retries the decision) if
+     * a concurrent writer touched the slot.
+     */
+    bool
+    add(const HString &key, const HString &value)
+    {
+        IteratorRegister it(hc_.mem, hc_.vsm);
+        for (;;) {
+            it.load(vsid_, slotOf(key));
+            if (it.read() != 0)
+                return false;
+            Plid pair = makePair(key, value);
+            it.write(pair, WordMeta::plid());
+            if (it.tryCommit())
+                return true;
+            it.abort();
+        }
+    }
+
+    /**
+     * Conditional update (memcached "replace"): store only if the key
+     * is present.
+     */
+    bool
+    replace(const HString &key, const HString &value)
+    {
+        IteratorRegister it(hc_.mem, hc_.vsm);
+        for (;;) {
+            it.load(vsid_, slotOf(key));
+            if (it.read() == 0)
+                return false;
+            Plid pair = makePair(key, value);
+            it.write(pair, WordMeta::plid());
+            if (it.tryCommit())
+                return true;
+            it.abort();
+        }
+    }
+
+    /**
+     * Value-conditional update (memcached "cas"): store @p value only
+     * if the current value still equals @p expected. Content
+     * uniqueness makes the version check a single descriptor compare.
+     */
+    bool
+    compareAndSet(const HString &key, const HString &expected,
+                  const HString &value)
+    {
+        IteratorRegister it(hc_.mem, hc_.vsm);
+        for (;;) {
+            it.load(vsid_, slotOf(key));
+            WordMeta m;
+            Word w = it.read(&m);
+            if (w == 0 || !m.isPlid())
+                return false;
+            Line pair = hc_.mem.readLine(w);
+            SegDesc cur = hc_.unboxSegment(pair.word(1));
+            if (!(cur == expected.desc()))
+                return false;
+            Plid np = makePair(key, value);
+            it.write(np, WordMeta::plid());
+            if (it.tryCommit())
+                return true;
+            it.abort();
+        }
+    }
+
+    /** Remove a key; returns true if it was present. */
+    bool
+    erase(const HString &key)
+    {
+        IteratorRegister it(hc_.mem, hc_.vsm);
+        for (;;) {
+            it.load(vsid_, slotOf(key));
+            WordMeta m;
+            if (it.read(&m) == 0)
+                return false;
+            it.write(0);
+            if (it.tryCommit())
+                return true;
+        }
+    }
+
+    bool
+    contains(const HString &key)
+    {
+        IteratorRegister it(hc_.mem, hc_.vsm);
+        it.load(vsid_, slotOf(key));
+        return it.read() != 0;
+    }
+
+    /** Number of occupied slots (O(n) sparse scan). */
+    std::uint64_t
+    size()
+    {
+        IteratorRegister it(hc_.mem, hc_.vsm);
+        it.load(vsid_, 0);
+        std::uint64_t n = 0;
+        if (it.nextFrom()) {
+            ++n;
+            while (it.next())
+                ++n;
+        }
+        return n;
+    }
+
+    /**
+     * Visit every (key, value) pair in slot order over one snapshot.
+     */
+    template <typename Fn>
+    void
+    forEach(Fn &&fn)
+    {
+        IteratorRegister it(hc_.mem, hc_.vsm);
+        it.load(vsid_, 0);
+        bool more = it.nextFrom();
+        while (more) {
+            WordMeta m;
+            Word w = it.read(&m);
+            if (w != 0 && m.isPlid()) {
+                auto kv = readPair(w);
+                fn(kv.first, kv.second);
+            }
+            more = it.next();
+        }
+    }
+
+  private:
+    /**
+     * Build the pinned entry for (key, value): a line holding the
+     * boxed key and boxed value descriptors. Returns an owned PLID.
+     */
+    Plid
+    makePair(const HString &key, const HString &value)
+    {
+        SegBuilder b(hc_.mem);
+        b.retain(key.desc().root);
+        b.retain(value.desc().root);
+        Plid kb = hc_.boxSegment(key.desc());
+        Plid vb = hc_.boxSegment(value.desc());
+        Line pair = hc_.mem.makeLine();
+        pair.set(0, kb, WordMeta::plid());
+        pair.set(1, vb, WordMeta::plid());
+        return hc_.mem.internLine(pair);
+    }
+
+    std::pair<HString, HString>
+    readPair(Plid pair_plid)
+    {
+        SegBuilder b(hc_.mem);
+        Line pair = hc_.mem.readLine(pair_plid);
+        SegDesc kd = hc_.unboxSegment(pair.word(0));
+        SegDesc vd = hc_.unboxSegment(pair.word(1));
+        b.retain(kd.root);
+        b.retain(vd.root);
+        return {HString::adopt(hc_, kd), HString::adopt(hc_, vd)};
+    }
+
+    std::optional<HString>
+    readValue(IteratorRegister &it)
+    {
+        WordMeta m;
+        Word w = it.read(&m);
+        if (w == 0 || !m.isPlid())
+            return std::nullopt;
+        Line pair = hc_.mem.readLine(w);
+        SegDesc vd = hc_.unboxSegment(pair.word(1));
+        SegBuilder(hc_.mem).retain(vd.root);
+        return HString::adopt(hc_, vd);
+    }
+
+    /// sparse index space: 2^48 words
+    static constexpr std::uint64_t kIndexSpace = std::uint64_t{1} << 48;
+
+    Hicamp &hc_;
+    Vsid vsid_;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_LANG_HMAP_HH

@@ -1,0 +1,147 @@
+/**
+ * @file
+ * HObject: the paper's object model (§2.3): "Each software object
+ * corresponds to a segment. ... When one data structure needs to
+ * refer to another (e.g. object O1 needs to refer to O2), then an
+ * object's VSID is stored as the reference. When the contents of O2
+ * are updated, the entry in the virtual segment map corresponding to
+ * S2 is updated to point to the new root PLID, and thus the other
+ * referencing objects (e.g. O1) do not have to change their
+ * references."
+ *
+ * An HObject is a fixed-shape record of word fields; each field is
+ * raw data or a VSID-tagged reference to another object. Field
+ * updates commit through an iterator register (CAS/mCAS like any
+ * segment). Because references indirect through the segment map,
+ * updating a referenced object never rewrites the referrer — the
+ * contrast with PLID references, which name immutable *content*.
+ */
+
+#ifndef HICAMP_LANG_HOBJECT_HH
+#define HICAMP_LANG_HOBJECT_HH
+
+#include <vector>
+
+#include "lang/hstring.hh"
+#include "seg/iterator.hh"
+
+namespace hicamp {
+
+class HObject
+{
+  public:
+    /** Create an object with @p num_fields zeroed word fields. */
+    HObject(Hicamp &hc, unsigned num_fields)
+        : hc_(&hc), fields_(num_fields)
+    {
+        SegGeometry geo(hc.mem.fanout());
+        SegDesc d;
+        d.height = geo.heightForWords(num_fields);
+        d.byteLen = num_fields * kWordBytes;
+        vsid_ = hc.vsm.create(d);
+    }
+
+    /** Bind a handle to an existing object VSID. */
+    static HObject
+    attach(Hicamp &hc, Vsid v, unsigned num_fields)
+    {
+        HObject o;
+        o.hc_ = &hc;
+        o.vsid_ = v;
+        o.fields_ = num_fields;
+        o.owned_ = false;
+        return o;
+    }
+
+    HObject(const HObject &) = delete;
+    HObject &operator=(const HObject &) = delete;
+
+    HObject(HObject &&other) noexcept
+        : hc_(other.hc_), vsid_(other.vsid_), fields_(other.fields_),
+          owned_(other.owned_)
+    {
+        other.hc_ = nullptr;
+        other.owned_ = false;
+    }
+
+    ~HObject()
+    {
+        if (hc_ && owned_)
+            hc_->vsm.destroy(vsid_);
+    }
+
+    Vsid vsid() const { return vsid_; }
+    unsigned numFields() const { return fields_; }
+
+    /** Read a raw data field. */
+    Word
+    getWord(unsigned field)
+    {
+        WordMeta m;
+        return read(field, &m);
+    }
+
+    /** Write a raw data field (atomic commit, retries CAS races). */
+    void
+    setWord(unsigned field, Word value)
+    {
+        write(field, value, WordMeta::raw());
+    }
+
+    /**
+     * Store a reference to another object: the field holds the
+     * target's VSID with the hardware VSID tag. The reference stays
+     * valid across any number of updates to the target.
+     */
+    void
+    setRef(unsigned field, const HObject &target)
+    {
+        write(field, target.vsid(), WordMeta::vsid());
+    }
+
+    /** Read a reference field; kNullVsid if empty or not a ref. */
+    Vsid
+    getRef(unsigned field)
+    {
+        WordMeta m;
+        Word w = read(field, &m);
+        return m.isVsid() ? w : kNullVsid;
+    }
+
+    /** Clear a field. */
+    void clear(unsigned field) { write(field, 0, WordMeta::raw()); }
+
+  private:
+    HObject() = default;
+
+    Word
+    read(unsigned field, WordMeta *m)
+    {
+        HICAMP_ASSERT(field < fields_, "object field out of range");
+        IteratorRegister it(hc_->mem, hc_->vsm);
+        it.load(vsid_, field);
+        return it.read(m);
+    }
+
+    void
+    write(unsigned field, Word w, WordMeta m)
+    {
+        HICAMP_ASSERT(field < fields_, "object field out of range");
+        IteratorRegister it(hc_->mem, hc_->vsm);
+        for (;;) {
+            it.load(vsid_, field);
+            it.write(w, m);
+            if (it.tryCommit())
+                return;
+        }
+    }
+
+    Hicamp *hc_ = nullptr;
+    Vsid vsid_ = kNullVsid;
+    unsigned fields_ = 0;
+    bool owned_ = true;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_LANG_HOBJECT_HH

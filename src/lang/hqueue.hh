@@ -1,0 +1,102 @@
+/**
+ * @file
+ * HQueue: an unbounded FIFO of string values in one segment, with
+ * head/tail counters merged by merge-update (paper §4.3): a
+ * concurrent push and pop touch different slots and different
+ * counters, so they commit without retry; two pushes race only on the
+ * tail slot and fall back to application retry.
+ *
+ * Layout: word 0 = head sequence, word 1 = tail sequence, value for
+ * sequence s boxed at word (2 + s).
+ */
+
+#ifndef HICAMP_LANG_HQUEUE_HH
+#define HICAMP_LANG_HQUEUE_HH
+
+#include <optional>
+
+#include "lang/hstring.hh"
+#include "seg/iterator.hh"
+
+namespace hicamp {
+
+class HQueue
+{
+  public:
+    explicit HQueue(Hicamp &hc) : hc_(hc)
+    {
+        vsid_ = hc.vsm.create(SegDesc{}, kSegMergeUpdate);
+    }
+
+    ~HQueue() { hc_.vsm.destroy(vsid_); }
+
+    HQueue(const HQueue &) = delete;
+    HQueue &operator=(const HQueue &) = delete;
+
+    Vsid vsid() const { return vsid_; }
+
+    void
+    push(const HString &value)
+    {
+        IteratorRegister it(hc_.mem, hc_.vsm);
+        for (;;) {
+            SegBuilder(hc_.mem).retain(value.desc().root);
+            Plid box = hc_.boxSegment(value.desc());
+            it.load(vsid_, 1);
+            Word tail = it.read();
+            it.write(tail + 1);
+            it.seek(2 + tail);
+            it.write(box, WordMeta::plid());
+            if (it.tryCommit())
+                return;
+            it.abort();
+        }
+    }
+
+    std::optional<HString>
+    pop()
+    {
+        IteratorRegister it(hc_.mem, hc_.vsm);
+        for (;;) {
+            it.load(vsid_, 0);
+            Word head = it.read();
+            it.seek(1);
+            Word tail = it.read();
+            if (head == tail)
+                return std::nullopt;
+            it.seek(2 + head);
+            WordMeta m;
+            Word box = it.read(&m);
+            HICAMP_ASSERT(box != 0 && m.isPlid(),
+                          "queue slot missing its value");
+            SegDesc d = hc_.unboxSegment(box);
+            SegBuilder(hc_.mem).retain(d.root);
+            HString out = HString::adopt(hc_, d);
+            it.write(0); // free the slot
+            it.seek(0);
+            it.write(head + 1);
+            if (it.tryCommit())
+                return out;
+            it.abort();
+        }
+    }
+
+    std::uint64_t
+    size()
+    {
+        IteratorRegister it(hc_.mem, hc_.vsm);
+        it.load(vsid_, 0);
+        Word head = it.read();
+        it.seek(1);
+        Word tail = it.read();
+        return tail - head;
+    }
+
+  private:
+    Hicamp &hc_;
+    Vsid vsid_;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_LANG_HQUEUE_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * HShardedMap — the paper's §5.1.1 contention optimization: "If
+ * contention on a map is high for merge-updates, the map can be split
+ * into an array of segments (i.e. a segment that points to the
+ * subsegments), indexed by several bits of the key PLID, while the
+ * rest of the key PLID bits can be used as offset within the selected
+ * subsegment. Such a split would reduce probability of conflict and
+ * re-execution even further."
+ *
+ * Each shard is an independent merge-update segment with its own
+ * VSID, so commits to different shards never contend at all; within a
+ * shard, merge-update handles the remaining (rare) overlaps.
+ */
+
+#ifndef HICAMP_LANG_HSHARDED_MAP_HH
+#define HICAMP_LANG_HSHARDED_MAP_HH
+
+#include <memory>
+#include <vector>
+
+#include "lang/hmap.hh"
+
+namespace hicamp {
+
+class HShardedMap
+{
+  public:
+    /** @param shard_bits log2 of the shard count (paper: "several"). */
+    HShardedMap(Hicamp &hc, unsigned shard_bits = 4) : hc_(hc)
+    {
+        HICAMP_ASSERT(shard_bits <= 8, "too many shards");
+        shards_.reserve(std::size_t{1} << shard_bits);
+        for (std::size_t s = 0; s < (std::size_t{1} << shard_bits); ++s)
+            shards_.push_back(std::make_unique<HMap>(hc));
+        mask_ = (std::uint64_t{1} << shard_bits) - 1;
+    }
+
+    std::size_t shardCount() const { return shards_.size(); }
+
+    /** The shard a key routes to (high fingerprint bits). */
+    std::size_t
+    shardOf(const HString &key) const
+    {
+        return static_cast<std::size_t>((key.fingerprint() >> 56) &
+                                        mask_);
+    }
+
+    void
+    set(const HString &key, const HString &value)
+    {
+        shards_[shardOf(key)]->set(key, value);
+    }
+
+    std::optional<HString>
+    get(const HString &key)
+    {
+        return shards_[shardOf(key)]->get(key);
+    }
+
+    bool
+    erase(const HString &key)
+    {
+        return shards_[shardOf(key)]->erase(key);
+    }
+
+    std::uint64_t
+    size()
+    {
+        std::uint64_t n = 0;
+        for (auto &s : shards_)
+            n += s->size();
+        return n;
+    }
+
+    HMap &shard(std::size_t i) { return *shards_[i]; }
+
+  private:
+    Hicamp &hc_;
+    std::vector<std::unique_ptr<HMap>> shards_;
+    std::uint64_t mask_;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_LANG_HSHARDED_MAP_HH

@@ -1,0 +1,138 @@
+/**
+ * @file
+ * HString: an immutable HICAMP string value (paper Fig. 1). Content-
+ * unique by construction: two equal strings always have equal segment
+ * descriptors, so comparison is O(1), and equal substrings share lines
+ * automatically.
+ */
+
+#ifndef HICAMP_LANG_HSTRING_HH
+#define HICAMP_LANG_HSTRING_HH
+
+#include <string>
+#include <string_view>
+
+#include "lang/context.hh"
+
+namespace hicamp {
+
+/** Value-semantics handle owning one reference to its root. */
+class HString
+{
+  public:
+    /** The empty string. */
+    explicit HString(Hicamp &hc) : hc_(&hc) {}
+
+    /** Build (or re-find, via dedup) a string segment. */
+    HString(Hicamp &hc, std::string_view text) : hc_(&hc)
+    {
+        SegBuilder b(hc.mem, /*model_staging=*/true);
+        desc_ = b.buildBytes(text.data(), text.size());
+    }
+
+    /** Adopt an already-owned descriptor. */
+    static HString
+    adopt(Hicamp &hc, const SegDesc &d)
+    {
+        HString s(hc);
+        s.desc_ = d;
+        return s;
+    }
+
+    HString(const HString &other) : hc_(other.hc_), desc_(other.desc_)
+    {
+        retain();
+    }
+
+    HString &
+    operator=(const HString &other)
+    {
+        if (this != &other) {
+            release();
+            hc_ = other.hc_;
+            desc_ = other.desc_;
+            retain();
+        }
+        return *this;
+    }
+
+    HString(HString &&other) noexcept
+        : hc_(other.hc_), desc_(other.desc_)
+    {
+        other.desc_ = SegDesc{};
+    }
+
+    HString &
+    operator=(HString &&other) noexcept
+    {
+        if (this != &other) {
+            release();
+            hc_ = other.hc_;
+            desc_ = other.desc_;
+            other.desc_ = SegDesc{};
+        }
+        return *this;
+    }
+
+    ~HString() { release(); }
+
+    std::uint64_t size() const { return desc_.byteLen; }
+    bool empty() const { return desc_.byteLen == 0; }
+    const SegDesc &desc() const { return desc_; }
+
+    /** O(1) whole-string equality: compare descriptors. */
+    friend bool
+    operator==(const HString &a, const HString &b)
+    {
+        return a.desc_ == b.desc_;
+    }
+
+    /** 64-bit content fingerprint (the map-index "root PLID"). */
+    std::uint64_t fingerprint() const { return desc_.fingerprint(); }
+
+    /** Materialize to a host string (costs DAG reads). */
+    std::string
+    str() const
+    {
+        if (desc_.byteLen == 0)
+            return {};
+        SegReader r(hc_->mem);
+        std::vector<Word> w;
+        std::vector<WordMeta> m;
+        r.materialize(desc_.root, desc_.height, w, m);
+        return std::string(reinterpret_cast<const char *>(w.data()),
+                           desc_.byteLen);
+    }
+
+    /** Byte at @p i (costs a DAG path read). */
+    char
+    at(std::uint64_t i) const
+    {
+        HICAMP_ASSERT(i < desc_.byteLen, "HString index out of range");
+        SegReader r(hc_->mem);
+        Word w = r.readWord(desc_.root, desc_.height, i / kWordBytes);
+        return static_cast<char>(w >> ((i % kWordBytes) * 8));
+    }
+
+  private:
+    void
+    retain()
+    {
+        if (hc_)
+            SegBuilder(hc_->mem).retain(desc_.root);
+    }
+
+    void
+    release()
+    {
+        if (hc_)
+            SegBuilder(hc_->mem).release(desc_.root);
+    }
+
+    Hicamp *hc_ = nullptr;
+    SegDesc desc_;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_LANG_HSTRING_HH

@@ -1,0 +1,218 @@
+/**
+ * @file
+ * HTable: the paper's in-memory-database sketch (§4.4, last
+ * paragraph): "A client thread with a read-only reference to the
+ * database can access the state and process a query with its own
+ * private snapshot of the database state. It constructs a view as a
+ * new segment that specifies the result of the query, while
+ * referencing data directly in the database itself."
+ *
+ * A table is a segment of row references (boxed row segments); a
+ * query runs against one snapshot and materializes a *view*: a new
+ * segment whose entries reference the selected rows' existing
+ * segments — zero row copying, and the view remains valid (immutable)
+ * no matter what later commits do to the table.
+ */
+
+#ifndef HICAMP_LANG_HTABLE_HH
+#define HICAMP_LANG_HTABLE_HH
+
+#include <functional>
+#include <optional>
+
+#include "lang/hstring.hh"
+#include "seg/iterator.hh"
+
+namespace hicamp {
+
+class HTable;
+
+/**
+ * An immutable query result: an ordered segment of references into
+ * the base table's row data at the moment the query ran.
+ */
+class HView
+{
+  public:
+    HView(Hicamp &hc, SegDesc desc, std::uint64_t rows)
+        : hc_(&hc), desc_(desc), rows_(rows)
+    {}
+
+    HView(const HView &) = delete;
+    HView &operator=(const HView &) = delete;
+
+    HView(HView &&other) noexcept
+        : hc_(other.hc_), desc_(other.desc_), rows_(other.rows_)
+    {
+        other.hc_ = nullptr;
+    }
+
+    ~HView()
+    {
+        if (hc_)
+            SegBuilder(hc_->mem).release(desc_.root);
+    }
+
+    std::uint64_t size() const { return rows_; }
+
+    /** Fetch row @p i of the view (a string payload). */
+    HString
+    row(std::uint64_t i) const
+    {
+        HICAMP_ASSERT(hc_ && i < rows_, "view row out of range");
+        SegReader r(hc_->mem);
+        WordMeta m;
+        Word box = r.readWord(desc_.root, desc_.height, i, &m);
+        HICAMP_ASSERT(box != 0 && m.isPlid(), "hole in view");
+        SegDesc d = hc_->unboxSegment(box);
+        SegBuilder(hc_->mem).retain(d.root);
+        return HString::adopt(*hc_, d);
+    }
+
+  private:
+    Hicamp *hc_;
+    SegDesc desc_;
+    std::uint64_t rows_;
+};
+
+/**
+ * An append-only table of string rows with snapshot queries. Rows are
+ * stored densely (row id = index); deletes tombstone the slot.
+ */
+class HTable
+{
+  public:
+    explicit HTable(Hicamp &hc) : hc_(hc)
+    {
+        vsid_ = hc.vsm.create(SegDesc{}, kSegMergeUpdate);
+    }
+
+    ~HTable() { hc_.vsm.destroy(vsid_); }
+
+    HTable(const HTable &) = delete;
+    HTable &operator=(const HTable &) = delete;
+
+    Vsid vsid() const { return vsid_; }
+
+    /** Append a row; returns its row id. Safe under concurrency. */
+    std::uint64_t
+    insert(const HString &row)
+    {
+        IteratorRegister it(hc_.mem, hc_.vsm);
+        for (;;) {
+            SegBuilder(hc_.mem).retain(row.desc().root);
+            Plid box = hc_.boxSegment(row.desc());
+            it.load(vsid_, 0);
+            std::uint64_t id = it.read(); // word 0: row count
+            it.write(id + 1);
+            it.seek(1 + id);
+            it.write(box, WordMeta::plid());
+            if (it.tryCommit())
+                return id;
+            it.abort(); // counter collided with a concurrent insert
+        }
+    }
+
+    /** Read one row (nullopt if deleted / out of range). */
+    std::optional<HString>
+    get(std::uint64_t row_id)
+    {
+        IteratorRegister it(hc_.mem, hc_.vsm);
+        it.load(vsid_, 1 + row_id);
+        WordMeta m;
+        Word box = it.read(&m);
+        if (box == 0 || !m.isPlid())
+            return std::nullopt;
+        SegDesc d = hc_.unboxSegment(box);
+        SegBuilder(hc_.mem).retain(d.root);
+        return HString::adopt(hc_, d);
+    }
+
+    /** Tombstone a row. */
+    bool
+    erase(std::uint64_t row_id)
+    {
+        IteratorRegister it(hc_.mem, hc_.vsm);
+        for (;;) {
+            it.load(vsid_, 1 + row_id);
+            if (it.read() == 0)
+                return false;
+            it.write(0);
+            if (it.tryCommit())
+                return true;
+        }
+    }
+
+    /** Replace a row's payload (update). */
+    bool
+    update(std::uint64_t row_id, const HString &row)
+    {
+        IteratorRegister it(hc_.mem, hc_.vsm);
+        for (;;) {
+            it.load(vsid_, 1 + row_id);
+            if (it.read() == 0)
+                return false;
+            SegBuilder(hc_.mem).retain(row.desc().root);
+            it.write(hc_.boxSegment(row.desc()), WordMeta::plid());
+            if (it.tryCommit())
+                return true;
+            it.abort();
+        }
+    }
+
+    /** Committed row count (including tombstones). */
+    std::uint64_t
+    rowCount()
+    {
+        IteratorRegister it(hc_.mem, hc_.vsm);
+        it.load(vsid_, 0);
+        return it.read();
+    }
+
+    /**
+     * Run a predicate query against ONE snapshot of the table and
+     * materialize the result as a view. The view's entries reference
+     * the matching rows' segments directly (no row data is copied);
+     * the snapshot guarantees the predicate saw a consistent state
+     * even while writers keep committing.
+     */
+    HView
+    select(const std::function<bool(const HString &)> &pred)
+    {
+        IteratorRegister it(hc_.mem, hc_.vsm); // pins the snapshot
+        it.load(vsid_, 0);
+        const std::uint64_t n = it.read();
+        SegBuilder b(hc_.mem);
+        std::vector<Word> out;
+        std::vector<WordMeta> metas;
+        for (std::uint64_t i = 0; i < n; ++i) {
+            it.seek(1 + i);
+            WordMeta m;
+            Word box = it.read(&m);
+            if (box == 0 || !m.isPlid())
+                continue; // tombstone
+            SegDesc d = hc_.unboxSegment(box);
+            b.retain(d.root);
+            HString row = HString::adopt(hc_, d);
+            if (pred(row)) {
+                // The view references the row's existing box line.
+                hc_.mem.incRef(box);
+                out.push_back(box);
+                metas.push_back(WordMeta::plid());
+            }
+        }
+        SegDesc view = out.empty()
+                           ? SegDesc{}
+                           : b.buildWords(out.data(), metas.data(),
+                                          out.size());
+        return HView(hc_, view, out.size());
+    }
+
+  private:
+    Hicamp &hc_;
+    Vsid vsid_;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_LANG_HTABLE_HH

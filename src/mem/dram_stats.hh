@@ -1,0 +1,73 @@
+/**
+ * @file
+ * DRAM traffic accounting for the HICAMP memory system, split into the
+ * categories of paper Figure 6: data reads, writebacks, lookup traffic
+ * (signature line reads/updates plus data line reads/writes performed
+ * by lookup-by-content), deallocation traffic and reference-count
+ * traffic.
+ */
+
+#ifndef HICAMP_MEM_DRAM_STATS_HH
+#define HICAMP_MEM_DRAM_STATS_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+
+namespace hicamp {
+
+/** Category a DRAM access is attributed to (Fig. 6 stack). */
+enum class DramCat : std::uint8_t {
+    Read = 0,    ///< data line read (cache miss on read-by-PLID)
+    Write,       ///< writeback of mutable state (transient, segment map)
+    Lookup,      ///< signature reads/updates + data traffic of lookups
+    Dealloc,     ///< signature clears + line reads during deallocation
+    RefCount,    ///< reference-count line reads/writebacks
+    NumCats
+};
+
+/** Per-category DRAM access counters. */
+class DramStats
+{
+  public:
+    void
+    count(DramCat cat, std::uint64_t n = 1)
+    {
+        counts_[static_cast<unsigned>(cat)] += n;
+    }
+
+    std::uint64_t
+    get(DramCat cat) const
+    {
+        return counts_[static_cast<unsigned>(cat)].value();
+    }
+
+    std::uint64_t reads() const { return get(DramCat::Read); }
+    std::uint64_t writes() const { return get(DramCat::Write); }
+    std::uint64_t lookups() const { return get(DramCat::Lookup); }
+    std::uint64_t deallocs() const { return get(DramCat::Dealloc); }
+    std::uint64_t refcounts() const { return get(DramCat::RefCount); }
+
+    std::uint64_t
+    total() const
+    {
+        std::uint64_t t = 0;
+        for (const auto &c : counts_)
+            t += c.value();
+        return t;
+    }
+
+    void
+    reset()
+    {
+        for (auto &c : counts_)
+            c.reset();
+    }
+
+  private:
+    Counter counts_[static_cast<unsigned>(DramCat::NumCats)];
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_MEM_DRAM_STATS_HH

@@ -1,0 +1,112 @@
+#include "mem/hicamp_cache.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace hicamp {
+
+HicampCache::HicampCache(std::uint64_t size_bytes, unsigned ways,
+                         unsigned line_bytes, bool content_searchable)
+    : ways_(ways), numSets_(size_bytes / (line_bytes * ways)),
+      searchable_(content_searchable), entries_(numSets_ * ways_)
+{
+    HICAMP_ASSERT(numSets_ > 0 && std::has_single_bit(numSets_),
+                  "cache set count must be a power of two");
+}
+
+HicampCache::Access
+HicampCache::access(const CacheKey &key, std::uint64_t home, bool dirty,
+                    DramCat wb_cat, const Line *content)
+{
+    Entry *base = &entries_[setIndex(home) * ways_];
+    Entry *victim = base;
+    for (unsigned w = 0; w < ways_; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.key == key) {
+            e.lru = ++lruClock_;
+            if (dirty) {
+                e.dirty = true;
+                e.wbCat = wb_cat;
+            }
+            if (content && searchable_) {
+                e.content = *content;
+                e.hasContent = true;
+            }
+            ++hits;
+            return {true, std::nullopt};
+        }
+        if (!e.valid) {
+            victim = &e;
+        } else if (victim->valid && e.lru < victim->lru) {
+            victim = &e;
+        }
+    }
+    ++misses;
+    Access result{false, std::nullopt};
+    if (victim->valid && victim->dirty) {
+        result.writeback = victim->wbCat;
+        result.victimKey = victim->key;
+        result.victimHome = victim->home;
+    }
+    victim->valid = true;
+    victim->dirty = dirty;
+    victim->key = key;
+    victim->home = home;
+    victim->lru = ++lruClock_;
+    victim->wbCat = wb_cat;
+    if (content && searchable_) {
+        victim->content = *content;
+        victim->hasContent = true;
+    } else {
+        victim->hasContent = false;
+    }
+    return result;
+}
+
+std::optional<Plid>
+HicampCache::lookupContent(const Line &content,
+                           std::uint64_t content_hash) const
+{
+    if (!searchable_)
+        return std::nullopt;
+    const Entry *base = &entries_[setIndex(content_hash) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        const Entry &e = base[w];
+        if (e.valid && e.key.kind == LineKind::Data && e.hasContent &&
+            e.content == content) {
+            return e.key.id;
+        }
+    }
+    return std::nullopt;
+}
+
+bool
+HicampCache::invalidate(const CacheKey &key, std::uint64_t home)
+{
+    Entry *base = &entries_[setIndex(home) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        Entry &e = base[w];
+        if (e.valid && e.key == key) {
+            bool dirty = e.dirty;
+            e.valid = false;
+            e.dirty = false;
+            e.hasContent = false;
+            return dirty;
+        }
+    }
+    return false;
+}
+
+bool
+HicampCache::contains(const CacheKey &key, std::uint64_t home) const
+{
+    const Entry *base = &entries_[setIndex(home) * ways_];
+    for (unsigned w = 0; w < ways_; ++w) {
+        if (base[w].valid && base[w].key == key)
+            return true;
+    }
+    return false;
+}
+
+} // namespace hicamp

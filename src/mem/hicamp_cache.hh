@@ -1,0 +1,152 @@
+/**
+ * @file
+ * The HICAMP cache of paper Fig. 3: a set-associative cache supporting
+ * both read-by-PLID and lookup-by-content. The key structural property
+ * is that every main-memory hash bucket maps to exactly one cache set
+ * (the set index is a subset of the content-hash bits carried in the
+ * PLID), so a content lookup needs to search only one set.
+ *
+ * Besides data lines the cache also holds signature lines and
+ * reference-count lines (one of each per bucket) and transient
+ * (non-deduplicated) lines, so that the protocol traffic of lookups,
+ * refcounting and iterator writes is filtered by the cache exactly as
+ * in the paper's model.
+ */
+
+#ifndef HICAMP_MEM_HICAMP_CACHE_HH
+#define HICAMP_MEM_HICAMP_CACHE_HH
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/line.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/dram_stats.hh"
+
+namespace hicamp {
+
+/** What a cached line holds. */
+enum class LineKind : std::uint8_t {
+    Data = 0,   ///< an immutable content-unique line, keyed by PLID
+    Sig,        ///< a bucket's signature line, keyed by bucket number
+    Rc,         ///< a bucket's reference-count line, keyed by bucket
+    Transient,  ///< a mutable per-core transient line, keyed by address
+};
+
+/** Cache tag: kind plus kind-specific id. */
+struct CacheKey {
+    LineKind kind;
+    std::uint64_t id;
+
+    friend bool
+    operator==(const CacheKey &a, const CacheKey &b)
+    {
+        return a.kind == b.kind && a.id == b.id;
+    }
+};
+
+/**
+ * One level of the HICAMP cache. Data entries keep a copy of their
+ * line content so lookup-by-content can match in-cache lines without a
+ * memory access.
+ */
+class HicampCache
+{
+  public:
+    /**
+     * @param size_bytes  capacity
+     * @param ways        associativity
+     * @param line_bytes  line size (16/32/64)
+     * @param content_searchable retain line content for content lookups
+     */
+    HicampCache(std::uint64_t size_bytes, unsigned ways,
+                unsigned line_bytes, bool content_searchable);
+
+    struct Access {
+        bool hit;
+        /// category of the dirty victim's writeback, if any
+        std::optional<DramCat> writeback;
+        /// identity of the dirty victim (for L1 -> L2 writebacks)
+        CacheKey victimKey{LineKind::Data, 0};
+        std::uint64_t victimHome = 0;
+    };
+
+    /**
+     * Probe-and-fill. @p home supplies the set-index bits: the home
+     * bucket for Data/Sig/Rc lines, the line address for transients.
+     * @p dirty marks the (inserted or hit) entry dirty; @p wb_cat is
+     * the DRAM category its eventual writeback belongs to.
+     * @p content is retained for Data entries when content-searchable.
+     */
+    Access access(const CacheKey &key, std::uint64_t home, bool dirty,
+                  DramCat wb_cat, const Line *content = nullptr);
+
+    /**
+     * Lookup-by-content: search the single set identified by
+     * @p content_hash for a Data entry matching @p content.
+     * Returns the matching PLID, or nullopt.
+     */
+    std::optional<Plid> lookupContent(const Line &content,
+                                      std::uint64_t content_hash) const;
+
+    /**
+     * Drop an entry (e.g. on deallocation-invalidate). Returns true if
+     * the entry was present and dirty (its writeback is cancelled).
+     */
+    bool invalidate(const CacheKey &key, std::uint64_t home);
+
+    bool contains(const CacheKey &key, std::uint64_t home) const;
+
+    /** Clear all dirty bits (writebacks completed out-of-band). */
+    void
+    cleanAll()
+    {
+        for (auto &e : entries_)
+            e.dirty = false;
+    }
+
+    /** Drop every entry (cold-start a measurement). */
+    void
+    invalidateAll()
+    {
+        for (auto &e : entries_) {
+            e.valid = false;
+            e.dirty = false;
+            e.hasContent = false;
+        }
+    }
+
+    std::uint64_t numSets() const { return numSets_; }
+
+    Counter hits;
+    Counter misses;
+
+  private:
+    struct Entry {
+        bool valid = false;
+        bool dirty = false;
+        CacheKey key{LineKind::Data, 0};
+        std::uint64_t home = 0;
+        std::uint64_t lru = 0;
+        DramCat wbCat = DramCat::Write;
+        Line content; ///< valid for Data entries when searchable
+        bool hasContent = false;
+    };
+
+    std::uint64_t setIndex(std::uint64_t home) const
+    {
+        return home & (numSets_ - 1);
+    }
+
+    unsigned ways_;
+    std::uint64_t numSets_;
+    bool searchable_;
+    std::uint64_t lruClock_ = 0;
+    std::vector<Entry> entries_;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_MEM_HICAMP_CACHE_HH

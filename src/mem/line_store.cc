@@ -1,0 +1,303 @@
+#include "mem/line_store.hh"
+
+#include <bit>
+
+#include "common/logging.hh"
+
+namespace hicamp {
+
+namespace {
+
+Plid
+plidOf(std::uint64_t bucket, unsigned data_way)
+{
+    return (bucket << BucketLayout::kWayBits) |
+           (BucketLayout::kFirstData + data_way);
+}
+
+} // namespace
+
+LineStore::LineStore(std::uint64_t num_buckets, unsigned line_words)
+    : numBuckets_(num_buckets), lineWords_(line_words),
+      words_(num_buckets * BucketLayout::kNumData * line_words, 0),
+      metas_(num_buckets * BucketLayout::kNumData * line_words, 0),
+      sigs_(num_buckets * BucketLayout::kNumData, 0),
+      refs_(num_buckets * BucketLayout::kNumData, 0),
+      liveMask_(num_buckets, 0)
+{
+    HICAMP_ASSERT(std::has_single_bit(num_buckets),
+                  "bucket count must be a power of two");
+    HICAMP_ASSERT(line_words == 2 || line_words == 4 || line_words == 8,
+                  "line width must be 2, 4 or 8 words");
+}
+
+std::uint64_t
+LineStore::bucketOfPlid(Plid plid) const
+{
+    if (isOverflow(plid))
+        return overflow_[plid - kOverflowBase].homeBucket;
+    return plid >> BucketLayout::kWayBits;
+}
+
+std::uint64_t
+LineStore::slotOf(Plid plid) const
+{
+    std::uint64_t bucket = plid >> BucketLayout::kWayBits;
+    unsigned way = static_cast<unsigned>(plid & (BucketLayout::kWays - 1));
+    HICAMP_ASSERT(bucket < numBuckets_ &&
+                      way >= BucketLayout::kFirstData &&
+                      way < BucketLayout::kFirstData + BucketLayout::kNumData,
+                  "malformed PLID");
+    return bucket * BucketLayout::kNumData +
+           (way - BucketLayout::kFirstData);
+}
+
+void
+LineStore::setSlotLive(std::uint64_t slot, bool live)
+{
+    std::uint64_t bucket = slot / BucketLayout::kNumData;
+    unsigned bit = static_cast<unsigned>(slot % BucketLayout::kNumData);
+    if (live)
+        liveMask_[bucket] |= static_cast<std::uint16_t>(1u << bit);
+    else
+        liveMask_[bucket] &= static_cast<std::uint16_t>(~(1u << bit));
+}
+
+bool
+LineStore::slotEquals(std::uint64_t slot, const Line &content) const
+{
+    const Word *w = &words_[slot * lineWords_];
+    const std::uint16_t *m = &metas_[slot * lineWords_];
+    for (unsigned i = 0; i < lineWords_; ++i) {
+        if (w[i] != content.word(i) || m[i] != content.meta(i).value())
+            return false;
+    }
+    return true;
+}
+
+Line
+LineStore::materialize(std::uint64_t slot) const
+{
+    Line l(lineWords_);
+    const Word *w = &words_[slot * lineWords_];
+    const std::uint16_t *m = &metas_[slot * lineWords_];
+    for (unsigned i = 0; i < lineWords_; ++i)
+        l.set(i, w[i], WordMeta(m[i]));
+    return l;
+}
+
+LineStore::FindResult
+LineStore::find(const Line &content) const
+{
+    HICAMP_ASSERT(content.size() == lineWords_, "line width mismatch");
+    HICAMP_ASSERT(!content.isZero(), "zero line is implicit (PLID 0)");
+    FindResult r;
+    const std::uint64_t hash = content.contentHash();
+    const std::uint64_t b = bucketOf(hash);
+    const std::uint8_t sig = signatureOfHash(hash);
+    const std::uint64_t base = b * BucketLayout::kNumData;
+    for (unsigned w = 0; w < BucketLayout::kNumData; ++w) {
+        const std::uint64_t slot = base + w;
+        if (!slotLive(slot) || sigs_[slot] != sig)
+            continue;
+        r.candidates.push_back(plidOf(b, w));
+        if (slotEquals(slot, content)) {
+            r.plid = r.candidates.back();
+            r.found = true;
+            return r;
+        }
+    }
+    auto [lo, hi] = overflowIndex_.equal_range(hash);
+    for (auto it = lo; it != hi; ++it) {
+        const OverflowEntry &e = overflow_[it->second];
+        if (e.live && e.line == content) {
+            r.plid = kOverflowBase + it->second;
+            r.found = true;
+            r.overflow = true;
+            return r;
+        }
+    }
+    return r;
+}
+
+LineStore::FindResult
+LineStore::findOrInsert(const Line &content)
+{
+    FindResult r = find(content);
+    if (r.found)
+        return r;
+
+    const std::uint64_t hash = content.contentHash();
+    const std::uint64_t b = bucketOf(hash);
+    const std::uint8_t sig = signatureOfHash(hash);
+    const std::uint64_t base = b * BucketLayout::kNumData;
+    if (liveMask_[b] != (1u << BucketLayout::kNumData) - 1) {
+        for (unsigned w = 0; w < BucketLayout::kNumData; ++w) {
+            const std::uint64_t slot = base + w;
+            if (slotLive(slot))
+                continue;
+            Word *dst = &words_[slot * lineWords_];
+            std::uint16_t *dm = &metas_[slot * lineWords_];
+            for (unsigned i = 0; i < lineWords_; ++i) {
+                dst[i] = content.word(i);
+                dm[i] = content.meta(i).value();
+            }
+            sigs_[slot] = sig;
+            refs_[slot] = 0;
+            setSlotLive(slot, true);
+            ++liveLines_;
+            r.plid = plidOf(b, w);
+            return r;
+        }
+    }
+
+    // Home bucket full: spill to the overflow area.
+    std::uint64_t idx;
+    if (!overflowFree_.empty()) {
+        idx = overflowFree_.back();
+        overflowFree_.pop_back();
+    } else {
+        idx = overflow_.size();
+        overflow_.emplace_back();
+    }
+    OverflowEntry &e = overflow_[idx];
+    e.line = content;
+    e.homeBucket = b;
+    e.refs = 0;
+    e.live = true;
+    overflowIndex_.emplace(hash, idx);
+    ++overflowLive_;
+    ++liveLines_;
+    r.plid = kOverflowBase + idx;
+    r.overflow = true;
+    return r;
+}
+
+Line
+LineStore::read(Plid plid) const
+{
+    if (plid == kZeroPlid)
+        return Line(lineWords_);
+    if (isOverflow(plid)) {
+        const OverflowEntry &e = overflow_[plid - kOverflowBase];
+        HICAMP_ASSERT(e.live, "read of dead overflow line");
+        return e.line;
+    }
+    const std::uint64_t slot = slotOf(plid);
+    HICAMP_ASSERT(slotLive(slot), "read of unallocated PLID");
+    return materialize(slot);
+}
+
+bool
+LineStore::isLive(Plid plid) const
+{
+    if (plid == kZeroPlid)
+        return true;
+    if (isOverflow(plid)) {
+        std::uint64_t idx = plid - kOverflowBase;
+        return idx < overflow_.size() && overflow_[idx].live;
+    }
+    std::uint64_t bucket = plid >> BucketLayout::kWayBits;
+    unsigned way = static_cast<unsigned>(plid & (BucketLayout::kWays - 1));
+    if (bucket >= numBuckets_ || way < BucketLayout::kFirstData ||
+        way >= BucketLayout::kFirstData + BucketLayout::kNumData) {
+        return false;
+    }
+    return slotLive(slotOf(plid));
+}
+
+std::uint32_t
+LineStore::refCount(Plid plid) const
+{
+    if (plid == kZeroPlid)
+        return 1; // the zero line is never reclaimed
+    if (isOverflow(plid))
+        return overflow_[plid - kOverflowBase].refs;
+    return refs_[slotOf(plid)];
+}
+
+std::uint32_t
+LineStore::addRef(Plid plid, std::int32_t delta)
+{
+    HICAMP_ASSERT(plid != kZeroPlid, "refcounting the zero line");
+    std::uint32_t *refs;
+    if (isOverflow(plid)) {
+        OverflowEntry &e = overflow_[plid - kOverflowBase];
+        HICAMP_ASSERT(e.live, "refcount of dead overflow line");
+        refs = &e.refs;
+    } else {
+        const std::uint64_t slot = slotOf(plid);
+        HICAMP_ASSERT(slotLive(slot), "refcount of unallocated PLID");
+        refs = &refs_[slot];
+    }
+    if (delta < 0) {
+        HICAMP_ASSERT(*refs >= static_cast<std::uint32_t>(-delta),
+                      "refcount underflow");
+    }
+    *refs = static_cast<std::uint32_t>(
+        static_cast<std::int64_t>(*refs) + delta);
+    return *refs;
+}
+
+void
+LineStore::freeLine(Plid plid)
+{
+    HICAMP_ASSERT(plid != kZeroPlid, "freeing the zero line");
+    if (isOverflow(plid)) {
+        std::uint64_t idx = plid - kOverflowBase;
+        OverflowEntry &e = overflow_[idx];
+        HICAMP_ASSERT(e.live && e.refs == 0, "freeing a referenced line");
+        std::uint64_t hash = e.line.contentHash();
+        auto [lo, hi] = overflowIndex_.equal_range(hash);
+        for (auto it = lo; it != hi; ++it) {
+            if (it->second == idx) {
+                overflowIndex_.erase(it);
+                break;
+            }
+        }
+        e.live = false;
+        overflowFree_.push_back(idx);
+        --overflowLive_;
+    } else {
+        const std::uint64_t slot = slotOf(plid);
+        HICAMP_ASSERT(slotLive(slot) && refs_[slot] == 0,
+                      "freeing a referenced line");
+        setSlotLive(slot, false);
+        sigs_[slot] = 0;
+        Word *w = &words_[slot * lineWords_];
+        std::uint16_t *m = &metas_[slot * lineWords_];
+        for (unsigned i = 0; i < lineWords_; ++i) {
+            w[i] = 0;
+            m[i] = 0;
+        }
+    }
+    HICAMP_ASSERT(liveLines_ > 0, "live line count underflow");
+    --liveLines_;
+}
+
+void
+LineStore::corruptForTest(Plid plid, unsigned word_idx, Word xor_mask)
+{
+    HICAMP_ASSERT(!isOverflow(plid) && plid != kZeroPlid,
+                  "corruptForTest targets home-bucket lines");
+    const std::uint64_t slot = slotOf(plid);
+    HICAMP_ASSERT(slotLive(slot), "corrupting a dead line");
+    words_[slot * lineWords_ + word_idx] ^= xor_mask;
+}
+
+std::uint64_t
+LineStore::totalRefs() const
+{
+    std::uint64_t t = 0;
+    for (std::uint64_t slot = 0;
+         slot < numBuckets_ * BucketLayout::kNumData; ++slot) {
+        if (slotLive(slot))
+            t += refs_[slot];
+    }
+    for (const auto &e : overflow_)
+        if (e.live)
+            t += e.refs;
+    return t;
+}
+
+} // namespace hicamp

@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Ground-truth state of the deduplicating HICAMP main memory,
+ * organized per paper Fig. 2: DRAM is divided into hash buckets (one
+ * per DRAM row), each holding a signature line, a reference-count
+ * line, twelve data ways and an overflow pointer area. A line lives in
+ * the bucket selected by the hash of its content; its PLID is the
+ * concatenation of bucket number and way.
+ *
+ * This class is pure state plus protocol *descriptions* (which DRAM
+ * rows an operation touches); traffic attribution and cache filtering
+ * are the job of mem/memory.hh. Storage is flat arrays so multi-
+ * million-line workloads stay compact.
+ */
+
+#ifndef HICAMP_MEM_LINE_STORE_HH
+#define HICAMP_MEM_LINE_STORE_HH
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/line.hh"
+#include "common/types.hh"
+
+namespace hicamp {
+
+/** Layout constants of a hash bucket (Fig. 2). */
+struct BucketLayout {
+    static constexpr unsigned kWays = 16;      ///< ways per bucket
+    static constexpr unsigned kFirstData = 2;  ///< way 0 = sigs, 1 = RCs
+    static constexpr unsigned kNumData = 12;   ///< data ways 2..13
+    static constexpr unsigned kWayBits = 4;    ///< log2(kWays)
+};
+
+/** PLIDs above this base address the overflow area. */
+inline constexpr Plid kOverflowBase = Plid{1} << 48;
+
+/**
+ * Deduplicated line storage with per-line reference counts.
+ *
+ * Reference-count discipline: every PLID value held by the software
+ * model (inside a committed line, in a segment-map root, or in a
+ * snapshot/iterator handle) owns one reference. Lines whose count
+ * reaches zero are freed by Memory (which also handles the recursive
+ * release of children, since that requires reading line content
+ * through the cache model).
+ */
+class LineStore
+{
+  public:
+    /**
+     * @param num_buckets number of hash buckets (power of two)
+     * @param line_words  words per line (2, 4 or 8)
+     */
+    LineStore(std::uint64_t num_buckets, unsigned line_words);
+
+    unsigned lineWords() const { return lineWords_; }
+    std::uint64_t numBuckets() const { return numBuckets_; }
+
+    /** Home bucket for a content hash. */
+    std::uint64_t bucketOf(std::uint64_t content_hash) const
+    {
+        return bucketOfHash(content_hash, numBuckets_);
+    }
+
+    /** Home bucket of an existing line (overflow lines know theirs). */
+    std::uint64_t bucketOfPlid(Plid plid) const;
+
+    /** Result of a find-or-insert style probe. */
+    struct FindResult {
+        Plid plid = kZeroPlid;
+        bool found = false;
+        /// line landed in (or was found in) the overflow area
+        bool overflow = false;
+        /// PLIDs whose signature matched, in probe order (the final
+        /// element is the match itself when found in the home bucket)
+        std::vector<Plid> candidates;
+    };
+
+    /**
+     * Look for @p content; if absent, allocate it (in its home bucket
+     * or, when full, the overflow area). Does NOT touch refcounts.
+     */
+    FindResult findOrInsert(const Line &content);
+
+    /** Probe only; plid==0 in the result if absent. */
+    FindResult find(const Line &content) const;
+
+    /** Read a line by PLID. Zero PLID returns the all-zero line. */
+    Line read(Plid plid) const;
+
+    /** True if the PLID names a live line. */
+    bool isLive(Plid plid) const;
+
+    std::uint32_t refCount(Plid plid) const;
+    /** Adjust a refcount; returns the new value. */
+    std::uint32_t addRef(Plid plid, std::int32_t delta);
+
+    /** Free a (zero-refcount) line slot; clears its signature. */
+    void freeLine(Plid plid);
+
+    /** Number of live lines (excluding the implicit zero line). */
+    std::uint64_t liveLines() const { return liveLines_; }
+    /** Bytes of live line payload. */
+    std::uint64_t liveBytes() const
+    {
+        return liveLines() * lineWords_ * kWordBytes;
+    }
+    /** Lines currently resident in the overflow area. */
+    std::uint64_t overflowLines() const { return overflowLive_; }
+
+    /** Sum of all live reference counts (for invariant checks). */
+    std::uint64_t totalRefs() const;
+
+    /**
+     * Fault injection (tests/benches): XOR a stored word of a live
+     * home-bucket line, emulating a multi-bit DRAM error that slips
+     * past per-line ECC. The paper's §3.1 content-hash-vs-bucket
+     * check is expected to catch almost all such corruptions.
+     */
+    void corruptForTest(Plid plid, unsigned word_idx, Word xor_mask);
+
+  private:
+    struct OverflowEntry {
+        Line line;
+        std::uint64_t homeBucket = 0;
+        std::uint32_t refs = 0;
+        bool live = false;
+    };
+
+    bool isOverflow(Plid plid) const { return plid >= kOverflowBase; }
+
+    /** Flat slot index of a home-bucket PLID. */
+    std::uint64_t slotOf(Plid plid) const;
+    bool slotLive(std::uint64_t slot) const
+    {
+        return (liveMask_[slot / BucketLayout::kNumData] >>
+                (slot % BucketLayout::kNumData)) & 1;
+    }
+    void setSlotLive(std::uint64_t slot, bool live);
+    bool slotEquals(std::uint64_t slot, const Line &content) const;
+    Line materialize(std::uint64_t slot) const;
+
+    std::uint64_t numBuckets_;
+    unsigned lineWords_;
+
+    /// numBuckets * kNumData * lineWords
+    std::vector<Word> words_;
+    std::vector<std::uint16_t> metas_;
+    /// numBuckets * kNumData
+    std::vector<std::uint8_t> sigs_;
+    std::vector<std::uint32_t> refs_;
+    /// per-bucket occupancy bitmask over data ways
+    std::vector<std::uint16_t> liveMask_;
+
+    std::vector<OverflowEntry> overflow_;
+    std::vector<std::uint64_t> overflowFree_;
+    /// content-hash -> overflow indices (chained like Fig. 2's
+    /// overflow pointer area)
+    std::unordered_multimap<std::uint64_t, std::uint64_t> overflowIndex_;
+    std::uint64_t overflowLive_ = 0;
+
+    std::uint64_t liveLines_ = 0;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_MEM_LINE_STORE_HH

@@ -1,0 +1,359 @@
+#include "mem/memory.hh"
+
+#include <vector>
+
+#include "common/logging.hh"
+
+namespace hicamp {
+
+namespace {
+
+/** Transient-id namespace for virtual-segment-map entries. */
+constexpr std::uint64_t kVsmIdBase = std::uint64_t{1} << 40;
+
+} // namespace
+
+Memory::Memory(const MemoryConfig &cfg)
+    : cfg_(cfg), store_(cfg.numBuckets, cfg.lineBytes / kWordBytes),
+      l1_(cfg.l1Bytes, cfg.l1Ways, cfg.lineBytes,
+          /*content_searchable=*/false),
+      l2_(cfg.l2Bytes, cfg.l2Ways, cfg.lineBytes,
+          /*content_searchable=*/true)
+{
+    HICAMP_ASSERT(cfg.lineBytes == 16 || cfg.lineBytes == 32 ||
+                      cfg.lineBytes == 64,
+                  "line size must be 16, 32 or 64 bytes");
+}
+
+void
+Memory::countWriteback(const HicampCache::Access &a)
+{
+    if (a.writeback)
+        dram_.count(*a.writeback);
+}
+
+void
+Memory::rcTouch(Plid plid)
+{
+    const std::uint64_t home = store_.bucketOfPlid(plid);
+    auto a = l2_.access({LineKind::Rc, home}, home, /*dirty=*/true,
+                        DramCat::RefCount);
+    if (!a.hit)
+        dram_.count(DramCat::RefCount); // fetch the RC line
+    countWriteback(a);
+}
+
+Plid
+Memory::lookup(const Line &content, bool *was_new)
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    return lookupLocked(content, was_new);
+}
+
+Plid
+Memory::lookupLocked(const Line &content, bool *was_new)
+{
+    if (was_new)
+        *was_new = false;
+    if (content.isZero())
+        return kZeroPlid;
+
+    ++lookupOps_;
+    const std::uint64_t hash = content.contentHash();
+
+    // Fast path: the line is resident in the LLC; the content search
+    // needs only the single set the hash bucket maps to (Fig. 3).
+    if (auto cached = l2_.lookupContent(content, hash)) {
+        ++l2_.hits;
+        store_.addRef(*cached, +1);
+        rcTouch(*cached);
+        return *cached;
+    }
+    ++l2_.misses;
+
+    const std::uint64_t home = store_.bucketOf(hash);
+    auto res = store_.findOrInsert(content);
+    const std::uint64_t dram_before = dram_.total();
+
+    // Protocol step: read the bucket's signature line.
+    {
+        auto a = l2_.access({LineKind::Sig, home}, home, /*dirty=*/false,
+                            DramCat::Lookup);
+        if (!a.hit)
+            dram_.count(DramCat::Lookup);
+        countWriteback(a);
+    }
+
+    // Probe each signature-matching candidate's data line.
+    for (Plid cand : res.candidates) {
+        const Line &cand_line = store_.read(cand);
+        auto a = l2_.access({LineKind::Data, cand}, home, /*dirty=*/false,
+                            DramCat::Lookup, &cand_line);
+        if (!a.hit)
+            dram_.count(DramCat::Lookup);
+        countWriteback(a);
+    }
+    sigFalsePositives_ +=
+        res.candidates.size() - (res.found && !res.overflow ? 1 : 0);
+
+    // Walking the overflow pointer area costs an extra row access.
+    if (res.overflow)
+        dram_.count(DramCat::Lookup);
+
+    if (!res.found) {
+        // Fresh allocation: update the signature line and place the
+        // new content in the LLC; both write back in the lookup
+        // category when evicted (paper footnote 12).
+        auto sig = l2_.access({LineKind::Sig, home}, home, /*dirty=*/true,
+                              DramCat::Lookup);
+        countWriteback(sig);
+        auto dat = l2_.access({LineKind::Data, res.plid}, home,
+                              /*dirty=*/true, DramCat::Lookup, &content);
+        countWriteback(dat);
+        if (was_new)
+            *was_new = true;
+    }
+
+    store_.addRef(res.plid, +1);
+    rcTouch(res.plid);
+    // All protocol commands (signature, candidates, allocation, the
+    // RC line) target the home bucket's DRAM row: one activation,
+    // plus one for the overflow area when it was walked.
+    if (dram_.total() > dram_before)
+        rowActs_ += 1 + (res.overflow ? 1 : 0);
+    return res.plid;
+}
+
+Plid
+Memory::internLine(const Line &content)
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    bool fresh = false;
+    Plid plid = lookupLocked(content, &fresh);
+    if (!fresh && plid != kZeroPlid) {
+        // Dedup hit: the existing line already owns references to its
+        // children; release the caller's.
+        for (unsigned i = 0; i < content.size(); ++i) {
+            if (content.meta(i).isPlid() && content.word(i) != 0)
+                decRefLocked(content.word(i));
+        }
+    }
+    return plid;
+}
+
+Line
+Memory::readLine(Plid plid, DramCat cat)
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    return readLineLocked(plid, cat);
+}
+
+Line
+Memory::readLineLocked(Plid plid, DramCat cat)
+{
+    if (plid == kZeroPlid)
+        return makeLine();
+    ++readOps_;
+    const std::uint64_t home = store_.bucketOfPlid(plid);
+    const CacheKey key{LineKind::Data, plid};
+    auto a1 = l1_.access(key, home, /*dirty=*/false, cat);
+    if (a1.writeback) {
+        // Only transient lines are ever dirty in L1; spill into L2
+        // (full-line write: no fetch needed).
+        auto spill = l2_.access(a1.victimKey, a1.victimHome,
+                                /*dirty=*/true, *a1.writeback);
+        countWriteback(spill);
+    }
+    if (!a1.hit) {
+        const Line &content = store_.read(plid);
+        auto a2 = l2_.access(key, home, /*dirty=*/false, cat, &content);
+        if (!a2.hit) {
+            dram_.count(cat);
+            ++rowActs_;
+            // §3.1 error detection: the line was fetched from DRAM;
+            // recompute its content hash and check it still selects
+            // the bucket it lives in. Escapes only if the corruption
+            // happens to hash back to the same bucket.
+            if (store_.bucketOf(content.contentHash()) != home) {
+                ++errorsDetected_;
+                warn("memory error detected: line content no longer "
+                     "matches its hash bucket");
+            }
+        }
+        countWriteback(a2);
+    }
+    return store_.read(plid);
+}
+
+void
+Memory::incRef(Plid plid)
+{
+    if (plid == kZeroPlid)
+        return;
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    store_.addRef(plid, +1);
+    rcTouch(plid);
+}
+
+void
+Memory::decRef(Plid plid)
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    decRefLocked(plid);
+}
+
+void
+Memory::decRefLocked(Plid plid)
+{
+    if (plid == kZeroPlid)
+        return;
+    rcTouch(plid);
+    if (store_.addRef(plid, -1) == 0)
+        reclaim(plid);
+}
+
+void
+Memory::reclaim(Plid first)
+{
+    // Hardware state machine for recursive deallocation (paper §3.1),
+    // modelled as an explicit worklist.
+    std::vector<Plid> work{first};
+    while (!work.empty()) {
+        Plid p = work.back();
+        work.pop_back();
+
+        // Read the dying line to find its children.
+        Line content = readLineLocked(p, DramCat::Dealloc);
+        for (unsigned i = 0; i < content.size(); ++i) {
+            Word w = content.word(i);
+            if (w == 0)
+                continue;
+            if (content.meta(i).isPlid()) {
+                rcTouch(w);
+                if (store_.addRef(w, -1) == 0)
+                    work.push_back(w);
+            } else if (content.meta(i).isVsid() && vsidRelease_) {
+                vsidRelease_(w);
+            }
+        }
+
+        // Invalidate in all caches; a dirty (never-written) line's
+        // writeback is cancelled outright.
+        const std::uint64_t home = store_.bucketOfPlid(p);
+        l1_.invalidate({LineKind::Data, p}, home);
+        l2_.invalidate({LineKind::Data, p}, home);
+
+        // Clear the signature: mark the bucket's signature line dirty.
+        auto sig = l2_.access({LineKind::Sig, home}, home, /*dirty=*/true,
+                              DramCat::Dealloc);
+        if (!sig.hit)
+            dram_.count(DramCat::Dealloc);
+        countWriteback(sig);
+
+        store_.freeLine(p);
+        ++deallocs_;
+        if (lineFreed_)
+            lineFreed_(p);
+    }
+}
+
+std::uint32_t
+Memory::refCount(Plid plid) const
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    return store_.refCount(plid);
+}
+
+bool
+Memory::isLive(Plid plid) const
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    return store_.isLive(plid);
+}
+
+std::uint64_t
+Memory::allocTransient()
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    return nextTransient_++;
+}
+
+void
+Memory::transientAccess(std::uint64_t transient_id, bool write)
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    const CacheKey key{LineKind::Transient, transient_id};
+    const std::uint64_t home = mix64(transient_id);
+    auto a1 = l1_.access(key, home, write, DramCat::Write);
+    if (a1.writeback) {
+        auto spill = l2_.access(a1.victimKey, a1.victimHome,
+                                /*dirty=*/true, *a1.writeback);
+        countWriteback(spill);
+    }
+    if (!a1.hit) {
+        auto a2 = l2_.access(key, home, write, DramCat::Write);
+        // A store miss on a transient is a full-line write: no fetch.
+        if (!a2.hit && !write) {
+            dram_.count(DramCat::Read);
+            ++rowActs_;
+        }
+        countWriteback(a2);
+    }
+}
+
+void
+Memory::invalidateTransient(std::uint64_t transient_id)
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    const CacheKey key{LineKind::Transient, transient_id};
+    const std::uint64_t home = mix64(transient_id);
+    l1_.invalidate(key, home);
+    l2_.invalidate(key, home);
+}
+
+void
+Memory::vsmAccess(Vsid vsid, bool write)
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    const std::uint64_t id = kVsmIdBase | vsid;
+    const CacheKey key{LineKind::Transient, id};
+    const std::uint64_t home = mix64(id);
+    auto a = l2_.access(key, home, write, DramCat::Write);
+    if (!a.hit && !write) {
+        dram_.count(DramCat::Read);
+        ++rowActs_;
+    }
+    countWriteback(a);
+}
+
+void
+Memory::setVsidReleaseHook(std::function<void(Vsid)> hook)
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    vsidRelease_ = std::move(hook);
+}
+
+void
+Memory::setLineFreedHook(std::function<void(Plid)> hook)
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    lineFreed_ = std::move(hook);
+}
+
+void
+Memory::resetTraffic()
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    dram_.reset();
+    lookupOps_.reset();
+    readOps_.reset();
+    sigFalsePositives_.reset();
+    deallocs_.reset();
+    rowActs_.reset();
+    l1_.hits.reset();
+    l1_.misses.reset();
+    l2_.hits.reset();
+    l2_.misses.reset();
+}
+
+} // namespace hicamp

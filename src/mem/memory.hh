@@ -1,0 +1,235 @@
+/**
+ * @file
+ * The HICAMP memory system facade: deduplicating line store + two-level
+ * HICAMP cache + DRAM traffic attribution. All higher layers (segments,
+ * iterator registers, the virtual segment map, the programming model)
+ * perform their line traffic through this class so that every simulated
+ * DRAM access lands in the right Figure-6 category.
+ *
+ * Reference-count discipline: every PLID value held by the model —
+ * inside a committed line, in a segment-map root, or in a snapshot
+ * handle — owns one reference. lookup()/internLine() return a PLID
+ * carrying a fresh reference; decRef() releases one and reclaims the
+ * line (recursively releasing its children) when the count reaches
+ * zero.
+ */
+
+#ifndef HICAMP_MEM_MEMORY_HH
+#define HICAMP_MEM_MEMORY_HH
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "common/line.hh"
+#include "common/stats.hh"
+#include "common/types.hh"
+#include "mem/dram_stats.hh"
+#include "mem/hicamp_cache.hh"
+#include "mem/line_store.hh"
+
+namespace hicamp {
+
+/** Memory-system configuration (paper §5 defaults). */
+struct MemoryConfig {
+    unsigned lineBytes = 16;           ///< 16, 32 or 64
+    std::uint64_t numBuckets = 1 << 16; ///< DRAM rows (hash buckets)
+    std::uint64_t l1Bytes = 32 * 1024;
+    unsigned l1Ways = 4;
+    std::uint64_t l2Bytes = 4 * 1024 * 1024;
+    unsigned l2Ways = 16;
+};
+
+/**
+ * The complete simulated HICAMP memory system.
+ *
+ * Thread-safe: public operations take an internal lock, which models
+ * the memory system's global ordering point; the paper's architecture
+ * needs no data-line coherence because lines are immutable.
+ */
+class Memory
+{
+  public:
+    explicit Memory(const MemoryConfig &cfg = {});
+
+    unsigned lineBytes() const { return cfg_.lineBytes; }
+    unsigned lineWords() const { return cfg_.lineBytes / kWordBytes; }
+    /** DAG fanout: child entries per interior line. */
+    unsigned fanout() const { return lineWords(); }
+
+    /** A fresh all-zero line of this machine's width. */
+    Line makeLine() const { return Line(lineWords()); }
+
+    /**
+     * Lookup-by-content: find or allocate @p content, returning a PLID
+     * that owns one fresh reference. All-zero content returns PLID 0.
+     * @p was_new reports whether the line was freshly allocated.
+     */
+    Plid lookup(const Line &content, bool *was_new = nullptr);
+
+    /**
+     * Dedup-aware interning for DAG nodes: like lookup(), but manages
+     * child references. The caller must own one reference per non-zero
+     * PLID word in @p content; on a dedup hit those references are
+     * released (the existing line already owns its children), on a
+     * fresh allocation the new line takes them over.
+     */
+    Plid internLine(const Line &content);
+
+    /** Read a line by PLID through the cache hierarchy. */
+    Line readLine(Plid plid, DramCat cat = DramCat::Read);
+
+    /** Acquire an additional reference to a line. */
+    void incRef(Plid plid);
+
+    /**
+     * Release one reference; reclaims the line (and recursively its
+     * children) if the count reaches zero.
+     */
+    void decRef(Plid plid);
+
+    /** Current refcount (test/diagnostic use). */
+    std::uint32_t refCount(Plid plid) const;
+
+    /** True if the PLID names a live line (diagnostic). */
+    bool isLive(Plid plid) const;
+
+    /**
+     * Allocate a transient (non-deduplicated, per-core) line id for
+     * iterator write buffering.
+     */
+    std::uint64_t allocTransient();
+
+    /** Cache-modelled access to a transient line. */
+    void transientAccess(std::uint64_t transient_id, bool write);
+
+    /**
+     * Drop a transient line after its content has been converted to a
+     * permanent line (or the iterator aborted); a still-cached dirty
+     * transient never reaches DRAM.
+     */
+    void invalidateTransient(std::uint64_t transient_id);
+
+    /** Cache-modelled access to a virtual-segment-map entry. */
+    void vsmAccess(Vsid vsid, bool write);
+
+    /**
+     * Hook invoked when line reclamation drops a VSID-tagged word
+     * (weak-reference bookkeeping in the segment map).
+     */
+    void setVsidReleaseHook(std::function<void(Vsid)> hook);
+
+    /**
+     * Hook invoked for every reclaimed line (weak segment references
+     * watch for their root's reclamation). Must not call back into
+     * Memory.
+     */
+    void setLineFreedHook(std::function<void(Plid)> hook);
+
+    /// @name Statistics and introspection
+    /// @{
+    /**
+     * The memory system's global ordering lock (recursive). Components
+     * that are called back from reclamation (e.g. the segment map's
+     * weak-reference zeroing) synchronize on this single lock to keep
+     * a consistent acquisition order.
+     */
+    std::recursive_mutex &sysMutex() const { return mutex_; }
+
+    DramStats &dram() { return dram_; }
+    const DramStats &dram() const { return dram_; }
+    LineStore &store() { return store_; }
+    const LineStore &store() const { return store_; }
+    HicampCache &l1() { return l1_; }
+    HicampCache &l2() { return l2_; }
+
+    std::uint64_t liveLines() const { return store_.liveLines(); }
+    std::uint64_t liveBytes() const { return store_.liveBytes(); }
+
+    std::uint64_t lookupOps() const { return lookupOps_.value(); }
+    std::uint64_t readOps() const { return readOps_.value(); }
+    std::uint64_t sigFalsePositives() const
+    {
+        return sigFalsePositives_.value();
+    }
+    std::uint64_t deallocatedLines() const { return deallocs_.value(); }
+
+    /**
+     * Memory errors detected by the §3.1 integrity check: on every
+     * DRAM line fetch the content hash is recomputed and compared to
+     * the hash-bucket number the line was read from; a mismatch means
+     * the stored bits no longer match the content the line was
+     * allocated for.
+     */
+    std::uint64_t errorsDetected() const { return errorsDetected_.value(); }
+
+    /**
+     * DRAM row activations (paper §3.1: all DRAM commands of a lookup
+     * target the same row — the hash bucket — minimizing command
+     * bandwidth and energy). Each operation counts a row at most
+     * once; compare against dram().total() to see ops per activation.
+     */
+    std::uint64_t rowActivations() const { return rowActs_.value(); }
+
+    void resetTraffic();
+
+    /**
+     * Complete all pending writebacks without counting them, then
+     * clear traffic counters: the measurement baseline for kernels
+     * that run on an already-materialized data structure (the
+     * conventional baseline likewise pays nothing for its setup).
+     */
+    void
+    flushAndResetTraffic()
+    {
+        std::lock_guard<std::recursive_mutex> g(mutex_);
+        l1_.cleanAll();
+        l2_.cleanAll();
+        resetTraffic();
+    }
+
+    /**
+     * Cold-start a measurement: complete pending writebacks, drop all
+     * cached lines and zero the traffic counters, so the next kernel
+     * pays its compulsory misses exactly like a fresh baseline run.
+     */
+    void
+    coldResetTraffic()
+    {
+        std::lock_guard<std::recursive_mutex> g(mutex_);
+        l1_.invalidateAll();
+        l2_.invalidateAll();
+        resetTraffic();
+    }
+    /// @}
+
+  private:
+    Plid lookupLocked(const Line &content, bool *was_new);
+    Line readLineLocked(Plid plid, DramCat cat);
+    void decRefLocked(Plid plid);
+    void reclaim(Plid plid);
+    void countWriteback(const HicampCache::Access &a);
+    void rcTouch(Plid plid);
+
+    MemoryConfig cfg_;
+    LineStore store_;
+    HicampCache l1_;
+    HicampCache l2_;
+    DramStats dram_;
+    std::function<void(Vsid)> vsidRelease_;
+    std::function<void(Plid)> lineFreed_;
+    std::uint64_t nextTransient_ = 1;
+
+    Counter lookupOps_;
+    Counter readOps_;
+    Counter sigFalsePositives_;
+    Counter deallocs_;
+    Counter errorsDetected_;
+    Counter rowActs_;
+
+    mutable std::recursive_mutex mutex_;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_MEM_MEMORY_HH

@@ -1,0 +1,228 @@
+#include "seg/builder.hh"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace hicamp {
+
+bool
+SegBuilder::tryInline(const Word *values, std::uint64_t n,
+                      Entry *out) const
+{
+    if (n > 8)
+        return false;
+    const unsigned w = static_cast<unsigned>(64 / n);
+    if (w != 8 && w != 16 && w != 32)
+        return false;
+    const Word limit = Word{1} << w;
+    Word packed = 0;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (values[i] >= limit)
+            return false;
+        packed |= values[i] << (w * i);
+    }
+    *out = {packed,
+            WordMeta::inlineData(SegGeometry::widthCode(w))};
+    return true;
+}
+
+void
+SegBuilder::unpackRaw(const Entry &e, std::uint64_t n_words,
+                      Word *out) const
+{
+    if (e.isZero()) {
+        for (std::uint64_t i = 0; i < n_words; ++i)
+            out[i] = 0;
+        return;
+    }
+    HICAMP_ASSERT(e.meta.isInline() && e.meta.skip() == 0,
+                  "unpackRaw expects a zero or inline entry");
+    const unsigned w = e.meta.inlineWidth();
+    HICAMP_ASSERT(e.meta.inlineWordCount() == n_words,
+                  "inline coverage mismatch");
+    for (std::uint64_t i = 0; i < n_words; ++i)
+        out[i] = SegGeometry::inlineExtract(e.word, w,
+                                            static_cast<unsigned>(i));
+}
+
+Entry
+SegBuilder::makeLeaf(const Word *words, const WordMeta *metas)
+{
+    const unsigned F = geo_.fanout();
+    Line line = mem_.makeLine();
+    bool all_zero = true;
+    bool all_raw = true;
+    for (unsigned i = 0; i < F; ++i) {
+        // Normalize: a zero word always carries the Raw tag.
+        WordMeta m = words[i] == 0 ? WordMeta::raw() : metas[i];
+        line.set(i, words[i], m);
+        all_zero = all_zero && words[i] == 0;
+        all_raw = all_raw && m.isRaw();
+    }
+    if (all_zero)
+        return Entry::zero();
+    if (all_raw && policy_.dataCompaction) {
+        Word vals[kMaxLineWords];
+        for (unsigned i = 0; i < F; ++i)
+            vals[i] = line.word(i);
+        Entry e;
+        if (tryInline(vals, F, &e))
+            return e;
+    }
+    if (modelStaging_) {
+        // The core stages fresh content in a transient line, then
+        // converts it with a lookup at commit time.
+        std::uint64_t t = mem_.allocTransient();
+        mem_.transientAccess(t, /*write=*/true);
+        mem_.invalidateTransient(t);
+    }
+    Plid p = mem_.internLine(line);
+    return Entry::ofPlid(p);
+}
+
+Entry
+SegBuilder::makeNode(const Entry *children, int child_height)
+{
+    const unsigned F = geo_.fanout();
+    unsigned non_zero = 0;
+    unsigned nz_index = 0;
+    bool packable = true; // all children zero or inline
+    for (unsigned i = 0; i < F; ++i) {
+        if (!children[i].isZero()) {
+            ++non_zero;
+            nz_index = i;
+        }
+        packable = packable && (children[i].isZero() ||
+                                (children[i].meta.isInline() &&
+                                 children[i].meta.skip() == 0));
+    }
+
+    // Rule 1: zero suppression.
+    if (non_zero == 0)
+        return Entry::zero();
+
+    // Rule 2: data compaction of the whole subtree.
+    const std::uint64_t n = geo_.wordsCovered(child_height + 1);
+    if (packable && n <= 8 && policy_.dataCompaction) {
+        const std::uint64_t per_child = n / F;
+        Word vals[8];
+        for (unsigned c = 0; c < F; ++c)
+            unpackRaw(children[c], per_child, &vals[c * per_child]);
+        Entry e;
+        if (tryInline(vals, n, &e))
+            return e;
+    }
+
+    // Rule 3: path compaction past a single-child node.
+    if (non_zero == 1 && policy_.pathCompaction) {
+        const Entry &only = children[nz_index];
+        if (only.meta.isPlid() || only.meta.isInline()) {
+            const unsigned b = geo_.fanoutBits();
+            const unsigned skip = only.meta.skip();
+            const unsigned max_path = WordMeta::pathBits(only.meta.kind());
+            if (skip + 1 <= 15 && (skip + 1) * b <= max_path) {
+                unsigned path = (only.meta.path() << b) | nz_index;
+                return {only.word, only.meta.withPath(skip + 1, path)};
+            }
+        }
+    }
+
+    // General case: a real interior line.
+    Line line = mem_.makeLine();
+    for (unsigned i = 0; i < F; ++i)
+        line.set(i, children[i].word, children[i].meta);
+    if (modelStaging_) {
+        std::uint64_t t = mem_.allocTransient();
+        mem_.transientAccess(t, /*write=*/true);
+        mem_.invalidateTransient(t);
+    }
+    Plid p = mem_.internLine(line);
+    return Entry::ofPlid(p);
+}
+
+Entry
+SegBuilder::build(const Word *words, const WordMeta *metas,
+                  std::uint64_t n, int h)
+{
+    const unsigned F = geo_.fanout();
+    if (h == 0) {
+        Word w[kMaxLineWords] = {};
+        WordMeta m[kMaxLineWords];
+        for (unsigned i = 0; i < F; ++i) {
+            w[i] = i < n ? words[i] : 0;
+            m[i] = i < n ? metas[i] : WordMeta::raw();
+        }
+        return makeLeaf(w, m);
+    }
+    const std::uint64_t cw = geo_.wordsCovered(h - 1);
+    Entry kids[kMaxLineWords];
+    for (unsigned c = 0; c < F; ++c) {
+        const std::uint64_t start = c * cw;
+        if (start >= n) {
+            kids[c] = Entry::zero();
+            continue;
+        }
+        const std::uint64_t len = std::min(cw, n - start);
+        kids[c] = build(words + start, metas + start, len, h - 1);
+    }
+    return makeNode(kids, h - 1);
+}
+
+SegDesc
+SegBuilder::buildBytes(const void *data, std::uint64_t len)
+{
+    const std::uint64_t n_words = (len + kWordBytes - 1) / kWordBytes;
+    std::vector<Word> words(std::max<std::uint64_t>(n_words, 1), 0);
+    std::memcpy(words.data(), data, len);
+    std::vector<WordMeta> metas(words.size(), WordMeta::raw());
+    SegDesc d = buildWords(words.data(), metas.data(), words.size());
+    d.byteLen = len;
+    return d;
+}
+
+SegDesc
+SegBuilder::buildWords(const Word *words, const WordMeta *metas,
+                       std::uint64_t n)
+{
+    const int h = geo_.heightForWords(std::max<std::uint64_t>(n, 1));
+    SegDesc d;
+    d.root = build(words, metas, n, h);
+    d.height = h;
+    d.byteLen = n * kWordBytes;
+    return d;
+}
+
+Entry
+SegBuilder::setWord(const Entry &root, int h, std::uint64_t idx, Word w,
+                    WordMeta m, DramCat cat)
+{
+    const unsigned F = geo_.fanout();
+    HICAMP_ASSERT(idx < geo_.wordsCovered(h), "setWord index out of range");
+    if (h == 0) {
+        Word words[kMaxLineWords];
+        WordMeta metas[kMaxLineWords];
+        reader_.leafWords(root, words, metas, cat);
+        // The new leaf line takes over one reference per surviving
+        // PLID word; the old line keeps owning its copies.
+        for (unsigned i = 0; i < F; ++i) {
+            if (i != idx && metas[i].isPlid() && words[i] != 0)
+                mem_.incRef(words[i]);
+        }
+        words[idx] = w;
+        metas[idx] = m;
+        return makeLeaf(words, metas);
+    }
+    Entry kids[kMaxLineWords];
+    reader_.children(root, h, kids, cat);
+    const std::uint64_t cw = geo_.wordsCovered(h - 1);
+    const unsigned ci = static_cast<unsigned>(idx / cw);
+    Entry new_child = setWord(kids[ci], h - 1, idx % cw, w, m, cat);
+    Entry new_kids[kMaxLineWords];
+    for (unsigned c = 0; c < F; ++c)
+        new_kids[c] = c == ci ? new_child : retain(kids[c]);
+    return makeNode(new_kids, h - 1);
+}
+
+} // namespace hicamp

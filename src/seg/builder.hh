@@ -1,0 +1,130 @@
+/**
+ * @file
+ * Canonical segment construction (paper §2.2, §3.2).
+ *
+ * The builder turns logical word arrays into canonical DAGs by applying
+ * three deterministic rules bottom-up:
+ *   1. zero suppression  — an all-zero subtree is the zero entry;
+ *   2. data compaction   — an all-raw subtree covering <= 8 words whose
+ *      values fit the packing width is inlined into one word;
+ *   3. path compaction   — an interior node with exactly one non-zero
+ *      slot is elided, its child index packed into the entry.
+ * Because the rules depend only on content, equal content always
+ * produces an identical root entry — the segment-level extension of
+ * line content-uniqueness that makes whole-segment compare a single
+ * root comparison.
+ *
+ * Reference-count contract: makeLeaf/makeNode/build CONSUME ownership
+ * of the references held by non-zero PLID words/entries passed in, and
+ * the returned entry OWNS one fresh reference (when it is a PLID).
+ */
+
+#ifndef HICAMP_SEG_BUILDER_HH
+#define HICAMP_SEG_BUILDER_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "mem/memory.hh"
+#include "seg/entry.hh"
+#include "seg/reader.hh"
+
+namespace hicamp {
+
+/** Which canonicalization rules the builder applies (ablation knobs).
+ * Disabling a rule changes the canonical form consistently — content-
+ * uniqueness still holds as long as every builder touching a store
+ * uses the same policy. */
+struct CompactionPolicy {
+    bool dataCompaction = true;
+    bool pathCompaction = true;
+};
+
+class SegBuilder
+{
+  public:
+    /**
+     * @param model_staging when true, bulk builds model the iterator-
+     * register write path: each created leaf is staged through a
+     * transient line before its lookup-by-content (paper §3.3).
+     */
+    explicit SegBuilder(Memory &mem, bool model_staging = false,
+                        CompactionPolicy policy = {})
+        : mem_(mem), geo_(mem.fanout()), reader_(mem),
+          modelStaging_(model_staging), policy_(policy)
+    {}
+
+    const SegGeometry &geometry() const { return geo_; }
+
+    /**
+     * Canonical leaf entry over F words. Zero words are normalized to
+     * Raw tags. Consumes refs of PLID words; returned entry owns one.
+     */
+    Entry makeLeaf(const Word *words, const WordMeta *metas);
+
+    /**
+     * Canonical interior entry over F child entries at height
+     * @p child_height. Consumes child refs; returned entry owns one.
+     */
+    Entry makeNode(const Entry *children, int child_height);
+
+    /**
+     * Canonical subtree of height @p h over @p n words (zero-padded to
+     * coverage). Consumes refs of PLID words.
+     */
+    Entry build(const Word *words, const WordMeta *metas, std::uint64_t n,
+                int h);
+
+    /** Minimal-height segment over raw bytes. */
+    SegDesc buildBytes(const void *data, std::uint64_t len);
+
+    /** Minimal-height segment over tagged words. */
+    SegDesc buildWords(const Word *words, const WordMeta *metas,
+                       std::uint64_t n);
+
+    /**
+     * Functional single-word update: new canonical root with word
+     * @p idx replaced. Borrows @p root; consumes the ref of (w, m) if
+     * it is a PLID; the returned entry owns a fresh ref.
+     */
+    Entry setWord(const Entry &root, int h, std::uint64_t idx, Word w,
+                  WordMeta m, DramCat cat = DramCat::Read);
+
+    /** Add one owned reference to an entry (no-op for non-PLID). */
+    Entry
+    retain(const Entry &e)
+    {
+        if (e.meta.isPlid() && e.word != 0)
+            mem_.incRef(e.word);
+        return e;
+    }
+
+    /** Release one owned reference (no-op for non-PLID). */
+    void
+    release(const Entry &e)
+    {
+        if (e.meta.isPlid() && e.word != 0)
+            mem_.decRef(e.word);
+    }
+
+    /** Release a whole segment descriptor's root reference. */
+    void releaseSeg(const SegDesc &d) { release(d.root); }
+
+  private:
+    /** Try packing @p n raw values at the inline width for coverage n. */
+    bool tryInline(const Word *values, std::uint64_t n, Entry *out) const;
+
+    /** Gather the raw values of a zero/inline entry subtree. */
+    void unpackRaw(const Entry &e, std::uint64_t n_words,
+                   Word *out) const;
+
+    Memory &mem_;
+    SegGeometry geo_;
+    SegReader reader_;
+    bool modelStaging_;
+    CompactionPolicy policy_;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_SEG_BUILDER_HH

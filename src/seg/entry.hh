@@ -1,0 +1,179 @@
+/**
+ * @file
+ * DAG slot entries and coverage math for HICAMP segments.
+ *
+ * A segment (paper §2.2) is a DAG of lines: interior lines hold child
+ * slots, leaf lines hold data words. A slot is modelled as an Entry —
+ * a tagged word that is one of:
+ *   - the zero entry (all-zero subtree of any height),
+ *   - a plain PLID reference to a line,
+ *   - a path-compacted PLID (skip + packed child indices, §3.2),
+ *   - an inline data-compacted word replacing a small all-raw subtree.
+ *
+ * Height convention: an entry "at height h" covers F^(h+1) words,
+ * where F = fanout = words per line. Height 0 entries reference leaf
+ * lines (or inline their F words); height h>=1 entries reference
+ * interior lines whose F slots are entries at height h-1.
+ */
+
+#ifndef HICAMP_SEG_ENTRY_HH
+#define HICAMP_SEG_ENTRY_HH
+
+#include <cstdint>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "common/types.hh"
+
+namespace hicamp {
+
+/** One DAG slot (or one leaf data word, at height context 0). */
+struct Entry {
+    Word word = 0;
+    WordMeta meta = WordMeta::raw();
+
+    bool isZero() const { return word == 0 && meta == WordMeta::raw(); }
+    bool isPlid() const { return meta.isPlid(); }
+    bool isInline() const { return meta.isInline(); }
+
+    /** The referenced line, for PLID entries. */
+    Plid plid() const
+    {
+        HICAMP_ASSERT(meta.isPlid(), "entry is not a PLID");
+        return word;
+    }
+
+    static Entry zero() { return {}; }
+
+    static Entry
+    ofPlid(Plid p, unsigned skip = 0, unsigned path = 0)
+    {
+        HICAMP_ASSERT(p != kZeroPlid, "use Entry::zero() for PLID 0");
+        return {p, WordMeta::plid(skip, path)};
+    }
+
+    friend bool
+    operator==(const Entry &a, const Entry &b)
+    {
+        return a.word == b.word && a.meta == b.meta;
+    }
+};
+
+/** Coverage and packing math for a machine with fanout @p F. */
+class SegGeometry
+{
+  public:
+    explicit SegGeometry(unsigned fanout) : fanout_(fanout)
+    {
+        HICAMP_ASSERT(fanout == 2 || fanout == 4 || fanout == 8,
+                      "fanout must be 2, 4 or 8");
+        fanoutBits_ = fanout == 2 ? 1 : fanout == 4 ? 2 : 3;
+    }
+
+    unsigned fanout() const { return fanout_; }
+    /** Bits per packed path index. */
+    unsigned fanoutBits() const { return fanoutBits_; }
+
+    /** Words covered by an entry at height @p h: F^(h+1). */
+    std::uint64_t
+    wordsCovered(int h) const
+    {
+        return std::uint64_t{1} << (fanoutBits_ * (h + 1));
+    }
+
+    /** Bytes covered by an entry at height @p h. */
+    std::uint64_t
+    bytesCovered(int h) const
+    {
+        return wordsCovered(h) * kWordBytes;
+    }
+
+    /** Minimal height whose coverage is at least @p n_words. */
+    int
+    heightForWords(std::uint64_t n_words) const
+    {
+        int h = 0;
+        while (wordsCovered(h) < n_words)
+            ++h;
+        return h;
+    }
+
+    /**
+     * Inline packing width (bits) for a subtree at height @p h, or 0
+     * if that coverage cannot be packed into one word (i.e. covers
+     * more than 8 words).
+     */
+    unsigned
+    inlineWidth(int h) const
+    {
+        std::uint64_t n = wordsCovered(h);
+        return n <= 8 ? static_cast<unsigned>(64 / n) : 0;
+    }
+
+    /** Width code for WordMeta::inlineData: 8->0, 16->1, 32->2. */
+    static unsigned
+    widthCode(unsigned width_bits)
+    {
+        switch (width_bits) {
+          case 8:
+            return 0;
+          case 16:
+            return 1;
+          case 32:
+            return 2;
+          default:
+            HICAMP_PANIC("invalid inline width");
+        }
+    }
+
+    /** Extract packed element @p i from an inline word of width @p w. */
+    static Word
+    inlineExtract(Word packed, unsigned w, unsigned i)
+    {
+        Word mask = w == 64 ? ~Word{0} : ((Word{1} << w) - 1);
+        return (packed >> (w * i)) & mask;
+    }
+
+  private:
+    unsigned fanout_;
+    unsigned fanoutBits_;
+};
+
+/**
+ * A segment value: root entry, height and logical byte length. This
+ * generalizes the paper's [rootPLID, height] pair — a tiny or fully
+ * compacted segment may root directly at an inline or path-compacted
+ * entry. Content-equal segments (same bytes, same length) always have
+ * identical descriptors, extending line-level content-uniqueness to
+ * whole segments.
+ */
+struct SegDesc {
+    Entry root;
+    std::int32_t height = 0;
+    std::uint64_t byteLen = 0;
+
+    bool isNull() const { return root.isZero() && byteLen == 0; }
+
+    /**
+     * 64-bit content fingerprint (used e.g. as the sparse-array index
+     * a map keys on; the paper uses the key's root PLID directly).
+     */
+    std::uint64_t
+    fingerprint() const
+    {
+        std::uint64_t h = hashCombine(root.word, root.meta.value());
+        h = hashCombine(h, static_cast<std::uint64_t>(height));
+        return hashCombine(h, byteLen);
+    }
+
+    friend bool
+    operator==(const SegDesc &a, const SegDesc &b)
+    {
+        return a.root == b.root && a.height == b.height &&
+               a.byteLen == b.byteLen;
+    }
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_SEG_ENTRY_HH

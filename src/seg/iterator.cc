@@ -1,0 +1,356 @@
+#include "seg/iterator.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hicamp {
+
+IteratorRegister::IteratorRegister(Memory &mem, SegmentMap &vsm)
+    : mem_(mem), vsm_(vsm), builder_(mem), reader_(mem),
+      geo_(mem.fanout())
+{}
+
+IteratorRegister::~IteratorRegister()
+{
+    clearState();
+}
+
+void
+IteratorRegister::clearState()
+{
+    for (auto &[leaf_idx, buf] : dirty_) {
+        (void)leaf_idx;
+        for (std::size_t i = 0; i < buf.words.size(); ++i) {
+            if (buf.metas[i].isPlid() && buf.words[i] != 0 &&
+                bufOwned_.count(buf.transientId * kMaxLineWords + i)) {
+                mem_.decRef(buf.words[i]);
+            }
+        }
+        mem_.invalidateTransient(buf.transientId);
+    }
+    dirty_.clear();
+    bufOwned_.clear();
+    if (loaded_) {
+        builder_.release(work_);
+        vsm_.releaseSnapshot(snap_);
+    }
+    loaded_ = false;
+    pathValid_ = false;
+    path_.clear();
+    pathLeafIdx_ = ~std::uint64_t{0};
+    newByteLen_ = 0;
+    maxWrittenEnd_ = 0;
+}
+
+void
+IteratorRegister::load(Vsid v, std::uint64_t offset)
+{
+    clearState();
+    vsid_ = v;
+    snap_ = vsm_.snapshot(v);
+    work_ = builder_.retain(snap_.root);
+    workHeight_ = snap_.height;
+    readOnly_ = vsm_.isReadOnly(v);
+    loaded_ = true;
+    offset_ = 0;
+    seek(offset);
+}
+
+std::uint64_t
+IteratorRegister::coverage() const
+{
+    return geo_.wordsCovered(workHeight_);
+}
+
+void
+IteratorRegister::growTo(std::uint64_t offset)
+{
+    const unsigned F = geo_.fanout();
+    while (offset >= coverage()) {
+        Entry kids[kMaxLineWords];
+        kids[0] = work_;
+        for (unsigned i = 1; i < F; ++i)
+            kids[i] = Entry::zero();
+        work_ = builder_.makeNode(kids, workHeight_);
+        ++workHeight_;
+        pathValid_ = false;
+        pathLeafIdx_ = ~std::uint64_t{0};
+    }
+}
+
+void
+IteratorRegister::seek(std::uint64_t offset)
+{
+    HICAMP_ASSERT(loaded_, "seek on unloaded iterator register");
+    growTo(offset);
+    offset_ = offset;
+}
+
+void
+IteratorRegister::descendTo(std::uint64_t idx)
+{
+    const unsigned F = geo_.fanout();
+    const std::uint64_t leaf_idx = idx / F;
+    if (pathValid_ && leaf_idx == pathLeafIdx_)
+        return;
+
+    // Per-level target child indices, top (height workHeight_) first.
+    const int levels = workHeight_;
+    std::vector<unsigned> want(levels);
+    for (int i = 0; i < levels; ++i) {
+        int h = workHeight_ - i; // height of the node at this level
+        want[i] = static_cast<unsigned>(
+            (idx / geo_.wordsCovered(h - 1)) & (F - 1));
+    }
+
+    // Reuse the longest matching prefix of the cached path.
+    int start = 0;
+    if (pathValid_) {
+        while (start < levels &&
+               start < static_cast<int>(path_.size()) &&
+               path_[start].kidsValid &&
+               path_[start].childIdx == want[start]) {
+            ++start;
+        }
+    } else {
+        path_.clear();
+    }
+    path_.resize(levels);
+    pathHits_ += start;
+    pathMisses_ += levels - start;
+
+    Entry cur = start == 0
+                    ? work_
+                    : path_[start - 1].kids[path_[start - 1].childIdx];
+    for (int i = start; i < levels; ++i) {
+        int h = workHeight_ - i;
+        PathLevel &lvl = path_[i];
+        lvl.entry = cur;
+        reader_.children(cur, h, lvl.kids);
+        lvl.kidsValid = true;
+        lvl.childIdx = want[i];
+        cur = lvl.kids[want[i]];
+    }
+
+    // Load (and cache) the leaf's words.
+    Entry leaf = levels == 0 ? work_ : cur;
+    reader_.leafWords(leaf, leafWords_, leafMetas_);
+    pathLeafIdx_ = leaf_idx;
+    pathValid_ = true;
+}
+
+IteratorRegister::DirtyLeaf &
+IteratorRegister::dirtyLeafFor(std::uint64_t leaf_idx, bool create)
+{
+    auto it = dirty_.find(leaf_idx);
+    if (it != dirty_.end())
+        return it->second;
+    HICAMP_ASSERT(create, "missing dirty leaf");
+    const unsigned F = geo_.fanout();
+    DirtyLeaf buf;
+    buf.words.resize(F);
+    buf.metas.resize(F);
+    // Seed the buffer from the snapshot content of the leaf. The
+    // buffered PLID words stay owned by the snapshot's leaf line.
+    descendTo(leaf_idx * F);
+    for (unsigned i = 0; i < F; ++i) {
+        buf.words[i] = leafWords_[i];
+        buf.metas[i] = leafMetas_[i];
+    }
+    buf.transientId = mem_.allocTransient();
+    return dirty_.emplace(leaf_idx, std::move(buf)).first->second;
+}
+
+Word
+IteratorRegister::read(WordMeta *meta_out)
+{
+    HICAMP_ASSERT(loaded_, "read on unloaded iterator register");
+    const unsigned F = geo_.fanout();
+    const std::uint64_t leaf_idx = offset_ / F;
+    auto it = dirty_.find(leaf_idx);
+    if (it != dirty_.end()) {
+        mem_.transientAccess(it->second.transientId, /*write=*/false);
+        if (meta_out)
+            *meta_out = it->second.metas[offset_ % F];
+        return it->second.words[offset_ % F];
+    }
+    descendTo(offset_);
+    if (meta_out)
+        *meta_out = leafMetas_[offset_ % F];
+    return leafWords_[offset_ % F];
+}
+
+void
+IteratorRegister::write(Word w, WordMeta m)
+{
+    HICAMP_ASSERT(loaded_, "write on unloaded iterator register");
+    const unsigned F = geo_.fanout();
+    const std::uint64_t leaf_idx = offset_ / F;
+    const unsigned slot = static_cast<unsigned>(offset_ % F);
+    DirtyLeaf &buf = dirtyLeafFor(leaf_idx, /*create=*/true);
+    mem_.transientAccess(buf.transientId, /*write=*/true);
+
+    // Release a previously caller-owned reference being overwritten.
+    const std::uint64_t okey = buf.transientId * kMaxLineWords + slot;
+    if (buf.metas[slot].isPlid() && buf.words[slot] != 0 &&
+        bufOwned_.count(okey)) {
+        mem_.decRef(buf.words[slot]);
+        bufOwned_.erase(okey);
+    }
+
+    buf.words[slot] = w;
+    buf.metas[slot] = w == 0 ? WordMeta::raw() : m;
+    if (buf.metas[slot].isPlid() && w != 0)
+        bufOwned_.insert(okey);
+    maxWrittenEnd_ = std::max(maxWrittenEnd_, (offset_ + 1) * kWordBytes);
+}
+
+std::optional<std::uint64_t>
+IteratorRegister::mergedNextNonZero(std::uint64_t from)
+{
+    const unsigned F = geo_.fanout();
+    const std::uint64_t end = coverage();
+    if (from >= end)
+        return std::nullopt;
+
+    // Snapshot-side scan, skipping any leaf shadowed by a dirty buffer.
+    std::optional<std::uint64_t> snap_hit;
+    std::uint64_t pos = from;
+    while (pos < end) {
+        auto s = reader_.nextNonZero(work_, workHeight_, pos);
+        if (!s)
+            break;
+        if (dirty_.count(*s / F)) {
+            pos = (*s / F + 1) * F; // jump past the shadowed leaf
+            continue;
+        }
+        snap_hit = *s;
+        break;
+    }
+
+    // Dirty-buffer scan.
+    std::optional<std::uint64_t> dirty_hit;
+    for (auto it = dirty_.lower_bound(from / F); it != dirty_.end();
+         ++it) {
+        const std::uint64_t base = it->first * F;
+        for (unsigned i = 0; i < F; ++i) {
+            const std::uint64_t idx = base + i;
+            if (idx >= from && it->second.words[i] != 0) {
+                dirty_hit = idx;
+                break;
+            }
+        }
+        if (dirty_hit)
+            break;
+    }
+
+    if (snap_hit && dirty_hit)
+        return std::min(*snap_hit, *dirty_hit);
+    return snap_hit ? snap_hit : dirty_hit;
+}
+
+bool
+IteratorRegister::next()
+{
+    HICAMP_ASSERT(loaded_, "next on unloaded iterator register");
+    auto hit = mergedNextNonZero(offset_ + 1);
+    if (!hit)
+        return false;
+    offset_ = *hit;
+    return true;
+}
+
+bool
+IteratorRegister::nextFrom()
+{
+    HICAMP_ASSERT(loaded_, "nextFrom on unloaded iterator register");
+    auto hit = mergedNextNonZero(offset_);
+    if (!hit)
+        return false;
+    offset_ = *hit;
+    return true;
+}
+
+Entry
+IteratorRegister::rebuild(const Entry &e, int h, std::uint64_t base)
+{
+    const unsigned F = geo_.fanout();
+    const std::uint64_t cover = geo_.wordsCovered(h);
+
+    // Untouched subtree? (No dirty leaf index within the range.)
+    auto it = dirty_.lower_bound(base / F);
+    if (it == dirty_.end() || it->first * F >= base + cover)
+        return builder_.retain(e);
+
+    if (h == 0) {
+        const DirtyLeaf &buf = it->second;
+        HICAMP_ASSERT(it->first == base / F, "dirty map inconsistent");
+        // Convert the transient buffer via lookup-by-content. The new
+        // leaf line takes fresh references; buffer ownership state is
+        // left untouched (released only when the commit lands).
+        Word w[kMaxLineWords];
+        WordMeta m[kMaxLineWords];
+        for (unsigned i = 0; i < F; ++i) {
+            w[i] = buf.words[i];
+            m[i] = buf.metas[i];
+            if (m[i].isPlid() && w[i] != 0)
+                mem_.incRef(w[i]);
+        }
+        return builder_.makeLeaf(w, m);
+    }
+
+    Entry kids[kMaxLineWords];
+    reader_.children(e, h, kids, DramCat::Read);
+    Entry merged[kMaxLineWords];
+    for (unsigned c = 0; c < F; ++c)
+        merged[c] = rebuild(kids[c], h - 1, base + c * (cover / F));
+    return builder_.makeNode(merged, h - 1);
+}
+
+bool
+IteratorRegister::tryCommit(MergeStats *stats)
+{
+    HICAMP_ASSERT(loaded_, "commit on unloaded iterator register");
+    if (readOnly_)
+        return false;
+    if (dirty_.empty() && newByteLen_ == 0)
+        return true; // nothing to publish
+
+    Entry new_root = rebuild(work_, workHeight_, 0);
+    std::uint64_t len = newByteLen_ != 0
+                            ? newByteLen_
+                            : std::max(snap_.byteLen, maxWrittenEnd_);
+    SegDesc desired{new_root, workHeight_, len};
+
+    bool ok;
+    if (vsm_.flags(vsid_) & kSegMergeUpdate) {
+        ok = vsm_.mcas(vsid_, snap_, desired, stats); // consumes root
+    } else {
+        ok = vsm_.cas(vsid_, snap_, desired);
+        if (!ok)
+            builder_.release(new_root);
+    }
+    if (!ok)
+        return false;
+
+    // Committed: drop buffers (their owned references are superseded
+    // by the committed tree's own) and re-load the published version.
+    const Vsid v = vsid_;
+    const std::uint64_t pos = offset_;
+    clearState();
+    load(v, pos);
+    return true;
+}
+
+void
+IteratorRegister::abort()
+{
+    HICAMP_ASSERT(loaded_, "abort on unloaded iterator register");
+    const Vsid v = vsid_;
+    const std::uint64_t pos = offset_;
+    clearState();
+    load(v, pos);
+}
+
+} // namespace hicamp

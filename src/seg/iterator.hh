@@ -1,0 +1,160 @@
+/**
+ * @file
+ * The HICAMP iterator register (paper §3.3, Fig. 5): an extended
+ * address register that caches the DAG path to its current position,
+ * steps to the next non-null element without re-walking the tree,
+ * buffers updates in transient (non-deduplicated) lines, and converts
+ * them to permanent content-unique lines at commit, CASing the new
+ * root into the segment map.
+ *
+ * Offsets are in words. Loading acquires a snapshot (retained root),
+ * so reads are isolated from concurrent commits; tryCommit() publishes
+ * buffered writes atomically (with merge-update when the segment is
+ * flagged for it).
+ */
+
+#ifndef HICAMP_SEG_ITERATOR_HH
+#define HICAMP_SEG_ITERATOR_HH
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "seg/builder.hh"
+#include "seg/reader.hh"
+#include "vsm/segment_map.hh"
+
+namespace hicamp {
+
+class IteratorRegister
+{
+  public:
+    IteratorRegister(Memory &mem, SegmentMap &vsm);
+    ~IteratorRegister();
+
+    IteratorRegister(const IteratorRegister &) = delete;
+    IteratorRegister &operator=(const IteratorRegister &) = delete;
+
+    /**
+     * Load the register with segment @p v at word offset @p offset,
+     * snapshotting the current root. Discards any uncommitted state.
+     */
+    void load(Vsid v, std::uint64_t offset = 0);
+
+    /** True once load() has been called. */
+    bool loaded() const { return loaded_; }
+    Vsid vsid() const { return vsid_; }
+
+    /** Current word offset. */
+    std::uint64_t offset() const { return offset_; }
+
+    /** Words covered by the (possibly grown) working tree. */
+    std::uint64_t coverage() const;
+
+    /** Snapshot byte length at load time. */
+    std::uint64_t byteLen() const { return snap_.byteLen; }
+
+    /** Move to an absolute word offset (grows the tree if needed). */
+    void seek(std::uint64_t offset);
+
+    /** Read the word (and optionally tag) at the current offset. */
+    Word read(WordMeta *meta_out = nullptr);
+
+    /**
+     * Write at the current offset into a transient buffer; visible to
+     * this register immediately, to others only after tryCommit().
+     * Takes ownership of one reference when @p m tags a PLID.
+     */
+    void write(Word w, WordMeta m = WordMeta::raw());
+
+    /**
+     * Advance to the next non-null element strictly after the current
+     * offset (merging the snapshot with local uncommitted writes).
+     * Returns false at the end of the segment.
+     */
+    bool next();
+
+    /** As next(), but starting the scan at the current offset itself. */
+    bool nextFrom();
+
+    /**
+     * Convert buffered writes to permanent lines and atomically
+     * install the new root (CAS, or mCAS when the segment has the
+     * merge-update flag). On success the register reloads the
+     * committed version and returns true. On conflict without
+     * merge-update, returns false and keeps the buffered writes (the
+     * caller may abort() or re-load and retry).
+     */
+    bool tryCommit(MergeStats *stats = nullptr);
+
+    /** Discard buffered writes and the working tree. */
+    void abort();
+
+    /** Set the logical byte length the next commit will publish. */
+    void setByteLen(std::uint64_t bytes) { newByteLen_ = bytes; }
+
+    /// number of buffered (dirty) leaves
+    std::size_t dirtyLeaves() const { return dirty_.size(); }
+
+    /// total line fetches that the cached path avoided
+    std::uint64_t pathCacheHits() const { return pathHits_.value(); }
+    std::uint64_t pathCacheMisses() const { return pathMisses_.value(); }
+
+  private:
+    struct DirtyLeaf {
+        std::vector<Word> words;
+        std::vector<WordMeta> metas;
+        std::uint64_t transientId = 0;
+    };
+
+    struct PathLevel {
+        Entry entry;             ///< entry at this height
+        unsigned childIdx = 0;   ///< which child the path follows
+        bool kidsValid = false;
+        Entry kids[kMaxLineWords];
+    };
+
+    void clearState();
+    void growTo(std::uint64_t offset);
+    /** (Re)build the cached path down to the leaf containing @p idx. */
+    void descendTo(std::uint64_t idx);
+    DirtyLeaf &dirtyLeafFor(std::uint64_t leaf_idx, bool create);
+    /** Rebuild the canonical subtree merging dirty leaves; owned result. */
+    Entry rebuild(const Entry &e, int h, std::uint64_t base);
+    std::optional<std::uint64_t> mergedNextNonZero(std::uint64_t from);
+
+    Memory &mem_;
+    SegmentMap &vsm_;
+    SegBuilder builder_;
+    SegReader reader_;
+    SegGeometry geo_;
+
+    bool loaded_ = false;
+    Vsid vsid_ = kNullVsid;
+    bool readOnly_ = false;
+    SegDesc snap_;         ///< retained snapshot (CAS base)
+    Entry work_;           ///< owned working root (snapshot + growth)
+    int workHeight_ = 0;
+    std::uint64_t offset_ = 0;
+    std::uint64_t newByteLen_ = 0;
+
+    std::map<std::uint64_t, DirtyLeaf> dirty_; ///< leaf index -> buffer
+    /// buffer slots ((transientId * kMaxLineWords) + slot) holding a
+    /// caller-transferred PLID reference the register still owns
+    std::unordered_set<std::uint64_t> bufOwned_;
+    std::uint64_t maxWrittenEnd_ = 0; ///< bytes: end of furthest write
+    std::vector<PathLevel> path_; ///< root (front) .. leaf's parent
+    std::uint64_t pathLeafIdx_ = ~std::uint64_t{0};
+    bool pathValid_ = false;
+    Word leafWords_[kMaxLineWords];
+    WordMeta leafMetas_[kMaxLineWords];
+
+    Counter pathHits_;
+    Counter pathMisses_;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_SEG_ITERATOR_HH

@@ -1,0 +1,126 @@
+#include "seg/merge.hh"
+
+#include "common/logging.hh"
+
+namespace hicamp {
+
+namespace {
+
+class Merger
+{
+  public:
+    Merger(Memory &mem, MergeStats *stats)
+        : mem_(mem), builder_(mem), reader_(mem), stats_(stats)
+    {}
+
+    std::optional<Entry>
+    merge(const Entry &o, const Entry &c, const Entry &n, int h)
+    {
+        // Content-unique roots: equality of entries is equality of
+        // whole subtrees, so an unchanged side resolves immediately.
+        // (An n == c shortcut would be unsound for counters: two
+        // threads applying the same delta must sum, not collapse —
+        // the difference rule below handles that.)
+        if (c == o) {
+            note_skip();
+            return builder_.retain(n);
+        }
+        if (n == o) {
+            note_skip();
+            return builder_.retain(c);
+        }
+        if (stats_)
+            ++stats_->nodesVisited;
+
+        const unsigned F = mem_.fanout();
+        if (h == 0) {
+            Word ow[kMaxLineWords], cw[kMaxLineWords], nw[kMaxLineWords];
+            WordMeta om[kMaxLineWords], cm[kMaxLineWords],
+                nm[kMaxLineWords];
+            reader_.leafWords(o, ow, om);
+            reader_.leafWords(c, cw, cm);
+            reader_.leafWords(n, nw, nm);
+            Word mw[kMaxLineWords];
+            WordMeta mm[kMaxLineWords];
+            for (unsigned i = 0; i < F; ++i) {
+                const bool cur_unchanged =
+                    cw[i] == ow[i] && cm[i] == om[i];
+                const bool new_unchanged =
+                    nw[i] == ow[i] && nm[i] == om[i];
+                const bool all_raw = om[i].isRaw() && cm[i].isRaw() &&
+                                     nm[i].isRaw();
+                if (cur_unchanged) {
+                    mw[i] = nw[i];
+                    mm[i] = nm[i];
+                } else if (new_unchanged) {
+                    mw[i] = cw[i];
+                    mm[i] = cm[i];
+                } else if (all_raw) {
+                    // Counter semantics (paper §3.4): apply new's
+                    // delta to cur — even when both sides happen to
+                    // have written the same value (two equal deltas
+                    // must sum, not collapse).
+                    mw[i] = cw[i] + (nw[i] - ow[i]);
+                    mm[i] = WordMeta::raw();
+                    if (stats_)
+                        ++stats_->wordMerges;
+                } else if (nw[i] == cw[i] && nm[i] == cm[i]) {
+                    // Both sides stored the same reference: idempotent.
+                    mw[i] = nw[i];
+                    mm[i] = nm[i];
+                } else {
+                    // Two sides stored distinct references: conflict.
+                    return std::nullopt;
+                }
+            }
+            // The merged leaf takes ownership of one reference per
+            // surviving reference word.
+            for (unsigned i = 0; i < F; ++i) {
+                if (mm[i].isPlid() && mw[i] != 0)
+                    mem_.incRef(mw[i]);
+            }
+            return builder_.makeLeaf(mw, mm);
+        }
+
+        Entry ok[kMaxLineWords], ck[kMaxLineWords], nk[kMaxLineWords];
+        reader_.children(o, h, ok);
+        reader_.children(c, h, ck);
+        reader_.children(n, h, nk);
+        Entry merged[kMaxLineWords];
+        for (unsigned i = 0; i < F; ++i) {
+            auto m = merge(ok[i], ck[i], nk[i], h - 1);
+            if (!m) {
+                for (unsigned j = 0; j < i; ++j)
+                    builder_.release(merged[j]);
+                return std::nullopt;
+            }
+            merged[i] = *m;
+        }
+        return builder_.makeNode(merged, h - 1);
+    }
+
+  private:
+    void
+    note_skip()
+    {
+        if (stats_)
+            ++stats_->subtreesSkipped;
+    }
+
+    Memory &mem_;
+    SegBuilder builder_;
+    SegReader reader_;
+    MergeStats *stats_;
+};
+
+} // namespace
+
+std::optional<Entry>
+mergeUpdate(Memory &mem, const Entry &old_e, const Entry &cur_e,
+            const Entry &new_e, int height, MergeStats *stats)
+{
+    Merger m(mem, stats);
+    return m.merge(old_e, cur_e, new_e, height);
+}
+
+} // namespace hicamp

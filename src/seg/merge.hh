@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Merge-update (paper §3.4): three-way structural merge of segment
+ * DAGs, used by mCAS to resolve write-write conflicts on high-
+ * contention structures (maps, queues, counters) without application
+ * retry.
+ *
+ * Per line offset the rule is: a raw word merges by applying the
+ * difference (cur + (new - old)); a reference word requires one side
+ * to be unchanged (two threads may not store distinct PLIDs into the
+ * same slot). Content-unique sub-DAGs let whole subtrees be taken
+ * wholesale whenever one side is unchanged, skipping the line-by-line
+ * work.
+ */
+
+#ifndef HICAMP_SEG_MERGE_HH
+#define HICAMP_SEG_MERGE_HH
+
+#include <optional>
+
+#include "seg/builder.hh"
+#include "seg/reader.hh"
+
+namespace hicamp {
+
+/** Statistics of one merge-update execution. */
+struct MergeStats {
+    std::uint64_t nodesVisited = 0;   ///< DAG levels actually descended
+    std::uint64_t subtreesSkipped = 0; ///< resolved by root comparison
+    std::uint64_t wordMerges = 0;     ///< raw-difference word merges
+};
+
+/**
+ * Three-way DAG merge.
+ *
+ * Borrows @p old_e, @p cur_e and @p new_e (caller keeps its
+ * references). On success returns a merged entry owning a fresh
+ * reference; on a true conflict (two sides stored distinct references
+ * into the same slot) returns nullopt.
+ */
+std::optional<Entry> mergeUpdate(Memory &mem, const Entry &old_e,
+                                 const Entry &cur_e, const Entry &new_e,
+                                 int height, MergeStats *stats = nullptr);
+
+} // namespace hicamp
+
+#endif // HICAMP_SEG_MERGE_HH

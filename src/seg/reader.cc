@@ -1,0 +1,227 @@
+#include "seg/reader.hh"
+
+#include "common/logging.hh"
+
+namespace hicamp {
+
+Line
+SegReader::fetch(Plid plid, DramCat cat)
+{
+    if (traffic_)
+        return mem_.readLine(plid, cat);
+    return mem_.store().read(plid);
+}
+
+void
+SegReader::children(const Entry &e, int h, Entry *out, DramCat cat)
+{
+    HICAMP_ASSERT(h >= 1, "children() on a leaf entry");
+    const unsigned F = geo_.fanout();
+
+    if (e.isZero()) {
+        for (unsigned i = 0; i < F; ++i)
+            out[i] = Entry::zero();
+        return;
+    }
+
+    const unsigned skip = e.meta.skip();
+    if (skip > 0) {
+        // Path-compacted: one non-zero child, no memory access.
+        const unsigned b = geo_.fanoutBits();
+        const unsigned idx = e.meta.path() & (F - 1);
+        for (unsigned i = 0; i < F; ++i)
+            out[i] = Entry::zero();
+        out[idx] = {e.word, e.meta.withPath(skip - 1, e.meta.path() >> b)};
+        return;
+    }
+
+    if (e.meta.isInline()) {
+        // Split a packed all-raw subtree into F packed children; only
+        // reachable for F == 2 (wider fanouts can inline only leaves).
+        const unsigned w = e.meta.inlineWidth();
+        const unsigned n = e.meta.inlineWordCount();
+        HICAMP_ASSERT(n % F == 0 && n / F >= 2,
+                      "inline entry cannot be split at this height");
+        const unsigned per_child = n / F;
+        const unsigned cw = 64 / per_child;
+        for (unsigned c = 0; c < F; ++c) {
+            Word packed = 0;
+            bool any = false;
+            for (unsigned i = 0; i < per_child; ++i) {
+                Word v = SegGeometry::inlineExtract(e.word, w,
+                                                    c * per_child + i);
+                packed |= v << (cw * i);
+                any = any || v != 0;
+            }
+            out[c] = any ? Entry{packed, WordMeta::inlineData(
+                                             SegGeometry::widthCode(cw))}
+                         : Entry::zero();
+        }
+        return;
+    }
+
+    HICAMP_ASSERT(e.meta.isPlid(), "malformed interior entry");
+    Line line = fetch(e.plid(), cat);
+    for (unsigned i = 0; i < F; ++i)
+        out[i] = {line.word(i), line.meta(i)};
+}
+
+void
+SegReader::leafWords(const Entry &e, Word *words, WordMeta *metas,
+                     DramCat cat)
+{
+    const unsigned F = geo_.fanout();
+    HICAMP_ASSERT(e.meta.skip() == 0, "height-0 entry cannot carry a path");
+
+    if (e.isZero()) {
+        for (unsigned i = 0; i < F; ++i) {
+            words[i] = 0;
+            metas[i] = WordMeta::raw();
+        }
+        return;
+    }
+    if (e.meta.isInline()) {
+        const unsigned w = e.meta.inlineWidth();
+        HICAMP_ASSERT(e.meta.inlineWordCount() == F,
+                      "inline width inconsistent with leaf coverage");
+        for (unsigned i = 0; i < F; ++i) {
+            words[i] = SegGeometry::inlineExtract(e.word, w, i);
+            metas[i] = WordMeta::raw();
+        }
+        return;
+    }
+    HICAMP_ASSERT(e.meta.isPlid(), "malformed leaf entry");
+    Line line = fetch(e.plid(), cat);
+    for (unsigned i = 0; i < F; ++i) {
+        words[i] = line.word(i);
+        metas[i] = line.meta(i);
+    }
+}
+
+Word
+SegReader::readWord(const Entry &root, int h, std::uint64_t idx,
+                    WordMeta *meta_out, DramCat cat)
+{
+    HICAMP_ASSERT(idx < geo_.wordsCovered(h), "word index out of range");
+    Entry e = root;
+    Entry kids[kMaxLineWords];
+    while (h > 0) {
+        if (e.isZero())
+            break;
+        children(e, h, kids, cat);
+        const std::uint64_t cw = geo_.wordsCovered(h - 1);
+        e = kids[idx / cw];
+        idx %= cw;
+        --h;
+    }
+    if (e.isZero()) {
+        if (meta_out)
+            *meta_out = WordMeta::raw();
+        return 0;
+    }
+    Word words[kMaxLineWords];
+    WordMeta metas[kMaxLineWords];
+    leafWords(e, words, metas, cat);
+    if (meta_out)
+        *meta_out = metas[idx];
+    return words[idx];
+}
+
+std::optional<std::uint64_t>
+SegReader::nextNonZero(const Entry &root, int h, std::uint64_t from,
+                       DramCat cat)
+{
+    if (from >= geo_.wordsCovered(h))
+        return std::nullopt;
+    return nextNonZeroRec(root, h, from, cat);
+}
+
+std::optional<std::uint64_t>
+SegReader::nextNonZeroRec(const Entry &e, int h, std::uint64_t from,
+                          DramCat cat)
+{
+    if (e.isZero())
+        return std::nullopt;
+    const unsigned F = geo_.fanout();
+    if (h == 0) {
+        Word words[kMaxLineWords];
+        WordMeta metas[kMaxLineWords];
+        leafWords(e, words, metas, cat);
+        for (std::uint64_t i = from; i < F; ++i) {
+            if (words[i] != 0)
+                return i;
+        }
+        return std::nullopt;
+    }
+    Entry kids[kMaxLineWords];
+    children(e, h, kids, cat);
+    const std::uint64_t cw = geo_.wordsCovered(h - 1);
+    for (std::uint64_t c = from / cw; c < F; ++c) {
+        std::uint64_t sub_from = c == from / cw ? from % cw : 0;
+        auto sub = nextNonZeroRec(kids[c], h - 1, sub_from, cat);
+        if (sub)
+            return c * cw + *sub;
+    }
+    return std::nullopt;
+}
+
+void
+SegReader::materialize(const Entry &root, int h, std::vector<Word> &words,
+                       std::vector<WordMeta> &metas, DramCat cat)
+{
+    const std::uint64_t n = geo_.wordsCovered(h);
+    words.assign(n, 0);
+    metas.assign(n, WordMeta::raw());
+    materializeRec(root, h, 0, words, metas, cat);
+}
+
+void
+SegReader::materializeRec(const Entry &e, int h, std::uint64_t base,
+                          std::vector<Word> &words,
+                          std::vector<WordMeta> &metas, DramCat cat)
+{
+    if (e.isZero())
+        return;
+    const unsigned F = geo_.fanout();
+    if (h == 0) {
+        Word w[kMaxLineWords];
+        WordMeta m[kMaxLineWords];
+        leafWords(e, w, m, cat);
+        for (unsigned i = 0; i < F; ++i) {
+            words[base + i] = w[i];
+            metas[base + i] = m[i];
+        }
+        return;
+    }
+    Entry kids[kMaxLineWords];
+    children(e, h, kids, cat);
+    const std::uint64_t cw = geo_.wordsCovered(h - 1);
+    for (unsigned c = 0; c < F; ++c)
+        materializeRec(kids[c], h - 1, base + c * cw, words, metas, cat);
+}
+
+std::uint64_t
+SegReader::countLines(const Entry &root, int h,
+                      std::unordered_set<Plid> &seen)
+{
+    if (root.isZero() || !root.meta.isPlid())
+        return 0; // inline/zero entries occupy no line
+    Plid p = root.plid();
+    if (seen.count(p))
+        return 0;
+    seen.insert(p);
+    std::uint64_t added = 1;
+    // A path-compacted entry still references one real line; descend
+    // into it at its physical height (h minus skipped levels).
+    int ph = h - static_cast<int>(root.meta.skip());
+    if (ph > 0) {
+        Line line = mem_.store().read(p);
+        for (unsigned i = 0; i < geo_.fanout(); ++i) {
+            Entry child{line.word(i), line.meta(i)};
+            added += countLines(child, ph - 1, seen);
+        }
+    }
+    return added;
+}
+
+} // namespace hicamp

@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Read-side access to segment DAGs: child-slot expansion (including
+ * path-compacted and inline-compacted entries), single-word reads,
+ * next-non-zero scans (the iterator-register sparse-skip primitive)
+ * and whole-subtree materialization.
+ */
+
+#ifndef HICAMP_SEG_READER_HH
+#define HICAMP_SEG_READER_HH
+
+#include <cstdint>
+#include <optional>
+#include <unordered_set>
+#include <vector>
+
+#include "mem/memory.hh"
+#include "seg/entry.hh"
+
+namespace hicamp {
+
+/**
+ * Stateless DAG reader. By default every line it touches goes through
+ * the cache hierarchy and is attributed to a DRAM category; traffic
+ * accounting can be disabled for measurement-only traversals (e.g.
+ * footprint counting), which read the ground-truth store directly.
+ */
+class SegReader
+{
+  public:
+    explicit SegReader(Memory &mem, bool count_traffic = true)
+        : mem_(mem), geo_(mem.fanout()), traffic_(count_traffic)
+    {}
+
+    const SegGeometry &geometry() const { return geo_; }
+
+    /**
+     * Expand an interior entry (height >= 1) into its F child entries.
+     * Costs one line read for plain PLID entries; path-compacted and
+     * inline entries expand without memory access (the benefit of
+     * compaction).
+     */
+    void children(const Entry &e, int h, Entry *out,
+                  DramCat cat = DramCat::Read);
+
+    /** Expand a height-0 entry into its F leaf words. */
+    void leafWords(const Entry &e, Word *words, WordMeta *metas,
+                   DramCat cat = DramCat::Read);
+
+    /** Read one word (and optionally its tag) at word index @p idx. */
+    Word readWord(const Entry &root, int h, std::uint64_t idx,
+                  WordMeta *meta_out = nullptr,
+                  DramCat cat = DramCat::Read);
+
+    /**
+     * Smallest word index >= @p from whose word is non-zero, or
+     * nullopt. Zero subtrees are skipped without descending — the
+     * iterator register's efficient sparse iteration (paper §3.3).
+     */
+    std::optional<std::uint64_t> nextNonZero(const Entry &root, int h,
+                                             std::uint64_t from,
+                                             DramCat cat = DramCat::Read);
+
+    /** Expand the whole subtree into @p words / @p metas (coverage-sized). */
+    void materialize(const Entry &root, int h, std::vector<Word> &words,
+                     std::vector<WordMeta> &metas,
+                     DramCat cat = DramCat::Read);
+
+    /**
+     * Count the distinct lines reachable from @p root, adding PLIDs to
+     * @p seen. Never generates traffic. Returns lines newly added.
+     */
+    std::uint64_t countLines(const Entry &root, int h,
+                             std::unordered_set<Plid> &seen);
+
+  private:
+    Line fetch(Plid plid, DramCat cat);
+    std::optional<std::uint64_t> nextNonZeroRec(const Entry &e, int h,
+                                                std::uint64_t from,
+                                                DramCat cat);
+    void materializeRec(const Entry &e, int h, std::uint64_t base,
+                        std::vector<Word> &words,
+                        std::vector<WordMeta> &metas, DramCat cat);
+
+    Memory &mem_;
+    SegGeometry geo_;
+    bool traffic_;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_SEG_READER_HH

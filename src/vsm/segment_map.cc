@@ -1,0 +1,244 @@
+#include "vsm/segment_map.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hicamp {
+
+SegmentMap::SegmentMap(Memory &mem)
+    : mem_(mem), builder_(mem), mutex_(mem.sysMutex())
+{
+    slots_.emplace_back(); // slot 0 == null VSID
+    mem_.setLineFreedHook([this](Plid p) { onLineFreed(p); });
+}
+
+SegmentMap::~SegmentMap()
+{
+    mem_.setLineFreedHook(nullptr);
+    for (auto &slot : slots_) {
+        if (slot.live && !(slot.flags & (kSegWeak | kSegAlias)))
+            builder_.release(slot.desc.root);
+        slot.live = false;
+    }
+}
+
+void
+SegmentMap::onLineFreed(Plid plid)
+{
+    // Called from inside Memory's reclaim path; zero any weak entries
+    // watching this root. Weak entries own no reference, so no Memory
+    // call-back happens here.
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    auto [lo, hi] = weakWatch_.equal_range(plid);
+    for (auto it = lo; it != hi; ++it) {
+        EntrySlot &slot = slots_[it->second];
+        if (slot.live && (slot.flags & kSegWeak))
+            slot.desc = SegDesc{};
+    }
+    weakWatch_.erase(lo, hi);
+}
+
+Vsid
+SegmentMap::create(const SegDesc &d, std::uint32_t flags)
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    Vsid v = slots_.size();
+    slots_.emplace_back();
+    EntrySlot &slot = slots_.back();
+    slot.desc = d;
+    slot.flags = flags;
+    slot.live = true;
+    if (flags & kSegWeak) {
+        // Weak entries hold the root without a reference; watch for
+        // its reclamation. (The caller keeps its own reference.)
+        if (d.root.meta.isPlid() && d.root.word != 0)
+            weakWatch_.emplace(d.root.plid(), v);
+    }
+    mem_.vsmAccess(v, /*write=*/true);
+    return v;
+}
+
+Vsid
+SegmentMap::aliasReadOnly(Vsid target)
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    HICAMP_ASSERT(target < slots_.size() && slots_[target].live,
+                  "alias of dead VSID");
+    Vsid v = slots_.size();
+    slots_.emplace_back();
+    EntrySlot &slot = slots_.back();
+    slot.flags = kSegAlias | kSegReadOnly;
+    slot.aliasTarget = target;
+    slot.live = true;
+    mem_.vsmAccess(v, /*write=*/true);
+    return v;
+}
+
+Vsid
+SegmentMap::resolveLocked(Vsid v) const
+{
+    HICAMP_ASSERT(v != kNullVsid && v < slots_.size() && slots_[v].live,
+                  "access to dead or null VSID");
+    if (slots_[v].flags & kSegAlias)
+        return resolveLocked(slots_[v].aliasTarget);
+    return v;
+}
+
+SegDesc
+SegmentMap::get(Vsid v)
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    mem_.vsmAccess(v, /*write=*/false);
+    Vsid t = resolveLocked(v);
+    if (t != v)
+        mem_.vsmAccess(t, /*write=*/false);
+    return slots_[t].desc;
+}
+
+SegDesc
+SegmentMap::snapshot(Vsid v)
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    SegDesc d = get(v);
+    builder_.retain(d.root);
+    return d;
+}
+
+void
+SegmentMap::releaseSnapshot(const SegDesc &d)
+{
+    builder_.release(d.root);
+}
+
+std::uint32_t
+SegmentMap::flags(Vsid v) const
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    HICAMP_ASSERT(v < slots_.size() && slots_[v].live, "dead VSID");
+    std::uint32_t f = slots_[v].flags;
+    if (f & kSegAlias)
+        f |= slots_[resolveLocked(v)].flags;
+    return f;
+}
+
+bool
+SegmentMap::isReadOnly(Vsid v) const
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    return (slots_[v].flags & kSegReadOnly) != 0;
+}
+
+bool
+SegmentMap::cas(Vsid v, const SegDesc &expected, const SegDesc &desired)
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    if (slots_[v].flags & kSegReadOnly)
+        return false;
+    Vsid t = resolveLocked(v);
+    EntrySlot &slot = slots_[t];
+    mem_.vsmAccess(t, /*write=*/false);
+    if (!(slot.desc == expected))
+        return false;
+    mem_.vsmAccess(t, /*write=*/true);
+    SegDesc old = slot.desc;
+    slot.desc = desired;
+    if (!(slot.flags & kSegWeak))
+        builder_.release(old.root); // the map's reference on the old root
+    return true;
+}
+
+Entry
+SegmentMap::lift(const SegDesc &d, int H)
+{
+    Entry e = d.root;
+    const unsigned F = mem_.fanout();
+    for (int h = d.height; h < H; ++h) {
+        Entry kids[kMaxLineWords];
+        kids[0] = e;
+        for (unsigned i = 1; i < F; ++i)
+            kids[i] = Entry::zero();
+        e = builder_.makeNode(kids, h);
+    }
+    return e;
+}
+
+bool
+SegmentMap::mcas(Vsid v, const SegDesc &old_base, const SegDesc &desired,
+                 MergeStats *stats)
+{
+    SegDesc mine = desired;
+    SegDesc base = old_base;
+    bool base_retained = false; // first `base` is borrowed from caller
+
+    for (int attempt = 0;; ++attempt) {
+        if (cas(v, base, mine)) {
+            if (base_retained)
+                releaseSnapshot(base);
+            return true;
+        }
+        if (isReadOnly(v)) {
+            builder_.release(mine.root);
+            if (base_retained)
+                releaseSnapshot(base);
+            return false;
+        }
+
+        // Conflict: merge our change (base -> mine) onto the current
+        // content, outside any segment-map critical section.
+        SegDesc cur = snapshot(v);
+        int H = std::max({base.height, cur.height, mine.height});
+        Entry o = lift({builder_.retain(base.root), base.height, 0}, H);
+        Entry c = lift({builder_.retain(cur.root), cur.height, 0}, H);
+        Entry n = lift({mine.root, mine.height, 0}, H); // consumes mine
+        auto merged = mergeUpdate(mem_, o, c, n, H, stats);
+        builder_.release(o);
+        builder_.release(n);
+
+        if (!merged) {
+            ++mergeFailures_;
+            builder_.release(c);
+            releaseSnapshot(cur);
+            if (base_retained)
+                releaseSnapshot(base);
+            return false;
+        }
+        ++mergeCommits_;
+
+        // Retry: the merge result becomes our new proposal, with the
+        // current content as its base (paper §3.4 pseudo-code).
+        builder_.release(c);
+        if (base_retained)
+            releaseSnapshot(base);
+        base = cur;
+        base_retained = true;
+        mine = SegDesc{*merged, H,
+                       std::max(cur.byteLen, desired.byteLen)};
+    }
+}
+
+void
+SegmentMap::destroy(Vsid v)
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    HICAMP_ASSERT(v < slots_.size() && slots_[v].live,
+                  "destroy of dead VSID");
+    EntrySlot &slot = slots_[v];
+    if (!(slot.flags & (kSegWeak | kSegAlias)))
+        builder_.release(slot.desc.root);
+    slot.live = false;
+    slot.desc = SegDesc{};
+    mem_.vsmAccess(v, /*write=*/true);
+}
+
+std::uint64_t
+SegmentMap::liveEntries() const
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    std::uint64_t n = 0;
+    for (const auto &s : slots_)
+        n += s.live ? 1 : 0;
+    return n;
+}
+
+} // namespace hicamp

@@ -1,0 +1,135 @@
+/**
+ * @file
+ * Virtual segment map (paper §2.3): maps Virtual Segment IDs to
+ * [root, height, flags] descriptors. Software shares objects by
+ * passing VSIDs — optionally as read-only aliases — and updates
+ * segments atomically by CAS (or mCAS with merge-update) on the root.
+ *
+ * Entries live in the conventional (mutable) part of memory; their
+ * traffic is modelled through Memory::vsmAccess. Each entry owns one
+ * reference to its current root; weak entries hold the root without a
+ * reference and are zeroed when the segment is reclaimed.
+ */
+
+#ifndef HICAMP_VSM_SEGMENT_MAP_HH
+#define HICAMP_VSM_SEGMENT_MAP_HH
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "seg/builder.hh"
+#include "seg/merge.hh"
+
+namespace hicamp {
+
+/** Per-entry flags (paper §2.3). */
+enum SegFlag : std::uint32_t {
+    kSegReadOnly = 1u << 0,    ///< reference cannot commit a new root
+    kSegMergeUpdate = 1u << 1, ///< CAS conflicts resolve by merge-update
+    kSegWeak = 1u << 2,        ///< zeroed on reclamation, owns no ref
+    kSegAlias = 1u << 3,       ///< entry forwards to another VSID
+};
+
+class SegmentMap
+{
+  public:
+    explicit SegmentMap(Memory &mem);
+    ~SegmentMap();
+
+    SegmentMap(const SegmentMap &) = delete;
+    SegmentMap &operator=(const SegmentMap &) = delete;
+
+    /**
+     * Create a segment entry. Takes ownership of @p d's root
+     * reference (unless @p flags has kSegWeak).
+     */
+    Vsid create(const SegDesc &d, std::uint32_t flags = 0);
+
+    /**
+     * Create a read-only alias of @p target: reads forward to the
+     * target entry, commits are rejected. This is how a VSID is
+     * "passed read-only" to an untrusted thread.
+     */
+    Vsid aliasReadOnly(Vsid target);
+
+    /** Read the current descriptor (no reference acquired). */
+    SegDesc get(Vsid v);
+
+    /**
+     * Snapshot: read the current descriptor and acquire a reference
+     * on its root — the caller now holds a stable, immutable view
+     * regardless of concurrent commits (snapshot isolation, §2.2).
+     */
+    SegDesc snapshot(Vsid v);
+
+    /** Release a snapshot previously acquired with snapshot(). */
+    void releaseSnapshot(const SegDesc &d);
+
+    std::uint32_t flags(Vsid v) const;
+    bool isReadOnly(Vsid v) const;
+
+    /**
+     * Atomic root replacement. If the entry still holds @p expected,
+     * installs @p desired (taking ownership of its root reference;
+     * the map's reference on the old root is released) and returns
+     * true. Otherwise returns false and the caller keeps ownership of
+     * @p desired. Rejected (false, no transfer) on read-only entries.
+     */
+    bool cas(Vsid v, const SegDesc &expected, const SegDesc &desired);
+
+    /**
+     * mCAS (paper §3.4): like cas, but on conflict attempts
+     * merge-update of (old_base -> desired) onto the current root,
+     * retrying until the commit lands or a true conflict appears.
+     * Always consumes @p desired's root reference. Returns true on
+     * success (original or merged content committed).
+     */
+    bool mcas(Vsid v, const SegDesc &old_base, const SegDesc &desired,
+              MergeStats *stats = nullptr);
+
+    /** Delete an entry, releasing its root reference. */
+    void destroy(Vsid v);
+
+    /** Number of live (non-destroyed) entries. */
+    std::uint64_t liveEntries() const;
+
+    /** Total mCAS conflicts resolved by merge. */
+    std::uint64_t mergeCommits() const { return mergeCommits_.value(); }
+    /** mCAS calls that failed on a true conflict. */
+    std::uint64_t mergeFailures() const { return mergeFailures_.value(); }
+
+    /**
+     * Lift a descriptor to height @p H by wrapping in zero-padded
+     * parents (path compaction keeps this allocation-free in the
+     * common case). Takes ownership of @p d's root; returns an owned
+     * entry at height H.
+     */
+    Entry lift(const SegDesc &d, int H);
+
+  private:
+    struct EntrySlot {
+        SegDesc desc;
+        std::uint32_t flags = 0;
+        Vsid aliasTarget = kNullVsid;
+        bool live = false;
+    };
+
+    /** Resolve aliases to the primary VSID (lock held). */
+    Vsid resolveLocked(Vsid v) const;
+    void onLineFreed(Plid plid);
+
+    Memory &mem_;
+    SegBuilder builder_;
+    /// shared with Memory: one global lock order (see Memory::sysMutex)
+    std::recursive_mutex &mutex_;
+    std::vector<EntrySlot> slots_; ///< slot 0 unused (null VSID)
+    std::unordered_multimap<Plid, Vsid> weakWatch_;
+    Counter mergeCommits_;
+    Counter mergeFailures_;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_VSM_SEGMENT_MAP_HH

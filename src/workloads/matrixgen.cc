@@ -1,0 +1,392 @@
+#include "workloads/matrixgen.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+namespace hicamp {
+
+double
+MatrixGen::coefValue(Coef coef, Rng &rng, std::uint32_t r,
+                     std::uint32_t c)
+{
+    switch (coef) {
+      case Coef::Constant:
+        return 1.0;
+      case Coef::FewValues: {
+        static const double kVals[] = {1.0, -1.0, 2.0, 0.5};
+        return kVals[rng.below(4)];
+      }
+      case Coef::Smooth:
+        return 1.0 + 0.001 * static_cast<double>((r + c) / 16);
+      case Coef::Random:
+      default:
+        return rng.uniform() * 2.0 - 1.0;
+    }
+}
+
+SparseMatrix
+MatrixGen::fem2d(std::uint32_t grid, Coef coef, bool symmetric,
+                 std::uint64_t seed, const std::string &name)
+{
+    Rng rng(seed);
+    const std::uint32_t n = grid * grid;
+    std::vector<Triplet> t;
+    t.reserve(n * 5);
+    auto id = [&](std::uint32_t i, std::uint32_t j) {
+        return i * grid + j;
+    };
+    for (std::uint32_t i = 0; i < grid; ++i) {
+        for (std::uint32_t j = 0; j < grid; ++j) {
+            std::uint32_t me = id(i, j);
+            double d = 4.0 * coefValue(coef, rng, me, me);
+            t.push_back({me, me, d});
+            auto off = [&](std::uint32_t other) {
+                double v = -coefValue(coef, rng, me, other);
+                t.push_back({me, other, v});
+                if (symmetric) {
+                    t.push_back({other, me, v});
+                } else {
+                    t.push_back({other, me,
+                                 -coefValue(coef, rng, other, me)});
+                }
+            };
+            // Emit each undirected edge once (to the east and south
+            // neighbours); both directions are added inside off().
+            if (j + 1 < grid)
+                off(id(i, j + 1));
+            if (i + 1 < grid)
+                off(id(i + 1, j));
+        }
+    }
+    return SparseMatrix(name, "FEM", n, n, std::move(t), symmetric);
+}
+
+SparseMatrix
+MatrixGen::fem3d(std::uint32_t grid, Coef coef, bool symmetric,
+                 std::uint64_t seed, const std::string &name)
+{
+    Rng rng(seed);
+    const std::uint32_t n = grid * grid * grid;
+    std::vector<Triplet> t;
+    t.reserve(n * 7);
+    auto id = [&](std::uint32_t i, std::uint32_t j, std::uint32_t k) {
+        return (i * grid + j) * grid + k;
+    };
+    for (std::uint32_t i = 0; i < grid; ++i) {
+        for (std::uint32_t j = 0; j < grid; ++j) {
+            for (std::uint32_t k = 0; k < grid; ++k) {
+                std::uint32_t me = id(i, j, k);
+                t.push_back({me, me,
+                             6.0 * coefValue(coef, rng, me, me)});
+                auto off = [&](std::uint32_t other) {
+                    double v = -coefValue(coef, rng, me, other);
+                    t.push_back({me, other, v});
+                    if (symmetric) {
+                        t.push_back({other, me, v});
+                    } else {
+                        t.push_back({other, me,
+                                     -coefValue(coef, rng, other, me)});
+                    }
+                };
+                if (k + 1 < grid)
+                    off(id(i, j, k + 1));
+                if (j + 1 < grid)
+                    off(id(i, j + 1, k));
+                if (i + 1 < grid)
+                    off(id(i + 1, j, k));
+            }
+        }
+    }
+    return SparseMatrix(name, "FEM", n, n, std::move(t), symmetric);
+}
+
+SparseMatrix
+MatrixGen::lp(std::uint32_t rows, std::uint32_t cols,
+              unsigned nnz_per_col, std::uint64_t seed,
+              const std::string &name)
+{
+    // Staircase / time-staged LP: the same constraint block repeats
+    // down the diagonal for every stage (multi-period models stamp
+    // identical technology matrices per period), plus a band of
+    // coupling constraints at the top. Values are overwhelmingly
+    // +/-1. This is the structure that makes LPs the paper's most
+    // compactable category (Table 2: 43%).
+    Rng rng(seed);
+    std::vector<Triplet> t;
+    constexpr std::uint32_t kBlock = 64; // power of two: stays aligned
+
+    // The per-stage block pattern (column-wise, like a constraint
+    // matrix built from column structures).
+    struct Elem {
+        std::uint32_t r, c;
+        double v;
+    };
+    std::vector<Elem> block;
+    for (std::uint32_t c = 0; c < kBlock; ++c) {
+        std::set<std::uint32_t> rs;
+        while (rs.size() < nnz_per_col)
+            rs.insert(static_cast<std::uint32_t>(rng.below(kBlock)));
+        for (std::uint32_t r : rs) {
+            double v = rng.chance(0.85) ? (rng.chance(0.5) ? 1.0 : -1.0)
+                                        : 2.0;
+            block.push_back({r, c, v});
+        }
+    }
+
+    const std::uint32_t avail = std::min(rows, cols) / kBlock;
+    const std::uint32_t stages = avail > 1 ? avail - 1 : 1;
+    const std::uint32_t band = kBlock; // coupling rows on top
+    for (std::uint32_t s = 0; s < stages; ++s) {
+        std::uint32_t r0 = band + s * kBlock;
+        std::uint32_t c0 = s * kBlock;
+        for (const auto &e : block) {
+            // A per-stage perturbation (bounds, RHS scaling, seasonal
+            // coefficients) keeps stages from being perfectly
+            // identical, as in real multi-period models.
+            double v = rng.chance(0.10) ? e.v * (1.0 + rng.uniform())
+                                        : e.v;
+            if (r0 + e.r < rows && c0 + e.c < cols)
+                t.push_back({r0 + e.r, c0 + e.c, v});
+        }
+        // Inter-stage coupling: a sparse identity into the next stage.
+        for (std::uint32_t k = 0; k < kBlock; k += 4) {
+            if (r0 + k < rows && c0 + kBlock + k < cols)
+                t.push_back({r0 + k, c0 + kBlock + k, -1.0});
+        }
+    }
+    // Coupling band: the objective/resource rows touch every column
+    // sparsely with +/-1 coefficients.
+    for (std::uint32_t c = 0; c < cols; c += 2) {
+        std::uint32_t r = c % band;
+        if (r < rows)
+            t.push_back({r, c, rng.chance(0.7) ? 1.0 : -1.0});
+    }
+    return SparseMatrix(name, "LP", rows, cols, std::move(t), false);
+}
+
+SparseMatrix
+MatrixGen::banded(std::uint32_t n,
+                  const std::vector<std::int32_t> &offsets, Coef coef,
+                  bool symmetric, std::uint64_t seed,
+                  const std::string &name)
+{
+    Rng rng(seed);
+    std::vector<Triplet> t;
+    for (std::uint32_t i = 0; i < n; ++i) {
+        for (std::int32_t off : offsets) {
+            std::int64_t j = static_cast<std::int64_t>(i) + off;
+            if (j < 0 || j >= static_cast<std::int64_t>(n))
+                continue;
+            if (symmetric && off < 0)
+                continue; // mirrored below
+            double v = coefValue(coef, rng, i,
+                                 static_cast<std::uint32_t>(j));
+            t.push_back({i, static_cast<std::uint32_t>(j), v});
+            if (symmetric && off > 0) {
+                t.push_back({static_cast<std::uint32_t>(j), i, v});
+            }
+        }
+    }
+    return SparseMatrix(name, "Banded", n, n, std::move(t), symmetric);
+}
+
+SparseMatrix
+MatrixGen::circuit(std::uint32_t n, double avg_degree,
+                   std::uint64_t seed, const std::string &name)
+{
+    Rng rng(seed);
+    std::vector<Triplet> t;
+    const auto edges =
+        static_cast<std::uint64_t>(static_cast<double>(n) * avg_degree);
+    for (std::uint32_t i = 0; i < n; ++i)
+        t.push_back({i, i, 1.0 + rng.uniform()});
+    Zipf hub(n, 0.7); // a few high-degree nets
+    // Conductance values come from a small alphabet: real netlists
+    // instantiate the same device models (and hence stamp the same
+    // values) millions of times.
+    static const double kG[] = {-1.0, -0.5, -2.0, -0.1, -10.0, -0.25};
+    for (std::uint64_t e = 0; e < edges; ++e) {
+        auto a = static_cast<std::uint32_t>(hub.sample(rng));
+        auto b = static_cast<std::uint32_t>(rng.below(n));
+        if (a == b)
+            continue;
+        double v = rng.chance(0.85) ? kG[rng.below(6)]
+                                    : -(0.5 + rng.uniform());
+        t.push_back({a, b, v});
+        t.push_back({b, a, v});
+    }
+    return SparseMatrix(name, "Circuit", n, n, std::move(t), false);
+}
+
+SparseMatrix
+MatrixGen::blockTiled(std::uint32_t n, std::uint32_t block_dim,
+                      double block_density, Coef coef,
+                      std::uint64_t seed, const std::string &name)
+{
+    Rng rng(seed);
+    // One block pattern (with values), stamped on the block diagonal
+    // and at a few repeated off-diagonal positions.
+    std::vector<Triplet> pattern;
+    Rng prng(seed * 7 + 1);
+    for (std::uint32_t i = 0; i < block_dim; ++i) {
+        for (std::uint32_t j = 0; j < block_dim; ++j) {
+            if (prng.uniform() < block_density) {
+                pattern.push_back(
+                    {i, j, coefValue(coef, prng, i, j)});
+            }
+        }
+    }
+    std::vector<Triplet> t;
+    const std::uint32_t blocks = n / block_dim;
+    // Real repeating-pattern matrices are not perfectly self-similar:
+    // a few elements per block carry block-specific values (boundary
+    // conditions, local coefficients), which caps the dedup factor.
+    const double perturb = 0.06;
+    for (std::uint32_t b = 0; b < blocks; ++b) {
+        for (const auto &p : pattern) {
+            double v = rng.chance(perturb) ? p.v * (1.0 + rng.uniform())
+                                           : p.v;
+            t.push_back({b * block_dim + p.r, b * block_dim + p.c, v});
+        }
+        if (b + 1 < blocks && rng.chance(0.5)) {
+            for (const auto &p : pattern) {
+                t.push_back({b * block_dim + p.r,
+                             (b + 1) * block_dim + p.c, p.v});
+            }
+        }
+    }
+    return SparseMatrix(name, "Block", n, n, std::move(t), false);
+}
+
+SparseMatrix
+MatrixGen::randomSparse(std::uint32_t rows, std::uint32_t cols,
+                        std::uint64_t nnz, std::uint64_t seed,
+                        const std::string &name)
+{
+    Rng rng(seed);
+    std::vector<Triplet> t;
+    t.reserve(nnz);
+    for (std::uint64_t k = 0; k < nnz; ++k) {
+        t.push_back({static_cast<std::uint32_t>(rng.below(rows)),
+                     static_cast<std::uint32_t>(rng.below(cols)),
+                     rng.uniform() * 2.0 - 1.0});
+    }
+    return SparseMatrix(name, "Random", rows, cols, std::move(t),
+                        false);
+}
+
+std::vector<SparseMatrix>
+MatrixGen::standardSuite(double scale)
+{
+    auto sc = [&](std::uint32_t v) {
+        auto s = static_cast<std::uint32_t>(static_cast<double>(v) *
+                                            scale);
+        return std::max(16u, s);
+    };
+    std::vector<SparseMatrix> suite;
+    std::uint64_t seed = 1000;
+
+    // --- FEM: 29 total (18 symmetric, 11 non-symmetric) -------------
+    struct FemSpec {
+        std::uint32_t grid;
+        Coef coef;
+        bool sym;
+        bool threeD;
+    };
+    const FemSpec fems[] = {
+        {48, Coef::Constant, true, false},
+        {64, Coef::Constant, true, false},
+        {96, Coef::Constant, true, false},
+        {128, Coef::Constant, true, false}, // the extreme-dedup outlier
+        {48, Coef::Smooth, true, false},
+        {64, Coef::Smooth, true, false},
+        {96, Coef::Smooth, true, false},
+        {48, Coef::FewValues, true, false},
+        {64, Coef::Random, true, false},
+        {96, Coef::Smooth, true, false},
+        {128, Coef::Random, true, false},
+        {12, Coef::Constant, true, true},
+        {16, Coef::Constant, true, true},
+        {20, Coef::Smooth, true, true},
+        {16, Coef::Random, true, true},
+        {20, Coef::Random, true, true},
+        {24, Coef::Random, true, true},
+        {32, Coef::Smooth, true, false},
+        {48, Coef::Constant, false, false},
+        {64, Coef::Smooth, false, false},
+        {96, Coef::Random, false, false},
+        {128, Coef::Smooth, false, false},
+        {12, Coef::FewValues, false, true},
+        {16, Coef::Smooth, false, true},
+        {20, Coef::Random, false, true},
+        {64, Coef::FewValues, false, false},
+        {96, Coef::FewValues, false, false},
+        {32, Coef::Random, false, false},
+        {24, Coef::Constant, false, true},
+    };
+    int fi = 0;
+    for (const auto &f : fems) {
+        std::string nm = "fem" + std::string(f.threeD ? "3d" : "2d") +
+                         "-" + std::to_string(fi++);
+        suite.push_back(f.threeD
+                            ? fem3d(sc(f.grid) / 4 + 8, f.coef, f.sym,
+                                    ++seed, nm)
+                            : fem2d(sc(f.grid), f.coef, f.sym, ++seed,
+                                    nm));
+    }
+
+    // --- LP: 15 (all non-symmetric) ---------------------------------
+    for (int i = 0; i < 15; ++i) {
+        std::uint32_t rows = sc(600 + 350 * i);
+        std::uint32_t cols = sc(900 + 500 * i);
+        suite.push_back(lp(rows, cols, 3 + i % 4, ++seed,
+                           "lp-" + std::to_string(i)));
+    }
+
+    // --- Banded: 20 (3 symmetric) ------------------------------------
+    for (int i = 0; i < 20; ++i) {
+        std::uint32_t n = sc(1500 + 900 * i);
+        std::vector<std::int32_t> offs = {0, 1, -1};
+        if (i % 2)
+            offs.insert(offs.end(), {16, -16});
+        if (i % 3 == 0)
+            offs.insert(offs.end(), {128, -128});
+        Coef coef = i % 4 == 0   ? Coef::Constant
+                    : i % 4 == 1 ? Coef::Smooth
+                    : i % 4 == 2 ? Coef::FewValues
+                                 : Coef::Random;
+        bool sym = i < 5;
+        suite.push_back(banded(n, offs, coef, sym, ++seed,
+                               "banded-" + std::to_string(i)));
+    }
+
+    // --- Circuit: 16 --------------------------------------------------
+    for (int i = 0; i < 16; ++i) {
+        std::uint32_t n = sc(1200 + 850 * i);
+        suite.push_back(circuit(n, 3.0 + (i % 5), ++seed,
+                                "circuit-" + std::to_string(i)));
+    }
+
+    // --- Block-tiled: 12 ---------------------------------------------
+    for (int i = 0; i < 12; ++i) {
+        std::uint32_t n = sc(2048 + 1024 * i);
+        suite.push_back(blockTiled(n, 16 << (i % 3), 0.2,
+                                   i % 2 ? Coef::Constant
+                                         : Coef::FewValues,
+                                   ++seed,
+                                   "block-" + std::to_string(i)));
+    }
+
+    // --- Random: 8 -----------------------------------------------------
+    for (int i = 0; i < 8; ++i) {
+        std::uint32_t n = sc(1000 + 700 * i);
+        suite.push_back(randomSparse(
+            n, n, std::uint64_t{n} * (4 + i % 6), ++seed,
+            "random-" + std::to_string(i)));
+    }
+
+    return suite;
+}
+
+} // namespace hicamp

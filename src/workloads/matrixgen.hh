@@ -1,0 +1,90 @@
+/**
+ * @file
+ * Synthetic sparse-matrix suite — the stand-in for the University of
+ * Florida Sparse Matrix Collection used in paper §5.2 (Figs. 7-8,
+ * Table 2). Generators cover the structural classes whose properties
+ * drive the results: FEM stencils (2D/3D, symmetric and not, constant
+ * or varying coefficients), LP constraint matrices (tall patterns,
+ * many +/-1 values), banded operators, circuit-like power-law graphs,
+ * block-self-similar tilings and uniform random matrices.
+ *
+ * The standard suite mirrors Table 2's category counts: 100 matrices,
+ * 23 symmetric, 29 FEM, 15 LP.
+ */
+
+#ifndef HICAMP_WORKLOADS_MATRIXGEN_HH
+#define HICAMP_WORKLOADS_MATRIXGEN_HH
+
+#include <vector>
+
+#include "apps/spmv/sparse_matrix.hh"
+#include "common/rng.hh"
+
+namespace hicamp {
+
+class MatrixGen
+{
+  public:
+    /** How element values vary (drives value-level deduplication). */
+    enum class Coef {
+        Constant, ///< single repeated value (maximal self-similarity)
+        FewValues, ///< small value alphabet (e.g. +/-1 in LP)
+        Smooth,   ///< slowly varying
+        Random,   ///< i.i.d. values (pattern dedup only)
+    };
+
+    /** 5-point (2D) Laplacian-style FEM stencil on an n x n grid. */
+    static SparseMatrix fem2d(std::uint32_t grid, Coef coef,
+                              bool symmetric, std::uint64_t seed,
+                              const std::string &name);
+
+    /** 7-point (3D) stencil on an n^3 grid. */
+    static SparseMatrix fem3d(std::uint32_t grid, Coef coef,
+                              bool symmetric, std::uint64_t seed,
+                              const std::string &name);
+
+    /** LP constraint matrix: m rows, n cols, k nnz/col, +/-1-heavy. */
+    static SparseMatrix lp(std::uint32_t rows, std::uint32_t cols,
+                           unsigned nnz_per_col, std::uint64_t seed,
+                           const std::string &name);
+
+    /** Banded matrix with the given diagonal offsets. */
+    static SparseMatrix banded(std::uint32_t n,
+                               const std::vector<std::int32_t> &offsets,
+                               Coef coef, bool symmetric,
+                               std::uint64_t seed,
+                               const std::string &name);
+
+    /** Circuit-like: power-law row degree, diagonal dominance. */
+    static SparseMatrix circuit(std::uint32_t n, double avg_degree,
+                                std::uint64_t seed,
+                                const std::string &name);
+
+    /** A small block pattern tiled across the matrix. */
+    static SparseMatrix blockTiled(std::uint32_t n,
+                                   std::uint32_t block_dim,
+                                   double block_density, Coef coef,
+                                   std::uint64_t seed,
+                                   const std::string &name);
+
+    /** Uniform random sparse matrix. */
+    static SparseMatrix randomSparse(std::uint32_t rows,
+                                     std::uint32_t cols,
+                                     std::uint64_t nnz,
+                                     std::uint64_t seed,
+                                     const std::string &name);
+
+    /**
+     * The 100-matrix evaluation suite (category mix per Table 2).
+     * @param scale shrinks all dimensions for quick test runs.
+     */
+    static std::vector<SparseMatrix> standardSuite(double scale = 1.0);
+
+  private:
+    static double coefValue(Coef coef, Rng &rng, std::uint32_t r,
+                            std::uint32_t c);
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_WORKLOADS_MATRIXGEN_HH

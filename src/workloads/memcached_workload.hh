@@ -1,0 +1,71 @@
+/**
+ * @file
+ * Memcached request-trace generator (paper §5.1.2): after preloading
+ * the corpus, a request stream with a configurable get:set ratio,
+ * Zipf-popular keys and power-law value sizes — "typical for
+ * memcached workloads" per the paper's footnote 11.
+ */
+
+#ifndef HICAMP_WORKLOADS_MEMCACHED_WORKLOAD_HH
+#define HICAMP_WORKLOADS_MEMCACHED_WORKLOAD_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/rng.hh"
+#include "workloads/webcorpus.hh"
+
+namespace hicamp {
+
+/** One memcached request. */
+struct McRequest {
+    enum class Op { Get, Set, Delete } op;
+    std::uint32_t itemIndex;   ///< which corpus key
+    std::string newValue;      ///< for Set: the value to store
+};
+
+struct McWorkloadParams {
+    std::uint64_t seed = 42;
+    std::uint64_t numRequests = 15000;
+    double getFraction = 0.90;
+    double deleteFraction = 0.01;
+    double zipfS = 0.95; ///< key popularity skew
+};
+
+/**
+ * Generate a request stream over @p items. Set requests carry a
+ * mutated version of the item's current payload (tracked so repeated
+ * sets evolve realistically).
+ */
+inline std::vector<McRequest>
+generateMcRequests(const std::vector<WebItem> &items,
+                   const McWorkloadParams &p)
+{
+    Rng rng(p.seed);
+    Zipf pop(items.size(), p.zipfS);
+    std::vector<McRequest> reqs;
+    reqs.reserve(p.numRequests);
+    // Evolving payloads for realistic set content.
+    std::vector<std::string> current;
+    current.reserve(items.size());
+    for (const auto &it : items)
+        current.push_back(it.payload);
+
+    for (std::uint64_t i = 0; i < p.numRequests; ++i) {
+        auto idx = static_cast<std::uint32_t>(pop.sample(rng));
+        double roll = rng.uniform();
+        if (roll < p.getFraction) {
+            reqs.push_back({McRequest::Op::Get, idx, {}});
+        } else if (roll < p.getFraction + p.deleteFraction) {
+            reqs.push_back({McRequest::Op::Delete, idx, {}});
+        } else {
+            current[idx] = WebCorpus::mutate(current[idx], rng);
+            reqs.push_back({McRequest::Op::Set, idx, current[idx]});
+        }
+    }
+    return reqs;
+}
+
+} // namespace hicamp
+
+#endif // HICAMP_WORKLOADS_MEMCACHED_WORKLOAD_HH

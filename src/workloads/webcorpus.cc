@@ -1,0 +1,161 @@
+#include "workloads/webcorpus.hh"
+
+#include <algorithm>
+
+namespace hicamp {
+
+std::string
+WebCorpus::randomWord(Rng &rng)
+{
+    static const char *kCommon[] = {
+        "the",  "and",   "with",  "content", "page",  "data",
+        "user", "value", "time",  "link",    "image", "section",
+        "new",  "from",  "table", "style",   "class", "title",
+    };
+    if (rng.chance(0.5))
+        return kCommon[rng.below(sizeof(kCommon) / sizeof(kCommon[0]))];
+    std::string w;
+    std::uint64_t len = rng.range(3, 9);
+    for (std::uint64_t i = 0; i < len; ++i)
+        w.push_back(static_cast<char>('a' + rng.below(26)));
+    return w;
+}
+
+std::string
+WebCorpus::htmlFragment(Rng &rng, std::uint64_t bytes, bool script_like)
+{
+    static const char *kTags[] = {"div", "span", "p", "a", "li", "td"};
+    std::string out;
+    out.reserve(bytes + 32);
+    while (out.size() < bytes) {
+        if (script_like) {
+            switch (rng.below(4)) {
+              case 0:
+                out += "var " + randomWord(rng) + " = function(" +
+                       randomWord(rng) + ") { return " +
+                       randomWord(rng) + "." + randomWord(rng) + "(); };\n";
+                break;
+              case 1:
+                out += "if (" + randomWord(rng) + " < " +
+                       std::to_string(rng.below(1000)) + ") { " +
+                       randomWord(rng) + "++; }\n";
+                break;
+              case 2:
+                out += randomWord(rng) + ".addEventListener('" +
+                       randomWord(rng) + "', " + randomWord(rng) + ");\n";
+                break;
+              default:
+                out += "/* " + randomWord(rng) + " " + randomWord(rng) +
+                       " */\n";
+                break;
+            }
+        } else {
+            const char *tag = kTags[rng.below(6)];
+            out += "<";
+            out += tag;
+            out += " class=\"" + randomWord(rng) + "\">";
+            std::uint64_t words = rng.range(4, 16);
+            for (std::uint64_t i = 0; i < words; ++i) {
+                out += randomWord(rng);
+                out.push_back(' ');
+            }
+            out += "</";
+            out += tag;
+            out += ">\n";
+        }
+    }
+    out.resize(bytes);
+    return out;
+}
+
+std::vector<WebItem>
+WebCorpus::generate(const Params &p)
+{
+    Rng rng(p.seed);
+    std::vector<WebItem> items;
+    items.reserve(p.numItems);
+
+    if (p.kind == Kind::Images) {
+        // High-entropy binary blobs: already-compressed media. Dedup
+        // opportunity comes only from whole-file duplicates (the same
+        // image stored under several keys).
+        const std::uint64_t uniques = std::max<std::uint64_t>(
+            1, static_cast<std::uint64_t>(
+                   static_cast<double>(p.numItems) *
+                   p.uniqueImageFraction));
+        std::vector<std::string> pool(uniques);
+        for (auto &blob : pool) {
+            std::uint64_t n =
+                rng.powerLaw(p.minBytes, p.maxBytes, p.sizeAlpha);
+            blob.reserve(n);
+            while (blob.size() + 8 <= n) {
+                std::uint64_t w = rng.next();
+                blob.append(reinterpret_cast<const char *>(&w), 8);
+            }
+            while (blob.size() < n)
+                blob.push_back(static_cast<char>(rng.below(256)));
+        }
+        Zipf pop(uniques, 0.3);
+        for (std::uint64_t i = 0; i < p.numItems; ++i) {
+            items.push_back({p.keyPrefix + std::to_string(i),
+                             pool[pop.sample(rng)]});
+        }
+        return items;
+    }
+
+    // Base pages: each item is a version of some base — identical
+    // except for a handful of localized, length-preserving edits, so
+    // line alignment (and therefore line-level dedup) is preserved,
+    // exactly like page revisions or per-user renderings of one
+    // template in the real dumps.
+    const bool script_like = p.kind == Kind::Scripts;
+    const std::uint64_t num_bases = std::max<std::uint64_t>(
+        1, static_cast<std::uint64_t>(
+               static_cast<double>(p.numItems) * p.basesPerItem));
+    std::vector<std::string> bases(num_bases);
+    for (std::uint64_t b = 0; b < num_bases; ++b) {
+        std::uint64_t target =
+            rng.powerLaw(p.minBytes, p.maxBytes, p.sizeAlpha);
+        bases[b] = htmlFragment(rng, target, script_like);
+    }
+    Zipf base_pop(num_bases, 0.6);
+
+    for (std::uint64_t i = 0; i < p.numItems; ++i) {
+        std::string body = bases[base_pop.sample(rng)];
+        if (!rng.chance(p.exactDupFraction)) {
+            std::uint64_t edits = std::max<std::uint64_t>(
+                2, body.size() / p.editEveryBytes);
+            for (std::uint64_t e = 0; e < edits; ++e)
+                body = mutate(body, rng);
+        }
+        items.push_back({p.keyPrefix + std::to_string(i),
+                         std::move(body)});
+    }
+    return items;
+}
+
+std::string
+WebCorpus::mutate(const std::string &payload, Rng &rng)
+{
+    std::string out = payload;
+    if (out.empty())
+        return out;
+    // A localized edit: overwrite a short run at a random position
+    // (e.g. a timestamp or counter in a dynamic fragment).
+    std::uint64_t pos = rng.below(out.size());
+    std::string stamp = "[v" + std::to_string(rng.below(1000000)) + "]";
+    for (std::size_t i = 0; i < stamp.size() && pos + i < out.size(); ++i)
+        out[pos + i] = stamp[i];
+    return out;
+}
+
+std::uint64_t
+WebCorpus::totalBytes(const std::vector<WebItem> &items)
+{
+    std::uint64_t t = 0;
+    for (const auto &it : items)
+        t += it.payload.size();
+    return t;
+}
+
+} // namespace hicamp

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Synthetic web-content corpus — the stand-in for the paper's
+ * Wikipedia/Facebook page dumps (Table 1, Fig. 6 workload).
+ *
+ * Text-like items (HTML pages, scripts) are assembled from a shared
+ * pool of template fragments plus unique runs, reproducing the
+ * cross-item redundancy that line-level deduplication exploits;
+ * image-like items are high-entropy random bytes, which dedup cannot
+ * compress (the paper measures ~0.9-1.1x for JPEG/GIF data). Item
+ * sizes follow a bounded power law, as typical for web objects.
+ */
+
+#ifndef HICAMP_WORKLOADS_WEBCORPUS_HH
+#define HICAMP_WORKLOADS_WEBCORPUS_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/rng.hh"
+
+namespace hicamp {
+
+/** One generated corpus item. */
+struct WebItem {
+    std::string key;
+    std::string payload;
+};
+
+class WebCorpus
+{
+  public:
+    enum class Kind {
+        Pages,   ///< HTML-like: tags + words, heavy template reuse
+        Scripts, ///< JS-like: denser punctuation, shared library code
+        Images,  ///< compressed binary: high entropy, no reuse
+    };
+
+    struct Params {
+        Kind kind = Kind::Pages;
+        std::uint64_t seed = 1;
+        std::uint64_t numItems = 1000;
+        std::uint64_t minBytes = 256;
+        std::uint64_t maxBytes = 32768;
+        double sizeAlpha = 1.0;    ///< power-law shape for item sizes
+        /**
+         * Text corpora are built as *versions of base pages*: items
+         * sharing a base are near-duplicates differing by small
+         * length-preserving edits — the aligned redundancy (revisions,
+         * per-user renderings of the same fragment) that line-level
+         * dedup exploits in real dumps. basesPerItem ~ 1/5 means five
+         * versions of each base on average.
+         */
+        double basesPerItem = 0.2;
+        double exactDupFraction = 0.10; ///< unmodified re-stores
+        /// one localized ~8-byte edit per this many bytes of version
+        /// (edit density drives how dedup degrades with line size)
+        std::uint64_t editEveryBytes = 384;
+        /**
+         * Images: fraction of distinct blobs. Real photo corpora
+         * contain the same file under many keys (re-uploads,
+         * multiple URLs); whole-file duplicates are the only dedup
+         * opportunity in compressed media.
+         */
+        double uniqueImageFraction = 0.75;
+        std::string keyPrefix = "item:";
+    };
+
+    /** Generate the full corpus deterministically from the seed. */
+    static std::vector<WebItem> generate(const Params &p);
+
+    /**
+     * Produce an updated version of a payload (for memcached set
+     * requests): a small localized edit, as when a dynamic page
+     * fragment changes.
+     */
+    static std::string mutate(const std::string &payload, Rng &rng);
+
+    /** Sum of payload bytes. */
+    static std::uint64_t totalBytes(const std::vector<WebItem> &items);
+
+  private:
+    static std::string htmlFragment(Rng &rng, std::uint64_t bytes,
+                                    bool script_like);
+    static std::string randomWord(Rng &rng);
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_WORKLOADS_WEBCORPUS_HH

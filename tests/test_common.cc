@@ -1,0 +1,223 @@
+/**
+ * @file
+ * Unit tests for the common substrate: tagged-word meta encodings,
+ * Line operations and hashing, hash utilities (bucket/signature
+ * derivation), deterministic RNG and the Zipf/power-law samplers.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "common/hash.hh"
+#include "common/line.hh"
+#include "common/rng.hh"
+#include "common/types.hh"
+
+namespace hicamp {
+namespace {
+
+TEST(WordMeta, RawIsDefault)
+{
+    WordMeta m;
+    EXPECT_TRUE(m.isRaw());
+    EXPECT_EQ(m.skip(), 0u);
+    EXPECT_EQ(m.path(), 0u);
+    EXPECT_EQ(m.value(), 0u);
+}
+
+TEST(WordMeta, PlidEncoding)
+{
+    for (unsigned skip = 0; skip <= 15; ++skip) {
+        for (unsigned path : {0u, 1u, 5u, 1023u}) {
+            WordMeta m = WordMeta::plid(skip, path);
+            EXPECT_TRUE(m.isPlid());
+            EXPECT_EQ(m.skip(), skip);
+            EXPECT_EQ(m.path(), path);
+            EXPECT_FALSE(m.isRaw());
+            EXPECT_FALSE(m.isInline());
+        }
+    }
+}
+
+TEST(WordMeta, InlineEncoding)
+{
+    for (unsigned wc : {0u, 1u, 2u}) {
+        WordMeta m = WordMeta::inlineData(wc, 3, 7);
+        EXPECT_TRUE(m.isInline());
+        EXPECT_EQ(m.widthCode(), wc);
+        EXPECT_EQ(m.inlineWidth(), 8u << wc);
+        EXPECT_EQ(m.inlineWordCount(), 64u / (8u << wc));
+        EXPECT_EQ(m.skip(), 3u);
+        EXPECT_EQ(m.path(), 7u);
+    }
+}
+
+TEST(WordMeta, WithPathPreservesKindFields)
+{
+    WordMeta p = WordMeta::plid(2, 9).withPath(5, 100);
+    EXPECT_TRUE(p.isPlid());
+    EXPECT_EQ(p.skip(), 5u);
+    EXPECT_EQ(p.path(), 100u);
+
+    WordMeta i = WordMeta::inlineData(1, 0, 0).withPath(2, 3);
+    EXPECT_TRUE(i.isInline());
+    EXPECT_EQ(i.widthCode(), 1u);
+    EXPECT_EQ(i.skip(), 2u);
+    EXPECT_EQ(i.path(), 3u);
+}
+
+TEST(WordMeta, PathBitsPerKind)
+{
+    EXPECT_EQ(WordMeta::pathBits(TagKind::Plid), 10u);
+    EXPECT_EQ(WordMeta::pathBits(TagKind::Inline), 8u);
+}
+
+TEST(LineBasics, ByteRoundTrip)
+{
+    Line l(4);
+    const char data[] = "abcdefghij";
+    l.loadBytes(data, 10);
+    char out[32] = {};
+    l.storeBytes(out);
+    EXPECT_EQ(std::string(out, 10), "abcdefghij");
+    EXPECT_EQ(out[10], 0); // zero padding
+}
+
+TEST(LineBasics, EqualityIncludesTags)
+{
+    Line a(2), b(2);
+    a.set(0, 5);
+    b.set(0, 5, WordMeta::plid());
+    EXPECT_FALSE(a == b);
+    b.set(0, 5, WordMeta::raw());
+    EXPECT_TRUE(a == b);
+}
+
+TEST(LineBasics, HashSensitivity)
+{
+    Line a(2), b(2), c(2);
+    a.set(0, 1);
+    b.set(0, 2);
+    c.set(1, 1);
+    std::set<std::uint64_t> hashes{a.contentHash(), b.contentHash(),
+                                   c.contentHash()};
+    EXPECT_EQ(hashes.size(), 3u);
+}
+
+TEST(LineBasics, DifferentWidthsNeverEqual)
+{
+    Line a(2), b(4);
+    EXPECT_FALSE(a == b);
+}
+
+TEST(HashUtils, BucketWithinRange)
+{
+    for (std::uint64_t h :
+         {0ull, 1ull, 0xffffffffffffffffull, 0x123456789abcdefull}) {
+        EXPECT_LT(bucketOfHash(h, 1 << 10), 1u << 10);
+    }
+}
+
+TEST(HashUtils, SignatureNeverZero)
+{
+    for (std::uint64_t h = 0; h < 100000; h += 37)
+        EXPECT_NE(signatureOfHash(mix64(h)), 0);
+}
+
+TEST(HashUtils, SignatureRoughlyUniform)
+{
+    std::map<std::uint8_t, int> counts;
+    const int n = 255 * 200;
+    for (int i = 0; i < n; ++i)
+        counts[signatureOfHash(mix64(i))]++;
+    // 255 possible values; each should land within 3x of the mean.
+    for (auto &[sig, c] : counts) {
+        (void)sig;
+        EXPECT_GT(c, 200 / 3);
+        EXPECT_LT(c, 200 * 3);
+    }
+}
+
+TEST(HashUtils, Mix64Avalanche)
+{
+    // Flipping one input bit flips roughly half the output bits.
+    int total = 0;
+    for (int bit = 0; bit < 64; ++bit) {
+        std::uint64_t a = mix64(0x1234567887654321ull);
+        std::uint64_t b = mix64(0x1234567887654321ull ^ (1ull << bit));
+        total += std::popcount(a ^ b);
+    }
+    double avg = static_cast<double>(total) / 64.0;
+    EXPECT_GT(avg, 24.0);
+    EXPECT_LT(avg, 40.0);
+}
+
+TEST(RngTests, Deterministic)
+{
+    Rng a(42), b(42), c(43);
+    for (int i = 0; i < 100; ++i) {
+        std::uint64_t va = a.next();
+        EXPECT_EQ(va, b.next());
+        (void)c.next();
+    }
+    Rng a2(42), c2(43);
+    EXPECT_NE(a2.next(), c2.next());
+}
+
+TEST(RngTests, UniformInRange)
+{
+    Rng r(1);
+    for (int i = 0; i < 1000; ++i) {
+        double u = r.uniform();
+        EXPECT_GE(u, 0.0);
+        EXPECT_LT(u, 1.0);
+        std::uint64_t v = r.range(10, 20);
+        EXPECT_GE(v, 10u);
+        EXPECT_LE(v, 20u);
+    }
+}
+
+TEST(RngTests, PowerLawBounds)
+{
+    Rng r(2);
+    double mean = 0;
+    for (int i = 0; i < 5000; ++i) {
+        std::uint64_t v = r.powerLaw(64, 8192, 1.0);
+        EXPECT_GE(v, 64u);
+        EXPECT_LE(v, 8192u);
+        mean += static_cast<double>(v);
+    }
+    mean /= 5000;
+    // Heavy-tailed: mean far below the max, above the min.
+    EXPECT_GT(mean, 100.0);
+    EXPECT_LT(mean, 2000.0);
+}
+
+TEST(ZipfTests, SkewOrdering)
+{
+    Rng r(3);
+    Zipf z(100, 1.0);
+    std::vector<int> counts(100, 0);
+    for (int i = 0; i < 20000; ++i)
+        counts[z.sample(r)]++;
+    // Rank 0 dominates rank 10 dominates rank 90.
+    EXPECT_GT(counts[0], counts[10]);
+    EXPECT_GT(counts[10], counts[90]);
+    // Rank 0 takes roughly 1/H(100) ~ 19% of the mass.
+    EXPECT_GT(counts[0], 20000 / 10);
+}
+
+TEST(ZipfTests, CoversDomain)
+{
+    Rng r(4);
+    Zipf z(8, 0.5);
+    std::set<std::uint64_t> seen;
+    for (int i = 0; i < 2000; ++i)
+        seen.insert(z.sample(r));
+    EXPECT_EQ(seen.size(), 8u);
+}
+
+} // namespace
+} // namespace hicamp

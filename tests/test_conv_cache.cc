@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Unit tests for the conventional baseline substrate: set-associative
+ * cache behaviour (hits, LRU eviction, dirty writebacks,
+ * invalidation), the two-level hierarchy's DRAM counting, and the
+ * slab allocator's size classes and reuse.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cache/address_space.hh"
+#include "cache/conv_cache.hh"
+
+namespace hicamp {
+namespace {
+
+TEST(SetAssocCache, HitAfterFill)
+{
+    SetAssocCache c({1024, 2, 16}); // 32 sets x 2 ways
+    auto a1 = c.access(100, false);
+    EXPECT_FALSE(a1.hit);
+    auto a2 = c.access(100, false);
+    EXPECT_TRUE(a2.hit);
+    EXPECT_EQ(c.hits.value(), 1u);
+    EXPECT_EQ(c.misses.value(), 1u);
+}
+
+TEST(SetAssocCache, LruEvictsOldest)
+{
+    SetAssocCache c({1024, 2, 16}); // 32 sets, 2 ways
+    // Three lines in the same set (ids congruent mod 32).
+    c.access(0, false);
+    c.access(32, false);
+    c.access(0, false);  // refresh line 0
+    c.access(64, false); // evicts 32 (LRU), not 0
+    EXPECT_TRUE(c.contains(0));
+    EXPECT_FALSE(c.contains(32));
+    EXPECT_TRUE(c.contains(64));
+}
+
+TEST(SetAssocCache, DirtyVictimReportsWriteback)
+{
+    SetAssocCache c({1024, 2, 16});
+    c.access(0, true); // dirty
+    c.access(32, false);
+    auto a = c.access(64, false); // evicts dirty 0
+    EXPECT_TRUE(a.writeback);
+    EXPECT_EQ(a.victimTag, 0u);
+}
+
+TEST(SetAssocCache, CleanVictimNoWriteback)
+{
+    SetAssocCache c({1024, 2, 16});
+    c.access(0, false);
+    c.access(32, false);
+    auto a = c.access(64, false);
+    EXPECT_FALSE(a.writeback);
+}
+
+TEST(SetAssocCache, InvalidateReturnsDirtiness)
+{
+    SetAssocCache c({1024, 2, 16});
+    c.access(5, true);
+    c.access(6, false);
+    EXPECT_TRUE(c.invalidate(5));
+    EXPECT_FALSE(c.invalidate(6));
+    EXPECT_FALSE(c.invalidate(7)); // absent
+    EXPECT_FALSE(c.contains(5));
+}
+
+TEST(ConvHierarchy, ColdReadCountsOneDramRead)
+{
+    ConvHierarchy h = ConvHierarchy::paperDefault(16);
+    h.read(0x1000, 8);
+    EXPECT_EQ(h.dramReads(), 1u);
+    h.read(0x1000, 8); // L1 hit
+    EXPECT_EQ(h.dramReads(), 1u);
+}
+
+TEST(ConvHierarchy, AccessSplitsAcrossLines)
+{
+    ConvHierarchy h = ConvHierarchy::paperDefault(16);
+    h.read(0x1008, 16); // straddles two 16-byte lines
+    EXPECT_EQ(h.dramReads(), 2u);
+}
+
+TEST(ConvHierarchy, WritebackReachesDramEventually)
+{
+    ConvHierarchy h = ConvHierarchy::paperDefault(16);
+    h.write(0, 16);
+    // Stream enough lines to force the dirty line out of both levels.
+    for (Addr a = 1 << 20; a < (Addr{1} << 20) + (8u << 20); a += 16)
+        h.read(a, 16);
+    EXPECT_GE(h.dramWrites(), 1u);
+}
+
+TEST(ConvHierarchy, L2FiltersL1Misses)
+{
+    ConvHierarchy h = ConvHierarchy::paperDefault(16);
+    // Working set bigger than L1 (32 KB) but smaller than L2 (4 MB).
+    for (int round = 0; round < 3; ++round)
+        for (Addr a = 0; a < 256 * 1024; a += 16)
+            h.read(a, 8);
+    // Only the first round misses to DRAM.
+    EXPECT_EQ(h.dramReads(), 256u * 1024 / 16);
+}
+
+TEST(ConvHierarchy, SequentialBeatsRandom)
+{
+    ConvHierarchy seq = ConvHierarchy::paperDefault(16);
+    for (Addr a = 0; a < 1 << 20; a += 4)
+        seq.read(a, 4); // 4 accesses share each line
+
+    ConvHierarchy rnd = ConvHierarchy::paperDefault(16);
+    std::uint64_t x = 12345;
+    for (int i = 0; i < (1 << 20) / 4; ++i) {
+        x = x * 6364136223846793005ull + 1442695040888963407ull;
+        rnd.read((x >> 16) % (64ull << 20), 4);
+    }
+    EXPECT_LT(seq.dramReads(), rnd.dramReads() / 2);
+}
+
+TEST(BumpRegionTest, AlignedAllocation)
+{
+    BumpRegion r(0x1000);
+    Addr a = r.alloc(3);
+    Addr b = r.alloc(40);
+    EXPECT_EQ(a % 16, 0u);
+    EXPECT_EQ(b % 16, 0u);
+    EXPECT_GE(b, a + 3);
+}
+
+TEST(SlabAllocatorTest, ChunkSizesRoundUp)
+{
+    SlabAllocator s(0x1000'0000);
+    EXPECT_GE(s.chunkSize(100), 100u);
+    EXPECT_GE(s.chunkSize(5000), 5000u);
+    // Geometric growth: consecutive classes within ~25%.
+    EXPECT_LE(s.chunkSize(100), 150u);
+}
+
+TEST(SlabAllocatorTest, FreeListReuse)
+{
+    SlabAllocator s(0x1000'0000);
+    Addr a = s.alloc(500);
+    s.free(a, 500);
+    Addr b = s.alloc(500);
+    EXPECT_EQ(a, b); // same chunk reused
+}
+
+TEST(SlabAllocatorTest, DistinctClassesDistinctChunks)
+{
+    SlabAllocator s(0x1000'0000);
+    Addr a = s.alloc(100);
+    Addr b = s.alloc(100000);
+    EXPECT_NE(a, b);
+    s.free(a, 100);
+    // Freeing a small chunk must not satisfy a big allocation.
+    Addr c = s.alloc(100000);
+    EXPECT_NE(c, a);
+}
+
+TEST(SlabAllocatorTest, ReservedGrowsInPages)
+{
+    SlabAllocator s(0x1000'0000);
+    std::uint64_t r0 = s.reservedBytes();
+    s.alloc(100);
+    EXPECT_GE(s.reservedBytes(), r0 + (1u << 20));
+}
+
+} // namespace
+} // namespace hicamp

@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Iterator-register tests: load/seek/read, path-cache behaviour,
+ * sparse next(), transient write buffering with read-your-writes,
+ * commit/abort, snapshot isolation across registers, merge-update
+ * commits and growth past the original coverage.
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "seg/iterator.hh"
+
+namespace hicamp {
+namespace {
+
+struct IterFixture : ::testing::Test {
+    IterFixture() : mem(cfg()), vsm(mem), builder(mem), reader(mem) {}
+
+    static MemoryConfig
+    cfg()
+    {
+        MemoryConfig c;
+        c.lineBytes = 16;
+        c.numBuckets = 1 << 12;
+        return c;
+    }
+
+    Vsid
+    makeSeg(const std::vector<Word> &w, std::uint32_t flags = 0)
+    {
+        std::vector<WordMeta> m(w.size(), WordMeta::raw());
+        return vsm.create(builder.buildWords(w.data(), m.data(), w.size()),
+                          flags);
+    }
+
+    Word
+    wordAt(Vsid v, std::uint64_t idx)
+    {
+        SegDesc d = vsm.get(v);
+        return reader.readWord(d.root, d.height, idx);
+    }
+
+    Memory mem;
+    SegmentMap vsm;
+    SegBuilder builder;
+    SegReader reader;
+};
+
+TEST_F(IterFixture, SequentialRead)
+{
+    std::vector<Word> w(64);
+    for (std::uint64_t i = 0; i < w.size(); ++i)
+        w[i] = i * 2 + 1;
+    Vsid v = makeSeg(w);
+    IteratorRegister it(mem, vsm);
+    it.load(v);
+    for (std::uint64_t i = 0; i < w.size(); ++i) {
+        it.seek(i);
+        EXPECT_EQ(it.read(), w[i]);
+    }
+}
+
+TEST_F(IterFixture, PathCacheMakesSequentialCheap)
+{
+    std::vector<Word> w(4096);
+    for (std::uint64_t i = 0; i < w.size(); ++i)
+        w[i] = i + 1;
+    Vsid v = makeSeg(w);
+    IteratorRegister it(mem, vsm);
+    it.load(v);
+    for (std::uint64_t i = 0; i < w.size(); ++i) {
+        it.seek(i);
+        (void)it.read();
+    }
+    // Sequential access re-walks only boundary-crossing levels: hit
+    // rate must dominate.
+    EXPECT_GT(it.pathCacheHits(), it.pathCacheMisses() * 2);
+}
+
+TEST_F(IterFixture, NextSkipsZeros)
+{
+    std::vector<Word> w(512, 0);
+    w[0] = 1;
+    w[200] = 2;
+    w[201] = 3;
+    w[511] = 4;
+    Vsid v = makeSeg(w);
+    IteratorRegister it(mem, vsm);
+    it.load(v);
+    ASSERT_TRUE(it.nextFrom());
+    EXPECT_EQ(it.offset(), 0u);
+    ASSERT_TRUE(it.next());
+    EXPECT_EQ(it.offset(), 200u);
+    ASSERT_TRUE(it.next());
+    EXPECT_EQ(it.offset(), 201u);
+    ASSERT_TRUE(it.next());
+    EXPECT_EQ(it.offset(), 511u);
+    EXPECT_FALSE(it.next());
+}
+
+TEST_F(IterFixture, ReadYourOwnWrites)
+{
+    Vsid v = makeSeg({10, 20, 30, 40});
+    IteratorRegister it(mem, vsm);
+    it.load(v, 2);
+    it.write(333);
+    EXPECT_EQ(it.read(), 333u);
+    // Not yet visible outside the register.
+    EXPECT_EQ(wordAt(v, 2), 30u);
+    ASSERT_TRUE(it.tryCommit());
+    EXPECT_EQ(wordAt(v, 2), 333u);
+}
+
+TEST_F(IterFixture, AbortDiscardsWrites)
+{
+    Vsid v = makeSeg({10, 20, 30, 40});
+    IteratorRegister it(mem, vsm);
+    it.load(v, 1);
+    it.write(999);
+    it.abort();
+    EXPECT_EQ(it.read(), 20u);
+    ASSERT_TRUE(it.tryCommit()); // no-op commit succeeds
+    EXPECT_EQ(wordAt(v, 1), 20u);
+}
+
+TEST_F(IterFixture, CommitIsAtomicAcrossLeaves)
+{
+    std::vector<Word> w(256, 7);
+    Vsid v = makeSeg(w);
+    IteratorRegister it(mem, vsm);
+    it.load(v);
+    for (std::uint64_t i = 0; i < 256; i += 16) {
+        it.seek(i);
+        it.write(i + 1000);
+    }
+    EXPECT_GT(it.dirtyLeaves(), 1u);
+    ASSERT_TRUE(it.tryCommit());
+    for (std::uint64_t i = 0; i < 256; i += 16)
+        EXPECT_EQ(wordAt(v, i), i + 1000);
+    EXPECT_EQ(wordAt(v, 1), 7u);
+}
+
+TEST_F(IterFixture, SnapshotIsolationBetweenRegisters)
+{
+    Vsid v = makeSeg({1, 2, 3, 4, 5, 6, 7, 8});
+    IteratorRegister reader_reg(mem, vsm);
+    reader_reg.load(v, 3);
+
+    IteratorRegister writer(mem, vsm);
+    writer.load(v, 3);
+    writer.write(777);
+    ASSERT_TRUE(writer.tryCommit());
+
+    // The reader register still sees its snapshot.
+    EXPECT_EQ(reader_reg.read(), 4u);
+    reader_reg.load(v, 3); // reload observes the commit
+    EXPECT_EQ(reader_reg.read(), 777u);
+}
+
+TEST_F(IterFixture, StaleCommitFailsWithoutMergeUpdate)
+{
+    Vsid v = makeSeg({1, 2, 3, 4});
+    IteratorRegister a(mem, vsm);
+    IteratorRegister b(mem, vsm);
+    a.load(v, 0);
+    b.load(v, 1);
+    a.write(100);
+    b.write(200);
+    ASSERT_TRUE(a.tryCommit());
+    EXPECT_FALSE(b.tryCommit()); // stale snapshot, plain CAS
+    // Retry after reload succeeds (application-level retry).
+    b.load(v, 1);
+    b.write(200);
+    ASSERT_TRUE(b.tryCommit());
+    EXPECT_EQ(wordAt(v, 0), 100u);
+    EXPECT_EQ(wordAt(v, 1), 200u);
+}
+
+TEST_F(IterFixture, StaleCommitMergesWithMergeUpdate)
+{
+    Vsid v = makeSeg(std::vector<Word>(64, 0), kSegMergeUpdate);
+    IteratorRegister a(mem, vsm);
+    IteratorRegister b(mem, vsm);
+    a.load(v, 5);
+    b.load(v, 50);
+    a.write(55);
+    b.write(505);
+    ASSERT_TRUE(a.tryCommit());
+    MergeStats stats;
+    ASSERT_TRUE(b.tryCommit(&stats));
+    EXPECT_EQ(wordAt(v, 5), 55u);
+    EXPECT_EQ(wordAt(v, 50), 505u);
+    EXPECT_GT(stats.subtreesSkipped, 0u);
+}
+
+TEST_F(IterFixture, GrowPastCoverage)
+{
+    Vsid v = makeSeg({1, 2});
+    IteratorRegister it(mem, vsm);
+    it.load(v);
+    it.seek(1000);
+    it.write(0xabc);
+    ASSERT_TRUE(it.tryCommit());
+    EXPECT_EQ(wordAt(v, 1000), 0xabcu);
+    EXPECT_EQ(wordAt(v, 0), 1u);
+    SegDesc d = vsm.get(v);
+    EXPECT_EQ(d.byteLen, 1001u * kWordBytes);
+}
+
+TEST_F(IterFixture, NextSeesUncommittedWrites)
+{
+    Vsid v = makeSeg(std::vector<Word>(128, 0));
+    IteratorRegister it(mem, vsm);
+    it.load(v, 90);
+    it.write(9); // uncommitted non-zero
+    it.seek(0);
+    ASSERT_TRUE(it.next());
+    EXPECT_EQ(it.offset(), 90u);
+}
+
+TEST_F(IterFixture, NextHonoursUncommittedDeletes)
+{
+    std::vector<Word> w(128, 0);
+    w[60] = 6;
+    w[100] = 10;
+    Vsid v = makeSeg(w);
+    IteratorRegister it(mem, vsm);
+    it.load(v, 60);
+    it.write(0); // delete (uncommitted)
+    it.seek(0);
+    ASSERT_TRUE(it.next());
+    EXPECT_EQ(it.offset(), 100u); // 60 is gone in the merged view
+}
+
+TEST_F(IterFixture, PlidWriteTransfersOwnership)
+{
+    Line payload = mem.makeLine();
+    payload.set(0, 0x1234);
+    Plid p = mem.lookup(payload); // we own one ref
+
+    Vsid v = makeSeg(std::vector<Word>(32, 0));
+    IteratorRegister it(mem, vsm);
+    it.load(v, 17);
+    it.write(p, WordMeta::plid()); // ref transferred to the register
+    ASSERT_TRUE(it.tryCommit());
+    EXPECT_TRUE(mem.isLive(p));
+    EXPECT_EQ(mem.refCount(p), 1u); // only the committed leaf owns it
+
+    // Deleting the slot reclaims the payload.
+    it.load(v, 17);
+    it.write(0);
+    ASSERT_TRUE(it.tryCommit());
+    EXPECT_FALSE(mem.isLive(p));
+}
+
+TEST_F(IterFixture, AbortReleasesPendingPlidWrites)
+{
+    Line payload = mem.makeLine();
+    payload.set(0, 0x777);
+    Plid p = mem.lookup(payload);
+
+    Vsid v = makeSeg(std::vector<Word>(32, 0));
+    {
+        IteratorRegister it(mem, vsm);
+        it.load(v, 3);
+        it.write(p, WordMeta::plid());
+        it.abort();
+    }
+    EXPECT_FALSE(mem.isLive(p)); // pending ref released on abort
+}
+
+TEST_F(IterFixture, ReadOnlyAliasRegisterCannotCommit)
+{
+    // Paper §2.3: passing a VSID read-only restricts the holder from
+    // updating the root. A register loaded through the alias reads
+    // normally but its commits are rejected.
+    Vsid v = makeSeg({5, 6, 7, 8});
+    Vsid ro = vsm.aliasReadOnly(v);
+    IteratorRegister it(mem, vsm);
+    it.load(ro, 1);
+    EXPECT_EQ(it.read(), 6u);
+    it.write(99);
+    EXPECT_EQ(it.read(), 99u); // local buffering still works
+    EXPECT_FALSE(it.tryCommit());
+    EXPECT_EQ(wordAt(v, 1), 6u); // nothing published
+    // Updates via the primary VSID are visible through the alias.
+    IteratorRegister writer(mem, vsm);
+    writer.load(v, 1);
+    writer.write(60);
+    ASSERT_TRUE(writer.tryCommit());
+    it.load(ro, 1);
+    EXPECT_EQ(it.read(), 60u);
+}
+
+TEST_F(IterFixture, SetByteLenShrinksLogicalLength)
+{
+    Vsid v = makeSeg({1, 2, 3, 4});
+    IteratorRegister it(mem, vsm);
+    it.load(v, 3);
+    it.write(0);
+    it.setByteLen(3 * kWordBytes); // truncate to 3 words
+    ASSERT_TRUE(it.tryCommit());
+    EXPECT_EQ(vsm.get(v).byteLen, 3 * kWordBytes);
+}
+
+TEST_F(IterFixture, EverythingReclaimedAtTheEnd)
+{
+    std::vector<Word> w(512);
+    for (std::uint64_t i = 0; i < w.size(); ++i)
+        w[i] = i ^ 0x5555;
+    Vsid v = makeSeg(w);
+    {
+        IteratorRegister it(mem, vsm);
+        it.load(v, 7);
+        it.write(1);
+        ASSERT_TRUE(it.tryCommit());
+        it.seek(8);
+        it.write(2); // left uncommitted; destructor cleans up
+    }
+    vsm.destroy(v);
+    EXPECT_EQ(mem.liveLines(), 0u);
+    EXPECT_EQ(mem.store().totalRefs(), 0u);
+}
+
+} // namespace
+} // namespace hicamp

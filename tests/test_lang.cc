@@ -1,0 +1,466 @@
+/**
+ * @file
+ * Programming-model tests: HString value semantics and O(1) equality,
+ * HMap get/set/erase/iteration (including concurrent threads), HArray
+ * and batched writers, merge-update counters (lost-update freedom
+ * under real threads), HQueue FIFO behaviour, and multi-segment
+ * atomicity via AtomicHeap.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "lang/atomic_heap.hh"
+#include "lang/harray.hh"
+#include "lang/hmap.hh"
+#include "lang/hqueue.hh"
+#include "lang/hstring.hh"
+
+namespace hicamp {
+namespace {
+
+MemoryConfig
+smallCfg()
+{
+    MemoryConfig c;
+    c.lineBytes = 16;
+    c.numBuckets = 1 << 13;
+    return c;
+}
+
+struct LangFixture : ::testing::Test {
+    LangFixture() : hc(smallCfg()) {}
+    Hicamp hc;
+};
+
+TEST_F(LangFixture, StringEqualityIsDescriptorCompare)
+{
+    HString a(hc, "the quick brown fox jumps over the lazy dog");
+    HString b(hc, "the quick brown fox jumps over the lazy dog");
+    HString c(hc, "the quick brown fox jumps over the lazy cat");
+    EXPECT_TRUE(a == b);
+    EXPECT_FALSE(a == c);
+    EXPECT_EQ(a.fingerprint(), b.fingerprint());
+}
+
+TEST_F(LangFixture, StringRoundTripAndAt)
+{
+    std::string text = "HICAMP string with some length to span lines!";
+    HString s(hc, text);
+    EXPECT_EQ(s.str(), text);
+    EXPECT_EQ(s.size(), text.size());
+    EXPECT_EQ(s.at(0), 'H');
+    EXPECT_EQ(s.at(text.size() - 1), '!');
+}
+
+TEST_F(LangFixture, StringCopyAndDestructionBalanceRefs)
+{
+    {
+        HString a(hc, std::string(500, 'r'));
+        HString b = a;
+        HString c(hc, "other");
+        c = b;
+        HString d = std::move(b);
+        EXPECT_EQ(d.str(), std::string(500, 'r'));
+    }
+    EXPECT_EQ(hc.mem.liveLines(), 0u);
+    EXPECT_EQ(hc.mem.store().totalRefs(), 0u);
+}
+
+TEST_F(LangFixture, IdenticalStringsShareAllLines)
+{
+    HString a(hc, std::string(1000, 'x') + "abc");
+    std::uint64_t lines = hc.mem.liveLines();
+    HString b(hc, std::string(1000, 'x') + "abc");
+    EXPECT_EQ(hc.mem.liveLines(), lines);
+}
+
+TEST_F(LangFixture, BoxSegmentRoundTrip)
+{
+    // The box line is the single-word "name" of a whole segment:
+    // unbox recovers the exact descriptor, and dedup makes the box
+    // PLID unique per segment value.
+    HString s(hc, "some segment value worth boxing");
+    SegBuilder b(hc.mem);
+    b.retain(s.desc().root);
+    Plid box1 = hc.boxSegment(s.desc());
+    SegDesc back = hc.unboxSegment(box1);
+    EXPECT_EQ(back, s.desc());
+
+    b.retain(s.desc().root);
+    Plid box2 = hc.boxSegment(s.desc());
+    EXPECT_EQ(box1, box2); // content-unique box
+
+    HString other(hc, "different value");
+    b.retain(other.desc().root);
+    Plid box3 = hc.boxSegment(other.desc());
+    EXPECT_NE(box3, box1);
+
+    hc.mem.decRef(box1);
+    hc.mem.decRef(box2);
+    hc.mem.decRef(box3);
+}
+
+TEST_F(LangFixture, MapSetGetErase)
+{
+    HMap map(hc);
+    HString k1(hc, "user:1001");
+    HString v1(hc, "{\"name\":\"ada\"}");
+    HString v2(hc, "{\"name\":\"grace\"}");
+
+    EXPECT_FALSE(map.get(k1).has_value());
+    map.set(k1, v1);
+    auto got = map.get(k1);
+    ASSERT_TRUE(got.has_value());
+    EXPECT_TRUE(*got == v1);
+
+    map.set(k1, v2); // overwrite
+    EXPECT_TRUE(*map.get(k1) == v2);
+
+    EXPECT_TRUE(map.erase(k1));
+    EXPECT_FALSE(map.get(k1).has_value());
+    EXPECT_FALSE(map.erase(k1));
+}
+
+TEST_F(LangFixture, MapManyKeysAndSize)
+{
+    HMap map(hc);
+    for (int i = 0; i < 200; ++i) {
+        HString k(hc, "key-" + std::to_string(i));
+        HString v(hc, "value-" + std::to_string(i * 7));
+        map.set(k, v);
+    }
+    EXPECT_EQ(map.size(), 200u);
+    for (int i = 0; i < 200; ++i) {
+        HString k(hc, "key-" + std::to_string(i));
+        auto v = map.get(k);
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(v->str(), "value-" + std::to_string(i * 7));
+    }
+}
+
+TEST_F(LangFixture, MapDeduplicatesEqualValues)
+{
+    HMap map(hc);
+    HString big(hc, std::string(2000, 'v'));
+    HString k1(hc, "k1"), k2(hc, "k2");
+    map.set(k1, big);
+    std::uint64_t lines = hc.mem.liveLines();
+    map.set(k2, big); // same value: box and content dedup
+    // Only the map path itself may add lines, not the value.
+    EXPECT_LT(hc.mem.liveLines() - lines, 10u);
+}
+
+TEST_F(LangFixture, MapForEachVisitsSnapshot)
+{
+    HMap map(hc);
+    for (int i = 0; i < 50; ++i) {
+        map.set(HString(hc, "k" + std::to_string(i)),
+                HString(hc, "v" + std::to_string(i)));
+    }
+    std::uint64_t visited = 0;
+    map.forEach([&](HString k, HString v) {
+        EXPECT_EQ(k.str()[0], 'k');
+        EXPECT_EQ(v.str()[0], 'v');
+        EXPECT_EQ(k.str().substr(1), v.str().substr(1));
+        ++visited;
+    });
+    EXPECT_EQ(visited, 50u);
+}
+
+TEST_F(LangFixture, ConcurrentMapWritersDisjointKeys)
+{
+    HMap map(hc);
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 25;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+        ts.emplace_back([&, t] {
+            for (int i = 0; i < kPerThread; ++i) {
+                HString k(hc, "t" + std::to_string(t) + "-k" +
+                                  std::to_string(i));
+                HString v(hc, "t" + std::to_string(t) + "-v" +
+                                  std::to_string(i));
+                map.set(k, v);
+            }
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+    EXPECT_EQ(map.size(),
+              static_cast<std::uint64_t>(kThreads * kPerThread));
+    for (int t = 0; t < kThreads; ++t) {
+        for (int i = 0; i < kPerThread; ++i) {
+            HString k(hc,
+                      "t" + std::to_string(t) + "-k" + std::to_string(i));
+            auto v = map.get(k);
+            ASSERT_TRUE(v.has_value());
+        }
+    }
+}
+
+TEST_F(LangFixture, MapPinsKeysAgainstPlidRecycling)
+{
+    // Regression: the map indexes by the key's root PLID. If the key
+    // segment were not pinned by the map entry, the key's line would
+    // be reclaimed once the caller's HString dies and its PLID could
+    // be recycled for a *different* string, aliasing two keys onto
+    // one slot. Churning many short-lived keys exercises exactly the
+    // recycling pattern that exposed this.
+    HMap map(hc);
+    for (int i = 0; i < 300; ++i) {
+        map.set(HString(hc, "pin-" + std::to_string(i)),
+                HString(hc, "val-" + std::to_string(i)));
+        // churn: transient strings whose lines are freed immediately
+        HString scratch(hc, "scratch-" + std::to_string(i));
+    }
+    EXPECT_EQ(map.size(), 300u);
+    for (int i = 0; i < 300; ++i) {
+        auto v = map.get(HString(hc, "pin-" + std::to_string(i)));
+        ASSERT_TRUE(v.has_value()) << "lost key pin-" << i;
+        EXPECT_EQ(v->str(), "val-" + std::to_string(i));
+    }
+}
+
+TEST_F(LangFixture, ArrayBasics)
+{
+    HArray<std::uint64_t> a(hc, std::vector<std::uint64_t>{1, 2, 3, 4});
+    EXPECT_EQ(a.size(), 4u);
+    EXPECT_EQ(a.get(2), 3u);
+    a.set(2, 33);
+    EXPECT_EQ(a.get(2), 33u);
+}
+
+TEST_F(LangFixture, ArrayGrowsWithoutRealloc)
+{
+    HArray<std::uint64_t> a(hc);
+    a.set(10000, 42); // far past the end: no copy, just a taller DAG
+    EXPECT_EQ(a.get(10000), 42u);
+    EXPECT_EQ(a.get(5000), 0u);
+    EXPECT_EQ(a.size(), 10001u);
+}
+
+TEST_F(LangFixture, ArrayOfDoubles)
+{
+    HArray<double> a(hc, std::vector<double>{1.5, -2.25, 3.75});
+    EXPECT_DOUBLE_EQ(a.get(0), 1.5);
+    EXPECT_DOUBLE_EQ(a.get(1), -2.25);
+    a.set(1, 9.125);
+    EXPECT_DOUBLE_EQ(a.get(1), 9.125);
+}
+
+TEST_F(LangFixture, ArrayWriterCommitsAtomically)
+{
+    HArray<std::uint64_t> a(hc, std::vector<std::uint64_t>(64, 0));
+    HArray<std::uint64_t>::Writer w(a);
+    for (std::uint64_t i = 0; i < 64; i += 8)
+        w.set(i, i + 1);
+    EXPECT_EQ(a.get(8), 0u); // not yet visible
+    ASSERT_TRUE(w.commit());
+    EXPECT_EQ(a.get(8), 9u);
+}
+
+TEST_F(LangFixture, CounterMergeUnderThreads)
+{
+    // The headline merge-update property: concurrent increments to
+    // the SAME counter never lose updates.
+    HCounterArray counters(hc, 8);
+    constexpr int kThreads = 4;
+    constexpr int kIncrements = 50;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+        ts.emplace_back([&] {
+            for (int i = 0; i < kIncrements; ++i)
+                counters.add(3, 1);
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+    EXPECT_EQ(counters.get(3),
+              static_cast<std::uint64_t>(kThreads * kIncrements));
+}
+
+TEST_F(LangFixture, QueueFifoOrder)
+{
+    HQueue q(hc);
+    EXPECT_EQ(q.size(), 0u);
+    EXPECT_FALSE(q.pop().has_value());
+    for (int i = 0; i < 20; ++i)
+        q.push(HString(hc, "item-" + std::to_string(i)));
+    EXPECT_EQ(q.size(), 20u);
+    for (int i = 0; i < 20; ++i) {
+        auto v = q.pop();
+        ASSERT_TRUE(v.has_value());
+        EXPECT_EQ(v->str(), "item-" + std::to_string(i));
+    }
+    EXPECT_FALSE(q.pop().has_value());
+}
+
+TEST_F(LangFixture, QueueConcurrentProducersLoseNothing)
+{
+    HQueue q(hc);
+    constexpr int kThreads = 4;
+    constexpr int kItems = 20;
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+        ts.emplace_back([&, t] {
+            for (int i = 0; i < kItems; ++i) {
+                q.push(HString(hc, "p" + std::to_string(t) + "-" +
+                                       std::to_string(i)));
+            }
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+    EXPECT_EQ(q.size(), static_cast<std::uint64_t>(kThreads * kItems));
+    std::uint64_t popped = 0;
+    while (q.pop().has_value())
+        ++popped;
+    EXPECT_EQ(popped, static_cast<std::uint64_t>(kThreads * kItems));
+}
+
+TEST_F(LangFixture, QueuePushAndPopMergeWithoutRetry)
+{
+    // Paper §4.3: a concurrent push and pop touch different slots and
+    // different counters, so a stale commit is absorbed by
+    // merge-update instead of retrying the whole operation.
+    HQueue q(hc);
+    q.push(HString(hc, "a"));
+    q.push(HString(hc, "b"));
+
+    // "Thread 2" loads its register FIRST (pinning the pre-pop
+    // snapshot: head=0, tail=2)...
+    IteratorRegister it(hc.mem, hc.vsm);
+    it.load(q.vsid(), 1);
+    EXPECT_EQ(it.read(), 2u); // tail in the snapshot
+
+    // ..."thread 1" pops (advances head, clears slot 2+0) and
+    // commits first.
+    auto popped = q.pop();
+    ASSERT_TRUE(popped.has_value());
+    EXPECT_EQ(popped->str(), "a");
+
+    // Thread 2 now pushes "c" against its stale snapshot: tail
+    // counter diff (+1) and a previously-zero slot — merge-update
+    // absorbs the conflict with the pop, no retry.
+    std::uint64_t merges_before = hc.vsm.mergeCommits();
+    {
+        SegBuilder b(hc.mem);
+        HString v(hc, "c");
+        b.retain(v.desc().root);
+        Plid box = hc.boxSegment(v.desc());
+        it.write(3); // tail: 2 -> 3
+        it.seek(2 + 2);
+        it.write(box, WordMeta::plid());
+        ASSERT_TRUE(it.tryCommit());
+    }
+    EXPECT_EQ(hc.vsm.mergeCommits(), merges_before + 1);
+
+    EXPECT_EQ(q.size(), 2u);
+    EXPECT_EQ(q.pop()->str(), "b");
+    EXPECT_EQ(q.pop()->str(), "c");
+}
+
+TEST_F(LangFixture, AtomicHeapMultiSegmentCommit)
+{
+    AtomicHeap heap(hc);
+    // A transaction that moves "money" between two account segments.
+    {
+        AtomicHeap::Tx tx(heap);
+        tx.write(0, HString(hc, "balance:100"));
+        tx.write(1, HString(hc, "balance:50"));
+        ASSERT_TRUE(tx.commit());
+    }
+    {
+        AtomicHeap::Tx tx(heap);
+        EXPECT_EQ(tx.read(0).str(), "balance:100");
+        tx.write(0, HString(hc, "balance:70"));
+        tx.write(1, HString(hc, "balance:80"));
+        ASSERT_TRUE(tx.commit());
+    }
+    // A concurrent reader opened before the second commit would have
+    // seen 100/50; a fresh one sees 70/80 — never a mix.
+    AtomicHeap::Tx check(heap);
+    EXPECT_EQ(check.read(0).str(), "balance:70");
+    EXPECT_EQ(check.read(1).str(), "balance:80");
+}
+
+TEST_F(LangFixture, AtomicHeapReaderSeesConsistentSnapshot)
+{
+    AtomicHeap heap(hc);
+    {
+        AtomicHeap::Tx tx(heap);
+        tx.write(0, HString(hc, "v1-a"));
+        tx.write(1, HString(hc, "v1-b"));
+        ASSERT_TRUE(tx.commit());
+    }
+    AtomicHeap::Tx reader(heap); // snapshot taken here
+    {
+        AtomicHeap::Tx tx(heap);
+        tx.write(0, HString(hc, "v2-a"));
+        tx.write(1, HString(hc, "v2-b"));
+        ASSERT_TRUE(tx.commit());
+    }
+    // The old reader still sees the complete v1 state.
+    EXPECT_EQ(reader.read(0).str(), "v1-a");
+    EXPECT_EQ(reader.read(1).str(), "v1-b");
+}
+
+TEST_F(LangFixture, TimestampOrderedCollection)
+{
+    // Paper §4.1: "an ordered collection of objects indexed by a
+    // 64-bit time stamp can be efficiently represented as a segment
+    // with the VSID of the object stored at the numeric index equal
+    // to its time stamp" — no red-black tree, no rebalancing; the
+    // sparse array plus next-non-zero iteration IS the ordered index.
+    HArray<std::uint64_t> timeline(hc);
+    const std::uint64_t stamps[] = {1699999999, 1700000042,
+                                    1700867000, 1912345678};
+    for (std::uint64_t i = 0; i < 4; ++i)
+        timeline.set(stamps[i], i + 1); // payload handle
+    // Iterate in timestamp order via the iterator register.
+    IteratorRegister it(hc.mem, hc.vsm);
+    it.load(timeline.vsid(), 0);
+    std::vector<std::uint64_t> visited;
+    if (it.nextFrom()) {
+        visited.push_back(it.offset());
+        while (it.next())
+            visited.push_back(it.offset());
+    }
+    ASSERT_EQ(visited.size(), 4u);
+    for (std::uint64_t i = 0; i < 4; ++i)
+        EXPECT_EQ(visited[i], stamps[i]); // sorted for free
+    // Range query: first event at-or-after a cutoff.
+    it.seek(1700000000);
+    ASSERT_TRUE(it.nextFrom());
+    EXPECT_EQ(it.offset(), 1700000042u);
+    // Despite the 2^31-wide index range, storage is a handful of
+    // lines thanks to zero suppression and path compaction.
+    SegDesc d = hc.vsm.get(timeline.vsid());
+    SegReader r(hc.mem);
+    std::unordered_set<Plid> seen;
+    EXPECT_LE(r.countLines(d.root, d.height, seen), 24u);
+}
+
+TEST_F(LangFixture, EverythingReclaims)
+{
+    {
+        HMap map(hc);
+        for (int i = 0; i < 40; ++i) {
+            map.set(HString(hc, "key" + std::to_string(i)),
+                    HString(hc, std::string(100 + i, 'd')));
+        }
+        for (int i = 0; i < 40; i += 2)
+            map.erase(HString(hc, "key" + std::to_string(i)));
+        HQueue q(hc);
+        q.push(HString(hc, "transient item"));
+    }
+    EXPECT_EQ(hc.mem.liveLines(), 0u);
+    EXPECT_EQ(hc.mem.store().totalRefs(), 0u);
+}
+
+} // namespace
+} // namespace hicamp

@@ -1,0 +1,192 @@
+/**
+ * @file
+ * Unit tests for the ground-truth deduplicating line store: PLID
+ * encoding, dedup identity, signatures, refcounts, overflow spill and
+ * free-list reuse.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/line_store.hh"
+
+namespace hicamp {
+namespace {
+
+Line
+lineOf(unsigned words, Word a, Word b = 0)
+{
+    Line l(words);
+    l.set(0, a);
+    if (words > 1)
+        l.set(1, b);
+    return l;
+}
+
+TEST(LineStore, InsertThenFindSamePlid)
+{
+    LineStore s(1 << 10, 2);
+    auto r1 = s.findOrInsert(lineOf(2, 1, 2));
+    EXPECT_FALSE(r1.found);
+    auto r2 = s.findOrInsert(lineOf(2, 1, 2));
+    EXPECT_TRUE(r2.found);
+    EXPECT_EQ(r1.plid, r2.plid);
+    EXPECT_EQ(s.liveLines(), 1u);
+}
+
+TEST(LineStore, DistinctContentDistinctPlid)
+{
+    LineStore s(1 << 10, 2);
+    auto r1 = s.findOrInsert(lineOf(2, 1, 2));
+    auto r2 = s.findOrInsert(lineOf(2, 2, 1));
+    EXPECT_NE(r1.plid, r2.plid);
+    EXPECT_EQ(s.liveLines(), 2u);
+}
+
+TEST(LineStore, TagsParticipateInIdentity)
+{
+    LineStore s(1 << 10, 2);
+    Line raw = lineOf(2, 42, 0);
+    Line tagged(2);
+    tagged.set(0, 42, WordMeta::plid());
+    auto r1 = s.findOrInsert(raw);
+    auto r2 = s.findOrInsert(tagged);
+    EXPECT_NE(r1.plid, r2.plid);
+}
+
+TEST(LineStore, ReadReturnsContent)
+{
+    LineStore s(1 << 10, 4);
+    Line l(4);
+    l.set(0, 7);
+    l.set(3, 9, WordMeta::vsid());
+    auto r = s.findOrInsert(l);
+    EXPECT_EQ(s.read(r.plid), l);
+}
+
+TEST(LineStore, ZeroPlidReadsZeroLine)
+{
+    LineStore s(1 << 10, 2);
+    Line z = s.read(kZeroPlid);
+    EXPECT_TRUE(z.isZero());
+    EXPECT_TRUE(s.isLive(kZeroPlid));
+}
+
+TEST(LineStore, PlidEncodesBucketAndWay)
+{
+    LineStore s(1 << 10, 2);
+    Line l = lineOf(2, 123, 456);
+    auto r = s.findOrInsert(l);
+    std::uint64_t bucket = r.plid >> BucketLayout::kWayBits;
+    unsigned way = r.plid & (BucketLayout::kWays - 1);
+    EXPECT_EQ(bucket, s.bucketOf(l.contentHash()));
+    EXPECT_GE(way, BucketLayout::kFirstData);
+    EXPECT_LT(way, BucketLayout::kFirstData + BucketLayout::kNumData);
+}
+
+TEST(LineStore, RefCountLifecycle)
+{
+    LineStore s(1 << 10, 2);
+    auto r = s.findOrInsert(lineOf(2, 5, 5));
+    EXPECT_EQ(s.refCount(r.plid), 0u);
+    EXPECT_EQ(s.addRef(r.plid, +1), 1u);
+    EXPECT_EQ(s.addRef(r.plid, +2), 3u);
+    EXPECT_EQ(s.addRef(r.plid, -3), 0u);
+    s.freeLine(r.plid);
+    EXPECT_FALSE(s.isLive(r.plid));
+    EXPECT_EQ(s.liveLines(), 0u);
+}
+
+TEST(LineStore, FreedSlotIsReusable)
+{
+    LineStore s(1 << 10, 2);
+    auto r1 = s.findOrInsert(lineOf(2, 5, 5));
+    s.freeLine(r1.plid);
+    auto r2 = s.findOrInsert(lineOf(2, 5, 5));
+    EXPECT_FALSE(r2.found); // was freed, so it is a fresh allocation
+    EXPECT_EQ(r1.plid, r2.plid); // same empty way gets picked again
+}
+
+TEST(LineStore, FreeRemovesFromDedup)
+{
+    LineStore s(1 << 10, 2);
+    auto r1 = s.findOrInsert(lineOf(2, 5, 5));
+    s.freeLine(r1.plid);
+    auto probe = s.find(lineOf(2, 5, 5));
+    EXPECT_FALSE(probe.found);
+}
+
+TEST(LineStore, OverflowSpillAndFind)
+{
+    // A single bucket guarantees every line hashes to it; 12 data ways
+    // fill, and line 13+ must spill to the overflow area.
+    LineStore s(1, 2);
+    std::vector<Plid> plids;
+    for (Word v = 1; v <= 20; ++v)
+        plids.push_back(s.findOrInsert(lineOf(2, v, v)).plid);
+    EXPECT_EQ(s.liveLines(), 20u);
+    EXPECT_EQ(s.overflowLines(), 8u);
+
+    // Every line remains findable and readable, wherever it lives.
+    for (Word v = 1; v <= 20; ++v) {
+        auto r = s.find(lineOf(2, v, v));
+        ASSERT_TRUE(r.found);
+        EXPECT_EQ(r.plid, plids[v - 1]);
+        EXPECT_EQ(s.read(r.plid).word(0), v);
+    }
+}
+
+TEST(LineStore, OverflowFreeAndReuse)
+{
+    LineStore s(1, 2);
+    for (Word v = 1; v <= 13; ++v)
+        s.findOrInsert(lineOf(2, v, v));
+    EXPECT_EQ(s.overflowLines(), 1u);
+    auto r13 = s.find(lineOf(2, 13, 13));
+    ASSERT_TRUE(r13.overflow);
+    s.freeLine(r13.plid);
+    EXPECT_EQ(s.overflowLines(), 0u);
+    EXPECT_FALSE(s.find(lineOf(2, 13, 13)).found);
+    // Next spill reuses the freed overflow slot.
+    auto r14 = s.findOrInsert(lineOf(2, 14, 14));
+    EXPECT_TRUE(r14.overflow);
+    EXPECT_EQ(r14.plid, r13.plid);
+}
+
+TEST(LineStore, HomeBucketOfOverflowLine)
+{
+    LineStore s(1, 2);
+    for (Word v = 1; v <= 13; ++v)
+        s.findOrInsert(lineOf(2, v, v));
+    auto r = s.find(lineOf(2, 13, 13));
+    ASSERT_TRUE(r.overflow);
+    EXPECT_EQ(s.bucketOfPlid(r.plid), 0u);
+}
+
+TEST(LineStore, TotalRefsSumsAllSlots)
+{
+    LineStore s(1 << 10, 2);
+    auto a = s.findOrInsert(lineOf(2, 1, 0));
+    auto b = s.findOrInsert(lineOf(2, 2, 0));
+    s.addRef(a.plid, 3);
+    s.addRef(b.plid, 2);
+    EXPECT_EQ(s.totalRefs(), 5u);
+}
+
+// Signature behaviour: candidates are only probed on signature match.
+TEST(LineStore, NoCandidatesWithoutSignatureMatch)
+{
+    LineStore s(1 << 4, 2);
+    // Insert a bunch of lines; then probing for fresh content should
+    // rarely report candidates (1/256 per occupied way). With <= 12
+    // occupied ways in its bucket, zero candidates is the common case;
+    // just verify the protocol never reports more candidates than
+    // occupied ways and that found lines terminate the probe.
+    for (Word v = 1; v <= 40; ++v)
+        s.findOrInsert(lineOf(2, v, v * 3));
+    auto miss = s.find(lineOf(2, 999999, 123456));
+    EXPECT_FALSE(miss.found);
+    EXPECT_LE(miss.candidates.size(), BucketLayout::kNumData);
+}
+
+} // namespace
+} // namespace hicamp

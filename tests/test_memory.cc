@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Tests of the memory-system facade: lookup/read protocol traffic
+ * attribution, cache filtering, reference counting with recursive
+ * reclamation, intern semantics and transient lines.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory.hh"
+
+namespace hicamp {
+namespace {
+
+MemoryConfig
+smallCfg(unsigned line_bytes = 16)
+{
+    MemoryConfig cfg;
+    cfg.lineBytes = line_bytes;
+    cfg.numBuckets = 1 << 12;
+    return cfg;
+}
+
+Line
+dataLine(Memory &mem, Word tag)
+{
+    Line l = mem.makeLine();
+    l.set(0, tag);
+    l.set(1, tag * 31 + 7);
+    return l;
+}
+
+TEST(Memory, LookupAllocatesOnce)
+{
+    Memory mem(smallCfg());
+    bool fresh1 = false, fresh2 = false;
+    Plid p1 = mem.lookup(dataLine(mem, 1), &fresh1);
+    Plid p2 = mem.lookup(dataLine(mem, 1), &fresh2);
+    EXPECT_TRUE(fresh1);
+    EXPECT_FALSE(fresh2);
+    EXPECT_EQ(p1, p2);
+    EXPECT_EQ(mem.refCount(p1), 2u);
+    EXPECT_EQ(mem.liveLines(), 1u);
+}
+
+TEST(Memory, ZeroContentIsZeroPlid)
+{
+    Memory mem(smallCfg());
+    EXPECT_EQ(mem.lookup(mem.makeLine()), kZeroPlid);
+    EXPECT_EQ(mem.liveLines(), 0u);
+}
+
+TEST(Memory, DecRefReclaims)
+{
+    Memory mem(smallCfg());
+    Plid p = mem.lookup(dataLine(mem, 2));
+    EXPECT_TRUE(mem.isLive(p));
+    mem.decRef(p);
+    EXPECT_FALSE(mem.isLive(p));
+    EXPECT_EQ(mem.liveLines(), 0u);
+}
+
+TEST(Memory, RecursiveReclaimReleasesChildren)
+{
+    Memory mem(smallCfg());
+    Plid leaf = mem.lookup(dataLine(mem, 3));
+    // A parent line referencing the leaf twice; the intern consumes
+    // one owned reference per PLID word, so acquire a second one and
+    // hand both over (we keep no leaf handle of our own).
+    Line parent = mem.makeLine();
+    parent.set(0, leaf, WordMeta::plid());
+    parent.set(1, leaf, WordMeta::plid());
+    mem.incRef(leaf); // parent's second reference
+    Plid pp = mem.internLine(parent);
+    EXPECT_TRUE(mem.isLive(leaf));
+    EXPECT_EQ(mem.refCount(leaf), 2u);
+    // Releasing the parent cascades.
+    mem.decRef(pp);
+    EXPECT_FALSE(mem.isLive(leaf));
+    EXPECT_EQ(mem.liveLines(), 0u);
+    EXPECT_EQ(mem.deallocatedLines(), 2u);
+}
+
+TEST(Memory, InternReleasesChildRefsOnDedupHit)
+{
+    Memory mem(smallCfg());
+    Plid leaf = mem.lookup(dataLine(mem, 4));
+
+    Line parent = mem.makeLine();
+    parent.set(0, leaf, WordMeta::plid());
+    // First intern: consumes our leaf ref (we give it away).
+    Plid p1 = mem.internLine(parent);
+    EXPECT_EQ(mem.refCount(leaf), 1u);
+
+    // Second intern of identical content: caller must own a child ref,
+    // which the dedup hit releases.
+    mem.incRef(leaf);
+    Plid p2 = mem.internLine(parent);
+    EXPECT_EQ(p1, p2);
+    EXPECT_EQ(mem.refCount(leaf), 1u);
+    EXPECT_EQ(mem.refCount(p1), 2u);
+
+    mem.decRef(p1);
+    mem.decRef(p1);
+    EXPECT_EQ(mem.liveLines(), 0u);
+}
+
+TEST(Memory, LookupTrafficCategories)
+{
+    Memory mem(smallCfg());
+    mem.resetTraffic();
+    mem.lookup(dataLine(mem, 5));
+    // Fresh allocation with cold caches: at least the signature read
+    // goes to DRAM in the lookup category; refcount traffic appears in
+    // the RC category; nothing lands in plain reads/writes yet.
+    EXPECT_GE(mem.dram().lookups(), 1u);
+    EXPECT_GE(mem.dram().refcounts(), 1u);
+    EXPECT_EQ(mem.dram().reads(), 0u);
+}
+
+TEST(Memory, CachedLookupAvoidsDram)
+{
+    Memory mem(smallCfg());
+    Plid p = mem.lookup(dataLine(mem, 6));
+    (void)p;
+    mem.resetTraffic();
+    // Same content again: the LLC content-search hits; only RC traffic
+    // (which itself hits the cached RC line) may occur.
+    mem.lookup(dataLine(mem, 6));
+    EXPECT_EQ(mem.dram().lookups(), 0u);
+    EXPECT_EQ(mem.dram().reads(), 0u);
+}
+
+TEST(Memory, ReadThroughCacheCountsOnce)
+{
+    MemoryConfig cfg = smallCfg();
+    Memory mem(cfg);
+    Plid p = mem.lookup(dataLine(mem, 7));
+    mem.resetTraffic();
+    Line l1 = mem.readLine(p);
+    Line l2 = mem.readLine(p);
+    EXPECT_EQ(l1, l2);
+    // Line was still in LLC from the lookup: zero DRAM reads.
+    EXPECT_EQ(mem.dram().reads(), 0u);
+    EXPECT_EQ(l1.word(0), 7u);
+}
+
+TEST(Memory, DeallocCancelsPendingWriteback)
+{
+    Memory mem(smallCfg());
+    mem.resetTraffic();
+    Plid p = mem.lookup(dataLine(mem, 8));
+    mem.decRef(p);
+    // The line never left the cache: its data writeback must have been
+    // cancelled, so lookup-category DRAM traffic stays at protocol
+    // reads (signature), not writes.
+    EXPECT_EQ(mem.liveLines(), 0u);
+}
+
+TEST(Memory, TransientWriteNoDramUntilEviction)
+{
+    Memory mem(smallCfg());
+    mem.resetTraffic();
+    std::uint64_t t = mem.allocTransient();
+    mem.transientAccess(t, true);
+    mem.transientAccess(t, false);
+    EXPECT_EQ(mem.dram().total(), 0u);
+    mem.invalidateTransient(t);
+    EXPECT_EQ(mem.dram().total(), 0u); // dirty line dropped, not written
+}
+
+TEST(Memory, SigFalsePositivesAreRare)
+{
+    Memory mem(smallCfg());
+    for (Word v = 1; v <= 2000; ++v)
+        mem.lookup(dataLine(mem, v));
+    // 8-bit signatures: expected false-positive rate well under 5%
+    // (paper footnote 4). Allow slack for the small store.
+    EXPECT_LT(mem.sigFalsePositives(), 2000u / 10);
+}
+
+TEST(Memory, WordTagsSurviveRoundTrip)
+{
+    Memory mem(smallCfg(32));
+    Line l = mem.makeLine();
+    l.set(0, 77, WordMeta::plid(2, 3));
+    l.set(1, 88, WordMeta::vsid());
+    l.set(2, 99, WordMeta::inlineData(1));
+    // PLID-tagged word 77 needs a live target to keep refcounting
+    // sane; use a raw line so word 0 refers to something real.
+    Line target = mem.makeLine();
+    target.set(0, 1234);
+    Plid tp = mem.lookup(target);
+    l.set(0, tp, WordMeta::plid(2, 3));
+    Plid p = mem.internLine(l);
+    Line back = mem.readLine(p);
+    EXPECT_EQ(back.meta(0).skip(), 2u);
+    EXPECT_EQ(back.meta(0).path(), 3u);
+    EXPECT_TRUE(back.meta(1).isVsid());
+    EXPECT_TRUE(back.meta(2).isInline());
+    EXPECT_EQ(back.meta(2).inlineWidth(), 16u);
+}
+
+TEST(Memory, LiveBytesTracksLines)
+{
+    Memory mem(smallCfg());
+    mem.lookup(dataLine(mem, 10));
+    mem.lookup(dataLine(mem, 11));
+    EXPECT_EQ(mem.liveBytes(), 2u * 16u);
+}
+
+// Different line sizes are exercised across the suite via this
+// parameterized sanity check.
+class MemoryLineSize : public ::testing::TestWithParam<unsigned>
+{};
+
+TEST_P(MemoryLineSize, RoundTripAtEachWidth)
+{
+    Memory mem(smallCfg(GetParam()));
+    Line l = mem.makeLine();
+    for (unsigned i = 0; i < mem.lineWords(); ++i)
+        l.set(i, i + 100);
+    Plid p = mem.lookup(l);
+    EXPECT_EQ(mem.readLine(p), l);
+    EXPECT_EQ(mem.lineBytes(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, MemoryLineSize,
+                         ::testing::Values(16u, 32u, 64u));
+
+} // namespace
+} // namespace hicamp

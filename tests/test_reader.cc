@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Reader-side property tests: readWord/materialize consistency,
+ * children() expansion of path-compacted and inline entries (the
+ * memory-access-free descents compaction buys), countLines agreement
+ * with live-line accounting, and traffic expectations of compacted
+ * descents.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "seg/builder.hh"
+#include "seg/reader.hh"
+
+namespace hicamp {
+namespace {
+
+struct ReaderFixture : ::testing::TestWithParam<unsigned> {
+    ReaderFixture() : mem(cfg()), builder(mem), reader(mem) {}
+
+    MemoryConfig
+    cfg() const
+    {
+        MemoryConfig c;
+        c.lineBytes = GetParam();
+        c.numBuckets = 1 << 12;
+        return c;
+    }
+
+    Memory mem;
+    SegBuilder builder;
+    SegReader reader;
+};
+
+TEST_P(ReaderFixture, ReadWordAgreesWithMaterialize)
+{
+    Rng rng(11);
+    std::vector<Word> w(512);
+    for (auto &x : w)
+        x = rng.chance(0.4) ? 0 : rng.next();
+    std::vector<WordMeta> m(w.size(), WordMeta::raw());
+    SegDesc d = builder.buildWords(w.data(), m.data(), w.size());
+
+    std::vector<Word> all;
+    std::vector<WordMeta> allm;
+    reader.materialize(d.root, d.height, all, allm);
+    for (std::uint64_t i = 0; i < w.size(); ++i) {
+        EXPECT_EQ(all[i], w[i]);
+        EXPECT_EQ(reader.readWord(d.root, d.height, i), w[i]);
+    }
+    // Padding beyond the logical length is zero.
+    for (std::uint64_t i = w.size(); i < all.size(); i += 13)
+        EXPECT_EQ(all[i], 0u);
+}
+
+TEST_P(ReaderFixture, ChildrenOfZeroAreZero)
+{
+    Entry kids[kMaxLineWords];
+    reader.children(Entry::zero(), 3, kids);
+    for (unsigned i = 0; i < mem.fanout(); ++i)
+        EXPECT_TRUE(kids[i].isZero());
+}
+
+TEST_P(ReaderFixture, PathCompactedDescentCostsNoMemory)
+{
+    // A single far element: the chain of single-child nodes is packed
+    // into entry metadata, so descending costs far fewer line reads
+    // than the logical depth.
+    std::vector<Word> w(1 << 14, 0);
+    w[12345] = ~Word{0};
+    std::vector<WordMeta> m(w.size(), WordMeta::raw());
+    SegDesc d = builder.buildWords(w.data(), m.data(), w.size());
+
+    mem.coldResetTraffic();
+    std::uint64_t reads0 = mem.readOps();
+    EXPECT_EQ(reader.readWord(d.root, d.height, 12345), ~Word{0});
+    std::uint64_t line_reads = mem.readOps() - reads0;
+    // Logical depth is log_F(16384); physical reads bounded by the
+    // few real lines the compacted DAG has.
+    std::unordered_set<Plid> seen;
+    std::uint64_t lines = reader.countLines(d.root, d.height, seen);
+    EXPECT_LE(line_reads, lines);
+    EXPECT_LE(lines, 4u);
+}
+
+TEST_P(ReaderFixture, InlineEntriesExpandWithoutMemoryAccess)
+{
+    // Small values inline; reading them requires no line fetches at
+    // all once the root entry is in hand.
+    std::vector<Word> w = {1, 2, 3, 4, 5, 6, 7, 8};
+    std::vector<WordMeta> m(w.size(), WordMeta::raw());
+    SegDesc d = builder.buildWords(w.data(), m.data(), w.size());
+
+    if (d.root.meta.isInline()) {
+        mem.coldResetTraffic();
+        for (std::uint64_t i = 0; i < w.size(); ++i)
+            EXPECT_EQ(reader.readWord(d.root, d.height, i), w[i]);
+        EXPECT_EQ(mem.readOps(), 0u);
+        EXPECT_EQ(mem.liveLines(), 0u); // fully inline: zero lines
+    }
+}
+
+TEST_P(ReaderFixture, CountLinesMatchesLiveLinesForSoleSegment)
+{
+    Rng rng(13);
+    std::vector<Word> w(1024);
+    for (auto &x : w)
+        x = rng.next(); // distinct high-entropy words: no dedup
+    std::vector<WordMeta> m(w.size(), WordMeta::raw());
+    SegDesc d = builder.buildWords(w.data(), m.data(), w.size());
+    std::unordered_set<Plid> seen;
+    std::uint64_t counted = reader.countLines(d.root, d.height, seen);
+    EXPECT_EQ(counted, mem.liveLines());
+}
+
+TEST_P(ReaderFixture, CountLinesSharesAcrossSegments)
+{
+    std::vector<Word> w(256);
+    Rng rng(17);
+    for (auto &x : w)
+        x = rng.next();
+    std::vector<WordMeta> m(w.size(), WordMeta::raw());
+    SegDesc d1 = builder.buildWords(w.data(), m.data(), w.size());
+    w[0] ^= 1; // nearly identical sibling
+    SegDesc d2 = builder.buildWords(w.data(), m.data(), w.size());
+
+    std::unordered_set<Plid> seen;
+    std::uint64_t first = reader.countLines(d1.root, d1.height, seen);
+    std::uint64_t extra = reader.countLines(d2.root, d2.height, seen);
+    EXPECT_LT(extra, first / 4); // only the changed path is new
+    EXPECT_EQ(first + extra, mem.liveLines());
+}
+
+TEST_P(ReaderFixture, NextNonZeroAtCoverageBoundary)
+{
+    std::vector<Word> w(64, 0);
+    w[63] = 5;
+    std::vector<WordMeta> m(w.size(), WordMeta::raw());
+    SegDesc d = builder.buildWords(w.data(), m.data(), w.size());
+    auto hit = reader.nextNonZero(d.root, d.height, 0);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(*hit, 63u);
+    EXPECT_FALSE(reader.nextNonZero(d.root, d.height, 64).has_value());
+}
+
+TEST_P(ReaderFixture, NoTrafficModeTouchesNoCounters)
+{
+    std::vector<Word> w(512);
+    Rng rng(19);
+    for (auto &x : w)
+        x = rng.next();
+    std::vector<WordMeta> m(w.size(), WordMeta::raw());
+    SegDesc d = builder.buildWords(w.data(), m.data(), w.size());
+
+    SegReader quiet(mem, /*count_traffic=*/false);
+    mem.coldResetTraffic();
+    std::vector<Word> out;
+    std::vector<WordMeta> outm;
+    quiet.materialize(d.root, d.height, out, outm);
+    EXPECT_EQ(mem.dram().total(), 0u);
+    EXPECT_EQ(mem.readOps(), 0u);
+    EXPECT_EQ(out[5], w[5]);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, ReaderFixture,
+                         ::testing::Values(16u, 32u, 64u));
+
+} // namespace
+} // namespace hicamp

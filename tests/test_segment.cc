@@ -1,0 +1,298 @@
+/**
+ * @file
+ * Segment-layer tests: canonical DAG construction, zero/data/path
+ * compaction, content-unique roots, copy-on-write functional updates,
+ * snapshot stability, sparse iteration and reference-count hygiene.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "mem/memory.hh"
+#include "seg/builder.hh"
+#include "seg/reader.hh"
+
+namespace hicamp {
+namespace {
+
+struct SegFixture : ::testing::TestWithParam<unsigned> {
+    SegFixture()
+        : mem(cfg()), builder(mem), reader(mem)
+    {}
+
+    MemoryConfig
+    cfg() const
+    {
+        MemoryConfig c;
+        c.lineBytes = GetParam();
+        c.numBuckets = 1 << 12;
+        return c;
+    }
+
+    std::vector<Word>
+    wordsOf(const SegDesc &d)
+    {
+        std::vector<Word> w;
+        std::vector<WordMeta> m;
+        reader.materialize(d.root, d.height, w, m);
+        return w;
+    }
+
+    Memory mem;
+    SegBuilder builder;
+    SegReader reader;
+};
+
+TEST_P(SegFixture, BytesRoundTrip)
+{
+    const std::string text =
+        "This is a long string containing another string that is short.";
+    SegDesc d = builder.buildBytes(text.data(), text.size());
+    std::vector<Word> words = wordsOf(d);
+    std::string back(reinterpret_cast<const char *>(words.data()),
+                     text.size());
+    EXPECT_EQ(back, text);
+    EXPECT_EQ(d.byteLen, text.size());
+}
+
+TEST_P(SegFixture, ContentUniqueRoots)
+{
+    const std::string text = "identical segment content, built twice....";
+    SegDesc d1 = builder.buildBytes(text.data(), text.size());
+    SegDesc d2 = builder.buildBytes(text.data(), text.size());
+    EXPECT_EQ(d1, d2);
+    EXPECT_EQ(d1.fingerprint(), d2.fingerprint());
+}
+
+TEST_P(SegFixture, DifferentContentDifferentRoots)
+{
+    std::string a(300, 'a');
+    std::string b = a;
+    b[250] = 'b';
+    SegDesc da = builder.buildBytes(a.data(), a.size());
+    SegDesc db = builder.buildBytes(b.data(), b.size());
+    EXPECT_FALSE(da == db);
+}
+
+TEST_P(SegFixture, SharedPrefixSharesLines)
+{
+    // Two long strings sharing a 4 KB prefix must share leaf lines:
+    // total live lines well under the sum of their standalone DAGs.
+    std::string prefix(4096, 'x');
+    for (std::size_t i = 0; i < prefix.size(); ++i)
+        prefix[i] = static_cast<char>('a' + (i * 131) % 26);
+    std::string s1 = prefix + "-first-suffix";
+    std::string s2 = prefix + "-second-suffix";
+
+    SegDesc d1 = builder.buildBytes(s1.data(), s1.size());
+    std::uint64_t after_first = mem.liveLines();
+    SegDesc d2 = builder.buildBytes(s2.data(), s2.size());
+    std::uint64_t after_second = mem.liveLines();
+
+    // The second string should add far fewer lines than the first.
+    EXPECT_LT(after_second - after_first, after_first / 2);
+
+    std::unordered_set<Plid> seen;
+    std::uint64_t lines1 = reader.countLines(d1.root, d1.height, seen);
+    std::uint64_t shared_extra =
+        reader.countLines(d2.root, d2.height, seen);
+    EXPECT_LT(shared_extra, lines1 / 2);
+}
+
+TEST_P(SegFixture, IdenticalSegmentIsFreeDedup)
+{
+    std::string text(2048, 'q');
+    builder.buildBytes(text.data(), text.size());
+    std::uint64_t lines_before = mem.liveLines();
+    builder.buildBytes(text.data(), text.size());
+    EXPECT_EQ(mem.liveLines(), lines_before);
+}
+
+TEST_P(SegFixture, ZeroSuppression)
+{
+    std::vector<Word> w(1024, 0);
+    std::vector<WordMeta> m(w.size(), WordMeta::raw());
+    SegDesc d = builder.buildWords(w.data(), m.data(), w.size());
+    EXPECT_TRUE(d.root.isZero());
+    EXPECT_EQ(mem.liveLines(), 0u);
+}
+
+TEST_P(SegFixture, SparseSingleElementUsesFewLines)
+{
+    // One non-zero word in a 64K-word segment: zero suppression plus
+    // path compaction keep the DAG tiny.
+    std::vector<Word> w(65536, 0);
+    w[40000] = 0xabcdef0123456789ull; // too big to inline
+    std::vector<WordMeta> m(w.size(), WordMeta::raw());
+    SegDesc d = builder.buildWords(w.data(), m.data(), w.size());
+    std::unordered_set<Plid> seen;
+    std::uint64_t lines = reader.countLines(d.root, d.height, seen);
+    EXPECT_LE(lines, 4u);
+    EXPECT_EQ(reader.readWord(d.root, d.height, 40000),
+              0xabcdef0123456789ull);
+    EXPECT_EQ(reader.readWord(d.root, d.height, 39999), 0u);
+}
+
+TEST_P(SegFixture, DataCompactionInlinesSmallValues)
+{
+    // An array of small integers compacts into inline words: a whole
+    // leaf (or more) packs into parent slots, using fewer lines than
+    // one per leaf.
+    const std::uint64_t n = 512;
+    std::vector<Word> w(n);
+    for (std::uint64_t i = 0; i < n; ++i)
+        w[i] = i % 200; // all fit in a byte
+    std::vector<WordMeta> m(n, WordMeta::raw());
+    SegDesc d = builder.buildWords(w.data(), m.data(), n);
+
+    std::unordered_set<Plid> seen;
+    std::uint64_t lines = reader.countLines(d.root, d.height, seen);
+    const std::uint64_t leaves_uncompacted = n / mem.fanout();
+    EXPECT_LT(lines, leaves_uncompacted / 2);
+
+    for (std::uint64_t i = 0; i < n; i += 37)
+        EXPECT_EQ(reader.readWord(d.root, d.height, i), i % 200);
+}
+
+TEST_P(SegFixture, CopyOnWritePreservesSnapshot)
+{
+    std::vector<Word> w(256);
+    for (std::uint64_t i = 0; i < w.size(); ++i)
+        w[i] = i + 1000;
+    std::vector<WordMeta> m(w.size(), WordMeta::raw());
+    SegDesc snap = builder.buildWords(w.data(), m.data(), w.size());
+
+    Entry new_root = builder.setWord(snap.root, snap.height, 100,
+                                     999999999ull, WordMeta::raw());
+    // The snapshot still reads the old value; the new root the new one.
+    EXPECT_EQ(reader.readWord(snap.root, snap.height, 100), 1100u);
+    EXPECT_EQ(reader.readWord(new_root, snap.height, 100), 999999999ull);
+    // Untouched words are shared and identical.
+    EXPECT_EQ(reader.readWord(new_root, snap.height, 101), 1101u);
+}
+
+TEST_P(SegFixture, SetWordMatchesBulkBuild)
+{
+    // Canonicality: updating word-by-word must converge to exactly the
+    // same root entry as a bulk build of the final content.
+    std::vector<Word> w(128);
+    for (std::uint64_t i = 0; i < w.size(); ++i)
+        w[i] = i * 3 + 7;
+    std::vector<WordMeta> m(w.size(), WordMeta::raw());
+    SegDesc bulk = builder.buildWords(w.data(), m.data(), w.size());
+
+    // Start from zero and set every word.
+    int h = builder.geometry().heightForWords(w.size());
+    Entry root = Entry::zero();
+    for (std::uint64_t i = 0; i < w.size(); ++i) {
+        Entry next = builder.setWord(root, h, i, w[i], WordMeta::raw());
+        builder.release(root);
+        root = next;
+    }
+    EXPECT_EQ(root, bulk.root);
+    builder.release(root);
+}
+
+TEST_P(SegFixture, NextNonZeroSkipsHoles)
+{
+    std::vector<Word> w(4096, 0);
+    w[3] = 1;
+    w[700] = 2;
+    w[701] = 3;
+    w[4000] = 4;
+    std::vector<WordMeta> m(w.size(), WordMeta::raw());
+    SegDesc d = builder.buildWords(w.data(), m.data(), w.size());
+
+    std::vector<std::uint64_t> found;
+    std::uint64_t pos = 0;
+    while (auto nxt = reader.nextNonZero(d.root, d.height, pos)) {
+        found.push_back(*nxt);
+        pos = *nxt + 1;
+    }
+    EXPECT_EQ(found, (std::vector<std::uint64_t>{3, 700, 701, 4000}));
+}
+
+TEST_P(SegFixture, ReleaseReclaimsEverything)
+{
+    std::string text(3000, 'z');
+    for (std::size_t i = 0; i < text.size(); ++i)
+        text[i] = static_cast<char>('A' + (i * 17) % 26);
+    SegDesc d = builder.buildBytes(text.data(), text.size());
+    EXPECT_GT(mem.liveLines(), 0u);
+    builder.releaseSeg(d);
+    EXPECT_EQ(mem.liveLines(), 0u);
+    EXPECT_EQ(mem.store().totalRefs(), 0u);
+}
+
+TEST_P(SegFixture, SnapshotRetainSurvivesUpdaterRelease)
+{
+    std::vector<Word> w(64);
+    for (std::uint64_t i = 0; i < w.size(); ++i)
+        w[i] = i + 0x1000000ull;
+    std::vector<WordMeta> m(w.size(), WordMeta::raw());
+    SegDesc d = builder.buildWords(w.data(), m.data(), w.size());
+
+    // A second thread takes a snapshot (retains the root).
+    Entry snap = builder.retain(d.root);
+
+    // The updater produces a new version and drops the old root.
+    Entry v2 = builder.setWord(d.root, d.height, 10, 42, WordMeta::raw());
+    builder.release(d.root);
+
+    // The snapshot must still read the original data.
+    EXPECT_EQ(reader.readWord(snap, d.height, 10), 0x100000aull);
+    EXPECT_EQ(reader.readWord(v2, d.height, 10), 42u);
+
+    builder.release(snap);
+    builder.release(v2);
+    EXPECT_EQ(mem.liveLines(), 0u);
+}
+
+TEST_P(SegFixture, TaggedWordsInLeaves)
+{
+    // Leaves can hold PLID-tagged words (e.g. a map's value slots).
+    Line payload = mem.makeLine();
+    payload.set(0, 0xfeedULL);
+    Plid vp = mem.lookup(payload);
+
+    int h = builder.geometry().heightForWords(256);
+    Entry root = builder.setWord(Entry::zero(), h, 123, vp,
+                                 WordMeta::plid());
+    WordMeta meta_out;
+    Word got = reader.readWord(root, h, 123, &meta_out);
+    EXPECT_EQ(got, vp);
+    EXPECT_TRUE(meta_out.isPlid());
+    EXPECT_TRUE(mem.isLive(vp));
+
+    // Releasing the tree releases the payload too.
+    builder.release(root);
+    EXPECT_FALSE(mem.isLive(vp));
+    EXPECT_EQ(mem.liveLines(), 0u);
+}
+
+TEST_P(SegFixture, GrowByBuildingTallerTree)
+{
+    // Append semantics: content extended past its original coverage
+    // re-roots at a larger height while sharing the original lines.
+    std::string small(200, 's');
+    SegDesc d1 = builder.buildBytes(small.data(), small.size());
+    std::string big = small + std::string(4000, 't');
+    std::uint64_t before = mem.liveLines();
+    SegDesc d2 = builder.buildBytes(big.data(), big.size());
+    EXPECT_GT(d2.height, d1.height);
+    // The extension reuses the original leaves (same content), so the
+    // marginal cost is roughly the new suffix only.
+    std::uint64_t grown = mem.liveLines() - before;
+    std::unordered_set<Plid> seen;
+    std::uint64_t d2_lines = reader.countLines(d2.root, d2.height, seen);
+    EXPECT_LT(grown, d2_lines);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWidths, SegFixture,
+                         ::testing::Values(16u, 32u, 64u));
+
+} // namespace
+} // namespace hicamp

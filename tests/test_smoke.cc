@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Build-system smoke test: the library links and the most basic memory
+ * operation round-trips.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/memory.hh"
+
+namespace hicamp {
+namespace {
+
+TEST(Smoke, LookupRoundTrip)
+{
+    Memory mem;
+    Line l = mem.makeLine();
+    l.set(0, 0xdeadbeefull);
+    Plid p = mem.lookup(l);
+    EXPECT_NE(p, kZeroPlid);
+    EXPECT_EQ(mem.readLine(p), l);
+}
+
+} // namespace
+} // namespace hicamp

@@ -1,0 +1,194 @@
+/**
+ * @file
+ * Multi-threaded stress tests: real std::threads hammering one
+ * machine through every concurrency mechanism at once — per-thread
+ * iterator registers over one merge-update segment (disjoint slices),
+ * counter increments on a shared slot, map churn, and snapshot
+ * readers validating isolation invariants throughout.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/rng.hh"
+#include "lang/harray.hh"
+#include "lang/hmap.hh"
+
+namespace hicamp {
+namespace {
+
+MemoryConfig
+cfg()
+{
+    MemoryConfig c;
+    c.numBuckets = 1 << 14;
+    return c;
+}
+
+TEST(ThreadStress, DisjointSlicesNeverInterfere)
+{
+    Hicamp hc(cfg());
+    constexpr int kThreads = 4;
+    constexpr std::uint64_t kSlice = 64;
+    constexpr int kRounds = 60;
+    HArray<std::uint64_t> arr(
+        hc, std::vector<std::uint64_t>(kThreads * kSlice, 0),
+        kSegMergeUpdate);
+
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+        ts.emplace_back([&, t] {
+            Rng rng(500 + t);
+            IteratorRegister it(hc.mem, hc.vsm);
+            for (int round = 0; round < kRounds; ++round) {
+                // Each thread owns slice [t*kSlice, (t+1)*kSlice).
+                std::uint64_t idx = t * kSlice + rng.below(kSlice);
+                for (;;) {
+                    it.load(arr.vsid(), idx);
+                    it.write(it.read() + (t + 1));
+                    if (it.tryCommit())
+                        break;
+                }
+            }
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+
+    // Per-slice sums must equal each thread's total contribution.
+    for (int t = 0; t < kThreads; ++t) {
+        std::uint64_t sum = 0;
+        for (std::uint64_t i = 0; i < kSlice; ++i)
+            sum += arr.get(t * kSlice + i);
+        EXPECT_EQ(sum, static_cast<std::uint64_t>(kRounds * (t + 1)))
+            << "slice " << t;
+    }
+}
+
+TEST(ThreadStress, SnapshotReadersSeeOnlyCommittedStates)
+{
+    Hicamp hc(cfg());
+    // Invariant: word0 + word1 == 1000 in every committed version.
+    HArray<std::uint64_t> pair(
+        hc, std::vector<std::uint64_t>{600, 400}, kSegMergeUpdate);
+
+    std::atomic<bool> stop{false};
+    std::atomic<std::uint64_t> violations{0}, reads{0};
+
+    std::thread writer([&] {
+        Rng rng(9);
+        IteratorRegister it(hc.mem, hc.vsm);
+        while (!stop.load(std::memory_order_relaxed)) {
+            std::uint64_t delta = 1 + rng.below(50);
+            it.load(pair.vsid(), 0);
+            std::uint64_t a = it.read();
+            if (a < delta)
+                continue;
+            it.write(a - delta);
+            it.seek(1);
+            it.write(it.read() + delta);
+            it.tryCommit();
+        }
+    });
+
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 2; ++r) {
+        readers.emplace_back([&] {
+            IteratorRegister it(hc.mem, hc.vsm);
+            for (int i = 0; i < 400; ++i) {
+                it.load(pair.vsid(), 0);
+                std::uint64_t a = it.read();
+                it.seek(1);
+                std::uint64_t b = it.read();
+                ++reads;
+                if (a + b != 1000)
+                    ++violations;
+            }
+        });
+    }
+    for (auto &t : readers)
+        t.join();
+    stop = true;
+    writer.join();
+
+    EXPECT_EQ(violations.load(), 0u)
+        << "a reader saw a torn (uncommitted) state";
+    EXPECT_GE(reads.load(), 800u);
+}
+
+TEST(ThreadStress, MixedMapChurnStaysConsistent)
+{
+    Hicamp hc(cfg());
+    HMap map(hc);
+    constexpr int kThreads = 4;
+    std::atomic<std::uint64_t> errors{0};
+
+    std::vector<std::thread> ts;
+    for (int t = 0; t < kThreads; ++t) {
+        ts.emplace_back([&, t] {
+            Rng rng(700 + t);
+            for (int i = 0; i < 80; ++i) {
+                std::string k =
+                    "shared-" + std::to_string(rng.below(24));
+                switch (rng.below(3)) {
+                  case 0:
+                    map.set(HString(hc, k),
+                            HString(hc, "val-" + std::to_string(t)));
+                    break;
+                  case 1: {
+                    auto v = map.get(HString(hc, k));
+                    // Any present value must be well-formed.
+                    if (v && v->str().rfind("val-", 0) != 0)
+                        ++errors;
+                    break;
+                  }
+                  case 2:
+                    map.erase(HString(hc, k));
+                    break;
+                }
+            }
+        });
+    }
+    for (auto &t : ts)
+        t.join();
+    EXPECT_EQ(errors.load(), 0u);
+
+    // Post-churn structural sanity: every surviving entry reads back.
+    std::uint64_t live = 0;
+    map.forEach([&](HString k, HString v) {
+        EXPECT_EQ(k.str().rfind("shared-", 0), 0u);
+        EXPECT_EQ(v.str().rfind("val-", 0), 0u);
+        ++live;
+    });
+    EXPECT_EQ(live, map.size());
+}
+
+TEST(ThreadStress, RefcountsBalanceAfterParallelChurn)
+{
+    Hicamp hc(cfg());
+    {
+        HMap map(hc);
+        std::vector<std::thread> ts;
+        for (int t = 0; t < 3; ++t) {
+            ts.emplace_back([&, t] {
+                for (int i = 0; i < 50; ++i) {
+                    HString k(hc, "c" + std::to_string(t) + "-" +
+                                      std::to_string(i % 10));
+                    map.set(k, HString(hc, std::string(50 + i, 'x')));
+                    if (i % 3 == 0)
+                        map.erase(k);
+                }
+            });
+        }
+        for (auto &t : ts)
+            t.join();
+    }
+    // Map destroyed: the store must be completely empty again.
+    EXPECT_EQ(hc.mem.liveLines(), 0u);
+    EXPECT_EQ(hc.mem.store().totalRefs(), 0u);
+}
+
+} // namespace
+} // namespace hicamp

@@ -1,0 +1,49 @@
+/**
+ * @file
+ * Compile-and-smoke test for the single-include public API
+ * (core/hicamp.hh): a downstream application using only the umbrella
+ * header can reach every public component.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/hicamp.hh"
+
+namespace hicamp {
+namespace {
+
+TEST(Umbrella, EverythingReachable)
+{
+    MemoryConfig cfg;
+    cfg.numBuckets = 1 << 12;
+    Hicamp hc(cfg);
+
+    HString s(hc, "umbrella");
+    HMap map(hc);
+    map.set(s, HString(hc, "header"));
+    EXPECT_EQ(map.get(s)->str(), "header");
+
+    HArray<std::uint64_t> arr(hc, std::vector<std::uint64_t>{1, 2, 3});
+    EXPECT_EQ(arr.get(1), 2u);
+
+    HQueue q(hc);
+    q.push(s);
+    EXPECT_EQ(q.pop()->str(), "umbrella");
+
+    HObject o(hc, 2);
+    o.setWord(0, 5);
+    EXPECT_EQ(o.getWord(0), 5u);
+
+    HTable table(hc);
+    table.insert(HString(hc, "row"));
+    EXPECT_EQ(table.rowCount(), 1u);
+
+    HicampCpu cpu(hc);
+    Program p;
+    p.emit(Op::Movi, 0, 0, 0, 7).emit(Op::Halt);
+    cpu.run(p);
+    EXPECT_EQ(cpu.reg(0), 7u);
+}
+
+} // namespace
+} // namespace hicamp

@@ -1,0 +1,149 @@
+/**
+ * @file
+ * VM-hosting model tests: monotonicity and ordering invariants
+ * (allocated >= page-shared >= HICAMP... with HICAMP always at least
+ * as good as ideal page sharing), scaling behaviour per workload, and
+ * the tile-level compaction shape of paper Figs. 9-10.
+ */
+
+#include <gtest/gtest.h>
+
+#include "apps/vm/vm_model.hh"
+
+namespace hicamp {
+namespace {
+
+double
+ratio(std::uint64_t a, std::uint64_t b)
+{
+    return static_cast<double>(a) / static_cast<double>(b);
+}
+
+TEST(VmModel, OrderingInvariant)
+{
+    // For every workload and every scale: allocated >= page-shared,
+    // and HICAMP within DAG overhead (9/64) of page sharing. At a
+    // single VM the DAG overhead can leave HICAMP slightly above the
+    // ideal page-sharing bound (as in Fig. 9's near-parity starting
+    // points); once a few VMs share lines, HICAMP must win outright.
+    for (const auto &p : VmProfile::tile()) {
+        VmDedupModel model;
+        for (int i = 0; i < 6; ++i) {
+            model.addVm(p, 1000 + i);
+            VmUsage u = model.measure();
+            EXPECT_GE(u.allocatedBytes, u.pageSharedBytes) << p.name;
+            EXPECT_LE(u.hicampBytes,
+                      u.pageSharedBytes + u.pageSharedBytes / 4)
+                << p.name;
+            if (i >= 3)
+                EXPECT_LE(u.hicampBytes, u.pageSharedBytes) << p.name;
+            EXPECT_GT(u.hicampBytes, 0u) << p.name;
+        }
+    }
+}
+
+TEST(VmModel, AllocatedScalesLinearly)
+{
+    VmDedupModel model;
+    auto p = VmProfile::databaseServer();
+    model.addVm(p, 1);
+    std::uint64_t one = model.measure().allocatedBytes;
+    for (int i = 2; i <= 10; ++i)
+        model.addVm(p, i);
+    EXPECT_EQ(model.measure().allocatedBytes, one * 10);
+    // Matches Fig. 9's DB curve: ~19 GB allocated at 10 VMs.
+    EXPECT_NEAR(static_cast<double>(one * 10) / (1ull << 30), 19.0,
+                1.0);
+}
+
+TEST(VmModel, DedupGrowsWithVmCount)
+{
+    // The more same-profile VMs, the larger the compaction factor.
+    auto p = VmProfile::webServer();
+    VmDedupModel model;
+    model.addVm(p, 1);
+    double r1 = ratio(model.measure().allocatedBytes,
+                      model.measure().hicampBytes);
+    for (int i = 2; i <= 10; ++i)
+        model.addVm(p, i);
+    VmUsage u = model.measure();
+    double r10 = ratio(u.allocatedBytes, u.hicampBytes);
+    EXPECT_GT(r10, r1 * 1.5);
+}
+
+TEST(VmModel, StandbyCompactsFarMoreThanDatabase)
+{
+    // Fig. 9's extremes: idle standby servers dedup ~10x; database
+    // servers with unique buffer pools dedup ~2x.
+    auto run = [](const VmProfile &p) {
+        VmDedupModel m;
+        for (int i = 1; i <= 10; ++i)
+            m.addVm(p, i);
+        VmUsage u = m.measure();
+        return ratio(u.allocatedBytes, u.hicampBytes);
+    };
+    double standby = run(VmProfile::standbyServer());
+    double db = run(VmProfile::databaseServer());
+    EXPECT_GT(standby, 6.0);
+    EXPECT_LT(db, 3.0);
+    EXPECT_GT(db, 1.3);
+}
+
+TEST(VmModel, HicampBeatsPageSharingEverywhere)
+{
+    // Paper: HICAMP 1.86x-10.87x vs page sharing 1.44x-5.21x at
+    // 10 VMs; per workload HICAMP must dominate.
+    for (const auto &p : VmProfile::tile()) {
+        VmDedupModel m;
+        for (int i = 1; i <= 10; ++i)
+            m.addVm(p, i);
+        VmUsage u = m.measure();
+        double hicamp = ratio(u.allocatedBytes, u.hicampBytes);
+        double sharing = ratio(u.allocatedBytes, u.pageSharedBytes);
+        EXPECT_GT(hicamp, sharing) << p.name;
+        EXPECT_GT(hicamp, 1.5) << p.name;
+    }
+}
+
+TEST(VmModel, TileCompactionShape)
+{
+    // Fig. 10: whole tiles (6 mixed VMs each). At 10 tiles the paper
+    // reports >3.55x for HICAMP vs ~1.8x for ideal page sharing.
+    VmDedupModel m;
+    int seed = 0;
+    for (int t = 1; t <= 10; ++t) {
+        for (const auto &p : VmProfile::tile())
+            m.addVm(p, 5000 + seed++);
+    }
+    VmUsage u = m.measure();
+    double hicamp = ratio(u.allocatedBytes, u.hicampBytes);
+    double sharing = ratio(u.allocatedBytes, u.pageSharedBytes);
+    EXPECT_GT(hicamp, 2.7);
+    EXPECT_LT(hicamp, 8.0);
+    EXPECT_GT(sharing, 1.3);
+    EXPECT_LT(sharing, 3.0);
+    EXPECT_GT(hicamp, sharing * 1.5);
+}
+
+TEST(VmModel, MixedOsPoolsDoNotCrossDedup)
+{
+    // Two VMs with different OS images share almost nothing except
+    // the zero page and the global common pool.
+    auto a = VmProfile::webServer();   // linux32
+    auto b = VmProfile::javaServer();  // win64
+    VmDedupModel mixed;
+    mixed.addVm(a, 1);
+    mixed.addVm(b, 2);
+    VmDedupModel separate_a;
+    separate_a.addVm(a, 1);
+    VmDedupModel separate_b;
+    separate_b.addVm(b, 2);
+    std::uint64_t sum = separate_a.measure().hicampBytes +
+                        separate_b.measure().hicampBytes;
+    VmUsage u = mixed.measure();
+    EXPECT_NEAR(static_cast<double>(u.hicampBytes),
+                static_cast<double>(sum), 0.02 * sum);
+}
+
+} // namespace
+} // namespace hicamp

@@ -1,0 +1,257 @@
+/**
+ * @file
+ * Virtual-segment-map tests: create/get/snapshot isolation, CAS
+ * semantics, read-only aliases, weak references, destroy, and mCAS
+ * with merge-update (counters, disjoint writes, true conflicts).
+ */
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "vsm/segment_map.hh"
+
+namespace hicamp {
+namespace {
+
+struct VsmFixture : ::testing::Test {
+    VsmFixture() : mem(cfg()), vsm(mem), builder(mem), reader(mem) {}
+
+    static MemoryConfig
+    cfg()
+    {
+        MemoryConfig c;
+        c.lineBytes = 16;
+        c.numBuckets = 1 << 12;
+        return c;
+    }
+
+    SegDesc
+    makeSeg(std::vector<Word> w)
+    {
+        std::vector<WordMeta> m(w.size(), WordMeta::raw());
+        return builder.buildWords(w.data(), m.data(), w.size());
+    }
+
+    Word
+    wordAt(const SegDesc &d, std::uint64_t idx)
+    {
+        return reader.readWord(d.root, d.height, idx);
+    }
+
+    Memory mem;
+    SegmentMap vsm;
+    SegBuilder builder;
+    SegReader reader;
+};
+
+TEST_F(VsmFixture, CreateAndGet)
+{
+    SegDesc d = makeSeg({1, 2, 3, 4});
+    Vsid v = vsm.create(d);
+    EXPECT_EQ(vsm.get(v), d);
+    EXPECT_EQ(vsm.liveEntries(), 1u);
+}
+
+TEST_F(VsmFixture, SnapshotIsolation)
+{
+    SegDesc d = makeSeg({10, 20, 30, 40});
+    Vsid v = vsm.create(d);
+    SegDesc snap = vsm.snapshot(v);
+
+    // Another thread commits a new version.
+    Entry e2 = builder.setWord(d.root, d.height, 1, 999, WordMeta::raw());
+    SegDesc d2{e2, d.height, d.byteLen};
+    ASSERT_TRUE(vsm.cas(v, d, d2));
+
+    // The snapshot still reads the original content.
+    EXPECT_EQ(wordAt(snap, 1), 20u);
+    EXPECT_EQ(wordAt(vsm.get(v), 1), 999u);
+
+    vsm.releaseSnapshot(snap);
+    vsm.destroy(v);
+    EXPECT_EQ(mem.liveLines(), 0u);
+}
+
+TEST_F(VsmFixture, CasFailsOnStaleExpected)
+{
+    SegDesc d = makeSeg({1, 2, 3, 4});
+    Vsid v = vsm.create(d);
+
+    Entry e2 = builder.setWord(d.root, d.height, 0, 77, WordMeta::raw());
+    SegDesc d2{e2, d.height, d.byteLen};
+    ASSERT_TRUE(vsm.cas(v, d, d2));
+
+    // A second CAS with the stale expected value must fail and leave
+    // ownership of the proposed root with the caller.
+    Entry e3 = builder.setWord(d.root, d.height, 0, 88, WordMeta::raw());
+    SegDesc d3{e3, d.height, d.byteLen};
+    EXPECT_FALSE(vsm.cas(v, d, d3));
+    EXPECT_EQ(wordAt(vsm.get(v), 0), 77u);
+    builder.release(d3.root);
+}
+
+TEST_F(VsmFixture, ReadOnlyAliasRejectsCommit)
+{
+    SegDesc d = makeSeg({5, 6, 7, 8});
+    Vsid v = vsm.create(d);
+    Vsid ro = vsm.aliasReadOnly(v);
+
+    // Reads forward to the target.
+    EXPECT_EQ(vsm.get(ro), d);
+    EXPECT_TRUE(vsm.isReadOnly(ro));
+    EXPECT_FALSE(vsm.isReadOnly(v));
+
+    Entry e2 = builder.setWord(d.root, d.height, 0, 1, WordMeta::raw());
+    SegDesc d2{e2, d.height, d.byteLen};
+    EXPECT_FALSE(vsm.cas(ro, d, d2));
+    builder.release(d2.root);
+
+    // Updates through the primary VSID are visible via the alias.
+    Entry e3 = builder.setWord(d.root, d.height, 0, 42, WordMeta::raw());
+    ASSERT_TRUE(vsm.cas(v, d, SegDesc{e3, d.height, d.byteLen}));
+    EXPECT_EQ(wordAt(vsm.get(ro), 0), 42u);
+}
+
+TEST_F(VsmFixture, WeakEntryZeroedOnReclaim)
+{
+    // Values too large to inline-compact, so the root is a real line.
+    SegDesc d = makeSeg({0x100000064ull, 0x1000000c8ull, 0x10000012cull,
+                         0x100000190ull});
+    ASSERT_TRUE(d.root.meta.isPlid());
+    Vsid strong = vsm.create(d, 0);
+    // Weak alias entry: holds the root without a reference.
+    Vsid weak = vsm.create(vsm.get(strong), kSegWeak);
+    EXPECT_EQ(vsm.get(weak), d);
+
+    // Destroying the strong entry reclaims the segment; the weak
+    // entry must observe a zeroed descriptor rather than dangle.
+    vsm.destroy(strong);
+    EXPECT_EQ(mem.liveLines(), 0u);
+    EXPECT_TRUE(vsm.get(weak).isNull());
+}
+
+TEST_F(VsmFixture, McasMergesDisjointWrites)
+{
+    SegDesc base = makeSeg({0, 0, 0, 0, 0, 0, 0, 0});
+    Vsid v = vsm.create(base, kSegMergeUpdate);
+
+    // Thread A commits a write to index 1.
+    SegDesc snapA = vsm.snapshot(v);
+    Entry ea = builder.setWord(snapA.root, snapA.height, 1, 111,
+                               WordMeta::raw());
+    ASSERT_TRUE(vsm.mcas(v, snapA, {ea, snapA.height, snapA.byteLen}));
+
+    // Thread B, still based on the original snapshot, writes index 6.
+    Entry eb = builder.setWord(snapA.root, snapA.height, 6, 222,
+                               WordMeta::raw());
+    MergeStats stats;
+    ASSERT_TRUE(vsm.mcas(v, snapA, {eb, snapA.height, snapA.byteLen},
+                         &stats));
+
+    SegDesc cur = vsm.get(v);
+    EXPECT_EQ(wordAt(cur, 1), 111u);
+    EXPECT_EQ(wordAt(cur, 6), 222u);
+    EXPECT_EQ(vsm.mergeCommits(), 1u);
+
+    vsm.releaseSnapshot(snapA);
+}
+
+TEST_F(VsmFixture, McasAddsCounterDeltas)
+{
+    // Counter semantics: two concurrent increments of the same word
+    // merge to the sum.
+    SegDesc base = makeSeg({1000, 0, 0, 0});
+    Vsid v = vsm.create(base, kSegMergeUpdate);
+
+    SegDesc snap = vsm.snapshot(v);
+    Entry ea = builder.setWord(snap.root, snap.height, 0, 1005,
+                               WordMeta::raw()); // +5
+    ASSERT_TRUE(vsm.mcas(v, snap, {ea, snap.height, snap.byteLen}));
+
+    Entry eb = builder.setWord(snap.root, snap.height, 0, 1003,
+                               WordMeta::raw()); // +3 from same base
+    ASSERT_TRUE(vsm.mcas(v, snap, {eb, snap.height, snap.byteLen}));
+
+    EXPECT_EQ(wordAt(vsm.get(v), 0), 1008u); // 1000 + 5 + 3
+    vsm.releaseSnapshot(snap);
+}
+
+TEST_F(VsmFixture, McasFailsOnConflictingReferences)
+{
+    // Two threads storing *different PLIDs* into the same slot is a
+    // true conflict (paper §3.4).
+    Line pay1 = mem.makeLine();
+    pay1.set(0, 0xaaa);
+    Line pay2 = mem.makeLine();
+    pay2.set(0, 0xbbb);
+    Plid p1 = mem.lookup(pay1);
+    Plid p2 = mem.lookup(pay2);
+
+    SegDesc base = makeSeg({0, 0, 0, 0});
+    Vsid v = vsm.create(base, kSegMergeUpdate);
+    SegDesc snap = vsm.snapshot(v);
+
+    Entry ea =
+        builder.setWord(snap.root, snap.height, 2, p1, WordMeta::plid());
+    ASSERT_TRUE(vsm.mcas(v, snap, {ea, snap.height, snap.byteLen}));
+
+    Entry eb =
+        builder.setWord(snap.root, snap.height, 2, p2, WordMeta::plid());
+    MergeStats stats;
+    EXPECT_FALSE(vsm.mcas(v, snap, {eb, snap.height, snap.byteLen},
+                          &stats));
+    EXPECT_EQ(vsm.mergeFailures(), 1u);
+
+    // The committed value is thread A's payload.
+    WordMeta meta_out;
+    SegDesc cur = vsm.get(v);
+    EXPECT_EQ(reader.readWord(cur.root, cur.height, 2, &meta_out), p1);
+    EXPECT_TRUE(meta_out.isPlid());
+
+    vsm.releaseSnapshot(snap);
+    // mCAS consumed thread B's proposal outright: its payload was
+    // rolled back and reclaimed with it.
+    EXPECT_FALSE(mem.isLive(p2));
+}
+
+TEST_F(VsmFixture, McasHandlesHeightGrowth)
+{
+    // Concurrent committer grew the segment taller; merge must lift
+    // the shorter trees.
+    SegDesc base = makeSeg({1, 2});
+    Vsid v = vsm.create(base, kSegMergeUpdate);
+    SegDesc snap = vsm.snapshot(v);
+
+    // A grows the segment (writes far past the end).
+    std::vector<Word> grown(64, 0);
+    grown[0] = 1;
+    grown[1] = 2;
+    grown[60] = 60;
+    SegDesc big = makeSeg(grown);
+    ASSERT_TRUE(vsm.mcas(v, snap, big));
+
+    // B (still at the short snapshot) updates word 0.
+    Entry eb = builder.setWord(snap.root, snap.height, 0, 77,
+                               WordMeta::raw());
+    ASSERT_TRUE(vsm.mcas(v, snap, {eb, snap.height, snap.byteLen}));
+
+    SegDesc cur = vsm.get(v);
+    EXPECT_EQ(wordAt(cur, 0), 77u);
+    EXPECT_EQ(wordAt(cur, 60), 60u);
+    vsm.releaseSnapshot(snap);
+}
+
+TEST_F(VsmFixture, DestroyReclaimsSegment)
+{
+    SegDesc d = makeSeg({~Word{9}, ~Word{8}, ~Word{7}, ~Word{6},
+                         ~Word{5}, ~Word{4}, ~Word{3}, ~Word{2}});
+    Vsid v = vsm.create(d);
+    EXPECT_GT(mem.liveLines(), 0u);
+    vsm.destroy(v);
+    EXPECT_EQ(mem.liveLines(), 0u);
+    EXPECT_EQ(mem.store().totalRefs(), 0u);
+}
+
+} // namespace
+} // namespace hicamp

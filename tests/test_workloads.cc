@@ -1,0 +1,174 @@
+/**
+ * @file
+ * Workload-generator tests: structural properties of each matrix
+ * class (stencil shape, staircase LP structure, banded offsets, block
+ * tiling, circuit symmetry of pattern), image-pool duplication in the
+ * web corpus, and the VM profile sanity constraints the dedup model
+ * relies on.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <set>
+
+#include "apps/vm/vm_model.hh"
+#include "workloads/matrixgen.hh"
+#include "workloads/webcorpus.hh"
+
+namespace hicamp {
+namespace {
+
+TEST(MatrixGenShapes, BandedOffsetsExact)
+{
+    SparseMatrix m = MatrixGen::banded(200, {0, 1, -1, 16, -16},
+                                       MatrixGen::Coef::Random, false,
+                                       3, "b");
+    for (const auto &t : m.elems()) {
+        std::int64_t off = static_cast<std::int64_t>(t.c) -
+                           static_cast<std::int64_t>(t.r);
+        EXPECT_TRUE(off == 0 || off == 1 || off == -1 || off == 16 ||
+                    off == -16)
+            << "offset " << off;
+    }
+}
+
+TEST(MatrixGenShapes, BandedSymmetricMirrors)
+{
+    SparseMatrix m = MatrixGen::banded(100, {0, 2, -2},
+                                       MatrixGen::Coef::Random, true, 4,
+                                       "bs");
+    ASSERT_TRUE(m.symmetric());
+    std::map<std::pair<std::uint32_t, std::uint32_t>, double> at;
+    for (const auto &t : m.elems())
+        at[{t.r, t.c}] = t.v;
+    for (const auto &[rc, v] : at) {
+        auto mirror = at.find({rc.second, rc.first});
+        ASSERT_NE(mirror, at.end());
+        EXPECT_EQ(mirror->second, v);
+    }
+}
+
+TEST(MatrixGenShapes, LpStaircaseStructure)
+{
+    SparseMatrix m = MatrixGen::lp(1000, 1400, 4, 5, "lp");
+    EXPECT_GT(m.nnz(), 1000u);
+    // All non-zeros live in the coupling band, the staircase, or the
+    // inter-stage coupling diagonal: column stage index >= row stage
+    // index - 1 roughly; just verify bounds and the +/-1-heavy values.
+    std::uint64_t unit_vals = 0;
+    for (const auto &t : m.elems()) {
+        ASSERT_LT(t.r, 1000u);
+        ASSERT_LT(t.c, 1400u);
+        if (t.v == 1.0 || t.v == -1.0)
+            ++unit_vals;
+    }
+    // The +/-1 dominance that drives LP value dedup.
+    EXPECT_GT(unit_vals * 10, m.nnz() * 5);
+}
+
+TEST(MatrixGenShapes, BlockTiledRepeatsPattern)
+{
+    SparseMatrix m = MatrixGen::blockTiled(
+        256, 16, 0.3, MatrixGen::Coef::Constant, 6, "bt");
+    // Diagonal blocks share a pattern: the non-zero count per
+    // diagonal block is identical.
+    std::map<std::uint32_t, std::uint64_t> per_block;
+    for (const auto &t : m.elems()) {
+        if (t.r / 16 == t.c / 16)
+            per_block[t.r / 16]++;
+    }
+    ASSERT_EQ(per_block.size(), 16u);
+    for (auto &[b, n] : per_block)
+        EXPECT_EQ(n, per_block.begin()->second) << "block " << b;
+}
+
+TEST(MatrixGenShapes, CircuitDiagonalDominant)
+{
+    SparseMatrix m = MatrixGen::circuit(500, 4.0, 7, "c");
+    std::set<std::uint32_t> diag;
+    for (const auto &t : m.elems()) {
+        if (t.r == t.c) {
+            EXPECT_GT(t.v, 0.0);
+            diag.insert(t.r);
+        } else {
+            EXPECT_LT(t.v, 0.0); // conductances stamp negative
+        }
+    }
+    EXPECT_EQ(diag.size(), 500u); // full diagonal
+}
+
+TEST(MatrixGenShapes, TripletsSortedAndDeduplicated)
+{
+    SparseMatrix m = MatrixGen::randomSparse(300, 300, 5000, 8, "r");
+    const auto &e = m.elems();
+    for (std::size_t i = 1; i < e.size(); ++i) {
+        bool ordered = e[i - 1].r < e[i].r ||
+                       (e[i - 1].r == e[i].r && e[i - 1].c < e[i].c);
+        ASSERT_TRUE(ordered) << "at " << i;
+    }
+}
+
+TEST(WebCorpusImages, PoolDuplicationControlsDedupFactor)
+{
+    WebCorpus::Params p;
+    p.kind = WebCorpus::Kind::Images;
+    p.numItems = 200;
+    p.minBytes = 1000;
+    p.maxBytes = 2000;
+    p.uniqueImageFraction = 0.5;
+    auto items = WebCorpus::generate(p);
+    std::set<std::string> distinct;
+    for (const auto &it : items)
+        distinct.insert(it.payload);
+    // At most the pool size; with zipf popularity, strictly fewer
+    // distinct blobs than items.
+    EXPECT_LE(distinct.size(), 100u);
+    EXPECT_LT(distinct.size(), items.size());
+}
+
+TEST(VmProfiles, FractionsAreSane)
+{
+    for (const auto &p : VmProfile::tile()) {
+        EXPECT_GT(p.memBytes, 0u) << p.name;
+        EXPECT_GE(p.osFrac, 0.0);
+        EXPECT_GE(p.cacheFrac, 0.0);
+        EXPECT_GE(p.appFrac, 0.0);
+        EXPECT_GE(p.zeroFrac, 0.0);
+        EXPECT_GT(p.heapFrac(), 0.0) << p.name << " over-allocated";
+        EXPECT_LE(p.osFrac + p.cacheFrac + p.appFrac + p.zeroFrac, 1.0)
+            << p.name;
+        EXPECT_LE(p.heapZeroLines + p.heapCommonLines, 1.0) << p.name;
+        EXPECT_GE(p.osCoreFrac, 0.0);
+        EXPECT_LE(p.osCoreFrac, 1.0);
+    }
+}
+
+TEST(VmProfiles, TileAllocationMatchesFig9Slopes)
+{
+    auto tile = VmProfile::tile();
+    ASSERT_EQ(tile.size(), 6u);
+    auto gb = [](const VmProfile &p) {
+        return static_cast<double>(p.memBytes) / (1ull << 30);
+    };
+    EXPECT_NEAR(gb(tile[0]), 1.86, 0.1);  // database
+    EXPECT_NEAR(gb(tile[1]), 0.88, 0.05); // java
+    EXPECT_NEAR(gb(tile[2]), 0.88, 0.05); // mail
+    EXPECT_NEAR(gb(tile[3]), 0.44, 0.05); // web
+    EXPECT_NEAR(gb(tile[4]), 0.21, 0.05); // file
+    EXPECT_NEAR(gb(tile[5]), 0.21, 0.05); // standby
+}
+
+TEST(VmModelDeterminism, SameSeedsSameCurves)
+{
+    VmDedupModel a, b;
+    for (int i = 1; i <= 5; ++i) {
+        a.addVm(VmProfile::webServer(), i);
+        b.addVm(VmProfile::webServer(), i);
+    }
+    EXPECT_EQ(a.measure().hicampBytes, b.measure().hicampBytes);
+    EXPECT_EQ(a.measure().pageSharedBytes, b.measure().pageSharedBytes);
+}
+
+} // namespace
+} // namespace hicamp
