@@ -1,0 +1,702 @@
+#include "analysis/auditor.hh"
+
+#include <algorithm>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/hash.hh"
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "lang/context.hh"
+#include "mem/line_store.hh"
+#include "mem/memory.hh"
+#include "seg/entry.hh"
+#include "seg/iterator.hh"
+#include "vsm/segment_map.hh"
+
+namespace hicamp {
+
+const char *
+auditKindName(AuditKind k)
+{
+    switch (k) {
+      case AuditKind::DedupDuplicate:
+        return "dedup-duplicate";
+      case AuditKind::RefLeak:
+        return "refcount-leak";
+      case AuditKind::RefMismatch:
+        return "refcount-mismatch";
+      case AuditKind::RefDangling:
+        return "dangling-reference";
+      case AuditKind::DagCycle:
+        return "dag-cycle";
+      case AuditKind::DagMalformed:
+        return "dag-malformed";
+      case AuditKind::CompactionPath:
+        return "compaction-path";
+      case AuditKind::CompactionData:
+        return "compaction-data";
+      case AuditKind::BucketLayout:
+        return "bucket-layout";
+      case AuditKind::CounterDrift:
+        return "counter-drift";
+    }
+    return "unknown";
+}
+
+namespace {
+
+/// every AuditKind, in display order
+constexpr AuditKind kAllKinds[] = {
+    AuditKind::DedupDuplicate, AuditKind::RefLeak,
+    AuditKind::RefMismatch,    AuditKind::RefDangling,
+    AuditKind::DagCycle,       AuditKind::DagMalformed,
+    AuditKind::CompactionPath, AuditKind::CompactionData,
+    AuditKind::BucketLayout,   AuditKind::CounterDrift,
+};
+
+/** Replicates SegBuilder::tryInline's packability test (no output). */
+bool
+inlinePackable(const Word *values, std::uint64_t n)
+{
+    if (n > 8)
+        return false;
+    const unsigned w = static_cast<unsigned>(64 / n);
+    if (w != 8 && w != 16 && w != 32)
+        return false;
+    const Word limit = Word{1} << w;
+    for (std::uint64_t i = 0; i < n; ++i) {
+        if (values[i] >= limit)
+            return false;
+    }
+    return true;
+}
+
+/**
+ * One audit run over a consistent (locked) snapshot of the model.
+ * The walk reads the ground-truth store directly, so it generates no
+ * modelled DRAM traffic and perturbs no statistics.
+ */
+class AuditRun
+{
+  public:
+    AuditRun(Memory &mem, SegmentMap *vsm, const Auditor::Options &opts)
+        : mem_(mem), vsm_(vsm), opts_(opts), store_(mem.store()),
+          geo_(mem.fanout())
+    {}
+
+    AuditReport
+    run()
+    {
+        std::lock_guard<std::recursive_mutex> g(mem_.sysMutex());
+        scanStore();
+        scanRoots();
+        scanIterators();
+        scanExternal();
+        compareRefcounts();
+        detectCycles();
+        return std::move(rep_);
+    }
+
+  private:
+    void
+    add(AuditKind kind, Plid plid, std::string detail)
+    {
+        if (rep_.violations.size() < opts_.maxViolations)
+            rep_.violations.push_back({kind, plid, std::move(detail)});
+        else
+            ++rep_.truncated;
+    }
+
+    /** Record one reference made to @p target from @p holder. */
+    void
+    reference(Plid target, Plid holder, const char *what)
+    {
+        if (target == kZeroPlid)
+            return;
+        if (!store_.isLive(target)) {
+            add(AuditKind::RefDangling, holder,
+                strfmt("%s in %#llx names freed PLID %#llx", what,
+                       static_cast<unsigned long long>(holder),
+                       static_cast<unsigned long long>(target)));
+            return;
+        }
+        ++expected_[target];
+        ++rep_.refsAccounted;
+    }
+
+    /**
+     * Pass 1 — full line-store sweep: bucket layout, dedup
+     * canonicality, per-word tag sanity and in-edge accounting.
+     */
+    void
+    scanStore()
+    {
+        std::uint64_t live = 0, over = 0;
+        store_.forEachLive([&](Plid p, const Line &l,
+                               std::uint32_t refs) {
+            ++live;
+            ++rep_.linesScanned;
+            stored_[p] = refs;
+            const std::uint64_t hash = l.contentHash();
+
+            if (l.isZero()) {
+                add(AuditKind::DedupDuplicate, p,
+                    "explicit all-zero line stored (the zero line is "
+                    "implicit PLID 0)");
+            }
+
+            // Bucket layout (Fig. 2).
+            if (p >= kOverflowBase) {
+                ++over;
+                ++rep_.overflowScanned;
+                if (store_.bucketOfPlid(p) != store_.bucketOf(hash)) {
+                    add(AuditKind::BucketLayout, p,
+                        "overflow line's home bucket does not match "
+                        "its content hash");
+                }
+                if (!store_.overflowChainContains(p)) {
+                    add(AuditKind::BucketLayout, p,
+                        "overflow line missing from its hash chain "
+                        "(future lookups cannot dedup against it)");
+                }
+            } else {
+                if (store_.bucketOfPlid(p) != store_.bucketOf(hash)) {
+                    add(AuditKind::BucketLayout, p,
+                        "line stored in a bucket its content hash "
+                        "does not select");
+                }
+                if (store_.storedSignature(p) != signatureOfHash(hash)) {
+                    add(AuditKind::BucketLayout, p,
+                        "signature way entry does not match the "
+                        "line's content hash");
+                }
+            }
+
+            // Dedup canonicality.
+            if (opts_.checkDedup) {
+                auto [it, fresh] = byHash_.try_emplace(hash);
+                if (!fresh) {
+                    for (Plid other : it->second) {
+                        if (store_.read(other) == l) {
+                            add(AuditKind::DedupDuplicate, p,
+                                strfmt("content identical to live "
+                                       "line %#llx",
+                                       static_cast<unsigned long long>(
+                                           other)));
+                        }
+                    }
+                }
+                it->second.push_back(p);
+            }
+
+            // Per-word tag sanity and in-edge accounting.
+            for (unsigned i = 0; i < l.size(); ++i) {
+                const Word w = l.word(i);
+                const WordMeta m = l.meta(i);
+                if (w == 0) {
+                    if (!(m == WordMeta::raw())) {
+                        add(AuditKind::DagMalformed, p,
+                            strfmt("word %u is zero but carries a "
+                                   "non-raw tag %#x",
+                                   i, m.value()));
+                    }
+                    continue;
+                }
+                if (m.isPlid()) {
+                    ++rep_.edgesScanned;
+                    reference(w, p, strfmt("word %u", i).c_str());
+                }
+            }
+        });
+
+        if (live != store_.liveLines()) {
+            add(AuditKind::CounterDrift, kZeroPlid,
+                strfmt("liveLines counter %llu but scan found %llu",
+                       static_cast<unsigned long long>(
+                           store_.liveLines()),
+                       static_cast<unsigned long long>(live)));
+        }
+        if (over != store_.overflowLines()) {
+            add(AuditKind::CounterDrift, kZeroPlid,
+                strfmt("overflowLines counter %llu but scan found %llu",
+                       static_cast<unsigned long long>(
+                           store_.overflowLines()),
+                       static_cast<unsigned long long>(over)));
+        }
+    }
+
+    /**
+     * Pass 2 — segment map: root reference accounting, descriptor
+     * sanity, and the canonical-form DAG walk from every root.
+     */
+    void
+    scanRoots()
+    {
+        if (!vsm_)
+            return;
+        vsm_->forEachLive([&](Vsid v, const SegDesc &d,
+                              std::uint32_t flags) {
+            ++rep_.rootsScanned;
+            if (flags & kSegAlias)
+                return; // forwards to another entry; owns nothing
+            // Coverage is F^(h+1) words; past this height the shift
+            // in wordsCovered() would overflow 64 bits.
+            const int max_h =
+                static_cast<int>(60 / geo_.fanoutBits()) - 1;
+            if (d.height < 0 || d.height > max_h) {
+                add(AuditKind::DagMalformed, kZeroPlid,
+                    strfmt("VSID %llu has implausible height %d "
+                           "(valid range 0..%d)",
+                           static_cast<unsigned long long>(v),
+                           d.height, max_h));
+                return;
+            }
+            if (d.byteLen > geo_.bytesCovered(d.height)) {
+                add(AuditKind::DagMalformed,
+                    d.root.meta.isPlid() ? d.root.word : kZeroPlid,
+                    strfmt("VSID %llu byteLen %llu exceeds height-%d "
+                           "coverage %llu",
+                           static_cast<unsigned long long>(v),
+                           static_cast<unsigned long long>(d.byteLen),
+                           d.height,
+                           static_cast<unsigned long long>(
+                               geo_.bytesCovered(d.height))));
+            }
+            if (!(flags & kSegWeak) && d.root.meta.isPlid())
+                reference(d.root.word, kZeroPlid,
+                          strfmt("VSID %llu root",
+                                 static_cast<unsigned long long>(v))
+                              .c_str());
+            walkEntry(d.root, d.height);
+        });
+    }
+
+    /** Pass 3 — live iterator registers' owned references. */
+    void
+    scanIterators()
+    {
+        if (!vsm_)
+            return;
+        for (const IteratorRegister *it : vsm_->liveIterators()) {
+            ++rep_.iteratorsScanned;
+            std::vector<Plid> refs;
+            it->auditRefs(refs);
+            for (Plid p : refs)
+                reference(p, kZeroPlid, "iterator register");
+        }
+    }
+
+    /** Pass 4 — references the caller declared it still holds. */
+    void
+    scanExternal()
+    {
+        for (Plid p : opts_.externalRefs) {
+            ++rep_.externalRefs;
+            reference(p, kZeroPlid, "external reference");
+        }
+        for (const SegDesc &d : opts_.externalSegs) {
+            if (d.root.meta.isPlid() && d.root.word != 0) {
+                ++rep_.externalRefs;
+                reference(d.root.word, kZeroPlid, "external snapshot");
+            }
+        }
+    }
+
+    /** Pass 5 — stored refcount vs accounted references, per line. */
+    void
+    compareRefcounts()
+    {
+        for (const auto &[p, refs] : stored_) {
+            auto it = expected_.find(p);
+            const std::uint64_t exp =
+                it == expected_.end() ? 0 : it->second;
+            if (refs == exp)
+                continue;
+            if (refs > exp) {
+                add(AuditKind::RefLeak, p,
+                    strfmt("stored refcount %u but only %llu "
+                           "references accounted%s",
+                           refs, static_cast<unsigned long long>(exp),
+                           exp == 0 ? " (unreachable, leaked)" : ""));
+            } else {
+                add(AuditKind::RefMismatch, p,
+                    strfmt("stored refcount %u but %llu references "
+                           "accounted (free would dangle them)",
+                           refs, static_cast<unsigned long long>(exp)));
+            }
+        }
+    }
+
+    /**
+     * Pass 6 — global acyclicity over the PLID reference graph
+     * (iterative 3-color DFS; content-addressing makes cycles
+     * unconstructible, so any cycle is corruption).
+     */
+    void
+    detectCycles()
+    {
+        // 1 = on the DFS stack, 2 = fully explored.
+        std::unordered_map<Plid, std::uint8_t> color;
+        struct Frame {
+            Plid plid;
+            Line line;
+            unsigned next = 0;
+        };
+        std::vector<Frame> stack;
+        for (const auto &[start, refs] : stored_) {
+            (void)refs;
+            if (color.count(start))
+                continue;
+            color[start] = 1;
+            stack.push_back({start, store_.read(start), 0});
+            while (!stack.empty()) {
+                Frame &f = stack.back();
+                bool descended = false;
+                while (f.next < f.line.size()) {
+                    const unsigned i = f.next++;
+                    const Word w = f.line.word(i);
+                    if (w == 0 || !f.line.meta(i).isPlid() ||
+                        !store_.isLive(w)) {
+                        continue;
+                    }
+                    auto [it, fresh] = color.try_emplace(w, 1);
+                    if (!fresh) {
+                        if (it->second == 1) {
+                            add(AuditKind::DagCycle, f.plid,
+                                strfmt("reference cycle: line %#llx "
+                                       "word %u points back to "
+                                       "in-progress line %#llx",
+                                       static_cast<unsigned long long>(
+                                           f.plid),
+                                       i,
+                                       static_cast<unsigned long long>(
+                                           w)));
+                        }
+                        continue;
+                    }
+                    stack.push_back({w, store_.read(w), 0});
+                    descended = true;
+                    break;
+                }
+                if (!descended && f.next >= f.line.size()) {
+                    color[f.plid] = 2;
+                    stack.pop_back();
+                }
+            }
+        }
+    }
+
+    /** True if the packed path bits are consistent with the skip. */
+    void
+    checkPathBits(const Entry &e, Plid ctx)
+    {
+        const unsigned skip = e.meta.skip();
+        const unsigned b = geo_.fanoutBits();
+        const unsigned max = WordMeta::pathBits(e.meta.kind());
+        if (skip * b > max) {
+            add(AuditKind::DagMalformed, ctx,
+                strfmt("skip %u needs %u path bits but only %u exist",
+                       skip, skip * b, max));
+            return;
+        }
+        if (skip * b < max && (e.meta.path() >> (skip * b)) != 0) {
+            add(AuditKind::DagMalformed, ctx,
+                strfmt("path bits %#x extend beyond skip count %u",
+                       e.meta.path(), skip));
+        }
+    }
+
+    /**
+     * Canonical-form walk of one DAG entry at logical height @p h.
+     * Shared subtrees are visited once per (line, physical height).
+     */
+    void
+    walkEntry(const Entry &e, int h)
+    {
+        if (e.word == 0) {
+            if (!(e.meta == WordMeta::raw())) {
+                add(AuditKind::DagMalformed, kZeroPlid,
+                    strfmt("zero slot with non-raw tag %#x",
+                           e.meta.value()));
+            }
+            return;
+        }
+        if (e.meta.isRaw() || e.meta.isVsid())
+            return; // data word; nothing structural below it
+
+        const int ph = h - static_cast<int>(e.meta.skip());
+        if (ph < 0) {
+            add(AuditKind::DagMalformed,
+                e.meta.isPlid() ? e.word : kZeroPlid,
+                strfmt("path-compaction skip %u exceeds height %d",
+                       e.meta.skip(), h));
+            return;
+        }
+        checkPathBits(e, e.meta.isPlid() ? e.word : kZeroPlid);
+
+        if (e.meta.isInline()) {
+            if (e.meta.widthCode() > 2) {
+                add(AuditKind::DagMalformed, kZeroPlid,
+                    strfmt("inline word with invalid width code %u",
+                           e.meta.widthCode()));
+                return;
+            }
+            if (e.meta.inlineWordCount() != geo_.wordsCovered(ph)) {
+                add(AuditKind::DagMalformed, kZeroPlid,
+                    strfmt("inline word packs %u words but covers "
+                           "%llu at height %d",
+                           e.meta.inlineWordCount(),
+                           static_cast<unsigned long long>(
+                               geo_.wordsCovered(ph)),
+                           ph));
+            }
+            return;
+        }
+
+        // PLID entry.
+        const Plid p = e.word;
+        if (!store_.isLive(p))
+            return; // already reported as dangling by the sweeps
+        if (!visited_.insert((p << 6) |
+                             static_cast<std::uint64_t>(ph))
+                 .second) {
+            return;
+        }
+        const Line line = store_.read(p);
+        const unsigned F = geo_.fanout();
+
+        if (ph == 0) {
+            // Leaf line: words are data. Canonical form requires an
+            // all-raw packable leaf to have been inlined instead.
+            if (opts_.checkCompaction && opts_.policy.dataCompaction) {
+                bool all_raw = true;
+                Word vals[kMaxLineWords];
+                for (unsigned i = 0; i < F; ++i) {
+                    all_raw = all_raw && line.meta(i).isRaw();
+                    vals[i] = line.word(i);
+                }
+                if (all_raw && inlinePackable(vals, F)) {
+                    add(AuditKind::CompactionData, p,
+                        "all-raw leaf line is packable and should be "
+                        "an inline word (data compaction)");
+                }
+            }
+            return;
+        }
+
+        // Interior line: words are child entries at height ph-1.
+        Entry kids[kMaxLineWords];
+        unsigned non_zero = 0, nz_index = 0;
+        bool packable = true;
+        for (unsigned i = 0; i < F; ++i) {
+            kids[i] = {line.word(i), line.meta(i)};
+            if (kids[i].word != 0) {
+                ++non_zero;
+                nz_index = i;
+                if (kids[i].meta.isRaw()) {
+                    add(AuditKind::DagMalformed, p,
+                        strfmt("interior slot %u holds a raw data "
+                               "word",
+                               i));
+                }
+                if (kids[i].meta.isVsid()) {
+                    add(AuditKind::DagMalformed, p,
+                        strfmt("interior slot %u holds a VSID tag", i));
+                }
+            }
+            packable = packable &&
+                       (kids[i].isZero() || (kids[i].meta.isInline() &&
+                                             kids[i].meta.skip() == 0));
+        }
+
+        if (opts_.checkCompaction && non_zero == 1 &&
+            opts_.policy.pathCompaction) {
+            const Entry &only = kids[nz_index];
+            if (only.meta.isPlid() || only.meta.isInline()) {
+                const unsigned b = geo_.fanoutBits();
+                const unsigned skip = only.meta.skip();
+                const unsigned max =
+                    WordMeta::pathBits(only.meta.kind());
+                if (skip + 1 <= 15 && (skip + 1) * b <= max) {
+                    add(AuditKind::CompactionPath, p,
+                        strfmt("single-child interior line (slot %u) "
+                               "should be path-compacted",
+                               nz_index));
+                }
+            }
+        }
+        if (opts_.checkCompaction && opts_.policy.dataCompaction &&
+            packable && geo_.wordsCovered(ph) <= 8) {
+            const std::uint64_t n = geo_.wordsCovered(ph);
+            const std::uint64_t per_child = n / F;
+            Word vals[8] = {};
+            for (unsigned c = 0; c < F; ++c) {
+                if (kids[c].isZero())
+                    continue;
+                const unsigned w = kids[c].meta.inlineWidth();
+                for (std::uint64_t i = 0; i < per_child; ++i) {
+                    vals[c * per_child + i] = SegGeometry::inlineExtract(
+                        kids[c].word, w, static_cast<unsigned>(i));
+                }
+            }
+            if (inlinePackable(vals, n)) {
+                add(AuditKind::CompactionData, p,
+                    "all-raw interior subtree is packable and should "
+                    "be an inline word (data compaction)");
+            }
+        }
+
+        for (unsigned i = 0; i < F; ++i)
+            walkEntry(kids[i], ph - 1);
+    }
+
+    Memory &mem_;
+    SegmentMap *vsm_;
+    const Auditor::Options &opts_;
+    LineStore &store_;
+    SegGeometry geo_;
+    AuditReport rep_;
+
+    std::unordered_map<Plid, std::uint32_t> stored_;
+    std::unordered_map<Plid, std::uint64_t> expected_;
+    std::unordered_map<std::uint64_t, std::vector<Plid>> byHash_;
+    std::unordered_set<std::uint64_t> visited_;
+};
+
+} // namespace
+
+std::uint64_t
+AuditReport::count(AuditKind k) const
+{
+    std::uint64_t n = 0;
+    for (const auto &v : violations)
+        n += v.kind == k ? 1 : 0;
+    return n;
+}
+
+std::string
+AuditReport::summary() const
+{
+    if (clean()) {
+        return strfmt("heap audit clean: %llu lines, %llu edges, %llu "
+                      "roots, %llu iterators",
+                      static_cast<unsigned long long>(linesScanned),
+                      static_cast<unsigned long long>(edgesScanned),
+                      static_cast<unsigned long long>(rootsScanned),
+                      static_cast<unsigned long long>(
+                          iteratorsScanned));
+    }
+    std::string s =
+        strfmt("heap audit FAILED: %llu violation(s)",
+               static_cast<unsigned long long>(violations.size() +
+                                               truncated));
+    const std::size_t show = std::min<std::size_t>(violations.size(), 4);
+    for (std::size_t i = 0; i < show; ++i) {
+        s += strfmt("\n  [%s] plid=%#llx %s",
+                    auditKindName(violations[i].kind),
+                    static_cast<unsigned long long>(violations[i].plid),
+                    violations[i].detail.c_str());
+    }
+    if (violations.size() + truncated > show) {
+        s += strfmt("\n  ... and %llu more",
+                    static_cast<unsigned long long>(violations.size() +
+                                                    truncated - show));
+    }
+    return s;
+}
+
+void
+AuditReport::print(std::FILE *out) const
+{
+    Table counts({"invariant", "violations"});
+    for (AuditKind k : kAllKinds) {
+        counts.addRow({auditKindName(k),
+                       strfmt("%llu", static_cast<unsigned long long>(
+                                          count(k)))});
+    }
+    counts.print(out);
+    std::fprintf(
+        out,
+        "scanned: %llu lines (%llu overflow), %llu edges, %llu roots, "
+        "%llu iterators, %llu external refs, %llu refs accounted\n",
+        static_cast<unsigned long long>(linesScanned),
+        static_cast<unsigned long long>(overflowScanned),
+        static_cast<unsigned long long>(edgesScanned),
+        static_cast<unsigned long long>(rootsScanned),
+        static_cast<unsigned long long>(iteratorsScanned),
+        static_cast<unsigned long long>(externalRefs),
+        static_cast<unsigned long long>(refsAccounted));
+    if (clean()) {
+        std::fprintf(out, "verdict: CLEAN\n");
+        return;
+    }
+    std::fprintf(out, "verdict: %llu violation(s)\n",
+                 static_cast<unsigned long long>(violations.size() +
+                                                 truncated));
+    for (const auto &v : violations) {
+        std::fprintf(out, "  [%s] plid=%#llx %s\n", auditKindName(v.kind),
+                     static_cast<unsigned long long>(v.plid),
+                     v.detail.c_str());
+    }
+    if (truncated) {
+        std::fprintf(out, "  ... %llu further violation(s) truncated\n",
+                     static_cast<unsigned long long>(truncated));
+    }
+}
+
+AuditReport
+Auditor::audit(Hicamp &hc, const Options &opts)
+{
+    return audit(hc.mem, &hc.vsm, opts);
+}
+
+AuditReport
+Auditor::audit(Hicamp &hc)
+{
+    return audit(hc, Options{});
+}
+
+AuditReport
+Auditor::audit(Memory &mem, SegmentMap *vsm, const Options &opts)
+{
+    return AuditRun(mem, vsm, opts).run();
+}
+
+AuditReport
+Auditor::audit(Memory &mem, SegmentMap *vsm)
+{
+    return audit(mem, vsm, Options{});
+}
+
+ScopedAudit::ScopedAudit(Hicamp &hc, Auditor::Options opts)
+    : mem_(hc.mem), vsm_(&hc.vsm), opts_(std::move(opts))
+{}
+
+ScopedAudit::ScopedAudit(Memory &mem, SegmentMap *vsm,
+                         Auditor::Options opts)
+    : mem_(mem), vsm_(vsm), opts_(std::move(opts))
+{}
+
+ScopedAudit::~ScopedAudit() noexcept(false)
+{
+    AuditReport r = Auditor::audit(mem_, vsm_, opts_);
+    if (!r.clean()) {
+        r.print(stderr);
+        HICAMP_PANIC("end-of-scope heap audit failed");
+    }
+}
+
+void
+installExitAudit(Hicamp &hc, Auditor::Options opts)
+{
+    hc.setExitHook([opts = std::move(opts)](Hicamp &h) {
+        AuditReport r = Auditor::audit(h, opts);
+        if (!r.clean()) {
+            r.print(stderr);
+            HICAMP_PANIC("Hicamp exit heap audit failed");
+        }
+    });
+}
+
+} // namespace hicamp

@@ -1,0 +1,170 @@
+/**
+ * @file
+ * Heap auditor: offline cross-layer invariant checker for the
+ * deduplicated HICAMP memory model.
+ *
+ * Everything the architecture promises — dedup, snapshot isolation,
+ * safe merge-update — rests on structural invariants the paper states
+ * but the fast paths only check locally. The auditor walks the entire
+ * ground-truth state (LineStore, SegmentMap, live iterator registers)
+ * and verifies them globally:
+ *
+ *  1. Dedup canonicality (paper §3.1): no two live lines hold
+ *     identical content — a line's PLID is *the* PLID for that
+ *     content — and no stored line is the implicit all-zero line.
+ *  2. Refcount accounting (§3.1): every live line's stored reference
+ *     count equals its in-edges from live lines plus segment-map root
+ *     references, iterator-register references (snapshot root,
+ *     working root, parked write-buffer references) and declared
+ *     external references. Excess counts are leaks; deficits and
+ *     references to freed lines are dangling.
+ *  3. DAG well-formedness (§2.2, §3.2): reference words name live
+ *     PLIDs, the global line graph is acyclic, heights and byte
+ *     lengths are consistent with coverage, and the canonicalization
+ *     rules (zero suppression, data compaction, path compaction) hold
+ *     on every segment reachable from the map.
+ *  4. Bucket layout (§3.1, Fig. 2): every home-bucket line lives in
+ *     the bucket its content hash selects, its signature way entry
+ *     matches, and overflow lines are reachable through the overflow
+ *     pointer chain.
+ *
+ * The audit is a stop-the-world diagnostic: it takes the memory
+ * system's global lock and never generates modelled DRAM traffic.
+ */
+
+#ifndef HICAMP_ANALYSIS_AUDITOR_HH
+#define HICAMP_ANALYSIS_AUDITOR_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/types.hh"
+#include "seg/builder.hh"
+
+namespace hicamp {
+
+class Hicamp;
+class Memory;
+class SegmentMap;
+
+/** The invariant a violation was found against. */
+enum class AuditKind : std::uint8_t {
+    DedupDuplicate,  ///< two live lines with identical content
+    RefLeak,         ///< stored refcount exceeds accounted references
+    RefMismatch,     ///< accounted references exceed stored refcount
+    RefDangling,     ///< reference word names a free/invalid PLID
+    DagCycle,        ///< back-edge in the global line graph
+    DagMalformed,    ///< bad tag, height, coverage or byte length
+    CompactionPath,  ///< single-child node that should be path-compacted
+    CompactionData,  ///< packable subtree that should be inline
+    BucketLayout,    ///< line in wrong bucket / bad signature / chain
+    CounterDrift,    ///< store counters disagree with a full scan
+};
+
+/** Stable display name of an AuditKind. */
+const char *auditKindName(AuditKind k);
+
+/** One concrete invariant violation. */
+struct AuditViolation {
+    AuditKind kind;
+    Plid plid = kZeroPlid; ///< primary line involved (0 if n/a)
+    std::string detail;
+};
+
+/** Result of a full heap audit. */
+struct AuditReport {
+    std::vector<AuditViolation> violations;
+    /// violations found beyond Options::maxViolations (counted, not
+    /// recorded)
+    std::uint64_t truncated = 0;
+
+    /// @name Scan counters
+    /// @{
+    std::uint64_t linesScanned = 0;
+    std::uint64_t overflowScanned = 0;
+    std::uint64_t edgesScanned = 0;
+    std::uint64_t rootsScanned = 0;
+    std::uint64_t iteratorsScanned = 0;
+    std::uint64_t externalRefs = 0;
+    std::uint64_t refsAccounted = 0;
+    /// @}
+
+    bool
+    clean() const
+    {
+        return violations.empty() && truncated == 0;
+    }
+
+    std::uint64_t count(AuditKind k) const;
+
+    /** One-line verdict plus the first few violations. */
+    std::string summary() const;
+
+    /** Full human-readable report (per-invariant table + listing). */
+    void print(std::FILE *out = stdout) const;
+};
+
+class Auditor
+{
+  public:
+    struct Options {
+        /// canonical form the DAG walk expects (must match the policy
+        /// the structures were built with)
+        CompactionPolicy policy{};
+        bool checkCompaction = true;
+        bool checkDedup = true;
+        /// references legitimately held outside the state the auditor
+        /// can see: one element per owned reference (e.g. a PLID on
+        /// the caller's stack)
+        std::vector<Plid> externalRefs;
+        /// snapshot descriptors the caller still holds (each owns one
+        /// root reference)
+        std::vector<SegDesc> externalSegs;
+        /// recording cap; further violations only bump `truncated`
+        std::size_t maxViolations = 64;
+    };
+
+    /** Audit a full machine: memory, segment map and live iterators. */
+    static AuditReport audit(Hicamp &hc, const Options &opts);
+    static AuditReport audit(Hicamp &hc);
+
+    /** Audit a bare memory system (and optionally a segment map). */
+    static AuditReport audit(Memory &mem, SegmentMap *vsm,
+                             const Options &opts);
+    static AuditReport audit(Memory &mem, SegmentMap *vsm);
+};
+
+/**
+ * RAII end-of-scope audit: runs Auditor::audit at destruction and
+ * panics with the printed report if any invariant is violated. Place
+ * one right after constructing a Hicamp (or Memory) to get a free
+ * leak/consistency check when the scope unwinds.
+ */
+class ScopedAudit
+{
+  public:
+    explicit ScopedAudit(Hicamp &hc, Auditor::Options opts = {});
+    ScopedAudit(Memory &mem, SegmentMap *vsm, Auditor::Options opts = {});
+    ~ScopedAudit() noexcept(false);
+
+    ScopedAudit(const ScopedAudit &) = delete;
+    ScopedAudit &operator=(const ScopedAudit &) = delete;
+
+  private:
+    Memory &mem_;
+    SegmentMap *vsm_;
+    Auditor::Options opts_;
+};
+
+/**
+ * Opt-in end-of-scope hook: make @p hc audit itself in its destructor
+ * (after user structures are gone, before the map and store die) and
+ * panic on violations.
+ */
+void installExitAudit(Hicamp &hc, Auditor::Options opts = {});
+
+} // namespace hicamp
+
+#endif // HICAMP_ANALYSIS_AUDITOR_HH

@@ -56,4 +56,18 @@ inform(const std::string &msg)
                          (msg));                                          \
     } while (0)
 
+/**
+ * Hot-path invariant check, compiled out in optimized builds (NDEBUG).
+ * Use for per-word / per-step checks inside the line store and the
+ * iterator register so release benchmarks keep their timing while
+ * Debug (and sanitizer) builds verify much more.
+ */
+#ifdef NDEBUG
+#define HICAMP_DEBUG_ASSERT(cond, msg)                                    \
+    do {                                                                  \
+    } while (0)
+#else
+#define HICAMP_DEBUG_ASSERT(cond, msg) HICAMP_ASSERT(cond, msg)
+#endif
+
 #endif // HICAMP_COMMON_LOGGING_HH

@@ -9,6 +9,9 @@
 #ifndef HICAMP_LANG_CONTEXT_HH
 #define HICAMP_LANG_CONTEXT_HH
 
+#include <functional>
+#include <utility>
+
 #include "mem/memory.hh"
 #include "seg/builder.hh"
 #include "seg/iterator.hh"
@@ -25,8 +28,26 @@ class Hicamp
   public:
     explicit Hicamp(const MemoryConfig &cfg = {}) : mem(cfg), vsm(mem) {}
 
+    /**
+     * Runs the registered exit hook (if any) while mem and vsm are
+     * still alive — the opt-in end-of-scope heap audit installs
+     * itself here (see analysis/auditor.hh: installExitAudit).
+     */
+    ~Hicamp()
+    {
+        if (exitHook_)
+            exitHook_(*this);
+    }
+
     Hicamp(const Hicamp &) = delete;
     Hicamp &operator=(const Hicamp &) = delete;
+
+    /** Register a callback invoked at destruction; pass {} to clear. */
+    void
+    setExitHook(std::function<void(Hicamp &)> hook)
+    {
+        exitHook_ = std::move(hook);
+    }
 
     /**
      * Box a segment descriptor into a content-unique line and return
@@ -64,6 +85,9 @@ class Hicamp
 
     Memory mem;
     SegmentMap vsm;
+
+  private:
+    std::function<void(Hicamp &)> exitHook_;
 };
 
 } // namespace hicamp

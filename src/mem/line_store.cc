@@ -44,10 +44,10 @@ LineStore::slotOf(Plid plid) const
 {
     std::uint64_t bucket = plid >> BucketLayout::kWayBits;
     unsigned way = static_cast<unsigned>(plid & (BucketLayout::kWays - 1));
-    HICAMP_ASSERT(bucket < numBuckets_ &&
-                      way >= BucketLayout::kFirstData &&
-                      way < BucketLayout::kFirstData + BucketLayout::kNumData,
-                  "malformed PLID");
+    HICAMP_DEBUG_ASSERT(
+        bucket < numBuckets_ && way >= BucketLayout::kFirstData &&
+            way < BucketLayout::kFirstData + BucketLayout::kNumData,
+        "malformed PLID");
     return bucket * BucketLayout::kNumData +
            (way - BucketLayout::kFirstData);
 }
@@ -180,11 +180,11 @@ LineStore::read(Plid plid) const
         return Line(lineWords_);
     if (isOverflow(plid)) {
         const OverflowEntry &e = overflow_[plid - kOverflowBase];
-        HICAMP_ASSERT(e.live, "read of dead overflow line");
+        HICAMP_DEBUG_ASSERT(e.live, "read of dead overflow line");
         return e.line;
     }
     const std::uint64_t slot = slotOf(plid);
-    HICAMP_ASSERT(slotLive(slot), "read of unallocated PLID");
+    HICAMP_DEBUG_ASSERT(slotLive(slot), "read of unallocated PLID");
     return materialize(slot);
 }
 
@@ -219,15 +219,16 @@ LineStore::refCount(Plid plid) const
 std::uint32_t
 LineStore::addRef(Plid plid, std::int32_t delta)
 {
-    HICAMP_ASSERT(plid != kZeroPlid, "refcounting the zero line");
+    HICAMP_DEBUG_ASSERT(plid != kZeroPlid, "refcounting the zero line");
     std::uint32_t *refs;
     if (isOverflow(plid)) {
         OverflowEntry &e = overflow_[plid - kOverflowBase];
-        HICAMP_ASSERT(e.live, "refcount of dead overflow line");
+        HICAMP_DEBUG_ASSERT(e.live, "refcount of dead overflow line");
         refs = &e.refs;
     } else {
         const std::uint64_t slot = slotOf(plid);
-        HICAMP_ASSERT(slotLive(slot), "refcount of unallocated PLID");
+        HICAMP_DEBUG_ASSERT(slotLive(slot),
+                            "refcount of unallocated PLID");
         refs = &refs_[slot];
     }
     if (delta < 0) {
@@ -283,6 +284,91 @@ LineStore::corruptForTest(Plid plid, unsigned word_idx, Word xor_mask)
     const std::uint64_t slot = slotOf(plid);
     HICAMP_ASSERT(slotLive(slot), "corrupting a dead line");
     words_[slot * lineWords_ + word_idx] ^= xor_mask;
+}
+
+void
+LineStore::forEachLive(
+    const std::function<void(Plid, const Line &, std::uint32_t)> &fn)
+    const
+{
+    for (std::uint64_t b = 0; b < numBuckets_; ++b) {
+        if (liveMask_[b] == 0)
+            continue;
+        for (unsigned w = 0; w < BucketLayout::kNumData; ++w) {
+            const std::uint64_t slot = b * BucketLayout::kNumData + w;
+            if (slotLive(slot))
+                fn(plidOf(b, w), materialize(slot), refs_[slot]);
+        }
+    }
+    for (std::uint64_t i = 0; i < overflow_.size(); ++i) {
+        const OverflowEntry &e = overflow_[i];
+        if (e.live)
+            fn(kOverflowBase + i, e.line, e.refs);
+    }
+}
+
+std::uint8_t
+LineStore::storedSignature(Plid plid) const
+{
+    HICAMP_ASSERT(!isOverflow(plid) && plid != kZeroPlid,
+                  "signatures cover home-bucket lines only");
+    return sigs_[slotOf(plid)];
+}
+
+bool
+LineStore::overflowChainContains(Plid plid) const
+{
+    HICAMP_ASSERT(isOverflow(plid), "not an overflow PLID");
+    const std::uint64_t idx = plid - kOverflowBase;
+    const std::uint64_t hash = overflow_[idx].line.contentHash();
+    auto [lo, hi] = overflowIndex_.equal_range(hash);
+    for (auto it = lo; it != hi; ++it) {
+        if (it->second == idx)
+            return true;
+    }
+    return false;
+}
+
+Plid
+LineStore::forgeDuplicateForTest(Plid plid)
+{
+    const Line content = read(plid);
+    const std::uint64_t hash = content.contentHash();
+    std::uint64_t idx;
+    if (!overflowFree_.empty()) {
+        idx = overflowFree_.back();
+        overflowFree_.pop_back();
+    } else {
+        idx = overflow_.size();
+        overflow_.emplace_back();
+    }
+    OverflowEntry &e = overflow_[idx];
+    e.line = content;
+    e.homeBucket = bucketOf(hash);
+    e.refs = 0;
+    e.live = true;
+    overflowIndex_.emplace(hash, idx);
+    ++overflowLive_;
+    ++liveLines_;
+    return kOverflowBase + idx;
+}
+
+void
+LineStore::poisonWordForTest(Plid plid, unsigned word_idx, Word w,
+                             WordMeta m)
+{
+    HICAMP_ASSERT(plid != kZeroPlid && word_idx < lineWords_,
+                  "poisonWordForTest out of range");
+    if (isOverflow(plid)) {
+        OverflowEntry &e = overflow_[plid - kOverflowBase];
+        HICAMP_ASSERT(e.live, "poisoning a dead line");
+        e.line.set(word_idx, w, m);
+        return;
+    }
+    const std::uint64_t slot = slotOf(plid);
+    HICAMP_ASSERT(slotLive(slot), "poisoning a dead line");
+    words_[slot * lineWords_ + word_idx] = w;
+    metas_[slot * lineWords_ + word_idx] = m.value();
 }
 
 std::uint64_t

@@ -17,6 +17,7 @@
 #define HICAMP_MEM_LINE_STORE_HH
 
 #include <cstdint>
+#include <functional>
 #include <unordered_map>
 #include <vector>
 
@@ -120,6 +121,47 @@ class LineStore
      * check is expected to catch almost all such corruptions.
      */
     void corruptForTest(Plid plid, unsigned word_idx, Word xor_mask);
+
+    /// @name Audit support (src/analysis)
+    /// @{
+    /**
+     * Invoke @p fn for every live line: home-bucket lines in slot
+     * order, then overflow lines. Passes the PLID, the materialized
+     * content and the stored reference count.
+     */
+    void forEachLive(
+        const std::function<void(Plid, const Line &, std::uint32_t)> &fn)
+        const;
+
+    /** Stored signature byte of a live home-bucket line. */
+    std::uint8_t storedSignature(Plid plid) const;
+
+    /**
+     * True if a live overflow line is reachable through the overflow
+     * pointer chain indexed by its content hash (Fig. 2); an
+     * unindexed line would never dedup against future lookups.
+     */
+    bool overflowChainContains(Plid plid) const;
+    /// @}
+
+    /// @name Corruption injection (tests of the auditor itself)
+    /// @{
+    /**
+     * Duplicate a live line's content into the overflow area,
+     * bypassing the find-before-insert protocol — forges a dedup
+     * violation (two PLIDs for one content). Returns the new PLID,
+     * live with refcount 0.
+     */
+    Plid forgeDuplicateForTest(Plid plid);
+
+    /**
+     * Overwrite one stored word *and* its tag in place, bypassing
+     * content-uniqueness — forges dangling references, DAG cycles or
+     * non-canonical structure for auditor detection tests.
+     */
+    void poisonWordForTest(Plid plid, unsigned word_idx, Word w,
+                           WordMeta m);
+    /// @}
 
   private:
     struct OverflowEntry {

@@ -9,11 +9,14 @@ namespace hicamp {
 IteratorRegister::IteratorRegister(Memory &mem, SegmentMap &vsm)
     : mem_(mem), vsm_(vsm), builder_(mem), reader_(mem),
       geo_(mem.fanout())
-{}
+{
+    vsm_.registerIterator(this);
+}
 
 IteratorRegister::~IteratorRegister()
 {
     clearState();
+    vsm_.unregisterIterator(this);
 }
 
 void
@@ -91,6 +94,8 @@ void
 IteratorRegister::descendTo(std::uint64_t idx)
 {
     const unsigned F = geo_.fanout();
+    HICAMP_DEBUG_ASSERT(idx < coverage(),
+                        "descend beyond working-tree coverage");
     const std::uint64_t leaf_idx = idx / F;
     if (pathValid_ && leaf_idx == pathLeafIdx_)
         return;
@@ -167,6 +172,8 @@ IteratorRegister::read(WordMeta *meta_out)
 {
     HICAMP_ASSERT(loaded_, "read on unloaded iterator register");
     const unsigned F = geo_.fanout();
+    HICAMP_DEBUG_ASSERT(offset_ < coverage(),
+                        "iterator offset beyond coverage");
     const std::uint64_t leaf_idx = offset_ / F;
     auto it = dirty_.find(leaf_idx);
     if (it != dirty_.end()) {
@@ -285,7 +292,11 @@ IteratorRegister::rebuild(const Entry &e, int h, std::uint64_t base)
 
     if (h == 0) {
         const DirtyLeaf &buf = it->second;
-        HICAMP_ASSERT(it->first == base / F, "dirty map inconsistent");
+        HICAMP_DEBUG_ASSERT(it->first == base / F,
+                            "dirty map inconsistent");
+        HICAMP_DEBUG_ASSERT(buf.words.size() == F &&
+                                buf.metas.size() == F,
+                            "dirty buffer width mismatch");
         // Convert the transient buffer via lookup-by-content. The new
         // leaf line takes fresh references; buffer ownership state is
         // left untouched (released only when the commit lands).
@@ -341,6 +352,26 @@ IteratorRegister::tryCommit(MergeStats *stats)
     clearState();
     load(v, pos);
     return true;
+}
+
+void
+IteratorRegister::auditRefs(std::vector<Plid> &out) const
+{
+    if (!loaded_)
+        return;
+    if (snap_.root.meta.isPlid() && snap_.root.word != 0)
+        out.push_back(snap_.root.word);
+    if (work_.meta.isPlid() && work_.word != 0)
+        out.push_back(work_.word);
+    for (const auto &[leaf_idx, buf] : dirty_) {
+        (void)leaf_idx;
+        for (std::size_t i = 0; i < buf.words.size(); ++i) {
+            if (buf.metas[i].isPlid() && buf.words[i] != 0 &&
+                bufOwned_.count(buf.transientId * kMaxLineWords + i)) {
+                out.push_back(buf.words[i]);
+            }
+        }
+    }
 }
 
 void

@@ -98,6 +98,14 @@ class IteratorRegister
     /// number of buffered (dirty) leaves
     std::size_t dirtyLeaves() const { return dirty_.size(); }
 
+    /**
+     * Append every PLID reference this register currently owns (the
+     * retained snapshot root, the working root, and caller-
+     * transferred references parked in dirty buffers) to @p out, one
+     * element per owned reference. Heap-auditor accounting support.
+     */
+    void auditRefs(std::vector<Plid> &out) const;
+
     /// total line fetches that the cached path avoided
     std::uint64_t pathCacheHits() const { return pathHits_.value(); }
     std::uint64_t pathCacheMisses() const { return pathMisses_.value(); }

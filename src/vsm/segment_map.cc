@@ -231,6 +231,42 @@ SegmentMap::destroy(Vsid v)
     mem_.vsmAccess(v, /*write=*/true);
 }
 
+void
+SegmentMap::forEachLive(
+    const std::function<void(Vsid, const SegDesc &, std::uint32_t)> &fn)
+    const
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    for (Vsid v = 1; v < slots_.size(); ++v) {
+        if (slots_[v].live)
+            fn(v, slots_[v].desc, slots_[v].flags);
+    }
+}
+
+void
+SegmentMap::registerIterator(const IteratorRegister *it)
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    iterators_.push_back(it);
+}
+
+void
+SegmentMap::unregisterIterator(const IteratorRegister *it)
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    auto pos = std::find(iterators_.begin(), iterators_.end(), it);
+    HICAMP_ASSERT(pos != iterators_.end(),
+                  "unregistering an unknown iterator register");
+    iterators_.erase(pos);
+}
+
+std::vector<const IteratorRegister *>
+SegmentMap::liveIterators() const
+{
+    std::lock_guard<std::recursive_mutex> g(mutex_);
+    return iterators_;
+}
+
 std::uint64_t
 SegmentMap::liveEntries() const
 {

@@ -15,6 +15,7 @@
 #define HICAMP_VSM_SEGMENT_MAP_HH
 
 #include <cstdint>
+#include <functional>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -23,6 +24,8 @@
 #include "seg/merge.hh"
 
 namespace hicamp {
+
+class IteratorRegister;
 
 /** Per-entry flags (paper §2.3). */
 enum SegFlag : std::uint32_t {
@@ -108,6 +111,27 @@ class SegmentMap
      */
     Entry lift(const SegDesc &d, int H);
 
+    /// @name Audit support (src/analysis)
+    /// @{
+    /**
+     * Invoke @p fn for every live entry with its descriptor and
+     * flags. Alias entries are reported with their (empty) own
+     * descriptor; the target entry owns the root reference.
+     */
+    void forEachLive(
+        const std::function<void(Vsid, const SegDesc &, std::uint32_t)>
+            &fn) const;
+
+    /**
+     * Iterator registers announce themselves here for their lifetime
+     * so the heap auditor can account for the line references their
+     * snapshots, working trees and write buffers own.
+     */
+    void registerIterator(const IteratorRegister *it);
+    void unregisterIterator(const IteratorRegister *it);
+    std::vector<const IteratorRegister *> liveIterators() const;
+    /// @}
+
   private:
     struct EntrySlot {
         SegDesc desc;
@@ -125,6 +149,7 @@ class SegmentMap
     /// shared with Memory: one global lock order (see Memory::sysMutex)
     std::recursive_mutex &mutex_;
     std::vector<EntrySlot> slots_; ///< slot 0 unused (null VSID)
+    std::vector<const IteratorRegister *> iterators_;
     std::unordered_multimap<Plid, Vsid> weakWatch_;
     Counter mergeCommits_;
     Counter mergeFailures_;

@@ -1,0 +1,38 @@
+/**
+ * @file
+ * Shared end-of-test heap-audit helper: run the cross-layer invariant
+ * checker and fail the current test with the report summary if any
+ * violation (leaked line, dangling reference, dedup break, malformed
+ * DAG, ...) survived the scenario under test.
+ */
+
+#ifndef HICAMP_TESTS_AUDIT_CHECK_HH
+#define HICAMP_TESTS_AUDIT_CHECK_HH
+
+#include <gtest/gtest.h>
+
+#include "analysis/auditor.hh"
+#include "lang/context.hh"
+#include "mem/memory.hh"
+#include "vsm/segment_map.hh"
+
+namespace hicamp {
+
+inline void
+expectCleanAudit(Memory &mem, SegmentMap *vsm,
+                 const Auditor::Options &opts = {})
+{
+    AuditReport r = Auditor::audit(mem, vsm, opts);
+    EXPECT_TRUE(r.clean()) << r.summary();
+}
+
+inline void
+expectCleanAudit(Hicamp &hc, const Auditor::Options &opts = {})
+{
+    AuditReport r = Auditor::audit(hc, opts);
+    EXPECT_TRUE(r.clean()) << r.summary();
+}
+
+} // namespace hicamp
+
+#endif // HICAMP_TESTS_AUDIT_CHECK_HH

@@ -1,0 +1,419 @@
+/**
+ * @file
+ * Heap-auditor tests: clean machines audit clean, and each class of
+ * injected corruption — leaked refcounts, forged duplicates, dangling
+ * references, DAG cycles, uncompacted nodes, malformed descriptors,
+ * in-place content rot — is detected and classified correctly.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analysis/auditor.hh"
+#include "lang/context.hh"
+#include "lang/harray.hh"
+#include "lang/hmap.hh"
+#include "lang/hstring.hh"
+#include "mem/memory.hh"
+#include "seg/builder.hh"
+#include "seg/iterator.hh"
+#include "vsm/segment_map.hh"
+
+namespace hicamp {
+namespace {
+
+struct AuditorFixture : ::testing::Test {
+    AuditorFixture() : mem(cfg()), vsm(mem), builder(mem) {}
+
+    static MemoryConfig
+    cfg()
+    {
+        MemoryConfig c;
+        c.lineBytes = 16; // fanout 2: smallest trees, easiest surgery
+        c.numBuckets = 1 << 12;
+        return c;
+    }
+
+    SegDesc
+    makeSeg(std::vector<Word> w)
+    {
+        std::vector<WordMeta> m(w.size(), WordMeta::raw());
+        return builder.buildWords(w.data(), m.data(), w.size());
+    }
+
+    AuditReport
+    audit(const Auditor::Options &opts = {})
+    {
+        return Auditor::audit(mem, &vsm, opts);
+    }
+
+    Memory mem;
+    SegmentMap vsm;
+    SegBuilder builder;
+};
+
+TEST_F(AuditorFixture, EmptyMachineIsClean)
+{
+    AuditReport r = audit();
+    EXPECT_TRUE(r.clean()) << r.summary();
+    EXPECT_EQ(r.linesScanned, 0u);
+}
+
+TEST_F(AuditorFixture, LiveSegmentsAuditClean)
+{
+    // Non-packable payload so canonical form keeps real leaf lines.
+    Vsid a = vsm.create(makeSeg({1ull << 40, 2ull << 40, 3ull << 40,
+                                 4ull << 40}));
+    Vsid b = vsm.create(makeSeg({1ull << 40, 2ull << 40, 3ull << 40,
+                                 5ull << 40}));
+    AuditReport r = audit();
+    EXPECT_TRUE(r.clean()) << r.summary();
+    EXPECT_EQ(r.rootsScanned, 2u);
+    EXPECT_GT(r.linesScanned, 0u);
+
+    vsm.destroy(a);
+    vsm.destroy(b);
+    AuditReport post = audit();
+    EXPECT_TRUE(post.clean()) << post.summary();
+    EXPECT_EQ(post.linesScanned, 0u);
+}
+
+TEST_F(AuditorFixture, UndeclaredCallerRefIsALeakDeclaredIsNot)
+{
+    SegDesc d = makeSeg({7ull << 40, 8ull << 40, 9ull << 40, 1});
+
+    // The builder handed us an owned root reference the auditor
+    // cannot see: without declaring it, that's a leak...
+    AuditReport bad = audit();
+    EXPECT_FALSE(bad.clean());
+    EXPECT_GE(bad.count(AuditKind::RefLeak), 1u);
+
+    // ...and declaring it as an external segment makes the heap
+    // account exactly.
+    Auditor::Options opts;
+    opts.externalSegs.push_back(d);
+    AuditReport good = audit(opts);
+    EXPECT_TRUE(good.clean()) << good.summary();
+
+    builder.releaseSeg(d);
+    EXPECT_TRUE(audit().clean());
+}
+
+TEST_F(AuditorFixture, DetectsLeakedReference)
+{
+    Vsid v = vsm.create(makeSeg({1ull << 40, 2ull << 40, 3ull << 40,
+                                 4ull << 40}));
+    ASSERT_TRUE(audit().clean());
+
+    Plid root = vsm.get(v).root.plid();
+    mem.incRef(root); // a reference nobody owns
+
+    AuditReport r = audit();
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.count(AuditKind::RefLeak), 1u);
+
+    mem.decRef(root);
+    EXPECT_TRUE(audit().clean());
+}
+
+TEST_F(AuditorFixture, DetectsRefcountDeficit)
+{
+    Vsid v = vsm.create(makeSeg({1ull << 40, 2ull << 40, 3ull << 40,
+                                 4ull << 40}));
+    Plid root = vsm.get(v).root.plid();
+
+    // Drop the stored count below the model's in-edges: a free now
+    // would dangle the segment-map root.
+    mem.store().addRef(root, -1);
+
+    AuditReport r = audit();
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.count(AuditKind::RefMismatch), 1u);
+
+    mem.store().addRef(root, +1);
+    EXPECT_TRUE(audit().clean());
+}
+
+TEST_F(AuditorFixture, DetectsForgedDuplicate)
+{
+    Vsid v = vsm.create(makeSeg({1ull << 40, 2ull << 40, 3ull << 40,
+                                 4ull << 40}));
+    Plid root = vsm.get(v).root.plid();
+
+    // A second live line with the root's exact content breaks the
+    // content-addressing contract: lookups may now return either.
+    Plid forged = mem.store().forgeDuplicateForTest(root);
+    ASSERT_NE(forged, root);
+
+    AuditReport r = audit();
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.count(AuditKind::DedupDuplicate), 1u);
+}
+
+TEST_F(AuditorFixture, DetectsDanglingReference)
+{
+    Vsid v = vsm.create(makeSeg({1ull << 40, 2ull << 40, 3ull << 40,
+                                 4ull << 40}));
+    Plid root = vsm.get(v).root.plid();
+
+    // Repoint the root's second child slot at a PLID that was never
+    // allocated.
+    const Line orig = mem.store().read(root);
+    const Plid bogus = kOverflowBase + 0x1234;
+    ASSERT_FALSE(mem.store().isLive(bogus));
+    mem.store().poisonWordForTest(root, 1, bogus, WordMeta::plid());
+
+    AuditReport r = audit();
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.count(AuditKind::RefDangling), 1u);
+
+    // Undo the corruption so teardown does not chase the bogus PLID.
+    mem.store().poisonWordForTest(root, 1, orig.word(1), orig.meta(1));
+    EXPECT_TRUE(audit().clean());
+}
+
+TEST_F(AuditorFixture, DetectsCycle)
+{
+    Vsid v = vsm.create(makeSeg({1ull << 40, 2ull << 40, 3ull << 40,
+                                 4ull << 40}));
+    SegDesc d = vsm.get(v);
+    Plid root = d.root.plid();
+    Plid child = mem.store().read(root).word(0);
+    ASSERT_TRUE(mem.store().isLive(child));
+
+    // Make the leaf point back at its own parent: impossible under
+    // content addressing (a line's name depends on its content), so
+    // any cycle is corruption.
+    const Line orig = mem.store().read(child);
+    mem.store().poisonWordForTest(child, 0, root, WordMeta::plid());
+
+    AuditReport r = audit();
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.count(AuditKind::DagCycle), 1u);
+
+    // Undo the corruption so teardown does not follow the back edge.
+    mem.store().poisonWordForTest(child, 0, orig.word(0), orig.meta(0));
+    EXPECT_TRUE(audit().clean());
+}
+
+TEST_F(AuditorFixture, DetectsMissedPathCompaction)
+{
+    // Hand-build an interior line whose only child is non-zero: the
+    // builder would have path-compacted this away.
+    Line leaf = mem.makeLine();
+    leaf.set(0, 1ull << 40);
+    leaf.set(1, 2ull << 40);
+    Plid lp = mem.internLine(leaf);
+
+    Line interior = mem.makeLine();
+    interior.set(0, lp, WordMeta::plid());
+    Plid ip = mem.internLine(interior);
+
+    SegDesc d;
+    d.root = Entry::ofPlid(ip);
+    d.height = 1;
+    d.byteLen = 16;
+    vsm.create(d);
+
+    AuditReport r = audit();
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.count(AuditKind::CompactionPath), 1u);
+}
+
+TEST_F(AuditorFixture, DetectsMissedDataCompaction)
+{
+    // An all-raw leaf of two 32-bit-packable words must be an inline
+    // entry in canonical form, never a stored line.
+    Line leaf = mem.makeLine();
+    leaf.set(0, 5);
+    leaf.set(1, 6);
+    Plid lp = mem.internLine(leaf);
+
+    SegDesc d;
+    d.root = Entry::ofPlid(lp);
+    d.height = 0;
+    d.byteLen = 16;
+    vsm.create(d);
+
+    AuditReport r = audit();
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.count(AuditKind::CompactionData), 1u);
+
+    // The same heap audits clean when compaction checking is off —
+    // the refcounts and layout themselves are fine.
+    Auditor::Options lax;
+    lax.checkCompaction = false;
+    EXPECT_TRUE(audit(lax).clean());
+}
+
+TEST_F(AuditorFixture, DetectsMalformedDescriptor)
+{
+    SegDesc bad;
+    bad.root = Entry::zero();
+    bad.height = 99; // coverage math would overflow 64 bits
+    bad.byteLen = 0;
+    vsm.create(bad);
+
+    SegDesc toolong;
+    toolong.root = Entry::zero();
+    toolong.height = 0; // covers 16 bytes at this geometry
+    toolong.byteLen = 1000;
+    vsm.create(toolong);
+
+    AuditReport r = audit();
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.count(AuditKind::DagMalformed), 2u);
+}
+
+TEST_F(AuditorFixture, DetectsContentRot)
+{
+    Line l = mem.makeLine();
+    l.set(0, 0xabcdefull << 20);
+    l.set(1, 0x123456ull << 20);
+    Plid p = mem.internLine(l);
+
+    Auditor::Options opts;
+    opts.externalRefs.push_back(p);
+    ASSERT_TRUE(audit(opts).clean());
+
+    // Flip a stored word in place: the line no longer lives in the
+    // bucket (or under the signature) its content hash selects.
+    mem.store().poisonWordForTest(p, 0, 0xfeedull << 20,
+                                  WordMeta::raw());
+
+    AuditReport r = audit(opts);
+    EXPECT_FALSE(r.clean());
+    EXPECT_GE(r.count(AuditKind::BucketLayout), 1u);
+}
+
+TEST_F(AuditorFixture, LiveIteratorRefsAreAccounted)
+{
+    Vsid v = vsm.create(makeSeg({1ull << 40, 2ull << 40, 3ull << 40,
+                                 4ull << 40}));
+    {
+        IteratorRegister it(mem, vsm);
+        it.load(v, 0);
+        it.read();
+        AuditReport r = audit();
+        EXPECT_TRUE(r.clean()) << r.summary();
+        EXPECT_EQ(r.iteratorsScanned, 1u);
+    }
+    EXPECT_TRUE(audit().clean());
+}
+
+TEST_F(AuditorFixture, DirtyIteratorBuffersAreAccounted)
+{
+    Vsid v = vsm.create(makeSeg({1ull << 40, 2ull << 40, 3ull << 40,
+                                 4ull << 40}));
+    IteratorRegister it(mem, vsm);
+    it.load(v, 0);
+    it.write(0xbeefull << 32);
+    it.seek(3);
+    it.write(0xcafeull << 32);
+
+    // Uncommitted dirty state parks owned references in the register.
+    AuditReport r = audit();
+    EXPECT_TRUE(r.clean()) << r.summary();
+
+    EXPECT_TRUE(it.tryCommit());
+    EXPECT_TRUE(audit().clean());
+}
+
+TEST_F(AuditorFixture, FullLanguageMachineAuditsClean)
+{
+    Hicamp hc(cfg());
+    {
+        HMap map(hc);
+        for (int i = 0; i < 64; ++i) {
+            map.set(HString(hc, "k" + std::to_string(i)),
+                    HString(hc, "v" + std::to_string(i % 5)));
+        }
+        HArray<std::uint64_t> arr(hc);
+        for (int i = 0; i < 64; ++i)
+            arr.set(i, i * 0x9e3779b97f4a7c15ull);
+
+        AuditReport live = Auditor::audit(hc);
+        EXPECT_TRUE(live.clean()) << live.summary();
+        EXPECT_GT(live.linesScanned, 0u);
+    }
+    AuditReport post = Auditor::audit(hc);
+    EXPECT_TRUE(post.clean()) << post.summary();
+    EXPECT_EQ(post.linesScanned, 0u);
+}
+
+TEST_F(AuditorFixture, ViolationRecordingIsCapped)
+{
+    Vsid v = vsm.create(makeSeg({1ull << 40, 2ull << 40, 3ull << 40,
+                                 4ull << 40}));
+    Plid root = vsm.get(v).root.plid();
+    for (int i = 0; i < 8; ++i)
+        mem.incRef(root);
+
+    Auditor::Options opts;
+    opts.maxViolations = 0;
+    AuditReport r = audit(opts);
+    EXPECT_FALSE(r.clean());
+    EXPECT_TRUE(r.violations.empty());
+    EXPECT_GE(r.truncated, 1u);
+}
+
+TEST_F(AuditorFixture, ReportFormatsKindNamesAndSummary)
+{
+    EXPECT_STREQ(auditKindName(AuditKind::RefLeak), "refcount-leak");
+    EXPECT_STREQ(auditKindName(AuditKind::DagCycle), "dag-cycle");
+
+    AuditReport r = audit();
+    EXPECT_NE(r.summary().find("clean"), std::string::npos);
+
+    Vsid v = vsm.create(makeSeg({1ull << 40, 2ull << 40, 3ull << 40,
+                                 4ull << 40}));
+    mem.incRef(vsm.get(v).root.plid());
+    AuditReport bad = audit();
+    EXPECT_NE(bad.summary().find("FAILED"), std::string::npos);
+    EXPECT_NE(bad.summary().find("refcount-leak"), std::string::npos);
+}
+
+using AuditorDeathTest = AuditorFixture;
+
+TEST_F(AuditorDeathTest, ScopedAuditPanicsOnLeak)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            Memory m(cfg());
+            ScopedAudit guard(m, nullptr);
+            Line l = m.makeLine();
+            l.set(0, 0xdeadull << 32);
+            m.internLine(l); // owned reference dropped on the floor
+        },
+        "heap audit");
+}
+
+TEST_F(AuditorDeathTest, ExitAuditHookPanicsOnLeak)
+{
+    ::testing::FLAGS_gtest_death_test_style = "threadsafe";
+    EXPECT_DEATH(
+        {
+            Hicamp hc(cfg());
+            installExitAudit(hc);
+            Line l = hc.mem.makeLine();
+            l.set(0, 0xdeadull << 32);
+            hc.mem.internLine(l); // owned reference never released
+        },
+        "heap audit");
+}
+
+TEST_F(AuditorFixture, ScopedAuditPassesOnCleanTeardown)
+{
+    Memory m(cfg());
+    ScopedAudit guard(m, nullptr);
+    Line l = m.makeLine();
+    l.set(0, 0xdeadull << 32);
+    Plid p = m.internLine(l);
+    m.decRef(p); // balanced: line freed before the scope ends
+}
+
+} // namespace
+} // namespace hicamp

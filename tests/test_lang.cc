@@ -13,6 +13,7 @@
 #include <thread>
 #include <vector>
 
+#include "audit_check.hh"
 #include "lang/atomic_heap.hh"
 #include "lang/harray.hh"
 #include "lang/hmap.hh"
@@ -460,6 +461,28 @@ TEST_F(LangFixture, EverythingReclaims)
     }
     EXPECT_EQ(hc.mem.liveLines(), 0u);
     EXPECT_EQ(hc.mem.store().totalRefs(), 0u);
+}
+
+TEST_F(LangFixture, AuditSweepAfterStructureChurn)
+{
+    {
+        HMap map(hc);
+        for (int i = 0; i < 48; ++i) {
+            map.set(HString(hc, "key" + std::to_string(i)),
+                    HString(hc, "val" + std::to_string(i % 7)));
+        }
+        for (int i = 0; i < 48; i += 3)
+            map.erase(HString(hc, "key" + std::to_string(i)));
+        HArray<std::uint64_t> arr(hc);
+        for (int i = 0; i < 32; ++i)
+            arr.set(i, ~static_cast<Word>(i));
+
+        // Live structures own map entries the auditor can see.
+        expectCleanAudit(hc);
+    }
+    // All structures destroyed: zero leaked or dangling lines.
+    expectCleanAudit(hc);
+    EXPECT_EQ(hc.mem.liveLines(), 0u);
 }
 
 } // namespace

@@ -7,6 +7,9 @@
 
 #include <gtest/gtest.h>
 
+#include <vector>
+
+#include "audit_check.hh"
 #include "mem/memory.hh"
 
 namespace hicamp {
@@ -227,6 +230,28 @@ TEST_P(MemoryLineSize, RoundTripAtEachWidth)
 
 INSTANTIATE_TEST_SUITE_P(AllWidths, MemoryLineSize,
                          ::testing::Values(16u, 32u, 64u));
+
+TEST(Memory, AuditSweepAfterChurn)
+{
+    Memory mem(smallCfg());
+    std::vector<Plid> held;
+    for (Word t = 1; t <= 64; ++t)
+        held.push_back(mem.lookup(dataLine(mem, t)));
+    for (Word t = 1; t <= 64; t += 2)
+        mem.decRef(held[t - 1]);
+
+    // Mid-churn: the refs this test still holds are declared, and the
+    // cross-layer auditor must account the heap exactly.
+    Auditor::Options opts;
+    for (Word t = 2; t <= 64; t += 2)
+        opts.externalRefs.push_back(held[t - 1]);
+    expectCleanAudit(mem, nullptr, opts);
+
+    for (Word t = 2; t <= 64; t += 2)
+        mem.decRef(held[t - 1]);
+    expectCleanAudit(mem, nullptr);
+    EXPECT_EQ(mem.liveLines(), 0u);
+}
 
 } // namespace
 } // namespace hicamp

@@ -9,6 +9,7 @@
 
 #include <gtest/gtest.h>
 
+#include "audit_check.hh"
 #include "seg/merge.hh"
 
 namespace hicamp {
@@ -206,6 +207,25 @@ TEST_P(MergeFixture, EverythingReclaimsAfterMerges)
     }
     EXPECT_EQ(mem.liveLines(), 0u);
     EXPECT_EQ(mem.store().totalRefs(), 0u);
+}
+
+TEST_P(MergeFixture, AuditSweepAfterMerge)
+{
+    SegDesc o = seg({0, 1, 2, 3, 4, 5, 6, 7});
+    Entry a = builder.setWord(o.root, o.height, 1, 11, WordMeta::raw());
+    Entry b = builder.setWord(o.root, o.height, 6, 66, WordMeta::raw());
+    auto m = mergeUpdate(mem, o.root, a, b, o.height);
+    ASSERT_TRUE(m.has_value());
+
+    builder.release(a);
+    builder.release(b);
+    builder.release(*m);
+    builder.releaseSeg(o);
+
+    // After releasing every handle, no leaked or dangling line may
+    // survive the merge machinery.
+    expectCleanAudit(mem, nullptr);
+    EXPECT_EQ(mem.liveLines(), 0u);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllWidths, MergeFixture,

@@ -9,6 +9,7 @@
 
 #include <vector>
 
+#include "audit_check.hh"
 #include "vsm/segment_map.hh"
 
 namespace hicamp {
@@ -251,6 +252,27 @@ TEST_F(VsmFixture, DestroyReclaimsSegment)
     vsm.destroy(v);
     EXPECT_EQ(mem.liveLines(), 0u);
     EXPECT_EQ(mem.store().totalRefs(), 0u);
+}
+
+TEST_F(VsmFixture, AuditSweepAfterMapChurn)
+{
+    Vsid a = vsm.create(makeSeg({~Word{1}, ~Word{2}, ~Word{3},
+                                 ~Word{4}}));
+    Vsid b = vsm.create(makeSeg({~Word{1}, ~Word{2}, ~Word{5},
+                                 ~Word{6}}));
+    SegDesc snap = vsm.snapshot(a);
+
+    // Live entries + a held snapshot: the auditor sees the map's root
+    // refs itself; only the snapshot needs declaring.
+    Auditor::Options opts;
+    opts.externalSegs.push_back(snap);
+    expectCleanAudit(mem, &vsm, opts);
+
+    vsm.releaseSnapshot(snap);
+    vsm.destroy(a);
+    vsm.destroy(b);
+    expectCleanAudit(mem, &vsm);
+    EXPECT_EQ(mem.liveLines(), 0u);
 }
 
 } // namespace

@@ -1,0 +1,226 @@
+/**
+ * @file
+ * `audit` — run a named workload on a fresh HICAMP machine, then dump
+ * the heap auditor's full invariant report, once while the workload's
+ * structures are still live and once after everything is torn down
+ * (when any nonzero refcount is a leak). Exit status is non-zero if
+ * either audit finds a violation, so the tool doubles as a CI check.
+ *
+ * Usage:
+ *   audit [--workload smoke|map|memcached] [--items N] [--requests N]
+ *         [--line-bytes 16|32|64] [--buckets N] [--no-compaction-check]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "analysis/auditor.hh"
+#include "lang/context.hh"
+#include "lang/harray.hh"
+#include "lang/hmap.hh"
+#include "lang/hstring.hh"
+#include "seg/iterator.hh"
+#include "workloads/memcached_workload.hh"
+#include "workloads/webcorpus.hh"
+
+namespace {
+
+using namespace hicamp;
+
+struct CliOptions {
+    std::string workload = "smoke";
+    std::uint64_t items = 200;
+    std::uint64_t requests = 2000;
+    unsigned lineBytes = 16;
+    std::uint64_t buckets = 1 << 14;
+    bool checkCompaction = true;
+};
+
+[[noreturn]] void
+usage(const char *argv0)
+{
+    std::fprintf(
+        stderr,
+        "usage: %s [--workload smoke|map|memcached] [--items N]\n"
+        "          [--requests N] [--line-bytes 16|32|64] [--buckets N]\n"
+        "          [--no-compaction-check]\n",
+        argv0);
+    std::exit(2);
+}
+
+std::uint64_t
+parseU64(const char *s, const char *argv0)
+{
+    char *end = nullptr;
+    std::uint64_t v = std::strtoull(s, &end, 0);
+    if (end == s || *end != '\0')
+        usage(argv0);
+    return v;
+}
+
+CliOptions
+parseArgs(int argc, char **argv)
+{
+    CliOptions o;
+    for (int i = 1; i < argc; ++i) {
+        auto want = [&](const char *flag) {
+            if (std::strcmp(argv[i], flag) != 0)
+                return false;
+            if (i + 1 >= argc)
+                usage(argv[0]);
+            ++i;
+            return true;
+        };
+        if (want("--workload")) {
+            o.workload = argv[i];
+        } else if (want("--items")) {
+            o.items = parseU64(argv[i], argv[0]);
+        } else if (want("--requests")) {
+            o.requests = parseU64(argv[i], argv[0]);
+        } else if (want("--line-bytes")) {
+            o.lineBytes =
+                static_cast<unsigned>(parseU64(argv[i], argv[0]));
+        } else if (want("--buckets")) {
+            o.buckets = parseU64(argv[i], argv[0]);
+        } else if (std::strcmp(argv[i], "--no-compaction-check") == 0) {
+            o.checkCompaction = false;
+        } else {
+            usage(argv[0]);
+        }
+    }
+    if (o.items == 0 || o.buckets == 0)
+        usage(argv[0]);
+    if (o.lineBytes != 16 && o.lineBytes != 32 && o.lineBytes != 64)
+        usage(argv[0]);
+    if (o.workload != "smoke" && o.workload != "map" &&
+        o.workload != "memcached")
+        usage(argv[0]);
+    return o;
+}
+
+/** Audit while the workload's structures are still in scope. */
+bool
+auditLive(Hicamp &hc, const Auditor::Options &aopts)
+{
+    std::printf("\n== audit with live structures\n");
+    AuditReport live = Auditor::audit(hc, aopts);
+    live.print();
+    return live.clean();
+}
+
+/** Mixed array/map/iterator exercise covering all structure layers. */
+bool
+runSmoke(Hicamp &hc, const CliOptions &o, const Auditor::Options &aopts)
+{
+    HArray<std::uint64_t> arr(hc);
+    for (std::uint64_t i = 0; i < o.items; ++i)
+        arr.set(i, i * 0x9e3779b97f4a7c15ull);
+    HMap map(hc);
+    for (std::uint64_t i = 0; i < o.items; ++i) {
+        map.set(HString(hc, "key-" + std::to_string(i)),
+                HString(hc, "value-" + std::to_string(i % 17)));
+    }
+    for (std::uint64_t i = 0; i < o.items; i += 3)
+        map.erase(HString(hc, "key-" + std::to_string(i)));
+    IteratorRegister it(hc.mem, hc.vsm);
+    it.load(arr.vsid(), 0);
+    while (it.next()) {
+    }
+    return auditLive(hc, aopts);
+}
+
+/** Pure HMap churn: set/overwrite/erase with deduplicating values. */
+bool
+runMap(Hicamp &hc, const CliOptions &o, const Auditor::Options &aopts)
+{
+    HMap map(hc);
+    for (std::uint64_t r = 0; r < o.requests; ++r) {
+        const std::uint64_t k = r % o.items;
+        HString key(hc, "k" + std::to_string(k));
+        if (r % 7 == 6) {
+            map.erase(key);
+        } else {
+            map.set(key,
+                    HString(hc, "payload-" + std::to_string(r % 31)));
+        }
+    }
+    return auditLive(hc, aopts);
+}
+
+/** The paper's memcached trace replayed onto an HMap. */
+bool
+runMemcached(Hicamp &hc, const CliOptions &o,
+             const Auditor::Options &aopts)
+{
+    WebCorpus::Params cp;
+    cp.numItems = o.items;
+    cp.maxBytes = 2048;
+    auto items = WebCorpus::generate(cp);
+    McWorkloadParams mp;
+    mp.numRequests = o.requests;
+    auto reqs = generateMcRequests(items, mp);
+
+    HMap map(hc);
+    for (const auto &it : items)
+        map.set(HString(hc, it.key), HString(hc, it.payload));
+    for (const auto &r : reqs) {
+        HString key(hc, items[r.itemIndex].key);
+        switch (r.op) {
+          case McRequest::Op::Get:
+            map.get(key);
+            break;
+          case McRequest::Op::Set:
+            map.set(key, HString(hc, r.newValue));
+            break;
+          case McRequest::Op::Delete:
+            map.erase(key);
+            break;
+        }
+    }
+    return auditLive(hc, aopts);
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    CliOptions o = parseArgs(argc, argv);
+
+    MemoryConfig cfg;
+    cfg.lineBytes = o.lineBytes;
+    cfg.numBuckets = o.buckets;
+    Hicamp hc(cfg);
+
+    Auditor::Options aopts;
+    aopts.checkCompaction = o.checkCompaction;
+
+    std::printf("== workload: %s (items=%llu requests=%llu "
+                "line=%uB buckets=%llu)\n",
+                o.workload.c_str(),
+                static_cast<unsigned long long>(o.items),
+                static_cast<unsigned long long>(o.requests),
+                o.lineBytes,
+                static_cast<unsigned long long>(o.buckets));
+    bool clean;
+    if (o.workload == "smoke") {
+        clean = runSmoke(hc, o, aopts);
+    } else if (o.workload == "map") {
+        clean = runMap(hc, o, aopts);
+    } else if (o.workload == "memcached") {
+        clean = runMemcached(hc, o, aopts);
+    } else {
+        usage(argv[0]);
+    }
+
+    // Structures are destroyed; every surviving refcount is a leak.
+    std::printf("\n== audit after teardown\n");
+    AuditReport post = Auditor::audit(hc, aopts);
+    post.print();
+    clean = clean && post.clean();
+
+    return clean ? 0 : 1;
+}
