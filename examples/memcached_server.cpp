@@ -7,23 +7,72 @@
  * absorbs concurrent writers.
  *
  * Build & run:  ./build/examples/example_memcached_server
+ *     [--fault-seed S] [--fault-alloc-p P] [--fault-alloc-every N]
+ *     [--fault-flip-p P] [--fault-flip-every N]
+ *
+ * The fault flags turn on the deterministic injector: transient
+ * allocation failures are absorbed by the containers' bounded retry
+ * loops, DRAM bit flips are (almost always) caught by the §3.1
+ * content-hash check, and whatever surfaces anyway is reported as a
+ * typed MemPressureError per request rather than an abort.
  */
 
 #include <atomic>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <thread>
 #include <vector>
 
 #include "apps/memcached/hicamp_memcached.hh"
+#include "common/fault.hh"
+#include "common/status.hh"
 #include "workloads/memcached_workload.hh"
 
 using namespace hicamp;
 
+namespace {
+
+FaultConfig
+parseFaultFlags(int argc, char **argv)
+{
+    FaultConfig fc;
+    for (int i = 1; i < argc; ++i) {
+        auto want = [&](const char *flag) {
+            if (std::strcmp(argv[i], flag) != 0)
+                return false;
+            if (++i >= argc) {
+                std::fprintf(stderr, "%s needs a value\n", flag);
+                std::exit(2);
+            }
+            return true;
+        };
+        if (want("--fault-seed"))
+            fc.seed = std::strtoull(argv[i], nullptr, 0);
+        else if (want("--fault-alloc-p"))
+            fc.allocFailP = std::strtod(argv[i], nullptr);
+        else if (want("--fault-alloc-every"))
+            fc.allocFailEvery = std::strtoull(argv[i], nullptr, 0);
+        else if (want("--fault-flip-p"))
+            fc.bitFlipP = std::strtod(argv[i], nullptr);
+        else if (want("--fault-flip-every"))
+            fc.bitFlipEvery = std::strtoull(argv[i], nullptr, 0);
+        else {
+            std::fprintf(stderr, "unknown flag %s\n", argv[i]);
+            std::exit(2);
+        }
+    }
+    return fc;
+}
+
+} // namespace
+
 int
-main()
+main(int argc, char **argv)
 {
     MemoryConfig cfg;
     cfg.numBuckets = 1 << 17;
+    cfg.faults = parseFaultFlags(argc, argv);
     Hicamp hc(cfg);
     HicampMemcached server(hc);
 
@@ -48,6 +97,7 @@ main()
     constexpr int kClients = 4;
     constexpr int kRequestsPerClient = 1500;
     std::atomic<std::uint64_t> hits{0}, misses{0}, sets{0};
+    std::atomic<std::uint64_t> pressureErrors{0};
     std::vector<std::thread> clients;
     for (int c = 0; c < kClients; ++c) {
         clients.emplace_back([&, c] {
@@ -55,16 +105,22 @@ main()
             Zipf pop(items.size(), 0.9);
             for (int i = 0; i < kRequestsPerClient; ++i) {
                 const auto idx = pop.sample(rng);
-                if (rng.chance(0.9)) {
-                    if (server.get(items[idx].key))
-                        ++hits;
-                    else
-                        ++misses;
-                } else {
-                    std::string v = WebCorpus::mutate(
-                        items[idx].payload, rng);
-                    server.set(items[idx].key, v);
-                    ++sets;
+                try {
+                    if (rng.chance(0.9)) {
+                        if (server.get(items[idx].key))
+                            ++hits;
+                        else
+                            ++misses;
+                    } else {
+                        std::string v = WebCorpus::mutate(
+                            items[idx].payload, rng);
+                        server.set(items[idx].key, v);
+                        ++sets;
+                    }
+                } catch (const MemPressureError &) {
+                    // Bounded retries exhausted under injection: the
+                    // request fails cleanly; the store stays intact.
+                    ++pressureErrors;
                 }
             }
         });
@@ -84,5 +140,19 @@ main()
                 static_cast<unsigned long long>(hc.vsm.mergeFailures()));
     std::printf("map entries now: %llu\n",
                 static_cast<unsigned long long>(server.map().size()));
+    if (hc.mem.faults().config().anyEnabled()) {
+        const auto &f = hc.mem.faults();
+        const auto &ct = hc.mem.contention();
+        std::printf(
+            "fault injection: %llu alloc failures injected, %llu bit "
+            "flips (%llu caught, %llu silent); %llu retries spun, "
+            "%llu requests failed with a typed pressure error\n",
+            static_cast<unsigned long long>(f.allocFailsInjected()),
+            static_cast<unsigned long long>(f.bitFlipsInjected()),
+            static_cast<unsigned long long>(hc.mem.flipsRecovered()),
+            static_cast<unsigned long long>(hc.mem.flipsSilent()),
+            static_cast<unsigned long long>(ct.retries.load()),
+            static_cast<unsigned long long>(pressureErrors.load()));
+    }
     return 0;
 }

@@ -40,6 +40,8 @@ auditKindName(AuditKind k)
         return "bucket-layout";
       case AuditKind::CounterDrift:
         return "counter-drift";
+      case AuditKind::RefSaturated:
+        return "refcount-saturated";
     }
     return "unknown";
 }
@@ -53,6 +55,7 @@ constexpr AuditKind kAllKinds[] = {
     AuditKind::DagCycle,       AuditKind::DagMalformed,
     AuditKind::CompactionPath, AuditKind::CompactionData,
     AuditKind::BucketLayout,   AuditKind::CounterDrift,
+    AuditKind::RefSaturated,
 };
 
 /** Replicates SegBuilder::tryInline's packability test (no output). */
@@ -106,6 +109,13 @@ class AuditRun
             rep_.violations.push_back({kind, plid, std::move(detail)});
         else
             ++rep_.truncated;
+    }
+
+    void
+    info(AuditKind kind, Plid plid, std::string detail)
+    {
+        if (rep_.infos.size() < opts_.maxViolations)
+            rep_.infos.push_back({kind, plid, std::move(detail)});
     }
 
     /** Record one reference made to @p target from @p holder. */
@@ -313,6 +323,18 @@ class AuditRun
                 it == expected_.end() ? 0 : it->second;
             if (refs == exp)
                 continue;
+            if (store_.refcountSaturated(p)) {
+                // Sticky saturation (§3.1): the stored count stopped
+                // tracking in-edges on purpose; the line is immortal,
+                // not leaked or in danger of dangling.
+                info(AuditKind::RefSaturated, p,
+                     strfmt("refcount pinned at sticky max %u "
+                            "(%llu references accounted); line is "
+                            "immortal by design",
+                            refs,
+                            static_cast<unsigned long long>(exp)));
+                continue;
+            }
             if (refs > exp) {
                 add(AuditKind::RefLeak, p,
                     strfmt("stored refcount %u but only %llu "
@@ -572,6 +594,8 @@ AuditReport::count(AuditKind k) const
     std::uint64_t n = 0;
     for (const auto &v : violations)
         n += v.kind == k ? 1 : 0;
+    for (const auto &v : infos)
+        n += v.kind == k ? 1 : 0;
     return n;
 }
 
@@ -579,13 +603,18 @@ std::string
 AuditReport::summary() const
 {
     if (clean()) {
-        return strfmt("heap audit clean: %llu lines, %llu edges, %llu "
-                      "roots, %llu iterators",
-                      static_cast<unsigned long long>(linesScanned),
-                      static_cast<unsigned long long>(edgesScanned),
-                      static_cast<unsigned long long>(rootsScanned),
-                      static_cast<unsigned long long>(
-                          iteratorsScanned));
+        std::string s =
+            strfmt("heap audit clean: %llu lines, %llu edges, %llu "
+                   "roots, %llu iterators",
+                   static_cast<unsigned long long>(linesScanned),
+                   static_cast<unsigned long long>(edgesScanned),
+                   static_cast<unsigned long long>(rootsScanned),
+                   static_cast<unsigned long long>(iteratorsScanned));
+        if (!infos.empty()) {
+            s += strfmt(" (%llu informational)",
+                        static_cast<unsigned long long>(infos.size()));
+        }
+        return s;
     }
     std::string s =
         strfmt("heap audit FAILED: %llu violation(s)",
@@ -627,6 +656,12 @@ AuditReport::print(std::FILE *out) const
         static_cast<unsigned long long>(iteratorsScanned),
         static_cast<unsigned long long>(externalRefs),
         static_cast<unsigned long long>(refsAccounted));
+    for (const auto &v : infos) {
+        std::fprintf(out, "  info [%s] plid=%#llx %s\n",
+                     auditKindName(v.kind),
+                     static_cast<unsigned long long>(v.plid),
+                     v.detail.c_str());
+    }
     if (clean()) {
         std::fprintf(out, "verdict: CLEAN\n");
         return;

@@ -61,6 +61,7 @@ enum class AuditKind : std::uint8_t {
     CompactionData,  ///< packable subtree that should be inline
     BucketLayout,    ///< line in wrong bucket / bad signature / chain
     CounterDrift,    ///< store counters disagree with a full scan
+    RefSaturated,    ///< sticky-saturated refcount (informational)
 };
 
 /** Stable display name of an AuditKind. */
@@ -80,6 +81,13 @@ struct AuditReport {
     /// recorded)
     std::uint64_t truncated = 0;
 
+    /// Informational observations that are expected behaviour, not
+    /// corruption — today only RefSaturated: a limited-width refcount
+    /// pinned at its sticky maximum (§3.1) legitimately disagrees with
+    /// the accounted in-edges, and the line is immortal by design.
+    /// Never affects clean().
+    std::vector<AuditViolation> infos;
+
     /// @name Scan counters
     /// @{
     std::uint64_t linesScanned = 0;
@@ -97,6 +105,7 @@ struct AuditReport {
         return violations.empty() && truncated == 0;
     }
 
+    /** Occurrences of @p k across violations and infos. */
     std::uint64_t count(AuditKind k) const;
 
     /** One-line verdict plus the first few violations. */

@@ -78,11 +78,19 @@ ConvMemcached::findInChain(const std::string &key, std::uint64_t h,
     return -1;
 }
 
-void
+bool
 ConvMemcached::set(const std::string &key, std::uint64_t value_bytes)
 {
     const std::uint64_t h = fnv1a(key.data(), key.size());
     requestPath(key.size() + value_bytes);
+
+    // Reject oversized items before touching the stored state (the
+    // replace path below frees the old chunk first).
+    if (kHeaderBytes + key.size() + value_bytes > slabs_.maxChunk()) {
+        ++rejectedOversized_;
+        responsePath(8); // "SERVER_ERROR object too large for cache"
+        return false;
+    }
 
     std::int64_t prev = -1;
     std::int64_t found = findInChain(key, h, &prev);
@@ -132,6 +140,7 @@ ConvMemcached::set(const std::string &key, std::uint64_t value_bytes)
     index_[key] = slot;
 
     responsePath(8); // "STORED"
+    return true;
 }
 
 bool

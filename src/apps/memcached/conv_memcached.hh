@@ -34,8 +34,15 @@ class ConvMemcached
      */
     ConvMemcached(unsigned line_bytes, std::uint64_t expected_items);
 
-    /** Store (or replace) a key/value pair. */
-    void set(const std::string &key, std::uint64_t value_bytes);
+    /**
+     * Store (or replace) a key/value pair. Items too large for the
+     * slab allocator are rejected (false; SERVER_ERROR in the real
+     * protocol) without disturbing the stored state.
+     */
+    bool set(const std::string &key, std::uint64_t value_bytes);
+
+    /** Sets rejected because the item exceeded the max chunk size. */
+    std::uint64_t rejectedOversized() const { return rejectedOversized_; }
 
     /** Look up a key; models the full response path on a hit. */
     bool get(const std::string &key);
@@ -98,6 +105,7 @@ class ConvMemcached
     std::vector<std::int64_t> freeSlots_;
     std::vector<std::int64_t> bucketHead_;
     std::unordered_map<std::string, std::int64_t> index_;
+    std::uint64_t rejectedOversized_ = 0;
 };
 
 } // namespace hicamp

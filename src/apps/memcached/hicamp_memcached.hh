@@ -14,6 +14,7 @@
 #include <optional>
 #include <string>
 
+#include "common/backoff.hh"
 #include "lang/hmap.hh"
 
 namespace hicamp {
@@ -88,6 +89,7 @@ class HicampMemcached
     incr(const std::string &key, std::int64_t delta)
     {
         HString k(hc_, key);
+        CommitRetry retry(hc_.mem.retryPolicy(), &hc_.mem.contention());
         for (;;) {
             auto cur = map_.get(k);
             if (!cur)
@@ -101,6 +103,9 @@ class HicampMemcached
             if (map_.compareAndSet(k, *cur,
                                    HString(hc_, std::to_string(nv))))
                 return nv;
+            if (!retry.onConflict())
+                throwRetriesExhausted(MemStatus::Ok,
+                                      "memcached incr value race");
         }
     }
 

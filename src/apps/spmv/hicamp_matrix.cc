@@ -470,6 +470,10 @@ HicampMatrixFootprint
 measureFootprint(const SparseMatrix &m, unsigned line_bytes)
 {
     MemoryConfig cfg;
+    // Footprint measurement is an exact-count analysis built through
+    // single-shot paths with no retry boundary; keep suite-wide fault
+    // injection out of it.
+    cfg.faults.allowEnvOverride = false;
     cfg.lineBytes = line_bytes;
     std::uint64_t want = std::max<std::uint64_t>(m.nnz() / 2, 1 << 12);
     cfg.numBuckets = std::bit_ceil(want);

@@ -1,5 +1,7 @@
 #include "cache/address_space.hh"
 
+#include "common/status.hh"
+
 namespace hicamp {
 
 SlabAllocator::SlabAllocator(Addr base, std::uint64_t min_chunk,
@@ -24,7 +26,10 @@ SlabAllocator::classFor(std::uint64_t bytes) const
         if (classes_[i].chunk >= bytes)
             return i;
     }
-    HICAMP_FATAL("slab allocation larger than max chunk");
+    // Real memcached answers SERVER_ERROR "object too large for
+    // cache"; let the caller reject the request the same way.
+    throw MemPressureError(MemStatus::Oversized,
+                           "slab allocation larger than max chunk");
 }
 
 std::uint64_t

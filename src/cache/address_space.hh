@@ -58,7 +58,10 @@ class SlabAllocator
     SlabAllocator(Addr base, std::uint64_t min_chunk = 96,
                   std::uint64_t max_chunk = 1 << 20, double growth = 1.25);
 
-    /** Allocate a chunk of at least @p bytes; returns its address. */
+    /**
+     * Allocate a chunk of at least @p bytes; returns its address.
+     * Throws MemPressureError(Oversized) past maxChunk().
+     */
     Addr alloc(std::uint64_t bytes);
 
     /** Release a chunk previously returned for @p bytes. */
@@ -66,6 +69,9 @@ class SlabAllocator
 
     /** Rounded chunk size used for a request of @p bytes. */
     std::uint64_t chunkSize(std::uint64_t bytes) const;
+
+    /** Largest allocatable request; bigger ones are rejected. */
+    std::uint64_t maxChunk() const { return maxChunk_; }
 
     /** Total simulated bytes reserved from the region (slab pages). */
     std::uint64_t reservedBytes() const { return region_.used(); }

@@ -1,0 +1,162 @@
+/**
+ * @file
+ * Bounded commit retries with randomized exponential backoff.
+ *
+ * The paper's commit protocol (§3.4) retries a failed CAS after
+ * re-merging against the new current root; §5.1.1 notes that under
+ * high contention the retry itself becomes the bottleneck. Unbounded
+ * spinning also turns pathological contention (or an adversarial
+ * workload) into a livelock. Every retry loop in the model therefore
+ * runs through a CommitRetry: a configurable attempt cap, a seeded
+ * randomized exponential backoff between attempts, and contention
+ * counters (conflicts / retries / backoff iterations / exhaustions)
+ * surfaced through the stats layer.
+ *
+ * Counters are atomic: commit loops in the container layer run
+ * *outside* the memory system's global lock (only the individual CAS
+ * steps take it), so several threads bump them concurrently.
+ */
+
+#ifndef HICAMP_COMMON_BACKOFF_HH
+#define HICAMP_COMMON_BACKOFF_HH
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+
+#include "common/rng.hh"
+#include "common/status.hh"
+
+namespace hicamp {
+
+/** Shape of a bounded retry loop. */
+struct RetryPolicy {
+    /// attempts allowed after the first (0 = fail on first conflict)
+    unsigned maxRetries = 64;
+    /// backoff budget of the first retry, in spin iterations
+    unsigned baseSpins = 8;
+    /// cap on the exponential growth (spins <= baseSpins << maxShift)
+    unsigned maxShift = 10;
+    /// stream seed; each CommitRetry derives its own stream so
+    /// concurrent loops do not share state
+    std::uint64_t seed = 0xb0ff;
+};
+
+/** Contention telemetry shared by every retry loop of one machine. */
+struct ContentionStats {
+    /// commit attempts that lost the CAS race
+    std::atomic<std::uint64_t> conflicts{0};
+    /// attempts re-issued after a conflict or transient failure
+    std::atomic<std::uint64_t> retries{0};
+    /// total randomized backoff iterations spun
+    std::atomic<std::uint64_t> backoffIters{0};
+    /// loops that gave up with MemStatus::TooManyConflicts
+    std::atomic<std::uint64_t> exhausted{0};
+
+    void
+    reset()
+    {
+        conflicts.store(0, std::memory_order_relaxed);
+        retries.store(0, std::memory_order_relaxed);
+        backoffIters.store(0, std::memory_order_relaxed);
+        exhausted.store(0, std::memory_order_relaxed);
+    }
+};
+
+/**
+ * One bounded retry loop: construct per operation, call onConflict()
+ * after each failed attempt. Returns true to go again (after backing
+ * off), false when the attempt budget is spent.
+ *
+ *     CommitRetry retry(policy, &stats);
+ *     for (;;) {
+ *         if (tryOnce())
+ *             return;
+ *         if (!retry.onConflict())
+ *             throw MemPressureError(MemStatus::TooManyConflicts, ...);
+ *     }
+ */
+class CommitRetry
+{
+  public:
+    CommitRetry(const RetryPolicy &policy, ContentionStats *stats)
+        : policy_(policy), stats_(stats),
+          rng_(policy.seed ^ mix64(nextStream()))
+    {
+    }
+
+    unsigned attempts() const { return attempt_; }
+
+    /**
+     * Record a lost attempt; back off and return true if the budget
+     * allows another try, return false (counting the exhaustion) if
+     * not.
+     */
+    bool
+    onConflict()
+    {
+        if (stats_)
+            stats_->conflicts.fetch_add(1, std::memory_order_relaxed);
+        if (attempt_ >= policy_.maxRetries) {
+            if (stats_)
+                stats_->exhausted.fetch_add(1,
+                                            std::memory_order_relaxed);
+            return false;
+        }
+        ++attempt_;
+        if (stats_)
+            stats_->retries.fetch_add(1, std::memory_order_relaxed);
+        backoff();
+        return true;
+    }
+
+  private:
+    void
+    backoff()
+    {
+        const unsigned shift =
+            attempt_ < policy_.maxShift ? attempt_ : policy_.maxShift;
+        const std::uint64_t window =
+            std::uint64_t{policy_.baseSpins} << shift;
+        const std::uint64_t spins = window ? rng_.below(window) + 1 : 0;
+        if (stats_)
+            stats_->backoffIters.fetch_add(spins,
+                                           std::memory_order_relaxed);
+        for (std::uint64_t i = 0; i < spins; ++i) {
+            if ((i & 0xff) == 0xff)
+                std::this_thread::yield();
+            spinSink_.fetch_add(1, std::memory_order_relaxed);
+        }
+    }
+
+    /** Distinct stream id per loop instance (any thread). */
+    static std::uint64_t
+    nextStream()
+    {
+        static std::atomic<std::uint64_t> counter{1};
+        return counter.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    static inline std::atomic<std::uint64_t> spinSink_{0};
+
+    RetryPolicy policy_;
+    ContentionStats *stats_;
+    Rng rng_;
+    unsigned attempt_ = 0;
+};
+
+/**
+ * Escalate a spent retry budget into the MemPressureError a caller
+ * should see: the last observed failure cause if there was one,
+ * TooManyConflicts for a plain lost race.
+ */
+[[noreturn]] inline void
+throwRetriesExhausted(MemStatus last, const char *what)
+{
+    throw MemPressureError(
+        last == MemStatus::Ok ? MemStatus::TooManyConflicts : last, what);
+}
+
+} // namespace hicamp
+
+#endif // HICAMP_COMMON_BACKOFF_HH

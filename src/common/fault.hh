@@ -1,0 +1,185 @@
+/**
+ * @file
+ * Deterministic fault injector for the memory system.
+ *
+ * Models the failure sources a real HICAMP machine has to survive:
+ * allocation failure under memory pressure, multi-bit DRAM errors
+ * that slip past per-line ECC (caught — almost always — by the §3.1
+ * content-hash-vs-bucket integrity check), and reference counts
+ * pinned at their saturation ceiling. Faults fire either every Nth
+ * opportunity (exactly reproducible placement) or with a fixed
+ * probability from a seeded stream, so a failing run can be replayed
+ * bit-for-bit from its seed.
+ *
+ * Wiring: MemoryConfig embeds a FaultConfig; the Memory constructor
+ * optionally overlays environment variables so an entire test suite
+ * or workload binary can run under injection without code changes:
+ *
+ *   HICAMP_FAULT_SEED         injector seed (default 0x5eed)
+ *   HICAMP_FAULT_ALLOC_P      P(allocation fails), e.g. 0.001
+ *   HICAMP_FAULT_ALLOC_EVERY  every Nth fresh allocation fails
+ *   HICAMP_FAULT_FLIP_P       P(bit flip on a DRAM line fetch)
+ *   HICAMP_FAULT_FLIP_EVERY   every Nth DRAM fetch is flipped
+ *
+ * Injected allocation failures are *transient*: retrying the same
+ * allocation later may succeed. That models intermittent pressure
+ * (reclamation freeing lines between attempts) and lets the bounded
+ * retry loops above absorb low-probability injection while genuine
+ * capacity exhaustion still propagates.
+ */
+
+#ifndef HICAMP_COMMON_FAULT_HH
+#define HICAMP_COMMON_FAULT_HH
+
+#include <cstdint>
+#include <cstdlib>
+
+#include "common/rng.hh"
+
+namespace hicamp {
+
+/** Static description of what to inject, and how often. */
+struct FaultConfig {
+    std::uint64_t seed = 0x5eed;
+
+    /// P(fresh line allocation fails); 0 disables
+    double allocFailP = 0.0;
+    /// every Nth fresh allocation fails; 0 disables
+    std::uint64_t allocFailEvery = 0;
+
+    /// P(a DRAM line fetch returns flipped bits); 0 disables
+    double bitFlipP = 0.0;
+    /// every Nth DRAM line fetch is flipped; 0 disables
+    std::uint64_t bitFlipEvery = 0;
+
+    /// every Nth incRef slams the count to the saturation ceiling;
+    /// 0 disables (no probability mode: saturation is sticky, so
+    /// stray injection would make arbitrary test lines immortal)
+    std::uint64_t saturateEvery = 0;
+
+    /// honor the HICAMP_FAULT_* environment overlay (tests asserting
+    /// exact traffic counts opt out so suite-wide injection cannot
+    /// perturb their measurements)
+    bool allowEnvOverride = true;
+
+    bool
+    anyEnabled() const
+    {
+        return allocFailP > 0.0 || allocFailEvery != 0 ||
+               bitFlipP > 0.0 || bitFlipEvery != 0 || saturateEvery != 0;
+    }
+
+    /** @p base overlaid with any HICAMP_FAULT_* environment values. */
+    static FaultConfig
+    fromEnv(FaultConfig base)
+    {
+        if (const char *s = std::getenv("HICAMP_FAULT_SEED"))
+            base.seed = std::strtoull(s, nullptr, 0);
+        if (const char *s = std::getenv("HICAMP_FAULT_ALLOC_P"))
+            base.allocFailP = std::strtod(s, nullptr);
+        if (const char *s = std::getenv("HICAMP_FAULT_ALLOC_EVERY"))
+            base.allocFailEvery = std::strtoull(s, nullptr, 0);
+        if (const char *s = std::getenv("HICAMP_FAULT_FLIP_P"))
+            base.bitFlipP = std::strtod(s, nullptr);
+        if (const char *s = std::getenv("HICAMP_FAULT_FLIP_EVERY"))
+            base.bitFlipEvery = std::strtoull(s, nullptr, 0);
+        return base;
+    }
+};
+
+/**
+ * The runtime injector. All decision points are called with the
+ * memory system's global lock held, so plain state suffices; the
+ * decision stream is a pure function of (config, seed, call order).
+ */
+class FaultInjector
+{
+  public:
+    explicit FaultInjector(const FaultConfig &cfg = {})
+        : cfg_(cfg), rng_(cfg.seed)
+    {
+    }
+
+    const FaultConfig &config() const { return cfg_; }
+
+    /** Replace the fault plan mid-run (targeted tests). */
+    void
+    reconfigure(const FaultConfig &cfg)
+    {
+        cfg_ = cfg;
+        rng_ = Rng(cfg.seed);
+        allocTick_ = flipTick_ = satTick_ = 0;
+    }
+
+    /** Should this fresh line allocation fail? */
+    bool
+    failAlloc()
+    {
+        ++allocTick_;
+        if (cfg_.allocFailEvery != 0 &&
+            allocTick_ % cfg_.allocFailEvery == 0) {
+            ++allocFails_;
+            return true;
+        }
+        if (cfg_.allocFailP > 0.0 && rng_.chance(cfg_.allocFailP)) {
+            ++allocFails_;
+            return true;
+        }
+        return false;
+    }
+
+    /**
+     * Should this DRAM line fetch come back corrupted? On yes, also
+     * reports which word and bit to flip.
+     */
+    bool
+    flipBit(unsigned line_words, unsigned *word_idx, unsigned *bit_idx)
+    {
+        ++flipTick_;
+        bool fire = false;
+        if (cfg_.bitFlipEvery != 0 && flipTick_ % cfg_.bitFlipEvery == 0)
+            fire = true;
+        else if (cfg_.bitFlipP > 0.0 && rng_.chance(cfg_.bitFlipP))
+            fire = true;
+        if (!fire)
+            return false;
+        *word_idx = static_cast<unsigned>(rng_.below(line_words));
+        *bit_idx = static_cast<unsigned>(rng_.below(64));
+        ++bitFlips_;
+        return true;
+    }
+
+    /** Should this incRef pin the count at the saturation ceiling? */
+    bool
+    saturateRef()
+    {
+        if (cfg_.saturateEvery == 0)
+            return false;
+        ++satTick_;
+        if (satTick_ % cfg_.saturateEvery != 0)
+            return false;
+        ++saturations_;
+        return true;
+    }
+
+    /// @name Injection tallies (what actually fired)
+    /// @{
+    std::uint64_t allocFailsInjected() const { return allocFails_; }
+    std::uint64_t bitFlipsInjected() const { return bitFlips_; }
+    std::uint64_t saturationsInjected() const { return saturations_; }
+    /// @}
+
+  private:
+    FaultConfig cfg_;
+    Rng rng_;
+    std::uint64_t allocTick_ = 0;
+    std::uint64_t flipTick_ = 0;
+    std::uint64_t satTick_ = 0;
+    std::uint64_t allocFails_ = 0;
+    std::uint64_t bitFlips_ = 0;
+    std::uint64_t saturations_ = 0;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_COMMON_FAULT_HH

@@ -8,7 +8,9 @@
 #ifndef HICAMP_COMMON_STATS_HH
 #define HICAMP_COMMON_STATS_HH
 
+#include <atomic>
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -32,6 +34,34 @@ class Counter
     std::uint64_t value_;
 };
 
+/**
+ * A counter bumped outside any lock (e.g. the contention telemetry in
+ * the container-layer commit loops, which run concurrently without
+ * the memory system's global lock). Relaxed ordering: these are pure
+ * tallies, never used for synchronization.
+ */
+class AtomicCounter
+{
+  public:
+    AtomicCounter() : value_(0) {}
+
+    void operator+=(std::uint64_t n)
+    {
+        value_.fetch_add(n, std::memory_order_relaxed);
+    }
+    void operator++() { *this += 1; }
+    void operator++(int) { *this += 1; }
+
+    std::uint64_t value() const
+    {
+        return value_.load(std::memory_order_relaxed);
+    }
+    void reset() { value_.store(0, std::memory_order_relaxed); }
+
+  private:
+    std::atomic<std::uint64_t> value_;
+};
+
 /** A named collection of counters owned by a component. */
 class StatGroup
 {
@@ -42,7 +72,24 @@ class StatGroup
     void
     add(const std::string &stat_name, Counter *c)
     {
-        stats_.emplace_back(stat_name, c);
+        stats_.push_back({stat_name, [c] { return c->value(); },
+                          [c] { c->reset(); }});
+    }
+
+    void
+    add(const std::string &stat_name, AtomicCounter *c)
+    {
+        stats_.push_back({stat_name, [c] { return c->value(); },
+                          [c] { c->reset(); }});
+    }
+
+    void
+    add(const std::string &stat_name, std::atomic<std::uint64_t> *c)
+    {
+        stats_.push_back(
+            {stat_name,
+             [c] { return c->load(std::memory_order_relaxed); },
+             [c] { c->store(0, std::memory_order_relaxed); }});
     }
 
     const std::string &name() const { return name_; }
@@ -52,23 +99,27 @@ class StatGroup
     {
         std::vector<std::pair<std::string, std::uint64_t>> out;
         out.reserve(stats_.size());
-        for (const auto &[n, c] : stats_)
-            out.emplace_back(n, c->value());
+        for (const auto &s : stats_)
+            out.emplace_back(s.name, s.get());
         return out;
     }
 
     void
     resetAll()
     {
-        for (auto &[n, c] : stats_) {
-            (void)n;
-            c->reset();
-        }
+        for (auto &s : stats_)
+            s.reset();
     }
 
   private:
+    struct Slot {
+        std::string name;
+        std::function<std::uint64_t()> get;
+        std::function<void()> reset;
+    };
+
     std::string name_;
-    std::vector<std::pair<std::string, Counter *>> stats_;
+    std::vector<Slot> stats_;
 };
 
 } // namespace hicamp

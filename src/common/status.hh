@@ -1,0 +1,92 @@
+/**
+ * @file
+ * Structured memory-pressure failure reporting.
+ *
+ * The paper's memory system is finite by construction: Fig. 2 fixes
+ * the bucket geometry, §3.1 gives reference counts a limited width,
+ * and the overflow area is a bounded region of DRAM. When those
+ * limits are hit the hardware reports failure to software rather than
+ * halting, and software unwinds the partially-built segment. This
+ * header is the software model of that contract: a status code for
+ * every degraded outcome plus the exception that carries it up
+ * through the builder / iterator / VSM / container layers.
+ *
+ * Reference-count contract on failure: any operation that accepts
+ * owned PLID references and can throw MemPressureError *consumes*
+ * those references on the failure path too (releasing them before the
+ * throw), so a caller that catches the error holds exactly the
+ * references it held before the call and the heap stays leak-free —
+ * verified by the analysis-layer auditor after every injected fault.
+ */
+
+#ifndef HICAMP_COMMON_STATUS_HH
+#define HICAMP_COMMON_STATUS_HH
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace hicamp {
+
+/** Outcome of an operation against the finite memory system. */
+enum class MemStatus : std::uint8_t {
+    Ok,
+    /// line allocation failed: home bucket full and the overflow area
+    /// is at capacity, the live-line budget is exhausted, or the
+    /// fault injector forced the allocation to fail
+    OutOfMemory,
+    /// a reference count pinned at its §3.1 saturation ceiling; the
+    /// line is immortal from now on (informational, not an error)
+    RefcountSaturated,
+    /// a bounded commit-retry loop exhausted its attempt budget under
+    /// contention without ever winning the CAS
+    TooManyConflicts,
+    /// request exceeds a structural limit (e.g. a conventional-heap
+    /// slab allocation larger than the maximum chunk class)
+    Oversized,
+};
+
+/** Stable display name of a MemStatus. */
+inline const char *
+memStatusName(MemStatus s)
+{
+    switch (s) {
+      case MemStatus::Ok:
+        return "Ok";
+      case MemStatus::OutOfMemory:
+        return "OutOfMemory";
+      case MemStatus::RefcountSaturated:
+        return "RefcountSaturated";
+      case MemStatus::TooManyConflicts:
+        return "TooManyConflicts";
+      case MemStatus::Oversized:
+        return "Oversized";
+    }
+    return "?";
+}
+
+/**
+ * Thrown when the memory system cannot satisfy a request. Layers
+ * between the line store and the application either translate this to
+ * a status result (e.g. IteratorRegister::tryCommit) or let it
+ * propagate after rolling their partial state back.
+ */
+class MemPressureError : public std::runtime_error
+{
+  public:
+    MemPressureError(MemStatus status, const std::string &what)
+        : std::runtime_error(std::string(memStatusName(status)) + ": " +
+                             what),
+          status_(status)
+    {
+    }
+
+    MemStatus status() const { return status_; }
+
+  private:
+    MemStatus status_;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_COMMON_STATUS_HH

@@ -86,6 +86,13 @@ class AtomicHeap
             return it_.tryCommit(stats);
         }
 
+        /**
+         * Why the last commit() returned false: MemStatus::Ok means a
+         * plain conflict (retryable); anything else is memory
+         * pressure during the rebuild or merge.
+         */
+        MemStatus commitStatus() const { return it_.lastCommitStatus(); }
+
         void abort() { it_.abort(); }
 
       private:

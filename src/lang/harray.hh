@@ -18,6 +18,7 @@
 #include <type_traits>
 #include <vector>
 
+#include "common/backoff.hh"
 #include "lang/context.hh"
 
 namespace hicamp {
@@ -72,16 +73,21 @@ class HArray
         return fromWord(it.read());
     }
 
-    /** Single-element update; retries on CAS conflicts. */
+    /** Single-element update; bounded retries on CAS conflicts. */
     void
     set(std::uint64_t i, T v)
     {
         IteratorRegister it(hc_.mem, hc_.vsm);
+        CommitRetry retry(hc_.mem.retryPolicy(), &hc_.mem.contention());
         for (;;) {
             it.load(vsid_, i);
             it.write(toWord(v));
             if (it.tryCommit())
                 return;
+            const MemStatus st = it.lastCommitStatus();
+            it.abort();
+            if (!retry.onConflict())
+                throwRetriesExhausted(st, "HArray::set commit failed");
         }
     }
 
@@ -163,12 +169,18 @@ class HCounterArray
     add(std::uint64_t i, std::uint64_t delta)
     {
         IteratorRegister it(hc_.mem, hc_.vsm);
+        CommitRetry retry(hc_.mem.retryPolicy(), &hc_.mem.contention());
         for (;;) {
             it.load(arr_.vsid(), i);
             std::uint64_t cur = it.read();
             it.write(cur + delta);
             if (it.tryCommit())
                 return;
+            const MemStatus st = it.lastCommitStatus();
+            it.abort();
+            if (!retry.onConflict())
+                throwRetriesExhausted(st,
+                                      "HCounterArray::add commit failed");
         }
     }
 

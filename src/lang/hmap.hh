@@ -20,6 +20,7 @@
 #include <optional>
 #include <utility>
 
+#include "common/backoff.hh"
 #include "lang/hstring.hh"
 #include "seg/iterator.hh"
 
@@ -38,8 +39,9 @@ class HMap
         SegGeometry geo(hc.mem.fanout());
         SegDesc empty;
         empty.height = geo.heightForWords(kIndexSpace);
-        vsid_ = hc.vsm.create(empty,
-                              merge_update ? std::uint32_t{kSegMergeUpdate} : std::uint32_t{0});
+        vsid_ = hc.vsm.create(empty, merge_update
+                                         ? std::uint32_t{kSegMergeUpdate}
+                                         : std::uint32_t{0});
     }
 
     ~HMap() { hc_.vsm.destroy(vsid_); }
@@ -58,19 +60,34 @@ class HMap
 
     /**
      * Insert or update. Retries internally on commit conflicts (rare
-     * under merge-update: only same-slot value races).
+     * under merge-update: only same-slot value races), bounded by the
+     * memory's RetryPolicy; throws MemPressureError when the budget
+     * is spent or the store is out of memory.
      */
     void
     set(const HString &key, const HString &value)
     {
         IteratorRegister it(hc_.mem, hc_.vsm);
+        CommitRetry retry(hc_.mem.retryPolicy(), &hc_.mem.contention());
         for (;;) {
-            Plid pair = makePair(key, value);
-            it.load(vsid_, slotOf(key));
-            it.write(pair, WordMeta::plid());
-            if (it.tryCommit())
-                return;
-            it.abort(); // releases the pending pair reference
+            MemStatus st = MemStatus::Ok;
+            try {
+                it.load(vsid_, slotOf(key));
+                Plid pair = makePair(key, value);
+                it.write(pair, WordMeta::plid());
+                if (it.tryCommit())
+                    return;
+                st = it.lastCommitStatus();
+            } catch (const MemPressureError &e) {
+                // A transient allocation failure inside the pair build
+                // unwinds leak-free (makePair consumes its references
+                // on failure), so treat it like a commit conflict and
+                // let the bounded backoff absorb injected faults.
+                st = e.status();
+            }
+            it.abort(); // releases any pending pair reference
+            if (!retry.onConflict())
+                throwRetriesExhausted(st, "HMap::set commit failed");
         }
     }
 
@@ -104,15 +121,24 @@ class HMap
     add(const HString &key, const HString &value)
     {
         IteratorRegister it(hc_.mem, hc_.vsm);
+        CommitRetry retry(hc_.mem.retryPolicy(), &hc_.mem.contention());
         for (;;) {
-            it.load(vsid_, slotOf(key));
-            if (it.read() != 0)
-                return false;
-            Plid pair = makePair(key, value);
-            it.write(pair, WordMeta::plid());
-            if (it.tryCommit())
-                return true;
+            MemStatus st = MemStatus::Ok;
+            try {
+                it.load(vsid_, slotOf(key));
+                if (it.read() != 0)
+                    return false;
+                Plid pair = makePair(key, value);
+                it.write(pair, WordMeta::plid());
+                if (it.tryCommit())
+                    return true;
+                st = it.lastCommitStatus();
+            } catch (const MemPressureError &e) {
+                st = e.status(); // leak-free unwind; retry as conflict
+            }
             it.abort();
+            if (!retry.onConflict())
+                throwRetriesExhausted(st, "HMap::add commit failed");
         }
     }
 
@@ -124,15 +150,24 @@ class HMap
     replace(const HString &key, const HString &value)
     {
         IteratorRegister it(hc_.mem, hc_.vsm);
+        CommitRetry retry(hc_.mem.retryPolicy(), &hc_.mem.contention());
         for (;;) {
-            it.load(vsid_, slotOf(key));
-            if (it.read() == 0)
-                return false;
-            Plid pair = makePair(key, value);
-            it.write(pair, WordMeta::plid());
-            if (it.tryCommit())
-                return true;
+            MemStatus st = MemStatus::Ok;
+            try {
+                it.load(vsid_, slotOf(key));
+                if (it.read() == 0)
+                    return false;
+                Plid pair = makePair(key, value);
+                it.write(pair, WordMeta::plid());
+                if (it.tryCommit())
+                    return true;
+                st = it.lastCommitStatus();
+            } catch (const MemPressureError &e) {
+                st = e.status(); // leak-free unwind; retry as conflict
+            }
             it.abort();
+            if (!retry.onConflict())
+                throwRetriesExhausted(st, "HMap::replace commit failed");
         }
     }
 
@@ -146,21 +181,31 @@ class HMap
                   const HString &value)
     {
         IteratorRegister it(hc_.mem, hc_.vsm);
+        CommitRetry retry(hc_.mem.retryPolicy(), &hc_.mem.contention());
         for (;;) {
-            it.load(vsid_, slotOf(key));
-            WordMeta m;
-            Word w = it.read(&m);
-            if (w == 0 || !m.isPlid())
-                return false;
-            Line pair = hc_.mem.readLine(w);
-            SegDesc cur = hc_.unboxSegment(pair.word(1));
-            if (!(cur == expected.desc()))
-                return false;
-            Plid np = makePair(key, value);
-            it.write(np, WordMeta::plid());
-            if (it.tryCommit())
-                return true;
+            MemStatus st = MemStatus::Ok;
+            try {
+                it.load(vsid_, slotOf(key));
+                WordMeta m;
+                Word w = it.read(&m);
+                if (w == 0 || !m.isPlid())
+                    return false;
+                Line pair = hc_.mem.readLine(w);
+                SegDesc cur = hc_.unboxSegment(pair.word(1));
+                if (!(cur == expected.desc()))
+                    return false;
+                Plid np = makePair(key, value);
+                it.write(np, WordMeta::plid());
+                if (it.tryCommit())
+                    return true;
+                st = it.lastCommitStatus();
+            } catch (const MemPressureError &e) {
+                st = e.status(); // leak-free unwind; retry as conflict
+            }
             it.abort();
+            if (!retry.onConflict())
+                throwRetriesExhausted(
+                    st, "HMap::compareAndSet commit failed");
         }
     }
 
@@ -169,6 +214,7 @@ class HMap
     erase(const HString &key)
     {
         IteratorRegister it(hc_.mem, hc_.vsm);
+        CommitRetry retry(hc_.mem.retryPolicy(), &hc_.mem.contention());
         for (;;) {
             it.load(vsid_, slotOf(key));
             WordMeta m;
@@ -177,6 +223,10 @@ class HMap
             it.write(0);
             if (it.tryCommit())
                 return true;
+            const MemStatus st = it.lastCommitStatus();
+            it.abort();
+            if (!retry.onConflict())
+                throwRetriesExhausted(st, "HMap::erase commit failed");
         }
     }
 
@@ -233,10 +283,19 @@ class HMap
     makePair(const HString &key, const HString &value)
     {
         SegBuilder b(hc_.mem);
+        // Retain each root just before boxing it: boxSegment consumes
+        // the reference even when it throws, so this ordering keeps a
+        // failed pair build leak-free.
         b.retain(key.desc().root);
-        b.retain(value.desc().root);
         Plid kb = hc_.boxSegment(key.desc());
-        Plid vb = hc_.boxSegment(value.desc());
+        b.retain(value.desc().root);
+        Plid vb;
+        try {
+            vb = hc_.boxSegment(value.desc());
+        } catch (const MemPressureError &) {
+            hc_.mem.decRef(kb);
+            throw;
+        }
         Line pair = hc_.mem.makeLine();
         pair.set(0, kb, WordMeta::plid());
         pair.set(1, vb, WordMeta::plid());

@@ -22,6 +22,7 @@
 
 #include <vector>
 
+#include "common/backoff.hh"
 #include "lang/hstring.hh"
 #include "seg/iterator.hh"
 
@@ -128,11 +129,16 @@ class HObject
     {
         HICAMP_ASSERT(field < fields_, "object field out of range");
         IteratorRegister it(hc_->mem, hc_->vsm);
+        CommitRetry retry(hc_->mem.retryPolicy(), &hc_->mem.contention());
         for (;;) {
             it.load(vsid_, field);
             it.write(w, m);
             if (it.tryCommit())
                 return;
+            const MemStatus st = it.lastCommitStatus();
+            it.abort();
+            if (!retry.onConflict())
+                throwRetriesExhausted(st, "HObject field commit failed");
         }
     }
 

@@ -15,6 +15,7 @@
 
 #include <optional>
 
+#include "common/backoff.hh"
 #include "lang/hstring.hh"
 #include "seg/iterator.hh"
 
@@ -39,17 +40,26 @@ class HQueue
     push(const HString &value)
     {
         IteratorRegister it(hc_.mem, hc_.vsm);
+        CommitRetry retry(hc_.mem.retryPolicy(), &hc_.mem.contention());
         for (;;) {
-            SegBuilder(hc_.mem).retain(value.desc().root);
-            Plid box = hc_.boxSegment(value.desc());
-            it.load(vsid_, 1);
-            Word tail = it.read();
-            it.write(tail + 1);
-            it.seek(2 + tail);
-            it.write(box, WordMeta::plid());
-            if (it.tryCommit())
-                return;
+            MemStatus st = MemStatus::Ok;
+            try {
+                it.load(vsid_, 1);
+                SegBuilder(hc_.mem).retain(value.desc().root);
+                Plid box = hc_.boxSegment(value.desc());
+                Word tail = it.read();
+                it.write(tail + 1);
+                it.seek(2 + tail);
+                it.write(box, WordMeta::plid());
+                if (it.tryCommit())
+                    return;
+                st = it.lastCommitStatus();
+            } catch (const MemPressureError &e) {
+                st = e.status(); // leak-free unwind; retry as conflict
+            }
             it.abort();
+            if (!retry.onConflict())
+                throwRetriesExhausted(st, "HQueue::push commit failed");
         }
     }
 
@@ -57,6 +67,7 @@ class HQueue
     pop()
     {
         IteratorRegister it(hc_.mem, hc_.vsm);
+        CommitRetry retry(hc_.mem.retryPolicy(), &hc_.mem.contention());
         for (;;) {
             it.load(vsid_, 0);
             Word head = it.read();
@@ -77,7 +88,10 @@ class HQueue
             it.write(head + 1);
             if (it.tryCommit())
                 return out;
+            const MemStatus st = it.lastCommitStatus();
             it.abort();
+            if (!retry.onConflict())
+                throwRetriesExhausted(st, "HQueue::pop commit failed");
         }
     }
 

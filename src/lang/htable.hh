@@ -20,6 +20,7 @@
 #include <functional>
 #include <optional>
 
+#include "common/backoff.hh"
 #include "lang/hstring.hh"
 #include "seg/iterator.hh"
 
@@ -99,17 +100,29 @@ class HTable
     insert(const HString &row)
     {
         IteratorRegister it(hc_.mem, hc_.vsm);
+        CommitRetry retry(hc_.mem.retryPolicy(), &hc_.mem.contention());
         for (;;) {
-            SegBuilder(hc_.mem).retain(row.desc().root);
-            Plid box = hc_.boxSegment(row.desc());
-            it.load(vsid_, 0);
-            std::uint64_t id = it.read(); // word 0: row count
-            it.write(id + 1);
-            it.seek(1 + id);
-            it.write(box, WordMeta::plid());
-            if (it.tryCommit())
-                return id;
-            it.abort(); // counter collided with a concurrent insert
+            MemStatus st = MemStatus::Ok;
+            try {
+                it.load(vsid_, 0);
+                SegBuilder(hc_.mem).retain(row.desc().root);
+                Plid box = hc_.boxSegment(row.desc());
+                std::uint64_t id = it.read(); // word 0: row count
+                it.write(id + 1);
+                it.seek(1 + id);
+                it.write(box, WordMeta::plid());
+                if (it.tryCommit())
+                    return id;
+                st = it.lastCommitStatus();
+                // counter collided with a concurrent insert
+            } catch (const MemPressureError &e) {
+                // boxSegment/seek unwind leak-free on pressure; retry
+                // like a conflict so injected faults are absorbed.
+                st = e.status();
+            }
+            it.abort();
+            if (!retry.onConflict())
+                throwRetriesExhausted(st, "HTable::insert commit failed");
         }
     }
 
@@ -133,6 +146,7 @@ class HTable
     erase(std::uint64_t row_id)
     {
         IteratorRegister it(hc_.mem, hc_.vsm);
+        CommitRetry retry(hc_.mem.retryPolicy(), &hc_.mem.contention());
         for (;;) {
             it.load(vsid_, 1 + row_id);
             if (it.read() == 0)
@@ -140,6 +154,10 @@ class HTable
             it.write(0);
             if (it.tryCommit())
                 return true;
+            const MemStatus st = it.lastCommitStatus();
+            it.abort();
+            if (!retry.onConflict())
+                throwRetriesExhausted(st, "HTable::erase commit failed");
         }
     }
 
@@ -148,15 +166,24 @@ class HTable
     update(std::uint64_t row_id, const HString &row)
     {
         IteratorRegister it(hc_.mem, hc_.vsm);
+        CommitRetry retry(hc_.mem.retryPolicy(), &hc_.mem.contention());
         for (;;) {
-            it.load(vsid_, 1 + row_id);
-            if (it.read() == 0)
-                return false;
-            SegBuilder(hc_.mem).retain(row.desc().root);
-            it.write(hc_.boxSegment(row.desc()), WordMeta::plid());
-            if (it.tryCommit())
-                return true;
+            MemStatus st = MemStatus::Ok;
+            try {
+                it.load(vsid_, 1 + row_id);
+                if (it.read() == 0)
+                    return false;
+                SegBuilder(hc_.mem).retain(row.desc().root);
+                it.write(hc_.boxSegment(row.desc()), WordMeta::plid());
+                if (it.tryCommit())
+                    return true;
+                st = it.lastCommitStatus();
+            } catch (const MemPressureError &e) {
+                st = e.status(); // leak-free unwind; retry as conflict
+            }
             it.abort();
+            if (!retry.onConflict())
+                throwRetriesExhausted(st, "HTable::update commit failed");
         }
     }
 

@@ -18,7 +18,13 @@ plidOf(std::uint64_t bucket, unsigned data_way)
 } // namespace
 
 LineStore::LineStore(std::uint64_t num_buckets, unsigned line_words)
-    : numBuckets_(num_buckets), lineWords_(line_words),
+    : LineStore(num_buckets, line_words, Limits{})
+{
+}
+
+LineStore::LineStore(std::uint64_t num_buckets, unsigned line_words,
+                     const Limits &limits)
+    : numBuckets_(num_buckets), lineWords_(line_words), limits_(limits),
       words_(num_buckets * BucketLayout::kNumData * line_words, 0),
       metas_(num_buckets * BucketLayout::kNumData * line_words, 0),
       sigs_(num_buckets * BucketLayout::kNumData, 0),
@@ -29,6 +35,11 @@ LineStore::LineStore(std::uint64_t num_buckets, unsigned line_words)
                   "bucket count must be a power of two");
     HICAMP_ASSERT(line_words == 2 || line_words == 4 || line_words == 8,
                   "line width must be 2, 4 or 8 words");
+    HICAMP_ASSERT(limits.refcountBits >= 2 && limits.refcountBits <= 32,
+                  "refcount width must be 2..32 bits");
+    refMax_ = limits.refcountBits == 32
+                  ? ~std::uint32_t{0}
+                  : (std::uint32_t{1} << limits.refcountBits) - 1;
 }
 
 std::uint64_t
@@ -127,6 +138,11 @@ LineStore::findOrInsert(const Line &content)
     if (r.found)
         return r;
 
+    if (liveLines_ >= limits_.maxLiveLines) {
+        r.status = MemStatus::OutOfMemory;
+        return r;
+    }
+
     const std::uint64_t hash = content.contentHash();
     const std::uint64_t b = bucketOf(hash);
     const std::uint8_t sig = signatureOfHash(hash);
@@ -151,7 +167,12 @@ LineStore::findOrInsert(const Line &content)
         }
     }
 
-    // Home bucket full: spill to the overflow area.
+    // Home bucket full: spill to the overflow area, if the finite
+    // capacity model still has room for one more line.
+    if (overflowLive_ >= limits_.overflowCapacity) {
+        r.status = MemStatus::OutOfMemory;
+        return r;
+    }
     std::uint64_t idx;
     if (!overflowFree_.empty()) {
         idx = overflowFree_.back();
@@ -216,28 +237,51 @@ LineStore::refCount(Plid plid) const
     return refs_[slotOf(plid)];
 }
 
-std::uint32_t
-LineStore::addRef(Plid plid, std::int32_t delta)
+std::uint32_t *
+LineStore::refSlot(Plid plid)
 {
     HICAMP_DEBUG_ASSERT(plid != kZeroPlid, "refcounting the zero line");
-    std::uint32_t *refs;
     if (isOverflow(plid)) {
         OverflowEntry &e = overflow_[plid - kOverflowBase];
         HICAMP_DEBUG_ASSERT(e.live, "refcount of dead overflow line");
-        refs = &e.refs;
-    } else {
-        const std::uint64_t slot = slotOf(plid);
-        HICAMP_DEBUG_ASSERT(slotLive(slot),
-                            "refcount of unallocated PLID");
-        refs = &refs_[slot];
+        return &e.refs;
     }
+    const std::uint64_t slot = slotOf(plid);
+    HICAMP_DEBUG_ASSERT(slotLive(slot), "refcount of unallocated PLID");
+    return &refs_[slot];
+}
+
+std::uint32_t
+LineStore::addRef(Plid plid, std::int32_t delta)
+{
+    std::uint32_t *refs = refSlot(plid);
+    // Sticky saturation (§3.1): a count pinned at the ceiling no
+    // longer tracks references, so neither direction moves it.
+    if (*refs == refMax_)
+        return *refs;
     if (delta < 0) {
         HICAMP_ASSERT(*refs >= static_cast<std::uint32_t>(-delta),
                       "refcount underflow");
     }
-    *refs = static_cast<std::uint32_t>(
+    const std::uint64_t next = static_cast<std::uint64_t>(
         static_cast<std::int64_t>(*refs) + delta);
+    if (next >= refMax_) {
+        *refs = refMax_;
+        ++saturatedLines_;
+    } else {
+        *refs = static_cast<std::uint32_t>(next);
+    }
     return *refs;
+}
+
+void
+LineStore::saturateRef(Plid plid)
+{
+    std::uint32_t *refs = refSlot(plid);
+    if (*refs == refMax_)
+        return;
+    *refs = refMax_;
+    ++saturatedLines_;
 }
 
 void

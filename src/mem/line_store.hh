@@ -22,9 +22,13 @@
 #include <vector>
 
 #include "common/line.hh"
+#include "common/status.hh"
 #include "common/types.hh"
 
 namespace hicamp {
+
+/** "No limit" value for the capacity knobs below. */
+inline constexpr std::uint64_t kUnlimited = ~std::uint64_t{0};
 
 /** Layout constants of a hash bucket (Fig. 2). */
 struct BucketLayout {
@@ -50,10 +54,24 @@ inline constexpr Plid kOverflowBase = Plid{1} << 48;
 class LineStore
 {
   public:
+    /** Finite-capacity knobs (paper Fig. 2 / §3.1). */
+    struct Limits {
+        /// lines the overflow area can hold at once
+        std::uint64_t overflowCapacity = kUnlimited;
+        /// total live lines (home buckets + overflow)
+        std::uint64_t maxLiveLines = kUnlimited;
+        /// reference-count field width; counts saturate sticky at
+        /// 2^bits - 1 (§3.1: limited-width counts, saturating)
+        unsigned refcountBits = 32;
+    };
+
     /**
      * @param num_buckets number of hash buckets (power of two)
      * @param line_words  words per line (2, 4 or 8)
+     * @param limits      finite-capacity model (default: unlimited)
      */
+    LineStore(std::uint64_t num_buckets, unsigned line_words,
+              const Limits &limits);
     LineStore(std::uint64_t num_buckets, unsigned line_words);
 
     unsigned lineWords() const { return lineWords_; }
@@ -74,6 +92,11 @@ class LineStore
         bool found = false;
         /// line landed in (or was found in) the overflow area
         bool overflow = false;
+        /// OutOfMemory when an allocation was needed but the home
+        /// bucket was full and the overflow area / live-line budget
+        /// was exhausted (plid stays 0; the probe traffic in
+        /// `candidates` was still paid)
+        MemStatus status = MemStatus::Ok;
         /// PLIDs whose signature matched, in probe order (the final
         /// element is the match itself when found in the home bucket)
         std::vector<Plid> candidates;
@@ -82,6 +105,8 @@ class LineStore
     /**
      * Look for @p content; if absent, allocate it (in its home bucket
      * or, when full, the overflow area). Does NOT touch refcounts.
+     * Allocation can fail against the Limits: the result then carries
+     * MemStatus::OutOfMemory and no state was changed.
      */
     FindResult findOrInsert(const Line &content);
 
@@ -95,8 +120,37 @@ class LineStore
     bool isLive(Plid plid) const;
 
     std::uint32_t refCount(Plid plid) const;
-    /** Adjust a refcount; returns the new value. */
+    /**
+     * Adjust a refcount; returns the new value. Counts saturate
+     * sticky at refcountMax() (§3.1): once pinned, neither increments
+     * nor decrements move the count again and the line is immortal.
+     */
     std::uint32_t addRef(Plid plid, std::int32_t delta);
+
+    /// @name Finite-capacity model
+    /// @{
+    /** Saturation ceiling implied by Limits::refcountBits. */
+    std::uint32_t refcountMax() const { return refMax_; }
+
+    /** True if this line's count is pinned at the ceiling. */
+    bool
+    refcountSaturated(Plid plid) const
+    {
+        return plid != kZeroPlid && refCount(plid) == refMax_;
+    }
+
+    /** Pin a line's count at the ceiling (fault injection). */
+    void saturateRef(Plid plid);
+
+    /** Lines whose counts have saturated (they can never be freed). */
+    std::uint64_t saturatedLines() const { return saturatedLines_; }
+
+    std::uint64_t overflowCapacity() const
+    {
+        return limits_.overflowCapacity;
+    }
+    std::uint64_t maxLiveLines() const { return limits_.maxLiveLines; }
+    /// @}
 
     /** Free a (zero-refcount) line slot; clears its signature. */
     void freeLine(Plid plid);
@@ -184,8 +238,13 @@ class LineStore
     bool slotEquals(std::uint64_t slot, const Line &content) const;
     Line materialize(std::uint64_t slot) const;
 
+    std::uint32_t *refSlot(Plid plid);
+
     std::uint64_t numBuckets_;
     unsigned lineWords_;
+    Limits limits_;
+    std::uint32_t refMax_;
+    std::uint64_t saturatedLines_ = 0;
 
     /// numBuckets * kNumData * lineWords
     std::vector<Word> words_;

@@ -14,15 +14,28 @@ constexpr std::uint64_t kVsmIdBase = std::uint64_t{1} << 40;
 } // namespace
 
 Memory::Memory(const MemoryConfig &cfg)
-    : cfg_(cfg), store_(cfg.numBuckets, cfg.lineBytes / kWordBytes),
+    : cfg_(cfg),
+      store_(cfg.numBuckets, cfg.lineBytes / kWordBytes,
+             LineStore::Limits{cfg.overflowCapacity, cfg.maxLiveLines,
+                               cfg.refcountBits}),
       l1_(cfg.l1Bytes, cfg.l1Ways, cfg.lineBytes,
           /*content_searchable=*/false),
       l2_(cfg.l2Bytes, cfg.l2Ways, cfg.lineBytes,
-          /*content_searchable=*/true)
+          /*content_searchable=*/true),
+      faults_(cfg.faults.allowEnvOverride
+                  ? FaultConfig::fromEnv(cfg.faults)
+                  : cfg.faults)
 {
     HICAMP_ASSERT(cfg.lineBytes == 16 || cfg.lineBytes == 32 ||
                       cfg.lineBytes == 64,
                   "line size must be 16, 32 or 64 bytes");
+    pressure_.add("oom_events", &oomEvents_);
+    pressure_.add("flips_recovered", &flipsRecovered_);
+    pressure_.add("flips_silent", &flipsSilent_);
+    pressure_.add("commit_conflicts", &contention_.conflicts);
+    pressure_.add("commit_retries", &contention_.retries);
+    pressure_.add("backoff_iters", &contention_.backoffIters);
+    pressure_.add("commit_exhausted", &contention_.exhausted);
 }
 
 void
@@ -72,6 +85,17 @@ Memory::lookupLocked(const Line &content, bool *was_new)
     ++l2_.misses;
 
     const std::uint64_t home = store_.bucketOf(hash);
+
+    // Fault injection: a fresh allocation (the content is not yet
+    // stored) may fail transiently. Decided before any state or
+    // traffic changes, so the failure path has no side effects.
+    if (faults_.config().anyEnabled() && !store_.find(content).found &&
+        faults_.failAlloc()) {
+        ++oomEvents_;
+        throw MemPressureError(MemStatus::OutOfMemory,
+                               "injected allocation failure");
+    }
+
     auto res = store_.findOrInsert(content);
     const std::uint64_t dram_before = dram_.total();
 
@@ -99,6 +123,17 @@ Memory::lookupLocked(const Line &content, bool *was_new)
     // Walking the overflow pointer area costs an extra row access.
     if (res.overflow)
         dram_.count(DramCat::Lookup);
+
+    if (res.status != MemStatus::Ok) {
+        // Capacity exhausted: the probe traffic above was still paid,
+        // but nothing was allocated and no references were taken.
+        ++oomEvents_;
+        if (dram_.total() > dram_before)
+            ++rowActs_;
+        throw MemPressureError(res.status,
+                               "line allocation failed: store at "
+                               "capacity");
+    }
 
     if (!res.found) {
         // Fresh allocation: update the signature line and place the
@@ -129,7 +164,18 @@ Memory::internLine(const Line &content)
 {
     std::lock_guard<std::recursive_mutex> g(mutex_);
     bool fresh = false;
-    Plid plid = lookupLocked(content, &fresh);
+    Plid plid;
+    try {
+        plid = lookupLocked(content, &fresh);
+    } catch (const MemPressureError &) {
+        // Consume-on-failure: the caller handed over one reference
+        // per child; release them so the failed intern leaks nothing.
+        for (unsigned i = 0; i < content.size(); ++i) {
+            if (content.meta(i).isPlid() && content.word(i) != 0)
+                decRefLocked(content.word(i));
+        }
+        throw;
+    }
     if (!fresh && plid != kZeroPlid) {
         // Dedup hit: the existing line already owns references to its
         // children; release the caller's.
@@ -170,6 +216,26 @@ Memory::readLineLocked(Plid plid, DramCat cat)
         if (!a2.hit) {
             dram_.count(cat);
             ++rowActs_;
+            // Fault injection: the fetched copy may arrive with a
+            // multi-bit error past per-line ECC. The §3.1 check
+            // catches it when the corrupted content hashes to a
+            // different bucket; the model then refetches (one more
+            // DRAM access) and recovers. A flip that hashes back to
+            // the same bucket would escape — counted, but the model
+            // keeps serving ground truth to stay self-consistent.
+            unsigned widx = 0, bidx = 0;
+            if (faults_.flipBit(content.size(), &widx, &bidx)) {
+                Line flipped = content;
+                flipped.set(widx, flipped.word(widx) ^ (Word{1} << bidx),
+                            flipped.meta(widx));
+                if (store_.bucketOf(flipped.contentHash()) != home) {
+                    ++errorsDetected_;
+                    ++flipsRecovered_;
+                    dram_.count(cat); // the recovery refetch
+                } else {
+                    ++flipsSilent_;
+                }
+            }
             // §3.1 error detection: the line was fetched from DRAM;
             // recompute its content hash and check it still selects
             // the bucket it lives in. Escapes only if the corruption
@@ -191,7 +257,13 @@ Memory::incRef(Plid plid)
     if (plid == kZeroPlid)
         return;
     std::lock_guard<std::recursive_mutex> g(mutex_);
-    store_.addRef(plid, +1);
+    // Fault injection: model a refcount update that overflows its
+    // §3.1 field width — the count pins sticky at the ceiling and the
+    // line becomes immortal (graceful degradation, not an error).
+    if (faults_.saturateRef())
+        store_.saturateRef(plid);
+    else
+        store_.addRef(plid, +1);
     rcTouch(plid);
 }
 

@@ -21,8 +21,11 @@
 #include <functional>
 #include <mutex>
 
+#include "common/backoff.hh"
+#include "common/fault.hh"
 #include "common/line.hh"
 #include "common/stats.hh"
+#include "common/status.hh"
 #include "common/types.hh"
 #include "mem/dram_stats.hh"
 #include "mem/hicamp_cache.hh"
@@ -38,6 +41,24 @@ struct MemoryConfig {
     unsigned l1Ways = 4;
     std::uint64_t l2Bytes = 4 * 1024 * 1024;
     unsigned l2Ways = 16;
+
+    /// @name Finite-capacity / fault model
+    /// @{
+    /// lines the overflow area can hold at once (Fig. 2's overflow
+    /// pointer area is a bounded DRAM region)
+    std::uint64_t overflowCapacity = kUnlimited;
+    /// hard budget on total live lines
+    std::uint64_t maxLiveLines = kUnlimited;
+    /// reference-count field width; counts saturate sticky at
+    /// 2^bits - 1 (§3.1)
+    unsigned refcountBits = 32;
+    /// fault injection plan (off by default; the Memory constructor
+    /// overlays HICAMP_FAULT_* environment variables unless
+    /// faults.allowEnvOverride is cleared)
+    FaultConfig faults;
+    /// shape of every bounded commit-retry loop above this memory
+    RetryPolicy retry;
+    /// @}
 };
 
 /**
@@ -64,6 +85,10 @@ class Memory
      * Lookup-by-content: find or allocate @p content, returning a PLID
      * that owns one fresh reference. All-zero content returns PLID 0.
      * @p was_new reports whether the line was freshly allocated.
+     *
+     * @throws MemPressureError when a fresh allocation is needed but
+     * the store is at capacity (or the fault injector failed it). No
+     * state is changed on the failure path.
      */
     Plid lookup(const Line &content, bool *was_new = nullptr);
 
@@ -73,6 +98,10 @@ class Memory
      * PLID word in @p content; on a dedup hit those references are
      * released (the existing line already owns its children), on a
      * fresh allocation the new line takes them over.
+     *
+     * @throws MemPressureError on allocation failure; the caller's
+     * child references are released first (consume-on-failure), so a
+     * failed intern leaks nothing.
      */
     Plid internLine(const Line &content);
 
@@ -171,6 +200,36 @@ class Memory
      */
     std::uint64_t rowActivations() const { return rowActs_.value(); }
 
+    /// @name Memory-pressure model
+    /// @{
+    /** The deterministic fault injector driving this memory. */
+    FaultInjector &faults() { return faults_; }
+    const FaultInjector &faults() const { return faults_; }
+
+    /** Contention telemetry shared by all commit-retry loops. */
+    ContentionStats &contention() { return contention_; }
+    const ContentionStats &contention() const { return contention_; }
+
+    /** Retry shape the container layer should use. */
+    const RetryPolicy &retryPolicy() const { return cfg_.retry; }
+
+    /**
+     * Pressure / contention counters as a stats-layer group
+     * (oom_events, flip recovery tallies, commit conflict counters).
+     */
+    const StatGroup &pressureStats() const { return pressure_; }
+
+    /** Allocation failures surfaced as MemPressureError. */
+    std::uint64_t oomEvents() const { return oomEvents_.value(); }
+    /** Injected DRAM flips caught by the §3.1 check and refetched. */
+    std::uint64_t flipsRecovered() const
+    {
+        return flipsRecovered_.value();
+    }
+    /** Injected flips that hashed back to the same bucket (escapes). */
+    std::uint64_t flipsSilent() const { return flipsSilent_.value(); }
+    /// @}
+
     void resetTraffic();
 
     /**
@@ -226,6 +285,13 @@ class Memory
     Counter deallocs_;
     Counter errorsDetected_;
     Counter rowActs_;
+
+    FaultInjector faults_;
+    ContentionStats contention_;
+    Counter oomEvents_;
+    Counter flipsRecovered_;
+    Counter flipsSilent_;
+    StatGroup pressure_{"mem.pressure"};
 
     mutable std::recursive_mutex mutex_;
 };

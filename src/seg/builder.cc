@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <cstring>
 
+#include "common/backoff.hh"
 #include "common/logging.hh"
+#include "common/status.hh"
 
 namespace hicamp {
 
@@ -165,7 +167,20 @@ SegBuilder::build(const Word *words, const WordMeta *metas,
             continue;
         }
         const std::uint64_t len = std::min(cw, n - start);
-        kids[c] = build(words + start, metas + start, len, h - 1);
+        try {
+            kids[c] = build(words + start, metas + start, len, h - 1);
+        } catch (const MemPressureError &) {
+            // Consume-on-failure: drop the subtrees already built and
+            // the references of the input words no sub-build consumed
+            // (the failing child released its own range).
+            for (unsigned j = 0; j < c; ++j)
+                release(kids[j]);
+            for (std::uint64_t i = start + len; i < n; ++i) {
+                if (metas[i].isPlid() && words[i] != 0)
+                    mem_.decRef(words[i]);
+            }
+            throw;
+        }
     }
     return makeNode(kids, h - 1);
 }
@@ -187,11 +202,30 @@ SegBuilder::buildWords(const Word *words, const WordMeta *metas,
                        std::uint64_t n)
 {
     const int h = geo_.heightForWords(std::max<std::uint64_t>(n, 1));
-    SegDesc d;
-    d.root = build(words, metas, n, h);
-    d.height = h;
-    d.byteLen = n * kWordBytes;
-    return d;
+
+    // A build over reference-free input consumes nothing, so a
+    // transient allocation failure can be retried in place (bounded,
+    // with backoff); that absorbs low-probability injected faults the
+    // way the §3.4 commit loop absorbs CAS conflicts. Inputs carrying
+    // PLID references cannot be re-attempted here — the failing build
+    // consumed them — so those propagate after one try.
+    bool retryable = true;
+    for (std::uint64_t i = 0; i < n && retryable; ++i)
+        retryable = !(metas[i].isPlid() && words[i] != 0);
+
+    CommitRetry retry(mem_.retryPolicy(), &mem_.contention());
+    for (;;) {
+        try {
+            SegDesc d;
+            d.root = build(words, metas, n, h);
+            d.height = h;
+            d.byteLen = n * kWordBytes;
+            return d;
+        } catch (const MemPressureError &) {
+            if (!retryable || !retry.onConflict())
+                throw;
+        }
+    }
 }
 
 Entry

@@ -75,7 +75,13 @@ IteratorRegister::growTo(std::uint64_t offset)
         kids[0] = work_;
         for (unsigned i = 1; i < F; ++i)
             kids[i] = Entry::zero();
-        work_ = builder_.makeNode(kids, workHeight_);
+        // Guard reference: a failed makeNode consumes the register's
+        // reference to the working root; the guard takes its place so
+        // the register stays valid when the error propagates.
+        const Entry old = builder_.retain(work_);
+        Entry grown = builder_.makeNode(kids, workHeight_);
+        builder_.release(old);
+        work_ = grown;
         ++workHeight_;
         pathValid_ = false;
         pathLeafIdx_ = ~std::uint64_t{0};
@@ -314,8 +320,17 @@ IteratorRegister::rebuild(const Entry &e, int h, std::uint64_t base)
     Entry kids[kMaxLineWords];
     reader_.children(e, h, kids, DramCat::Read);
     Entry merged[kMaxLineWords];
-    for (unsigned c = 0; c < F; ++c)
-        merged[c] = rebuild(kids[c], h - 1, base + c * (cover / F));
+    for (unsigned c = 0; c < F; ++c) {
+        try {
+            merged[c] = rebuild(kids[c], h - 1, base + c * (cover / F));
+        } catch (const MemPressureError &) {
+            // Roll back: release the subtrees already rebuilt so a
+            // failed commit leaks nothing (buffers stay intact).
+            for (unsigned j = 0; j < c; ++j)
+                builder_.release(merged[j]);
+            throw;
+        }
+    }
     return builder_.makeNode(merged, h - 1);
 }
 
@@ -323,24 +338,39 @@ bool
 IteratorRegister::tryCommit(MergeStats *stats)
 {
     HICAMP_ASSERT(loaded_, "commit on unloaded iterator register");
+    commitStatus_ = MemStatus::Ok;
     if (readOnly_)
         return false;
     if (dirty_.empty() && newByteLen_ == 0)
         return true; // nothing to publish
 
-    Entry new_root = rebuild(work_, workHeight_, 0);
+    Entry new_root;
+    try {
+        new_root = rebuild(work_, workHeight_, 0);
+    } catch (const MemPressureError &e) {
+        // rebuild rolled its partial tree back; the write buffers are
+        // intact, so the caller may retry the commit or abort().
+        commitStatus_ = e.status();
+        return false;
+    }
     std::uint64_t len = newByteLen_ != 0
                             ? newByteLen_
                             : std::max(snap_.byteLen, maxWrittenEnd_);
     SegDesc desired{new_root, workHeight_, len};
 
     bool ok;
-    if (vsm_.flags(vsid_) & kSegMergeUpdate) {
-        ok = vsm_.mcas(vsid_, snap_, desired, stats); // consumes root
-    } else {
-        ok = vsm_.cas(vsid_, snap_, desired);
-        if (!ok)
-            builder_.release(new_root);
+    try {
+        if (vsm_.flags(vsid_) & kSegMergeUpdate) {
+            ok = vsm_.mcas(vsid_, snap_, desired, stats); // consumes root
+        } else {
+            ok = vsm_.cas(vsid_, snap_, desired);
+            if (!ok)
+                builder_.release(new_root);
+        }
+    } catch (const MemPressureError &e) {
+        // mcas consumed the proposed root on its failure path too.
+        commitStatus_ = e.status();
+        return false;
     }
     if (!ok)
         return false;

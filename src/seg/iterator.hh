@@ -85,9 +85,20 @@ class IteratorRegister
      * merge-update flag). On success the register reloads the
      * committed version and returns true. On conflict without
      * merge-update, returns false and keeps the buffered writes (the
-     * caller may abort() or re-load and retry).
+     * caller may abort() or re-load and retry). Memory pressure
+     * during the rebuild or merge also returns false — with every
+     * partially-built line released and lastCommitStatus() reporting
+     * the cause — so a failed commit never leaks and the register
+     * stays usable (retry or abort()).
      */
     bool tryCommit(MergeStats *stats = nullptr);
+
+    /**
+     * Why the last tryCommit() returned false: Ok for a plain CAS
+     * conflict (retryable), OutOfMemory / TooManyConflicts when the
+     * memory system rejected it.
+     */
+    MemStatus lastCommitStatus() const { return commitStatus_; }
 
     /** Discard buffered writes and the working tree. */
     void abort();
@@ -142,6 +153,7 @@ class IteratorRegister
     bool loaded_ = false;
     Vsid vsid_ = kNullVsid;
     bool readOnly_ = false;
+    MemStatus commitStatus_ = MemStatus::Ok;
     SegDesc snap_;         ///< retained snapshot (CAS base)
     Entry work_;           ///< owned working root (snapshot + growth)
     int workHeight_ = 0;

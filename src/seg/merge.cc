@@ -1,6 +1,7 @@
 #include "seg/merge.hh"
 
 #include "common/logging.hh"
+#include "common/status.hh"
 
 namespace hicamp {
 
@@ -88,7 +89,16 @@ class Merger
         reader_.children(n, h, nk);
         Entry merged[kMaxLineWords];
         for (unsigned i = 0; i < F; ++i) {
-            auto m = merge(ok[i], ck[i], nk[i], h - 1);
+            std::optional<Entry> m;
+            try {
+                m = merge(ok[i], ck[i], nk[i], h - 1);
+            } catch (const MemPressureError &) {
+                // Memory pressure mid-merge: unwind exactly like a
+                // conflict, then let the commit layer report it.
+                for (unsigned j = 0; j < i; ++j)
+                    builder_.release(merged[j]);
+                throw;
+            }
             if (!m) {
                 for (unsigned j = 0; j < i; ++j)
                     builder_.release(merged[j]);

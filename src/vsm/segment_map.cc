@@ -1,8 +1,11 @@
 #include "vsm/segment_map.hh"
 
 #include <algorithm>
+#include <optional>
 
+#include "common/backoff.hh"
 #include "common/logging.hh"
+#include "common/status.hh"
 
 namespace hicamp {
 
@@ -170,8 +173,9 @@ SegmentMap::mcas(Vsid v, const SegDesc &old_base, const SegDesc &desired,
     SegDesc mine = desired;
     SegDesc base = old_base;
     bool base_retained = false; // first `base` is borrowed from caller
+    CommitRetry retry(mem_.retryPolicy(), &mem_.contention());
 
-    for (int attempt = 0;; ++attempt) {
+    for (;;) {
         if (cas(v, base, mine)) {
             if (base_retained)
                 releaseSnapshot(base);
@@ -183,15 +187,66 @@ SegmentMap::mcas(Vsid v, const SegDesc &old_base, const SegDesc &desired,
                 releaseSnapshot(base);
             return false;
         }
+        if (!retry.onConflict()) {
+            // Retry budget spent under sustained contention: give up
+            // cleanly instead of livelocking (consumes the proposal,
+            // like every other failure path).
+            builder_.release(mine.root);
+            if (base_retained)
+                releaseSnapshot(base);
+            throw MemPressureError(MemStatus::TooManyConflicts,
+                                   "merge-update commit retries "
+                                   "exhausted");
+        }
 
         // Conflict: merge our change (base -> mine) onto the current
-        // content, outside any segment-map critical section.
+        // content, outside any segment-map critical section. Memory
+        // pressure inside the lifts or the merge unwinds every
+        // reference this attempt took, then rethrows.
         SegDesc cur = snapshot(v);
-        int H = std::max({base.height, cur.height, mine.height});
-        Entry o = lift({builder_.retain(base.root), base.height, 0}, H);
-        Entry c = lift({builder_.retain(cur.root), cur.height, 0}, H);
-        Entry n = lift({mine.root, mine.height, 0}, H); // consumes mine
-        auto merged = mergeUpdate(mem_, o, c, n, H, stats);
+        const int H = std::max({base.height, cur.height, mine.height});
+        Entry o, c, n;
+        std::optional<Entry> merged;
+        try {
+            o = lift({builder_.retain(base.root), base.height, 0}, H);
+        } catch (const MemPressureError &) {
+            builder_.release(mine.root);
+            releaseSnapshot(cur);
+            if (base_retained)
+                releaseSnapshot(base);
+            throw;
+        }
+        try {
+            c = lift({builder_.retain(cur.root), cur.height, 0}, H);
+        } catch (const MemPressureError &) {
+            builder_.release(o);
+            builder_.release(mine.root);
+            releaseSnapshot(cur);
+            if (base_retained)
+                releaseSnapshot(base);
+            throw;
+        }
+        try {
+            n = lift({mine.root, mine.height, 0}, H); // consumes mine
+        } catch (const MemPressureError &) {
+            builder_.release(o);
+            builder_.release(c);
+            releaseSnapshot(cur);
+            if (base_retained)
+                releaseSnapshot(base);
+            throw;
+        }
+        try {
+            merged = mergeUpdate(mem_, o, c, n, H, stats);
+        } catch (const MemPressureError &) {
+            builder_.release(o);
+            builder_.release(c);
+            builder_.release(n);
+            releaseSnapshot(cur);
+            if (base_retained)
+                releaseSnapshot(base);
+            throw;
+        }
         builder_.release(o);
         builder_.release(n);
 

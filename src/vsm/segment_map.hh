@@ -85,9 +85,13 @@ class SegmentMap
     /**
      * mCAS (paper §3.4): like cas, but on conflict attempts
      * merge-update of (old_base -> desired) onto the current root,
-     * retrying until the commit lands or a true conflict appears.
-     * Always consumes @p desired's root reference. Returns true on
-     * success (original or merged content committed).
+     * retrying — bounded by the memory's RetryPolicy, with randomized
+     * exponential backoff — until the commit lands or a true conflict
+     * appears. Always consumes @p desired's root reference, including
+     * on the throwing paths. Returns true on success (original or
+     * merged content committed); throws MemPressureError when the
+     * retry budget is exhausted (TooManyConflicts) or memory pressure
+     * interrupts a merge (OutOfMemory), leaking nothing either way.
      */
     bool mcas(Vsid v, const SegDesc &old_base, const SegDesc &desired,
               MergeStats *stats = nullptr);

@@ -18,6 +18,9 @@ cfg()
 {
     MemoryConfig c;
     c.numBuckets = 1 << 12;
+    // These tests place corruption by hand and assert exact detection
+    // counts; the randomized injector would double-count.
+    c.faults.allowEnvOverride = false;
     return c;
 }
 

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "common/rng.hh"
+#include "common/status.hh"
 #include "seg/iterator.hh"
 
 namespace hicamp {
@@ -20,6 +21,8 @@ namespace {
 struct FuzzCase {
     unsigned lineBytes;
     std::uint64_t seed;
+    /// P(fresh allocation fails) for the fault-injected variants
+    double allocP = 0.0;
 };
 
 class IteratorFuzz : public ::testing::TestWithParam<FuzzCase>
@@ -30,6 +33,8 @@ TEST_P(IteratorFuzz, MatchesShadowModel)
     MemoryConfig cfg;
     cfg.lineBytes = GetParam().lineBytes;
     cfg.numBuckets = 1 << 13;
+    cfg.faults.allocFailP = GetParam().allocP;
+    cfg.faults.seed = GetParam().seed * 31 + 7;
     Memory mem(cfg);
     SegmentMap vsm(mem);
     SegBuilder builder(mem);
@@ -92,8 +97,15 @@ TEST_P(IteratorFuzz, MatchesShadowModel)
             break;
           }
           case 7: { // commit
-            ASSERT_TRUE(it.tryCommit()) << "step " << step;
-            shadow = pending;
+            if (it.tryCommit()) {
+                shadow = pending;
+            } else {
+                // Single-threaded, so only injected memory pressure
+                // can fail a commit; the rollback keeps the write
+                // buffers intact for a later attempt.
+                ASSERT_NE(it.lastCommitStatus(), MemStatus::Ok)
+                    << "step " << step;
+            }
             break;
           }
           case 8: { // abort
@@ -109,9 +121,12 @@ TEST_P(IteratorFuzz, MatchesShadowModel)
         }
     }
 
-    // Final committed state equals a canonical rebuild of the shadow.
+    // Final committed state equals a canonical rebuild of the shadow
+    // (abort drops the uncommitted writes). Retry the empty commit:
+    // even it can catch an injected fault.
     it.abort();
-    ASSERT_TRUE(it.tryCommit());
+    while (!it.tryCommit())
+        ASSERT_NE(it.lastCommitStatus(), MemStatus::Ok);
     SegDesc cur = vsm.get(v);
     SegDesc direct =
         builder.buildWords(shadow.data(), metas.data(), kSpace);
@@ -137,16 +152,24 @@ cases()
     for (unsigned ls : {16u, 32u, 64u})
         for (std::uint64_t seed : {1ull, 2ull, 3ull, 4ull})
             out.push_back({ls, seed});
+    // The same sweep under transient allocation faults (p = 0.001,
+    // fixed seeds): injected failures must surface only as clean
+    // tryCommit conflicts, never as shadow-model divergence.
+    for (unsigned ls : {16u, 32u, 64u})
+        out.push_back({ls, 5, 0.001});
     return out;
 }
 
+std::string
+caseName(const ::testing::TestParamInfo<FuzzCase> &info)
+{
+    return "ls" + std::to_string(info.param.lineBytes) + "_seed" +
+           std::to_string(info.param.seed) +
+           (info.param.allocP > 0.0 ? "_faults" : "");
+}
+
 INSTANTIATE_TEST_SUITE_P(Sweep, IteratorFuzz, ::testing::ValuesIn(cases()),
-                         [](const auto &info) {
-                             return "ls" +
-                                    std::to_string(info.param.lineBytes) +
-                                    "_seed" +
-                                    std::to_string(info.param.seed);
-                         });
+                         caseName);
 
 /**
  * Canonicality fuzz: any permutation of the same final content, built
@@ -161,6 +184,10 @@ TEST_P(CanonicalFuzz, OrderIndependentRoots)
     MemoryConfig cfg;
     cfg.lineBytes = GetParam().lineBytes;
     cfg.numBuckets = 1 << 12;
+    // The bare setWord chains below have no retry boundary, so a
+    // suite-wide injected allocation failure would abort the
+    // canonicality check rather than exercise a recovery path.
+    cfg.faults.allowEnvOverride = false;
     Memory mem(cfg);
     SegBuilder builder(mem);
     Rng rng(GetParam().seed * 77 + 5);

@@ -21,6 +21,9 @@ smallCfg(unsigned line_bytes = 16)
     MemoryConfig cfg;
     cfg.lineBytes = line_bytes;
     cfg.numBuckets = 1 << 12;
+    // Exact lookup/traffic counts: injected allocation failures would
+    // perturb the measurements these tests assert.
+    cfg.faults.allowEnvOverride = false;
     return cfg;
 }
 

@@ -29,6 +29,9 @@ struct SegFixture : ::testing::TestWithParam<unsigned> {
         MemoryConfig c;
         c.lineBytes = GetParam();
         c.numBuckets = 1 << 12;
+        // Single-shot setWord chains (no retry boundary): opt out of
+        // suite-wide fault injection.
+        c.faults.allowEnvOverride = false;
         return c;
     }
 

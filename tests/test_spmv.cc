@@ -22,6 +22,10 @@ spmvCfg(unsigned line_bytes = 16)
     MemoryConfig c;
     c.lineBytes = line_bytes;
     c.numBuckets = 1 << 15;
+    // Exact traffic/dedup measurements; QTS builds also run through
+    // single-shot setWord chains with no retry boundary, so opt out
+    // of suite-wide fault injection.
+    c.faults.allowEnvOverride = false;
     return c;
 }
 
