@@ -1,0 +1,328 @@
+/**
+ * @file
+ * Multi-threaded scaling of the sharded memory system vs the
+ * global-lock baseline (MemoryConfig::globalLock), on two workloads:
+ *
+ *  - "mixed": memcached-style 10:1 get:set over a sharded map
+ *    (paper §5.1.1's workload shape);
+ *  - "spmv_tiles": per-thread sparse-matrix tiles repeatedly swept
+ *    through snapshot + materialize (read-dominated, the lock-free
+ *    fast path).
+ *
+ * Each (workload, mode, threads) cell reports wall-clock throughput
+ * and *modeled* bank-parallel throughput. The model is the
+ * architectural claim under test: every DRAM command of an operation
+ * targets the home bucket's row (paper §3.1), buckets stripe across
+ * independent DRAM banks, and commands within one bank serialize at
+ * t_RC while banks overlap. The global-lock build funnels all
+ * operations through one ordering point, so its row activations
+ * issue strictly sequentially:
+ *
+ *    t_global  = total_row_acts * t_RC
+ *    t_sharded = max(total_row_acts / threads, hottest_bank) * t_RC
+ *
+ * Wall-clock numbers measure the host (meaningful on multicore
+ * machines; on single-core CI they only show lock overhead); the
+ * modeled numbers measure the architecture and are what
+ * BENCH_mt_scaling.json tracks as the scaling trajectory.
+ *
+ * Usage: bench_mt_scaling [--smoke] [--json PATH]
+ */
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/rng.hh"
+#include "common/table.hh"
+#include "lang/harray.hh"
+#include "lang/hsharded_map.hh"
+
+using namespace hicamp;
+
+namespace {
+
+constexpr double kTrcNs = 50.0; // DRAM row-cycle time (§5.1.1 model)
+
+struct Cell {
+    std::string workload;
+    std::string mode; ///< "global" or "sharded"
+    int threads = 0;
+    std::uint64_t ops = 0;
+    double wallMs = 0.0;
+    std::uint64_t rowActs = 0;
+    std::uint64_t maxBankActs = 0;
+
+    double
+    modelMs() const
+    {
+        const double serial = static_cast<double>(rowActs);
+        const double perBank = static_cast<double>(maxBankActs);
+        const double critical =
+            mode == "global"
+                ? serial
+                : std::max(serial / threads, perBank);
+        return critical * kTrcNs / 1e6;
+    }
+
+    double
+    modelMops() const
+    {
+        const double ms = modelMs();
+        return ms > 0.0 ? ops / ms / 1e3 : 0.0;
+    }
+
+    double
+    wallMops() const
+    {
+        return wallMs > 0.0 ? ops / wallMs / 1e3 : 0.0;
+    }
+};
+
+MemoryConfig
+makeConfig(bool global_lock)
+{
+    MemoryConfig cfg;
+    cfg.numBuckets = 1 << 16;
+    cfg.globalLock = global_lock;
+    cfg.faults.allowEnvOverride = false;
+    return cfg;
+}
+
+/**
+ * Memcached-style mixed workload: pre-populate, then each thread
+ * issues rounds of 10 gets (whole key space) + 1 set (its own key
+ * range) against a 16-shard merge-update map.
+ */
+Cell
+runMixed(bool global_lock, int threads, int keys, int rounds)
+{
+    Hicamp hc(makeConfig(global_lock));
+    Cell cell;
+    cell.workload = "mixed";
+    cell.mode = global_lock ? "global" : "sharded";
+    cell.threads = threads;
+    {
+        HShardedMap map(hc, /*shard_bits=*/4);
+        for (int i = 0; i < keys; ++i)
+            map.set(HString(hc, "key-" + std::to_string(i)),
+                    HString(hc, "value-" + std::to_string(i)));
+        hc.mem.flushAndResetTraffic();
+
+        std::vector<std::uint64_t> ops(threads, 0);
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<std::thread> ts;
+        for (int t = 0; t < threads; ++t) {
+            ts.emplace_back([&, t] {
+                Rng rng(1000 + t); // same stream in both modes
+                for (int r = 0; r < rounds; ++r) {
+                    for (int g = 0; g < 10; ++g) {
+                        map.get(HString(
+                            hc,
+                            "key-" + std::to_string(rng.below(keys))));
+                        ++ops[t];
+                    }
+                    map.set(HString(hc,
+                                    "key-" +
+                                        std::to_string(rng.below(keys))),
+                            HString(hc, "update-" + std::to_string(t) +
+                                            "-" + std::to_string(r)));
+                    ++ops[t];
+                }
+            });
+        }
+        for (auto &th : ts)
+            th.join();
+        const auto t1 = std::chrono::steady_clock::now();
+
+        cell.wallMs =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        for (auto o : ops)
+            cell.ops += o;
+        cell.rowActs = hc.mem.rowActivations();
+        cell.maxBankActs = hc.mem.maxBankActivations();
+    }
+    return cell;
+}
+
+/**
+ * SpMV tiles: each thread owns a sparse tile segment and sweeps it —
+ * snapshot, materialize, dot-product against a dense vector, release.
+ * Read-only after setup: exercises the lock-free read path.
+ */
+Cell
+runSpmvTiles(bool global_lock, int threads, int tile_words, int passes)
+{
+    Hicamp hc(makeConfig(global_lock));
+    Cell cell;
+    cell.workload = "spmv_tiles";
+    cell.mode = global_lock ? "global" : "sharded";
+    cell.threads = threads;
+    {
+        std::vector<std::unique_ptr<HArray<std::uint64_t>>> tiles;
+        for (int t = 0; t < threads; ++t) {
+            std::vector<std::uint64_t> tile(tile_words, 0);
+            // ~1/7 nonzero, values unique per (thread, index) so tiles
+            // dedup within but not across threads.
+            for (int i = 0; i < tile_words; i += 7)
+                tile[i] = 1 + t * tile_words + i;
+            tiles.push_back(std::make_unique<HArray<std::uint64_t>>(
+                hc, tile, kSegMergeUpdate));
+        }
+        hc.mem.coldResetTraffic();
+
+        std::vector<std::uint64_t> ops(threads, 0);
+        std::vector<std::uint64_t> sums(threads, 0);
+        const auto t0 = std::chrono::steady_clock::now();
+        std::vector<std::thread> ts;
+        for (int t = 0; t < threads; ++t) {
+            ts.emplace_back([&, t] {
+                SegReader reader(hc.mem);
+                std::vector<Word> w;
+                std::vector<WordMeta> m;
+                for (int p = 0; p < passes; ++p) {
+                    SegDesc snap = hc.vsm.snapshot(tiles[t]->vsid());
+                    w.clear();
+                    m.clear();
+                    reader.materialize(snap.root, snap.height, w, m);
+                    std::uint64_t dot = 0;
+                    for (int i = 0; i < tile_words; ++i)
+                        dot += w[i] * ((i & 7) + 1); // dense vector
+                    sums[t] += dot;
+                    ops[t] += tile_words;
+                    hc.vsm.releaseSnapshot(snap);
+                }
+            });
+        }
+        for (auto &th : ts)
+            th.join();
+        const auto t1 = std::chrono::steady_clock::now();
+
+        cell.wallMs =
+            std::chrono::duration<double, std::milli>(t1 - t0).count();
+        for (auto o : ops)
+            cell.ops += o;
+        cell.rowActs = hc.mem.rowActivations();
+        cell.maxBankActs = hc.mem.maxBankActivations();
+    }
+    return cell;
+}
+
+double
+speedupAt(const std::vector<Cell> &cells, const std::string &workload,
+          int threads, bool model)
+{
+    double global = 0.0, sharded = 0.0;
+    for (const auto &c : cells) {
+        if (c.workload != workload || c.threads != threads)
+            continue;
+        double v = model ? c.modelMops() : c.wallMops();
+        if (c.mode == "global")
+            global = v;
+        else
+            sharded = v;
+    }
+    return global > 0.0 ? sharded / global : 0.0;
+}
+
+void
+writeJson(const std::vector<Cell> &cells, const std::string &path,
+          bool smoke)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"mt_scaling\",\n");
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "  \"t_rc_ns\": %.0f,\n", kTrcNs);
+    std::fprintf(f, "  \"results\": [\n");
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+        const Cell &c = cells[i];
+        std::fprintf(
+            f,
+            "    {\"workload\": \"%s\", \"mode\": \"%s\", "
+            "\"threads\": %d, \"ops\": %llu, \"wall_ms\": %.3f, "
+            "\"wall_mops\": %.4f, \"row_acts\": %llu, "
+            "\"max_bank_acts\": %llu, \"model_ms\": %.3f, "
+            "\"model_mops\": %.4f}%s\n",
+            c.workload.c_str(), c.mode.c_str(), c.threads,
+            static_cast<unsigned long long>(c.ops), c.wallMs,
+            c.wallMops(), static_cast<unsigned long long>(c.rowActs),
+            static_cast<unsigned long long>(c.maxBankActs), c.modelMs(),
+            c.modelMops(), i + 1 < cells.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"speedup_model_mixed_4t\": %.3f,\n",
+                 speedupAt(cells, "mixed", smoke ? 2 : 4, true));
+    std::fprintf(f, "  \"speedup_model_spmv_4t\": %.3f,\n",
+                 speedupAt(cells, "spmv_tiles", smoke ? 2 : 4, true));
+    std::fprintf(f, "  \"speedup_wall_mixed_4t\": %.3f\n",
+                 speedupAt(cells, "mixed", smoke ? 2 : 4, false));
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    std::string json_path = "BENCH_mt_scaling.json";
+    for (int i = 1; i < argc; ++i) {
+        if (std::strcmp(argv[i], "--smoke") == 0)
+            smoke = true;
+        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
+            json_path = argv[++i];
+    }
+
+    const std::vector<int> thread_counts =
+        smoke ? std::vector<int>{1, 2} : std::vector<int>{1, 2, 4, 8};
+    const int keys = smoke ? 400 : 8000;
+    const int rounds = smoke ? 30 : 400;
+    const int tile_words = smoke ? 512 : 4096;
+    const int passes = smoke ? 4 : 40;
+
+    std::printf("== Multi-threaded scaling: sharded memory vs "
+                "global-lock baseline ==\n\n");
+
+    std::vector<Cell> cells;
+    Table t({"workload", "mode", "threads", "ops", "wall ms",
+             "wall Mops", "row acts", "hot bank", "model ms",
+             "model Mops"});
+    for (const char *wl : {"mixed", "spmv_tiles"}) {
+        for (int n : thread_counts) {
+            for (bool global : {true, false}) {
+                Cell c = std::strcmp(wl, "mixed") == 0
+                             ? runMixed(global, n, keys, rounds)
+                             : runSpmvTiles(global, n, tile_words,
+                                            passes);
+                t.addRow({c.workload, c.mode, std::to_string(c.threads),
+                          std::to_string(c.ops),
+                          strfmt("%.2f", c.wallMs),
+                          strfmt("%.4f", c.wallMops()),
+                          std::to_string(c.rowActs),
+                          std::to_string(c.maxBankActs),
+                          strfmt("%.3f", c.modelMs()),
+                          strfmt("%.4f", c.modelMops())});
+                cells.push_back(std::move(c));
+            }
+        }
+    }
+    t.print();
+
+    const int headline = smoke ? 2 : 4;
+    std::printf("\nmodeled bank-parallel speedup at %d threads: "
+                "mixed %.2fx, spmv_tiles %.2fx (target: >= 3x mixed "
+                "at 4 threads)\n",
+                headline, speedupAt(cells, "mixed", headline, true),
+                speedupAt(cells, "spmv_tiles", headline, true));
+    writeJson(cells, json_path, smoke);
+    return 0;
+}

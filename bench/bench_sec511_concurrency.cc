@@ -14,6 +14,7 @@
  *     actual concurrent committers.
  */
 
+#include <atomic>
 #include <cstdio>
 #include <thread>
 
@@ -101,26 +102,51 @@ measuredPathLength()
                 "(model: ~log2(N)=%.1f path nodes + ~6 entry lines)\n",
                 n, per_update, std::log2(static_cast<double>(n)));
 
-    // Conflicting committers from one snapshot: every second commit
-    // is stale and must be resolved by merge-update instead of an
-    // application-level retry.
+    // Conflicting committers on real threads (earlier versions
+    // interleaved two registers on one thread under the global lock;
+    // the sharded memory system races them genuinely): every
+    // overlapping commit to the shared slot is resolved by
+    // merge-update instead of an application-level retry, and no
+    // increment may be lost.
     HArray<std::uint64_t> counters(hc, std::vector<std::uint64_t>(8, 0),
                                    kSegMergeUpdate);
-    const int rounds = 100;
-    for (int i = 0; i < rounds; ++i) {
-        IteratorRegister a(hc.mem, hc.vsm), b(hc.mem, hc.vsm);
-        a.load(counters.vsid(), 1);
-        b.load(counters.vsid(), 1); // same snapshot as a
-        a.write(a.read() + 1);
-        b.write(b.read() + 1);
-        bool ok_a = a.tryCommit();
-        bool ok_b = b.tryCommit(); // stale: resolved by merge-update
-        HICAMP_ASSERT(ok_a && ok_b, "commit failed");
+    const int kCommitters = 4;
+    const int kPerThread = 50;
+    std::atomic<int> loaded{0};
+    std::vector<std::thread> committers;
+    for (int t = 0; t < kCommitters; ++t) {
+        committers.emplace_back([&] {
+            IteratorRegister it(hc.mem, hc.vsm);
+            for (int r = 0; r < kPerThread; ++r) {
+                it.load(counters.vsid(), 1);
+                it.write(it.read() + 1);
+                // Rendezvous: every committer holds a same-generation
+                // snapshot before anyone commits, so all but the
+                // first commit of each round is stale and must be
+                // resolved by merge-update.
+                loaded.fetch_add(1);
+                while (loaded.load(std::memory_order_relaxed) <
+                       (r + 1) * kCommitters)
+                    std::this_thread::yield();
+                for (;;) {
+                    if (it.tryCommit())
+                        break;
+                    it.load(counters.vsid(), 1);
+                    it.write(it.read() + 1);
+                }
+            }
+        });
     }
-    std::printf("%d pairs of conflicting counter commits -> value "
+    for (auto &t : committers)
+        t.join();
+    HICAMP_ASSERT(counters.get(1) ==
+                      static_cast<std::uint64_t>(kCommitters *
+                                                 kPerThread),
+                  "lost counter updates");
+    std::printf("%d threads x %d conflicting counter commits -> value "
                 "%llu (no lost updates), %llu conflicts resolved by "
                 "merge-update, %llu true conflicts\n",
-                rounds,
+                kCommitters, kPerThread,
                 static_cast<unsigned long long>(counters.get(1)),
                 static_cast<unsigned long long>(hc.vsm.mergeCommits()),
                 static_cast<unsigned long long>(hc.vsm.mergeFailures()));

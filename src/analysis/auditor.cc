@@ -91,7 +91,8 @@ class AuditRun
     AuditReport
     run()
     {
-        std::lock_guard<std::recursive_mutex> g(mem_.sysMutex());
+        // Audits run at quiescent points (no concurrent mutators);
+        // the store/map iteration primitives take their own locks.
         scanStore();
         scanRoots();
         scanIterators();

@@ -33,6 +33,7 @@
 
 #include <cstdint>
 #include <cstdlib>
+#include <mutex>
 
 #include "common/rng.hh"
 
@@ -88,9 +89,15 @@ struct FaultConfig {
 };
 
 /**
- * The runtime injector. All decision points are called with the
- * memory system's global lock held, so plain state suffices; the
- * decision stream is a pure function of (config, seed, call order).
+ * The runtime injector. Decision points are reached concurrently now
+ * that the memory system is sharded, so the tick counters and the
+ * shared RNG stream sit behind a small internal mutex; each decision
+ * helper bails before locking when its fault class is disabled, so an
+ * injector with nothing enabled costs one branch on the hot path.
+ * With a single mutator thread the decision stream is still a pure
+ * function of (config, seed, call order); under concurrency it is a
+ * function of the interleaving, which is what a real fault process
+ * looks like anyway.
  */
 class FaultInjector
 {
@@ -102,10 +109,11 @@ class FaultInjector
 
     const FaultConfig &config() const { return cfg_; }
 
-    /** Replace the fault plan mid-run (targeted tests). */
+    /** Replace the fault plan mid-run (targeted tests; quiescent). */
     void
     reconfigure(const FaultConfig &cfg)
     {
+        std::lock_guard<std::mutex> g(mutex_);
         cfg_ = cfg;
         rng_ = Rng(cfg.seed);
         allocTick_ = flipTick_ = satTick_ = 0;
@@ -115,6 +123,9 @@ class FaultInjector
     bool
     failAlloc()
     {
+        if (cfg_.allocFailEvery == 0 && cfg_.allocFailP <= 0.0)
+            return false;
+        std::lock_guard<std::mutex> g(mutex_);
         ++allocTick_;
         if (cfg_.allocFailEvery != 0 &&
             allocTick_ % cfg_.allocFailEvery == 0) {
@@ -135,6 +146,9 @@ class FaultInjector
     bool
     flipBit(unsigned line_words, unsigned *word_idx, unsigned *bit_idx)
     {
+        if (cfg_.bitFlipEvery == 0 && cfg_.bitFlipP <= 0.0)
+            return false;
+        std::lock_guard<std::mutex> g(mutex_);
         ++flipTick_;
         bool fire = false;
         if (cfg_.bitFlipEvery != 0 && flipTick_ % cfg_.bitFlipEvery == 0)
@@ -155,6 +169,7 @@ class FaultInjector
     {
         if (cfg_.saturateEvery == 0)
             return false;
+        std::lock_guard<std::mutex> g(mutex_);
         ++satTick_;
         if (satTick_ % cfg_.saturateEvery != 0)
             return false;
@@ -164,12 +179,28 @@ class FaultInjector
 
     /// @name Injection tallies (what actually fired)
     /// @{
-    std::uint64_t allocFailsInjected() const { return allocFails_; }
-    std::uint64_t bitFlipsInjected() const { return bitFlips_; }
-    std::uint64_t saturationsInjected() const { return saturations_; }
+    std::uint64_t
+    allocFailsInjected() const
+    {
+        std::lock_guard<std::mutex> g(mutex_);
+        return allocFails_;
+    }
+    std::uint64_t
+    bitFlipsInjected() const
+    {
+        std::lock_guard<std::mutex> g(mutex_);
+        return bitFlips_;
+    }
+    std::uint64_t
+    saturationsInjected() const
+    {
+        std::lock_guard<std::mutex> g(mutex_);
+        return saturations_;
+    }
     /// @}
 
   private:
+    mutable std::mutex mutex_;
     FaultConfig cfg_;
     Rng rng_;
     std::uint64_t allocTick_ = 0;

@@ -48,6 +48,21 @@ fnv1a(const void *data, std::size_t len, std::uint64_t seed = kFnvOffset)
 }
 
 /**
+ * Fold a 64-bit value into an FNV-1a-style state one whole word at a
+ * time. The byte-serial fnv1aWord above multiplies by the prime eight
+ * times per word; on the lookup/dedup hot path that dominates the
+ * probe cost, so line-content hashing uses this single-multiply fold
+ * instead (the final mix64 avalanche restores bit diffusion). Not
+ * byte-stream compatible with fnv1aWord — callers pick one scheme and
+ * stay with it.
+ */
+inline constexpr std::uint64_t
+fnv1aWordFast(std::uint64_t h, std::uint64_t w)
+{
+    return (h ^ w) * kFnvPrime;
+}
+
+/**
  * Strong finalizer (splitmix64 / murmur3-style avalanche). Used so that
  * bucket index bits and signature bits of a content hash are
  * effectively independent.

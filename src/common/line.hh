@@ -10,6 +10,7 @@
 #define HICAMP_COMMON_LINE_HH
 
 #include <array>
+#include <atomic>
 #include <cstddef>
 #include <cstring>
 
@@ -39,6 +40,26 @@ class Line
         metas_.fill(WordMeta::raw());
     }
 
+    // The memoized content hash is an atomic so that threads sharing a
+    // stored line (overflow entries, cached cache-fill content) may
+    // race benignly on filling it; copies carry the cached value.
+    Line(const Line &o)
+        : nWords_(o.nWords_), words_(o.words_), metas_(o.metas_),
+          hashCache_(o.hashCache_.load(std::memory_order_relaxed))
+    {
+    }
+
+    Line &
+    operator=(const Line &o)
+    {
+        nWords_ = o.nWords_;
+        words_ = o.words_;
+        metas_ = o.metas_;
+        hashCache_.store(o.hashCache_.load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+        return *this;
+    }
+
     unsigned size() const { return nWords_; }
     std::size_t bytes() const { return nWords_ * kWordBytes; }
 
@@ -62,6 +83,7 @@ class Line
         HICAMP_ASSERT(i < nWords_, "line word index out of range");
         words_[i] = w;
         metas_[i] = m;
+        hashCache_.store(kHashUnset, std::memory_order_relaxed);
     }
 
     /** True iff every word is zero with a Raw tag. */
@@ -83,6 +105,7 @@ class Line
         words_.fill(0);
         metas_.fill(WordMeta::raw());
         std::memcpy(words_.data(), src, len);
+        hashCache_.store(kHashUnset, std::memory_order_relaxed);
     }
 
     /** Store the line's raw bytes out (little-endian). */
@@ -92,18 +115,29 @@ class Line
         std::memcpy(dst, words_.data(), bytes());
     }
 
-    /** Content hash covering word values and tags. */
+    /**
+     * Content hash covering word values and tags. Computed word-at-a-
+     * time (one multiply per word, not eight) and memoized: the dedup
+     * protocol hashes the same content several times per lookup
+     * (cache probe, store probe, insert), and the store hashes again
+     * on deallocation and audit sweeps. A hash that happens to equal
+     * the unset sentinel is simply recomputed each call.
+     */
     std::uint64_t
     contentHash() const
     {
+        std::uint64_t cached = hashCache_.load(std::memory_order_relaxed);
+        if (cached != kHashUnset)
+            return cached;
         std::uint64_t h = kFnvOffset;
         for (unsigned i = 0; i < nWords_; ++i) {
-            h = fnv1aWord(h, words_[i]);
-            h = fnv1aByte(h, static_cast<std::uint8_t>(metas_[i].value()));
-            h = fnv1aByte(h,
-                          static_cast<std::uint8_t>(metas_[i].value() >> 8));
+            h = fnv1aWordFast(h, words_[i]);
+            h = fnv1aWordFast(h, metas_[i].value());
         }
-        return mix64(h);
+        h = mix64(h);
+        if (h != kHashUnset)
+            hashCache_.store(h, std::memory_order_relaxed);
+        return h;
     }
 
     friend bool
@@ -121,9 +155,13 @@ class Line
     }
 
   private:
+    /// hashCache_ value meaning "not yet computed"
+    static constexpr std::uint64_t kHashUnset = 0;
+
     unsigned nWords_;
     std::array<Word, kMaxLineWords> words_;
     std::array<WordMeta, kMaxLineWords> metas_;
+    mutable std::atomic<std::uint64_t> hashCache_{kHashUnset};
 };
 
 /** std::hash adapter so Line can key unordered containers. */

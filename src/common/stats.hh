@@ -62,6 +62,66 @@ class AtomicCounter
     std::atomic<std::uint64_t> value_;
 };
 
+/**
+ * A hot-path counter bumped concurrently by many threads. Instead of
+ * one contended cache line (an AtomicCounter under load ping-pongs its
+ * line between cores), the tally is striped over cache-line-padded
+ * shards; each thread picks a home shard once and keeps relaxed
+ * fetch_adds local to it. value() sums the shards — exact whenever the
+ * readers care (quiescent points, end-of-run reports), monotone and
+ * race-free always.
+ */
+class ShardedCounter
+{
+  public:
+    static constexpr unsigned kShards = 16; // power of two
+
+    ShardedCounter() = default;
+    ShardedCounter(const ShardedCounter &) = delete;
+    ShardedCounter &operator=(const ShardedCounter &) = delete;
+
+    void
+    operator+=(std::uint64_t n)
+    {
+        shards_[homeShard()].v.fetch_add(n, std::memory_order_relaxed);
+    }
+    void operator++() { *this += 1; }
+    void operator++(int) { *this += 1; }
+
+    std::uint64_t
+    value() const
+    {
+        std::uint64_t t = 0;
+        for (const auto &s : shards_)
+            t += s.v.load(std::memory_order_relaxed);
+        return t;
+    }
+
+    void
+    reset()
+    {
+        for (auto &s : shards_)
+            s.v.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    struct alignas(64) Shard {
+        std::atomic<std::uint64_t> v{0};
+    };
+
+    /** Stable per-thread shard index (round-robin assignment). */
+    static unsigned
+    homeShard()
+    {
+        static std::atomic<unsigned> next{0};
+        thread_local unsigned slot =
+            next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
+        return slot;
+    }
+
+    Shard shards_[kShards];
+};
+
 /** A named collection of counters owned by a component. */
 class StatGroup
 {
@@ -78,6 +138,13 @@ class StatGroup
 
     void
     add(const std::string &stat_name, AtomicCounter *c)
+    {
+        stats_.push_back({stat_name, [c] { return c->value(); },
+                          [c] { c->reset(); }});
+    }
+
+    void
+    add(const std::string &stat_name, ShardedCounter *c)
     {
         stats_.push_back({stat_name, [c] { return c->value(); },
                           [c] { c->reset(); }});

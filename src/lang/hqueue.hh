@@ -3,11 +3,24 @@
  * HQueue: an unbounded FIFO of string values in one segment, with
  * head/tail counters merged by merge-update (paper §4.3): a
  * concurrent push and pop touch different slots and different
- * counters, so they commit without retry; two pushes race only on the
- * tail slot and fall back to application retry.
+ * counters, so they commit without retry. Two pushes race on the
+ * tail slot and two pops race on the head slot's claim — both are
+ * true merge conflicts and fall back to application retry, which is
+ * what keeps each item delivered exactly once.
  *
  * Layout: word 0 = head sequence, word 1 = tail sequence, value for
  * sequence s boxed at word (2 + s).
+ *
+ * A pop marks its slot with a raw non-zero tombstone rather than
+ * clearing it to zero. Restoring the slot's pre-push value would
+ * reintroduce the ABA that three-way merge cannot see: a stale push
+ * whose base predates the push+pop of the same sequence would find
+ * the slot "unchanged" and resurrect its value behind head while the
+ * tail counter delta-merges past a slot nobody filled. With the
+ * tombstone every slot's value cycle is 0 -> box -> consumed and
+ * never repeats, so any stale writer takes a genuine conflict.
+ * Sequence numbers are never reused, and content-addressing dedups
+ * the all-tombstone leaves behind head into one line.
  */
 
 #ifndef HICAMP_LANG_HQUEUE_HH
@@ -83,7 +96,7 @@ class HQueue
             SegDesc d = hc_.unboxSegment(box);
             SegBuilder(hc_.mem).retain(d.root);
             HString out = HString::adopt(hc_, d);
-            it.write(0); // free the slot
+            it.write(kConsumed); // claim the slot (see file comment)
             it.seek(0);
             it.write(head + 1);
             if (it.tryCommit())
@@ -107,6 +120,9 @@ class HQueue
     }
 
   private:
+    /// raw marker a pop leaves in its consumed slot
+    static constexpr Word kConsumed = 1;
+
     Hicamp &hc_;
     Vsid vsid_;
 };

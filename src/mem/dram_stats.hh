@@ -26,7 +26,12 @@ enum class DramCat : std::uint8_t {
     NumCats
 };
 
-/** Per-category DRAM access counters. */
+/**
+ * Per-category DRAM access counters. Counted concurrently from every
+ * thread driving the memory system, so each category is a sharded
+ * (cache-line-striped, relaxed-atomic) tally; totals are exact at
+ * quiescent points, which is when benches and tests read them.
+ */
 class DramStats
 {
   public:
@@ -65,7 +70,7 @@ class DramStats
     }
 
   private:
-    Counter counts_[static_cast<unsigned>(DramCat::NumCats)];
+    ShardedCounter counts_[static_cast<unsigned>(DramCat::NumCats)];
 };
 
 } // namespace hicamp

@@ -9,7 +9,8 @@ namespace hicamp {
 HicampCache::HicampCache(std::uint64_t size_bytes, unsigned ways,
                          unsigned line_bytes, bool content_searchable)
     : ways_(ways), numSets_(size_bytes / (line_bytes * ways)),
-      searchable_(content_searchable), entries_(numSets_ * ways_)
+      searchable_(content_searchable), entries_(numSets_ * ways_),
+      locks_(new SetLock[kLockStripes])
 {
     HICAMP_ASSERT(numSets_ > 0 && std::has_single_bit(numSets_),
                   "cache set count must be a power of two");
@@ -19,12 +20,14 @@ HicampCache::Access
 HicampCache::access(const CacheKey &key, std::uint64_t home, bool dirty,
                     DramCat wb_cat, const Line *content)
 {
-    Entry *base = &entries_[setIndex(home) * ways_];
+    const std::uint64_t set = setIndex(home);
+    SetGuard g(*this, set);
+    Entry *base = &entries_[set * ways_];
     Entry *victim = base;
     for (unsigned w = 0; w < ways_; ++w) {
         Entry &e = base[w];
         if (e.valid && e.key == key) {
-            e.lru = ++lruClock_;
+            e.lru = lruClock_.fetch_add(1, std::memory_order_relaxed) + 1;
             if (dirty) {
                 e.dirty = true;
                 e.wbCat = wb_cat;
@@ -53,7 +56,7 @@ HicampCache::access(const CacheKey &key, std::uint64_t home, bool dirty,
     victim->dirty = dirty;
     victim->key = key;
     victim->home = home;
-    victim->lru = ++lruClock_;
+    victim->lru = lruClock_.fetch_add(1, std::memory_order_relaxed) + 1;
     victim->wbCat = wb_cat;
     if (content && searchable_) {
         victim->content = *content;
@@ -70,7 +73,9 @@ HicampCache::lookupContent(const Line &content,
 {
     if (!searchable_)
         return std::nullopt;
-    const Entry *base = &entries_[setIndex(content_hash) * ways_];
+    const std::uint64_t set = setIndex(content_hash);
+    SetGuard g(*this, set);
+    const Entry *base = &entries_[set * ways_];
     for (unsigned w = 0; w < ways_; ++w) {
         const Entry &e = base[w];
         if (e.valid && e.key.kind == LineKind::Data && e.hasContent &&
@@ -84,7 +89,9 @@ HicampCache::lookupContent(const Line &content,
 bool
 HicampCache::invalidate(const CacheKey &key, std::uint64_t home)
 {
-    Entry *base = &entries_[setIndex(home) * ways_];
+    const std::uint64_t set = setIndex(home);
+    SetGuard g(*this, set);
+    Entry *base = &entries_[set * ways_];
     for (unsigned w = 0; w < ways_; ++w) {
         Entry &e = base[w];
         if (e.valid && e.key == key) {
@@ -101,12 +108,39 @@ HicampCache::invalidate(const CacheKey &key, std::uint64_t home)
 bool
 HicampCache::contains(const CacheKey &key, std::uint64_t home) const
 {
-    const Entry *base = &entries_[setIndex(home) * ways_];
+    const std::uint64_t set = setIndex(home);
+    SetGuard g(*this, set);
+    const Entry *base = &entries_[set * ways_];
     for (unsigned w = 0; w < ways_; ++w) {
         if (base[w].valid && base[w].key == key)
             return true;
     }
     return false;
+}
+
+void
+HicampCache::cleanAll()
+{
+    for (std::uint64_t set = 0; set < numSets_; ++set) {
+        SetGuard g(*this, set);
+        Entry *base = &entries_[set * ways_];
+        for (unsigned w = 0; w < ways_; ++w)
+            base[w].dirty = false;
+    }
+}
+
+void
+HicampCache::invalidateAll()
+{
+    for (std::uint64_t set = 0; set < numSets_; ++set) {
+        SetGuard g(*this, set);
+        Entry *base = &entries_[set * ways_];
+        for (unsigned w = 0; w < ways_; ++w) {
+            base[w].valid = false;
+            base[w].dirty = false;
+            base[w].hasContent = false;
+        }
+    }
 }
 
 } // namespace hicamp

@@ -16,8 +16,11 @@
 #ifndef HICAMP_MEM_HICAMP_CACHE_HH
 #define HICAMP_MEM_HICAMP_CACHE_HH
 
+#include <atomic>
 #include <cstdint>
+#include <memory>
 #include <optional>
+#include <thread>
 #include <vector>
 
 #include "common/line.hh"
@@ -51,6 +54,14 @@ struct CacheKey {
  * One level of the HICAMP cache. Data entries keep a copy of their
  * line content so lookup-by-content can match in-cache lines without a
  * memory access.
+ *
+ * Thread-safe: sets are guarded by an array of striped spinlocks (a
+ * set maps to one lock; distinct sets mostly take distinct locks), so
+ * accesses to different sets — like lookups in different memory
+ * buckets — proceed in parallel. Hit/miss tallies are sharded and the
+ * LRU clock is a relaxed atomic. These are leaf locks in the memory
+ * system's lock order (DESIGN.md §7): no other lock is ever acquired
+ * while one is held.
  */
 class HicampCache
 {
@@ -100,28 +111,15 @@ class HicampCache
     bool contains(const CacheKey &key, std::uint64_t home) const;
 
     /** Clear all dirty bits (writebacks completed out-of-band). */
-    void
-    cleanAll()
-    {
-        for (auto &e : entries_)
-            e.dirty = false;
-    }
+    void cleanAll();
 
     /** Drop every entry (cold-start a measurement). */
-    void
-    invalidateAll()
-    {
-        for (auto &e : entries_) {
-            e.valid = false;
-            e.dirty = false;
-            e.hasContent = false;
-        }
-    }
+    void invalidateAll();
 
     std::uint64_t numSets() const { return numSets_; }
 
-    Counter hits;
-    Counter misses;
+    ShardedCounter hits;
+    ShardedCounter misses;
 
   private:
     struct Entry {
@@ -135,6 +133,48 @@ class HicampCache
         bool hasContent = false;
     };
 
+    /** Cache-line-padded test-and-set spinlock guarding some sets. */
+    struct alignas(64) SetLock {
+        std::atomic_flag flag = ATOMIC_FLAG_INIT;
+
+        void
+        lock()
+        {
+            while (flag.test_and_set(std::memory_order_acquire)) {
+                // Spin on a plain load (no cache-line ping-pong),
+                // yielding periodically so a descheduled holder on an
+                // oversubscribed core can make progress.
+                unsigned spins = 0;
+                while (flag.test(std::memory_order_relaxed)) {
+                    if (++spins == 64) {
+                        spins = 0;
+                        std::this_thread::yield();
+                    }
+                }
+            }
+        }
+        void unlock() { flag.clear(std::memory_order_release); }
+    };
+
+    /** RAII guard over the spinlock covering @p set. */
+    class SetGuard
+    {
+      public:
+        SetGuard(const HicampCache &c, std::uint64_t set)
+            : lock_(c.locks_[set & (kLockStripes - 1)])
+        {
+            lock_.lock();
+        }
+        ~SetGuard() { lock_.unlock(); }
+        SetGuard(const SetGuard &) = delete;
+        SetGuard &operator=(const SetGuard &) = delete;
+
+      private:
+        SetLock &lock_;
+    };
+
+    static constexpr unsigned kLockStripes = 256; // power of two
+
     std::uint64_t setIndex(std::uint64_t home) const
     {
         return home & (numSets_ - 1);
@@ -143,8 +183,9 @@ class HicampCache
     unsigned ways_;
     std::uint64_t numSets_;
     bool searchable_;
-    std::uint64_t lruClock_ = 0;
+    std::atomic<std::uint64_t> lruClock_{0};
     std::vector<Entry> entries_;
+    mutable std::unique_ptr<SetLock[]> locks_;
 };
 
 } // namespace hicamp

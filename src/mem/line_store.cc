@@ -1,6 +1,8 @@
 #include "mem/line_store.hh"
 
+#include <algorithm>
 #include <bit>
+#include <mutex>
 
 #include "common/logging.hh"
 
@@ -15,6 +17,17 @@ plidOf(std::uint64_t bucket, unsigned data_way)
            (BucketLayout::kFirstData + data_way);
 }
 
+unsigned
+clampStripes(unsigned stripes, std::uint64_t num_buckets)
+{
+    // One stripe minimum, never more stripes than buckets, and at
+    // most 2^16 so a stripe number fits the overflow PLID field.
+    std::uint64_t s = std::min<std::uint64_t>(
+        stripes ? stripes : 1,
+        std::min<std::uint64_t>(num_buckets, std::uint64_t{1} << 16));
+    return static_cast<unsigned>(std::bit_floor(s));
+}
+
 } // namespace
 
 LineStore::LineStore(std::uint64_t num_buckets, unsigned line_words)
@@ -23,13 +36,14 @@ LineStore::LineStore(std::uint64_t num_buckets, unsigned line_words)
 }
 
 LineStore::LineStore(std::uint64_t num_buckets, unsigned line_words,
-                     const Limits &limits)
+                     const Limits &limits, unsigned stripes)
     : numBuckets_(num_buckets), lineWords_(line_words), limits_(limits),
+      numStripes_(clampStripes(stripes, num_buckets)),
       words_(num_buckets * BucketLayout::kNumData * line_words, 0),
       metas_(num_buckets * BucketLayout::kNumData * line_words, 0),
       sigs_(num_buckets * BucketLayout::kNumData, 0),
-      refs_(num_buckets * BucketLayout::kNumData, 0),
-      liveMask_(num_buckets, 0)
+      refs_(num_buckets * BucketLayout::kNumData),
+      liveMask_(num_buckets), overflow_(numStripes_)
 {
     HICAMP_ASSERT(std::has_single_bit(num_buckets),
                   "bucket count must be a power of two");
@@ -40,13 +54,21 @@ LineStore::LineStore(std::uint64_t num_buckets, unsigned line_words,
     refMax_ = limits.refcountBits == 32
                   ? ~std::uint32_t{0}
                   : (std::uint32_t{1} << limits.refcountBits) - 1;
+    stripes_ = std::make_unique<std::shared_mutex[]>(numStripes_);
 }
 
 std::uint64_t
 LineStore::bucketOfPlid(Plid plid) const
 {
-    if (isOverflow(plid))
-        return overflow_[plid - kOverflowBase].homeBucket;
+    if (isOverflow(plid)) {
+        const unsigned stripe = overflowStripe(plid);
+        HICAMP_DEBUG_ASSERT(stripe < numStripes_, "malformed PLID");
+        std::shared_lock<std::shared_mutex> g(stripes_[stripe]);
+        const std::uint64_t idx = overflowIdx(plid);
+        HICAMP_DEBUG_ASSERT(idx < overflow_[stripe].entries.size(),
+                            "malformed PLID");
+        return overflow_[stripe].entries[idx].homeBucket;
+    }
     return plid >> BucketLayout::kWayBits;
 }
 
@@ -68,10 +90,17 @@ LineStore::setSlotLive(std::uint64_t slot, bool live)
 {
     std::uint64_t bucket = slot / BucketLayout::kNumData;
     unsigned bit = static_cast<unsigned>(slot % BucketLayout::kNumData);
-    if (live)
-        liveMask_[bucket] |= static_cast<std::uint16_t>(1u << bit);
-    else
-        liveMask_[bucket] &= static_cast<std::uint16_t>(~(1u << bit));
+    // Release: publishing the bit is what makes a freshly written
+    // line visible to lock-free readers, so the content stores must
+    // not sink below it.
+    if (live) {
+        liveMask_[bucket].fetch_or(static_cast<std::uint16_t>(1u << bit),
+                                   std::memory_order_release);
+    } else {
+        liveMask_[bucket].fetch_and(
+            static_cast<std::uint16_t>(~(1u << bit)),
+            std::memory_order_release);
+    }
 }
 
 bool
@@ -98,12 +127,9 @@ LineStore::materialize(std::uint64_t slot) const
 }
 
 LineStore::FindResult
-LineStore::find(const Line &content) const
+LineStore::findImpl(const Line &content, std::uint64_t hash) const
 {
-    HICAMP_ASSERT(content.size() == lineWords_, "line width mismatch");
-    HICAMP_ASSERT(!content.isZero(), "zero line is implicit (PLID 0)");
     FindResult r;
-    const std::uint64_t hash = content.contentHash();
     const std::uint64_t b = bucketOf(hash);
     const std::uint8_t sig = signatureOfHash(hash);
     const std::uint64_t base = b * BucketLayout::kNumData;
@@ -112,17 +138,19 @@ LineStore::find(const Line &content) const
         if (!slotLive(slot) || sigs_[slot] != sig)
             continue;
         r.candidates.push_back(plidOf(b, w));
+        r.candidateLines.push_back(materialize(slot));
         if (slotEquals(slot, content)) {
             r.plid = r.candidates.back();
             r.found = true;
             return r;
         }
     }
-    auto [lo, hi] = overflowIndex_.equal_range(hash);
+    const OverflowShard &shard = overflow_[stripeOfBucket(b)];
+    auto [lo, hi] = shard.index.equal_range(hash);
     for (auto it = lo; it != hi; ++it) {
-        const OverflowEntry &e = overflow_[it->second];
-        if (e.live && e.line == content) {
-            r.plid = kOverflowBase + it->second;
+        const OverflowEntry &e = shard.entries[it->second];
+        if (e.live.load(std::memory_order_relaxed) && e.line == content) {
+            r.plid = overflowPlid(stripeOfBucket(b), it->second);
             r.found = true;
             r.overflow = true;
             return r;
@@ -132,22 +160,53 @@ LineStore::find(const Line &content) const
 }
 
 LineStore::FindResult
-LineStore::findOrInsert(const Line &content)
+LineStore::find(const Line &content) const
 {
-    FindResult r = find(content);
-    if (r.found)
-        return r;
+    HICAMP_ASSERT(content.size() == lineWords_, "line width mismatch");
+    HICAMP_ASSERT(!content.isZero(), "zero line is implicit (PLID 0)");
+    const std::uint64_t hash = content.contentHash();
+    const unsigned stripe = stripeOfBucket(bucketOf(hash));
+    std::shared_lock<std::shared_mutex> g(stripes_[stripe]);
+    return findImpl(content, hash);
+}
 
-    if (liveLines_ >= limits_.maxLiveLines) {
+LineStore::FindResult
+LineStore::findOrInsert(const Line &content, bool take_ref)
+{
+    HICAMP_ASSERT(content.size() == lineWords_, "line width mismatch");
+    HICAMP_ASSERT(!content.isZero(), "zero line is implicit (PLID 0)");
+    const std::uint64_t hash = content.contentHash();
+    const std::uint64_t b = bucketOf(hash);
+    const unsigned stripe = stripeOfBucket(b);
+    std::unique_lock<std::shared_mutex> g(stripes_[stripe]);
+
+    FindResult r = findImpl(content, hash);
+    if (r.found) {
+        // Dedup hit. Taking the reference inside the bucket's
+        // critical section is what lets a hit on a dying (count 0)
+        // line resurrect it safely: retire() serializes on the same
+        // stripe lock and re-checks the count.
+        if (take_ref) {
+            if (r.overflow) {
+                adjustRef(
+                    overflow_[stripe].entries[overflowIdx(r.plid)].refs,
+                    +1);
+            } else {
+                adjustRef(refs_[slotOf(r.plid)], +1);
+            }
+        }
+        return r;
+    }
+
+    if (!tryReserveLine()) {
         r.status = MemStatus::OutOfMemory;
         return r;
     }
 
-    const std::uint64_t hash = content.contentHash();
-    const std::uint64_t b = bucketOf(hash);
     const std::uint8_t sig = signatureOfHash(hash);
     const std::uint64_t base = b * BucketLayout::kNumData;
-    if (liveMask_[b] != (1u << BucketLayout::kNumData) - 1) {
+    if (liveMask_[b].load(std::memory_order_relaxed) !=
+        (1u << BucketLayout::kNumData) - 1) {
         for (unsigned w = 0; w < BucketLayout::kNumData; ++w) {
             const std::uint64_t slot = base + w;
             if (slotLive(slot))
@@ -159,37 +218,40 @@ LineStore::findOrInsert(const Line &content)
                 dm[i] = content.meta(i).value();
             }
             sigs_[slot] = sig;
-            refs_[slot] = 0;
+            refs_[slot].store(take_ref ? 1 : 0,
+                              std::memory_order_relaxed);
+            // Publication point: release-store of the occupancy bit
+            // makes the content above visible to lock-free readers.
             setSlotLive(slot, true);
-            ++liveLines_;
             r.plid = plidOf(b, w);
             return r;
         }
     }
 
-    // Home bucket full: spill to the overflow area, if the finite
-    // capacity model still has room for one more line.
-    if (overflowLive_ >= limits_.overflowCapacity) {
+    // Home bucket full: spill to this stripe's overflow shard, if the
+    // finite capacity model still has room for one more line.
+    if (!tryReserveOverflow()) {
+        liveLines_.fetch_sub(1, std::memory_order_relaxed);
         r.status = MemStatus::OutOfMemory;
         return r;
     }
+    OverflowShard &shard = overflow_[stripe];
     std::uint64_t idx;
-    if (!overflowFree_.empty()) {
-        idx = overflowFree_.back();
-        overflowFree_.pop_back();
+    if (!shard.freeList.empty()) {
+        idx = shard.freeList.back();
+        shard.freeList.pop_back();
     } else {
-        idx = overflow_.size();
-        overflow_.emplace_back();
+        idx = shard.entries.size();
+        shard.entries.emplace_back();
     }
-    OverflowEntry &e = overflow_[idx];
+    OverflowEntry &e = shard.entries[idx];
     e.line = content;
     e.homeBucket = b;
-    e.refs = 0;
-    e.live = true;
-    overflowIndex_.emplace(hash, idx);
-    ++overflowLive_;
-    ++liveLines_;
-    r.plid = kOverflowBase + idx;
+    e.hash = hash;
+    e.refs.store(take_ref ? 1 : 0, std::memory_order_relaxed);
+    e.live.store(true, std::memory_order_release);
+    shard.index.emplace(hash, idx);
+    r.plid = overflowPlid(stripe, idx);
     r.overflow = true;
     return r;
 }
@@ -200,12 +262,22 @@ LineStore::read(Plid plid) const
     if (plid == kZeroPlid)
         return Line(lineWords_);
     if (isOverflow(plid)) {
-        const OverflowEntry &e = overflow_[plid - kOverflowBase];
-        HICAMP_DEBUG_ASSERT(e.live, "read of dead overflow line");
+        const unsigned stripe = overflowStripe(plid);
+        HICAMP_DEBUG_ASSERT(stripe < numStripes_, "malformed PLID");
+        std::shared_lock<std::shared_mutex> g(stripes_[stripe]);
+        const OverflowEntry &e =
+            overflow_[stripe].entries[overflowIdx(plid)];
+        HICAMP_DEBUG_ASSERT(e.live.load(std::memory_order_relaxed),
+                            "read of dead overflow line");
         return e.line;
     }
+    // Home-bucket lines are immutable once published, so this path is
+    // lock-free: the acquire load of the occupancy bit pairs with the
+    // release in setSlotLive, ordering the content stores before us.
     const std::uint64_t slot = slotOf(plid);
-    HICAMP_DEBUG_ASSERT(slotLive(slot), "read of unallocated PLID");
+    const bool live = slotLive(slot); // acquire
+    HICAMP_DEBUG_ASSERT(live, "read of unallocated PLID");
+    (void)live;
     return materialize(slot);
 }
 
@@ -215,8 +287,14 @@ LineStore::isLive(Plid plid) const
     if (plid == kZeroPlid)
         return true;
     if (isOverflow(plid)) {
-        std::uint64_t idx = plid - kOverflowBase;
-        return idx < overflow_.size() && overflow_[idx].live;
+        const unsigned stripe = overflowStripe(plid);
+        if (stripe >= numStripes_)
+            return false;
+        std::shared_lock<std::shared_mutex> g(stripes_[stripe]);
+        const std::uint64_t idx = overflowIdx(plid);
+        return idx < overflow_[stripe].entries.size() &&
+               overflow_[stripe].entries[idx].live.load(
+                   std::memory_order_acquire);
     }
     std::uint64_t bucket = plid >> BucketLayout::kWayBits;
     unsigned way = static_cast<unsigned>(plid & (BucketLayout::kWays - 1));
@@ -232,92 +310,230 @@ LineStore::refCount(Plid plid) const
 {
     if (plid == kZeroPlid)
         return 1; // the zero line is never reclaimed
-    if (isOverflow(plid))
-        return overflow_[plid - kOverflowBase].refs;
-    return refs_[slotOf(plid)];
+    if (isOverflow(plid)) {
+        const unsigned stripe = overflowStripe(plid);
+        HICAMP_DEBUG_ASSERT(stripe < numStripes_, "malformed PLID");
+        std::shared_lock<std::shared_mutex> g(stripes_[stripe]);
+        return overflow_[stripe].entries[overflowIdx(plid)].refs.load(
+            std::memory_order_relaxed);
+    }
+    return refs_[slotOf(plid)].load(std::memory_order_relaxed);
 }
 
-std::uint32_t *
-LineStore::refSlot(Plid plid)
+std::uint32_t
+LineStore::adjustRef(std::atomic<std::uint32_t> &r, std::int32_t delta)
 {
-    HICAMP_DEBUG_ASSERT(plid != kZeroPlid, "refcounting the zero line");
-    if (isOverflow(plid)) {
-        OverflowEntry &e = overflow_[plid - kOverflowBase];
-        HICAMP_DEBUG_ASSERT(e.live, "refcount of dead overflow line");
-        return &e.refs;
+    std::uint32_t cur = r.load(std::memory_order_relaxed);
+    for (;;) {
+        // Sticky saturation (§3.1): a count pinned at the ceiling no
+        // longer tracks references, so neither direction moves it.
+        if (cur == refMax_)
+            return refMax_;
+        if (delta < 0) {
+            HICAMP_ASSERT(cur >= static_cast<std::uint32_t>(-delta),
+                          "refcount underflow");
+        }
+        const std::uint64_t next64 = static_cast<std::uint64_t>(
+            static_cast<std::int64_t>(cur) + delta);
+        const std::uint32_t next =
+            next64 >= refMax_ ? refMax_
+                              : static_cast<std::uint32_t>(next64);
+        // acq_rel so a decrement observed at zero also orders every
+        // earlier ref-holder's accesses before the eventual retire
+        // (the shared_ptr discipline).
+        if (r.compare_exchange_weak(cur, next,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+            if (next == refMax_)
+                saturatedLines_.fetch_add(1, std::memory_order_relaxed);
+            return next;
+        }
     }
-    const std::uint64_t slot = slotOf(plid);
-    HICAMP_DEBUG_ASSERT(slotLive(slot), "refcount of unallocated PLID");
-    return &refs_[slot];
+}
+
+bool
+LineStore::tryAcquireRef(std::atomic<std::uint32_t> &r)
+{
+    std::uint32_t cur = r.load(std::memory_order_relaxed);
+    for (;;) {
+        if (cur == 0)
+            return false;
+        if (cur == refMax_)
+            return true;
+        if (r.compare_exchange_weak(cur, cur + 1,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+            if (cur + 1 == refMax_)
+                saturatedLines_.fetch_add(1, std::memory_order_relaxed);
+            return true;
+        }
+    }
 }
 
 std::uint32_t
 LineStore::addRef(Plid plid, std::int32_t delta)
 {
-    std::uint32_t *refs = refSlot(plid);
-    // Sticky saturation (§3.1): a count pinned at the ceiling no
-    // longer tracks references, so neither direction moves it.
-    if (*refs == refMax_)
-        return *refs;
-    if (delta < 0) {
-        HICAMP_ASSERT(*refs >= static_cast<std::uint32_t>(-delta),
-                      "refcount underflow");
+    HICAMP_DEBUG_ASSERT(plid != kZeroPlid, "refcounting the zero line");
+    if (isOverflow(plid)) {
+        const unsigned stripe = overflowStripe(plid);
+        HICAMP_DEBUG_ASSERT(stripe < numStripes_, "malformed PLID");
+        std::shared_lock<std::shared_mutex> g(stripes_[stripe]);
+        OverflowEntry &e = overflow_[stripe].entries[overflowIdx(plid)];
+        HICAMP_DEBUG_ASSERT(e.live.load(std::memory_order_relaxed),
+                            "refcount of dead overflow line");
+        return adjustRef(e.refs, delta);
     }
-    const std::uint64_t next = static_cast<std::uint64_t>(
-        static_cast<std::int64_t>(*refs) + delta);
-    if (next >= refMax_) {
-        *refs = refMax_;
-        ++saturatedLines_;
-    } else {
-        *refs = static_cast<std::uint32_t>(next);
+    const std::uint64_t slot = slotOf(plid);
+    HICAMP_DEBUG_ASSERT(slotLive(slot), "refcount of unallocated PLID");
+    return adjustRef(refs_[slot], delta);
+}
+
+bool
+LineStore::incRefIfLive(Plid plid)
+{
+    if (plid == kZeroPlid)
+        return true;
+    if (isOverflow(plid)) {
+        const unsigned stripe = overflowStripe(plid);
+        if (stripe >= numStripes_)
+            return false;
+        std::shared_lock<std::shared_mutex> g(stripes_[stripe]);
+        const std::uint64_t idx = overflowIdx(plid);
+        if (idx >= overflow_[stripe].entries.size())
+            return false;
+        OverflowEntry &e = overflow_[stripe].entries[idx];
+        if (!e.live.load(std::memory_order_acquire))
+            return false;
+        return tryAcquireRef(e.refs);
     }
-    return *refs;
+    std::uint64_t bucket = plid >> BucketLayout::kWayBits;
+    unsigned way = static_cast<unsigned>(plid & (BucketLayout::kWays - 1));
+    if (bucket >= numBuckets_ || way < BucketLayout::kFirstData ||
+        way >= BucketLayout::kFirstData + BucketLayout::kNumData) {
+        return false;
+    }
+    const std::uint64_t slot = slotOf(plid);
+    if (!slotLive(slot)) // acquire
+        return false;
+    return tryAcquireRef(refs_[slot]);
+}
+
+void
+LineStore::saturateRefSlot(std::atomic<std::uint32_t> &r)
+{
+    std::uint32_t cur = r.load(std::memory_order_relaxed);
+    while (cur != refMax_) {
+        if (r.compare_exchange_weak(cur, refMax_,
+                                    std::memory_order_acq_rel,
+                                    std::memory_order_relaxed)) {
+            saturatedLines_.fetch_add(1, std::memory_order_relaxed);
+            return;
+        }
+    }
 }
 
 void
 LineStore::saturateRef(Plid plid)
 {
-    std::uint32_t *refs = refSlot(plid);
-    if (*refs == refMax_)
+    HICAMP_DEBUG_ASSERT(plid != kZeroPlid, "refcounting the zero line");
+    if (isOverflow(plid)) {
+        const unsigned stripe = overflowStripe(plid);
+        std::shared_lock<std::shared_mutex> g(stripes_[stripe]);
+        saturateRefSlot(overflow_[stripe].entries[overflowIdx(plid)].refs);
         return;
-    *refs = refMax_;
-    ++saturatedLines_;
+    }
+    saturateRefSlot(refs_[slotOf(plid)]);
+}
+
+bool
+LineStore::tryReserveLine()
+{
+    std::uint64_t cur = liveLines_.load(std::memory_order_relaxed);
+    while (cur < limits_.maxLiveLines) {
+        if (liveLines_.compare_exchange_weak(cur, cur + 1,
+                                             std::memory_order_relaxed)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+LineStore::tryReserveOverflow()
+{
+    std::uint64_t cur = overflowLive_.load(std::memory_order_relaxed);
+    while (cur < limits_.overflowCapacity) {
+        if (overflowLive_.compare_exchange_weak(
+                cur, cur + 1, std::memory_order_relaxed)) {
+            return true;
+        }
+    }
+    return false;
+}
+
+std::optional<LineStore::Retired>
+LineStore::retire(Plid plid)
+{
+    HICAMP_ASSERT(plid != kZeroPlid, "freeing the zero line");
+    if (isOverflow(plid)) {
+        const unsigned stripe = overflowStripe(plid);
+        HICAMP_DEBUG_ASSERT(stripe < numStripes_, "malformed PLID");
+        std::unique_lock<std::shared_mutex> g(stripes_[stripe]);
+        OverflowShard &shard = overflow_[stripe];
+        const std::uint64_t idx = overflowIdx(plid);
+        HICAMP_DEBUG_ASSERT(idx < shard.entries.size(), "malformed PLID");
+        OverflowEntry &e = shard.entries[idx];
+        // A concurrent dedup hit may have resurrected the line (or
+        // another thread already retired it) — both serialize here.
+        if (!e.live.load(std::memory_order_relaxed) ||
+            e.refs.load(std::memory_order_relaxed) != 0) {
+            return std::nullopt;
+        }
+        Retired out{e.line, e.homeBucket, true};
+        auto [lo, hi] = shard.index.equal_range(e.hash);
+        for (auto it = lo; it != hi; ++it) {
+            if (it->second == idx) {
+                shard.index.erase(it);
+                break;
+            }
+        }
+        e.live.store(false, std::memory_order_release);
+        e.line = Line(lineWords_);
+        shard.freeList.push_back(idx);
+        overflowLive_.fetch_sub(1, std::memory_order_relaxed);
+        const std::uint64_t prev =
+            liveLines_.fetch_sub(1, std::memory_order_relaxed);
+        HICAMP_ASSERT(prev > 0, "live line count underflow");
+        return out;
+    }
+    const std::uint64_t bucket = plid >> BucketLayout::kWayBits;
+    const unsigned stripe = stripeOfBucket(bucket);
+    std::unique_lock<std::shared_mutex> g(stripes_[stripe]);
+    const std::uint64_t slot = slotOf(plid);
+    if (!slotLive(slot) ||
+        refs_[slot].load(std::memory_order_relaxed) != 0) {
+        return std::nullopt;
+    }
+    Retired out{materialize(slot), bucket, false};
+    setSlotLive(slot, false);
+    sigs_[slot] = 0;
+    Word *w = &words_[slot * lineWords_];
+    std::uint16_t *m = &metas_[slot * lineWords_];
+    for (unsigned i = 0; i < lineWords_; ++i) {
+        w[i] = 0;
+        m[i] = 0;
+    }
+    const std::uint64_t prev =
+        liveLines_.fetch_sub(1, std::memory_order_relaxed);
+    HICAMP_ASSERT(prev > 0, "live line count underflow");
+    return out;
 }
 
 void
 LineStore::freeLine(Plid plid)
 {
-    HICAMP_ASSERT(plid != kZeroPlid, "freeing the zero line");
-    if (isOverflow(plid)) {
-        std::uint64_t idx = plid - kOverflowBase;
-        OverflowEntry &e = overflow_[idx];
-        HICAMP_ASSERT(e.live && e.refs == 0, "freeing a referenced line");
-        std::uint64_t hash = e.line.contentHash();
-        auto [lo, hi] = overflowIndex_.equal_range(hash);
-        for (auto it = lo; it != hi; ++it) {
-            if (it->second == idx) {
-                overflowIndex_.erase(it);
-                break;
-            }
-        }
-        e.live = false;
-        overflowFree_.push_back(idx);
-        --overflowLive_;
-    } else {
-        const std::uint64_t slot = slotOf(plid);
-        HICAMP_ASSERT(slotLive(slot) && refs_[slot] == 0,
-                      "freeing a referenced line");
-        setSlotLive(slot, false);
-        sigs_[slot] = 0;
-        Word *w = &words_[slot * lineWords_];
-        std::uint16_t *m = &metas_[slot * lineWords_];
-        for (unsigned i = 0; i < lineWords_; ++i) {
-            w[i] = 0;
-            m[i] = 0;
-        }
-    }
-    HICAMP_ASSERT(liveLines_ > 0, "live line count underflow");
-    --liveLines_;
+    auto retired = retire(plid);
+    HICAMP_ASSERT(retired.has_value(), "freeing a referenced line");
 }
 
 void
@@ -325,6 +541,9 @@ LineStore::corruptForTest(Plid plid, unsigned word_idx, Word xor_mask)
 {
     HICAMP_ASSERT(!isOverflow(plid) && plid != kZeroPlid,
                   "corruptForTest targets home-bucket lines");
+    const std::uint64_t bucket = plid >> BucketLayout::kWayBits;
+    std::unique_lock<std::shared_mutex> g(
+        stripes_[stripeOfBucket(bucket)]);
     const std::uint64_t slot = slotOf(plid);
     HICAMP_ASSERT(slotLive(slot), "corrupting a dead line");
     words_[slot * lineWords_ + word_idx] ^= xor_mask;
@@ -335,19 +554,51 @@ LineStore::forEachLive(
     const std::function<void(Plid, const Line &, std::uint32_t)> &fn)
     const
 {
+    // Collect each bucket's lines under its stripe lock, then invoke
+    // the callback unlocked so it may re-enter the store (auditors
+    // chase overflow chains and home buckets from inside the scan).
+    struct Item {
+        Plid plid;
+        Line line;
+        std::uint32_t refs;
+    };
+    std::vector<Item> batch;
     for (std::uint64_t b = 0; b < numBuckets_; ++b) {
-        if (liveMask_[b] == 0)
-            continue;
-        for (unsigned w = 0; w < BucketLayout::kNumData; ++w) {
-            const std::uint64_t slot = b * BucketLayout::kNumData + w;
-            if (slotLive(slot))
-                fn(plidOf(b, w), materialize(slot), refs_[slot]);
+        batch.clear();
+        {
+            std::shared_lock<std::shared_mutex> g(
+                stripes_[stripeOfBucket(b)]);
+            if (liveMask_[b].load(std::memory_order_relaxed) == 0)
+                continue;
+            for (unsigned w = 0; w < BucketLayout::kNumData; ++w) {
+                const std::uint64_t slot =
+                    b * BucketLayout::kNumData + w;
+                if (slotLive(slot)) {
+                    batch.push_back(
+                        {plidOf(b, w), materialize(slot),
+                         refs_[slot].load(std::memory_order_relaxed)});
+                }
+            }
         }
+        for (const Item &it : batch)
+            fn(it.plid, it.line, it.refs);
     }
-    for (std::uint64_t i = 0; i < overflow_.size(); ++i) {
-        const OverflowEntry &e = overflow_[i];
-        if (e.live)
-            fn(kOverflowBase + i, e.line, e.refs);
+    for (unsigned s = 0; s < numStripes_; ++s) {
+        batch.clear();
+        {
+            std::shared_lock<std::shared_mutex> g(stripes_[s]);
+            const OverflowShard &shard = overflow_[s];
+            for (std::uint64_t i = 0; i < shard.entries.size(); ++i) {
+                const OverflowEntry &e = shard.entries[i];
+                if (e.live.load(std::memory_order_relaxed)) {
+                    batch.push_back(
+                        {overflowPlid(s, i), e.line,
+                         e.refs.load(std::memory_order_relaxed)});
+                }
+            }
+        }
+        for (const Item &it : batch)
+            fn(it.plid, it.line, it.refs);
     }
 }
 
@@ -356,6 +607,9 @@ LineStore::storedSignature(Plid plid) const
 {
     HICAMP_ASSERT(!isOverflow(plid) && plid != kZeroPlid,
                   "signatures cover home-bucket lines only");
+    const std::uint64_t bucket = plid >> BucketLayout::kWayBits;
+    std::shared_lock<std::shared_mutex> g(
+        stripes_[stripeOfBucket(bucket)]);
     return sigs_[slotOf(plid)];
 }
 
@@ -363,9 +617,16 @@ bool
 LineStore::overflowChainContains(Plid plid) const
 {
     HICAMP_ASSERT(isOverflow(plid), "not an overflow PLID");
-    const std::uint64_t idx = plid - kOverflowBase;
-    const std::uint64_t hash = overflow_[idx].line.contentHash();
-    auto [lo, hi] = overflowIndex_.equal_range(hash);
+    const unsigned stripe = overflowStripe(plid);
+    HICAMP_ASSERT(stripe < numStripes_, "not an overflow PLID");
+    std::shared_lock<std::shared_mutex> g(stripes_[stripe]);
+    const OverflowShard &shard = overflow_[stripe];
+    const std::uint64_t idx = overflowIdx(plid);
+    // Recompute from current content (not the memoized insert-time
+    // hash): a poisoned line must look unindexed, exactly as the
+    // chain walk of real hardware would miss it.
+    const std::uint64_t hash = shard.entries[idx].line.contentHash();
+    auto [lo, hi] = shard.index.equal_range(hash);
     for (auto it = lo; it != hi; ++it) {
         if (it->second == idx)
             return true;
@@ -378,23 +639,28 @@ LineStore::forgeDuplicateForTest(Plid plid)
 {
     const Line content = read(plid);
     const std::uint64_t hash = content.contentHash();
+    const std::uint64_t b = bucketOf(hash);
+    const unsigned stripe = stripeOfBucket(b);
+    std::unique_lock<std::shared_mutex> g(stripes_[stripe]);
+    OverflowShard &shard = overflow_[stripe];
     std::uint64_t idx;
-    if (!overflowFree_.empty()) {
-        idx = overflowFree_.back();
-        overflowFree_.pop_back();
+    if (!shard.freeList.empty()) {
+        idx = shard.freeList.back();
+        shard.freeList.pop_back();
     } else {
-        idx = overflow_.size();
-        overflow_.emplace_back();
+        idx = shard.entries.size();
+        shard.entries.emplace_back();
     }
-    OverflowEntry &e = overflow_[idx];
+    OverflowEntry &e = shard.entries[idx];
     e.line = content;
-    e.homeBucket = bucketOf(hash);
-    e.refs = 0;
-    e.live = true;
-    overflowIndex_.emplace(hash, idx);
-    ++overflowLive_;
-    ++liveLines_;
-    return kOverflowBase + idx;
+    e.homeBucket = b;
+    e.hash = hash;
+    e.refs.store(0, std::memory_order_relaxed);
+    e.live.store(true, std::memory_order_release);
+    shard.index.emplace(hash, idx);
+    overflowLive_.fetch_add(1, std::memory_order_relaxed);
+    liveLines_.fetch_add(1, std::memory_order_relaxed);
+    return overflowPlid(stripe, idx);
 }
 
 void
@@ -404,11 +670,17 @@ LineStore::poisonWordForTest(Plid plid, unsigned word_idx, Word w,
     HICAMP_ASSERT(plid != kZeroPlid && word_idx < lineWords_,
                   "poisonWordForTest out of range");
     if (isOverflow(plid)) {
-        OverflowEntry &e = overflow_[plid - kOverflowBase];
-        HICAMP_ASSERT(e.live, "poisoning a dead line");
+        const unsigned stripe = overflowStripe(plid);
+        std::unique_lock<std::shared_mutex> g(stripes_[stripe]);
+        OverflowEntry &e = overflow_[stripe].entries[overflowIdx(plid)];
+        HICAMP_ASSERT(e.live.load(std::memory_order_relaxed),
+                      "poisoning a dead line");
         e.line.set(word_idx, w, m);
         return;
     }
+    const std::uint64_t bucket = plid >> BucketLayout::kWayBits;
+    std::unique_lock<std::shared_mutex> g(
+        stripes_[stripeOfBucket(bucket)]);
     const std::uint64_t slot = slotOf(plid);
     HICAMP_ASSERT(slotLive(slot), "poisoning a dead line");
     words_[slot * lineWords_ + word_idx] = w;
@@ -422,11 +694,15 @@ LineStore::totalRefs() const
     for (std::uint64_t slot = 0;
          slot < numBuckets_ * BucketLayout::kNumData; ++slot) {
         if (slotLive(slot))
-            t += refs_[slot];
+            t += refs_[slot].load(std::memory_order_relaxed);
     }
-    for (const auto &e : overflow_)
-        if (e.live)
-            t += e.refs;
+    for (unsigned s = 0; s < numStripes_; ++s) {
+        std::shared_lock<std::shared_mutex> g(stripes_[s]);
+        for (const auto &e : overflow_[s].entries) {
+            if (e.live.load(std::memory_order_relaxed))
+                t += e.refs.load(std::memory_order_relaxed);
+        }
+    }
     return t;
 }
 

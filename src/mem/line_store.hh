@@ -7,6 +7,24 @@
  * the bucket selected by the hash of its content; its PLID is the
  * concatenation of bucket number and way.
  *
+ * Concurrency model (DESIGN.md §7): synchronization mirrors the
+ * paper's memory organization instead of a single global lock.
+ *  - A striped std::shared_mutex array covers the hash buckets:
+ *    lookups/allocations/frees in different stripes run in parallel,
+ *    exactly as independent DRAM rows would service independent
+ *    lookup commands.
+ *  - Reference counts are std::atomic, updated with commutative CAS
+ *    loops that need no bucket lock; only the dealloc path (a count
+ *    observed at zero) takes the bucket stripe exclusively, via
+ *    retire(), to unpublish the line.
+ *  - Lines are immutable once published (the architecture's core
+ *    invariant), so read() of a home-bucket line is entirely lock-
+ *    free: publication is a release-store of the bucket's occupancy
+ *    bit after the content is written, and readers acquire-load that
+ *    bit before materializing. Overflow lines live in per-stripe
+ *    shards (deque + hash chain) and are read under the stripe's
+ *    shared lock, which concurrent readers hold simultaneously.
+ *
  * This class is pure state plus protocol *descriptions* (which DRAM
  * rows an operation touches); traffic attribution and cache filtering
  * are the job of mem/memory.hh. Storage is flat arrays so multi-
@@ -16,8 +34,13 @@
 #ifndef HICAMP_MEM_LINE_STORE_HH
 #define HICAMP_MEM_LINE_STORE_HH
 
+#include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <memory>
+#include <optional>
+#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -41,15 +64,21 @@ struct BucketLayout {
 /** PLIDs above this base address the overflow area. */
 inline constexpr Plid kOverflowBase = Plid{1} << 48;
 
+/** Overflow PLID layout: stripe in bits [47:32], shard index below. */
+inline constexpr unsigned kOverflowStripeShift = 32;
+inline constexpr std::uint64_t kOverflowIdxMask =
+    (std::uint64_t{1} << kOverflowStripeShift) - 1;
+
 /**
  * Deduplicated line storage with per-line reference counts.
  *
  * Reference-count discipline: every PLID value held by the software
  * model (inside a committed line, in a segment-map root, or in a
  * snapshot/iterator handle) owns one reference. Lines whose count
- * reaches zero are freed by Memory (which also handles the recursive
- * release of children, since that requires reading line content
- * through the cache model).
+ * reaches zero are unpublished and freed through retire(), which the
+ * Memory layer drives (it also handles the recursive release of
+ * children, since that requires reading line content through the
+ * cache model).
  */
 class LineStore
 {
@@ -69,18 +98,29 @@ class LineStore
      * @param num_buckets number of hash buckets (power of two)
      * @param line_words  words per line (2, 4 or 8)
      * @param limits      finite-capacity model (default: unlimited)
+     * @param stripes     lock stripes over the buckets (power of two;
+     *                    clamped to num_buckets)
      */
     LineStore(std::uint64_t num_buckets, unsigned line_words,
-              const Limits &limits);
+              const Limits &limits, unsigned stripes = kDefaultStripes);
     LineStore(std::uint64_t num_buckets, unsigned line_words);
+
+    static constexpr unsigned kDefaultStripes = 64;
 
     unsigned lineWords() const { return lineWords_; }
     std::uint64_t numBuckets() const { return numBuckets_; }
+    unsigned numStripes() const { return numStripes_; }
 
     /** Home bucket for a content hash. */
     std::uint64_t bucketOf(std::uint64_t content_hash) const
     {
         return bucketOfHash(content_hash, numBuckets_);
+    }
+
+    /** Lock stripe covering a bucket. */
+    unsigned stripeOfBucket(std::uint64_t bucket) const
+    {
+        return static_cast<unsigned>(bucket) & (numStripes_ - 1);
     }
 
     /** Home bucket of an existing line (overflow lines know theirs). */
@@ -100,32 +140,59 @@ class LineStore
         /// PLIDs whose signature matched, in probe order (the final
         /// element is the match itself when found in the home bucket)
         std::vector<Plid> candidates;
+        /// content of each candidate, captured under the bucket lock
+        /// so callers can model probe traffic without re-reading
+        /// slots that may concurrently be freed
+        std::vector<Line> candidateLines;
     };
 
     /**
      * Look for @p content; if absent, allocate it (in its home bucket
-     * or, when full, the overflow area). Does NOT touch refcounts.
-     * Allocation can fail against the Limits: the result then carries
-     * MemStatus::OutOfMemory and no state was changed.
+     * or, when full, the overflow area). With @p take_ref the result
+     * additionally owns one reference, acquired atomically inside the
+     * bucket's critical section — the only way a dedup hit on a
+     * dying (count zero, not yet retired) line can safely resurrect
+     * it. Allocation can fail against the Limits: the result then
+     * carries MemStatus::OutOfMemory, no reference is taken and no
+     * state was changed.
      */
-    FindResult findOrInsert(const Line &content);
+    FindResult findOrInsert(const Line &content, bool take_ref = false);
 
     /** Probe only; plid==0 in the result if absent. */
     FindResult find(const Line &content) const;
 
-    /** Read a line by PLID. Zero PLID returns the all-zero line. */
+    /**
+     * Read a line by PLID. Zero PLID returns the all-zero line.
+     * Lock-free for home-bucket lines (immutable once published);
+     * overflow lines are copied under the stripe's shared lock. The
+     * caller must hold a reference (or otherwise know the line is
+     * live) — reading a freed PLID is undefined.
+     */
     Line read(Plid plid) const;
 
     /** True if the PLID names a live line. */
     bool isLive(Plid plid) const;
 
     std::uint32_t refCount(Plid plid) const;
+
     /**
-     * Adjust a refcount; returns the new value. Counts saturate
-     * sticky at refcountMax() (§3.1): once pinned, neither increments
-     * nor decrements move the count again and the line is immortal.
+     * Adjust a refcount; returns the new value. Lock-free commutative
+     * CAS loop (Balaji et al.: unordered commutative updates need no
+     * serialization). Counts saturate sticky at refcountMax() (§3.1):
+     * once pinned, neither increments nor decrements move the count
+     * again and the line is immortal.
      */
     std::uint32_t addRef(Plid plid, std::int32_t delta);
+
+    /**
+     * Take a reference iff the line is currently live with a nonzero
+     * (or saturated) count — the acquire path for PLIDs obtained from
+     * unsynchronized channels (LLC content hits, seqlock-published
+     * roots), where the line may concurrently be retired. Returns
+     * false when the count was zero or the line is gone; the caller
+     * must then fall back to a locked lookup.
+     */
+    bool incRefIfLive(Plid plid);
 
     /// @name Finite-capacity model
     /// @{
@@ -143,7 +210,11 @@ class LineStore
     void saturateRef(Plid plid);
 
     /** Lines whose counts have saturated (they can never be freed). */
-    std::uint64_t saturatedLines() const { return saturatedLines_; }
+    std::uint64_t
+    saturatedLines() const
+    {
+        return saturatedLines_.load(std::memory_order_relaxed);
+    }
 
     std::uint64_t overflowCapacity() const
     {
@@ -152,18 +223,50 @@ class LineStore
     std::uint64_t maxLiveLines() const { return limits_.maxLiveLines; }
     /// @}
 
-    /** Free a (zero-refcount) line slot; clears its signature. */
+    /** A line atomically unpublished by retire(). */
+    struct Retired {
+        Line content;
+        std::uint64_t homeBucket = 0;
+        bool overflow = false;
+    };
+
+    /**
+     * Atomically unpublish and free @p plid if it is still live with
+     * refcount zero; returns its content for the caller's recursive
+     * child release. Returns nullopt when a concurrent dedup hit
+     * resurrected the line (or another thread already retired it) —
+     * the caller must then do nothing. This closes the classic
+     * dedup-store race between a count dropping to zero and a lookup
+     * re-finding the same content: both paths serialize on the
+     * bucket's stripe lock, and findOrInsert(take_ref) re-increments
+     * under it.
+     */
+    std::optional<Retired> retire(Plid plid);
+
+    /**
+     * Free a (zero-refcount) line slot; clears its signature.
+     * Asserts the line is live with refcount zero (single-owner
+     * teardown paths; concurrent code uses retire()).
+     */
     void freeLine(Plid plid);
 
     /** Number of live lines (excluding the implicit zero line). */
-    std::uint64_t liveLines() const { return liveLines_; }
+    std::uint64_t
+    liveLines() const
+    {
+        return liveLines_.load(std::memory_order_relaxed);
+    }
     /** Bytes of live line payload. */
     std::uint64_t liveBytes() const
     {
         return liveLines() * lineWords_ * kWordBytes;
     }
     /** Lines currently resident in the overflow area. */
-    std::uint64_t overflowLines() const { return overflowLive_; }
+    std::uint64_t
+    overflowLines() const
+    {
+        return overflowLive_.load(std::memory_order_relaxed);
+    }
 
     /** Sum of all live reference counts (for invariant checks). */
     std::uint64_t totalRefs() const;
@@ -180,8 +283,10 @@ class LineStore
     /// @{
     /**
      * Invoke @p fn for every live line: home-bucket lines in slot
-     * order, then overflow lines. Passes the PLID, the materialized
-     * content and the stored reference count.
+     * order, then overflow lines per stripe. Passes the PLID, the
+     * materialized content and the stored reference count. Takes each
+     * stripe's shared lock while scanning it; run at quiescent points
+     * for an exact snapshot.
      */
     void forEachLive(
         const std::function<void(Plid, const Line &, std::uint32_t)> &fn)
@@ -221,48 +326,99 @@ class LineStore
     struct OverflowEntry {
         Line line;
         std::uint64_t homeBucket = 0;
-        std::uint32_t refs = 0;
-        bool live = false;
+        std::uint64_t hash = 0; ///< memoized content hash (satellite:
+                                ///< no recompute on free/chain checks)
+        std::atomic<std::uint32_t> refs{0};
+        std::atomic<bool> live{false};
+    };
+
+    /**
+     * Per-stripe overflow area: a deque (stable element addresses
+     * under growth) plus the Fig. 2 hash chain. Mutated under the
+     * stripe's exclusive lock; read under its shared lock.
+     */
+    struct OverflowShard {
+        std::deque<OverflowEntry> entries;
+        std::vector<std::uint64_t> freeList;
+        /// content-hash -> entry indices (Fig. 2 overflow chains)
+        std::unordered_multimap<std::uint64_t, std::uint64_t> index;
     };
 
     bool isOverflow(Plid plid) const { return plid >= kOverflowBase; }
+
+    static unsigned
+    overflowStripe(Plid plid)
+    {
+        return static_cast<unsigned>((plid >> kOverflowStripeShift) &
+                                     0xffff);
+    }
+    static std::uint64_t
+    overflowIdx(Plid plid)
+    {
+        return plid & kOverflowIdxMask;
+    }
+    Plid
+    overflowPlid(unsigned stripe, std::uint64_t idx) const
+    {
+        return kOverflowBase |
+               (static_cast<std::uint64_t>(stripe)
+                << kOverflowStripeShift) |
+               idx;
+    }
 
     /** Flat slot index of a home-bucket PLID. */
     std::uint64_t slotOf(Plid plid) const;
     bool slotLive(std::uint64_t slot) const
     {
-        return (liveMask_[slot / BucketLayout::kNumData] >>
-                (slot % BucketLayout::kNumData)) & 1;
+        return (liveMask_[slot / BucketLayout::kNumData].load(
+                    std::memory_order_acquire) >>
+                (slot % BucketLayout::kNumData)) &
+               1;
     }
     void setSlotLive(std::uint64_t slot, bool live);
     bool slotEquals(std::uint64_t slot, const Line &content) const;
     Line materialize(std::uint64_t slot) const;
 
-    std::uint32_t *refSlot(Plid plid);
+    /** Probe under the caller-held stripe lock. */
+    FindResult findImpl(const Line &content, std::uint64_t hash) const;
+
+    /** Saturating commutative refcount adjust (shared CAS loop). */
+    std::uint32_t adjustRef(std::atomic<std::uint32_t> &r,
+                            std::int32_t delta);
+    /** Increment iff nonzero (or saturated); see incRefIfLive. */
+    bool tryAcquireRef(std::atomic<std::uint32_t> &r);
+    void saturateRefSlot(std::atomic<std::uint32_t> &r);
+
+    /** Reserve one live line against maxLiveLines (CAS, exact). */
+    bool tryReserveLine();
+    /** Reserve one overflow slot against overflowCapacity. */
+    bool tryReserveOverflow();
 
     std::uint64_t numBuckets_;
     unsigned lineWords_;
     Limits limits_;
+    unsigned numStripes_;
     std::uint32_t refMax_;
-    std::uint64_t saturatedLines_ = 0;
+    std::atomic<std::uint64_t> saturatedLines_{0};
+
+    /// bucket-striped locks: allocation/dedup/free per stripe
+    std::unique_ptr<std::shared_mutex[]> stripes_;
 
     /// numBuckets * kNumData * lineWords
     std::vector<Word> words_;
     std::vector<std::uint16_t> metas_;
     /// numBuckets * kNumData
     std::vector<std::uint8_t> sigs_;
-    std::vector<std::uint32_t> refs_;
-    /// per-bucket occupancy bitmask over data ways
-    std::vector<std::uint16_t> liveMask_;
+    std::vector<std::atomic<std::uint32_t>> refs_;
+    /// per-bucket occupancy bitmask over data ways; the release-store
+    /// publication point for lock-free readers
+    std::vector<std::atomic<std::uint16_t>> liveMask_;
 
-    std::vector<OverflowEntry> overflow_;
-    std::vector<std::uint64_t> overflowFree_;
-    /// content-hash -> overflow indices (chained like Fig. 2's
-    /// overflow pointer area)
-    std::unordered_multimap<std::uint64_t, std::uint64_t> overflowIndex_;
-    std::uint64_t overflowLive_ = 0;
+    /// per-stripe overflow areas (index == stripe)
+    std::vector<OverflowShard> overflow_;
+    std::atomic<std::uint64_t> overflowLive_{0};
 
-    std::uint64_t liveLines_ = 0;
+    std::atomic<std::uint64_t> liveLines_{0};
 };
 
 } // namespace hicamp

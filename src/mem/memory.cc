@@ -17,7 +17,8 @@ Memory::Memory(const MemoryConfig &cfg)
     : cfg_(cfg),
       store_(cfg.numBuckets, cfg.lineBytes / kWordBytes,
              LineStore::Limits{cfg.overflowCapacity, cfg.maxLiveLines,
-                               cfg.refcountBits}),
+                               cfg.refcountBits},
+             cfg.lockStripes),
       l1_(cfg.l1Bytes, cfg.l1Ways, cfg.lineBytes,
           /*content_searchable=*/false),
       l2_(cfg.l2Bytes, cfg.l2Ways, cfg.lineBytes,
@@ -29,6 +30,9 @@ Memory::Memory(const MemoryConfig &cfg)
     HICAMP_ASSERT(cfg.lineBytes == 16 || cfg.lineBytes == 32 ||
                       cfg.lineBytes == 64,
                   "line size must be 16, 32 or 64 bytes");
+    bankActs_.reset(new std::atomic<std::uint64_t>[store_.numStripes()]);
+    for (unsigned s = 0; s < store_.numStripes(); ++s)
+        bankActs_[s].store(0, std::memory_order_relaxed);
     pressure_.add("oom_events", &oomEvents_);
     pressure_.add("flips_recovered", &flipsRecovered_);
     pressure_.add("flips_silent", &flipsSilent_);
@@ -39,32 +43,46 @@ Memory::Memory(const MemoryConfig &cfg)
 }
 
 void
-Memory::countWriteback(const HicampCache::Access &a)
+Memory::bankTouch(std::uint64_t home, std::uint64_t n)
 {
-    if (a.writeback)
-        dram_.count(*a.writeback);
+    rowActs_ += n;
+    bankActs_[store_.stripeOfBucket(home)].fetch_add(
+        n, std::memory_order_relaxed);
 }
 
-void
+bool
+Memory::countWriteback(const HicampCache::Access &a)
+{
+    if (a.writeback) {
+        dram_.count(*a.writeback);
+        return true;
+    }
+    return false;
+}
+
+bool
 Memory::rcTouch(Plid plid)
 {
     const std::uint64_t home = store_.bucketOfPlid(plid);
+    bool touched = false;
     auto a = l2_.access({LineKind::Rc, home}, home, /*dirty=*/true,
                         DramCat::RefCount);
-    if (!a.hit)
+    if (!a.hit) {
         dram_.count(DramCat::RefCount); // fetch the RC line
-    countWriteback(a);
+        touched = true;
+    }
+    return countWriteback(a) || touched;
 }
 
 Plid
 Memory::lookup(const Line &content, bool *was_new)
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
-    return lookupLocked(content, was_new);
+    auto g = guard();
+    return lookupImpl(content, was_new);
 }
 
 Plid
-Memory::lookupLocked(const Line &content, bool *was_new)
+Memory::lookupImpl(const Line &content, bool *was_new)
 {
     if (was_new)
         *was_new = false;
@@ -75,12 +93,20 @@ Memory::lookupLocked(const Line &content, bool *was_new)
     const std::uint64_t hash = content.contentHash();
 
     // Fast path: the line is resident in the LLC; the content search
-    // needs only the single set the hash bucket maps to (Fig. 3).
+    // needs only the single set the hash bucket maps to (Fig. 3). The
+    // cache entry is an unsynchronized hint, though: the line may be
+    // mid-retirement, or — vanishingly rare — its slot reused for
+    // other content. Acquire a reference only if it is still live,
+    // then re-verify against ground truth before trusting it.
     if (auto cached = l2_.lookupContent(content, hash)) {
-        ++l2_.hits;
-        store_.addRef(*cached, +1);
-        rcTouch(*cached);
-        return *cached;
+        if (store_.incRefIfLive(*cached)) {
+            if (store_.read(*cached) == content) {
+                ++l2_.hits;
+                rcTouch(*cached);
+                return *cached;
+            }
+            decRefImpl(*cached); // reused slot: undo, take slow path
+        }
     }
     ++l2_.misses;
 
@@ -96,40 +122,51 @@ Memory::lookupLocked(const Line &content, bool *was_new)
                                "injected allocation failure");
     }
 
-    auto res = store_.findOrInsert(content);
-    const std::uint64_t dram_before = dram_.total();
+    // The reference for a hit is taken inside the bucket's critical
+    // section, so a hit on a dying (count zero) line resurrects it
+    // before its retirement can proceed (DESIGN.md §7).
+    auto res = store_.findOrInsert(content, /*take_ref=*/true);
+    bool dram_touched = false;
 
     // Protocol step: read the bucket's signature line.
     {
         auto a = l2_.access({LineKind::Sig, home}, home, /*dirty=*/false,
                             DramCat::Lookup);
-        if (!a.hit)
+        if (!a.hit) {
             dram_.count(DramCat::Lookup);
-        countWriteback(a);
+            dram_touched = true;
+        }
+        dram_touched |= countWriteback(a);
     }
 
-    // Probe each signature-matching candidate's data line.
-    for (Plid cand : res.candidates) {
-        const Line &cand_line = store_.read(cand);
-        auto a = l2_.access({LineKind::Data, cand}, home, /*dirty=*/false,
-                            DramCat::Lookup, &cand_line);
-        if (!a.hit)
+    // Probe each signature-matching candidate's data line, using the
+    // content copies captured under the bucket lock (the slots
+    // themselves may since have been freed by other threads).
+    for (std::size_t i = 0; i < res.candidates.size(); ++i) {
+        auto a = l2_.access({LineKind::Data, res.candidates[i]}, home,
+                            /*dirty=*/false, DramCat::Lookup,
+                            &res.candidateLines[i]);
+        if (!a.hit) {
             dram_.count(DramCat::Lookup);
-        countWriteback(a);
+            dram_touched = true;
+        }
+        dram_touched |= countWriteback(a);
     }
     sigFalsePositives_ +=
         res.candidates.size() - (res.found && !res.overflow ? 1 : 0);
 
     // Walking the overflow pointer area costs an extra row access.
-    if (res.overflow)
+    if (res.overflow) {
         dram_.count(DramCat::Lookup);
+        dram_touched = true;
+    }
 
     if (res.status != MemStatus::Ok) {
         // Capacity exhausted: the probe traffic above was still paid,
         // but nothing was allocated and no references were taken.
         ++oomEvents_;
-        if (dram_.total() > dram_before)
-            ++rowActs_;
+        if (dram_touched)
+            bankTouch(home);
         throw MemPressureError(res.status,
                                "line allocation failed: store at "
                                "capacity");
@@ -141,38 +178,37 @@ Memory::lookupLocked(const Line &content, bool *was_new)
         // category when evicted (paper footnote 12).
         auto sig = l2_.access({LineKind::Sig, home}, home, /*dirty=*/true,
                               DramCat::Lookup);
-        countWriteback(sig);
+        dram_touched |= countWriteback(sig);
         auto dat = l2_.access({LineKind::Data, res.plid}, home,
                               /*dirty=*/true, DramCat::Lookup, &content);
-        countWriteback(dat);
+        dram_touched |= countWriteback(dat);
         if (was_new)
             *was_new = true;
     }
 
-    store_.addRef(res.plid, +1);
-    rcTouch(res.plid);
+    dram_touched |= rcTouch(res.plid);
     // All protocol commands (signature, candidates, allocation, the
     // RC line) target the home bucket's DRAM row: one activation,
     // plus one for the overflow area when it was walked.
-    if (dram_.total() > dram_before)
-        rowActs_ += 1 + (res.overflow ? 1 : 0);
+    if (dram_touched)
+        bankTouch(home, 1 + (res.overflow ? 1 : 0));
     return res.plid;
 }
 
 Plid
 Memory::internLine(const Line &content)
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
+    auto g = guard();
     bool fresh = false;
     Plid plid;
     try {
-        plid = lookupLocked(content, &fresh);
+        plid = lookupImpl(content, &fresh);
     } catch (const MemPressureError &) {
         // Consume-on-failure: the caller handed over one reference
         // per child; release them so the failed intern leaks nothing.
         for (unsigned i = 0; i < content.size(); ++i) {
             if (content.meta(i).isPlid() && content.word(i) != 0)
-                decRefLocked(content.word(i));
+                decRefImpl(content.word(i));
         }
         throw;
     }
@@ -181,7 +217,7 @@ Memory::internLine(const Line &content)
         // children; release the caller's.
         for (unsigned i = 0; i < content.size(); ++i) {
             if (content.meta(i).isPlid() && content.word(i) != 0)
-                decRefLocked(content.word(i));
+                decRefImpl(content.word(i));
         }
     }
     return plid;
@@ -190,17 +226,14 @@ Memory::internLine(const Line &content)
 Line
 Memory::readLine(Plid plid, DramCat cat)
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
-    return readLineLocked(plid, cat);
+    auto g = guard();
+    return readLineImpl(plid, cat);
 }
 
-Line
-Memory::readLineLocked(Plid plid, DramCat cat)
+void
+Memory::modelLineFetch(Plid plid, std::uint64_t home,
+                       const Line &content, DramCat cat)
 {
-    if (plid == kZeroPlid)
-        return makeLine();
-    ++readOps_;
-    const std::uint64_t home = store_.bucketOfPlid(plid);
     const CacheKey key{LineKind::Data, plid};
     auto a1 = l1_.access(key, home, /*dirty=*/false, cat);
     if (a1.writeback) {
@@ -210,45 +243,56 @@ Memory::readLineLocked(Plid plid, DramCat cat)
                                 /*dirty=*/true, *a1.writeback);
         countWriteback(spill);
     }
-    if (!a1.hit) {
-        const Line &content = store_.read(plid);
-        auto a2 = l2_.access(key, home, /*dirty=*/false, cat, &content);
-        if (!a2.hit) {
-            dram_.count(cat);
-            ++rowActs_;
-            // Fault injection: the fetched copy may arrive with a
-            // multi-bit error past per-line ECC. The §3.1 check
-            // catches it when the corrupted content hashes to a
-            // different bucket; the model then refetches (one more
-            // DRAM access) and recovers. A flip that hashes back to
-            // the same bucket would escape — counted, but the model
-            // keeps serving ground truth to stay self-consistent.
-            unsigned widx = 0, bidx = 0;
-            if (faults_.flipBit(content.size(), &widx, &bidx)) {
-                Line flipped = content;
-                flipped.set(widx, flipped.word(widx) ^ (Word{1} << bidx),
-                            flipped.meta(widx));
-                if (store_.bucketOf(flipped.contentHash()) != home) {
-                    ++errorsDetected_;
-                    ++flipsRecovered_;
-                    dram_.count(cat); // the recovery refetch
-                } else {
-                    ++flipsSilent_;
-                }
-            }
-            // §3.1 error detection: the line was fetched from DRAM;
-            // recompute its content hash and check it still selects
-            // the bucket it lives in. Escapes only if the corruption
-            // happens to hash back to the same bucket.
-            if (store_.bucketOf(content.contentHash()) != home) {
+    if (a1.hit)
+        return;
+    auto a2 = l2_.access(key, home, /*dirty=*/false, cat, &content);
+    if (!a2.hit) {
+        dram_.count(cat);
+        bankTouch(home);
+        // Fault injection: the fetched copy may arrive with a
+        // multi-bit error past per-line ECC. The §3.1 check catches
+        // it when the corrupted content hashes to a different bucket;
+        // the model then refetches (one more DRAM access) and
+        // recovers. A flip that hashes back to the same bucket would
+        // escape — counted, but the model keeps serving ground truth
+        // to stay self-consistent.
+        unsigned widx = 0, bidx = 0;
+        if (faults_.flipBit(content.size(), &widx, &bidx)) {
+            Line flipped = content;
+            flipped.set(widx, flipped.word(widx) ^ (Word{1} << bidx),
+                        flipped.meta(widx));
+            if (store_.bucketOf(flipped.contentHash()) != home) {
                 ++errorsDetected_;
-                warn("memory error detected: line content no longer "
-                     "matches its hash bucket");
+                ++flipsRecovered_;
+                dram_.count(cat); // the recovery refetch
+            } else {
+                ++flipsSilent_;
             }
         }
-        countWriteback(a2);
+        // §3.1 error detection: the line was fetched from DRAM;
+        // recompute its content hash and check it still selects the
+        // bucket it lives in. Escapes only if the corruption happens
+        // to hash back to the same bucket.
+        if (store_.bucketOf(content.contentHash()) != home) {
+            ++errorsDetected_;
+            warn("memory error detected: line content no longer "
+                 "matches its hash bucket");
+        }
     }
-    return store_.read(plid);
+    countWriteback(a2);
+}
+
+Line
+Memory::readLineImpl(Plid plid, DramCat cat)
+{
+    if (plid == kZeroPlid)
+        return makeLine();
+    ++readOps_;
+    // Lock-free for home-bucket lines: the caller holds a reference,
+    // and published lines are immutable.
+    Line content = store_.read(plid);
+    modelLineFetch(plid, store_.bucketOfPlid(plid), content, cat);
+    return content;
 }
 
 void
@@ -256,7 +300,7 @@ Memory::incRef(Plid plid)
 {
     if (plid == kZeroPlid)
         return;
-    std::lock_guard<std::recursive_mutex> g(mutex_);
+    auto g = guard();
     // Fault injection: model a refcount update that overflows its
     // §3.1 field width — the count pins sticky at the ceiling and the
     // line becomes immortal (graceful degradation, not an error).
@@ -267,15 +311,27 @@ Memory::incRef(Plid plid)
     rcTouch(plid);
 }
 
-void
-Memory::decRef(Plid plid)
+bool
+Memory::tryRetain(Plid plid)
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
-    decRefLocked(plid);
+    if (plid == kZeroPlid)
+        return true;
+    auto g = guard();
+    if (!store_.incRefIfLive(plid))
+        return false;
+    rcTouch(plid);
+    return true;
 }
 
 void
-Memory::decRefLocked(Plid plid)
+Memory::decRef(Plid plid)
+{
+    auto g = guard();
+    decRefImpl(plid);
+}
+
+void
+Memory::decRefImpl(Plid plid)
 {
     if (plid == kZeroPlid)
         return;
@@ -294,8 +350,20 @@ Memory::reclaim(Plid first)
         Plid p = work.back();
         work.pop_back();
 
-        // Read the dying line to find its children.
-        Line content = readLineLocked(p, DramCat::Dealloc);
+        // Atomically unpublish the line if its count is still zero.
+        // A concurrent lookup may have dedup-hit (resurrected) it in
+        // the meantime — both paths serialize on the bucket's stripe
+        // lock, and a resurrected line is simply kept.
+        auto retired = store_.retire(p);
+        if (!retired)
+            continue;
+
+        // Model the dealloc read of the dying line; its content now
+        // lives only in the retired copy.
+        ++readOps_;
+        modelLineFetch(p, retired->homeBucket, retired->content,
+                       DramCat::Dealloc);
+        const Line &content = retired->content;
         for (unsigned i = 0; i < content.size(); ++i) {
             Word w = content.word(i);
             if (w == 0)
@@ -311,19 +379,19 @@ Memory::reclaim(Plid first)
 
         // Invalidate in all caches; a dirty (never-written) line's
         // writeback is cancelled outright.
-        const std::uint64_t home = store_.bucketOfPlid(p);
-        l1_.invalidate({LineKind::Data, p}, home);
-        l2_.invalidate({LineKind::Data, p}, home);
+        l1_.invalidate({LineKind::Data, p}, retired->homeBucket);
+        l2_.invalidate({LineKind::Data, p}, retired->homeBucket);
 
         // Clear the signature: mark the bucket's signature line dirty.
-        auto sig = l2_.access({LineKind::Sig, home}, home, /*dirty=*/true,
+        auto sig = l2_.access({LineKind::Sig, retired->homeBucket},
+                              retired->homeBucket, /*dirty=*/true,
                               DramCat::Dealloc);
         if (!sig.hit)
             dram_.count(DramCat::Dealloc);
         countWriteback(sig);
 
-        store_.freeLine(p);
         ++deallocs_;
+        // Invoked with no memory-system lock held (DESIGN.md §7).
         if (lineFreed_)
             lineFreed_(p);
     }
@@ -332,28 +400,27 @@ Memory::reclaim(Plid first)
 std::uint32_t
 Memory::refCount(Plid plid) const
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
+    auto g = guard();
     return store_.refCount(plid);
 }
 
 bool
 Memory::isLive(Plid plid) const
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
+    auto g = guard();
     return store_.isLive(plid);
 }
 
 std::uint64_t
 Memory::allocTransient()
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
-    return nextTransient_++;
+    return nextTransient_.fetch_add(1, std::memory_order_relaxed);
 }
 
 void
 Memory::transientAccess(std::uint64_t transient_id, bool write)
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
+    auto g = guard();
     const CacheKey key{LineKind::Transient, transient_id};
     const std::uint64_t home = mix64(transient_id);
     auto a1 = l1_.access(key, home, write, DramCat::Write);
@@ -367,7 +434,7 @@ Memory::transientAccess(std::uint64_t transient_id, bool write)
         // A store miss on a transient is a full-line write: no fetch.
         if (!a2.hit && !write) {
             dram_.count(DramCat::Read);
-            ++rowActs_;
+            bankTouch(home);
         }
         countWriteback(a2);
     }
@@ -376,7 +443,7 @@ Memory::transientAccess(std::uint64_t transient_id, bool write)
 void
 Memory::invalidateTransient(std::uint64_t transient_id)
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
+    auto g = guard();
     const CacheKey key{LineKind::Transient, transient_id};
     const std::uint64_t home = mix64(transient_id);
     l1_.invalidate(key, home);
@@ -386,14 +453,14 @@ Memory::invalidateTransient(std::uint64_t transient_id)
 void
 Memory::vsmAccess(Vsid vsid, bool write)
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
+    auto g = guard();
     const std::uint64_t id = kVsmIdBase | vsid;
     const CacheKey key{LineKind::Transient, id};
     const std::uint64_t home = mix64(id);
     auto a = l2_.access(key, home, write, DramCat::Write);
     if (!a.hit && !write) {
         dram_.count(DramCat::Read);
-        ++rowActs_;
+        bankTouch(home);
     }
     countWriteback(a);
 }
@@ -401,27 +468,29 @@ Memory::vsmAccess(Vsid vsid, bool write)
 void
 Memory::setVsidReleaseHook(std::function<void(Vsid)> hook)
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
+    auto g = guard();
     vsidRelease_ = std::move(hook);
 }
 
 void
 Memory::setLineFreedHook(std::function<void(Plid)> hook)
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
+    auto g = guard();
     lineFreed_ = std::move(hook);
 }
 
 void
 Memory::resetTraffic()
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
+    auto g = guard();
     dram_.reset();
     lookupOps_.reset();
     readOps_.reset();
     sigFalsePositives_.reset();
     deallocs_.reset();
     rowActs_.reset();
+    for (unsigned s = 0; s < store_.numStripes(); ++s)
+        bankActs_[s].store(0, std::memory_order_relaxed);
     l1_.hits.reset();
     l1_.misses.reset();
     l2_.hits.reset();

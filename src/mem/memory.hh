@@ -17,8 +17,11 @@
 #ifndef HICAMP_MEM_MEMORY_HH
 #define HICAMP_MEM_MEMORY_HH
 
+#include <algorithm>
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 
 #include "common/backoff.hh"
@@ -42,6 +45,19 @@ struct MemoryConfig {
     std::uint64_t l2Bytes = 4 * 1024 * 1024;
     unsigned l2Ways = 16;
 
+    /// @name Concurrency model
+    /// @{
+    /// lock stripes over the hash buckets (power of two; clamped to
+    /// numBuckets): operations in distinct stripes proceed in
+    /// parallel, as independent DRAM rows would
+    unsigned lockStripes = 64;
+    /// serialize every operation through one global recursive lock —
+    /// the pre-sharding behavior, kept as an in-binary baseline so
+    /// scaling benches can measure the sharded design against the
+    /// global-lock convoy on identical workloads
+    bool globalLock = false;
+    /// @}
+
     /// @name Finite-capacity / fault model
     /// @{
     /// lines the overflow area can hold at once (Fig. 2's overflow
@@ -64,9 +80,13 @@ struct MemoryConfig {
 /**
  * The complete simulated HICAMP memory system.
  *
- * Thread-safe: public operations take an internal lock, which models
- * the memory system's global ordering point; the paper's architecture
- * needs no data-line coherence because lines are immutable.
+ * Thread-safe, without a global ordering point: synchronization is
+ * striped over the store's hash buckets, reference counts are atomic,
+ * and reads of (immutable) published lines are lock-free — see
+ * DESIGN.md §7 for the full concurrency model and lock order. The
+ * paper's architecture needs no data-line coherence because lines are
+ * immutable; the sharding here is the software analogue of its
+ * per-bucket DRAM parallelism.
  */
 class Memory
 {
@@ -112,6 +132,17 @@ class Memory
     void incRef(Plid plid);
 
     /**
+     * Conditional reference acquisition: atomically acquire a
+     * reference iff @p plid currently names a live line with a
+     * nonzero count. Returns false when the line is unpublished or
+     * mid-reclamation — the caller must retry or fall back. This is
+     * the primitive behind lock-free snapshots (DESIGN.md §7): unlike
+     * incRef(), the caller need not already hold a reference proving
+     * the line stays live.
+     */
+    bool tryRetain(Plid plid);
+
+    /**
      * Release one reference; reclaims the line (and recursively its
      * children) if the count reaches zero.
      */
@@ -144,27 +175,22 @@ class Memory
 
     /**
      * Hook invoked when line reclamation drops a VSID-tagged word
-     * (weak-reference bookkeeping in the segment map).
+     * (weak-reference bookkeeping in the segment map). Hooks are
+     * invoked with no memory-system lock held (DESIGN.md §7); install
+     * them at quiescent points, before concurrent use begins.
      */
     void setVsidReleaseHook(std::function<void(Vsid)> hook);
 
     /**
      * Hook invoked for every reclaimed line (weak segment references
-     * watch for their root's reclamation). Must not call back into
-     * Memory.
+     * watch for their root's reclamation). Invoked with no
+     * memory-system lock held; the hook may take its own locks but
+     * must not re-enter reclamation (e.g. by dropping references).
      */
     void setLineFreedHook(std::function<void(Plid)> hook);
 
     /// @name Statistics and introspection
     /// @{
-    /**
-     * The memory system's global ordering lock (recursive). Components
-     * that are called back from reclamation (e.g. the segment map's
-     * weak-reference zeroing) synchronize on this single lock to keep
-     * a consistent acquisition order.
-     */
-    std::recursive_mutex &sysMutex() const { return mutex_; }
-
     DramStats &dram() { return dram_; }
     const DramStats &dram() const { return dram_; }
     LineStore &store() { return store_; }
@@ -199,6 +225,30 @@ class Memory
      * once; compare against dram().total() to see ops per activation.
      */
     std::uint64_t rowActivations() const { return rowActs_.value(); }
+
+    /**
+     * Row activations attributed to one DRAM bank (= lock stripe:
+     * operations in distinct stripes target independent rows, so a
+     * stripe is the unit of DRAM-level serialization). The §5.1.1
+     * scaling bench uses the per-bank distribution to model
+     * bank-parallel throughput: commands within one bank serialize,
+     * banks overlap.
+     */
+    std::uint64_t
+    bankActivations(unsigned stripe) const
+    {
+        return bankActs_[stripe].load(std::memory_order_relaxed);
+    }
+
+    /** Activations of the hottest bank (the bank-parallel critical path). */
+    std::uint64_t
+    maxBankActivations() const
+    {
+        std::uint64_t m = 0;
+        for (unsigned s = 0; s < store_.numStripes(); ++s)
+            m = std::max(m, bankActivations(s));
+        return m;
+    }
 
     /// @name Memory-pressure model
     /// @{
@@ -241,7 +291,7 @@ class Memory
     void
     flushAndResetTraffic()
     {
-        std::lock_guard<std::recursive_mutex> g(mutex_);
+        auto g = guard();
         l1_.cleanAll();
         l2_.cleanAll();
         resetTraffic();
@@ -255,7 +305,7 @@ class Memory
     void
     coldResetTraffic()
     {
-        std::lock_guard<std::recursive_mutex> g(mutex_);
+        auto g = guard();
         l1_.invalidateAll();
         l2_.invalidateAll();
         resetTraffic();
@@ -263,12 +313,32 @@ class Memory
     /// @}
 
   private:
-    Plid lookupLocked(const Line &content, bool *was_new);
-    Line readLineLocked(Plid plid, DramCat cat);
-    void decRefLocked(Plid plid);
+    /**
+     * The globalLock baseline: every public operation funnels through
+     * one recursive mutex, exactly as before the sharded design. In
+     * the default mode the guard is empty and synchronization lives in
+     * the layers below (stripe locks, atomic counts, cache set locks).
+     */
+    std::unique_lock<std::recursive_mutex>
+    guard() const
+    {
+        return cfg_.globalLock
+                   ? std::unique_lock<std::recursive_mutex>(mutex_)
+                   : std::unique_lock<std::recursive_mutex>();
+    }
+
+    Plid lookupImpl(const Line &content, bool *was_new);
+    Line readLineImpl(Plid plid, DramCat cat);
+    void decRefImpl(Plid plid);
     void reclaim(Plid plid);
-    void countWriteback(const HicampCache::Access &a);
-    void rcTouch(Plid plid);
+    /** Model a line fetch through L1/L2/DRAM, with §3.1 checking. */
+    void modelLineFetch(Plid plid, std::uint64_t home,
+                        const Line &content, DramCat cat);
+    bool countWriteback(const HicampCache::Access &a);
+    /** Touch a line's RC cache line; true if DRAM was accessed. */
+    bool rcTouch(Plid plid);
+    /** Count @p n row activations against @p home's DRAM bank. */
+    void bankTouch(std::uint64_t home, std::uint64_t n = 1);
 
     MemoryConfig cfg_;
     LineStore store_;
@@ -277,23 +347,25 @@ class Memory
     DramStats dram_;
     std::function<void(Vsid)> vsidRelease_;
     std::function<void(Plid)> lineFreed_;
-    std::uint64_t nextTransient_ = 1;
+    std::atomic<std::uint64_t> nextTransient_{1};
 
-    Counter lookupOps_;
-    Counter readOps_;
-    Counter sigFalsePositives_;
-    Counter deallocs_;
-    Counter errorsDetected_;
-    Counter rowActs_;
+    ShardedCounter lookupOps_;
+    ShardedCounter readOps_;
+    ShardedCounter sigFalsePositives_;
+    ShardedCounter deallocs_;
+    ShardedCounter errorsDetected_;
+    ShardedCounter rowActs_;
+    /// per-bank (= per-stripe) share of rowActs_, for the scaling model
+    std::unique_ptr<std::atomic<std::uint64_t>[]> bankActs_;
 
     FaultInjector faults_;
     ContentionStats contention_;
-    Counter oomEvents_;
-    Counter flipsRecovered_;
-    Counter flipsSilent_;
+    AtomicCounter oomEvents_;
+    AtomicCounter flipsRecovered_;
+    AtomicCounter flipsSilent_;
     StatGroup pressure_{"mem.pressure"};
 
-    mutable std::recursive_mutex mutex_;
+    mutable std::recursive_mutex mutex_; ///< globalLock baseline only
 };
 
 } // namespace hicamp

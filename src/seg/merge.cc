@@ -65,12 +65,16 @@ class Merger
                     mm[i] = WordMeta::raw();
                     if (stats_)
                         ++stats_->wordMerges;
-                } else if (nw[i] == cw[i] && nm[i] == cm[i]) {
-                    // Both sides stored the same reference: idempotent.
-                    mw[i] = nw[i];
-                    mm[i] = nm[i];
                 } else {
-                    // Two sides stored distinct references: conflict.
+                    // Both sides touched a reference word: conflict,
+                    // even when they stored the same value. A matching
+                    // store may be a consume (a queue pop clearing the
+                    // slot it claimed, a push filling the same tail
+                    // slot with equal content): collapsing the two
+                    // loses one operation while their raw counter
+                    // words elsewhere in the leaf delta-merge as two,
+                    // leaving the structure inconsistent. Only a
+                    // retry can tell intent apart.
                     return std::nullopt;
                 }
             }

@@ -7,8 +7,10 @@
  *
  * Per line offset the rule is: a raw word merges by applying the
  * difference (cur + (new - old)); a reference word requires one side
- * to be unchanged (two threads may not store distinct PLIDs into the
- * same slot). Content-unique sub-DAGs let whole subtrees be taken
+ * to be unchanged — two threads may not both store into the same
+ * slot, even the same value, because a matching store can be a
+ * consume (e.g. two pops claiming one queue slot) that must not
+ * collapse. Content-unique sub-DAGs let whole subtrees be taken
  * wholesale whenever one side is unchanged, skipping the line-by-line
  * work.
  */

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <optional>
+#include <thread>
 
 #include "common/backoff.hh"
 #include "common/logging.hh"
@@ -10,34 +11,118 @@
 namespace hicamp {
 
 SegmentMap::SegmentMap(Memory &mem)
-    : mem_(mem), builder_(mem), mutex_(mem.sysMutex())
+    : mem_(mem), builder_(mem),
+      chunks_(new std::atomic<SlotChunk *>[kMaxChunks])
 {
-    slots_.emplace_back(); // slot 0 == null VSID
+    for (std::uint64_t i = 0; i < kMaxChunks; ++i)
+        chunks_[i].store(nullptr, std::memory_order_relaxed);
+    chunks_[0].store(new SlotChunk, std::memory_order_release);
     mem_.setLineFreedHook([this](Plid p) { onLineFreed(p); });
 }
 
 SegmentMap::~SegmentMap()
 {
     mem_.setLineFreedHook(nullptr);
-    for (auto &slot : slots_) {
-        if (slot.live && !(slot.flags & (kSegWeak | kSegAlias)))
-            builder_.release(slot.desc.root);
-        slot.live = false;
+    const std::uint64_t n = slotCount_.load(std::memory_order_relaxed);
+    for (Vsid v = 1; v < n; ++v) {
+        EntrySlot &s = slotFor(v);
+        if (s.live.load(std::memory_order_relaxed) &&
+            !(s.flags.load(std::memory_order_relaxed) &
+              (kSegWeak | kSegAlias)))
+            builder_.release(readDesc(s).root);
+        s.live.store(false, std::memory_order_relaxed);
     }
+    for (std::uint64_t i = 0; i < kMaxChunks; ++i)
+        delete chunks_[i].load(std::memory_order_relaxed);
+}
+
+SegmentMap::EntrySlot &
+SegmentMap::slotFor(Vsid v) const
+{
+    SlotChunk *c =
+        chunks_[v >> kSlotChunkBits].load(std::memory_order_acquire);
+    HICAMP_ASSERT(c != nullptr, "VSID beyond allocated segment map");
+    return c->slots[v & (kSlotChunkSize - 1)];
+}
+
+void
+SegmentMap::checkLive(Vsid v) const
+{
+    HICAMP_ASSERT(v != kNullVsid &&
+                      v < slotCount_.load(std::memory_order_acquire) &&
+                      slotFor(v).live.load(std::memory_order_acquire),
+                  "access to dead or null VSID");
+}
+
+Vsid
+SegmentMap::resolve(Vsid v) const
+{
+    // Alias flag and target are immutable after create(), so chasing
+    // the chain needs no seqlock.
+    for (;;) {
+        checkLive(v);
+        const EntrySlot &s = slotFor(v);
+        if (!(s.flags.load(std::memory_order_relaxed) & kSegAlias))
+            return v;
+        v = s.aliasTarget.load(std::memory_order_relaxed);
+    }
+}
+
+SegDesc
+SegmentMap::readDesc(const EntrySlot &s) const
+{
+    // Seqlock reader: retry while a writer is mid-publication (odd
+    // count) or published between our two observations. The fields
+    // are relaxed atomics; the acquire fence orders them before the
+    // validating re-read.
+    for (;;) {
+        const std::uint32_t s1 = s.seq.load(std::memory_order_acquire);
+        if (s1 & 1) {
+            std::this_thread::yield();
+            continue;
+        }
+        SegDesc d;
+        d.root.word = s.rootWord.load(std::memory_order_relaxed);
+        d.root.meta =
+            WordMeta(s.rootMeta.load(std::memory_order_relaxed));
+        d.height = s.height.load(std::memory_order_relaxed);
+        d.byteLen = s.byteLen.load(std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (s.seq.load(std::memory_order_relaxed) == s1)
+            return d;
+    }
+}
+
+void
+SegmentMap::writeDesc(EntrySlot &s, const SegDesc &d)
+{
+    // Seqlock writer (mapMutex_ held, so writers are serialized):
+    // odd count opens the critical section, the release fence keeps
+    // the field stores after it, the release store publishes.
+    const std::uint32_t s0 = s.seq.load(std::memory_order_relaxed);
+    s.seq.store(s0 + 1, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_release);
+    s.rootWord.store(d.root.word, std::memory_order_relaxed);
+    s.rootMeta.store(d.root.meta.value(), std::memory_order_relaxed);
+    s.height.store(d.height, std::memory_order_relaxed);
+    s.byteLen.store(d.byteLen, std::memory_order_relaxed);
+    s.seq.store(s0 + 2, std::memory_order_release);
 }
 
 void
 SegmentMap::onLineFreed(Plid plid)
 {
-    // Called from inside Memory's reclaim path; zero any weak entries
-    // watching this root. Weak entries own no reference, so no Memory
-    // call-back happens here.
-    std::lock_guard<std::recursive_mutex> g(mutex_);
+    // Called from Memory's reclaim path with no memory-system lock
+    // held (DESIGN.md §7); zero any weak entries watching this root.
+    // Weak entries own no reference, so no Memory call-back happens
+    // here.
+    std::lock_guard<std::mutex> g(mapMutex_);
     auto [lo, hi] = weakWatch_.equal_range(plid);
     for (auto it = lo; it != hi; ++it) {
-        EntrySlot &slot = slots_[it->second];
-        if (slot.live && (slot.flags & kSegWeak))
-            slot.desc = SegDesc{};
+        EntrySlot &slot = slotFor(it->second);
+        if (slot.live.load(std::memory_order_relaxed) &&
+            (slot.flags.load(std::memory_order_relaxed) & kSegWeak))
+            writeDesc(slot, SegDesc{});
     }
     weakWatch_.erase(lo, hi);
 }
@@ -45,18 +130,28 @@ SegmentMap::onLineFreed(Plid plid)
 Vsid
 SegmentMap::create(const SegDesc &d, std::uint32_t flags)
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
-    Vsid v = slots_.size();
-    slots_.emplace_back();
-    EntrySlot &slot = slots_.back();
-    slot.desc = d;
-    slot.flags = flags;
-    slot.live = true;
-    if (flags & kSegWeak) {
-        // Weak entries hold the root without a reference; watch for
-        // its reclamation. (The caller keeps its own reference.)
-        if (d.root.meta.isPlid() && d.root.word != 0)
-            weakWatch_.emplace(d.root.plid(), v);
+    Vsid v;
+    {
+        std::lock_guard<std::mutex> g(mapMutex_);
+        v = slotCount_.load(std::memory_order_relaxed);
+        const std::uint64_t chunk = v >> kSlotChunkBits;
+        HICAMP_ASSERT(chunk < kMaxChunks, "segment map full");
+        if (chunks_[chunk].load(std::memory_order_relaxed) == nullptr)
+            chunks_[chunk].store(new SlotChunk,
+                                 std::memory_order_release);
+        EntrySlot &slot = slotFor(v);
+        slot.flags.store(flags, std::memory_order_relaxed);
+        slot.aliasTarget.store(kNullVsid, std::memory_order_relaxed);
+        writeDesc(slot, d);
+        slot.live.store(true, std::memory_order_release);
+        slotCount_.store(v + 1, std::memory_order_release);
+        if (flags & kSegWeak) {
+            // Weak entries hold the root without a reference; watch
+            // for its reclamation. (The caller keeps its own
+            // reference.)
+            if (d.root.meta.isPlid() && d.root.word != 0)
+                weakWatch_.emplace(d.root.plid(), v);
+        }
     }
     mem_.vsmAccess(v, /*write=*/true);
     return v;
@@ -65,47 +160,84 @@ SegmentMap::create(const SegDesc &d, std::uint32_t flags)
 Vsid
 SegmentMap::aliasReadOnly(Vsid target)
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
-    HICAMP_ASSERT(target < slots_.size() && slots_[target].live,
-                  "alias of dead VSID");
-    Vsid v = slots_.size();
-    slots_.emplace_back();
-    EntrySlot &slot = slots_.back();
-    slot.flags = kSegAlias | kSegReadOnly;
-    slot.aliasTarget = target;
-    slot.live = true;
+    Vsid v;
+    {
+        std::lock_guard<std::mutex> g(mapMutex_);
+        HICAMP_ASSERT(target != kNullVsid &&
+                          target < slotCount_.load(
+                                       std::memory_order_relaxed) &&
+                          slotFor(target).live.load(
+                              std::memory_order_relaxed),
+                      "alias of dead VSID");
+        v = slotCount_.load(std::memory_order_relaxed);
+        const std::uint64_t chunk = v >> kSlotChunkBits;
+        HICAMP_ASSERT(chunk < kMaxChunks, "segment map full");
+        if (chunks_[chunk].load(std::memory_order_relaxed) == nullptr)
+            chunks_[chunk].store(new SlotChunk,
+                                 std::memory_order_release);
+        EntrySlot &slot = slotFor(v);
+        slot.flags.store(kSegAlias | kSegReadOnly,
+                         std::memory_order_relaxed);
+        slot.aliasTarget.store(target, std::memory_order_relaxed);
+        writeDesc(slot, SegDesc{});
+        slot.live.store(true, std::memory_order_release);
+        slotCount_.store(v + 1, std::memory_order_release);
+    }
     mem_.vsmAccess(v, /*write=*/true);
-    return v;
-}
-
-Vsid
-SegmentMap::resolveLocked(Vsid v) const
-{
-    HICAMP_ASSERT(v != kNullVsid && v < slots_.size() && slots_[v].live,
-                  "access to dead or null VSID");
-    if (slots_[v].flags & kSegAlias)
-        return resolveLocked(slots_[v].aliasTarget);
     return v;
 }
 
 SegDesc
 SegmentMap::get(Vsid v)
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
     mem_.vsmAccess(v, /*write=*/false);
-    Vsid t = resolveLocked(v);
+    const Vsid t = resolve(v);
     if (t != v)
         mem_.vsmAccess(t, /*write=*/false);
-    return slots_[t].desc;
+    return readDesc(slotFor(t));
 }
 
 SegDesc
 SegmentMap::snapshot(Vsid v)
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
-    SegDesc d = get(v);
-    builder_.retain(d.root);
-    return d;
+    mem_.vsmAccess(v, /*write=*/false);
+    const Vsid t = resolve(v);
+    if (t != v)
+        mem_.vsmAccess(t, /*write=*/false);
+    const EntrySlot &s = slotFor(t);
+    for (;;) {
+        const std::uint32_t s1 = s.seq.load(std::memory_order_acquire);
+        if (s1 & 1) {
+            std::this_thread::yield();
+            continue;
+        }
+        SegDesc d;
+        d.root.word = s.rootWord.load(std::memory_order_relaxed);
+        d.root.meta =
+            WordMeta(s.rootMeta.load(std::memory_order_relaxed));
+        d.height = s.height.load(std::memory_order_relaxed);
+        d.byteLen = s.byteLen.load(std::memory_order_relaxed);
+        std::atomic_thread_fence(std::memory_order_acquire);
+        if (s.seq.load(std::memory_order_relaxed) != s1)
+            continue;
+        if (!d.root.meta.isPlid() || d.root.word == 0)
+            return d; // inline/zero roots need no reference
+        if (mem_.tryRetain(d.root.word)) {
+            // Revalidate: if a commit landed while we pinned the
+            // root, our reference may be on a root the map no longer
+            // holds — undo and re-read. Content addressing makes a
+            // freed-and-reallocated PLID benign (same PLID == same
+            // content), so an unchanged count is proof enough.
+            if (s.seq.load(std::memory_order_acquire) == s1)
+                return d;
+            mem_.decRef(d.root.word);
+        } else {
+            // The root is mid-reclamation: only possible for a weak
+            // entry whose descriptor the line-freed hook is about to
+            // zero. Let it finish, then re-read.
+            std::this_thread::yield();
+        }
+    }
 }
 
 void
@@ -117,37 +249,49 @@ SegmentMap::releaseSnapshot(const SegDesc &d)
 std::uint32_t
 SegmentMap::flags(Vsid v) const
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
-    HICAMP_ASSERT(v < slots_.size() && slots_[v].live, "dead VSID");
-    std::uint32_t f = slots_[v].flags;
+    checkLive(v);
+    std::uint32_t f = slotFor(v).flags.load(std::memory_order_relaxed);
     if (f & kSegAlias)
-        f |= slots_[resolveLocked(v)].flags;
+        f |= slotFor(resolve(v)).flags.load(std::memory_order_relaxed);
     return f;
 }
 
 bool
 SegmentMap::isReadOnly(Vsid v) const
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
-    return (slots_[v].flags & kSegReadOnly) != 0;
+    checkLive(v);
+    return (slotFor(v).flags.load(std::memory_order_relaxed) &
+            kSegReadOnly) != 0;
 }
 
 bool
 SegmentMap::cas(Vsid v, const SegDesc &expected, const SegDesc &desired)
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
-    if (slots_[v].flags & kSegReadOnly)
+    checkLive(v);
+    if (slotFor(v).flags.load(std::memory_order_relaxed) & kSegReadOnly)
         return false;
-    Vsid t = resolveLocked(v);
-    EntrySlot &slot = slots_[t];
+    const Vsid t = resolve(v);
+    EntrySlot &slot = slotFor(t);
     mem_.vsmAccess(t, /*write=*/false);
-    if (!(slot.desc == expected))
-        return false;
+    Entry old_root = Entry::zero();
+    bool release_old = false;
+    {
+        std::lock_guard<std::mutex> g(mapMutex_);
+        SegDesc cur = readDesc(slot); // stable: writers are serialized
+        if (!(cur == expected))
+            return false;
+        writeDesc(slot, desired);
+        if (!(slot.flags.load(std::memory_order_relaxed) & kSegWeak)) {
+            old_root = cur.root;
+            release_old = true;
+        }
+    }
     mem_.vsmAccess(t, /*write=*/true);
-    SegDesc old = slot.desc;
-    slot.desc = desired;
-    if (!(slot.flags & kSegWeak))
-        builder_.release(old.root); // the map's reference on the old root
+    // The map's reference on the old root is dropped only after
+    // unlocking: a release can cascade into reclamation and the
+    // line-freed hook, which takes mapMutex_ (DESIGN.md §7).
+    if (release_old)
+        builder_.release(old_root);
     return true;
 }
 
@@ -275,15 +419,25 @@ SegmentMap::mcas(Vsid v, const SegDesc &old_base, const SegDesc &desired,
 void
 SegmentMap::destroy(Vsid v)
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
-    HICAMP_ASSERT(v < slots_.size() && slots_[v].live,
-                  "destroy of dead VSID");
-    EntrySlot &slot = slots_[v];
-    if (!(slot.flags & (kSegWeak | kSegAlias)))
-        builder_.release(slot.desc.root);
-    slot.live = false;
-    slot.desc = SegDesc{};
+    checkLive(v);
+    EntrySlot &slot = slotFor(v);
+    Entry root = Entry::zero();
+    bool release_root = false;
+    {
+        std::lock_guard<std::mutex> g(mapMutex_);
+        const std::uint32_t f =
+            slot.flags.load(std::memory_order_relaxed);
+        SegDesc cur = readDesc(slot);
+        if (!(f & (kSegWeak | kSegAlias))) {
+            root = cur.root;
+            release_root = true;
+        }
+        slot.live.store(false, std::memory_order_release);
+        writeDesc(slot, SegDesc{});
+    }
     mem_.vsmAccess(v, /*write=*/true);
+    if (release_root)
+        builder_.release(root); // outside mapMutex_ (DESIGN.md §7)
 }
 
 void
@@ -291,24 +445,30 @@ SegmentMap::forEachLive(
     const std::function<void(Vsid, const SegDesc &, std::uint32_t)> &fn)
     const
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
-    for (Vsid v = 1; v < slots_.size(); ++v) {
-        if (slots_[v].live)
-            fn(v, slots_[v].desc, slots_[v].flags);
+    // Holds mapMutex_ across the callbacks: audits run at quiescent
+    // points, and fn may freely read the store (bucket stripes rank
+    // below the map mutex).
+    std::lock_guard<std::mutex> g(mapMutex_);
+    const std::uint64_t n = slotCount_.load(std::memory_order_relaxed);
+    for (Vsid v = 1; v < n; ++v) {
+        const EntrySlot &s = slotFor(v);
+        if (s.live.load(std::memory_order_relaxed))
+            fn(v, readDesc(s),
+               s.flags.load(std::memory_order_relaxed));
     }
 }
 
 void
 SegmentMap::registerIterator(const IteratorRegister *it)
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
+    std::lock_guard<std::mutex> g(mapMutex_);
     iterators_.push_back(it);
 }
 
 void
 SegmentMap::unregisterIterator(const IteratorRegister *it)
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
+    std::lock_guard<std::mutex> g(mapMutex_);
     auto pos = std::find(iterators_.begin(), iterators_.end(), it);
     HICAMP_ASSERT(pos != iterators_.end(),
                   "unregistering an unknown iterator register");
@@ -318,18 +478,19 @@ SegmentMap::unregisterIterator(const IteratorRegister *it)
 std::vector<const IteratorRegister *>
 SegmentMap::liveIterators() const
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
+    std::lock_guard<std::mutex> g(mapMutex_);
     return iterators_;
 }
 
 std::uint64_t
 SegmentMap::liveEntries() const
 {
-    std::lock_guard<std::recursive_mutex> g(mutex_);
-    std::uint64_t n = 0;
-    for (const auto &s : slots_)
-        n += s.live ? 1 : 0;
-    return n;
+    std::lock_guard<std::mutex> g(mapMutex_);
+    const std::uint64_t n = slotCount_.load(std::memory_order_relaxed);
+    std::uint64_t count = 0;
+    for (Vsid v = 1; v < n; ++v)
+        count += slotFor(v).live.load(std::memory_order_relaxed) ? 1 : 0;
+    return count;
 }
 
 } // namespace hicamp

@@ -9,13 +9,30 @@
  * traffic is modelled through Memory::vsmAccess. Each entry owns one
  * reference to its current root; weak entries hold the root without a
  * reference and are zeroed when the segment is reclaimed.
+ *
+ * Concurrency (DESIGN.md §7): descriptor reads — get(), snapshot(),
+ * resolve, flag checks — are lock-free. Each slot's descriptor is
+ * published through a per-slot sequence counter (seqlock); writers
+ * serialize on the map mutex, bump the counter to odd, store the
+ * fields, and bump back to even, while readers retry until they
+ * observe the same even count on both sides of the field loads.
+ * snapshot() pins its root with Memory::tryRetain and revalidates the
+ * sequence afterwards, so a root swapped out mid-read is released and
+ * re-read rather than returned stale. Slots live in fixed-address
+ * chunks so readers never race a reallocation. The map mutex ranks
+ * above the store's bucket stripes and is never held across a
+ * reference release (release → reclaim → line-freed hook → map mutex
+ * would self-deadlock): cas()/destroy() stash the dead root and drop
+ * it after unlocking.
  */
 
 #ifndef HICAMP_VSM_SEGMENT_MAP_HH
 #define HICAMP_VSM_SEGMENT_MAP_HH
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <unordered_map>
 #include <vector>
@@ -57,13 +74,19 @@ class SegmentMap
      */
     Vsid aliasReadOnly(Vsid target);
 
-    /** Read the current descriptor (no reference acquired). */
+    /**
+     * Read the current descriptor (no reference acquired, lock-free).
+     * Under concurrent commits the returned descriptor is a
+     * consistent point-in-time value, but its root may be reclaimed
+     * before the caller dereferences it — use snapshot() to pin it.
+     */
     SegDesc get(Vsid v);
 
     /**
      * Snapshot: read the current descriptor and acquire a reference
      * on its root — the caller now holds a stable, immutable view
      * regardless of concurrent commits (snapshot isolation, §2.2).
+     * Lock-free against concurrent committers.
      */
     SegDesc snapshot(Vsid v);
 
@@ -137,26 +160,58 @@ class SegmentMap
     /// @}
 
   private:
+    /**
+     * One map entry. The descriptor fields are plain atomics
+     * published under @c seq (odd while a writer is mid-update);
+     * flags and the alias target are immutable after creation, so
+     * alias resolution never needs the seqlock.
+     */
     struct EntrySlot {
-        SegDesc desc;
-        std::uint32_t flags = 0;
-        Vsid aliasTarget = kNullVsid;
-        bool live = false;
+        std::atomic<std::uint32_t> seq{0};
+        std::atomic<Word> rootWord{0};
+        std::atomic<std::uint16_t> rootMeta{0};
+        std::atomic<std::int32_t> height{0};
+        std::atomic<std::uint64_t> byteLen{0};
+        std::atomic<std::uint32_t> flags{0};
+        std::atomic<Vsid> aliasTarget{kNullVsid};
+        std::atomic<bool> live{false};
     };
 
-    /** Resolve aliases to the primary VSID (lock held). */
-    Vsid resolveLocked(Vsid v) const;
+    /// slots per chunk; chunks are never reallocated, so readers can
+    /// hold slot references across concurrent create() calls
+    static constexpr unsigned kSlotChunkBits = 10;
+    static constexpr std::uint64_t kSlotChunkSize = 1ull << kSlotChunkBits;
+    static constexpr std::uint64_t kMaxChunks = 1ull << 14;
+
+    struct SlotChunk {
+        EntrySlot slots[kSlotChunkSize];
+    };
+
+    EntrySlot &slotFor(Vsid v) const;
+    /** Validity assert shared by the lock-free readers. */
+    void checkLive(Vsid v) const;
+    /** Resolve aliases to the primary VSID (lock-free). */
+    Vsid resolve(Vsid v) const;
+    /** Seqlock-consistent descriptor read (lock-free). */
+    SegDesc readDesc(const EntrySlot &s) const;
+    /** Publish a descriptor (mapMutex_ held). */
+    void writeDesc(EntrySlot &s, const SegDesc &d);
     void onLineFreed(Plid plid);
 
     Memory &mem_;
     SegBuilder builder_;
-    /// shared with Memory: one global lock order (see Memory::sysMutex)
-    std::recursive_mutex &mutex_;
-    std::vector<EntrySlot> slots_; ///< slot 0 unused (null VSID)
+    /**
+     * Serializes slot creation, commits and weak-watch maintenance.
+     * Ranks above the store's bucket stripes; never held while
+     * calling into Memory (traffic modelling, reference releases).
+     */
+    mutable std::mutex mapMutex_;
+    std::unique_ptr<std::atomic<SlotChunk *>[]> chunks_;
+    std::atomic<std::uint64_t> slotCount_{1}; ///< slot 0 == null VSID
     std::vector<const IteratorRegister *> iterators_;
     std::unordered_multimap<Plid, Vsid> weakWatch_;
-    Counter mergeCommits_;
-    Counter mergeFailures_;
+    AtomicCounter mergeCommits_;
+    AtomicCounter mergeFailures_;
 };
 
 } // namespace hicamp

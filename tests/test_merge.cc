@@ -2,9 +2,9 @@
  * @file
  * Dedicated merge-update (§3.4) property tests across all line
  * widths: counter-difference semantics, commutativity of disjoint
- * merges, idempotent reference stores, conflict detection, deep-tree
- * merges through compacted entries, and refcount hygiene after
- * merges.
+ * merges, conflict detection (including matching double-stores,
+ * which must not collapse), deep-tree merges through compacted
+ * entries, and refcount hygiene after merges.
  */
 
 #include <gtest/gtest.h>
@@ -109,8 +109,13 @@ TEST_P(MergeFixture, NegativeDeltaWraps)
     EXPECT_EQ(words(*m, o.height)[0], 95u); // 100 - 10 + 5
 }
 
-TEST_P(MergeFixture, SameReferenceIsIdempotent)
+TEST_P(MergeFixture, SameReferenceDoubleStoreConflicts)
 {
+    // Two stores of the SAME reference into the same slot must
+    // conflict, not collapse: a matching store may be a consume (two
+    // queue pops claiming one slot, two pushes of equal content
+    // filling one tail slot), and merging them would record one
+    // operation while sibling counter words delta-merge as two.
     Line pay = mem.makeLine();
     pay.set(0, 0xabcdULL);
     Plid p = mem.lookup(pay);
@@ -120,14 +125,27 @@ TEST_P(MergeFixture, SameReferenceIsIdempotent)
     mem.incRef(p);
     Entry b = builder.setWord(o.root, o.height, 2, p, WordMeta::plid());
     auto m = mergeUpdate(mem, o.root, a, b, o.height);
-    ASSERT_TRUE(m.has_value());
-    WordMeta meta;
-    std::vector<WordMeta> ms;
-    std::vector<Word> ws;
-    reader.materialize(*m, o.height, ws, ms);
-    EXPECT_EQ(ws[2], p);
-    EXPECT_TRUE(ms[2].isPlid());
-    (void)meta;
+    EXPECT_FALSE(m.has_value());
+}
+
+TEST_P(MergeFixture, BothSidesClearingOneReferenceConflicts)
+{
+    // The pop/pop race: both sides clear the reference at slot 2 (a
+    // queue pop's claim). The clears look identical but each pop
+    // believes it consumed the item, so the merge must fail and force
+    // an application retry.
+    Line pay = mem.makeLine();
+    pay.set(0, 0x5150ULL);
+    Plid p = mem.lookup(pay);
+
+    Word w0[4] = {0, 0, p, 0};
+    WordMeta m0[4] = {WordMeta::raw(), WordMeta::raw(),
+                      WordMeta::plid(), WordMeta::raw()};
+    SegDesc o = builder.buildWords(w0, m0, 4);
+    Entry a = builder.setWord(o.root, o.height, 2, 0, WordMeta::raw());
+    Entry b = builder.setWord(o.root, o.height, 2, 0, WordMeta::raw());
+    auto m = mergeUpdate(mem, o.root, a, b, o.height);
+    EXPECT_FALSE(m.has_value());
 }
 
 TEST_P(MergeFixture, DistinctReferencesConflict)

@@ -1,0 +1,94 @@
+#!/usr/bin/env bash
+# Run the benchmark suite and aggregate the results at the repo root.
+#
+# Usage: tools/run_benches.sh [--quick] [--build-dir DIR]
+#
+#   --quick      smoke-sized runs (CI); full sweeps otherwise
+#   --build-dir  build tree holding bench/ binaries (default: build)
+#
+# Every bench's stdout is captured under bench-logs/, bench_mt_scaling
+# writes BENCH_mt_scaling.json itself, and a BENCH_summary.json with
+# per-bench pass/fail status is emitted at the repo root.
+
+set -u
+
+quick=0
+build_dir=build
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --quick) quick=1 ;;
+      --build-dir) shift; build_dir=$1 ;;
+      *) echo "unknown argument: $1" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+root=$(cd "$(dirname "$0")/.." && pwd)
+cd "$root"
+logs=bench-logs
+mkdir -p "$logs"
+
+benches=(
+    bench_sec511_concurrency
+    bench_fig6_memcached_dram
+    bench_fig7_spmv_traffic
+    bench_fig8_matrix_footprint
+    bench_fig9_vm_scaling
+    bench_fig10_tile_scaling
+    bench_table1_memcached_compaction
+    bench_table2_matrix_compaction
+    bench_ablation_compaction
+    bench_ablation_sharding
+)
+
+declare -A status
+failed=0
+
+run_one() {
+    local name=$1; shift
+    local bin="$build_dir/bench/$name"
+    if [ ! -x "$bin" ]; then
+        echo "-- $name: MISSING ($bin not built)"
+        status[$name]=missing
+        failed=1
+        return
+    fi
+    echo "-- $name"
+    if "$bin" "$@" > "$logs/$name.log" 2>&1; then
+        status[$name]=ok
+    else
+        echo "   FAILED (see $logs/$name.log)"
+        status[$name]=failed
+        failed=1
+    fi
+}
+
+for b in "${benches[@]}"; do
+    run_one "$b"
+done
+
+# The multi-threaded scaling bench owns its JSON trajectory file.
+if [ "$quick" = 1 ]; then
+    run_one bench_mt_scaling --smoke --json BENCH_mt_scaling.json
+else
+    run_one bench_mt_scaling --json BENCH_mt_scaling.json
+fi
+
+{
+    echo '{'
+    echo "  \"quick\": $([ "$quick" = 1 ] && echo true || echo false),"
+    echo '  "benches": {'
+    n=${#status[@]}
+    i=0
+    for b in "${benches[@]}" bench_mt_scaling; do
+        i=$((i + 1))
+        sep=$([ "$i" -lt "$n" ] && echo , || echo '')
+        echo "    \"$b\": \"${status[$b]}\"$sep"
+    done
+    echo '  }'
+    echo '}'
+} > BENCH_summary.json
+
+echo
+echo "wrote BENCH_summary.json ($([ "$failed" = 0 ] && echo all green || echo FAILURES))"
+exit "$failed"
