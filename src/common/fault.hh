@@ -33,9 +33,9 @@
 
 #include <cstdint>
 #include <cstdlib>
-#include <mutex>
 
 #include "common/rng.hh"
+#include "common/thread_annotations.hh"
 
 namespace hicamp {
 
@@ -74,6 +74,9 @@ struct FaultConfig {
     static FaultConfig
     fromEnv(FaultConfig base)
     {
+        // NOLINTBEGIN(concurrency-mt-unsafe): getenv runs at
+        // configuration time, before worker threads exist, and
+        // nothing in this process calls setenv.
         if (const char *s = std::getenv("HICAMP_FAULT_SEED"))
             base.seed = std::strtoull(s, nullptr, 0);
         if (const char *s = std::getenv("HICAMP_FAULT_ALLOC_P"))
@@ -84,6 +87,7 @@ struct FaultConfig {
             base.bitFlipP = std::strtod(s, nullptr);
         if (const char *s = std::getenv("HICAMP_FAULT_FLIP_EVERY"))
             base.bitFlipEvery = std::strtoull(s, nullptr, 0);
+        // NOLINTEND(concurrency-mt-unsafe)
         return base;
     }
 };
@@ -111,9 +115,9 @@ class FaultInjector
 
     /** Replace the fault plan mid-run (targeted tests; quiescent). */
     void
-    reconfigure(const FaultConfig &cfg)
+    reconfigure(const FaultConfig &cfg) HICAMP_EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> g(mutex_);
+        CapLockGuard g(mutex_, lockrank::leaf);
         cfg_ = cfg;
         rng_ = Rng(cfg.seed);
         allocTick_ = flipTick_ = satTick_ = 0;
@@ -121,11 +125,11 @@ class FaultInjector
 
     /** Should this fresh line allocation fail? */
     bool
-    failAlloc()
+    failAlloc() HICAMP_EXCLUDES(mutex_)
     {
         if (cfg_.allocFailEvery == 0 && cfg_.allocFailP <= 0.0)
             return false;
-        std::lock_guard<std::mutex> g(mutex_);
+        CapLockGuard g(mutex_, lockrank::leaf);
         ++allocTick_;
         if (cfg_.allocFailEvery != 0 &&
             allocTick_ % cfg_.allocFailEvery == 0) {
@@ -145,10 +149,11 @@ class FaultInjector
      */
     bool
     flipBit(unsigned line_words, unsigned *word_idx, unsigned *bit_idx)
+        HICAMP_EXCLUDES(mutex_)
     {
         if (cfg_.bitFlipEvery == 0 && cfg_.bitFlipP <= 0.0)
             return false;
-        std::lock_guard<std::mutex> g(mutex_);
+        CapLockGuard g(mutex_, lockrank::leaf);
         ++flipTick_;
         bool fire = false;
         if (cfg_.bitFlipEvery != 0 && flipTick_ % cfg_.bitFlipEvery == 0)
@@ -165,11 +170,11 @@ class FaultInjector
 
     /** Should this incRef pin the count at the saturation ceiling? */
     bool
-    saturateRef()
+    saturateRef() HICAMP_EXCLUDES(mutex_)
     {
         if (cfg_.saturateEvery == 0)
             return false;
-        std::lock_guard<std::mutex> g(mutex_);
+        CapLockGuard g(mutex_, lockrank::leaf);
         ++satTick_;
         if (satTick_ % cfg_.saturateEvery != 0)
             return false;
@@ -180,35 +185,39 @@ class FaultInjector
     /// @name Injection tallies (what actually fired)
     /// @{
     std::uint64_t
-    allocFailsInjected() const
+    allocFailsInjected() const HICAMP_EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> g(mutex_);
+        CapLockGuard g(mutex_, lockrank::leaf);
         return allocFails_;
     }
     std::uint64_t
-    bitFlipsInjected() const
+    bitFlipsInjected() const HICAMP_EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> g(mutex_);
+        CapLockGuard g(mutex_, lockrank::leaf);
         return bitFlips_;
     }
     std::uint64_t
-    saturationsInjected() const
+    saturationsInjected() const HICAMP_EXCLUDES(mutex_)
     {
-        std::lock_guard<std::mutex> g(mutex_);
+        CapLockGuard g(mutex_, lockrank::leaf);
         return saturations_;
     }
     /// @}
 
   private:
-    mutable std::mutex mutex_;
+    /// §7 rank 4 (leaf): nothing else is ever acquired under it
+    mutable CapMutex mutex_;
+    /// Written only by reconfigure() at quiescent points; the decision
+    /// helpers read it lock-free in their disabled-fast-path bail (one
+    /// branch when nothing is enabled), then re-read under mutex_.
     FaultConfig cfg_;
-    Rng rng_;
-    std::uint64_t allocTick_ = 0;
-    std::uint64_t flipTick_ = 0;
-    std::uint64_t satTick_ = 0;
-    std::uint64_t allocFails_ = 0;
-    std::uint64_t bitFlips_ = 0;
-    std::uint64_t saturations_ = 0;
+    Rng rng_ HICAMP_GUARDED_BY(mutex_);
+    std::uint64_t allocTick_ HICAMP_GUARDED_BY(mutex_) = 0;
+    std::uint64_t flipTick_ HICAMP_GUARDED_BY(mutex_) = 0;
+    std::uint64_t satTick_ HICAMP_GUARDED_BY(mutex_) = 0;
+    std::uint64_t allocFails_ HICAMP_GUARDED_BY(mutex_) = 0;
+    std::uint64_t bitFlips_ HICAMP_GUARDED_BY(mutex_) = 0;
+    std::uint64_t saturations_ HICAMP_GUARDED_BY(mutex_) = 0;
 };
 
 } // namespace hicamp

@@ -3,6 +3,14 @@
  * Lightweight named-counter statistics, in the spirit of gem5's stats
  * package: components expose Counter members registered in a StatGroup
  * so benches and tests can enumerate, print and reset them uniformly.
+ *
+ * Concurrency (DESIGN.md §7/§8): the stats layer is lock-free —
+ * AtomicCounter is a relaxed atomic and ShardedCounter stripes
+ * per-thread shards — so it holds no capability in the thread-safety
+ * model and is safe to bump under any (or no) memory-system lock.
+ * Plain Counter is single-threaded by contract: it may only be used
+ * where some outer serialization (a test, a bench's setup phase)
+ * already exists.
  */
 
 #ifndef HICAMP_COMMON_STATS_HH

@@ -66,6 +66,8 @@ class AtomicHeap
         void
         write(std::uint64_t i, const HString &value)
         {
+            // hicamp-lint: retain-ok(ref transfers into the boxed
+            // slot; commit keeps it, rollback releases the buffer)
             SegBuilder(heap_.hc_.mem).retain(value.desc().root);
             Plid box = heap_.hc_.boxSegment(value.desc());
             it_.seek(i);

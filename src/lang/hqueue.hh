@@ -58,6 +58,8 @@ class HQueue
             MemStatus st = MemStatus::Ok;
             try {
                 it.load(vsid_, 1);
+                // hicamp-lint: retain-ok(ref transfers into the boxed
+                // slot; commit keeps it, rollback releases the buffer)
                 SegBuilder(hc_.mem).retain(value.desc().root);
                 Plid box = hc_.boxSegment(value.desc());
                 Word tail = it.read();

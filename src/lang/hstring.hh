@@ -41,6 +41,7 @@ class HString
 
     HString(const HString &other) : hc_(other.hc_), desc_(other.desc_)
     {
+        // hicamp-lint: retain-ok(RAII: ~HString releases this ref)
         retain();
     }
 
@@ -119,6 +120,8 @@ class HString
     retain()
     {
         if (hc_)
+            // hicamp-lint: retain-ok(RAII helper; every call is paired
+            // with release() by the rule-of-five members)
             SegBuilder(hc_->mem).retain(desc_.root);
     }
 

@@ -10,7 +10,7 @@ HicampCache::HicampCache(std::uint64_t size_bytes, unsigned ways,
                          unsigned line_bytes, bool content_searchable)
     : ways_(ways), numSets_(size_bytes / (line_bytes * ways)),
       searchable_(content_searchable), entries_(numSets_ * ways_),
-      locks_(new SetLock[kLockStripes])
+      locks_(kLockStripes)
 {
     HICAMP_ASSERT(numSets_ > 0 && std::has_single_bit(numSets_),
                   "cache set count must be a power of two");

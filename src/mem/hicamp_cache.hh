@@ -20,11 +20,11 @@
 #include <cstdint>
 #include <memory>
 #include <optional>
-#include <thread>
 #include <vector>
 
 #include "common/line.hh"
 #include "common/stats.hh"
+#include "common/thread_annotations.hh"
 #include "common/types.hh"
 #include "mem/dram_stats.hh"
 
@@ -92,7 +92,8 @@ class HicampCache
      * @p content is retained for Data entries when content-searchable.
      */
     Access access(const CacheKey &key, std::uint64_t home, bool dirty,
-                  DramCat wb_cat, const Line *content = nullptr);
+                  DramCat wb_cat, const Line *content = nullptr)
+        HICAMP_EXCLUDES(locks_);
 
     /**
      * Lookup-by-content: search the single set identified by
@@ -100,21 +101,24 @@ class HicampCache
      * Returns the matching PLID, or nullopt.
      */
     std::optional<Plid> lookupContent(const Line &content,
-                                      std::uint64_t content_hash) const;
+                                      std::uint64_t content_hash) const
+        HICAMP_EXCLUDES(locks_);
 
     /**
      * Drop an entry (e.g. on deallocation-invalidate). Returns true if
      * the entry was present and dirty (its writeback is cancelled).
      */
-    bool invalidate(const CacheKey &key, std::uint64_t home);
+    bool invalidate(const CacheKey &key, std::uint64_t home)
+        HICAMP_EXCLUDES(locks_);
 
-    bool contains(const CacheKey &key, std::uint64_t home) const;
+    bool contains(const CacheKey &key, std::uint64_t home) const
+        HICAMP_EXCLUDES(locks_);
 
     /** Clear all dirty bits (writebacks completed out-of-band). */
-    void cleanAll();
+    void cleanAll() HICAMP_EXCLUDES(locks_);
 
     /** Drop every entry (cold-start a measurement). */
-    void invalidateAll();
+    void invalidateAll() HICAMP_EXCLUDES(locks_);
 
     std::uint64_t numSets() const { return numSets_; }
 
@@ -133,44 +137,28 @@ class HicampCache
         bool hasContent = false;
     };
 
-    /** Cache-line-padded test-and-set spinlock guarding some sets. */
-    struct alignas(64) SetLock {
-        std::atomic_flag flag = ATOMIC_FLAG_INIT;
-
-        void
-        lock()
-        {
-            while (flag.test_and_set(std::memory_order_acquire)) {
-                // Spin on a plain load (no cache-line ping-pong),
-                // yielding periodically so a descheduled holder on an
-                // oversubscribed core can make progress.
-                unsigned spins = 0;
-                while (flag.test(std::memory_order_relaxed)) {
-                    if (++spins == 64) {
-                        spins = 0;
-                        std::this_thread::yield();
-                    }
-                }
-            }
-        }
-        void unlock() { flag.clear(std::memory_order_release); }
-    };
-
-    /** RAII guard over the spinlock covering @p set. */
-    class SetGuard
+    /**
+     * RAII guard over the spinlock covering @p set (§7 rank 4, leaf:
+     * co-acquires the leaf anchor, so taking any other memory-system
+     * lock under it is a lock-order error).
+     */
+    class HICAMP_SCOPED_CAPABILITY SetGuard
     {
       public:
         SetGuard(const HicampCache &c, std::uint64_t set)
-            : lock_(c.locks_[set & (kLockStripes - 1)])
+            HICAMP_ACQUIRE(c.locks_, lockrank::leaf)
+            : bank_(c.locks_),
+              idx_(static_cast<unsigned>(set & (kLockStripes - 1)))
         {
-            lock_.lock();
+            bank_.lock(idx_);
         }
-        ~SetGuard() { lock_.unlock(); }
+        ~SetGuard() HICAMP_RELEASE() { bank_.unlock(idx_); }
         SetGuard(const SetGuard &) = delete;
         SetGuard &operator=(const SetGuard &) = delete;
 
       private:
-        SetLock &lock_;
+        SpinBank &bank_;
+        unsigned idx_;
     };
 
     static constexpr unsigned kLockStripes = 256; // power of two
@@ -184,8 +172,8 @@ class HicampCache
     std::uint64_t numSets_;
     bool searchable_;
     std::atomic<std::uint64_t> lruClock_{0};
-    std::vector<Entry> entries_;
-    mutable std::unique_ptr<SetLock[]> locks_;
+    std::vector<Entry> entries_ HICAMP_GUARDED_BY(locks_);
+    mutable SpinBank locks_;
 };
 
 } // namespace hicamp

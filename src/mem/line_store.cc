@@ -2,7 +2,6 @@
 
 #include <algorithm>
 #include <bit>
-#include <mutex>
 
 #include "common/logging.hh"
 
@@ -39,6 +38,7 @@ LineStore::LineStore(std::uint64_t num_buckets, unsigned line_words,
                      const Limits &limits, unsigned stripes)
     : numBuckets_(num_buckets), lineWords_(line_words), limits_(limits),
       numStripes_(clampStripes(stripes, num_buckets)),
+      stripes_(numStripes_),
       words_(num_buckets * BucketLayout::kNumData * line_words, 0),
       metas_(num_buckets * BucketLayout::kNumData * line_words, 0),
       sigs_(num_buckets * BucketLayout::kNumData, 0),
@@ -54,7 +54,6 @@ LineStore::LineStore(std::uint64_t num_buckets, unsigned line_words,
     refMax_ = limits.refcountBits == 32
                   ? ~std::uint32_t{0}
                   : (std::uint32_t{1} << limits.refcountBits) - 1;
-    stripes_ = std::make_unique<std::shared_mutex[]>(numStripes_);
 }
 
 std::uint64_t
@@ -63,7 +62,7 @@ LineStore::bucketOfPlid(Plid plid) const
     if (isOverflow(plid)) {
         const unsigned stripe = overflowStripe(plid);
         HICAMP_DEBUG_ASSERT(stripe < numStripes_, "malformed PLID");
-        std::shared_lock<std::shared_mutex> g(stripes_[stripe]);
+        StripeShared g(stripes_, stripe);
         const std::uint64_t idx = overflowIdx(plid);
         HICAMP_DEBUG_ASSERT(idx < overflow_[stripe].entries.size(),
                             "malformed PLID");
@@ -166,7 +165,7 @@ LineStore::find(const Line &content) const
     HICAMP_ASSERT(!content.isZero(), "zero line is implicit (PLID 0)");
     const std::uint64_t hash = content.contentHash();
     const unsigned stripe = stripeOfBucket(bucketOf(hash));
-    std::shared_lock<std::shared_mutex> g(stripes_[stripe]);
+    StripeShared g(stripes_, stripe);
     return findImpl(content, hash);
 }
 
@@ -178,7 +177,7 @@ LineStore::findOrInsert(const Line &content, bool take_ref)
     const std::uint64_t hash = content.contentHash();
     const std::uint64_t b = bucketOf(hash);
     const unsigned stripe = stripeOfBucket(b);
-    std::unique_lock<std::shared_mutex> g(stripes_[stripe]);
+    StripeExclusive g(stripes_, stripe);
 
     FindResult r = findImpl(content, hash);
     if (r.found) {
@@ -264,7 +263,7 @@ LineStore::read(Plid plid) const
     if (isOverflow(plid)) {
         const unsigned stripe = overflowStripe(plid);
         HICAMP_DEBUG_ASSERT(stripe < numStripes_, "malformed PLID");
-        std::shared_lock<std::shared_mutex> g(stripes_[stripe]);
+        StripeShared g(stripes_, stripe);
         const OverflowEntry &e =
             overflow_[stripe].entries[overflowIdx(plid)];
         HICAMP_DEBUG_ASSERT(e.live.load(std::memory_order_relaxed),
@@ -290,7 +289,7 @@ LineStore::isLive(Plid plid) const
         const unsigned stripe = overflowStripe(plid);
         if (stripe >= numStripes_)
             return false;
-        std::shared_lock<std::shared_mutex> g(stripes_[stripe]);
+        StripeShared g(stripes_, stripe);
         const std::uint64_t idx = overflowIdx(plid);
         return idx < overflow_[stripe].entries.size() &&
                overflow_[stripe].entries[idx].live.load(
@@ -313,7 +312,7 @@ LineStore::refCount(Plid plid) const
     if (isOverflow(plid)) {
         const unsigned stripe = overflowStripe(plid);
         HICAMP_DEBUG_ASSERT(stripe < numStripes_, "malformed PLID");
-        std::shared_lock<std::shared_mutex> g(stripes_[stripe]);
+        StripeShared g(stripes_, stripe);
         return overflow_[stripe].entries[overflowIdx(plid)].refs.load(
             std::memory_order_relaxed);
     }
@@ -377,7 +376,7 @@ LineStore::addRef(Plid plid, std::int32_t delta)
     if (isOverflow(plid)) {
         const unsigned stripe = overflowStripe(plid);
         HICAMP_DEBUG_ASSERT(stripe < numStripes_, "malformed PLID");
-        std::shared_lock<std::shared_mutex> g(stripes_[stripe]);
+        StripeShared g(stripes_, stripe);
         OverflowEntry &e = overflow_[stripe].entries[overflowIdx(plid)];
         HICAMP_DEBUG_ASSERT(e.live.load(std::memory_order_relaxed),
                             "refcount of dead overflow line");
@@ -397,7 +396,7 @@ LineStore::incRefIfLive(Plid plid)
         const unsigned stripe = overflowStripe(plid);
         if (stripe >= numStripes_)
             return false;
-        std::shared_lock<std::shared_mutex> g(stripes_[stripe]);
+        StripeShared g(stripes_, stripe);
         const std::uint64_t idx = overflowIdx(plid);
         if (idx >= overflow_[stripe].entries.size())
             return false;
@@ -438,7 +437,7 @@ LineStore::saturateRef(Plid plid)
     HICAMP_DEBUG_ASSERT(plid != kZeroPlid, "refcounting the zero line");
     if (isOverflow(plid)) {
         const unsigned stripe = overflowStripe(plid);
-        std::shared_lock<std::shared_mutex> g(stripes_[stripe]);
+        StripeShared g(stripes_, stripe);
         saturateRefSlot(overflow_[stripe].entries[overflowIdx(plid)].refs);
         return;
     }
@@ -478,7 +477,7 @@ LineStore::retire(Plid plid)
     if (isOverflow(plid)) {
         const unsigned stripe = overflowStripe(plid);
         HICAMP_DEBUG_ASSERT(stripe < numStripes_, "malformed PLID");
-        std::unique_lock<std::shared_mutex> g(stripes_[stripe]);
+        StripeExclusive g(stripes_, stripe);
         OverflowShard &shard = overflow_[stripe];
         const std::uint64_t idx = overflowIdx(plid);
         HICAMP_DEBUG_ASSERT(idx < shard.entries.size(), "malformed PLID");
@@ -508,7 +507,7 @@ LineStore::retire(Plid plid)
     }
     const std::uint64_t bucket = plid >> BucketLayout::kWayBits;
     const unsigned stripe = stripeOfBucket(bucket);
-    std::unique_lock<std::shared_mutex> g(stripes_[stripe]);
+    StripeExclusive g(stripes_, stripe);
     const std::uint64_t slot = slotOf(plid);
     if (!slotLive(slot) ||
         refs_[slot].load(std::memory_order_relaxed) != 0) {
@@ -542,8 +541,7 @@ LineStore::corruptForTest(Plid plid, unsigned word_idx, Word xor_mask)
     HICAMP_ASSERT(!isOverflow(plid) && plid != kZeroPlid,
                   "corruptForTest targets home-bucket lines");
     const std::uint64_t bucket = plid >> BucketLayout::kWayBits;
-    std::unique_lock<std::shared_mutex> g(
-        stripes_[stripeOfBucket(bucket)]);
+    StripeExclusive g(stripes_, stripeOfBucket(bucket));
     const std::uint64_t slot = slotOf(plid);
     HICAMP_ASSERT(slotLive(slot), "corrupting a dead line");
     words_[slot * lineWords_ + word_idx] ^= xor_mask;
@@ -566,8 +564,7 @@ LineStore::forEachLive(
     for (std::uint64_t b = 0; b < numBuckets_; ++b) {
         batch.clear();
         {
-            std::shared_lock<std::shared_mutex> g(
-                stripes_[stripeOfBucket(b)]);
+            StripeShared g(stripes_, stripeOfBucket(b));
             if (liveMask_[b].load(std::memory_order_relaxed) == 0)
                 continue;
             for (unsigned w = 0; w < BucketLayout::kNumData; ++w) {
@@ -586,7 +583,7 @@ LineStore::forEachLive(
     for (unsigned s = 0; s < numStripes_; ++s) {
         batch.clear();
         {
-            std::shared_lock<std::shared_mutex> g(stripes_[s]);
+            StripeShared g(stripes_, s);
             const OverflowShard &shard = overflow_[s];
             for (std::uint64_t i = 0; i < shard.entries.size(); ++i) {
                 const OverflowEntry &e = shard.entries[i];
@@ -608,8 +605,7 @@ LineStore::storedSignature(Plid plid) const
     HICAMP_ASSERT(!isOverflow(plid) && plid != kZeroPlid,
                   "signatures cover home-bucket lines only");
     const std::uint64_t bucket = plid >> BucketLayout::kWayBits;
-    std::shared_lock<std::shared_mutex> g(
-        stripes_[stripeOfBucket(bucket)]);
+    StripeShared g(stripes_, stripeOfBucket(bucket));
     return sigs_[slotOf(plid)];
 }
 
@@ -619,7 +615,7 @@ LineStore::overflowChainContains(Plid plid) const
     HICAMP_ASSERT(isOverflow(plid), "not an overflow PLID");
     const unsigned stripe = overflowStripe(plid);
     HICAMP_ASSERT(stripe < numStripes_, "not an overflow PLID");
-    std::shared_lock<std::shared_mutex> g(stripes_[stripe]);
+    StripeShared g(stripes_, stripe);
     const OverflowShard &shard = overflow_[stripe];
     const std::uint64_t idx = overflowIdx(plid);
     // Recompute from current content (not the memoized insert-time
@@ -641,7 +637,7 @@ LineStore::forgeDuplicateForTest(Plid plid)
     const std::uint64_t hash = content.contentHash();
     const std::uint64_t b = bucketOf(hash);
     const unsigned stripe = stripeOfBucket(b);
-    std::unique_lock<std::shared_mutex> g(stripes_[stripe]);
+    StripeExclusive g(stripes_, stripe);
     OverflowShard &shard = overflow_[stripe];
     std::uint64_t idx;
     if (!shard.freeList.empty()) {
@@ -671,7 +667,7 @@ LineStore::poisonWordForTest(Plid plid, unsigned word_idx, Word w,
                   "poisonWordForTest out of range");
     if (isOverflow(plid)) {
         const unsigned stripe = overflowStripe(plid);
-        std::unique_lock<std::shared_mutex> g(stripes_[stripe]);
+        StripeExclusive g(stripes_, stripe);
         OverflowEntry &e = overflow_[stripe].entries[overflowIdx(plid)];
         HICAMP_ASSERT(e.live.load(std::memory_order_relaxed),
                       "poisoning a dead line");
@@ -679,8 +675,7 @@ LineStore::poisonWordForTest(Plid plid, unsigned word_idx, Word w,
         return;
     }
     const std::uint64_t bucket = plid >> BucketLayout::kWayBits;
-    std::unique_lock<std::shared_mutex> g(
-        stripes_[stripeOfBucket(bucket)]);
+    StripeExclusive g(stripes_, stripeOfBucket(bucket));
     const std::uint64_t slot = slotOf(plid);
     HICAMP_ASSERT(slotLive(slot), "poisoning a dead line");
     words_[slot * lineWords_ + word_idx] = w;
@@ -697,7 +692,7 @@ LineStore::totalRefs() const
             t += refs_[slot].load(std::memory_order_relaxed);
     }
     for (unsigned s = 0; s < numStripes_; ++s) {
-        std::shared_lock<std::shared_mutex> g(stripes_[s]);
+        StripeShared g(stripes_, s);
         for (const auto &e : overflow_[s].entries) {
             if (e.live.load(std::memory_order_relaxed))
                 t += e.refs.load(std::memory_order_relaxed);

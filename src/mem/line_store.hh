@@ -40,12 +40,12 @@
 #include <functional>
 #include <memory>
 #include <optional>
-#include <shared_mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "common/line.hh"
 #include "common/status.hh"
+#include "common/thread_annotations.hh"
 #include "common/types.hh"
 
 namespace hicamp {
@@ -156,24 +156,30 @@ class LineStore
      * carries MemStatus::OutOfMemory, no reference is taken and no
      * state was changed.
      */
-    FindResult findOrInsert(const Line &content, bool take_ref = false);
+    FindResult findOrInsert(const Line &content, bool take_ref = false)
+        HICAMP_EXCLUDES(stripes_);
 
     /** Probe only; plid==0 in the result if absent. */
-    FindResult find(const Line &content) const;
+    FindResult find(const Line &content) const
+        HICAMP_EXCLUDES(stripes_);
 
     /**
      * Read a line by PLID. Zero PLID returns the all-zero line.
      * Lock-free for home-bucket lines (immutable once published);
      * overflow lines are copied under the stripe's shared lock. The
      * caller must hold a reference (or otherwise know the line is
-     * live) — reading a freed PLID is undefined.
+     * live) — reading a freed PLID is undefined. Exempt from the
+     * capability analysis: the home-bucket path reads published
+     * content with no lock, made sound by the liveMask_ release/
+     * acquire publication protocol (DESIGN.md §7), which the lock
+     * model cannot express.
      */
-    Line read(Plid plid) const;
+    Line read(Plid plid) const HICAMP_NO_THREAD_SAFETY_ANALYSIS;
 
     /** True if the PLID names a live line. */
-    bool isLive(Plid plid) const;
+    bool isLive(Plid plid) const HICAMP_EXCLUDES(stripes_);
 
-    std::uint32_t refCount(Plid plid) const;
+    std::uint32_t refCount(Plid plid) const HICAMP_EXCLUDES(stripes_);
 
     /**
      * Adjust a refcount; returns the new value. Lock-free commutative
@@ -182,7 +188,8 @@ class LineStore
      * once pinned, neither increments nor decrements move the count
      * again and the line is immortal.
      */
-    std::uint32_t addRef(Plid plid, std::int32_t delta);
+    std::uint32_t addRef(Plid plid, std::int32_t delta)
+        HICAMP_EXCLUDES(stripes_);
 
     /**
      * Take a reference iff the line is currently live with a nonzero
@@ -192,7 +199,7 @@ class LineStore
      * false when the count was zero or the line is gone; the caller
      * must then fall back to a locked lookup.
      */
-    bool incRefIfLive(Plid plid);
+    bool incRefIfLive(Plid plid) HICAMP_EXCLUDES(stripes_);
 
     /// @name Finite-capacity model
     /// @{
@@ -207,7 +214,7 @@ class LineStore
     }
 
     /** Pin a line's count at the ceiling (fault injection). */
-    void saturateRef(Plid plid);
+    void saturateRef(Plid plid) HICAMP_EXCLUDES(stripes_);
 
     /** Lines whose counts have saturated (they can never be freed). */
     std::uint64_t
@@ -241,14 +248,14 @@ class LineStore
      * bucket's stripe lock, and findOrInsert(take_ref) re-increments
      * under it.
      */
-    std::optional<Retired> retire(Plid plid);
+    std::optional<Retired> retire(Plid plid) HICAMP_EXCLUDES(stripes_);
 
     /**
      * Free a (zero-refcount) line slot; clears its signature.
      * Asserts the line is live with refcount zero (single-owner
      * teardown paths; concurrent code uses retire()).
      */
-    void freeLine(Plid plid);
+    void freeLine(Plid plid) HICAMP_EXCLUDES(stripes_);
 
     /** Number of live lines (excluding the implicit zero line). */
     std::uint64_t
@@ -269,7 +276,7 @@ class LineStore
     }
 
     /** Sum of all live reference counts (for invariant checks). */
-    std::uint64_t totalRefs() const;
+    std::uint64_t totalRefs() const HICAMP_EXCLUDES(stripes_);
 
     /**
      * Fault injection (tests/benches): XOR a stored word of a live
@@ -277,7 +284,8 @@ class LineStore
      * past per-line ECC. The paper's §3.1 content-hash-vs-bucket
      * check is expected to catch almost all such corruptions.
      */
-    void corruptForTest(Plid plid, unsigned word_idx, Word xor_mask);
+    void corruptForTest(Plid plid, unsigned word_idx, Word xor_mask)
+        HICAMP_EXCLUDES(stripes_);
 
     /// @name Audit support (src/analysis)
     /// @{
@@ -290,17 +298,19 @@ class LineStore
      */
     void forEachLive(
         const std::function<void(Plid, const Line &, std::uint32_t)> &fn)
-        const;
+        const HICAMP_EXCLUDES(stripes_);
 
     /** Stored signature byte of a live home-bucket line. */
-    std::uint8_t storedSignature(Plid plid) const;
+    std::uint8_t storedSignature(Plid plid) const
+        HICAMP_EXCLUDES(stripes_);
 
     /**
      * True if a live overflow line is reachable through the overflow
      * pointer chain indexed by its content hash (Fig. 2); an
      * unindexed line would never dedup against future lookups.
      */
-    bool overflowChainContains(Plid plid) const;
+    bool overflowChainContains(Plid plid) const
+        HICAMP_EXCLUDES(stripes_);
     /// @}
 
     /// @name Corruption injection (tests of the auditor itself)
@@ -311,7 +321,7 @@ class LineStore
      * violation (two PLIDs for one content). Returns the new PLID,
      * live with refcount 0.
      */
-    Plid forgeDuplicateForTest(Plid plid);
+    Plid forgeDuplicateForTest(Plid plid) HICAMP_EXCLUDES(stripes_);
 
     /**
      * Overwrite one stored word *and* its tag in place, bypassing
@@ -319,7 +329,7 @@ class LineStore
      * non-canonical structure for auditor detection tests.
      */
     void poisonWordForTest(Plid plid, unsigned word_idx, Word w,
-                           WordMeta m);
+                           WordMeta m) HICAMP_EXCLUDES(stripes_);
     /// @}
 
   private:
@@ -375,12 +385,16 @@ class LineStore
                 (slot % BucketLayout::kNumData)) &
                1;
     }
-    void setSlotLive(std::uint64_t slot, bool live);
-    bool slotEquals(std::uint64_t slot, const Line &content) const;
-    Line materialize(std::uint64_t slot) const;
+    void setSlotLive(std::uint64_t slot, bool live)
+        HICAMP_REQUIRES(stripes_);
+    bool slotEquals(std::uint64_t slot, const Line &content) const
+        HICAMP_REQUIRES_SHARED(stripes_);
+    Line materialize(std::uint64_t slot) const
+        HICAMP_REQUIRES_SHARED(stripes_);
 
     /** Probe under the caller-held stripe lock. */
-    FindResult findImpl(const Line &content, std::uint64_t hash) const;
+    FindResult findImpl(const Line &content, std::uint64_t hash) const
+        HICAMP_REQUIRES_SHARED(stripes_);
 
     /** Saturating commutative refcount adjust (shared CAS loop). */
     std::uint32_t adjustRef(std::atomic<std::uint32_t> &r,
@@ -401,21 +415,24 @@ class LineStore
     std::uint32_t refMax_;
     std::atomic<std::uint64_t> saturatedLines_{0};
 
-    /// bucket-striped locks: allocation/dedup/free per stripe
-    std::unique_ptr<std::shared_mutex[]> stripes_;
+    /// Bucket-striped locks: allocation/dedup/free per stripe. The
+    /// whole bank is one capability — stripes are never nested, so
+    /// holding *any* stripe licenses access to that stripe's share of
+    /// the guarded state below (DESIGN.md §8).
+    mutable StripeBank stripes_;
 
     /// numBuckets * kNumData * lineWords
-    std::vector<Word> words_;
-    std::vector<std::uint16_t> metas_;
+    std::vector<Word> words_ HICAMP_GUARDED_BY(stripes_);
+    std::vector<std::uint16_t> metas_ HICAMP_GUARDED_BY(stripes_);
     /// numBuckets * kNumData
-    std::vector<std::uint8_t> sigs_;
+    std::vector<std::uint8_t> sigs_ HICAMP_GUARDED_BY(stripes_);
     std::vector<std::atomic<std::uint32_t>> refs_;
     /// per-bucket occupancy bitmask over data ways; the release-store
     /// publication point for lock-free readers
     std::vector<std::atomic<std::uint16_t>> liveMask_;
 
     /// per-stripe overflow areas (index == stripe)
-    std::vector<OverflowShard> overflow_;
+    std::vector<OverflowShard> overflow_ HICAMP_GUARDED_BY(stripes_);
     std::atomic<std::uint64_t> overflowLive_{0};
 
     std::atomic<std::uint64_t> liveLines_{0};

@@ -307,6 +307,8 @@ Memory::incRef(Plid plid)
     if (faults_.saturateRef())
         store_.saturateRef(plid);
     else
+        // hicamp-lint: retain-ok(incRef IS the acquire primitive; the
+        // caller owns the reference it asked for)
         store_.addRef(plid, +1);
     rcTouch(plid);
 }

@@ -29,6 +29,7 @@
 #include "common/line.hh"
 #include "common/stats.hh"
 #include "common/status.hh"
+#include "common/thread_annotations.hh"
 #include "common/types.hh"
 #include "mem/dram_stats.hh"
 #include "mem/hicamp_cache.hh"
@@ -109,8 +110,13 @@ class Memory
      * @throws MemPressureError when a fresh allocation is needed but
      * the store is at capacity (or the fault injector failed it). No
      * state is changed on the failure path.
+     *
+     * Excluded from rank-2 (vsm) callers: allocation can race a
+     * reclamation that fires the lineFreed hook, which takes the
+     * segment map's mutex (DESIGN.md §7 "hooks run unlocked").
      */
-    Plid lookup(const Line &content, bool *was_new = nullptr);
+    Plid lookup(const Line &content, bool *was_new = nullptr)
+        HICAMP_EXCLUDES(lockrank::vsm);
 
     /**
      * Dedup-aware interning for DAG nodes: like lookup(), but manages
@@ -122,8 +128,12 @@ class Memory
      * @throws MemPressureError on allocation failure; the caller's
      * child references are released first (consume-on-failure), so a
      * failed intern leaks nothing.
+     *
+     * Excluded from rank-2 (vsm) callers: both the dedup-hit and the
+     * failure path release child references, which can reclaim and
+     * fire the lineFreed hook into the segment map (DESIGN.md §7).
      */
-    Plid internLine(const Line &content);
+    Plid internLine(const Line &content) HICAMP_EXCLUDES(lockrank::vsm);
 
     /** Read a line by PLID through the cache hierarchy. */
     Line readLine(Plid plid, DramCat cat = DramCat::Read);
@@ -145,8 +155,14 @@ class Memory
     /**
      * Release one reference; reclaims the line (and recursively its
      * children) if the count reaches zero.
+     *
+     * Excluded from rank-2 (vsm) callers — the §7 deadlock rule:
+     * reclamation fires the lineFreed/vsidRelease hooks, which
+     * reacquire the segment map's mutex, so a caller already holding
+     * it would self-deadlock. This is the machine-checked form of
+     * "never call into release/reclaim while holding mapMutex_".
      */
-    void decRef(Plid plid);
+    void decRef(Plid plid) HICAMP_EXCLUDES(lockrank::vsm);
 
     /** Current refcount (test/diagnostic use). */
     std::uint32_t refCount(Plid plid) const;
@@ -329,8 +345,8 @@ class Memory
 
     Plid lookupImpl(const Line &content, bool *was_new);
     Line readLineImpl(Plid plid, DramCat cat);
-    void decRefImpl(Plid plid);
-    void reclaim(Plid plid);
+    void decRefImpl(Plid plid) HICAMP_EXCLUDES(lockrank::vsm);
+    void reclaim(Plid plid) HICAMP_EXCLUDES(lockrank::vsm);
     /** Model a line fetch through L1/L2/DRAM, with §3.1 checking. */
     void modelLineFetch(Plid plid, std::uint64_t home,
                         const Line &content, DramCat cat);
@@ -365,7 +381,11 @@ class Memory
     AtomicCounter flipsSilent_;
     StatGroup pressure_{"mem.pressure"};
 
-    mutable std::recursive_mutex mutex_; ///< globalLock baseline only
+    /// globalLock baseline only (§7 rank 1). Deliberately unannotated:
+    /// guard() acquires it *conditionally*, which the capability
+    /// analysis cannot express (DESIGN.md §8) — the baseline path is
+    /// covered by the TSan job instead.
+    mutable std::recursive_mutex mutex_;
 };
 
 } // namespace hicamp

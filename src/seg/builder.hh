@@ -99,16 +99,24 @@ class SegBuilder
         return e;
     }
 
-    /** Release one owned reference (no-op for non-PLID). */
+    /**
+     * Release one owned reference (no-op for non-PLID). Excluded from
+     * rank-2 (vsm) callers — releasing may cascade into reclamation
+     * and the segment map's line-freed hook (DESIGN.md §7).
+     */
     void
-    release(const Entry &e)
+    release(const Entry &e) HICAMP_EXCLUDES(lockrank::vsm)
     {
         if (e.meta.isPlid() && e.word != 0)
             mem_.decRef(e.word);
     }
 
     /** Release a whole segment descriptor's root reference. */
-    void releaseSeg(const SegDesc &d) { release(d.root); }
+    void
+    releaseSeg(const SegDesc &d) HICAMP_EXCLUDES(lockrank::vsm)
+    {
+        release(d.root);
+    }
 
   private:
     /** Try packing @p n raw values at the inline width for coverage n. */

@@ -52,6 +52,8 @@ IteratorRegister::load(Vsid v, std::uint64_t offset)
     clearState();
     vsid_ = v;
     snap_ = vsm_.snapshot(v);
+    // hicamp-lint: retain-ok(stored in work_; clearState()/commit
+    // release the working-tree reference)
     work_ = builder_.retain(snap_.root);
     workHeight_ = snap_.height;
     readOnly_ = vsm_.isReadOnly(v);

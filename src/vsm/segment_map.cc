@@ -76,7 +76,7 @@ SegmentMap::readDesc(const EntrySlot &s) const
     // are relaxed atomics; the acquire fence orders them before the
     // validating re-read.
     for (;;) {
-        const std::uint32_t s1 = s.seq.load(std::memory_order_acquire);
+        const std::uint32_t s1 = s.seq.readBegin();
         if (s1 & 1) {
             std::this_thread::yield();
             continue;
@@ -87,8 +87,7 @@ SegmentMap::readDesc(const EntrySlot &s) const
             WordMeta(s.rootMeta.load(std::memory_order_relaxed));
         d.height = s.height.load(std::memory_order_relaxed);
         d.byteLen = s.byteLen.load(std::memory_order_relaxed);
-        std::atomic_thread_fence(std::memory_order_acquire);
-        if (s.seq.load(std::memory_order_relaxed) == s1)
+        if (s.seq.validate(s1))
             return d;
     }
 }
@@ -97,16 +96,14 @@ void
 SegmentMap::writeDesc(EntrySlot &s, const SegDesc &d)
 {
     // Seqlock writer (mapMutex_ held, so writers are serialized):
-    // odd count opens the critical section, the release fence keeps
-    // the field stores after it, the release store publishes.
-    const std::uint32_t s0 = s.seq.load(std::memory_order_relaxed);
-    s.seq.store(s0 + 1, std::memory_order_relaxed);
-    std::atomic_thread_fence(std::memory_order_release);
+    // writeBegin bumps the count to odd and fences, the field stores
+    // land inside the critical section, writeEnd publishes.
+    s.seq.writeBegin();
     s.rootWord.store(d.root.word, std::memory_order_relaxed);
     s.rootMeta.store(d.root.meta.value(), std::memory_order_relaxed);
     s.height.store(d.height, std::memory_order_relaxed);
     s.byteLen.store(d.byteLen, std::memory_order_relaxed);
-    s.seq.store(s0 + 2, std::memory_order_release);
+    s.seq.writeEnd();
 }
 
 void
@@ -116,7 +113,7 @@ SegmentMap::onLineFreed(Plid plid)
     // held (DESIGN.md §7); zero any weak entries watching this root.
     // Weak entries own no reference, so no Memory call-back happens
     // here.
-    std::lock_guard<std::mutex> g(mapMutex_);
+    CapLockGuard g(mapMutex_, lockrank::vsm);
     auto [lo, hi] = weakWatch_.equal_range(plid);
     for (auto it = lo; it != hi; ++it) {
         EntrySlot &slot = slotFor(it->second);
@@ -132,7 +129,7 @@ SegmentMap::create(const SegDesc &d, std::uint32_t flags)
 {
     Vsid v;
     {
-        std::lock_guard<std::mutex> g(mapMutex_);
+        CapLockGuard g(mapMutex_, lockrank::vsm);
         v = slotCount_.load(std::memory_order_relaxed);
         const std::uint64_t chunk = v >> kSlotChunkBits;
         HICAMP_ASSERT(chunk < kMaxChunks, "segment map full");
@@ -162,7 +159,7 @@ SegmentMap::aliasReadOnly(Vsid target)
 {
     Vsid v;
     {
-        std::lock_guard<std::mutex> g(mapMutex_);
+        CapLockGuard g(mapMutex_, lockrank::vsm);
         HICAMP_ASSERT(target != kNullVsid &&
                           target < slotCount_.load(
                                        std::memory_order_relaxed) &&
@@ -206,7 +203,7 @@ SegmentMap::snapshot(Vsid v)
         mem_.vsmAccess(t, /*write=*/false);
     const EntrySlot &s = slotFor(t);
     for (;;) {
-        const std::uint32_t s1 = s.seq.load(std::memory_order_acquire);
+        const std::uint32_t s1 = s.seq.readBegin();
         if (s1 & 1) {
             std::this_thread::yield();
             continue;
@@ -217,8 +214,7 @@ SegmentMap::snapshot(Vsid v)
             WordMeta(s.rootMeta.load(std::memory_order_relaxed));
         d.height = s.height.load(std::memory_order_relaxed);
         d.byteLen = s.byteLen.load(std::memory_order_relaxed);
-        std::atomic_thread_fence(std::memory_order_acquire);
-        if (s.seq.load(std::memory_order_relaxed) != s1)
+        if (!s.seq.validate(s1))
             continue;
         if (!d.root.meta.isPlid() || d.root.word == 0)
             return d; // inline/zero roots need no reference
@@ -228,7 +224,7 @@ SegmentMap::snapshot(Vsid v)
             // holds — undo and re-read. Content addressing makes a
             // freed-and-reallocated PLID benign (same PLID == same
             // content), so an unchanged count is proof enough.
-            if (s.seq.load(std::memory_order_acquire) == s1)
+            if (s.seq.readBegin() == s1)
                 return d;
             mem_.decRef(d.root.word);
         } else {
@@ -276,7 +272,7 @@ SegmentMap::cas(Vsid v, const SegDesc &expected, const SegDesc &desired)
     Entry old_root = Entry::zero();
     bool release_old = false;
     {
-        std::lock_guard<std::mutex> g(mapMutex_);
+        CapLockGuard g(mapMutex_, lockrank::vsm);
         SegDesc cur = readDesc(slot); // stable: writers are serialized
         if (!(cur == expected))
             return false;
@@ -424,7 +420,7 @@ SegmentMap::destroy(Vsid v)
     Entry root = Entry::zero();
     bool release_root = false;
     {
-        std::lock_guard<std::mutex> g(mapMutex_);
+        CapLockGuard g(mapMutex_, lockrank::vsm);
         const std::uint32_t f =
             slot.flags.load(std::memory_order_relaxed);
         SegDesc cur = readDesc(slot);
@@ -448,7 +444,7 @@ SegmentMap::forEachLive(
     // Holds mapMutex_ across the callbacks: audits run at quiescent
     // points, and fn may freely read the store (bucket stripes rank
     // below the map mutex).
-    std::lock_guard<std::mutex> g(mapMutex_);
+    CapLockGuard g(mapMutex_, lockrank::vsm);
     const std::uint64_t n = slotCount_.load(std::memory_order_relaxed);
     for (Vsid v = 1; v < n; ++v) {
         const EntrySlot &s = slotFor(v);
@@ -461,14 +457,14 @@ SegmentMap::forEachLive(
 void
 SegmentMap::registerIterator(const IteratorRegister *it)
 {
-    std::lock_guard<std::mutex> g(mapMutex_);
+    CapLockGuard g(mapMutex_, lockrank::vsm);
     iterators_.push_back(it);
 }
 
 void
 SegmentMap::unregisterIterator(const IteratorRegister *it)
 {
-    std::lock_guard<std::mutex> g(mapMutex_);
+    CapLockGuard g(mapMutex_, lockrank::vsm);
     auto pos = std::find(iterators_.begin(), iterators_.end(), it);
     HICAMP_ASSERT(pos != iterators_.end(),
                   "unregistering an unknown iterator register");
@@ -478,14 +474,14 @@ SegmentMap::unregisterIterator(const IteratorRegister *it)
 std::vector<const IteratorRegister *>
 SegmentMap::liveIterators() const
 {
-    std::lock_guard<std::mutex> g(mapMutex_);
+    CapLockGuard g(mapMutex_, lockrank::vsm);
     return iterators_;
 }
 
 std::uint64_t
 SegmentMap::liveEntries() const
 {
-    std::lock_guard<std::mutex> g(mapMutex_);
+    CapLockGuard g(mapMutex_, lockrank::vsm);
     const std::uint64_t n = slotCount_.load(std::memory_order_relaxed);
     std::uint64_t count = 0;
     for (Vsid v = 1; v < n; ++v)

@@ -33,10 +33,10 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/thread_annotations.hh"
 #include "seg/builder.hh"
 #include "seg/merge.hh"
 
@@ -65,14 +65,15 @@ class SegmentMap
      * Create a segment entry. Takes ownership of @p d's root
      * reference (unless @p flags has kSegWeak).
      */
-    Vsid create(const SegDesc &d, std::uint32_t flags = 0);
+    Vsid create(const SegDesc &d, std::uint32_t flags = 0)
+        HICAMP_EXCLUDES(mapMutex_);
 
     /**
      * Create a read-only alias of @p target: reads forward to the
      * target entry, commits are rejected. This is how a VSID is
      * "passed read-only" to an untrusted thread.
      */
-    Vsid aliasReadOnly(Vsid target);
+    Vsid aliasReadOnly(Vsid target) HICAMP_EXCLUDES(mapMutex_);
 
     /**
      * Read the current descriptor (no reference acquired, lock-free).
@@ -87,8 +88,12 @@ class SegmentMap
      * on its root — the caller now holds a stable, immutable view
      * regardless of concurrent commits (snapshot isolation, §2.2).
      * Lock-free against concurrent committers.
+     *
+     * Exempt from the capability analysis: a seqlock reader with
+     * tryRetain revalidation (DESIGN.md §7), sound by protocol rather
+     * than by lock.
      */
-    SegDesc snapshot(Vsid v);
+    SegDesc snapshot(Vsid v) HICAMP_NO_THREAD_SAFETY_ANALYSIS;
 
     /** Release a snapshot previously acquired with snapshot(). */
     void releaseSnapshot(const SegDesc &d);
@@ -103,7 +108,8 @@ class SegmentMap
      * true. Otherwise returns false and the caller keeps ownership of
      * @p desired. Rejected (false, no transfer) on read-only entries.
      */
-    bool cas(Vsid v, const SegDesc &expected, const SegDesc &desired);
+    bool cas(Vsid v, const SegDesc &expected, const SegDesc &desired)
+        HICAMP_EXCLUDES(mapMutex_);
 
     /**
      * mCAS (paper §3.4): like cas, but on conflict attempts
@@ -117,13 +123,13 @@ class SegmentMap
      * interrupts a merge (OutOfMemory), leaking nothing either way.
      */
     bool mcas(Vsid v, const SegDesc &old_base, const SegDesc &desired,
-              MergeStats *stats = nullptr);
+              MergeStats *stats = nullptr) HICAMP_EXCLUDES(mapMutex_);
 
     /** Delete an entry, releasing its root reference. */
-    void destroy(Vsid v);
+    void destroy(Vsid v) HICAMP_EXCLUDES(mapMutex_);
 
     /** Number of live (non-destroyed) entries. */
-    std::uint64_t liveEntries() const;
+    std::uint64_t liveEntries() const HICAMP_EXCLUDES(mapMutex_);
 
     /** Total mCAS conflicts resolved by merge. */
     std::uint64_t mergeCommits() const { return mergeCommits_.value(); }
@@ -147,16 +153,19 @@ class SegmentMap
      */
     void forEachLive(
         const std::function<void(Vsid, const SegDesc &, std::uint32_t)>
-            &fn) const;
+            &fn) const HICAMP_EXCLUDES(mapMutex_);
 
     /**
      * Iterator registers announce themselves here for their lifetime
      * so the heap auditor can account for the line references their
      * snapshots, working trees and write buffers own.
      */
-    void registerIterator(const IteratorRegister *it);
-    void unregisterIterator(const IteratorRegister *it);
-    std::vector<const IteratorRegister *> liveIterators() const;
+    void registerIterator(const IteratorRegister *it)
+        HICAMP_EXCLUDES(mapMutex_);
+    void unregisterIterator(const IteratorRegister *it)
+        HICAMP_EXCLUDES(mapMutex_);
+    std::vector<const IteratorRegister *> liveIterators() const
+        HICAMP_EXCLUDES(mapMutex_);
     /// @}
 
   private:
@@ -167,11 +176,13 @@ class SegmentMap
      * alias resolution never needs the seqlock.
      */
     struct EntrySlot {
-        std::atomic<std::uint32_t> seq{0};
-        std::atomic<Word> rootWord{0};
-        std::atomic<std::uint16_t> rootMeta{0};
-        std::atomic<std::int32_t> height{0};
-        std::atomic<std::uint64_t> byteLen{0};
+        /// per-slot publication seqlock; its write side is entered
+        /// only under mapMutex_ (writeDesc), so writers never race
+        SeqCount seq;
+        std::atomic<Word> rootWord HICAMP_GUARDED_BY(seq) = 0;
+        std::atomic<std::uint16_t> rootMeta HICAMP_GUARDED_BY(seq) = 0;
+        std::atomic<std::int32_t> height HICAMP_GUARDED_BY(seq) = 0;
+        std::atomic<std::uint64_t> byteLen HICAMP_GUARDED_BY(seq) = 0;
         std::atomic<std::uint32_t> flags{0};
         std::atomic<Vsid> aliasTarget{kNullVsid};
         std::atomic<bool> live{false};
@@ -192,24 +203,36 @@ class SegmentMap
     void checkLive(Vsid v) const;
     /** Resolve aliases to the primary VSID (lock-free). */
     Vsid resolve(Vsid v) const;
-    /** Seqlock-consistent descriptor read (lock-free). */
-    SegDesc readDesc(const EntrySlot &s) const;
-    /** Publish a descriptor (mapMutex_ held). */
-    void writeDesc(EntrySlot &s, const SegDesc &d);
-    void onLineFreed(Plid plid);
+    /**
+     * Seqlock-consistent descriptor read (lock-free). Exempt from the
+     * capability analysis: the read/validate protocol, not a lock,
+     * makes the guarded field loads sound (DESIGN.md §7).
+     */
+    SegDesc readDesc(const EntrySlot &s) const
+        HICAMP_NO_THREAD_SAFETY_ANALYSIS;
+    /** Publish a descriptor through the slot's seqlock. */
+    void writeDesc(EntrySlot &s, const SegDesc &d)
+        HICAMP_REQUIRES(mapMutex_);
+    void onLineFreed(Plid plid) HICAMP_EXCLUDES(mapMutex_);
 
     Memory &mem_;
     SegBuilder builder_;
     /**
      * Serializes slot creation, commits and weak-watch maintenance.
-     * Ranks above the store's bucket stripes; never held while
-     * calling into Memory (traffic modelling, reference releases).
+     * §7 rank 2 (vsm): ranks above the store's bucket stripes; never
+     * held while calling into Memory (traffic modelling, reference
+     * releases) — machine-checked by HICAMP_EXCLUDES(lockrank::vsm)
+     * on Memory's reclaim-reaching entry points.
      */
-    mutable std::mutex mapMutex_;
+    mutable CapMutex mapMutex_;
+    /// written under mapMutex_, read lock-free by slotFor()'s acquire
+    /// load (chunks have stable addresses; see kSlotChunkBits)
     std::unique_ptr<std::atomic<SlotChunk *>[]> chunks_;
     std::atomic<std::uint64_t> slotCount_{1}; ///< slot 0 == null VSID
-    std::vector<const IteratorRegister *> iterators_;
-    std::unordered_multimap<Plid, Vsid> weakWatch_;
+    std::vector<const IteratorRegister *> iterators_
+        HICAMP_GUARDED_BY(mapMutex_);
+    std::unordered_multimap<Plid, Vsid> weakWatch_
+        HICAMP_GUARDED_BY(mapMutex_);
     AtomicCounter mergeCommits_;
     AtomicCounter mergeFailures_;
 };

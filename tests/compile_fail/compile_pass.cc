@@ -1,0 +1,44 @@
+// Positive control for the compile_fail suite: the same constructs
+// the failing cases abuse, used correctly — guarded field behind its
+// guard, locks taken in the DESIGN.md §7 rank order. Must compile
+// cleanly under `clang++ -Wthread-safety -Wthread-safety-beta` and
+// under annotation-free compilers alike.
+#include "common/thread_annotations.hh"
+
+namespace {
+
+class Ledger
+{
+  public:
+    void
+    deposit(int amount)
+    {
+        hicamp::CapLockGuard g(mutex_, hicamp::lockrank::vsm);
+        balance_ += amount;
+    }
+
+  private:
+    hicamp::CapMutex mutex_;
+    int balance_ HICAMP_GUARDED_BY(mutex_) = 0;
+};
+
+hicamp::StripeBank stripes(4);
+hicamp::CapMutex leafMutex;
+
+int
+stripeThenLeaf()
+{
+    hicamp::StripeShared s(stripes, 1);                         // rank 3
+    hicamp::CapLockGuard g(leafMutex, hicamp::lockrank::leaf);  // rank 4
+    return 0;
+}
+
+} // namespace
+
+int
+main()
+{
+    Ledger l;
+    l.deposit(1);
+    return stripeThenLeaf();
+}

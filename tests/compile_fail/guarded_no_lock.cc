@@ -1,0 +1,38 @@
+// compile_fail case: writes a HICAMP_GUARDED_BY(mutex_) field without
+// holding the mutex. Under `clang++ -Wthread-safety -Werror` this must
+// NOT compile (the ctest entry is WILL_FAIL); under compilers without
+// the attributes the annotations are no-ops and the file is plain C++.
+#include "common/thread_annotations.hh"
+
+namespace {
+
+class Ledger
+{
+  public:
+    void
+    deposit(int amount)
+    {
+        balance_ += amount; // BAD: mutex_ not held
+    }
+
+    int
+    balanceLocked()
+    {
+        hicamp::CapLockGuard g(mutex_, hicamp::lockrank::leaf);
+        return balance_;
+    }
+
+  private:
+    hicamp::CapMutex mutex_;
+    int balance_ HICAMP_GUARDED_BY(mutex_) = 0;
+};
+
+} // namespace
+
+int
+main()
+{
+    Ledger l;
+    l.deposit(1);
+    return l.balanceLocked();
+}

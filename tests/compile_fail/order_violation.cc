@@ -1,0 +1,19 @@
+// compile_fail case: acquires a stripe (rank 3) while holding a
+// leaf-rank (rank 4) lock — the fault/stats tier — inverting the
+// DESIGN.md §7 order declared on the lockrank anchors. Under
+// `clang++ -Wthread-safety-beta -Werror` the ACQUIRED_AFTER edge
+// makes this a compile error (the ctest entry is WILL_FAIL).
+#include "common/thread_annotations.hh"
+
+namespace {
+hicamp::CapMutex faultMutex;     // leaf rank, like FaultInjector's
+hicamp::StripeBank stripes(4);   // stripe rank (line-store buckets)
+} // namespace
+
+int
+main()
+{
+    hicamp::CapLockGuard g(faultMutex, hicamp::lockrank::leaf);
+    hicamp::StripeExclusive s(stripes, 0); // BAD: stripe after leaf
+    return 0;
+}

@@ -1,0 +1,16 @@
+// compile_fail case caught by tools/lint/hicamp_lint.py, not the
+// compiler: leakRef() acquires a line reference and neither releases
+// it nor transfers ownership out. The ctest entry runs the lint over
+// this file and requires a retain-balance finding.
+#include <cstdint>
+
+struct Store {
+    bool incRefIfLive(std::uint64_t plid);
+    void decRef(std::uint64_t plid);
+};
+
+void
+leakRef(Store &s, std::uint64_t plid)
+{
+    (void)s.incRefIfLive(plid); // leaked: no release, no transfer
+}

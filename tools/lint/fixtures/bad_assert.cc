@@ -1,0 +1,20 @@
+// Lint fixture: side effects inside HICAMP_DEBUG_ASSERT, which is
+// compiled out of release builds. Each marked line must be reported
+// by the assert-side-effect rule.
+#include <atomic>
+#include <cstdint>
+
+#define HICAMP_DEBUG_ASSERT(cond, msg) ((void)0)
+
+void
+checks(std::uint64_t n, std::atomic<std::uint64_t> &a)
+{
+    std::uint64_t i = 0;
+    HICAMP_DEBUG_ASSERT(i++ < n, "increments in debug-only code"); // EXPECT-LINE: assert-side-effect
+    HICAMP_DEBUG_ASSERT((i = n) != 0, "assignment, not comparison"); // EXPECT-LINE: assert-side-effect
+    HICAMP_DEBUG_ASSERT(a.fetch_add(1) < n, "mutating member call"); // EXPECT-LINE: assert-side-effect
+
+    // Clean controls: comparisons and const calls are fine.
+    HICAMP_DEBUG_ASSERT(i <= n, "comparison");
+    HICAMP_DEBUG_ASSERT(a.load() >= i, "const-ish read");
+}

@@ -1,0 +1,44 @@
+// Lint fixture: a pure reference leak. publishWeakly() acquires a
+// reference with tryRetain, never releases it, and returns nothing —
+// the retain-balance rule must flag the tryRetain call site.
+#include <cstdint>
+
+struct Mem {
+    bool tryRetain(std::uint64_t plid);
+    void incRef(std::uint64_t plid);
+    void decRef(std::uint64_t plid);
+};
+
+// EXPECT retain-balance @ publishWeakly
+void
+publishWeakly(Mem &m, std::uint64_t plid)
+{
+    if (m.tryRetain(plid)) { // EXPECT-LINE: retain-balance
+        // ... forgot to record ownership anywhere; the reference is
+        // unreachable from here on.
+    }
+}
+
+// Balanced control: same acquire, matching release — no finding.
+void
+touch(Mem &m, std::uint64_t plid)
+{
+    if (m.tryRetain(plid))
+        m.decRef(plid);
+}
+
+// Ownership-transfer control: the returned value owns the reference.
+std::uint64_t
+pin(Mem &m, std::uint64_t plid)
+{
+    m.incRef(plid);
+    return plid;
+}
+
+// Waived control: justified RAII-style site — no finding.
+void
+adopt(Mem &m, std::uint64_t plid)
+{
+    // hicamp-lint: retain-ok(fixture: pretend a member handle owns it)
+    m.incRef(plid);
+}

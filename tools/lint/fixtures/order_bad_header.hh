@@ -1,0 +1,14 @@
+// Lint fixture: a LockRank anchor chain whose order contradicts the
+// documented one in order_bad_doc.md (stripe before vsm) — the
+// lock-order rule must report the mismatch.
+#define HICAMP_ACQUIRED_AFTER(x)
+
+class LockRank
+{
+};
+
+namespace lockrank {
+inline LockRank stripe;
+inline LockRank vsm HICAMP_ACQUIRED_AFTER(stripe);
+inline LockRank leaf HICAMP_ACQUIRED_AFTER(vsm);
+} // namespace lockrank

@@ -1,0 +1,29 @@
+// Lint fixture: a relaxed atomic load steering control flow in a
+// file that is not on the blessed list and carries no waiver — the
+// relaxed-control rule must flag it.
+#include <atomic>
+
+std::atomic<bool> ready{false};
+std::atomic<int> count{0};
+
+int
+consume()
+{
+    if (ready.load(std::memory_order_relaxed)) // EXPECT-LINE: relaxed-control
+        return count.load(std::memory_order_acquire);
+    while (count.load(std::memory_order_relaxed) < 4) { // EXPECT-LINE: relaxed-control
+    }
+    return -1;
+}
+
+int
+consumeOk()
+{
+    // Acquire in the condition: clean.
+    if (ready.load(std::memory_order_acquire))
+        return 1;
+    // hicamp-lint: relaxed-ok(fixture: pretend an outer lock serializes)
+    if (count.load(std::memory_order_relaxed) > 0)
+        return 2;
+    return 0;
+}

@@ -1,0 +1,129 @@
+#!/usr/bin/env python3
+"""Tests for hicamp_lint.py.
+
+Each fixture under fixtures/ marks its intentional violations with a
+``// EXPECT-LINE: <rule>`` comment on the offending line; the tests
+run the lint as a subprocess and assert the reported (line, rule)
+set matches the markers exactly — so a missed violation, a spurious
+finding, or a broken waiver all fail.  Run directly or via ctest
+(``lint_fixtures``).
+"""
+
+import os
+import re
+import subprocess
+import sys
+import unittest
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+LINT = os.path.join(HERE, "hicamp_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+ROOT = os.path.dirname(os.path.dirname(HERE))
+
+EXPECT_RE = re.compile(r"//\s*EXPECT-LINE:\s*([\w-]+)")
+FINDING_RE = re.compile(r"^(.*):(\d+): \[([\w-]+)\] (.*)$")
+
+
+def run_lint(*argv):
+    proc = subprocess.run(
+        [sys.executable, LINT, *argv],
+        capture_output=True, text=True)
+    return proc
+
+
+def findings_of(stdout, path=None):
+    """Parse 'path:line: [rule] msg' lines -> {(path, line, rule)}."""
+    out = set()
+    for line in stdout.splitlines():
+        m = FINDING_RE.match(line)
+        if m and (path is None or m.group(1) == path):
+            out.add((m.group(1), int(m.group(2)), m.group(3)))
+    return out
+
+
+def expected_of(path):
+    out = set()
+    with open(path, encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, 1):
+            m = EXPECT_RE.search(line)
+            if m:
+                out.add((path, lineno, m.group(1)))
+    return out
+
+
+class FixtureTests(unittest.TestCase):
+    """One file-rule fixture per test: run the lint on the fixture
+    alone (lock-order skipped) and compare against its markers."""
+
+    def assert_fixture(self, name):
+        path = os.path.join(FIXTURES, name)
+        expected = expected_of(path)
+        self.assertTrue(expected, f"{name} has no EXPECT-LINE markers")
+        proc = run_lint("--no-lock-order", path)
+        self.assertEqual(proc.returncode, 1,
+                         f"lint should exit 1 on {name}:\n"
+                         f"{proc.stdout}{proc.stderr}")
+        got = findings_of(proc.stdout, path)
+        self.assertEqual(got, expected,
+                         f"findings for {name} differ from the "
+                         f"EXPECT-LINE markers:\n{proc.stdout}")
+
+    def test_leaky_retain(self):
+        # Flags the unbalanced tryRetain; the balanced, the
+        # ownership-returning, and the waived functions stay silent.
+        self.assert_fixture("leaky_retain.cc")
+
+    def test_bad_assert(self):
+        # ++, assignment, and a mutating member call inside
+        # HICAMP_DEBUG_ASSERT; the comparison controls stay silent.
+        self.assert_fixture("bad_assert.cc")
+
+    def test_relaxed_condition(self):
+        # Relaxed loads in if/while conditions; the acquire load and
+        # the relaxed-ok-waived load stay silent.
+        self.assert_fixture("relaxed_condition.cc")
+
+
+class LockOrderTests(unittest.TestCase):
+    def test_order_mismatch_reported(self):
+        header = os.path.join(FIXTURES, "order_bad_header.hh")
+        doc = os.path.join(FIXTURES, "order_bad_doc.md")
+        proc = run_lint("--order-header", header,
+                        "--order-doc", doc, header)
+        self.assertEqual(proc.returncode, 1,
+                         f"{proc.stdout}{proc.stderr}")
+        got = findings_of(proc.stdout)
+        self.assertIn((doc, 6, "lock-order"), got,
+                      f"mismatch not reported at {doc}:6:\n"
+                      f"{proc.stdout}")
+        self.assertIn("does not match", proc.stdout)
+
+    def test_real_order_is_consistent(self):
+        # The shipped DESIGN.md declaration and the anchor chain in
+        # thread_annotations.hh agree: a clean control for the rule.
+        header = os.path.join(
+            ROOT, "src", "common", "thread_annotations.hh")
+        proc = run_lint("--order-header", header,
+                        "--order-doc", os.path.join(ROOT, "DESIGN.md"),
+                        header)
+        self.assertEqual(proc.returncode, 0,
+                         f"{proc.stdout}{proc.stderr}")
+
+
+class CleanRunTests(unittest.TestCase):
+    def test_clean_file_exits_zero(self):
+        header = os.path.join(
+            ROOT, "src", "common", "thread_annotations.hh")
+        proc = run_lint("--no-lock-order", header)
+        self.assertEqual(proc.returncode, 0,
+                         f"{proc.stdout}{proc.stderr}")
+        self.assertEqual(findings_of(proc.stdout), set())
+
+    def test_missing_file_is_usage_error(self):
+        proc = run_lint("--no-lock-order",
+                        os.path.join(FIXTURES, "no_such_file.cc"))
+        self.assertEqual(proc.returncode, 2)
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -90,5 +90,14 @@ fi
 } > BENCH_summary.json
 
 echo
+echo "== bench summary =="
+for b in "${benches[@]}" bench_mt_scaling; do
+    case "${status[$b]}" in
+      ok)      printf '   PASS  %s\n' "$b" ;;
+      missing) printf '   MISS  %s\n' "$b" ;;
+      *)       printf '   FAIL  %s\n' "$b" ;;
+    esac
+done
+echo
 echo "wrote BENCH_summary.json ($([ "$failed" = 0 ] && echo all green || echo FAILURES))"
 exit "$failed"
