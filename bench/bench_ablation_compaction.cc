@@ -15,6 +15,7 @@
 #include <cstdio>
 #include <unordered_set>
 
+#include "bench_obs.hh"
 #include "common/table.hh"
 #include "lang/harray.hh"
 #include "seg/iterator.hh"
@@ -183,5 +184,6 @@ main()
     lineSizeSweep();
     signatureQuality();
     mcasVsCas();
+    bench::finishBench();
     return 0;
 }

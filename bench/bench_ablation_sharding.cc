@@ -12,6 +12,7 @@
 
 #include <cstdio>
 
+#include "bench_obs.hh"
 #include "common/table.hh"
 #include "lang/hsharded_map.hh"
 
@@ -105,5 +106,6 @@ main()
     std::printf("\nWith more shards, fewer racing commit pairs land on "
                 "the same segment, so merge work falls toward zero — "
                 "the paper's predicted contention reduction.\n");
+    bench::finishBench();
     return 0;
 }

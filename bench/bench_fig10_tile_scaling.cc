@@ -9,6 +9,7 @@
 #include <cstdio>
 
 #include "apps/vm/vm_model.hh"
+#include "bench_obs.hh"
 #include "common/table.hh"
 
 using namespace hicamp;
@@ -41,5 +42,6 @@ main()
     t.print();
     std::printf("\npaper at 10 tiles: HICAMP >3.55x, ideal page "
                 "sharing ~1.8x.\n");
+    bench::finishBench();
     return 0;
 }

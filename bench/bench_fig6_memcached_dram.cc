@@ -18,6 +18,7 @@
 
 #include "apps/memcached/conv_memcached.hh"
 #include "apps/memcached/hicamp_memcached.hh"
+#include "bench_obs.hh"
 #include "common/table.hh"
 #include "workloads/memcached_workload.hh"
 
@@ -35,6 +36,8 @@ envOr(const char *name, std::uint64_t dflt)
 struct Row {
     std::uint64_t reads = 0, writes = 0, lookups = 0, dealloc = 0,
                   rc = 0;
+    /// registry delta agreed with the raw DramStats reads
+    bool selfcheckOk = true;
     std::uint64_t
     total() const
     {
@@ -73,7 +76,8 @@ runConventional(const std::vector<WebItem> &items,
 
 Row
 runHicamp(const std::vector<WebItem> &items,
-          const std::vector<McRequest> &reqs, unsigned ls)
+          const std::vector<McRequest> &reqs, unsigned ls,
+          obs::MetricsSnapshot *delta_out)
 {
     MemoryConfig cfg;
     cfg.lineBytes = ls;
@@ -85,7 +89,13 @@ runHicamp(const std::vector<WebItem> &items,
     HicampMemcached mc(hc);
     for (const auto &it : items)
         mc.set(it.key, it.payload);
-    hc.mem.flushAndResetTraffic();
+    // Warmup writebacks complete uncounted; the counters are NOT
+    // reset — the measured phase is the registry delta below.
+    hc.mem.flushTraffic();
+    const DramStats &d = hc.mem.dram();
+    const std::uint64_t base[] = {d.reads(), d.writes(), d.lookups(),
+                                  d.deallocs(), d.refcounts()};
+    bench::Phase phase(hc.mem.metrics(), ls);
     for (const auto &r : reqs) {
         const std::string &key = items[r.itemIndex].key;
         switch (r.op) {
@@ -100,9 +110,23 @@ runHicamp(const std::vector<WebItem> &items,
             break;
         }
     }
-    const DramStats &d = hc.mem.dram();
-    return {d.reads(), d.writes(), d.lookups(), d.deallocs(),
-            d.refcounts()};
+    const obs::MetricsSnapshot delta = phase.delta();
+    Row row{d.reads() - base[0], d.writes() - base[1],
+            d.lookups() - base[2], d.deallocs() - base[3],
+            d.refcounts() - base[4]};
+    // Two independent paths to the same counters — the raw DramStats
+    // reads above and the registry's per-category delta — must agree
+    // exactly, or the metrics plumbing is broken.
+    row.selfcheckOk = delta.counter("dram.read") == row.reads &&
+                      delta.counter("dram.write") == row.writes &&
+                      delta.counter("dram.lookup") == row.lookups &&
+                      delta.counter("dram.dealloc") == row.dealloc &&
+                      delta.counter("dram.refcount") == row.rc;
+    if (delta_out) {
+        *delta_out = delta;
+        delta_out->registry = strfmt("fig6.measured.ls%u", ls);
+    }
+    return row;
 }
 
 } // namespace
@@ -132,9 +156,12 @@ main()
 
     Table t({"line size", "impl", "Reads", "Writes", "Lookups",
              "Dealloc", "RC", "Total", "HICAMP/Conv"});
+    bool selfcheck_ok = true;
+    obs::MetricsSnapshot last_delta;
     for (unsigned ls : {16u, 32u, 64u}) {
         Row conv = runConventional(items, reqs, ls);
-        Row hic = runHicamp(items, reqs, ls);
+        Row hic = runHicamp(items, reqs, ls, &last_delta);
+        selfcheck_ok = selfcheck_ok && hic.selfcheckOk;
         auto fmt = [](std::uint64_t v) {
             return strfmt("%.3fM", static_cast<double>(v) / 1e6);
         };
@@ -150,5 +177,8 @@ main()
     t.print();
     std::printf("\npaper shape: HICAMP total comparable to or below "
                 "conventional; both fall with line size.\n");
-    return 0;
+    std::printf("SELFCHECK metrics-delta-vs-dram-counters: %s\n",
+                selfcheck_ok ? "PASS" : "FAIL");
+    bench::finishBench(last_delta);
+    return selfcheck_ok ? 0 : 1;
 }

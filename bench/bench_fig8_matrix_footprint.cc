@@ -13,6 +13,7 @@
 #include <cstdlib>
 
 #include "apps/spmv/hicamp_matrix.hh"
+#include "bench_obs.hh"
 #include "common/table.hh"
 #include "workloads/matrixgen.hh"
 
@@ -72,5 +73,6 @@ main()
                 items.front().pct);
     std::printf("paper shape: broad spread below 100%%, a few "
                 "negligible increases, one extreme (~4000x) point.\n");
+    bench::finishBench();
     return 0;
 }

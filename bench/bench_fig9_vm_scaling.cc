@@ -11,6 +11,7 @@
 #include <cstdio>
 
 #include "apps/vm/vm_model.hh"
+#include "bench_obs.hh"
 #include "common/table.hh"
 
 using namespace hicamp;
@@ -49,5 +50,6 @@ main()
     }
     std::printf("\npaper at 10 VMs: HICAMP 1.86x (database) .. 10.87x "
                 "(standby); page sharing 1.44x .. 5.21x.\n");
+    bench::finishBench();
     return 0;
 }

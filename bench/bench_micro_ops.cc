@@ -10,6 +10,7 @@
 
 #include <benchmark/benchmark.h>
 
+#include "bench_obs.hh"
 #include "lang/hmap.hh"
 #include "seg/iterator.hh"
 
@@ -177,4 +178,16 @@ BENCHMARK(BM_StringEquality);
 
 } // namespace
 
-BENCHMARK_MAIN();
+// Expanded BENCHMARK_MAIN(): the macro leaves no room for an
+// epilogue, and the metrics/trace dump has to run before exit.
+int
+main(int argc, char **argv)
+{
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv))
+        return 1;
+    benchmark::RunSpecifiedBenchmarks();
+    hicamp::bench::finishBench();
+    benchmark::Shutdown();
+    return 0;
+}

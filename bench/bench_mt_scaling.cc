@@ -36,6 +36,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench_obs.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
 #include "lang/harray.hh"
@@ -55,6 +56,8 @@ struct Cell {
     double wallMs = 0.0;
     std::uint64_t rowActs = 0;
     std::uint64_t maxBankActs = 0;
+    /// measured-phase registry delta (the JSON metrics sub-object)
+    obs::MetricsSnapshot metrics;
 
     double
     modelMs() const
@@ -81,6 +84,25 @@ struct Cell {
         return wallMs > 0.0 ? ops / wallMs / 1e3 : 0.0;
     }
 };
+
+/** Per-bank activation baseline for delta-based hottest-bank math. */
+std::vector<std::uint64_t>
+bankBaseline(const Memory &mem)
+{
+    std::vector<std::uint64_t> base(mem.store().numStripes());
+    for (unsigned s = 0; s < base.size(); ++s)
+        base[s] = mem.bankActivations(s);
+    return base;
+}
+
+std::uint64_t
+maxBankDelta(const Memory &mem, const std::vector<std::uint64_t> &base)
+{
+    std::uint64_t m = 0;
+    for (unsigned s = 0; s < base.size(); ++s)
+        m = std::max(m, mem.bankActivations(s) - base[s]);
+    return m;
+}
 
 MemoryConfig
 makeConfig(bool global_lock)
@@ -110,7 +132,11 @@ runMixed(bool global_lock, int threads, int keys, int rounds)
         for (int i = 0; i < keys; ++i)
             map.set(HString(hc, "key-" + std::to_string(i)),
                     HString(hc, "value-" + std::to_string(i)));
-        hc.mem.flushAndResetTraffic();
+        // Warmup writebacks complete uncounted; counters stay
+        // cumulative and the measured phase is a registry delta.
+        hc.mem.flushTraffic();
+        const auto bank0 = bankBaseline(hc.mem);
+        bench::Phase phase(hc.mem.metrics());
 
         std::vector<std::uint64_t> ops(threads, 0);
         const auto t0 = std::chrono::steady_clock::now();
@@ -142,8 +168,9 @@ runMixed(bool global_lock, int threads, int keys, int rounds)
             std::chrono::duration<double, std::milli>(t1 - t0).count();
         for (auto o : ops)
             cell.ops += o;
-        cell.rowActs = hc.mem.rowActivations();
-        cell.maxBankActs = hc.mem.maxBankActivations();
+        cell.metrics = phase.delta();
+        cell.rowActs = cell.metrics.counter("row_activations");
+        cell.maxBankActs = maxBankDelta(hc.mem, bank0);
     }
     return cell;
 }
@@ -172,7 +199,11 @@ runSpmvTiles(bool global_lock, int threads, int tile_words, int passes)
             tiles.push_back(std::make_unique<HArray<std::uint64_t>>(
                 hc, tile, kSegMergeUpdate));
         }
-        hc.mem.coldResetTraffic();
+        // Cold caches, cumulative counters: the sweep's traffic is
+        // the registry delta below.
+        hc.mem.coldCaches();
+        const auto bank0 = bankBaseline(hc.mem);
+        bench::Phase phase(hc.mem.metrics());
 
         std::vector<std::uint64_t> ops(threads, 0);
         std::vector<std::uint64_t> sums(threads, 0);
@@ -205,8 +236,9 @@ runSpmvTiles(bool global_lock, int threads, int tile_words, int passes)
             std::chrono::duration<double, std::milli>(t1 - t0).count();
         for (auto o : ops)
             cell.ops += o;
-        cell.rowActs = hc.mem.rowActivations();
-        cell.maxBankActs = hc.mem.maxBankActivations();
+        cell.metrics = phase.delta();
+        cell.rowActs = cell.metrics.counter("row_activations");
+        cell.maxBankActs = maxBankDelta(hc.mem, bank0);
     }
     return cell;
 }
@@ -249,12 +281,13 @@ writeJson(const std::vector<Cell> &cells, const std::string &path,
             "\"threads\": %d, \"ops\": %llu, \"wall_ms\": %.3f, "
             "\"wall_mops\": %.4f, \"row_acts\": %llu, "
             "\"max_bank_acts\": %llu, \"model_ms\": %.3f, "
-            "\"model_mops\": %.4f}%s\n",
+            "\"model_mops\": %.4f, \"metrics\": %s}%s\n",
             c.workload.c_str(), c.mode.c_str(), c.threads,
             static_cast<unsigned long long>(c.ops), c.wallMs,
             c.wallMops(), static_cast<unsigned long long>(c.rowActs),
             static_cast<unsigned long long>(c.maxBankActs), c.modelMs(),
-            c.modelMops(), i + 1 < cells.size() ? "," : "");
+            c.modelMops(), bench::metricsJson(c.metrics).c_str(),
+            i + 1 < cells.size() ? "," : "");
     }
     std::fprintf(f, "  ],\n");
     std::fprintf(f, "  \"speedup_model_mixed_4t\": %.3f,\n",
@@ -324,5 +357,6 @@ main(int argc, char **argv)
                 headline, speedupAt(cells, "mixed", headline, true),
                 speedupAt(cells, "spmv_tiles", headline, true));
     writeJson(cells, json_path, smoke);
+    bench::finishBench();
     return 0;
 }

@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Shared observability plumbing for the benchmark drivers.
+ *
+ * Every bench measures in phases (warmup / measured), and the registry
+ * rule is: counters are NEVER reset between phases. A Phase object
+ * snapshots the registry when the measured region starts and reports
+ * the delta when it ends, so warmup traffic stays out of the numbers
+ * without destroying the cumulative counters other readers (metrics
+ * dumps, the global snapshot) rely on.
+ *
+ * finishBench() is the common epilogue: dump a process-wide metrics
+ * snapshot if HICAMP_OBS_METRICS is set, and the Chrome trace if the
+ * binary was built with HICAMP_TRACE and HICAMP_TRACE_OUT is set.
+ */
+
+#ifndef HICAMP_BENCH_BENCH_OBS_HH
+#define HICAMP_BENCH_BENCH_OBS_HH
+
+#include <string>
+
+#include "obs/export.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace hicamp::bench {
+
+/**
+ * Delta-based phase measurement over one registry. Construct at the
+ * start of the measured region (after warmup, at a quiescent point);
+ * delta() gives the traffic of the region alone.
+ */
+class Phase
+{
+  public:
+    explicit Phase(const obs::MetricsRegistry &reg, std::uint64_t id = 0)
+        : reg_(reg), before_(reg.snapshot())
+    {
+        HICAMP_TRACE_EVENT(App, Phase, id, 0);
+        (void)id;
+    }
+
+    /** Traffic since construction (quiescent-point exact). */
+    obs::MetricsSnapshot
+    delta() const
+    {
+        return obs::delta(before_, reg_.snapshot());
+    }
+
+    /** The starting snapshot (for self-checks against raw counters). */
+    const obs::MetricsSnapshot &before() const { return before_; }
+
+  private:
+    const obs::MetricsRegistry &reg_;
+    obs::MetricsSnapshot before_;
+};
+
+/**
+ * Common bench epilogue: honor HICAMP_OBS_METRICS (dumping @p s) and
+ * HICAMP_TRACE_OUT. Call once, at the end of main, at a quiescent
+ * point. Returns true if any artifact was written.
+ */
+inline bool
+finishBench(const obs::MetricsSnapshot &s)
+{
+    bool wrote = obs::dumpMetricsFromEnv(s);
+    wrote = obs::dumpChromeTraceFromEnv() || wrote;
+    return wrote;
+}
+
+/**
+ * Epilogue over whatever registries are still alive. Benches whose
+ * memory systems are scoped inside the run functions should instead
+ * pass the measured-phase delta explicitly — by the end of main those
+ * registries are gone and the global snapshot is empty.
+ */
+inline bool
+finishBench()
+{
+    return finishBench(obs::MetricsRegistry::globalSnapshot());
+}
+
+/** One metrics snapshot as a JSON sub-object (for BENCH_*.json rows). */
+inline std::string
+metricsJson(const obs::MetricsSnapshot &s)
+{
+    return obs::toJson(s);
+}
+
+/** Sum of the five Fig. 6 DRAM categories in a snapshot/delta. */
+inline std::uint64_t
+dramTotal(const obs::MetricsSnapshot &s)
+{
+    return s.counter("dram.read") + s.counter("dram.write") +
+           s.counter("dram.lookup") + s.counter("dram.dealloc") +
+           s.counter("dram.refcount");
+}
+
+} // namespace hicamp::bench
+
+#endif // HICAMP_BENCH_BENCH_OBS_HH

@@ -18,6 +18,7 @@
 #include <cstdio>
 #include <thread>
 
+#include "bench_obs.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
 #include "lang/harray.hh"
@@ -87,16 +88,18 @@ measuredPathLength()
                 HString(hc, "v" + std::to_string(i)));
     }
     // Measure lookup operations per map update (the DAG path that
-    // must be regenerated root-to-leaf).
-    hc.mem.flushAndResetTraffic();
-    std::uint64_t lookup_ops0 = hc.mem.lookupOps();
+    // must be regenerated root-to-leaf) as a registry delta — the
+    // populate phase above stays in the cumulative counters.
+    hc.mem.flushTraffic();
+    bench::Phase phase(hc.mem.metrics());
     const int updates = 200;
     for (int i = 0; i < updates; ++i) {
         map.set(HString(hc, "key-" + std::to_string(i * 97 % n)),
                 HString(hc, "w" + std::to_string(i)));
     }
     double per_update =
-        static_cast<double>(hc.mem.lookupOps() - lookup_ops0) / updates;
+        static_cast<double>(phase.delta().counter("ops.lookups")) /
+        updates;
     // Each update also builds its key/value/pair lines (~5 lookups).
     std::printf("map with %d entries: %.1f lookups per update "
                 "(model: ~log2(N)=%.1f path nodes + ~6 entry lines)\n",
@@ -150,6 +153,9 @@ measuredPathLength()
                 static_cast<unsigned long long>(counters.get(1)),
                 static_cast<unsigned long long>(hc.vsm.mergeCommits()),
                 static_cast<unsigned long long>(hc.vsm.mergeFailures()));
+    // While the machine is still alive: dump the full registry (and
+    // the flight recorder, when compiled in) if the env asks for it.
+    bench::finishBench();
 }
 
 } // namespace

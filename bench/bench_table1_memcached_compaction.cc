@@ -15,6 +15,7 @@
 #include <bit>
 #include <cstdio>
 
+#include "bench_obs.hh"
 #include "common/table.hh"
 #include "mem/memory.hh"
 #include "seg/builder.hh"
@@ -108,5 +109,6 @@ main()
         "case); hardware packing 32-bit PLIDs would lift the LS=16 "
         "column toward the paper's, which is why our text compaction "
         "peaks at 32 B instead of falling monotonically.\n");
+    bench::finishBench();
     return 0;
 }

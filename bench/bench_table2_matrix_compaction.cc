@@ -15,6 +15,7 @@
 #include <cstdlib>
 
 #include "apps/spmv/hicamp_matrix.hh"
+#include "bench_obs.hh"
 #include "common/table.hh"
 #include "workloads/matrixgen.hh"
 
@@ -84,5 +85,6 @@ main()
     row("FEMs", fem, "70.7%", "40.2");
     row("LPs", lp, "43.0%", "31.7");
     t.print();
+    bench::finishBench();
     return 0;
 }

@@ -12,6 +12,8 @@
 #include <cstdio>
 
 #include "cpu/processor.hh"
+#include "obs/export.hh"
+#include "obs/metrics.hh"
 #include "seg/builder.hh"
 
 using namespace hicamp;
@@ -52,7 +54,10 @@ main()
 
     HicampCpu cpu(hc);
     cpu.setReg(1, vec);
-    hc.mem.flushAndResetTraffic();
+    // Clean caches but keep the cumulative counters: the kernel's
+    // traffic is the delta across the run.
+    hc.mem.flushTraffic();
+    const std::uint64_t dram0 = hc.mem.dram().total();
     cpu.run(sum);
     std::printf("sparse sum over 1M-element vector (100 non-zeros):\n");
     std::printf("  result %llu (expected %llu)\n",
@@ -63,7 +68,8 @@ main()
                 static_cast<unsigned long long>(
                     cpu.stats().instructions),
                 static_cast<unsigned long long>(cpu.stats().itReads),
-                static_cast<unsigned long long>(hc.mem.dram().total()));
+                static_cast<unsigned long long>(hc.mem.dram().total() -
+                                                dram0));
 
     // Kernel 2: atomic transfer between two slots of an accounts
     // segment — buffered ITWRITEs published by one ITCOMMIT.
@@ -104,5 +110,7 @@ main()
                     reader.readWord(d.root, d.height, 1)),
                 static_cast<unsigned long long>(
                     reader.readWord(d.root, d.height, 2)));
+    obs::dumpMetricsFromEnv(obs::MetricsRegistry::globalSnapshot());
+    obs::dumpChromeTraceFromEnv();
     return cpu.reg(0) == expect && cpu2.reg(7) == 1 ? 0 : 1;
 }

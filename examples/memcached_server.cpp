@@ -27,6 +27,8 @@
 #include "apps/memcached/hicamp_memcached.hh"
 #include "common/fault.hh"
 #include "common/status.hh"
+#include "obs/export.hh"
+#include "obs/metrics.hh"
 #include "workloads/memcached_workload.hh"
 
 using namespace hicamp;
@@ -96,6 +98,10 @@ main(int argc, char **argv)
     // snapshot, with hardware-enforced isolation.
     constexpr int kClients = 4;
     constexpr int kRequestsPerClient = 1500;
+    // Serving phase measured as a registry delta: the preload above
+    // stays in the cumulative counters, never reset.
+    hc.mem.flushTraffic();
+    const obs::MetricsSnapshot preload = hc.mem.metrics().snapshot();
     std::atomic<std::uint64_t> hits{0}, misses{0}, sets{0};
     std::atomic<std::uint64_t> pressureErrors{0};
     std::vector<std::thread> clients;
@@ -140,6 +146,19 @@ main(int argc, char **argv)
                 static_cast<unsigned long long>(hc.vsm.mergeFailures()));
     std::printf("map entries now: %llu\n",
                 static_cast<unsigned long long>(server.map().size()));
+    const obs::MetricsSnapshot served =
+        obs::delta(preload, hc.mem.metrics().snapshot());
+    const std::uint64_t served_dram =
+        served.counter("dram.read") + served.counter("dram.write") +
+        served.counter("dram.lookup") + served.counter("dram.dealloc") +
+        served.counter("dram.refcount");
+    std::printf("serving phase: %llu DRAM accesses (%.1f per request), "
+                "%llu row activations\n",
+                static_cast<unsigned long long>(served_dram),
+                static_cast<double>(served_dram) /
+                    (kClients * kRequestsPerClient),
+                static_cast<unsigned long long>(
+                    served.counter("row_activations")));
     if (hc.mem.faults().config().anyEnabled()) {
         const auto &f = hc.mem.faults();
         const auto &ct = hc.mem.contention();
@@ -154,5 +173,7 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(ct.retries.load()),
             static_cast<unsigned long long>(pressureErrors.load()));
     }
+    obs::dumpMetricsFromEnv(obs::MetricsRegistry::globalSnapshot());
+    obs::dumpChromeTraceFromEnv();
     return 0;
 }

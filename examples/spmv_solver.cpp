@@ -21,6 +21,8 @@
 
 #include "apps/spmv/hicamp_matrix.hh"
 #include "common/fault.hh"
+#include "obs/export.hh"
+#include "obs/metrics.hh"
 #include "workloads/matrixgen.hh"
 
 using namespace hicamp;
@@ -94,9 +96,10 @@ main(int argc, char **argv)
     // small enough to live entirely in cache, and flips only strike
     // actual DRAM fetches.
     if (mem.faults().config().anyEnabled())
-        mem.coldResetTraffic();
+        mem.coldCaches();
     else
-        mem.flushAndResetTraffic();
+        mem.flushTraffic();
+    const std::uint64_t dram0 = mem.dram().total();
     int iters = 0;
     for (; iters < 2000 && rr > 1e-20 * rr0; ++iters) {
         std::vector<double> Ap = Ah.spmv(p); // through the memory model
@@ -124,7 +127,8 @@ main(int argc, char **argv)
                 iters, std::sqrt(rr / rr0), err);
     std::printf("memory traffic for the whole solve: %llu DRAM "
                 "accesses through the HICAMP hierarchy\n",
-                static_cast<unsigned long long>(mem.dram().total()));
+                static_cast<unsigned long long>(mem.dram().total() -
+                                                dram0));
     std::printf("(zero sub-blocks were skipped by entry inspection; "
                 "repeated stencil blocks hit in cache — the paper's "
                 "'duplicate sub-matrix detection')\n");
@@ -137,5 +141,7 @@ main(int argc, char **argv)
             static_cast<unsigned long long>(mem.flipsRecovered()),
             static_cast<unsigned long long>(mem.flipsSilent()));
     }
+    obs::dumpMetricsFromEnv(obs::MetricsRegistry::globalSnapshot());
+    obs::dumpChromeTraceFromEnv();
     return err < 1e-6 ? 0 : 1;
 }

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace hicamp {
 
@@ -104,8 +105,25 @@ ConvHierarchy::access(Addr addr, std::uint64_t bytes, bool is_write)
 }
 
 void
+ConvHierarchy::registerMetrics(obs::MetricsRegistry &reg,
+                               const std::string &prefix)
+{
+    reg.addCounter(prefix + ".dram.reads", &dramReads_);
+    reg.addCounter(prefix + ".dram.writes", &dramWrites_);
+    reg.addCounter(prefix + ".l1.hits", &l1_.hits);
+    reg.addCounter(prefix + ".l1.misses", &l1_.misses);
+    reg.addCounter(prefix + ".l2.hits", &l2_.hits);
+    reg.addCounter(prefix + ".l2.misses", &l2_.misses);
+}
+
+void
 ConvHierarchy::accessLine(std::uint64_t line_id, bool is_write)
 {
+    if (is_write) {
+        HICAMP_TRACE_EVENT(Cache, ConvWrite, line_id, l1_.lineBytes());
+    } else {
+        HICAMP_TRACE_EVENT(Cache, ConvRead, line_id, l1_.lineBytes());
+    }
     auto a1 = l1_.access(line_id, is_write);
     if (a1.writeback) {
         // L1 dirty victim merges into L2; if L2 itself victimizes a

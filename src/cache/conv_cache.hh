@@ -14,9 +14,11 @@
 #define HICAMP_CACHE_CONV_CACHE_HH
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
 #include "common/stats.hh"
+#include "obs/metrics.hh"
 
 namespace hicamp {
 
@@ -62,6 +64,8 @@ class SetAssocCache
     unsigned lineBytes() const { return lineBytes_; }
     std::uint64_t numSets() const { return numSets_; }
 
+    // hicamp-lint: stat-ok(registered as <prefix>.l1/l2.* by
+    // ConvHierarchy::registerMetrics when a driver opts in)
     Counter hits;
     Counter misses;
 
@@ -114,12 +118,23 @@ class ConvHierarchy
     SetAssocCache &l1() { return l1_; }
     SetAssocCache &l2() { return l2_; }
 
+    /**
+     * Expose the hierarchy's counters as <prefix>.dram.reads,
+     * <prefix>.dram.writes and <prefix>.l1/l2.{hits,misses} in @p reg.
+     * The hierarchy must outlive the registry entries; drivers that
+     * destroy the hierarchy first should reg.removeByPrefix(prefix).
+     */
+    void registerMetrics(obs::MetricsRegistry &reg,
+                         const std::string &prefix);
+
   private:
     void accessLine(std::uint64_t line_id, bool is_write);
 
     SetAssocCache l1_;
     SetAssocCache l2_;
     unsigned lineShift_;
+    // hicamp-lint: stat-ok(exposed through registerMetrics as
+    // <prefix>.dram.* when a driver opts in)
     Counter dramReads_;
     Counter dramWrites_;
 };

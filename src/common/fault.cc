@@ -1,0 +1,124 @@
+#include "common/fault.hh"
+
+#include <cctype>
+#include <cerrno>
+#include <cmath>
+#include <cstdlib>
+#include <cstring>
+
+// The host environment vector, walked to reject unknown
+// HICAMP_FAULT_* keys (a typo like HICAMP_FAULT_ALOC_P must not
+// silently disable the injection it was meant to configure).
+extern char **environ; // NOLINT(readability-redundant-declaration)
+
+namespace hicamp {
+
+namespace {
+
+[[noreturn]] void
+reject(const char *name, const char *value, const char *why)
+{
+    throw FaultConfigError(std::string(name) + "='" + value + "': " +
+                           why);
+}
+
+/** Strict [0, 1] probability: full-string numeric, finite, in range. */
+double
+parseProb(const char *name, const char *s)
+{
+    if (*s == '\0')
+        reject(name, s, "empty probability");
+    errno = 0;
+    char *end = nullptr;
+    const double v = std::strtod(s, &end);
+    if (end == s || *end != '\0')
+        reject(name, s, "not a number");
+    if (errno == ERANGE || !std::isfinite(v))
+        reject(name, s, "probability out of range");
+    if (v < 0.0 || v > 1.0)
+        reject(name, s, "probability must be in [0, 1]");
+    return v;
+}
+
+/**
+ * Strict non-negative count. strtoull accepts a leading '-' and wraps
+ * it around, so negatives are rejected up front.
+ */
+std::uint64_t
+parseCount(const char *name, const char *s)
+{
+    const char *p = s;
+    while (std::isspace(static_cast<unsigned char>(*p)))
+        ++p;
+    if (*p == '\0')
+        reject(name, s, "empty count");
+    if (*p == '-')
+        reject(name, s, "count must be non-negative");
+    errno = 0;
+    char *end = nullptr;
+    const std::uint64_t v = std::strtoull(p, &end, 0);
+    if (end == p || *end != '\0')
+        reject(name, s, "not a number");
+    if (errno == ERANGE)
+        reject(name, s, "count out of range");
+    return v;
+}
+
+constexpr const char *kKnownKeys[] = {
+    "HICAMP_FAULT_SEED",   "HICAMP_FAULT_ALLOC_P",
+    "HICAMP_FAULT_ALLOC_EVERY", "HICAMP_FAULT_FLIP_P",
+    "HICAMP_FAULT_FLIP_EVERY",  "HICAMP_FAULT_SATURATE_EVERY",
+};
+
+/** Reject HICAMP_FAULT_* variables the overlay would not consume. */
+void
+rejectUnknownKeys()
+{
+    constexpr const char *kPrefix = "HICAMP_FAULT_";
+    const std::size_t prefix_len = std::strlen(kPrefix);
+    for (char **e = environ; e != nullptr && *e != nullptr; ++e) {
+        const char *entry = *e;
+        if (std::strncmp(entry, kPrefix, prefix_len) != 0)
+            continue;
+        const char *eq = std::strchr(entry, '=');
+        const std::string key(entry,
+                              eq ? static_cast<std::size_t>(eq - entry)
+                                 : std::strlen(entry));
+        bool known = false;
+        for (const char *k : kKnownKeys)
+            known = known || key == k;
+        if (!known) {
+            throw FaultConfigError(
+                key + ": unknown HICAMP_FAULT_ variable (known keys: "
+                      "SEED, ALLOC_P, ALLOC_EVERY, FLIP_P, FLIP_EVERY, "
+                      "SATURATE_EVERY)");
+        }
+    }
+}
+
+} // namespace
+
+FaultConfig
+FaultConfig::fromEnv(FaultConfig base)
+{
+    // NOLINTBEGIN(concurrency-mt-unsafe): getenv runs at
+    // configuration time, before worker threads exist, and
+    // nothing in this process calls setenv.
+    rejectUnknownKeys();
+    if (const char *s = std::getenv("HICAMP_FAULT_SEED"))
+        base.seed = parseCount("HICAMP_FAULT_SEED", s);
+    if (const char *s = std::getenv("HICAMP_FAULT_ALLOC_P"))
+        base.allocFailP = parseProb("HICAMP_FAULT_ALLOC_P", s);
+    if (const char *s = std::getenv("HICAMP_FAULT_ALLOC_EVERY"))
+        base.allocFailEvery = parseCount("HICAMP_FAULT_ALLOC_EVERY", s);
+    if (const char *s = std::getenv("HICAMP_FAULT_FLIP_P"))
+        base.bitFlipP = parseProb("HICAMP_FAULT_FLIP_P", s);
+    if (const char *s = std::getenv("HICAMP_FAULT_FLIP_EVERY"))
+        base.bitFlipEvery = parseCount("HICAMP_FAULT_FLIP_EVERY", s);
+    if (const char *s = std::getenv("HICAMP_FAULT_SATURATE_EVERY"))
+        base.saturateEvery = parseCount("HICAMP_FAULT_SATURATE_EVERY", s);
+    // NOLINTEND(concurrency-mt-unsafe)
+    return base;
+}
+
+} // namespace hicamp

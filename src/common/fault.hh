@@ -15,11 +15,18 @@
  * optionally overlays environment variables so an entire test suite
  * or workload binary can run under injection without code changes:
  *
- *   HICAMP_FAULT_SEED         injector seed (default 0x5eed)
- *   HICAMP_FAULT_ALLOC_P      P(allocation fails), e.g. 0.001
- *   HICAMP_FAULT_ALLOC_EVERY  every Nth fresh allocation fails
- *   HICAMP_FAULT_FLIP_P       P(bit flip on a DRAM line fetch)
- *   HICAMP_FAULT_FLIP_EVERY   every Nth DRAM fetch is flipped
+ *   HICAMP_FAULT_SEED           injector seed (default 0x5eed)
+ *   HICAMP_FAULT_ALLOC_P        P(allocation fails), e.g. 0.001
+ *   HICAMP_FAULT_ALLOC_EVERY    every Nth fresh allocation fails
+ *   HICAMP_FAULT_FLIP_P         P(bit flip on a DRAM line fetch)
+ *   HICAMP_FAULT_FLIP_EVERY     every Nth DRAM fetch is flipped
+ *   HICAMP_FAULT_SATURATE_EVERY every Nth incRef pins the count
+ *
+ * The overlay is strict: a malformed value (probability outside
+ * [0, 1], non-numeric text, a negative count) or an unrecognized
+ * HICAMP_FAULT_* variable throws FaultConfigError instead of being
+ * silently clamped or ignored — a typo in a fault plan must not
+ * quietly run the un-faulted experiment.
  *
  * Injected allocation failures are *transient*: retrying the same
  * allocation later may succeed. That models intermittent pressure
@@ -32,12 +39,28 @@
 #define HICAMP_COMMON_FAULT_HH
 
 #include <cstdint>
-#include <cstdlib>
+#include <stdexcept>
+#include <string>
 
 #include "common/rng.hh"
 #include "common/thread_annotations.hh"
 
 namespace hicamp {
+
+/**
+ * A HICAMP_FAULT_* environment variable failed validation: malformed
+ * number, probability outside [0, 1], negative count, or a key the
+ * injector does not know. Thrown by FaultConfig::fromEnv before any
+ * memory system is constructed.
+ */
+class FaultConfigError : public std::runtime_error
+{
+  public:
+    explicit FaultConfigError(const std::string &what_arg)
+        : std::runtime_error(what_arg)
+    {
+    }
+};
 
 /** Static description of what to inject, and how often. */
 struct FaultConfig {
@@ -70,26 +93,13 @@ struct FaultConfig {
                bitFlipP > 0.0 || bitFlipEvery != 0 || saturateEvery != 0;
     }
 
-    /** @p base overlaid with any HICAMP_FAULT_* environment values. */
-    static FaultConfig
-    fromEnv(FaultConfig base)
-    {
-        // NOLINTBEGIN(concurrency-mt-unsafe): getenv runs at
-        // configuration time, before worker threads exist, and
-        // nothing in this process calls setenv.
-        if (const char *s = std::getenv("HICAMP_FAULT_SEED"))
-            base.seed = std::strtoull(s, nullptr, 0);
-        if (const char *s = std::getenv("HICAMP_FAULT_ALLOC_P"))
-            base.allocFailP = std::strtod(s, nullptr);
-        if (const char *s = std::getenv("HICAMP_FAULT_ALLOC_EVERY"))
-            base.allocFailEvery = std::strtoull(s, nullptr, 0);
-        if (const char *s = std::getenv("HICAMP_FAULT_FLIP_P"))
-            base.bitFlipP = std::strtod(s, nullptr);
-        if (const char *s = std::getenv("HICAMP_FAULT_FLIP_EVERY"))
-            base.bitFlipEvery = std::strtoull(s, nullptr, 0);
-        // NOLINTEND(concurrency-mt-unsafe)
-        return base;
-    }
+    /**
+     * @p base overlaid with any HICAMP_FAULT_* environment values.
+     * Throws FaultConfigError on malformed values or unknown
+     * HICAMP_FAULT_* keys (strict: a typo'd fault plan must fail
+     * loudly, not silently run un-faulted).
+     */
+    static FaultConfig fromEnv(FaultConfig base);
 };
 
 /**

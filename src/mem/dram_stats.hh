@@ -10,8 +10,10 @@
 #ifndef HICAMP_MEM_DRAM_STATS_HH
 #define HICAMP_MEM_DRAM_STATS_HH
 
+#include <atomic>
 #include <cstdint>
 
+#include "common/logging.hh"
 #include "common/stats.hh"
 
 namespace hicamp {
@@ -29,12 +31,58 @@ enum class DramCat : std::uint8_t {
 /**
  * Per-category DRAM access counters. Counted concurrently from every
  * thread driving the memory system, so each category is a sharded
- * (cache-line-striped, relaxed-atomic) tally; totals are exact at
- * quiescent points, which is when benches and tests read them.
+ * (cache-line-striped, relaxed-atomic) tally.
+ *
+ * Quiescent-point contract (DESIGN.md §9): get()/total() sum the
+ * stripes with relaxed loads, so a read concurrent with writers can
+ * tear across categories — e.g. a lookup's DRAM access landing after
+ * total() passed its stripe but before it passed the RC stripe.
+ * Totals are therefore only *exact* when no memory operation is in
+ * flight (end of phase, after joins), which is when benches and tests
+ * read them. Debug builds enforce the contract: Memory's public
+ * mutating ops hold a WriterScope, and get()/total() assert that no
+ * writer is registered instead of silently returning mid-flight
+ * values.
  */
 class DramStats
 {
   public:
+    /**
+     * Registered-writer epoch mark: Memory's public ops hold one for
+     * their duration so debug builds can detect counter reads that
+     * race an in-flight operation. Compiled to nothing under NDEBUG.
+     */
+    class WriterScope
+    {
+      public:
+#ifndef NDEBUG
+        explicit WriterScope(const DramStats &s) : s_(&s)
+        {
+            s_->writers_.fetch_add(1, std::memory_order_relaxed);
+        }
+        ~WriterScope()
+        {
+            s_->writers_.fetch_sub(1, std::memory_order_release);
+        }
+#else
+        explicit WriterScope(const DramStats &s) { (void)s; }
+#endif
+        WriterScope(const WriterScope &) = delete;
+        WriterScope &operator=(const WriterScope &) = delete;
+
+      private:
+#ifndef NDEBUG
+        const DramStats *s_;
+#endif
+    };
+
+    /** True when no registered writer (memory op) is in flight. */
+    bool
+    quiescent() const
+    {
+        return writers_.load(std::memory_order_acquire) == 0;
+    }
+
     void
     count(DramCat cat, std::uint64_t n = 1)
     {
@@ -44,6 +92,10 @@ class DramStats
     std::uint64_t
     get(DramCat cat) const
     {
+        HICAMP_DEBUG_ASSERT(quiescent(),
+                            "DramStats read while a memory op is in "
+                            "flight: counters are only exact at "
+                            "quiescent points");
         return counts_[static_cast<unsigned>(cat)].value();
     }
 
@@ -56,6 +108,10 @@ class DramStats
     std::uint64_t
     total() const
     {
+        HICAMP_DEBUG_ASSERT(quiescent(),
+                            "DramStats read while a memory op is in "
+                            "flight: counters are only exact at "
+                            "quiescent points");
         std::uint64_t t = 0;
         for (const auto &c : counts_)
             t += c.value();
@@ -69,8 +125,18 @@ class DramStats
             c.reset();
     }
 
+    void
+    resetCat(DramCat cat)
+    {
+        counts_[static_cast<unsigned>(cat)].reset();
+    }
+
   private:
+    // hicamp-lint: stat-ok(absorbed into the registry by Memory's
+    // constructor — dram.<category> entries)
     ShardedCounter counts_[static_cast<unsigned>(DramCat::NumCats)];
+    /// in-flight WriterScope holders (debug contract check only)
+    mutable std::atomic<std::uint64_t> writers_{0};
 };
 
 } // namespace hicamp

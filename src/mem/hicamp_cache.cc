@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace hicamp {
 
@@ -37,6 +38,7 @@ HicampCache::access(const CacheKey &key, std::uint64_t home, bool dirty,
                 e.hasContent = true;
             }
             ++hits;
+            HICAMP_TRACE_EVENT(Cache, CacheHit, key.id, 0);
             return {true, std::nullopt};
         }
         if (!e.valid) {
@@ -46,6 +48,7 @@ HicampCache::access(const CacheKey &key, std::uint64_t home, bool dirty,
         }
     }
     ++misses;
+    HICAMP_TRACE_EVENT(Cache, CacheMiss, key.id, 0);
     Access result{false, std::nullopt};
     if (victim->valid && victim->dirty) {
         result.writeback = victim->wbCat;

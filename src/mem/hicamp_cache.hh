@@ -122,6 +122,8 @@ class HicampCache
 
     std::uint64_t numSets() const { return numSets_; }
 
+    // hicamp-lint: stat-ok(registered as cache.l1.* / cache.l2.* into
+    // the owning Memory's registry by Memory::registerMetrics())
     ShardedCounter hits;
     ShardedCounter misses;
 

@@ -4,6 +4,7 @@
 #include <bit>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace hicamp {
 
@@ -223,6 +224,8 @@ LineStore::findOrInsert(const Line &content, bool take_ref)
             // makes the content above visible to lock-free readers.
             setSlotLive(slot, true);
             r.plid = plidOf(b, w);
+            HICAMP_TRACE_EVENT(Store, Publish, r.plid,
+                               lineWords_ * sizeof(Word));
             return r;
         }
     }
@@ -252,6 +255,8 @@ LineStore::findOrInsert(const Line &content, bool take_ref)
     shard.index.emplace(hash, idx);
     r.plid = overflowPlid(stripe, idx);
     r.overflow = true;
+    HICAMP_TRACE_EVENT(Store, OverflowAlloc, r.plid,
+                       lineWords_ * sizeof(Word));
     return r;
 }
 
@@ -503,6 +508,8 @@ LineStore::retire(Plid plid)
         const std::uint64_t prev =
             liveLines_.fetch_sub(1, std::memory_order_relaxed);
         HICAMP_ASSERT(prev > 0, "live line count underflow");
+        HICAMP_TRACE_EVENT(Store, Retire, plid,
+                           lineWords_ * sizeof(Word));
         return out;
     }
     const std::uint64_t bucket = plid >> BucketLayout::kWayBits;
@@ -525,6 +532,7 @@ LineStore::retire(Plid plid)
     const std::uint64_t prev =
         liveLines_.fetch_sub(1, std::memory_order_relaxed);
     HICAMP_ASSERT(prev > 0, "live line count underflow");
+    HICAMP_TRACE_EVENT(Store, Retire, plid, lineWords_ * sizeof(Word));
     return out;
 }
 

@@ -3,6 +3,7 @@
 #include <vector>
 
 #include "common/logging.hh"
+#include "obs/trace.hh"
 
 namespace hicamp {
 
@@ -40,6 +41,60 @@ Memory::Memory(const MemoryConfig &cfg)
     pressure_.add("commit_retries", &contention_.retries);
     pressure_.add("backoff_iters", &contention_.backoffIters);
     pressure_.add("commit_exhausted", &contention_.exhausted);
+    registerMetrics();
+}
+
+void
+Memory::registerMetrics()
+{
+    // DRAM traffic by Fig. 6 category. Registered per category (not as
+    // one total) so snapshot deltas preserve the attribution.
+    struct CatName {
+        DramCat cat;
+        const char *name;
+    };
+    static constexpr CatName kCats[] = {
+        {DramCat::Read, "dram.read"},       {DramCat::Write, "dram.write"},
+        {DramCat::Lookup, "dram.lookup"},   {DramCat::Dealloc, "dram.dealloc"},
+        {DramCat::RefCount, "dram.refcount"},
+    };
+    for (const auto &[cat, name] : kCats) {
+        DramCat c = cat;
+        metrics_.addCounter(name, [this, c] { return dram_.get(c); },
+                            [this, c] { dram_.resetCat(c); });
+    }
+
+    metrics_.addCounter("ops.lookups", &lookupOps_);
+    metrics_.addCounter("ops.reads", &readOps_);
+    metrics_.addCounter("lookup.sig_false_positives", &sigFalsePositives_);
+    metrics_.addCounter("lookup.dedup_hits", &dedupHits_);
+    metrics_.addCounter("lookup.overflow_walks", &overflowWalks_);
+    metrics_.addCounter("deallocs", &deallocs_);
+    metrics_.addCounter("errors_detected", &errorsDetected_);
+    metrics_.addCounter("row_activations", &rowActs_);
+
+    metrics_.addCounter("cache.l1.hits", &l1_.hits);
+    metrics_.addCounter("cache.l1.misses", &l1_.misses);
+    metrics_.addCounter("cache.l2.hits", &l2_.hits);
+    metrics_.addCounter("cache.l2.misses", &l2_.misses);
+
+    metrics_.addCounter("pressure.oom_events", &oomEvents_);
+    metrics_.addCounter("pressure.flips_recovered", &flipsRecovered_);
+    metrics_.addCounter("pressure.flips_silent", &flipsSilent_);
+    metrics_.addCounter("contention.conflicts", &contention_.conflicts);
+    metrics_.addCounter("contention.retries", &contention_.retries);
+    metrics_.addCounter("contention.backoff_iters",
+                        &contention_.backoffIters);
+    metrics_.addCounter("contention.exhausted", &contention_.exhausted);
+
+    metrics_.addGauge("store.live_lines", [this] { return liveLines(); });
+    metrics_.addGauge("store.live_bytes", [this] { return liveBytes(); });
+    metrics_.addGauge("store.overflow_lines",
+                      [this] { return store_.overflowLines(); });
+    metrics_.addGauge("store.saturated_lines",
+                      [this] { return store_.saturatedLines(); });
+
+    candHist_ = &metrics_.histogram("lookup.candidates");
 }
 
 void
@@ -78,6 +133,7 @@ Plid
 Memory::lookup(const Line &content, bool *was_new)
 {
     auto g = guard();
+    DramStats::WriterScope ws(dram_);
     return lookupImpl(content, was_new);
 }
 
@@ -102,7 +158,9 @@ Memory::lookupImpl(const Line &content, bool *was_new)
         if (store_.incRefIfLive(*cached)) {
             if (store_.read(*cached) == content) {
                 ++l2_.hits;
+                ++dedupHits_;
                 rcTouch(*cached);
+                HICAMP_TRACE_EVENT(Mem, Lookup, *cached, cfg_.lineBytes);
                 return *cached;
             }
             decRefImpl(*cached); // reused slot: undo, take slow path
@@ -154,9 +212,11 @@ Memory::lookupImpl(const Line &content, bool *was_new)
     }
     sigFalsePositives_ +=
         res.candidates.size() - (res.found && !res.overflow ? 1 : 0);
+    candHist_->record(res.candidates.size());
 
     // Walking the overflow pointer area costs an extra row access.
     if (res.overflow) {
+        ++overflowWalks_;
         dram_.count(DramCat::Lookup);
         dram_touched = true;
     }
@@ -186,12 +246,15 @@ Memory::lookupImpl(const Line &content, bool *was_new)
             *was_new = true;
     }
 
+    if (res.found)
+        ++dedupHits_;
     dram_touched |= rcTouch(res.plid);
     // All protocol commands (signature, candidates, allocation, the
     // RC line) target the home bucket's DRAM row: one activation,
     // plus one for the overflow area when it was walked.
     if (dram_touched)
         bankTouch(home, 1 + (res.overflow ? 1 : 0));
+    HICAMP_TRACE_EVENT(Mem, Lookup, res.plid, cfg_.lineBytes);
     return res.plid;
 }
 
@@ -199,6 +262,7 @@ Plid
 Memory::internLine(const Line &content)
 {
     auto g = guard();
+    DramStats::WriterScope ws(dram_);
     bool fresh = false;
     Plid plid;
     try {
@@ -227,6 +291,7 @@ Line
 Memory::readLine(Plid plid, DramCat cat)
 {
     auto g = guard();
+    DramStats::WriterScope ws(dram_);
     return readLineImpl(plid, cat);
 }
 
@@ -287,6 +352,7 @@ Memory::readLineImpl(Plid plid, DramCat cat)
 {
     if (plid == kZeroPlid)
         return makeLine();
+    HICAMP_TRACE_SCOPE(Mem, ReadLine, plid, cfg_.lineBytes);
     ++readOps_;
     // Lock-free for home-bucket lines: the caller holds a reference,
     // and published lines are immutable.
@@ -301,6 +367,8 @@ Memory::incRef(Plid plid)
     if (plid == kZeroPlid)
         return;
     auto g = guard();
+    DramStats::WriterScope ws(dram_);
+    HICAMP_TRACE_EVENT(Mem, IncRef, plid, 0);
     // Fault injection: model a refcount update that overflows its
     // §3.1 field width — the count pins sticky at the ceiling and the
     // line becomes immortal (graceful degradation, not an error).
@@ -319,8 +387,10 @@ Memory::tryRetain(Plid plid)
     if (plid == kZeroPlid)
         return true;
     auto g = guard();
+    DramStats::WriterScope ws(dram_);
     if (!store_.incRefIfLive(plid))
         return false;
+    HICAMP_TRACE_EVENT(Mem, IncRef, plid, 0);
     rcTouch(plid);
     return true;
 }
@@ -329,6 +399,7 @@ void
 Memory::decRef(Plid plid)
 {
     auto g = guard();
+    DramStats::WriterScope ws(dram_);
     decRefImpl(plid);
 }
 
@@ -337,6 +408,7 @@ Memory::decRefImpl(Plid plid)
 {
     if (plid == kZeroPlid)
         return;
+    HICAMP_TRACE_EVENT(Mem, DecRef, plid, 0);
     rcTouch(plid);
     if (store_.addRef(plid, -1) == 0)
         reclaim(plid);
@@ -359,6 +431,7 @@ Memory::reclaim(Plid first)
         auto retired = store_.retire(p);
         if (!retired)
             continue;
+        HICAMP_TRACE_EVENT(Mem, Reclaim, p, cfg_.lineBytes);
 
         // Model the dealloc read of the dying line; its content now
         // lives only in the retired copy.
@@ -423,6 +496,8 @@ void
 Memory::transientAccess(std::uint64_t transient_id, bool write)
 {
     auto g = guard();
+    DramStats::WriterScope ws(dram_);
+    HICAMP_TRACE_EVENT(Mem, Transient, transient_id, cfg_.lineBytes);
     const CacheKey key{LineKind::Transient, transient_id};
     const std::uint64_t home = mix64(transient_id);
     auto a1 = l1_.access(key, home, write, DramCat::Write);
@@ -456,6 +531,8 @@ void
 Memory::vsmAccess(Vsid vsid, bool write)
 {
     auto g = guard();
+    DramStats::WriterScope ws(dram_);
+    HICAMP_TRACE_EVENT(Mem, VsmTouch, vsid, 0);
     const std::uint64_t id = kVsmIdBase | vsid;
     const CacheKey key{LineKind::Transient, id};
     const std::uint64_t home = mix64(id);

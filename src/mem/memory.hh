@@ -34,6 +34,7 @@
 #include "mem/dram_stats.hh"
 #include "mem/hicamp_cache.hh"
 #include "mem/line_store.hh"
+#include "obs/metrics.hh"
 
 namespace hicamp {
 
@@ -285,6 +286,23 @@ class Memory
      */
     const StatGroup &pressureStats() const { return pressure_; }
 
+    /**
+     * This memory system's metrics registry (DESIGN.md §9): every
+     * tally above — DRAM categories, cache hit/miss, dedup hits,
+     * pressure and contention counters, line-store occupancy gauges —
+     * registered under one named interface with snapshot/delta
+     * semantics. Components layered on this memory (the segment map)
+     * register their own metrics here and remove them by prefix
+     * before dying.
+     */
+    obs::MetricsRegistry &metrics() { return metrics_; }
+    const obs::MetricsRegistry &metrics() const { return metrics_; }
+
+    /** Dedup hits: lookups answered by an already-live line. */
+    std::uint64_t dedupHits() const { return dedupHits_.value(); }
+    /** Lookups that had to walk the overflow pointer area. */
+    std::uint64_t overflowWalks() const { return overflowWalks_.value(); }
+
     /** Allocation failures surfaced as MemPressureError. */
     std::uint64_t oomEvents() const { return oomEvents_.value(); }
     /** Injected DRAM flips caught by the §3.1 check and refetched. */
@@ -314,6 +332,21 @@ class Memory
     }
 
     /**
+     * Complete all pending writebacks without counting them, leaving
+     * every traffic counter intact: the snapshot/delta phase baseline
+     * (bench_obs.hh). Warmup traffic stays in the cumulative
+     * counters; the measured phase is a registry delta, so nothing is
+     * destroyed between phases.
+     */
+    void
+    flushTraffic()
+    {
+        auto g = guard();
+        l1_.cleanAll();
+        l2_.cleanAll();
+    }
+
+    /**
      * Cold-start a measurement: complete pending writebacks, drop all
      * cached lines and zero the traffic counters, so the next kernel
      * pays its compulsory misses exactly like a fresh baseline run.
@@ -325,6 +358,20 @@ class Memory
         l1_.invalidateAll();
         l2_.invalidateAll();
         resetTraffic();
+    }
+
+    /**
+     * Cold-start the caches without touching the traffic counters:
+     * drop all cached lines so the next kernel pays its compulsory
+     * misses, and measure the kernel as a registry delta
+     * (bench_obs.hh) instead of resetting between phases.
+     */
+    void
+    coldCaches()
+    {
+        auto g = guard();
+        l1_.invalidateAll();
+        l2_.invalidateAll();
     }
     /// @}
 
@@ -365,12 +412,16 @@ class Memory
     std::function<void(Plid)> lineFreed_;
     std::atomic<std::uint64_t> nextTransient_{1};
 
+    // hicamp-lint: stat-ok(every counter below is registered into
+    // metrics_ by registerMetrics(), called from the constructor)
     ShardedCounter lookupOps_;
     ShardedCounter readOps_;
     ShardedCounter sigFalsePositives_;
     ShardedCounter deallocs_;
     ShardedCounter errorsDetected_;
     ShardedCounter rowActs_;
+    ShardedCounter dedupHits_;
+    ShardedCounter overflowWalks_;
     /// per-bank (= per-stripe) share of rowActs_, for the scaling model
     std::unique_ptr<std::atomic<std::uint64_t>[]> bankActs_;
 
@@ -386,6 +437,15 @@ class Memory
     /// analysis cannot express (DESIGN.md §8) — the baseline path is
     /// covered by the TSan job instead.
     mutable std::recursive_mutex mutex_;
+
+    /// Declared last: destroyed first, so registered callbacks (which
+    /// capture pointers into this object) are detached from the
+    /// process-wide registry list before any counter dies.
+    obs::MetricsRegistry metrics_{"mem"};
+    /// candidate data-line probes per lookup (registry-owned)
+    obs::Log2Histogram *candHist_ = nullptr;
+
+    void registerMetrics();
 };
 
 } // namespace hicamp

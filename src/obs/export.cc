@@ -1,0 +1,152 @@
+#include "obs/export.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace hicamp::obs {
+
+namespace {
+
+void
+appendEscaped(std::string &out, const std::string &s)
+{
+    for (char ch : s) {
+        switch (ch) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          default:
+            if (static_cast<unsigned char>(ch) < 0x20) {
+                char buf[8];
+                std::snprintf(buf, sizeof buf, "\\u%04x",
+                              static_cast<unsigned>(ch));
+                out += buf;
+            } else {
+                out += ch;
+            }
+        }
+    }
+}
+
+void
+appendKey(std::string &out, const std::string &name)
+{
+    out += '"';
+    appendEscaped(out, name);
+    out += "\": ";
+}
+
+void
+appendScalarMap(
+    std::string &out, const char *key,
+    const std::vector<std::pair<std::string, std::uint64_t>> &entries)
+{
+    out += "  \"";
+    out += key;
+    out += "\": {";
+    bool first = true;
+    for (const auto &[name, v] : entries) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        appendKey(out, name);
+        out += std::to_string(v);
+    }
+    out += first ? "}" : "\n  }";
+}
+
+} // namespace
+
+std::string
+toJson(const MetricsSnapshot &s)
+{
+    std::string out = "{\n  \"registry\": \"";
+    appendEscaped(out, s.registry);
+    out += "\",\n";
+    appendScalarMap(out, "counters", s.counters);
+    out += ",\n";
+    appendScalarMap(out, "gauges", s.gauges);
+    out += ",\n  \"histograms\": {";
+    bool first = true;
+    for (const auto &[name, h] : s.histograms) {
+        out += first ? "\n    " : ",\n    ";
+        first = false;
+        appendKey(out, name);
+        out += "{\"count\": " + std::to_string(h.count) +
+               ", \"sum\": " + std::to_string(h.sum) + ", \"buckets\": [";
+        for (std::size_t b = 0; b < h.buckets.size(); ++b) {
+            if (b != 0)
+                out += ", ";
+            out += std::to_string(h.buckets[b]);
+        }
+        out += "]}";
+    }
+    out += first ? "}" : "\n  }";
+    out += "\n}\n";
+    return out;
+}
+
+bool
+writeFile(const std::string &path, const std::string &body)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) {
+        std::fprintf(stderr, "obs: cannot open %s for writing\n",
+                     path.c_str());
+        return false;
+    }
+    std::size_t n = std::fwrite(body.data(), 1, body.size(), f);
+    bool ok = n == body.size() && std::fclose(f) == 0;
+    if (!ok)
+        std::fprintf(stderr, "obs: short write to %s\n", path.c_str());
+    return ok;
+}
+
+bool
+dumpMetricsFromEnv(const MetricsSnapshot &s)
+{
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): end-of-run reporting
+    const char *path = std::getenv("HICAMP_OBS_METRICS");
+    if (path == nullptr || *path == '\0')
+        return false;
+    return writeFile(path, toJson(s));
+}
+
+#ifdef HICAMP_TRACE
+
+std::string
+chromeTraceJson(const std::vector<TraceEvent> &events)
+{
+    std::string out = "{\"traceEvents\": [";
+    char buf[256];
+    bool first = true;
+    for (const TraceEvent &e : events) {
+        std::snprintf(
+            buf, sizeof buf,
+            "%s\n  {\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+            "\"ts\": %llu, \"dur\": %u, \"pid\": 0, \"tid\": %u, "
+            "\"args\": {\"id\": %llu, \"bytes\": %u}}",
+            first ? "" : ",", traceKindName(e.kind), traceCatName(e.cat),
+            static_cast<unsigned long long>(e.tick),
+            e.dur == 0 ? 1u : e.dur, static_cast<unsigned>(e.tid),
+            static_cast<unsigned long long>(e.id), e.bytes);
+        out += buf;
+        first = false;
+    }
+    out += "\n], \"displayTimeUnit\": \"ns\"}\n";
+    return out;
+}
+
+bool
+dumpChromeTraceFromEnv()
+{
+    // NOLINTNEXTLINE(concurrency-mt-unsafe): end-of-run reporting
+    const char *path = std::getenv("HICAMP_TRACE_OUT");
+    if (path == nullptr || *path == '\0')
+        return false;
+    return writeFile(path, chromeTraceJson(FlightRecorder::instance().drain()));
+}
+
+#endif // HICAMP_TRACE
+
+} // namespace hicamp::obs

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Exporters for the observability layer: metrics snapshots as JSON
+ * (consumed by tools/obs and the BENCH_*.json writers) and flight
+ * recorder drains as Chrome trace_event JSON (loads directly in
+ * chrome://tracing or ui.perfetto.dev).
+ *
+ * The env-driven helpers let any driver binary dump artifacts without
+ * new flags: set HICAMP_OBS_METRICS=/path/metrics.json and/or
+ * HICAMP_TRACE_OUT=/path/trace.json before running. The trace helper
+ * is an inline no-op stub when HICAMP_TRACE is off, so callers need
+ * no #ifdef.
+ */
+
+#ifndef HICAMP_OBS_EXPORT_HH
+#define HICAMP_OBS_EXPORT_HH
+
+#include <string>
+#include <vector>
+
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace hicamp::obs {
+
+/** Snapshot as one JSON object (registry/counters/gauges/histograms). */
+std::string toJson(const MetricsSnapshot &s);
+
+/** Write @p body to @p path; false (with a stderr note) on failure. */
+bool writeFile(const std::string &path, const std::string &body);
+
+/**
+ * If HICAMP_OBS_METRICS is set, write @p s there as JSON.
+ * @return true if a file was written.
+ */
+bool dumpMetricsFromEnv(const MetricsSnapshot &s);
+
+#ifdef HICAMP_TRACE
+
+/** Chrome trace_event JSON ("X" phase events on logical-tick time). */
+std::string chromeTraceJson(const std::vector<TraceEvent> &events);
+
+/**
+ * If HICAMP_TRACE_OUT is set, drain the flight recorder and write the
+ * Chrome trace there. @return true if a file was written.
+ */
+bool dumpChromeTraceFromEnv();
+
+#else // !HICAMP_TRACE
+
+inline bool
+dumpChromeTraceFromEnv()
+{
+    return false;
+}
+
+#endif // HICAMP_TRACE
+
+} // namespace hicamp::obs
+
+#endif // HICAMP_OBS_EXPORT_HH

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Log2-bucketed histogram for latency/size distributions.
+ *
+ * Values land in bucket `bit_width(v)` (bucket 0 holds exactly the
+ * value 0, bucket b>0 holds [2^(b-1), 2^b - 1]), so the 65 buckets
+ * cover the full uint64 range with one `bit_width` and one relaxed
+ * fetch_add per record — cheap enough for hot paths. Like the rest of
+ * the stats layer (DESIGN.md §7), reads are exact at quiescent points
+ * and monotone/race-free always.
+ */
+
+#ifndef HICAMP_OBS_HISTOGRAM_HH
+#define HICAMP_OBS_HISTOGRAM_HH
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+#include <vector>
+
+namespace hicamp::obs {
+
+class Log2Histogram
+{
+  public:
+    /// bucket index = bit_width(value): 0..64
+    static constexpr unsigned kBuckets = 65;
+
+    Log2Histogram() = default;
+    Log2Histogram(const Log2Histogram &) = delete;
+    Log2Histogram &operator=(const Log2Histogram &) = delete;
+
+    static unsigned
+    bucketOf(std::uint64_t v)
+    {
+        return static_cast<unsigned>(std::bit_width(v));
+    }
+
+    /// Smallest value landing in bucket @p b.
+    static std::uint64_t
+    bucketLo(unsigned b)
+    {
+        return b == 0 ? 0 : std::uint64_t{1} << (b - 1);
+    }
+
+    /// Largest value landing in bucket @p b.
+    static std::uint64_t
+    bucketHi(unsigned b)
+    {
+        if (b == 0)
+            return 0;
+        if (b >= 64)
+            return ~std::uint64_t{0};
+        return (std::uint64_t{1} << b) - 1;
+    }
+
+    void
+    record(std::uint64_t v)
+    {
+        buckets_[bucketOf(v)].fetch_add(1, std::memory_order_relaxed);
+        sum_.fetch_add(v, std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    bucketCount(unsigned b) const
+    {
+        return buckets_[b].load(std::memory_order_relaxed);
+    }
+
+    std::uint64_t
+    count() const
+    {
+        std::uint64_t t = 0;
+        for (const auto &b : buckets_)
+            t += b.load(std::memory_order_relaxed);
+        return t;
+    }
+
+    std::uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+
+    std::vector<std::uint64_t>
+    bucketSnapshot() const
+    {
+        std::vector<std::uint64_t> out(kBuckets, 0);
+        for (unsigned b = 0; b < kBuckets; ++b)
+            out[b] = bucketCount(b);
+        return out;
+    }
+
+    void
+    reset()
+    {
+        for (auto &b : buckets_)
+            b.store(0, std::memory_order_relaxed);
+        sum_.store(0, std::memory_order_relaxed);
+    }
+
+  private:
+    std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+    std::atomic<std::uint64_t> sum_{0};
+};
+
+} // namespace hicamp::obs
+
+#endif // HICAMP_OBS_HISTOGRAM_HH

@@ -1,0 +1,315 @@
+#include "obs/metrics.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hicamp::obs {
+
+namespace {
+
+/**
+ * Process-wide list of live registries. A plain mutex + vector:
+ * registries are created/destroyed at configuration points, never on
+ * hot paths.
+ */
+struct GlobalList {
+    std::mutex mutex;
+    std::vector<MetricsRegistry *> registries;
+};
+
+GlobalList &
+globalList()
+{
+    static GlobalList list;
+    return list;
+}
+
+template <typename Vec>
+void
+sortByName(Vec &v)
+{
+    std::sort(v.begin(), v.end(),
+              [](const auto &a, const auto &b) { return a.first < b.first; });
+}
+
+template <typename Vec>
+const typename Vec::value_type::second_type *
+findByName(const Vec &v, std::string_view name)
+{
+    for (const auto &e : v)
+        if (e.first == name)
+            return &e.second;
+    return nullptr;
+}
+
+} // namespace
+
+std::uint64_t
+MetricsSnapshot::counter(std::string_view name, std::uint64_t dflt) const
+{
+    const std::uint64_t *v = findByName(counters, name);
+    return v ? *v : dflt;
+}
+
+std::uint64_t
+MetricsSnapshot::gauge(std::string_view name, std::uint64_t dflt) const
+{
+    const std::uint64_t *v = findByName(gauges, name);
+    return v ? *v : dflt;
+}
+
+bool
+MetricsSnapshot::hasCounter(std::string_view name) const
+{
+    return findByName(counters, name) != nullptr;
+}
+
+MetricsSnapshot
+delta(const MetricsSnapshot &before, const MetricsSnapshot &after)
+{
+    MetricsSnapshot out;
+    out.registry = after.registry;
+    out.counters.reserve(after.counters.size());
+    for (const auto &[name, v] : after.counters) {
+        std::uint64_t prev = before.counter(name, 0);
+        out.counters.emplace_back(name, v >= prev ? v - prev : 0);
+    }
+    out.gauges = after.gauges;
+    out.histograms.reserve(after.histograms.size());
+    for (const auto &[name, h] : after.histograms) {
+        const HistogramSnapshot *prev = findByName(before.histograms, name);
+        HistogramSnapshot d = h;
+        if (prev) {
+            d.count = h.count >= prev->count ? h.count - prev->count : 0;
+            d.sum = h.sum >= prev->sum ? h.sum - prev->sum : 0;
+            for (std::size_t b = 0;
+                 b < d.buckets.size() && b < prev->buckets.size(); ++b)
+                d.buckets[b] = d.buckets[b] >= prev->buckets[b]
+                                   ? d.buckets[b] - prev->buckets[b]
+                                   : 0;
+        }
+        out.histograms.emplace_back(name, std::move(d));
+    }
+    return out;
+}
+
+MetricsRegistry::MetricsRegistry(std::string name) : name_(std::move(name))
+{
+    GlobalList &g = globalList();
+    std::lock_guard<std::mutex> lk(g.mutex);
+    // De-duplicate the instance name against live registries so the
+    // merged snapshot's keys stay unique ("mem", "mem#2", ...).
+    std::string base = name_;
+    unsigned n = 1;
+    auto taken = [&](const std::string &cand) {
+        for (const MetricsRegistry *r : g.registries)
+            if (r->name_ == cand)
+                return true;
+        return false;
+    };
+    while (taken(name_))
+        name_ = base + "#" + std::to_string(++n);
+    g.registries.push_back(this);
+}
+
+MetricsRegistry::~MetricsRegistry()
+{
+    GlobalList &g = globalList();
+    std::lock_guard<std::mutex> lk(g.mutex);
+    std::erase(g.registries, this);
+}
+
+void
+MetricsRegistry::addCounter(std::string name,
+                            std::function<std::uint64_t()> get,
+                            std::function<void()> reset)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    HICAMP_ASSERT(!hasLocked(name), "duplicate metric name");
+    counters_.push_back({std::move(name), std::move(get), std::move(reset)});
+}
+
+void
+MetricsRegistry::addCounter(std::string name, const ShardedCounter *c)
+{
+    addCounter(std::move(name), [c] { return c->value(); },
+               [c] { const_cast<ShardedCounter *>(c)->reset(); });
+}
+
+void
+MetricsRegistry::addCounter(std::string name, const AtomicCounter *c)
+{
+    addCounter(std::move(name), [c] { return c->value(); },
+               [c] { const_cast<AtomicCounter *>(c)->reset(); });
+}
+
+void
+MetricsRegistry::addCounter(std::string name, const Counter *c)
+{
+    addCounter(std::move(name), [c] { return c->value(); },
+               [c] { const_cast<Counter *>(c)->reset(); });
+}
+
+void
+MetricsRegistry::addCounter(std::string name, std::atomic<std::uint64_t> *c)
+{
+    addCounter(std::move(name),
+               [c] { return c->load(std::memory_order_relaxed); },
+               [c] { c->store(0, std::memory_order_relaxed); });
+}
+
+void
+MetricsRegistry::addGauge(std::string name, std::function<std::uint64_t()> get)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    HICAMP_ASSERT(!hasLocked(name), "duplicate metric name");
+    gauges_.push_back({std::move(name), std::move(get)});
+}
+
+ShardedCounter &
+MetricsRegistry::counter(std::string name)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    for (auto &o : owned_)
+        if (o.name == name) {
+            if (o.hidden) {
+                o.hidden = false;
+                o.c.reset();
+            }
+            return o.c;
+        }
+    HICAMP_ASSERT(!hasLocked(name), "metric name taken by another kind");
+    owned_.emplace_back(std::move(name));
+    return owned_.back().c;
+}
+
+Log2Histogram &
+MetricsRegistry::histogram(std::string name)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    for (auto &o : hists_)
+        if (o.name == name) {
+            if (o.hidden) {
+                o.hidden = false;
+                o.h.reset();
+            }
+            return o.h;
+        }
+    HICAMP_ASSERT(!hasLocked(name), "metric name taken by another kind");
+    hists_.emplace_back(std::move(name));
+    return hists_.back().h;
+}
+
+void
+MetricsRegistry::removeByPrefix(std::string_view prefix)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    auto match = [prefix](const auto &slot) {
+        return std::string_view(slot.name).substr(0, prefix.size()) == prefix;
+    };
+    std::erase_if(counters_, match);
+    std::erase_if(gauges_, match);
+    for (auto &o : owned_)
+        if (match(o))
+            o.hidden = true;
+    for (auto &o : hists_)
+        if (match(o))
+            o.hidden = true;
+}
+
+bool
+MetricsRegistry::hasLocked(std::string_view name) const
+{
+    for (const auto &s : counters_)
+        if (s.name == name)
+            return true;
+    for (const auto &s : gauges_)
+        if (s.name == name)
+            return true;
+    for (const auto &o : owned_)
+        if (!o.hidden && o.name == name)
+            return true;
+    for (const auto &o : hists_)
+        if (!o.hidden && o.name == name)
+            return true;
+    return false;
+}
+
+bool
+MetricsRegistry::has(std::string_view name) const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    return hasLocked(name);
+}
+
+MetricsSnapshot
+MetricsRegistry::snapshot() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    MetricsSnapshot out;
+    out.registry = name_;
+    out.counters.reserve(counters_.size() + owned_.size());
+    for (const auto &s : counters_)
+        out.counters.emplace_back(s.name, s.get());
+    for (const auto &o : owned_)
+        if (!o.hidden)
+            out.counters.emplace_back(o.name, o.c.value());
+    for (const auto &s : gauges_)
+        out.gauges.emplace_back(s.name, s.get());
+    for (const auto &o : hists_) {
+        if (o.hidden)
+            continue;
+        HistogramSnapshot h;
+        h.count = o.h.count();
+        h.sum = o.h.sum();
+        h.buckets = o.h.bucketSnapshot();
+        out.histograms.emplace_back(o.name, std::move(h));
+    }
+    sortByName(out.counters);
+    sortByName(out.gauges);
+    sortByName(out.histograms);
+    return out;
+}
+
+void
+MetricsRegistry::resetAll()
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    for (auto &s : counters_)
+        if (s.reset)
+            s.reset();
+    for (auto &o : owned_)
+        o.c.reset();
+    for (auto &o : hists_)
+        o.h.reset();
+}
+
+MetricsSnapshot
+MetricsRegistry::globalSnapshot()
+{
+    // Snapshot under the list lock: a registry dying mid-iteration
+    // would otherwise leave a dangling pointer. Registries take their
+    // own mutex_ inside snapshot(); list lock > instance lock is the
+    // only order used, so no inversion is possible.
+    GlobalList &g = globalList();
+    std::lock_guard<std::mutex> lk(g.mutex);
+    MetricsSnapshot out;
+    out.registry = "global";
+    for (const MetricsRegistry *r : g.registries) {
+        MetricsSnapshot s = r->snapshot();
+        for (auto &[name, v] : s.counters)
+            out.counters.emplace_back(s.registry + "." + name, v);
+        for (auto &[name, v] : s.gauges)
+            out.gauges.emplace_back(s.registry + "." + name, v);
+        for (auto &[name, h] : s.histograms)
+            out.histograms.emplace_back(s.registry + "." + name,
+                                        std::move(h));
+    }
+    sortByName(out.counters);
+    sortByName(out.gauges);
+    sortByName(out.histograms);
+    return out;
+}
+
+} // namespace hicamp::obs

@@ -1,0 +1,180 @@
+/**
+ * @file
+ * Process-wide metrics registry: one named interface over every tally
+ * the system keeps (DRAM traffic, cache hit/miss, dedup hits, refcount
+ * saturation, VSM commit/retry, contention telemetry, ...).
+ *
+ * Components either register their existing counters (non-owning, a
+ * getter + reset pair, like StatGroup) or ask the registry to own a
+ * ShardedCounter / Log2Histogram for them. Writers stay lock-free —
+ * the registry never interposes on the bump path, it only enumerates.
+ *
+ * Snapshot/delta semantics are the point: a bench snapshots after
+ * warmup and again after the measured phase, and reports the
+ * difference, so warmup traffic can no longer pollute reported
+ * numbers (the Fig. 6/7 phase-reset bug). Snapshots are exact at
+ * quiescent points, monotone and race-free always (DESIGN.md §7).
+ *
+ * Naming convention (DESIGN.md §9): dot-separated lowercase paths,
+ * "<component>.<thing>[.<detail>]", e.g. "dram.lookup",
+ * "cache.l2.hits", "vsm.merge_commits". Each registry instance has a
+ * short name ("mem"); the process-wide snapshot prefixes it.
+ *
+ * Each registry attaches itself to a process-wide list on
+ * construction so globalSnapshot() can see every live instance;
+ * components whose lifetime is shorter than their registry's (the
+ * SegmentMap registers into its Memory's registry but dies first)
+ * remove their entries with removeByPrefix().
+ */
+
+#ifndef HICAMP_OBS_METRICS_HH
+#define HICAMP_OBS_METRICS_HH
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hh"
+#include "obs/histogram.hh"
+
+namespace hicamp::obs {
+
+/** Point-in-time copy of one histogram's state. */
+struct HistogramSnapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::vector<std::uint64_t> buckets; ///< Log2Histogram::kBuckets wide
+};
+
+/**
+ * Point-in-time copy of a registry (or of the whole process). Name
+ * lists are sorted; lookups are by linear scan, fine at report sizes.
+ */
+struct MetricsSnapshot {
+    std::string registry; ///< source registry name ("" for merged)
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, std::uint64_t>> gauges;
+    std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+
+    /** Counter value by name; @p dflt when absent. */
+    std::uint64_t counter(std::string_view name,
+                          std::uint64_t dflt = 0) const;
+    /** Gauge value by name; @p dflt when absent. */
+    std::uint64_t gauge(std::string_view name, std::uint64_t dflt = 0) const;
+    bool hasCounter(std::string_view name) const;
+};
+
+/**
+ * Per-name difference @p after - @p before: counters and histograms
+ * subtract (clamped at zero — a reset between the two snapshots
+ * would otherwise underflow), gauges are level values and keep the
+ * @p after reading. Names only in @p after enter with their full
+ * value; names only in @p before are dropped.
+ */
+MetricsSnapshot delta(const MetricsSnapshot &before,
+                      const MetricsSnapshot &after);
+
+class MetricsRegistry
+{
+  public:
+    /**
+     * @p name is the instance's short prefix in process-wide
+     * snapshots; de-duplicated ("mem", "mem#2", ...) if another live
+     * registry already claimed it.
+     */
+    explicit MetricsRegistry(std::string name);
+    ~MetricsRegistry();
+    MetricsRegistry(const MetricsRegistry &) = delete;
+    MetricsRegistry &operator=(const MetricsRegistry &) = delete;
+
+    const std::string &name() const { return name_; }
+
+    /// @name Non-owning registration of a component's own counters
+    /// @{
+    void addCounter(std::string name, std::function<std::uint64_t()> get,
+                    std::function<void()> reset);
+    void addCounter(std::string name, const ShardedCounter *c);
+    void addCounter(std::string name, const AtomicCounter *c);
+    void addCounter(std::string name, const Counter *c);
+    void addCounter(std::string name, std::atomic<std::uint64_t> *c);
+    /// @}
+
+    /** A level reading (live lines, ring occupancy): no reset. */
+    void addGauge(std::string name, std::function<std::uint64_t()> get);
+
+    /**
+     * Registry-owned counter/histogram, created on first use; the
+     * returned reference is stable for the registry's lifetime.
+     * Re-requesting a name returns the same object.
+     */
+    ShardedCounter &counter(std::string name);
+    Log2Histogram &histogram(std::string name);
+
+    /**
+     * Drop every metric whose name starts with @p prefix. Components
+     * registered into a longer-lived registry MUST call this before
+     * dying, or snapshot() reads freed memory.
+     */
+    void removeByPrefix(std::string_view prefix);
+
+    bool has(std::string_view name) const;
+
+    MetricsSnapshot snapshot() const;
+
+    /** Reset counters and histograms (gauges are level values). */
+    void resetAll();
+
+    /**
+     * Merged snapshot over every live registry, each metric prefixed
+     * "<registry>.". Quiescent-point semantics as usual.
+     */
+    static MetricsSnapshot globalSnapshot();
+
+  private:
+    struct CounterSlot {
+        std::string name;
+        std::function<std::uint64_t()> get;
+        std::function<void()> reset;
+    };
+    struct GaugeSlot {
+        std::string name;
+        std::function<std::uint64_t()> get;
+    };
+    // Owned metrics are never physically erased (the references
+    // counter()/histogram() hand out must stay valid); removeByPrefix
+    // tombstones them instead, and re-requesting the name revives
+    // (and resets) the entry.
+    struct OwnedCounter {
+        explicit OwnedCounter(std::string n) : name(std::move(n)) {}
+        std::string name;
+        ShardedCounter c;
+        bool hidden = false;
+    };
+    struct OwnedHistogram {
+        explicit OwnedHistogram(std::string n) : name(std::move(n)) {}
+        std::string name;
+        Log2Histogram h;
+        bool hidden = false;
+    };
+
+    bool hasLocked(std::string_view name) const;
+
+    std::string name_;
+    mutable std::mutex mutex_;
+    std::vector<CounterSlot> counters_;
+    std::vector<GaugeSlot> gauges_;
+    // deques: element addresses stay stable across growth, so the
+    // references counter()/histogram() hand out survive later adds
+    std::deque<OwnedCounter> owned_;
+    std::deque<OwnedHistogram> hists_;
+};
+
+} // namespace hicamp::obs
+
+#endif // HICAMP_OBS_METRICS_HH

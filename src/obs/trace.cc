@@ -1,0 +1,230 @@
+#include "obs/trace.hh"
+
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace hicamp::obs {
+
+const char *
+traceCatName(TraceCat c)
+{
+    switch (c) {
+      case TraceCat::Mem: return "mem";
+      case TraceCat::Store: return "store";
+      case TraceCat::Cache: return "cache";
+      case TraceCat::Seg: return "seg";
+      case TraceCat::Vsm: return "vsm";
+      case TraceCat::App: return "app";
+      default: return "?";
+    }
+}
+
+const char *
+traceKindName(TraceKind k)
+{
+    switch (k) {
+      case TraceKind::Lookup: return "lookup";
+      case TraceKind::ReadLine: return "read_line";
+      case TraceKind::IncRef: return "inc_ref";
+      case TraceKind::DecRef: return "dec_ref";
+      case TraceKind::Reclaim: return "reclaim";
+      case TraceKind::Transient: return "transient";
+      case TraceKind::VsmTouch: return "vsm_touch";
+      case TraceKind::Publish: return "publish";
+      case TraceKind::Retire: return "retire";
+      case TraceKind::OverflowAlloc: return "overflow_alloc";
+      case TraceKind::CacheHit: return "cache_hit";
+      case TraceKind::CacheMiss: return "cache_miss";
+      case TraceKind::ConvRead: return "conv_read";
+      case TraceKind::ConvWrite: return "conv_write";
+      case TraceKind::Build: return "build";
+      case TraceKind::Retain: return "retain";
+      case TraceKind::Release: return "release";
+      case TraceKind::Merge: return "merge";
+      case TraceKind::VsmCommit: return "vsm_commit";
+      case TraceKind::VsmCommitFail: return "vsm_commit_fail";
+      case TraceKind::VsmSnapshot: return "vsm_snapshot";
+      case TraceKind::Phase: return "phase";
+      default: return "?";
+    }
+}
+
+std::uint32_t
+traceMaskFor(const char *spec)
+{
+    constexpr std::uint32_t kAll =
+        (1u << static_cast<unsigned>(TraceCat::NumCats)) - 1;
+    if (spec == nullptr || std::strcmp(spec, "all") == 0 ||
+        std::strcmp(spec, "") == 0)
+        return kAll;
+    // Numeric spec ("0x15", "21"): must consume the whole string.
+    if (spec[0] >= '0' && spec[0] <= '9') {
+        char *end = nullptr;
+        unsigned long v = std::strtoul(spec, &end, 0);
+        if (end != nullptr && *end == '\0')
+            return static_cast<std::uint32_t>(v) & kAll;
+        HICAMP_FATAL(std::string("HICAMP_TRACE_MASK: malformed number '") +
+                     spec + "'");
+    }
+    std::uint32_t mask = 0;
+    const char *p = spec;
+    while (*p != '\0') {
+        const char *comma = std::strchr(p, ',');
+        std::size_t len = comma ? static_cast<std::size_t>(comma - p)
+                                : std::strlen(p);
+        bool matched = false;
+        for (unsigned c = 0; c < static_cast<unsigned>(TraceCat::NumCats);
+             ++c) {
+            const char *n = traceCatName(static_cast<TraceCat>(c));
+            if (std::strlen(n) == len && std::strncmp(p, n, len) == 0) {
+                mask |= 1u << c;
+                matched = true;
+                break;
+            }
+        }
+        if (!matched)
+            HICAMP_FATAL("HICAMP_TRACE_MASK: unknown category '" +
+                         std::string(p, len) +
+                         "' (known: mem,store,cache,seg,vsm,app,all)");
+        p = comma ? comma + 1 : p + len;
+    }
+    return mask;
+}
+
+} // namespace hicamp::obs
+
+#ifdef HICAMP_TRACE
+
+#include <algorithm>
+
+namespace hicamp::obs {
+
+namespace {
+
+/** Per-thread cache of (ring, recorder generation). */
+struct RingCache {
+    void *ring = nullptr;
+    std::uint64_t generation = 0;
+};
+
+thread_local RingCache tlsRing; // NOLINT(misc-use-internal-linkage)
+
+} // namespace
+
+FlightRecorder::FlightRecorder()
+{
+    // NOLINTBEGIN(concurrency-mt-unsafe): first-use configuration,
+    // same contract as the HICAMP_FAULT_* overlay.
+    capacity_ = std::size_t{1} << 16;
+    if (const char *s = std::getenv("HICAMP_TRACE_EVENTS")) {
+        char *end = nullptr;
+        unsigned long long v = std::strtoull(s, &end, 0);
+        if (end == s || *end != '\0' || v < 16)
+            HICAMP_FATAL(std::string("HICAMP_TRACE_EVENTS: expected "
+                                     "integer >= 16, got '") +
+                         s + "'");
+        capacity_ = static_cast<std::size_t>(v);
+    }
+    mask_.store(traceMaskFor(std::getenv("HICAMP_TRACE_MASK")),
+                std::memory_order_relaxed);
+    // NOLINTEND(concurrency-mt-unsafe)
+}
+
+FlightRecorder &
+FlightRecorder::instance()
+{
+    static FlightRecorder recorder;
+    return recorder;
+}
+
+FlightRecorder::Ring &
+FlightRecorder::myRing()
+{
+    std::uint64_t gen = generation_.load(std::memory_order_acquire);
+    if (tlsRing.ring != nullptr && tlsRing.generation == gen)
+        return *static_cast<Ring *>(tlsRing.ring);
+    std::lock_guard<std::mutex> lk(mutex_);
+    rings_.push_back(std::make_unique<Ring>(
+        capacity_, static_cast<std::uint16_t>(rings_.size())));
+    tlsRing.ring = rings_.back().get();
+    tlsRing.generation = generation_.load(std::memory_order_relaxed);
+    return *rings_.back();
+}
+
+void
+FlightRecorder::recordAt(std::uint64_t tick, TraceCat cat, TraceKind kind,
+                         std::uint64_t id, std::uint32_t bytes,
+                         std::uint32_t dur)
+{
+    Ring &r = myRing();
+    std::uint64_t c = r.count.load(std::memory_order_relaxed);
+    TraceEvent &slot = r.buf[c % r.buf.size()];
+    slot.tick = tick;
+    slot.id = id;
+    slot.dur = dur;
+    slot.bytes = bytes;
+    slot.kind = kind;
+    slot.cat = cat;
+    slot.tid = r.tid;
+    r.count.store(c + 1, std::memory_order_relaxed);
+}
+
+std::vector<TraceEvent>
+FlightRecorder::drain()
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    std::vector<TraceEvent> out;
+    for (auto &ring : rings_) {
+        std::uint64_t c = ring->count.load(std::memory_order_relaxed);
+        std::size_t live = static_cast<std::size_t>(
+            std::min<std::uint64_t>(c, ring->buf.size()));
+        out.insert(out.end(), ring->buf.begin(),
+                   ring->buf.begin() + static_cast<std::ptrdiff_t>(live));
+        ring->count.store(0, std::memory_order_relaxed);
+    }
+    std::sort(out.begin(), out.end(),
+              [](const TraceEvent &a, const TraceEvent &b) {
+                  return a.tick < b.tick;
+              });
+    return out;
+}
+
+std::uint64_t
+FlightRecorder::dropped() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    std::uint64_t d = 0;
+    for (const auto &ring : rings_) {
+        std::uint64_t c = ring->count.load(std::memory_order_relaxed);
+        if (c > ring->buf.size())
+            d += c - ring->buf.size();
+    }
+    return d;
+}
+
+std::uint64_t
+FlightRecorder::recorded() const
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    std::uint64_t n = 0;
+    for (const auto &ring : rings_)
+        n += ring->count.load(std::memory_order_relaxed);
+    return n;
+}
+
+void
+FlightRecorder::resetForTest(std::size_t capacity)
+{
+    std::lock_guard<std::mutex> lk(mutex_);
+    rings_.clear();
+    capacity_ = capacity < 16 ? 16 : capacity;
+    // Invalidate every thread's cached ring pointer *before* any new
+    // emit: release pairs with the acquire in myRing().
+    generation_.fetch_add(1, std::memory_order_release);
+}
+
+} // namespace hicamp::obs
+
+#endif // HICAMP_TRACE

@@ -1,0 +1,246 @@
+/**
+ * @file
+ * Per-thread flight recorder: fixed-size ring buffers of compact trace
+ * events answering "what did the memory system do between t0 and t1".
+ *
+ * Compile-time gate: everything behind `-DHICAMP_TRACE=ON` (the CMake
+ * option adds the HICAMP_TRACE definition project-wide). When OFF the
+ * HICAMP_TRACE_EVENT / HICAMP_TRACE_SCOPE macros expand to ((void)0),
+ * the FlightRecorder class is not even declared, and the binary
+ * contains no trace symbols (enforced by the obs_trace_symbols_absent
+ * ctest). When ON, a runtime category mask (HICAMP_TRACE_MASK) gates
+ * each emission behind one relaxed load.
+ *
+ * Event schema (DESIGN.md §9): {tick, dur, id, bytes, kind, cat, tid}.
+ * `tick` is a process-global logical clock (one atomic increment per
+ * recorded event) — cross-thread ordering of ticks is the commit order
+ * of those increments, not wall time. `id` carries the PLID / VSID /
+ * cache key the op touched; `bytes` the payload size when meaningful.
+ *
+ * Each thread records into its own ring (no sharing on the emit path;
+ * a mutex is taken only once per thread to register the ring). Rings
+ * are fixed-size and overwrite oldest on wrap; overwritten events are
+ * tallied per ring and reported by dropped(). drain() has the same
+ * quiescent-point contract as the stats layer: call it when no
+ * emitters are running (end of phase, after joins).
+ */
+
+#ifndef HICAMP_OBS_TRACE_HH
+#define HICAMP_OBS_TRACE_HH
+
+#include <cstdint>
+
+namespace hicamp::obs {
+
+/** Event category — one runtime mask bit each. */
+enum class TraceCat : std::uint8_t {
+    Mem = 0, ///< memory-system ops (lookup, read, refcount)
+    Store,   ///< line store (publish, retire, overflow)
+    Cache,   ///< HICAMP + conventional cache hierarchies
+    Seg,     ///< segment layer (build, merge, retain/release)
+    Vsm,     ///< virtual segment map (commit, snapshot)
+    App,     ///< drivers / benches (phase markers)
+    NumCats
+};
+
+/** What happened. Names must stay in sync with traceKindName(). */
+enum class TraceKind : std::uint8_t {
+    Lookup = 0,
+    ReadLine,
+    IncRef,
+    DecRef,
+    Reclaim,
+    Transient,
+    VsmTouch,
+    Publish,
+    Retire,
+    OverflowAlloc,
+    CacheHit,
+    CacheMiss,
+    ConvRead,
+    ConvWrite,
+    Build,
+    Retain,
+    Release,
+    Merge,
+    VsmCommit,
+    VsmCommitFail,
+    VsmSnapshot,
+    Phase,
+    NumKinds
+};
+
+/** Compact fixed-size trace record (32 bytes). */
+struct TraceEvent {
+    std::uint64_t tick;  ///< logical start time
+    std::uint64_t id;    ///< PLID / VSID / key / phase id
+    std::uint32_t dur;   ///< logical duration in ticks (0 = instant)
+    std::uint32_t bytes; ///< payload size when meaningful
+    TraceKind kind;
+    TraceCat cat;
+    std::uint16_t tid; ///< recorder-assigned thread index
+};
+
+const char *traceCatName(TraceCat c);
+const char *traceKindName(TraceKind k);
+
+/**
+ * Category mask from a spec string: "all", a comma-separated list of
+ * category names ("mem,cache"), or a number ("0x15"). Panics on an
+ * unknown name — a typo'd mask must fail loudly, not trace nothing.
+ */
+std::uint32_t traceMaskFor(const char *spec);
+
+} // namespace hicamp::obs
+
+#ifdef HICAMP_TRACE
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace hicamp::obs {
+
+class FlightRecorder
+{
+  public:
+    static FlightRecorder &instance();
+
+    bool
+    enabled(TraceCat c) const
+    {
+        return (mask_.load(std::memory_order_relaxed) >>
+                static_cast<unsigned>(c)) &
+               1u;
+    }
+
+    std::uint32_t mask() const { return mask_.load(std::memory_order_relaxed); }
+    void setMask(std::uint32_t m) { mask_.store(m, std::memory_order_relaxed); }
+
+    /** Advance and return the logical clock. */
+    std::uint64_t
+    nextTick()
+    {
+        return tick_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** Record an instant event stamped with a fresh tick. */
+    void
+    record(TraceCat cat, TraceKind kind, std::uint64_t id,
+           std::uint32_t bytes)
+    {
+        recordAt(nextTick(), cat, kind, id, bytes, 0);
+    }
+
+    /** Record a completed span (TraceScope's destructor path). */
+    void recordAt(std::uint64_t tick, TraceCat cat, TraceKind kind,
+                  std::uint64_t id, std::uint32_t bytes, std::uint32_t dur);
+
+    std::size_t capacity() const { return capacity_; }
+
+    /**
+     * Collect every ring's events in tick order and clear the rings.
+     * Quiescent-point contract: no emitters may be running.
+     */
+    std::vector<TraceEvent> drain();
+
+    /** Events overwritten by ring wrap since the last drain(). */
+    std::uint64_t dropped() const;
+
+    /** Total events recorded (including later-overwritten ones). */
+    std::uint64_t recorded() const;
+
+    /**
+     * Tests only: drop all rings and install a new per-ring capacity.
+     * Quiescent-point contract; threads re-register on next emit.
+     */
+    void resetForTest(std::size_t capacity);
+
+  private:
+    struct Ring {
+        Ring(std::size_t cap, std::uint16_t tid_in)
+            : buf(cap), tid(tid_in)
+        {
+        }
+        std::vector<TraceEvent> buf;
+        /// total events this ring ever received; single writer (the
+        /// owning thread), relaxed so a racy dropped() read is benign
+        std::atomic<std::uint64_t> count{0};
+        std::uint16_t tid;
+    };
+
+    FlightRecorder();
+    Ring &myRing();
+
+    std::atomic<std::uint32_t> mask_;
+    std::atomic<std::uint64_t> tick_{0};
+    std::size_t capacity_;
+    /// bumped by resetForTest() to invalidate threads' cached rings
+    std::atomic<std::uint64_t> generation_{1};
+    mutable std::mutex mutex_;
+    std::vector<std::unique_ptr<Ring>> rings_;
+};
+
+/** RAII span: stamps a begin tick, records (dur = end - begin) on exit. */
+class TraceScope
+{
+  public:
+    TraceScope(TraceCat cat, TraceKind kind, std::uint64_t id,
+               std::uint32_t bytes)
+        : cat_(cat), kind_(kind), id_(id), bytes_(bytes),
+          armed_(FlightRecorder::instance().enabled(cat)),
+          begin_(armed_ ? FlightRecorder::instance().nextTick() : 0)
+    {
+    }
+    ~TraceScope()
+    {
+        if (!armed_)
+            return;
+        FlightRecorder &fr = FlightRecorder::instance();
+        std::uint64_t end = fr.nextTick();
+        fr.recordAt(begin_, cat_, kind_, id_, bytes_,
+                    static_cast<std::uint32_t>(end - begin_));
+    }
+    TraceScope(const TraceScope &) = delete;
+    TraceScope &operator=(const TraceScope &) = delete;
+
+  private:
+    TraceCat cat_;
+    TraceKind kind_;
+    std::uint64_t id_;
+    std::uint32_t bytes_;
+    bool armed_;
+    std::uint64_t begin_;
+};
+
+} // namespace hicamp::obs
+
+#define HICAMP_OBS_CAT2(a, b) a##b
+#define HICAMP_OBS_CAT(a, b) HICAMP_OBS_CAT2(a, b)
+
+#define HICAMP_TRACE_EVENT(cat, kind, id, bytes)                             \
+    do {                                                                     \
+        ::hicamp::obs::FlightRecorder &hicampFr_ =                           \
+            ::hicamp::obs::FlightRecorder::instance();                       \
+        if (hicampFr_.enabled(::hicamp::obs::TraceCat::cat))                 \
+            hicampFr_.record(::hicamp::obs::TraceCat::cat,                   \
+                             ::hicamp::obs::TraceKind::kind,                 \
+                             static_cast<std::uint64_t>(id),                 \
+                             static_cast<std::uint32_t>(bytes));             \
+    } while (0)
+
+#define HICAMP_TRACE_SCOPE(cat, kind, id, bytes)                             \
+    ::hicamp::obs::TraceScope HICAMP_OBS_CAT(hicampTraceScope_, __LINE__)(   \
+        ::hicamp::obs::TraceCat::cat, ::hicamp::obs::TraceKind::kind,        \
+        static_cast<std::uint64_t>(id), static_cast<std::uint32_t>(bytes))
+
+#else // !HICAMP_TRACE
+
+// Zero-cost when off: arguments are not evaluated, no symbols emitted.
+#define HICAMP_TRACE_EVENT(cat, kind, id, bytes) ((void)0)
+#define HICAMP_TRACE_SCOPE(cat, kind, id, bytes) ((void)0)
+
+#endif // HICAMP_TRACE
+
+#endif // HICAMP_OBS_TRACE_HH

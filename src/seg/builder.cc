@@ -201,6 +201,7 @@ SegDesc
 SegBuilder::buildWords(const Word *words, const WordMeta *metas,
                        std::uint64_t n)
 {
+    HICAMP_TRACE_SCOPE(Seg, Build, n, n * kWordBytes);
     const int h = geo_.heightForWords(std::max<std::uint64_t>(n, 1));
 
     // A build over reference-free input consumes nothing, so a

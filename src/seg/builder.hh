@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "mem/memory.hh"
+#include "obs/trace.hh"
 #include "seg/entry.hh"
 #include "seg/reader.hh"
 
@@ -94,8 +95,10 @@ class SegBuilder
     Entry
     retain(const Entry &e)
     {
-        if (e.meta.isPlid() && e.word != 0)
+        if (e.meta.isPlid() && e.word != 0) {
             mem_.incRef(e.word);
+            HICAMP_TRACE_EVENT(Seg, Retain, e.word, 0);
+        }
         return e;
     }
 
@@ -107,8 +110,10 @@ class SegBuilder
     void
     release(const Entry &e) HICAMP_EXCLUDES(lockrank::vsm)
     {
-        if (e.meta.isPlid() && e.word != 0)
+        if (e.meta.isPlid() && e.word != 0) {
+            HICAMP_TRACE_EVENT(Seg, Release, e.word, 0);
             mem_.decRef(e.word);
+        }
     }
 
     /** Release a whole segment descriptor's root reference. */

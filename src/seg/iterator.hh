@@ -171,6 +171,9 @@ class IteratorRegister
     Word leafWords_[kMaxLineWords];
     WordMeta leafMetas_[kMaxLineWords];
 
+    // hicamp-lint: stat-ok(per-register path-cache counters, read
+    // directly through stats(); iterator registers are short-lived
+    // architectural state, not process-wide metrics)
     Counter pathHits_;
     Counter pathMisses_;
 };

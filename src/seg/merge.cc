@@ -2,6 +2,7 @@
 
 #include "common/logging.hh"
 #include "common/status.hh"
+#include "obs/trace.hh"
 
 namespace hicamp {
 
@@ -133,6 +134,7 @@ std::optional<Entry>
 mergeUpdate(Memory &mem, const Entry &old_e, const Entry &cur_e,
             const Entry &new_e, int height, MergeStats *stats)
 {
+    HICAMP_TRACE_SCOPE(Seg, Merge, cur_e.word, 0);
     Merger m(mem, stats);
     return m.merge(old_e, cur_e, new_e, height);
 }

@@ -7,6 +7,7 @@
 #include "common/backoff.hh"
 #include "common/logging.hh"
 #include "common/status.hh"
+#include "obs/trace.hh"
 
 namespace hicamp {
 
@@ -18,10 +19,19 @@ SegmentMap::SegmentMap(Memory &mem)
         chunks_[i].store(nullptr, std::memory_order_relaxed);
     chunks_[0].store(new SlotChunk, std::memory_order_release);
     mem_.setLineFreedHook([this](Plid p) { onLineFreed(p); });
+    // The map's tallies live in its Memory's registry under "vsm.";
+    // the destructor removes them because the map dies first.
+    obs::MetricsRegistry &reg = mem_.metrics();
+    reg.addCounter("vsm.commits", &commits_);
+    reg.addCounter("vsm.cas_failures", &casFailures_);
+    reg.addCounter("vsm.merge_commits", &mergeCommits_);
+    reg.addCounter("vsm.merge_failures", &mergeFailures_);
+    reg.addGauge("vsm.live_entries", [this] { return liveEntries(); });
 }
 
 SegmentMap::~SegmentMap()
 {
+    mem_.metrics().removeByPrefix("vsm.");
     mem_.setLineFreedHook(nullptr);
     const std::uint64_t n = slotCount_.load(std::memory_order_relaxed);
     for (Vsid v = 1; v < n; ++v) {
@@ -197,6 +207,7 @@ SegmentMap::get(Vsid v)
 SegDesc
 SegmentMap::snapshot(Vsid v)
 {
+    HICAMP_TRACE_EVENT(Vsm, VsmSnapshot, v, 0);
     mem_.vsmAccess(v, /*write=*/false);
     const Vsid t = resolve(v);
     if (t != v)
@@ -264,8 +275,11 @@ bool
 SegmentMap::cas(Vsid v, const SegDesc &expected, const SegDesc &desired)
 {
     checkLive(v);
-    if (slotFor(v).flags.load(std::memory_order_relaxed) & kSegReadOnly)
+    if (slotFor(v).flags.load(std::memory_order_relaxed) & kSegReadOnly) {
+        ++casFailures_;
+        HICAMP_TRACE_EVENT(Vsm, VsmCommitFail, v, 0);
         return false;
+    }
     const Vsid t = resolve(v);
     EntrySlot &slot = slotFor(t);
     mem_.vsmAccess(t, /*write=*/false);
@@ -274,8 +288,11 @@ SegmentMap::cas(Vsid v, const SegDesc &expected, const SegDesc &desired)
     {
         CapLockGuard g(mapMutex_, lockrank::vsm);
         SegDesc cur = readDesc(slot); // stable: writers are serialized
-        if (!(cur == expected))
+        if (!(cur == expected)) {
+            ++casFailures_;
+            HICAMP_TRACE_EVENT(Vsm, VsmCommitFail, t, 0);
             return false;
+        }
         writeDesc(slot, desired);
         if (!(slot.flags.load(std::memory_order_relaxed) & kSegWeak)) {
             old_root = cur.root;
@@ -283,6 +300,8 @@ SegmentMap::cas(Vsid v, const SegDesc &expected, const SegDesc &desired)
         }
     }
     mem_.vsmAccess(t, /*write=*/true);
+    ++commits_;
+    HICAMP_TRACE_EVENT(Vsm, VsmCommit, t, 0);
     // The map's reference on the old root is dropped only after
     // unlocking: a release can cascade into reclamation and the
     // line-freed hook, which takes mapMutex_ (DESIGN.md §7).

@@ -135,6 +135,10 @@ class SegmentMap
     std::uint64_t mergeCommits() const { return mergeCommits_.value(); }
     /** mCAS calls that failed on a true conflict. */
     std::uint64_t mergeFailures() const { return mergeFailures_.value(); }
+    /** Root replacements committed (successful cas, incl. via mcas). */
+    std::uint64_t commits() const { return commits_.value(); }
+    /** cas attempts rejected (stale expected root or read-only). */
+    std::uint64_t casFailures() const { return casFailures_.value(); }
 
     /**
      * Lift a descriptor to height @p H by wrapping in zero-padded
@@ -233,8 +237,13 @@ class SegmentMap
         HICAMP_GUARDED_BY(mapMutex_);
     std::unordered_multimap<Plid, Vsid> weakWatch_
         HICAMP_GUARDED_BY(mapMutex_);
+    // hicamp-lint: stat-ok(registered as vsm.* into the owning
+    // Memory's registry by the constructor; removed by prefix in the
+    // destructor because the map dies before its Memory)
     AtomicCounter mergeCommits_;
     AtomicCounter mergeFailures_;
+    AtomicCounter commits_;
+    AtomicCounter casFailures_;
 };
 
 } // namespace hicamp

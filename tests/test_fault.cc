@@ -8,6 +8,14 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <unistd.h>
+
+#include "common/fault.hh"
 #include "mem/memory.hh"
 
 namespace hicamp {
@@ -91,6 +99,130 @@ TEST(FaultInjection, CleanLinesNeverFlagged)
     for (Plid p : plids)
         (void)mem.readLine(p);
     EXPECT_EQ(mem.errorsDetected(), 0u);
+}
+
+/**
+ * HICAMP_FAULT_* environment overlay validation: malformed values and
+ * unknown keys must throw FaultConfigError, never silently clamp or
+ * ignore (a typo'd fault plan quietly running the un-faulted
+ * experiment was the original bug).
+ *
+ * The fixture saves and clears every HICAMP_FAULT_* variable so the
+ * suite behaves the same under CI's suite-wide injection overlay, and
+ * restores the environment afterwards.
+ */
+class FaultEnvOverlay : public ::testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        for (char **e = environ; e != nullptr && *e != nullptr; ++e) {
+            const std::string entry(*e);
+            if (entry.rfind("HICAMP_FAULT_", 0) != 0)
+                continue;
+            const auto eq = entry.find('=');
+            saved_.emplace_back(entry.substr(0, eq),
+                                entry.substr(eq + 1));
+        }
+        for (const auto &kv : saved_)
+            ::unsetenv(kv.first.c_str());
+    }
+
+    void
+    TearDown() override
+    {
+        clearOverlay();
+        for (const auto &kv : saved_)
+            ::setenv(kv.first.c_str(), kv.second.c_str(), 1);
+    }
+
+    void
+    clearOverlay()
+    {
+        for (const char *k :
+             {"HICAMP_FAULT_SEED", "HICAMP_FAULT_ALLOC_P",
+              "HICAMP_FAULT_ALLOC_EVERY", "HICAMP_FAULT_FLIP_P",
+              "HICAMP_FAULT_FLIP_EVERY", "HICAMP_FAULT_SATURATE_EVERY",
+              "HICAMP_FAULT_TYPO_KEY"}) {
+            ::unsetenv(k);
+        }
+    }
+
+    static void
+    expectRejected(const char *key, const char *value)
+    {
+        ::setenv(key, value, 1);
+        EXPECT_THROW((void)FaultConfig::fromEnv({}), FaultConfigError)
+            << key << "='" << value << "' was accepted";
+        ::unsetenv(key);
+    }
+
+  private:
+    std::vector<std::pair<std::string, std::string>> saved_;
+};
+
+TEST_F(FaultEnvOverlay, NegativeProbabilityRejected)
+{
+    expectRejected("HICAMP_FAULT_ALLOC_P", "-0.25");
+    expectRejected("HICAMP_FAULT_FLIP_P", "-1e-3");
+}
+
+TEST_F(FaultEnvOverlay, ProbabilityAboveOneRejected)
+{
+    expectRejected("HICAMP_FAULT_ALLOC_P", "1.5");
+    expectRejected("HICAMP_FAULT_FLIP_P", "2");
+}
+
+TEST_F(FaultEnvOverlay, NonNumericProbabilityRejected)
+{
+    expectRejected("HICAMP_FAULT_ALLOC_P", "banana");
+    expectRejected("HICAMP_FAULT_ALLOC_P", "0.5x");
+    expectRejected("HICAMP_FAULT_FLIP_P", "");
+    expectRejected("HICAMP_FAULT_FLIP_P", "nan");
+    expectRejected("HICAMP_FAULT_FLIP_P", "inf");
+}
+
+TEST_F(FaultEnvOverlay, MalformedCountRejected)
+{
+    expectRejected("HICAMP_FAULT_ALLOC_EVERY", "-3");
+    expectRejected("HICAMP_FAULT_FLIP_EVERY", "7q");
+    expectRejected("HICAMP_FAULT_SATURATE_EVERY", "");
+    expectRejected("HICAMP_FAULT_SEED", "0xzz");
+}
+
+TEST_F(FaultEnvOverlay, UnknownKeyRejected)
+{
+    ::setenv("HICAMP_FAULT_TYPO_KEY", "1", 1);
+    EXPECT_THROW((void)FaultConfig::fromEnv({}), FaultConfigError);
+    ::unsetenv("HICAMP_FAULT_TYPO_KEY");
+}
+
+TEST_F(FaultEnvOverlay, ValidOverlayParsed)
+{
+    ::setenv("HICAMP_FAULT_SEED", "0x2a", 1);
+    ::setenv("HICAMP_FAULT_ALLOC_P", "0.001", 1);
+    ::setenv("HICAMP_FAULT_ALLOC_EVERY", "10", 1);
+    ::setenv("HICAMP_FAULT_FLIP_P", "0", 1);
+    ::setenv("HICAMP_FAULT_FLIP_EVERY", "0x10", 1);
+    ::setenv("HICAMP_FAULT_SATURATE_EVERY", "5", 1);
+    const FaultConfig c = FaultConfig::fromEnv({});
+    EXPECT_EQ(c.seed, 0x2au);
+    EXPECT_DOUBLE_EQ(c.allocFailP, 0.001);
+    EXPECT_EQ(c.allocFailEvery, 10u);
+    EXPECT_DOUBLE_EQ(c.bitFlipP, 0.0);
+    EXPECT_EQ(c.bitFlipEvery, 16u);
+    EXPECT_EQ(c.saturateEvery, 5u);
+}
+
+TEST_F(FaultEnvOverlay, EmptyOverlayKeepsBase)
+{
+    FaultConfig base;
+    base.seed = 7;
+    base.allocFailEvery = 3;
+    const FaultConfig c = FaultConfig::fromEnv(base);
+    EXPECT_EQ(c.seed, 7u);
+    EXPECT_EQ(c.allocFailEvery, 3u);
 }
 
 } // namespace

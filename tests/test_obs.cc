@@ -1,0 +1,531 @@
+/**
+ * @file
+ * Tests for the observability layer (src/obs, DESIGN.md §9): metrics
+ * registry registration/snapshot/delta/reset semantics, log2-histogram
+ * bucket boundaries, the JSON exporters, the Memory integration (every
+ * stats family reachable by name), the phase snapshot/delta discipline
+ * that replaced warmup counter resets, the DramStats quiescent-read
+ * contract, and — when compiled with HICAMP_TRACE — the flight
+ * recorder's rings, masks and concurrent emitters.
+ */
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "mem/dram_stats.hh"
+#include "mem/memory.hh"
+#include "vsm/segment_map.hh"
+#include "obs/export.hh"
+#include "obs/histogram.hh"
+#include "obs/metrics.hh"
+#include "obs/trace.hh"
+
+namespace hicamp {
+namespace {
+
+using obs::Log2Histogram;
+using obs::MetricsRegistry;
+using obs::MetricsSnapshot;
+
+// ---------------------------------------------------------------- //
+// Log2Histogram                                                    //
+// ---------------------------------------------------------------- //
+
+TEST(Log2Histogram, BucketBoundaries)
+{
+    // Bucket 0 holds exactly 0; bucket b>0 holds [2^(b-1), 2^b - 1].
+    EXPECT_EQ(Log2Histogram::bucketOf(0), 0u);
+    EXPECT_EQ(Log2Histogram::bucketOf(1), 1u);
+    EXPECT_EQ(Log2Histogram::bucketOf(2), 2u);
+    EXPECT_EQ(Log2Histogram::bucketOf(3), 2u);
+    EXPECT_EQ(Log2Histogram::bucketOf(4), 3u);
+    EXPECT_EQ(Log2Histogram::bucketOf(~std::uint64_t{0}), 64u);
+    for (unsigned b = 0; b < Log2Histogram::kBuckets; ++b) {
+        EXPECT_EQ(Log2Histogram::bucketOf(Log2Histogram::bucketLo(b)), b)
+            << "lo of bucket " << b;
+        EXPECT_EQ(Log2Histogram::bucketOf(Log2Histogram::bucketHi(b)), b)
+            << "hi of bucket " << b;
+        if (b > 0 && b < 64) {
+            // Buckets tile the range with no gap or overlap.
+            EXPECT_EQ(Log2Histogram::bucketHi(b) + 1,
+                      Log2Histogram::bucketLo(b + 1));
+        }
+    }
+}
+
+TEST(Log2Histogram, RecordCountSumReset)
+{
+    Log2Histogram h;
+    h.record(0);
+    h.record(1);
+    h.record(7);
+    h.record(7);
+    EXPECT_EQ(h.count(), 4u);
+    EXPECT_EQ(h.sum(), 15u);
+    EXPECT_EQ(h.bucketCount(0), 1u);
+    EXPECT_EQ(h.bucketCount(1), 1u);
+    EXPECT_EQ(h.bucketCount(3), 2u);
+    auto snap = h.bucketSnapshot();
+    ASSERT_EQ(snap.size(), Log2Histogram::kBuckets);
+    EXPECT_EQ(snap[3], 2u);
+    h.reset();
+    EXPECT_EQ(h.count(), 0u);
+    EXPECT_EQ(h.sum(), 0u);
+}
+
+// ---------------------------------------------------------------- //
+// MetricsRegistry                                                  //
+// ---------------------------------------------------------------- //
+
+TEST(MetricsRegistry, OwnedCounterIsStableAndNamed)
+{
+    MetricsRegistry reg("t");
+    ShardedCounter &c = reg.counter("alpha");
+    c += 3;
+    // Re-requesting the name returns the same counter.
+    ShardedCounter &again = reg.counter("alpha");
+    EXPECT_EQ(&c, &again);
+    again += 2;
+    MetricsSnapshot s = reg.snapshot();
+    EXPECT_EQ(s.registry, "t");
+    EXPECT_TRUE(s.hasCounter("alpha"));
+    EXPECT_EQ(s.counter("alpha"), 5u);
+    EXPECT_EQ(s.counter("missing", 42), 42u);
+    EXPECT_FALSE(s.hasCounter("missing"));
+}
+
+TEST(MetricsRegistry, NonOwningOverloadsAndResetAll)
+{
+    MetricsRegistry reg("t");
+    ShardedCounter sc;
+    AtomicCounter ac;
+    Counter pc;
+    std::atomic<std::uint64_t> raw{0};
+    std::uint64_t lam = 0;
+    reg.addCounter("sharded", &sc);
+    reg.addCounter("atomic", &ac);
+    reg.addCounter("plain", &pc);
+    reg.addCounter("raw", &raw);
+    reg.addCounter(
+        "lambda", [&lam] { return lam; }, [&lam] { lam = 0; });
+    reg.addGauge("level", [] { return std::uint64_t{7}; });
+    sc += 1;
+    ac += 2;
+    ++pc;
+    raw.fetch_add(4);
+    lam = 5;
+    MetricsSnapshot s = reg.snapshot();
+    EXPECT_EQ(s.counter("sharded"), 1u);
+    EXPECT_EQ(s.counter("atomic"), 2u);
+    EXPECT_EQ(s.counter("plain"), 1u);
+    EXPECT_EQ(s.counter("raw"), 4u);
+    EXPECT_EQ(s.counter("lambda"), 5u);
+    EXPECT_EQ(s.gauge("level"), 7u);
+    EXPECT_EQ(s.gauge("absent", 9), 9u);
+    reg.resetAll();
+    MetricsSnapshot z = reg.snapshot();
+    EXPECT_EQ(z.counter("sharded"), 0u);
+    EXPECT_EQ(z.counter("atomic"), 0u);
+    EXPECT_EQ(z.counter("plain"), 0u);
+    EXPECT_EQ(z.counter("raw"), 0u);
+    EXPECT_EQ(z.counter("lambda"), 0u);
+    // Gauges are level values; resetAll leaves them alone.
+    EXPECT_EQ(z.gauge("level"), 7u);
+}
+
+TEST(MetricsRegistry, SnapshotNamesAreSorted)
+{
+    MetricsRegistry reg("t");
+    reg.counter("zebra") += 1;
+    reg.counter("apple") += 1;
+    reg.counter("mango") += 1;
+    MetricsSnapshot s = reg.snapshot();
+    ASSERT_EQ(s.counters.size(), 3u);
+    EXPECT_EQ(s.counters[0].first, "apple");
+    EXPECT_EQ(s.counters[1].first, "mango");
+    EXPECT_EQ(s.counters[2].first, "zebra");
+}
+
+TEST(MetricsRegistry, RemoveByPrefixTombstonesAndRevives)
+{
+    MetricsRegistry reg("t");
+    ShardedCounter &c = reg.counter("vsm.commits");
+    c += 9;
+    reg.counter("other") += 1;
+    EXPECT_TRUE(reg.has("vsm.commits"));
+    reg.removeByPrefix("vsm.");
+    EXPECT_FALSE(reg.has("vsm.commits"));
+    EXPECT_TRUE(reg.has("other"));
+    EXPECT_FALSE(reg.snapshot().hasCounter("vsm.commits"));
+    // Re-requesting the name revives the entry, zeroed.
+    ShardedCounter &revived = reg.counter("vsm.commits");
+    EXPECT_EQ(reg.snapshot().counter("vsm.commits"), 0u);
+    revived += 1;
+    EXPECT_EQ(reg.snapshot().counter("vsm.commits"), 1u);
+}
+
+TEST(MetricsRegistry, GlobalSnapshotPrefixesAndDedupesNames)
+{
+    MetricsRegistry a("dup");
+    MetricsRegistry b("dup");
+    EXPECT_EQ(a.name(), "dup");
+    EXPECT_NE(b.name(), "dup"); // de-duplicated ("dup#2", ...)
+    a.counter("c") += 1;
+    b.counter("c") += 2;
+    MetricsSnapshot g = MetricsRegistry::globalSnapshot();
+    EXPECT_EQ(g.counter("dup.c"), 1u);
+    EXPECT_EQ(g.counter(b.name() + ".c"), 2u);
+}
+
+TEST(MetricsDelta, SubtractsClampsAndDrops)
+{
+    MetricsSnapshot before, after;
+    before.counters = {{"down", 10}, {"gone", 5}, {"up", 3}};
+    before.gauges = {{"level", 100}};
+    after.counters = {{"down", 4}, {"fresh", 7}, {"up", 8}};
+    after.gauges = {{"level", 60}};
+    MetricsSnapshot d = obs::delta(before, after);
+    EXPECT_EQ(d.counter("up"), 5u);
+    // A counter that went backwards (reset mid-run) clamps at zero
+    // instead of underflowing to ~2^64.
+    EXPECT_EQ(d.counter("down"), 0u);
+    // Names only in `after` enter with their full value; names only
+    // in `before` are dropped.
+    EXPECT_EQ(d.counter("fresh"), 7u);
+    EXPECT_FALSE(d.hasCounter("gone"));
+    // Gauges are levels: delta keeps the `after` reading.
+    EXPECT_EQ(d.gauge("level"), 60u);
+}
+
+TEST(MetricsRegistry, ConcurrentBumpsExactAtQuiescence)
+{
+    MetricsRegistry reg("t");
+    ShardedCounter &c = reg.counter("hammer");
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 20000;
+    std::atomic<bool> stop{false};
+    // A snapshotter races the writers: reads must be safe (and
+    // monotone) even mid-flight; TSan builds verify the former.
+    std::thread snapper([&] {
+        std::uint64_t last = 0;
+        while (!stop.load(std::memory_order_acquire)) {
+            std::uint64_t v = reg.snapshot().counter("hammer");
+            EXPECT_GE(v, last);
+            last = v;
+        }
+    });
+    std::vector<std::thread> writers;
+    for (int t = 0; t < kThreads; ++t)
+        writers.emplace_back([&c] {
+            for (int i = 0; i < kPerThread; ++i)
+                ++c;
+        });
+    for (auto &t : writers)
+        t.join();
+    stop.store(true, std::memory_order_release);
+    snapper.join();
+    EXPECT_EQ(reg.snapshot().counter("hammer"),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+// ---------------------------------------------------------------- //
+// Exporters                                                        //
+// ---------------------------------------------------------------- //
+
+TEST(ObsExport, ToJsonCarriesAllSections)
+{
+    MetricsRegistry reg("t");
+    reg.counter("a.count") += 3;
+    reg.addGauge("a.level", [] { return std::uint64_t{11}; });
+    reg.histogram("a.hist").record(5);
+    std::string j = obs::toJson(reg.snapshot());
+    EXPECT_NE(j.find("\"registry\": \"t\""), std::string::npos) << j;
+    EXPECT_NE(j.find("\"a.count\": 3"), std::string::npos) << j;
+    EXPECT_NE(j.find("\"a.level\": 11"), std::string::npos) << j;
+    EXPECT_NE(j.find("\"a.hist\""), std::string::npos) << j;
+    EXPECT_NE(j.find("\"count\": 1"), std::string::npos) << j;
+    EXPECT_NE(j.find("\"sum\": 5"), std::string::npos) << j;
+}
+
+TEST(ObsExport, DumpMetricsFromEnvRoundTrips)
+{
+    MetricsRegistry reg("t");
+    reg.counter("k") += 1;
+    // Unset: no dump requested, returns false.
+    unsetenv("HICAMP_OBS_METRICS");
+    EXPECT_FALSE(obs::dumpMetricsFromEnv(reg.snapshot()));
+    std::string path = testing::TempDir() + "obs_dump_test.json";
+    setenv("HICAMP_OBS_METRICS", path.c_str(), 1);
+    EXPECT_TRUE(obs::dumpMetricsFromEnv(reg.snapshot()));
+    unsetenv("HICAMP_OBS_METRICS");
+    std::ifstream f(path);
+    ASSERT_TRUE(f.good());
+    std::ostringstream body;
+    body << f.rdbuf();
+    EXPECT_NE(body.str().find("\"k\": 1"), std::string::npos);
+    std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------- //
+// Memory integration + the phase snapshot/delta discipline         //
+// ---------------------------------------------------------------- //
+
+MemoryConfig
+obsCfg()
+{
+    MemoryConfig cfg;
+    cfg.numBuckets = 1 << 12;
+    cfg.faults.allowEnvOverride = false;
+    return cfg;
+}
+
+Line
+taggedLine(Memory &mem, Word tag)
+{
+    Line l = mem.makeLine();
+    l.set(0, tag);
+    l.set(1, tag * 131 + 17);
+    return l;
+}
+
+TEST(ObsMemory, EveryStatsFamilyReachableByName)
+{
+    Memory mem(obsCfg());
+    for (Word t = 1; t <= 32; ++t)
+        mem.lookup(taggedLine(mem, t));
+    MetricsSnapshot s = mem.metrics().snapshot();
+    EXPECT_EQ(s.registry, "mem");
+    // DRAM categories agree with the raw quiescent-point reads.
+    EXPECT_EQ(s.counter("dram.lookup"), mem.dram().lookups());
+    EXPECT_EQ(s.counter("dram.read"), mem.dram().reads());
+    EXPECT_EQ(s.counter("dram.write"), mem.dram().writes());
+    // Op counters, cache families, gauges, and the candidate-scan
+    // histogram are all present under their documented names.
+    EXPECT_EQ(s.counter("ops.lookups"), 32u);
+    EXPECT_TRUE(s.hasCounter("cache.l1.hits"));
+    EXPECT_TRUE(s.hasCounter("cache.l2.misses"));
+    EXPECT_TRUE(s.hasCounter("contention.retries"));
+    EXPECT_TRUE(s.hasCounter("pressure.oom_events"));
+    EXPECT_TRUE(s.hasCounter("lookup.dedup_hits"));
+    EXPECT_EQ(s.gauge("store.live_lines"), mem.liveLines());
+    bool have_hist = false;
+    for (const auto &[name, h] : s.histograms)
+        if (name == "lookup.candidates") {
+            have_hist = true;
+            EXPECT_EQ(h.buckets.size(), Log2Histogram::kBuckets);
+        }
+    EXPECT_TRUE(have_hist);
+}
+
+TEST(ObsMemory, VsmMetricsRegisterAndUnregister)
+{
+    Memory mem(obsCfg());
+    {
+        SegmentMap vsm(mem);
+        EXPECT_TRUE(mem.metrics().has("vsm.commits"));
+        EXPECT_TRUE(mem.metrics().has("vsm.merge_commits"));
+    }
+    // The map died before its Memory: its entries must be gone, not
+    // dangling (snapshot would read freed memory otherwise).
+    EXPECT_FALSE(mem.metrics().has("vsm.commits"));
+    (void)mem.metrics().snapshot();
+}
+
+TEST(ObsMemory, PhaseDeltaExcludesWarmupWithoutReset)
+{
+    // The Fig. 6/7 bug this PR retires: benches used to reset counters
+    // after warmup, destroying the cumulative view (and racing other
+    // readers). The discipline now is flush + snapshot + delta.
+    Memory mem(obsCfg());
+    for (Word t = 1; t <= 20; ++t)
+        mem.lookup(taggedLine(mem, t)); // "warmup"
+    std::uint64_t warm_lookups = mem.dram().lookups();
+    ASSERT_GT(warm_lookups, 0u);
+
+    mem.flushTraffic(); // cache maintenance only — NO counter reset
+    MetricsSnapshot before = mem.metrics().snapshot();
+    // Warmup traffic is still in the cumulative counters.
+    EXPECT_EQ(before.counter("dram.lookup"), warm_lookups);
+
+    for (Word t = 100; t < 110; ++t)
+        mem.lookup(taggedLine(mem, t)); // "measured"
+    MetricsSnapshot d = obs::delta(before, mem.metrics().snapshot());
+    EXPECT_EQ(d.counter("ops.lookups"), 10u);
+    EXPECT_EQ(d.counter("dram.lookup"),
+              mem.dram().lookups() - warm_lookups);
+    // And the cumulative counters were never reset.
+    EXPECT_GE(mem.dram().lookups(), warm_lookups);
+    mem.coldCaches(); // the cold variant is also reset-free
+    EXPECT_GE(mem.dram().lookups(), warm_lookups);
+}
+
+#ifndef NDEBUG
+TEST(DramStatsDeath, ReadWhileWriterInFlightAsserts)
+{
+    // get()/total() are only exact at quiescent points; debug builds
+    // turn a mid-flight read into a loud failure.
+    DramStats s;
+    s.count(DramCat::Read);
+    EXPECT_EQ(s.total(), 1u); // quiescent: fine
+    DramStats::WriterScope w(s);
+    EXPECT_DEATH((void)s.total(), "quiescent");
+}
+#endif
+
+// ---------------------------------------------------------------- //
+// Flight recorder (only in -DHICAMP_TRACE=ON builds)               //
+// ---------------------------------------------------------------- //
+
+TEST(TraceMask, SpecParsing)
+{
+    constexpr std::uint32_t kAll =
+        (1u << static_cast<unsigned>(obs::TraceCat::NumCats)) - 1;
+    EXPECT_EQ(obs::traceMaskFor(nullptr), kAll);
+    EXPECT_EQ(obs::traceMaskFor("all"), kAll);
+    EXPECT_EQ(obs::traceMaskFor("mem"), 1u);
+    EXPECT_EQ(obs::traceMaskFor("mem,cache"), 1u | (1u << 2));
+    EXPECT_EQ(obs::traceMaskFor("0x5"), 0x5u);
+    EXPECT_EQ(obs::traceMaskFor("3"), 3u);
+}
+
+TEST(TraceNames, CoverEveryEnumerator)
+{
+    for (unsigned c = 0; c < static_cast<unsigned>(obs::TraceCat::NumCats);
+         ++c)
+        EXPECT_STRNE(obs::traceCatName(static_cast<obs::TraceCat>(c)), "?");
+    for (unsigned k = 0;
+         k < static_cast<unsigned>(obs::TraceKind::NumKinds); ++k)
+        EXPECT_STRNE(obs::traceKindName(static_cast<obs::TraceKind>(k)),
+                     "?");
+}
+
+#ifdef HICAMP_TRACE
+
+class FlightRecorderTest : public testing::Test
+{
+  protected:
+    void
+    SetUp() override
+    {
+        obs::FlightRecorder::instance().resetForTest(kCap);
+        obs::FlightRecorder::instance().setMask(~0u);
+    }
+    void
+    TearDown() override
+    {
+        // Leave a sane default for whatever test runs next.
+        obs::FlightRecorder::instance().resetForTest(kCap);
+        obs::FlightRecorder::instance().setMask(~0u);
+    }
+    static constexpr std::size_t kCap = 64;
+};
+
+TEST_F(FlightRecorderTest, RecordsAndDrainsInTickOrder)
+{
+    for (int i = 0; i < 10; ++i)
+        HICAMP_TRACE_EVENT(App, Phase, i, i * 8);
+    auto events = obs::FlightRecorder::instance().drain();
+    ASSERT_EQ(events.size(), 10u);
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_LE(events[i - 1].tick, events[i].tick);
+    EXPECT_EQ(events[3].id, 3u);
+    EXPECT_EQ(events[3].bytes, 24u);
+    EXPECT_EQ(events[3].cat, obs::TraceCat::App);
+    EXPECT_EQ(events[3].kind, obs::TraceKind::Phase);
+    // Drain cleared the rings.
+    EXPECT_TRUE(obs::FlightRecorder::instance().drain().empty());
+}
+
+TEST_F(FlightRecorderTest, RingWrapsOverwritingOldest)
+{
+    const int kEmit = 3 * kCap;
+    for (int i = 0; i < kEmit; ++i)
+        HICAMP_TRACE_EVENT(App, Phase, i, 0);
+    obs::FlightRecorder &fr = obs::FlightRecorder::instance();
+    EXPECT_EQ(fr.recorded(), static_cast<std::uint64_t>(kEmit));
+    EXPECT_EQ(fr.dropped(), static_cast<std::uint64_t>(kEmit - kCap));
+    auto events = fr.drain();
+    ASSERT_EQ(events.size(), kCap);
+    // The survivors are exactly the newest kCap events.
+    EXPECT_EQ(events.front().id, static_cast<std::uint64_t>(kEmit - kCap));
+    EXPECT_EQ(events.back().id, static_cast<std::uint64_t>(kEmit - 1));
+}
+
+TEST_F(FlightRecorderTest, MaskGatesEmission)
+{
+    obs::FlightRecorder &fr = obs::FlightRecorder::instance();
+    fr.setMask(0);
+    HICAMP_TRACE_EVENT(App, Phase, 1, 0);
+    EXPECT_TRUE(fr.drain().empty());
+    // Enable only Seg: App events still don't record.
+    fr.setMask(obs::traceMaskFor("seg"));
+    HICAMP_TRACE_EVENT(App, Phase, 2, 0);
+    HICAMP_TRACE_EVENT(Seg, Build, 3, 0);
+    auto events = fr.drain();
+    ASSERT_EQ(events.size(), 1u);
+    EXPECT_EQ(events[0].cat, obs::TraceCat::Seg);
+}
+
+TEST_F(FlightRecorderTest, ScopeRecordsDuration)
+{
+    {
+        HICAMP_TRACE_SCOPE(Seg, Merge, 77, 0);
+        HICAMP_TRACE_EVENT(App, Phase, 1, 0); // advances the clock
+    }
+    auto events = obs::FlightRecorder::instance().drain();
+    ASSERT_EQ(events.size(), 2u);
+    // The span began before the inner event and closed after it.
+    EXPECT_EQ(events[0].kind, obs::TraceKind::Merge);
+    EXPECT_GE(events[0].dur, 2u);
+    EXPECT_EQ(events[1].kind, obs::TraceKind::Phase);
+}
+
+TEST_F(FlightRecorderTest, ConcurrentEmittersDontCorrupt)
+{
+    obs::FlightRecorder &fr = obs::FlightRecorder::instance();
+    fr.resetForTest(1024);
+    constexpr int kThreads = 4;
+    constexpr int kPerThread = 5000;
+    std::vector<std::thread> emitters;
+    for (int t = 0; t < kThreads; ++t)
+        emitters.emplace_back([t] {
+            for (int i = 0; i < kPerThread; ++i)
+                HICAMP_TRACE_EVENT(App, Phase,
+                                   static_cast<std::uint64_t>(t) * 100000 +
+                                       static_cast<std::uint64_t>(i),
+                                   0);
+        });
+    for (auto &t : emitters)
+        t.join();
+    EXPECT_EQ(fr.recorded(),
+              static_cast<std::uint64_t>(kThreads) * kPerThread);
+    auto events = fr.drain();
+    // Each thread has its own 1024-deep ring.
+    EXPECT_EQ(events.size(), static_cast<std::size_t>(kThreads) * 1024);
+    for (std::size_t i = 1; i < events.size(); ++i)
+        EXPECT_LE(events[i - 1].tick, events[i].tick);
+}
+
+TEST_F(FlightRecorderTest, ChromeTraceJsonShape)
+{
+    HICAMP_TRACE_EVENT(Mem, Lookup, 42, 16);
+    std::string j =
+        obs::chromeTraceJson(obs::FlightRecorder::instance().drain());
+    EXPECT_NE(j.find("\"traceEvents\""), std::string::npos) << j;
+    EXPECT_NE(j.find("\"name\": \"lookup\""), std::string::npos) << j;
+    EXPECT_NE(j.find("\"cat\": \"mem\""), std::string::npos) << j;
+    EXPECT_NE(j.find("\"id\": 42"), std::string::npos) << j;
+}
+
+#endif // HICAMP_TRACE
+
+} // namespace
+} // namespace hicamp

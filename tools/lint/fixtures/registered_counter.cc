@@ -1,0 +1,13 @@
+// Clean control for the stat-registry rule: a file that participates
+// in registration (a registerMetrics member, in code) is trusted
+// wholesale, so its counter members need no waivers.
+
+class RegisteredStats
+{
+  public:
+    void registerMetrics(obs::MetricsRegistry &reg);
+
+  private:
+    Counter hits_;
+    Counter misses_;
+};

@@ -1,0 +1,18 @@
+// Fixture for the stat-registry rule. This file never references the
+// registry in code — the words registerMetrics and MetricsRegistry in
+// this comment must NOT count as registration — so every counter
+// member needs a stat-ok waiver.
+
+class UnregisteredStats
+{
+  private:
+    Counter hits_;         // EXPECT-LINE: stat-registry
+    AtomicCounter misses_; // EXPECT-LINE: stat-registry
+
+    // hicamp-lint: stat-ok(test-local scratch counter)
+    Counter waived_;
+
+    // hicamp-lint: stat-ok(one waiver covers the contiguous block)
+    ShardedCounter blockA_;
+    ShardedCounter blockB_;
+};

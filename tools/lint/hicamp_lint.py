@@ -36,6 +36,19 @@ relaxed-control
     ``// hicamp-lint: relaxed-ok(<reason>)`` on the line or the line
     above.
 
+stat-registry
+    Every ``Counter``/``AtomicCounter``/``ShardedCounter`` member
+    declared outside ``src/obs/`` (and the primitives' own home,
+    ``src/common/stats.hh``) must be reachable through the metrics
+    registry: the declaring file references ``MetricsRegistry``,
+    ``registerMetrics`` or ``addCounter`` in code, or the declaration
+    carries ``// hicamp-lint: stat-ok(<reason>)`` on the line, in the
+    comment run above it, or above the first declaration of its
+    contiguous declaration block (one waiver covers the group).
+    Unregistered counters are invisible to metrics dumps and to the
+    phase snapshot/delta discipline — exactly how the pre-registry
+    stats plumbing rotted.
+
 lock-order
     The ``ACQUIRED_AFTER`` chain declared on the LockRank anchors in
     ``src/common/thread_annotations.hh`` must match the machine-
@@ -81,6 +94,13 @@ MUTATOR_CALL_RE = re.compile(
     r"fetch_or|fetch_and|push_back|pop_back|emplace\w*|insert|erase|"
     r"clear|reset|release|swap)\s*\(")
 INC_DEC_RE = re.compile(r"\+\+|--")
+
+STAT_DECL_RE = re.compile(
+    r"^\s*(?:ShardedCounter|AtomicCounter|Counter)\s+\w")
+STAT_WAIVER_RE = re.compile(r"hicamp-lint:\s*stat-ok\(")
+STAT_REGISTRY_RE = re.compile(
+    r"\bMetricsRegistry\b|\bregisterMetrics\b|\baddCounter\b")
+STAT_EXEMPT = {"src/common/stats.hh"}
 
 DEFAULT_ORDER_DOC = "DESIGN.md"
 DEFAULT_ORDER_HEADER = "src/common/thread_annotations.hh"
@@ -335,6 +355,34 @@ def check_relaxed_control(path, rel, raw, code, findings):
     _ = code_lines  # structure kept for libclang parity
 
 
+def check_stat_registry(path, rel, raw, code, findings):
+    if rel in STAT_EXEMPT or rel.startswith("src/obs/"):
+        return
+    # A file that participates in registration is trusted wholesale;
+    # the reference must be in code, not in a comment.
+    if STAT_REGISTRY_RE.search(code):
+        return
+    raw_lines = raw.splitlines()
+    code_lines = code.splitlines()
+    for idx, line in enumerate(code_lines):
+        if not STAT_DECL_RE.match(line):
+            continue
+        lineno = idx + 1
+        # One waiver comment above the first declaration covers the
+        # whole contiguous declaration block.
+        first = idx
+        while first > 0 and STAT_DECL_RE.match(code_lines[first - 1]):
+            first -= 1
+        if _waived_at(raw_lines, lineno, STAT_WAIVER_RE) or \
+                _waived_at(raw_lines, first + 1, STAT_WAIVER_RE):
+            continue
+        findings.append(Finding(
+            path, lineno, "stat-registry",
+            "counter member in a file with no MetricsRegistry/"
+            "registerMetrics/addCounter reference; register it or "
+            "waive with // hicamp-lint: stat-ok(reason)"))
+
+
 def parse_anchor_chain(header_text):
     """LockRank anchors in declaration form -> ordered rank list.
     Returns (order, errors); order is outermost-first."""
@@ -411,6 +459,7 @@ def lint_file(root, path, findings):
     check_retain_balance(path, raw, code, findings)
     check_assert_side_effects(path, code, findings)
     check_relaxed_control(path, rel, raw, code, findings)
+    check_stat_registry(path, rel, raw, code, findings)
 
 
 def default_targets(root):

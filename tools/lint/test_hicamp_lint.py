@@ -83,6 +83,12 @@ class FixtureTests(unittest.TestCase):
         # the relaxed-ok-waived load stay silent.
         self.assert_fixture("relaxed_condition.cc")
 
+    def test_unregistered_counter(self):
+        # Counter members without registration or waiver; the waived
+        # one and the block under a single waiver stay silent, and
+        # registry words in comments don't count as registration.
+        self.assert_fixture("unregistered_counter.cc")
+
 
 class LockOrderTests(unittest.TestCase):
     def test_order_mismatch_reported(self):
@@ -111,6 +117,14 @@ class LockOrderTests(unittest.TestCase):
 
 
 class CleanRunTests(unittest.TestCase):
+    def test_registered_counter_file_is_trusted(self):
+        # A registerMetrics reference in code trusts the whole file.
+        path = os.path.join(FIXTURES, "registered_counter.cc")
+        proc = run_lint("--no-lock-order", path)
+        self.assertEqual(proc.returncode, 0,
+                         f"{proc.stdout}{proc.stderr}")
+        self.assertEqual(findings_of(proc.stdout), set())
+
     def test_clean_file_exits_zero(self):
         header = os.path.join(
             ROOT, "src", "common", "thread_annotations.hh")

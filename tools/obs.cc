@@ -1,0 +1,359 @@
+/**
+ * @file
+ * `obs` — inspect the metrics snapshots the benches and examples dump
+ * via HICAMP_OBS_METRICS (src/obs/export.cc, DESIGN.md §9).
+ *
+ * Usage:
+ *   obs show  A.json             print one snapshot as a table
+ *   obs diff  A.json B.json      per-counter delta B - A (clamped at
+ *                                zero, like obs::delta); gauges show
+ *                                the B value
+ *
+ * The parser handles exactly the JSON subset toJson() emits (objects,
+ * strings, unsigned integers, arrays) plus whitespace — enough to
+ * also read the `metrics` sub-objects inside BENCH_*.json rows when
+ * they are extracted into a file. Exit status: 0 on success, 1 on a
+ * parse/IO error, and for `diff` 2 when any counter went backwards
+ * (a phase-reset bug: cumulative counters must never decrease).
+ */
+
+#include <cctype>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+/** One parsed snapshot: flat name -> value maps per section. */
+struct Snapshot {
+    std::string registry;
+    std::map<std::string, unsigned long long> counters;
+    std::map<std::string, unsigned long long> gauges;
+    // Histograms reduced to their count/sum scalars for display.
+    std::map<std::string, unsigned long long> histCounts;
+    std::map<std::string, unsigned long long> histSums;
+};
+
+/**
+ * Minimal recursive-descent parser over the exporter's JSON subset.
+ * Numbers are unsigned integers (the registry only holds uint64);
+ * anything else is a parse error with a byte offset.
+ */
+class Parser
+{
+  public:
+    explicit Parser(std::string text) : text_(std::move(text)) {}
+
+    bool
+    parse(Snapshot &out, std::string &err)
+    {
+        try {
+            skipWs();
+            expect('{');
+            bool first = true;
+            while (!peekIs('}')) {
+                if (!first)
+                    expect(',');
+                first = false;
+                std::string key = parseString();
+                skipWs();
+                expect(':');
+                if (key == "registry") {
+                    out.registry = parseString();
+                } else if (key == "counters") {
+                    parseScalarMap(out.counters);
+                } else if (key == "gauges") {
+                    parseScalarMap(out.gauges);
+                } else if (key == "histograms") {
+                    parseHistograms(out);
+                } else {
+                    skipValue();
+                }
+                skipWs();
+            }
+            expect('}');
+            return true;
+        } catch (const std::exception &e) {
+            std::ostringstream os;
+            os << e.what() << " at byte " << pos_;
+            err = os.str();
+            return false;
+        }
+    }
+
+  private:
+    [[noreturn]] void
+    fail(const char *what)
+    {
+        throw std::runtime_error(what);
+    }
+
+    void
+    skipWs()
+    {
+        while (pos_ < text_.size() &&
+               std::isspace(static_cast<unsigned char>(text_[pos_])))
+            ++pos_;
+    }
+
+    bool
+    peekIs(char c)
+    {
+        skipWs();
+        return pos_ < text_.size() && text_[pos_] == c;
+    }
+
+    void
+    expect(char c)
+    {
+        skipWs();
+        if (pos_ >= text_.size() || text_[pos_] != c)
+            fail("unexpected character");
+        ++pos_;
+    }
+
+    std::string
+    parseString()
+    {
+        expect('"');
+        std::string s;
+        while (pos_ < text_.size() && text_[pos_] != '"') {
+            char ch = text_[pos_++];
+            if (ch == '\\') {
+                if (pos_ >= text_.size())
+                    fail("dangling escape");
+                char e = text_[pos_++];
+                switch (e) {
+                  case '"': s += '"'; break;
+                  case '\\': s += '\\'; break;
+                  case 'n': s += '\n'; break;
+                  case 't': s += '\t'; break;
+                  case 'u':
+                    // The exporter only emits \u00xx for control
+                    // bytes; decode the low byte, skip the 4 digits.
+                    if (pos_ + 4 > text_.size())
+                        fail("short \\u escape");
+                    s += static_cast<char>(std::stoi(
+                        text_.substr(pos_ + 2, 2), nullptr, 16));
+                    pos_ += 4;
+                    break;
+                  default: fail("unknown escape");
+                }
+            } else {
+                s += ch;
+            }
+        }
+        expect('"');
+        return s;
+    }
+
+    unsigned long long
+    parseUInt()
+    {
+        skipWs();
+        if (pos_ >= text_.size() ||
+            !std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            fail("expected unsigned integer");
+        unsigned long long v = 0;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_])))
+            v = v * 10 + static_cast<unsigned long long>(
+                             text_[pos_++] - '0');
+        return v;
+    }
+
+    void
+    parseScalarMap(std::map<std::string, unsigned long long> &out)
+    {
+        expect('{');
+        bool first = true;
+        while (!peekIs('}')) {
+            if (!first)
+                expect(',');
+            first = false;
+            std::string key = parseString();
+            expect(':');
+            out[key] = parseUInt();
+        }
+        expect('}');
+    }
+
+    void
+    parseHistograms(Snapshot &out)
+    {
+        expect('{');
+        bool first = true;
+        while (!peekIs('}')) {
+            if (!first)
+                expect(',');
+            first = false;
+            std::string name = parseString();
+            expect(':');
+            std::map<std::string, unsigned long long> h;
+            expect('{');
+            bool hfirst = true;
+            while (!peekIs('}')) {
+                if (!hfirst)
+                    expect(',');
+                hfirst = false;
+                std::string key = parseString();
+                expect(':');
+                if (key == "buckets") {
+                    expect('[');
+                    while (!peekIs(']')) {
+                        parseUInt();
+                        if (peekIs(','))
+                            expect(',');
+                    }
+                    expect(']');
+                } else {
+                    h[key] = parseUInt();
+                }
+            }
+            expect('}');
+            out.histCounts[name] = h["count"];
+            out.histSums[name] = h["sum"];
+        }
+        expect('}');
+    }
+
+    /** Skip any value of an unknown key (forward compatibility). */
+    void
+    skipValue()
+    {
+        skipWs();
+        if (pos_ >= text_.size())
+            fail("truncated value");
+        char c = text_[pos_];
+        if (c == '"') {
+            parseString();
+        } else if (c == '{' || c == '[') {
+            char close = c == '{' ? '}' : ']';
+            expect(c);
+            while (!peekIs(close)) {
+                skipValue();
+                if (peekIs(','))
+                    expect(',');
+                else if (peekIs(':'))
+                    expect(':');
+            }
+            expect(close);
+        } else {
+            parseUInt();
+        }
+    }
+
+    std::string text_;
+    std::size_t pos_ = 0;
+};
+
+bool
+load(const char *path, Snapshot &out)
+{
+    std::ifstream f(path);
+    if (!f) {
+        std::fprintf(stderr, "obs: cannot read %s\n", path);
+        return false;
+    }
+    std::ostringstream buf;
+    buf << f.rdbuf();
+    std::string err;
+    if (!Parser(buf.str()).parse(out, err)) {
+        std::fprintf(stderr, "obs: %s: %s\n", path, err.c_str());
+        return false;
+    }
+    return true;
+}
+
+void
+printSection(const char *title,
+             const std::map<std::string, unsigned long long> &m)
+{
+    if (m.empty())
+        return;
+    std::printf("%s:\n", title);
+    for (const auto &[name, v] : m)
+        std::printf("  %-40s %llu\n", name.c_str(), v);
+}
+
+int
+cmdShow(const char *path)
+{
+    Snapshot s;
+    if (!load(path, s))
+        return 1;
+    std::printf("registry: %s\n", s.registry.c_str());
+    printSection("counters", s.counters);
+    printSection("gauges", s.gauges);
+    if (!s.histCounts.empty()) {
+        std::printf("histograms:\n");
+        for (const auto &[name, cnt] : s.histCounts) {
+            unsigned long long sum = s.histSums.at(name);
+            std::printf("  %-40s count %llu, sum %llu, mean %.2f\n",
+                        name.c_str(), cnt, sum,
+                        cnt ? static_cast<double>(sum) /
+                                  static_cast<double>(cnt)
+                            : 0.0);
+        }
+    }
+    return 0;
+}
+
+int
+cmdDiff(const char *path_a, const char *path_b)
+{
+    Snapshot a, b;
+    if (!load(path_a, a) || !load(path_b, b))
+        return 1;
+    int went_backwards = 0;
+    std::printf("diff %s -> %s\n", path_a, path_b);
+    std::printf("counters (delta):\n");
+    for (const auto &[name, after] : b.counters) {
+        auto it = a.counters.find(name);
+        unsigned long long before = it == a.counters.end() ? 0
+                                                           : it->second;
+        if (after < before) {
+            // Cumulative counters must never decrease between two
+            // dumps of the same process; a drop means someone reset
+            // mid-run.
+            std::printf("  %-40s WENT BACKWARDS (%llu -> %llu)\n",
+                        name.c_str(), before, after);
+            went_backwards = 1;
+        } else if (after != before) {
+            std::printf("  %-40s +%llu\n", name.c_str(), after - before);
+        }
+    }
+    for (const auto &[name, before] : a.counters) {
+        if (b.counters.find(name) == b.counters.end())
+            std::printf("  %-40s (dropped, was %llu)\n", name.c_str(),
+                        before);
+    }
+    std::printf("gauges (value in %s):\n", path_b);
+    for (const auto &[name, after] : b.gauges)
+        std::printf("  %-40s %llu\n", name.c_str(), after);
+    return went_backwards ? 2 : 0;
+}
+
+void
+usage()
+{
+    std::fprintf(stderr, "usage: obs show A.json | obs diff A.json "
+                         "B.json\n");
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc == 3 && std::strcmp(argv[1], "show") == 0)
+        return cmdShow(argv[2]);
+    if (argc == 4 && std::strcmp(argv[1], "diff") == 0)
+        return cmdDiff(argv[2], argv[3]);
+    usage();
+    return 1;
+}

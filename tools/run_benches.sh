@@ -1,32 +1,49 @@
 #!/usr/bin/env bash
-# Run the benchmark suite and aggregate the results at the repo root.
+# Run the benchmark suite and aggregate the results.
 #
-# Usage: tools/run_benches.sh [--quick] [--build-dir DIR]
+# Usage: tools/run_benches.sh [--quick] [--build-dir DIR] [--out-dir DIR]
 #
 #   --quick      smoke-sized runs (CI); full sweeps otherwise
 #   --build-dir  build tree holding bench/ binaries (default: build)
+#   --out-dir    where logs and BENCH_*.json land (default: repo root)
 #
-# Every bench's stdout is captured under bench-logs/, bench_mt_scaling
-# writes BENCH_mt_scaling.json itself, and a BENCH_summary.json with
-# per-bench pass/fail status is emitted at the repo root.
+# Every bench's stdout is captured under $out_dir/bench-logs/,
+# bench_mt_scaling writes BENCH_mt_scaling.json itself, and a
+# BENCH_summary.json with per-bench pass/fail status is emitted.
+#
+# A bench fails if its process exits non-zero OR its output contains a
+# FAIL verdict row: benches with internal self-checks print
+# "SELFCHECK ... FAIL" / table rows marked FAIL, and a verdict that
+# only lives in the log must still fail the suite.
 
 set -u
 
 quick=0
 build_dir=build
+out_dir=""
 while [ $# -gt 0 ]; do
     case "$1" in
       --quick) quick=1 ;;
       --build-dir) shift; build_dir=$1 ;;
+      --out-dir) shift; out_dir=$1 ;;
       *) echo "unknown argument: $1" >&2; exit 2 ;;
     esac
     shift
 done
 
 root=$(cd "$(dirname "$0")/.." && pwd)
-cd "$root"
-logs=bench-logs
+case "$build_dir" in
+  /*) ;;
+  *) build_dir="$root/$build_dir" ;;
+esac
+if [ -z "$out_dir" ]; then
+    out_dir=$root
+fi
+mkdir -p "$out_dir"
+out_dir=$(cd "$out_dir" && pwd)
+logs="$out_dir/bench-logs"
 mkdir -p "$logs"
+cd "$out_dir"
 
 benches=(
     bench_sec511_concurrency
@@ -42,7 +59,12 @@ benches=(
 )
 
 declare -A status
-failed=0
+
+# A FAIL verdict is a whole word so e.g. "FAILOVER" in a workload name
+# can't trip it; benches print verdicts as "... FAIL" table cells.
+log_has_fail_verdict() {
+    grep -Eq '(^|[^A-Za-z0-9_])FAIL([^A-Za-z0-9_]|$)' "$1"
+}
 
 run_one() {
     local name=$1; shift
@@ -50,16 +72,19 @@ run_one() {
     if [ ! -x "$bin" ]; then
         echo "-- $name: MISSING ($bin not built)"
         status[$name]=missing
-        failed=1
         return
     fi
     echo "-- $name"
     if "$bin" "$@" > "$logs/$name.log" 2>&1; then
-        status[$name]=ok
+        if log_has_fail_verdict "$logs/$name.log"; then
+            echo "   FAIL verdict in output (see $logs/$name.log)"
+            status[$name]=verdict-failed
+        else
+            status[$name]=ok
+        fi
     else
         echo "   FAILED (see $logs/$name.log)"
         status[$name]=failed
-        failed=1
     fi
 }
 
@@ -69,9 +94,9 @@ done
 
 # The multi-threaded scaling bench owns its JSON trajectory file.
 if [ "$quick" = 1 ]; then
-    run_one bench_mt_scaling --smoke --json BENCH_mt_scaling.json
+    run_one bench_mt_scaling --smoke --json "$out_dir/BENCH_mt_scaling.json"
 else
-    run_one bench_mt_scaling --json BENCH_mt_scaling.json
+    run_one bench_mt_scaling --json "$out_dir/BENCH_mt_scaling.json"
 fi
 
 {
@@ -87,17 +112,21 @@ fi
     done
     echo '  }'
     echo '}'
-} > BENCH_summary.json
+} > "$out_dir/BENCH_summary.json"
 
+# The exit code is derived from the summary table itself: any row that
+# prints FAIL or MISS below must fail the suite — the table and the
+# exit status can never disagree again.
+failed=0
 echo
 echo "== bench summary =="
 for b in "${benches[@]}" bench_mt_scaling; do
     case "${status[$b]}" in
       ok)      printf '   PASS  %s\n' "$b" ;;
-      missing) printf '   MISS  %s\n' "$b" ;;
-      *)       printf '   FAIL  %s\n' "$b" ;;
+      missing) printf '   MISS  %s\n' "$b"; failed=1 ;;
+      *)       printf '   FAIL  %s\n' "$b"; failed=1 ;;
     esac
 done
 echo
-echo "wrote BENCH_summary.json ($([ "$failed" = 0 ] && echo all green || echo FAILURES))"
+echo "wrote $out_dir/BENCH_summary.json ($([ "$failed" = 0 ] && echo all green || echo FAILURES))"
 exit "$failed"
