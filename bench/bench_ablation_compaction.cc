@@ -126,7 +126,7 @@ signatureQuality()
             Line l = mem.makeLine();
             l.set(0, v);
             l.set(1, v * 2654435761ull);
-            mem.lookup(l);
+            (void)mem.lookup(l);
         }
         double occupancy =
             static_cast<double>(n) /

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Reference-ownership annotations for the HICAMP refcount discipline
+ * (DESIGN.md §10).
+ *
+ * Every PLID value held by the model owns one reference (mem/memory.hh
+ * header comment); the vocabulary below makes each function's share of
+ * that contract machine-readable, the same way thread_annotations.hh
+ * made the §7 lock protocol machine-readable for clang's TSA:
+ *
+ *  - `HICAMP_RETURNS_REF` (on a function): the returned Plid / Entry /
+ *    SegDesc owns one fresh reference the caller must release or
+ *    transfer. Carries [[nodiscard]], so silently dropping the handle
+ *    is a compile error everywhere.
+ *  - `HICAMP_CONSUMES_REF` (on a parameter): the callee takes over the
+ *    caller's reference(s) in the argument — on *every* path,
+ *    including failure (the repo-wide consume-on-failure rule).
+ *  - `HICAMP_BORROWS_REF` (on a parameter): the callee uses the
+ *    reference but ownership stays with the caller.
+ *  - `HICAMP_ACQUIRES_REF` (on a function): acquires one reference on
+ *    the passed-in PLID/entry on behalf of the caller (incRef-shaped;
+ *    the result, if any, is a convenience copy of the argument).
+ *  - `HICAMP_RELEASES_REF` (on a function): releases one
+ *    caller-owned reference of the argument (decRef-shaped).
+ *  - `HICAMP_REF_PRIMITIVE` (on a function): this function *is* part
+ *    of the refcount machinery (Memory / LineStore internals); its
+ *    body defines the semantics rather than using them, and the
+ *    static checker skips it.
+ *
+ * `tools/analyze/refcount_check.py` reads these annotations (by macro
+ * name, so the checker works under any compiler) and walks the CFG of
+ * every function touching Plid references, reporting leak-on-early-
+ * return, double-release, use-after-release and missing
+ * consume-on-failure. Under clang the macros additionally expand to
+ * [[clang::annotate]] attributes, so AST-level tooling sees the same
+ * vocabulary.
+ *
+ * The RAII layer making most manual calls unnecessary lives in
+ * mem/plid_ref.hh (PlidRef) and seg/entry_ref.hh (EntryRef /
+ * OwnedEntries).
+ */
+
+#ifndef HICAMP_COMMON_OWNERSHIP_HH
+#define HICAMP_COMMON_OWNERSHIP_HH
+
+#if defined(__clang__) && defined(__has_cpp_attribute)
+#if __has_cpp_attribute(clang::annotate)
+#define HICAMP_REF_ANNOTATE(x) [[clang::annotate(x)]]
+#endif
+#endif
+#ifndef HICAMP_REF_ANNOTATE
+#define HICAMP_REF_ANNOTATE(x) // ownership annotations: clang only
+#endif
+
+/** Returned value owns one reference; dropping it is a leak. */
+#define HICAMP_RETURNS_REF                                                  \
+    [[nodiscard("returned value owns a line reference; release or "         \
+                "transfer it")]]                                            \
+    HICAMP_REF_ANNOTATE("hicamp::returns_ref")
+
+/** Parameter: callee consumes the reference(s), even on failure. */
+#define HICAMP_CONSUMES_REF HICAMP_REF_ANNOTATE("hicamp::consumes_ref")
+
+/** Parameter: callee borrows; the caller keeps ownership. */
+#define HICAMP_BORROWS_REF HICAMP_REF_ANNOTATE("hicamp::borrows_ref")
+
+/** Function acquires one reference on its argument for the caller. */
+#define HICAMP_ACQUIRES_REF HICAMP_REF_ANNOTATE("hicamp::acquires_ref")
+
+/** Function releases one caller-owned reference of its argument. */
+#define HICAMP_RELEASES_REF HICAMP_REF_ANNOTATE("hicamp::releases_ref")
+
+/** Function is refcount machinery; the static checker skips its body. */
+#define HICAMP_REF_PRIMITIVE HICAMP_REF_ANNOTATE("hicamp::ref_primitive")
+
+#endif // HICAMP_COMMON_OWNERSHIP_HH

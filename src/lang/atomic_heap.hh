@@ -14,6 +14,7 @@
 #define HICAMP_LANG_ATOMIC_HEAP_HH
 
 #include "lang/hstring.hh"
+#include "mem/plid_ref.hh"
 #include "seg/iterator.hh"
 
 namespace hicamp {
@@ -69,9 +70,14 @@ class AtomicHeap
             // hicamp-lint: retain-ok(ref transfers into the boxed
             // slot; commit keeps it, rollback releases the buffer)
             SegBuilder(heap_.hc_.mem).retain(value.desc().root);
-            Plid box = heap_.hc_.boxSegment(value.desc());
+            // The handle owns the boxed value until the write buffer
+            // takes it over: seek() can grow the working tree and
+            // throw under memory pressure, which used to leak the
+            // box's reference.
+            PlidRef box = PlidRef::adopt(heap_.hc_.mem,
+                                         heap_.hc_.boxSegment(value.desc()));
             it_.seek(i);
-            it_.write(box, WordMeta::plid());
+            it_.write(box.release(), WordMeta::plid());
         }
 
         /** Clear slot @p i (buffered). */

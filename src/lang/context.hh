@@ -12,6 +12,7 @@
 #include <functional>
 #include <utility>
 
+#include "common/ownership.hh"
 #include "mem/memory.hh"
 #include "seg/builder.hh"
 #include "seg/iterator.hh"
@@ -58,8 +59,8 @@ class Hicamp
      *
      * Consumes one reference of @p d's root (the box line owns it).
      */
-    Plid
-    boxSegment(const SegDesc &d)
+    HICAMP_RETURNS_REF Plid
+    boxSegment(HICAMP_CONSUMES_REF const SegDesc &d)
     {
         Line box = mem.makeLine();
         box.set(0, d.root.word, d.root.meta);
@@ -73,7 +74,8 @@ class Hicamp
      * reference); retain it to keep it across the box's life.
      */
     SegDesc
-    unboxSegment(Plid box_plid, DramCat cat = DramCat::Read)
+    unboxSegment(HICAMP_BORROWS_REF Plid box_plid,
+                 DramCat cat = DramCat::Read)
     {
         Line box = mem.readLine(box_plid, cat);
         SegDesc d;

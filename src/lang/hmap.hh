@@ -22,6 +22,7 @@
 
 #include "common/backoff.hh"
 #include "lang/hstring.hh"
+#include "mem/plid_ref.hh"
 #include "seg/iterator.hh"
 
 namespace hicamp {
@@ -279,26 +280,25 @@ class HMap
      * Build the pinned entry for (key, value): a line holding the
      * boxed key and boxed value descriptors. Returns an owned PLID.
      */
-    Plid
+    HICAMP_RETURNS_REF Plid
     makePair(const HString &key, const HString &value)
     {
         SegBuilder b(hc_.mem);
         // Retain each root just before boxing it: boxSegment consumes
         // the reference even when it throws, so this ordering keeps a
-        // failed pair build leak-free.
+        // failed pair build leak-free (the key-box handle unwinds if
+        // boxing the value fails).
         b.retain(key.desc().root);
-        Plid kb = hc_.boxSegment(key.desc());
+        PlidRef kb = PlidRef::adopt(hc_.mem, hc_.boxSegment(key.desc()));
         b.retain(value.desc().root);
-        Plid vb;
-        try {
-            vb = hc_.boxSegment(value.desc());
-        } catch (const MemPressureError &) {
-            hc_.mem.decRef(kb);
-            throw;
-        }
+        PlidRef vb =
+            PlidRef::adopt(hc_.mem, hc_.boxSegment(value.desc()));
         Line pair = hc_.mem.makeLine();
-        pair.set(0, kb, WordMeta::plid());
-        pair.set(1, vb, WordMeta::plid());
+        // internLine consumes the boxes' references on every path —
+        // including its own failure — so both handles disown into the
+        // line words before the call.
+        pair.set(0, kb.release(), WordMeta::plid());
+        pair.set(1, vb.release(), WordMeta::plid());
         return hc_.mem.internLine(pair);
     }
 

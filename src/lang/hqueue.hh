@@ -30,6 +30,7 @@
 
 #include "common/backoff.hh"
 #include "lang/hstring.hh"
+#include "mem/plid_ref.hh"
 #include "seg/iterator.hh"
 
 namespace hicamp {
@@ -61,11 +62,16 @@ class HQueue
                 // hicamp-lint: retain-ok(ref transfers into the boxed
                 // slot; commit keeps it, rollback releases the buffer)
                 SegBuilder(hc_.mem).retain(value.desc().root);
-                Plid box = hc_.boxSegment(value.desc());
+                // The handle owns the boxed value until the write
+                // buffer takes it over: seek() can grow the working
+                // tree and throw under memory pressure, which used to
+                // leak the box's reference.
+                PlidRef box =
+                    PlidRef::adopt(hc_.mem, hc_.boxSegment(value.desc()));
                 Word tail = it.read();
                 it.write(tail + 1);
                 it.seek(2 + tail);
-                it.write(box, WordMeta::plid());
+                it.write(box.release(), WordMeta::plid());
                 if (it.tryCommit())
                     return;
                 st = it.lastCommitStatus();

@@ -32,7 +32,7 @@ class HString
 
     /** Adopt an already-owned descriptor. */
     static HString
-    adopt(Hicamp &hc, const SegDesc &d)
+    adopt(Hicamp &hc, HICAMP_CONSUMES_REF const SegDesc &d)
     {
         HString s(hc);
         s.desc_ = d;
@@ -116,7 +116,7 @@ class HString
     }
 
   private:
-    void
+    HICAMP_ACQUIRES_REF void
     retain()
     {
         if (hc_)
@@ -125,7 +125,7 @@ class HString
             SegBuilder(hc_->mem).retain(desc_.root);
     }
 
-    void
+    HICAMP_RELEASES_REF void
     release()
     {
         if (hc_)

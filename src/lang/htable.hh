@@ -22,6 +22,7 @@
 
 #include "common/backoff.hh"
 #include "lang/hstring.hh"
+#include "mem/plid_ref.hh"
 #include "seg/iterator.hh"
 
 namespace hicamp {
@@ -106,11 +107,17 @@ class HTable
             try {
                 it.load(vsid_, 0);
                 SegBuilder(hc_.mem).retain(row.desc().root);
-                Plid box = hc_.boxSegment(row.desc());
+                // The handle owns the boxed row until the write buffer
+                // takes it over: seek() can grow the working tree and
+                // throw under memory pressure, which used to leak the
+                // box's reference (the abort below only releases
+                // buffer-owned words).
+                PlidRef box =
+                    PlidRef::adopt(hc_.mem, hc_.boxSegment(row.desc()));
                 std::uint64_t id = it.read(); // word 0: row count
                 it.write(id + 1);
                 it.seek(1 + id);
-                it.write(box, WordMeta::plid());
+                it.write(box.release(), WordMeta::plid());
                 if (it.tryCommit())
                     return id;
                 st = it.lastCommitStatus();

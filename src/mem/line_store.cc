@@ -170,7 +170,7 @@ LineStore::find(const Line &content) const
     return findImpl(content, hash);
 }
 
-LineStore::FindResult
+HICAMP_REF_PRIMITIVE LineStore::FindResult
 LineStore::findOrInsert(const Line &content, bool take_ref)
 {
     HICAMP_ASSERT(content.size() == lineWords_, "line width mismatch");
@@ -324,7 +324,7 @@ LineStore::refCount(Plid plid) const
     return refs_[slotOf(plid)].load(std::memory_order_relaxed);
 }
 
-std::uint32_t
+HICAMP_REF_PRIMITIVE std::uint32_t
 LineStore::adjustRef(std::atomic<std::uint32_t> &r, std::int32_t delta)
 {
     std::uint32_t cur = r.load(std::memory_order_relaxed);
@@ -355,7 +355,7 @@ LineStore::adjustRef(std::atomic<std::uint32_t> &r, std::int32_t delta)
     }
 }
 
-bool
+HICAMP_REF_PRIMITIVE bool
 LineStore::tryAcquireRef(std::atomic<std::uint32_t> &r)
 {
     std::uint32_t cur = r.load(std::memory_order_relaxed);
@@ -374,7 +374,7 @@ LineStore::tryAcquireRef(std::atomic<std::uint32_t> &r)
     }
 }
 
-std::uint32_t
+HICAMP_REF_PRIMITIVE std::uint32_t
 LineStore::addRef(Plid plid, std::int32_t delta)
 {
     HICAMP_DEBUG_ASSERT(plid != kZeroPlid, "refcounting the zero line");
@@ -392,7 +392,7 @@ LineStore::addRef(Plid plid, std::int32_t delta)
     return adjustRef(refs_[slot], delta);
 }
 
-bool
+HICAMP_REF_PRIMITIVE bool
 LineStore::incRefIfLive(Plid plid)
 {
     if (plid == kZeroPlid)
@@ -422,7 +422,7 @@ LineStore::incRefIfLive(Plid plid)
     return tryAcquireRef(refs_[slot]);
 }
 
-void
+HICAMP_REF_PRIMITIVE void
 LineStore::saturateRefSlot(std::atomic<std::uint32_t> &r)
 {
     std::uint32_t cur = r.load(std::memory_order_relaxed);
@@ -436,7 +436,7 @@ LineStore::saturateRefSlot(std::atomic<std::uint32_t> &r)
     }
 }
 
-void
+HICAMP_REF_PRIMITIVE void
 LineStore::saturateRef(Plid plid)
 {
     HICAMP_DEBUG_ASSERT(plid != kZeroPlid, "refcounting the zero line");
@@ -475,7 +475,7 @@ LineStore::tryReserveOverflow()
     return false;
 }
 
-std::optional<LineStore::Retired>
+HICAMP_REF_PRIMITIVE std::optional<LineStore::Retired>
 LineStore::retire(Plid plid)
 {
     HICAMP_ASSERT(plid != kZeroPlid, "freeing the zero line");
@@ -536,7 +536,7 @@ LineStore::retire(Plid plid)
     return out;
 }
 
-void
+HICAMP_REF_PRIMITIVE void
 LineStore::freeLine(Plid plid)
 {
     auto retired = retire(plid);

@@ -44,6 +44,7 @@
 #include <vector>
 
 #include "common/line.hh"
+#include "common/ownership.hh"
 #include "common/status.hh"
 #include "common/thread_annotations.hh"
 #include "common/types.hh"
@@ -156,7 +157,8 @@ class LineStore
      * carries MemStatus::OutOfMemory, no reference is taken and no
      * state was changed.
      */
-    FindResult findOrInsert(const Line &content, bool take_ref = false)
+    HICAMP_REF_PRIMITIVE FindResult
+    findOrInsert(const Line &content, bool take_ref = false)
         HICAMP_EXCLUDES(stripes_);
 
     /** Probe only; plid==0 in the result if absent. */
@@ -188,7 +190,7 @@ class LineStore
      * once pinned, neither increments nor decrements move the count
      * again and the line is immortal.
      */
-    std::uint32_t addRef(Plid plid, std::int32_t delta)
+    HICAMP_REF_PRIMITIVE std::uint32_t addRef(Plid plid, std::int32_t delta)
         HICAMP_EXCLUDES(stripes_);
 
     /**
@@ -199,7 +201,8 @@ class LineStore
      * false when the count was zero or the line is gone; the caller
      * must then fall back to a locked lookup.
      */
-    bool incRefIfLive(Plid plid) HICAMP_EXCLUDES(stripes_);
+    HICAMP_REF_PRIMITIVE bool incRefIfLive(Plid plid)
+        HICAMP_EXCLUDES(stripes_);
 
     /// @name Finite-capacity model
     /// @{
@@ -214,7 +217,8 @@ class LineStore
     }
 
     /** Pin a line's count at the ceiling (fault injection). */
-    void saturateRef(Plid plid) HICAMP_EXCLUDES(stripes_);
+    HICAMP_REF_PRIMITIVE void saturateRef(Plid plid)
+        HICAMP_EXCLUDES(stripes_);
 
     /** Lines whose counts have saturated (they can never be freed). */
     std::uint64_t
@@ -248,14 +252,16 @@ class LineStore
      * bucket's stripe lock, and findOrInsert(take_ref) re-increments
      * under it.
      */
-    std::optional<Retired> retire(Plid plid) HICAMP_EXCLUDES(stripes_);
+    HICAMP_REF_PRIMITIVE std::optional<Retired> retire(Plid plid)
+        HICAMP_EXCLUDES(stripes_);
 
     /**
      * Free a (zero-refcount) line slot; clears its signature.
      * Asserts the line is live with refcount zero (single-owner
      * teardown paths; concurrent code uses retire()).
      */
-    void freeLine(Plid plid) HICAMP_EXCLUDES(stripes_);
+    HICAMP_REF_PRIMITIVE void freeLine(Plid plid)
+        HICAMP_EXCLUDES(stripes_);
 
     /** Number of live lines (excluding the implicit zero line). */
     std::uint64_t

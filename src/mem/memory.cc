@@ -129,7 +129,7 @@ Memory::rcTouch(Plid plid)
     return countWriteback(a) || touched;
 }
 
-Plid
+HICAMP_REF_PRIMITIVE Plid
 Memory::lookup(const Line &content, bool *was_new)
 {
     auto g = guard();
@@ -137,7 +137,7 @@ Memory::lookup(const Line &content, bool *was_new)
     return lookupImpl(content, was_new);
 }
 
-Plid
+HICAMP_REF_PRIMITIVE Plid
 Memory::lookupImpl(const Line &content, bool *was_new)
 {
     if (was_new)
@@ -258,7 +258,7 @@ Memory::lookupImpl(const Line &content, bool *was_new)
     return res.plid;
 }
 
-Plid
+HICAMP_REF_PRIMITIVE Plid
 Memory::internLine(const Line &content)
 {
     auto g = guard();
@@ -361,7 +361,7 @@ Memory::readLineImpl(Plid plid, DramCat cat)
     return content;
 }
 
-void
+HICAMP_REF_PRIMITIVE void
 Memory::incRef(Plid plid)
 {
     if (plid == kZeroPlid)
@@ -381,7 +381,7 @@ Memory::incRef(Plid plid)
     rcTouch(plid);
 }
 
-bool
+HICAMP_REF_PRIMITIVE bool
 Memory::tryRetain(Plid plid)
 {
     if (plid == kZeroPlid)
@@ -395,7 +395,7 @@ Memory::tryRetain(Plid plid)
     return true;
 }
 
-void
+HICAMP_REF_PRIMITIVE void
 Memory::decRef(Plid plid)
 {
     auto g = guard();
@@ -403,7 +403,7 @@ Memory::decRef(Plid plid)
     decRefImpl(plid);
 }
 
-void
+HICAMP_REF_PRIMITIVE void
 Memory::decRefImpl(Plid plid)
 {
     if (plid == kZeroPlid)
@@ -414,7 +414,7 @@ Memory::decRefImpl(Plid plid)
         reclaim(plid);
 }
 
-void
+HICAMP_REF_PRIMITIVE void
 Memory::reclaim(Plid first)
 {
     // Hardware state machine for recursive deallocation (paper §3.1),

@@ -27,6 +27,7 @@
 #include "common/backoff.hh"
 #include "common/fault.hh"
 #include "common/line.hh"
+#include "common/ownership.hh"
 #include "common/stats.hh"
 #include "common/status.hh"
 #include "common/thread_annotations.hh"
@@ -116,7 +117,8 @@ class Memory
      * reclamation that fires the lineFreed hook, which takes the
      * segment map's mutex (DESIGN.md §7 "hooks run unlocked").
      */
-    Plid lookup(const Line &content, bool *was_new = nullptr)
+    HICAMP_RETURNS_REF Plid lookup(const Line &content,
+                                   bool *was_new = nullptr)
         HICAMP_EXCLUDES(lockrank::vsm);
 
     /**
@@ -134,13 +136,14 @@ class Memory
      * failure path release child references, which can reclaim and
      * fire the lineFreed hook into the segment map (DESIGN.md §7).
      */
-    Plid internLine(const Line &content) HICAMP_EXCLUDES(lockrank::vsm);
+    HICAMP_RETURNS_REF Plid internLine(HICAMP_CONSUMES_REF const Line &content)
+        HICAMP_EXCLUDES(lockrank::vsm);
 
     /** Read a line by PLID through the cache hierarchy. */
     Line readLine(Plid plid, DramCat cat = DramCat::Read);
 
     /** Acquire an additional reference to a line. */
-    void incRef(Plid plid);
+    HICAMP_ACQUIRES_REF void incRef(Plid plid);
 
     /**
      * Conditional reference acquisition: atomically acquire a
@@ -151,7 +154,7 @@ class Memory
      * incRef(), the caller need not already hold a reference proving
      * the line stays live.
      */
-    bool tryRetain(Plid plid);
+    HICAMP_ACQUIRES_REF bool tryRetain(Plid plid);
 
     /**
      * Release one reference; reclaims the line (and recursively its
@@ -163,7 +166,8 @@ class Memory
      * it would self-deadlock. This is the machine-checked form of
      * "never call into release/reclaim while holding mapMutex_".
      */
-    void decRef(Plid plid) HICAMP_EXCLUDES(lockrank::vsm);
+    HICAMP_RELEASES_REF void decRef(Plid plid)
+        HICAMP_EXCLUDES(lockrank::vsm);
 
     /** Current refcount (test/diagnostic use). */
     std::uint32_t refCount(Plid plid) const;
@@ -390,10 +394,12 @@ class Memory
                    : std::unique_lock<std::recursive_mutex>();
     }
 
-    Plid lookupImpl(const Line &content, bool *was_new);
+    HICAMP_REF_PRIMITIVE Plid lookupImpl(const Line &content, bool *was_new);
     Line readLineImpl(Plid plid, DramCat cat);
-    void decRefImpl(Plid plid) HICAMP_EXCLUDES(lockrank::vsm);
-    void reclaim(Plid plid) HICAMP_EXCLUDES(lockrank::vsm);
+    HICAMP_REF_PRIMITIVE void decRefImpl(Plid plid)
+        HICAMP_EXCLUDES(lockrank::vsm);
+    HICAMP_REF_PRIMITIVE void reclaim(Plid plid)
+        HICAMP_EXCLUDES(lockrank::vsm);
     /** Model a line fetch through L1/L2/DRAM, with §3.1 checking. */
     void modelLineFetch(Plid plid, std::uint64_t home,
                         const Line &content, DramCat cat);

@@ -1,0 +1,142 @@
+/**
+ * @file
+ * RAII ownership handle for line references (DESIGN.md §10).
+ *
+ * A PlidRef owns exactly one reference to a line (or nothing). It is
+ * move-only — copying a handle would need a second reference, which is
+ * an explicit `PlidRef::acquire` — and its destructor releases the
+ * reference, so every early return, thrown MemPressureError and
+ * forgotten branch is balanced by construction. The escape hatches for
+ * the residual manual-transfer points are `release()` (give up
+ * ownership, e.g. when a line or container takes the reference over)
+ * and `adopt()` (take over a reference acquired elsewhere); both are
+ * annotated so `tools/analyze/refcount_check.py` tracks the transfer.
+ *
+ * The handle holds a Memory* rather than requiring one per call so a
+ * default-constructed (empty) PlidRef is a valid "no reference" value.
+ */
+
+#ifndef HICAMP_MEM_PLID_REF_HH
+#define HICAMP_MEM_PLID_REF_HH
+
+#include <utility>
+
+#include "common/ownership.hh"
+#include "mem/memory.hh"
+
+namespace hicamp {
+
+class PlidRef
+{
+  public:
+    /** Empty handle: owns nothing. */
+    PlidRef() = default;
+
+    ~PlidRef() { reset(); }
+
+    PlidRef(PlidRef &&o) noexcept
+        : mem_(std::exchange(o.mem_, nullptr)),
+          plid_(std::exchange(o.plid_, kZeroPlid))
+    {
+    }
+
+    PlidRef &
+    operator=(PlidRef &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            mem_ = std::exchange(o.mem_, nullptr);
+            plid_ = std::exchange(o.plid_, kZeroPlid);
+        }
+        return *this;
+    }
+
+    /// One handle = one reference; a second reference is an explicit
+    /// PlidRef::acquire (see tests/compile_fail/plidref_copy.cc).
+    PlidRef(const PlidRef &) = delete;
+    PlidRef &operator=(const PlidRef &) = delete;
+
+    /** Take over a reference the caller already owns (e.g. the result
+     *  of Memory::lookup / internLine / Hicamp::boxSegment). */
+    static PlidRef
+    adopt(Memory &mem, HICAMP_CONSUMES_REF Plid plid)
+    {
+        return PlidRef(&mem, plid);
+    }
+
+    /** Acquire a fresh reference on a PLID the caller can prove live
+     *  (it holds another reference). */
+    static PlidRef
+    acquire(Memory &mem, HICAMP_BORROWS_REF Plid plid)
+    {
+        mem.incRef(plid);
+        return PlidRef(&mem, plid);
+    }
+
+    /** Conditional acquisition through Memory::tryRetain: returns an
+     *  owning handle, or an empty one when the line was unpublished or
+     *  mid-reclamation (the caller must fall back or retry). */
+    static PlidRef
+    tryAcquire(Memory &mem, Plid plid)
+    {
+        if (!mem.tryRetain(plid))
+            return PlidRef();
+        return PlidRef(&mem, plid);
+    }
+
+    /** Lookup-by-content, owning the fresh reference.
+     *  @throws MemPressureError like Memory::lookup. */
+    static PlidRef
+    lookup(Memory &mem, const Line &content, bool *was_new = nullptr)
+    {
+        return PlidRef(&mem, mem.lookup(content, was_new));
+    }
+
+    /** Dedup-aware interning (Memory::internLine): consumes the child
+     *  references inside @p content, owns the result. */
+    static PlidRef
+    intern(Memory &mem, HICAMP_CONSUMES_REF const Line &content)
+    {
+        return PlidRef(&mem, mem.internLine(content));
+    }
+
+    /** The referenced PLID (kZeroPlid when empty); ownership stays
+     *  with the handle. */
+    HICAMP_BORROWS_REF Plid get() const { return plid_; }
+
+    /** True when the handle owns a reference to a nonzero line. */
+    explicit operator bool() const
+    {
+        return mem_ != nullptr && plid_ != kZeroPlid;
+    }
+
+    /** Give up ownership: the caller (or whatever structure it hands
+     *  the PLID to) now owns the reference. The handle is empty
+     *  afterwards. */
+    HICAMP_RETURNS_REF Plid
+    release()
+    {
+        mem_ = nullptr;
+        return std::exchange(plid_, kZeroPlid);
+    }
+
+    /** Release the owned reference now (no-op when empty). */
+    void
+    reset()
+    {
+        Memory *m = std::exchange(mem_, nullptr);
+        Plid p = std::exchange(plid_, kZeroPlid);
+        if (m != nullptr)
+            m->decRef(p);
+    }
+
+  private:
+    PlidRef(Memory *mem, Plid plid) : mem_(mem), plid_(plid) {}
+
+    Memory *mem_ = nullptr;
+    Plid plid_ = kZeroPlid;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_MEM_PLID_REF_HH

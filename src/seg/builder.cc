@@ -6,6 +6,7 @@
 #include "common/backoff.hh"
 #include "common/logging.hh"
 #include "common/status.hh"
+#include "seg/entry_ref.hh"
 
 namespace hicamp {
 
@@ -159,30 +160,26 @@ SegBuilder::build(const Word *words, const WordMeta *metas,
         return makeLeaf(w, m);
     }
     const std::uint64_t cw = geo_.wordsCovered(h - 1);
-    Entry kids[kMaxLineWords];
+    // Consume-on-failure: the guard owns the subtrees already built,
+    // so an unwinding sub-build (which released its own input range)
+    // only leaves the un-built tail of the span to drop.
+    OwnedEntries kids(*this);
     for (unsigned c = 0; c < F; ++c) {
         const std::uint64_t start = c * cw;
         if (start >= n) {
-            kids[c] = Entry::zero();
+            kids.push(Entry::zero());
             continue;
         }
         const std::uint64_t len = std::min(cw, n - start);
         try {
-            kids[c] = build(words + start, metas + start, len, h - 1);
+            kids.push(build(words + start, metas + start, len, h - 1));
         } catch (const MemPressureError &) {
-            // Consume-on-failure: drop the subtrees already built and
-            // the references of the input words no sub-build consumed
-            // (the failing child released its own range).
-            for (unsigned j = 0; j < c; ++j)
-                release(kids[j]);
-            for (std::uint64_t i = start + len; i < n; ++i) {
-                if (metas[i].isPlid() && words[i] != 0)
-                    mem_.decRef(words[i]);
-            }
+            releaseWords(words + start + len, metas + start + len,
+                         n - (start + len));
             throw;
         }
     }
-    return makeNode(kids, h - 1);
+    return makeNode(kids.disown(), h - 1);
 }
 
 SegDesc

@@ -25,6 +25,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/ownership.hh"
 #include "mem/memory.hh"
 #include "obs/trace.hh"
 #include "seg/entry.hh"
@@ -61,39 +62,48 @@ class SegBuilder
      * Canonical leaf entry over F words. Zero words are normalized to
      * Raw tags. Consumes refs of PLID words; returned entry owns one.
      */
-    Entry makeLeaf(const Word *words, const WordMeta *metas);
+    HICAMP_RETURNS_REF Entry makeLeaf(HICAMP_CONSUMES_REF const Word *words,
+                                      const WordMeta *metas);
 
     /**
      * Canonical interior entry over F child entries at height
      * @p child_height. Consumes child refs; returned entry owns one.
      */
-    Entry makeNode(const Entry *children, int child_height);
+    HICAMP_RETURNS_REF Entry makeNode(
+        HICAMP_CONSUMES_REF const Entry *children, int child_height);
 
     /**
      * Canonical subtree of height @p h over @p n words (zero-padded to
      * coverage). Consumes refs of PLID words.
      */
-    Entry build(const Word *words, const WordMeta *metas, std::uint64_t n,
-                int h);
+    HICAMP_RETURNS_REF Entry build(HICAMP_CONSUMES_REF const Word *words,
+                                   const WordMeta *metas, std::uint64_t n,
+                                   int h);
 
     /** Minimal-height segment over raw bytes. */
-    SegDesc buildBytes(const void *data, std::uint64_t len);
+    HICAMP_RETURNS_REF SegDesc buildBytes(const void *data,
+                                          std::uint64_t len);
 
     /** Minimal-height segment over tagged words. */
-    SegDesc buildWords(const Word *words, const WordMeta *metas,
-                       std::uint64_t n);
+    HICAMP_RETURNS_REF SegDesc
+    buildWords(HICAMP_CONSUMES_REF const Word *words,
+               const WordMeta *metas, std::uint64_t n);
 
     /**
      * Functional single-word update: new canonical root with word
      * @p idx replaced. Borrows @p root; consumes the ref of (w, m) if
      * it is a PLID; the returned entry owns a fresh ref.
      */
-    Entry setWord(const Entry &root, int h, std::uint64_t idx, Word w,
-                  WordMeta m, DramCat cat = DramCat::Read);
+    HICAMP_RETURNS_REF Entry
+    setWord(HICAMP_BORROWS_REF const Entry &root, int h, std::uint64_t idx,
+            HICAMP_CONSUMES_REF Word w, WordMeta m,
+            DramCat cat = DramCat::Read);
 
-    /** Add one owned reference to an entry (no-op for non-PLID). */
-    Entry
-    retain(const Entry &e)
+    /** Add one owned reference to an entry (no-op for non-PLID). The
+     *  result is a convenience copy of @p e carrying the new
+     *  reference; discarding it leaves the reference with @p e. */
+    HICAMP_ACQUIRES_REF Entry
+    retain(HICAMP_BORROWS_REF const Entry &e)
     {
         if (e.meta.isPlid() && e.word != 0) {
             mem_.incRef(e.word);
@@ -107,7 +117,7 @@ class SegBuilder
      * rank-2 (vsm) callers — releasing may cascade into reclamation
      * and the segment map's line-freed hook (DESIGN.md §7).
      */
-    void
+    HICAMP_RELEASES_REF void
     release(const Entry &e) HICAMP_EXCLUDES(lockrank::vsm)
     {
         if (e.meta.isPlid() && e.word != 0) {
@@ -117,10 +127,26 @@ class SegBuilder
     }
 
     /** Release a whole segment descriptor's root reference. */
-    void
+    HICAMP_RELEASES_REF void
     releaseSeg(const SegDesc &d) HICAMP_EXCLUDES(lockrank::vsm)
     {
         release(d.root);
+    }
+
+    /**
+     * Release the references owned by the PLID words of a tagged
+     * span: the rollback of a consuming call that never ran (e.g.
+     * the un-built tail of a failed bulk build).
+     */
+    HICAMP_RELEASES_REF void
+    releaseWords(HICAMP_CONSUMES_REF const Word *words,
+                 const WordMeta *metas, std::uint64_t n)
+        HICAMP_EXCLUDES(lockrank::vsm)
+    {
+        for (std::uint64_t i = 0; i < n; ++i) {
+            if (metas[i].isPlid() && words[i] != 0)
+                mem_.decRef(words[i]);
+        }
     }
 
   private:

@@ -1,0 +1,157 @@
+/**
+ * @file
+ * RAII ownership handles for segment entries (DESIGN.md §10).
+ *
+ * EntryRef is the Entry-level sibling of PlidRef (mem/plid_ref.hh): a
+ * move-only handle owning one reference of a PLID entry (non-PLID
+ * entries carry no reference, so owning one is free). OwnedEntries is
+ * the rollback guard the builder call sites need: makeNode consumes a
+ * whole child array — on every path, including failure — so the guard
+ * owns partially-built children only until `disown()` hands the array
+ * over. Both exist to replace the hand-written `for (j < i)
+ * release(...)` catch blocks in builder/merge/iterator with scoped
+ * ownership the static checker does not have to reason about.
+ */
+
+#ifndef HICAMP_SEG_ENTRY_REF_HH
+#define HICAMP_SEG_ENTRY_REF_HH
+
+#include <utility>
+
+#include "common/ownership.hh"
+#include "seg/builder.hh"
+#include "seg/entry.hh"
+
+namespace hicamp {
+
+/** Move-only owner of one reference of an Entry (via a SegBuilder). */
+class EntryRef
+{
+  public:
+    /** Empty handle: owns the zero entry, i.e. nothing. */
+    EntryRef() = default;
+
+    ~EntryRef() { reset(); }
+
+    EntryRef(EntryRef &&o) noexcept
+        : b_(std::exchange(o.b_, nullptr)), e_(std::exchange(o.e_, Entry{}))
+    {
+    }
+
+    EntryRef &
+    operator=(EntryRef &&o) noexcept
+    {
+        if (this != &o) {
+            reset();
+            b_ = std::exchange(o.b_, nullptr);
+            e_ = std::exchange(o.e_, Entry{});
+        }
+        return *this;
+    }
+
+    EntryRef(const EntryRef &) = delete;
+    EntryRef &operator=(const EntryRef &) = delete;
+
+    /** Take over the reference owned by @p e (e.g. a makeNode result). */
+    static EntryRef
+    adopt(SegBuilder &b, HICAMP_CONSUMES_REF Entry e)
+    {
+        return EntryRef(&b, e);
+    }
+
+    /** Own a fresh reference of @p e; the caller keeps its own. */
+    static EntryRef
+    retain(SegBuilder &b, HICAMP_BORROWS_REF const Entry &e)
+    {
+        return EntryRef(&b, b.retain(e));
+    }
+
+    /** The held entry; ownership stays with the handle. */
+    const Entry &entry() const { return e_; }
+
+    /** True when the handle owns a reference (entry is a PLID). */
+    explicit operator bool() const
+    {
+        return b_ != nullptr && e_.isPlid();
+    }
+
+    /** Give up ownership; the handle is empty afterwards. */
+    HICAMP_RETURNS_REF Entry
+    release()
+    {
+        b_ = nullptr;
+        return std::exchange(e_, Entry{});
+    }
+
+    /** Release the owned reference now (no-op when empty). */
+    void
+    reset()
+    {
+        SegBuilder *b = std::exchange(b_, nullptr);
+        Entry e = std::exchange(e_, Entry{});
+        if (b != nullptr)
+            b->release(e);
+    }
+
+  private:
+    EntryRef(SegBuilder *b, Entry e) : b_(b), e_(e) {}
+
+    SegBuilder *b_ = nullptr;
+    Entry e_;
+};
+
+/**
+ * Scoped owner of up to one line's worth of child entries being
+ * assembled for makeNode/makeLeaf. Push owned entries as they are
+ * produced; `disown()` transfers the whole array to a consuming callee
+ * (makeNode consumes even when it throws, so disown *before* the
+ * call). If the scope unwinds first, the destructor releases whatever
+ * was pushed — the rollback the manual catch blocks used to spell out.
+ */
+class OwnedEntries
+{
+  public:
+    explicit OwnedEntries(SegBuilder &b) : b_(b) {}
+
+    ~OwnedEntries()
+    {
+        for (unsigned i = 0; i < n_; ++i)
+            b_.release(items_[i]);
+    }
+
+    OwnedEntries(const OwnedEntries &) = delete;
+    OwnedEntries &operator=(const OwnedEntries &) = delete;
+
+    /** Append the next child slot, taking over its reference. */
+    void
+    push(HICAMP_CONSUMES_REF Entry e)
+    {
+        HICAMP_ASSERT(n_ < kMaxLineWords, "line slot overflow");
+        items_[n_++] = e;
+    }
+
+    unsigned size() const { return n_; }
+
+    const Entry &operator[](unsigned i) const { return items_[i]; }
+
+    /**
+     * Transfer ownership of all pushed entries to the caller and return
+     * the slot array (zero-padded). Call directly at a consuming call
+     * site: `b.makeNode(kids.disown(), h)`.
+     */
+    HICAMP_RETURNS_REF const Entry *
+    disown()
+    {
+        n_ = 0;
+        return items_;
+    }
+
+  private:
+    SegBuilder &b_;
+    Entry items_[kMaxLineWords] = {};
+    unsigned n_ = 0;
+};
+
+} // namespace hicamp
+
+#endif // HICAMP_SEG_ENTRY_REF_HH

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "seg/entry_ref.hh"
 
 namespace hicamp {
 
@@ -74,15 +75,14 @@ IteratorRegister::growTo(std::uint64_t offset)
     const unsigned F = geo_.fanout();
     while (offset >= coverage()) {
         Entry kids[kMaxLineWords];
-        kids[0] = work_;
+        // makeNode consumes its children on every path, so hand it a
+        // fresh reference and keep the register's own: when the call
+        // unwinds, work_ is still valid.
+        kids[0] = builder_.retain(work_);
         for (unsigned i = 1; i < F; ++i)
             kids[i] = Entry::zero();
-        // Guard reference: a failed makeNode consumes the register's
-        // reference to the working root; the guard takes its place so
-        // the register stays valid when the error propagates.
-        const Entry old = builder_.retain(work_);
         Entry grown = builder_.makeNode(kids, workHeight_);
-        builder_.release(old);
+        builder_.release(work_);
         work_ = grown;
         ++workHeight_;
         pathValid_ = false;
@@ -321,19 +321,13 @@ IteratorRegister::rebuild(const Entry &e, int h, std::uint64_t base)
 
     Entry kids[kMaxLineWords];
     reader_.children(e, h, kids, DramCat::Read);
-    Entry merged[kMaxLineWords];
-    for (unsigned c = 0; c < F; ++c) {
-        try {
-            merged[c] = rebuild(kids[c], h - 1, base + c * (cover / F));
-        } catch (const MemPressureError &) {
-            // Roll back: release the subtrees already rebuilt so a
-            // failed commit leaks nothing (buffers stay intact).
-            for (unsigned j = 0; j < c; ++j)
-                builder_.release(merged[j]);
-            throw;
-        }
-    }
-    return builder_.makeNode(merged, h - 1);
+    // The guard owns the already-rebuilt subtrees, so a child rebuild
+    // unwinding on memory pressure leaks nothing (buffers stay
+    // intact and the caller may retry the commit or abort()).
+    OwnedEntries merged(builder_);
+    for (unsigned c = 0; c < F; ++c)
+        merged.push(rebuild(kids[c], h - 1, base + c * (cover / F)));
+    return builder_.makeNode(merged.disown(), h - 1);
 }
 
 bool
@@ -346,9 +340,10 @@ IteratorRegister::tryCommit(MergeStats *stats)
     if (dirty_.empty() && newByteLen_ == 0)
         return true; // nothing to publish
 
-    Entry new_root;
+    EntryRef new_root;
     try {
-        new_root = rebuild(work_, workHeight_, 0);
+        new_root =
+            EntryRef::adopt(builder_, rebuild(work_, workHeight_, 0));
     } catch (const MemPressureError &e) {
         // rebuild rolled its partial tree back; the write buffers are
         // intact, so the caller may retry the commit or abort().
@@ -358,22 +353,26 @@ IteratorRegister::tryCommit(MergeStats *stats)
     std::uint64_t len = newByteLen_ != 0
                             ? newByteLen_
                             : std::max(snap_.byteLen, maxWrittenEnd_);
-    SegDesc desired{new_root, workHeight_, len};
 
     bool ok;
     try {
         if (vsm_.flags(vsid_) & kSegMergeUpdate) {
-            ok = vsm_.mcas(vsid_, snap_, desired, stats); // consumes root
+            // mcas consumes the proposed root on every path, including
+            // its failure throw, so the handle disowns up front.
+            SegDesc desired{new_root.release(), workHeight_, len};
+            ok = vsm_.mcas(vsid_, snap_, desired, stats);
         } else {
+            SegDesc desired{new_root.entry(), workHeight_, len};
             ok = vsm_.cas(vsid_, snap_, desired);
-            if (!ok)
-                builder_.release(new_root);
+            if (ok)
+                (void)new_root.release(); // the map took the reference
         }
     } catch (const MemPressureError &e) {
-        // mcas consumed the proposed root on its failure path too.
         commitStatus_ = e.status();
         return false;
     }
+    // On the failure paths above, ~EntryRef releases the proposed
+    // root (a lost cas race keeps the handle full).
     if (!ok)
         return false;
 

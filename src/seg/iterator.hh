@@ -22,6 +22,7 @@
 #include <unordered_set>
 #include <vector>
 
+#include "common/ownership.hh"
 #include "seg/builder.hh"
 #include "seg/reader.hh"
 #include "vsm/segment_map.hh"
@@ -67,7 +68,7 @@ class IteratorRegister
      * this register immediately, to others only after tryCommit().
      * Takes ownership of one reference when @p m tags a PLID.
      */
-    void write(Word w, WordMeta m = WordMeta::raw());
+    void write(HICAMP_CONSUMES_REF Word w, WordMeta m = WordMeta::raw());
 
     /**
      * Advance to the next non-null element strictly after the current
@@ -141,7 +142,8 @@ class IteratorRegister
     void descendTo(std::uint64_t idx);
     DirtyLeaf &dirtyLeafFor(std::uint64_t leaf_idx, bool create);
     /** Rebuild the canonical subtree merging dirty leaves; owned result. */
-    Entry rebuild(const Entry &e, int h, std::uint64_t base);
+    HICAMP_RETURNS_REF Entry rebuild(HICAMP_BORROWS_REF const Entry &e,
+                                     int h, std::uint64_t base);
     std::optional<std::uint64_t> mergedNextNonZero(std::uint64_t from);
 
     Memory &mem_;

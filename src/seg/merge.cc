@@ -3,6 +3,7 @@
 #include "common/logging.hh"
 #include "common/status.hh"
 #include "obs/trace.hh"
+#include "seg/entry_ref.hh"
 
 namespace hicamp {
 
@@ -92,26 +93,17 @@ class Merger
         reader_.children(o, h, ok);
         reader_.children(c, h, ck);
         reader_.children(n, h, nk);
-        Entry merged[kMaxLineWords];
+        // The guard owns the merged subtrees until makeNode takes them
+        // over, so both unwind paths — memory pressure mid-merge and a
+        // child-level conflict — roll back by scope exit.
+        OwnedEntries merged(builder_);
         for (unsigned i = 0; i < F; ++i) {
-            std::optional<Entry> m;
-            try {
-                m = merge(ok[i], ck[i], nk[i], h - 1);
-            } catch (const MemPressureError &) {
-                // Memory pressure mid-merge: unwind exactly like a
-                // conflict, then let the commit layer report it.
-                for (unsigned j = 0; j < i; ++j)
-                    builder_.release(merged[j]);
-                throw;
-            }
-            if (!m) {
-                for (unsigned j = 0; j < i; ++j)
-                    builder_.release(merged[j]);
+            std::optional<Entry> m = merge(ok[i], ck[i], nk[i], h - 1);
+            if (!m)
                 return std::nullopt;
-            }
-            merged[i] = *m;
+            merged.push(*m);
         }
-        return builder_.makeNode(merged, h - 1);
+        return builder_.makeNode(merged.disown(), h - 1);
     }
 
   private:

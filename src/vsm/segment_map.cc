@@ -8,6 +8,7 @@
 #include "common/logging.hh"
 #include "common/status.hh"
 #include "obs/trace.hh"
+#include "seg/entry_ref.hh"
 
 namespace hicamp {
 
@@ -329,105 +330,69 @@ bool
 SegmentMap::mcas(Vsid v, const SegDesc &old_base, const SegDesc &desired,
                  MergeStats *stats)
 {
+    // mineRef owns the proposal (mcas consumes `desired` on every
+    // path, including its failure throw); baseRef is empty while
+    // `base` is still the caller's borrowed old_base and owns the
+    // retried snapshots afterwards. Every unwind path below — read-
+    // only, retry exhaustion, memory pressure in a lift or the merge
+    // — rolls back by scope instead of a hand-written release chain.
+    EntryRef mineRef = EntryRef::adopt(builder_, desired.root);
     SegDesc mine = desired;
     SegDesc base = old_base;
-    bool base_retained = false; // first `base` is borrowed from caller
+    EntryRef baseRef;
     CommitRetry retry(mem_.retryPolicy(), &mem_.contention());
 
     for (;;) {
         if (cas(v, base, mine)) {
-            if (base_retained)
-                releaseSnapshot(base);
+            (void)mineRef.release(); // the map took the reference
             return true;
         }
-        if (isReadOnly(v)) {
-            builder_.release(mine.root);
-            if (base_retained)
-                releaseSnapshot(base);
+        if (isReadOnly(v))
             return false;
-        }
         if (!retry.onConflict()) {
             // Retry budget spent under sustained contention: give up
             // cleanly instead of livelocking (consumes the proposal,
             // like every other failure path).
-            builder_.release(mine.root);
-            if (base_retained)
-                releaseSnapshot(base);
             throw MemPressureError(MemStatus::TooManyConflicts,
                                    "merge-update commit retries "
                                    "exhausted");
         }
 
         // Conflict: merge our change (base -> mine) onto the current
-        // content, outside any segment-map critical section. Memory
-        // pressure inside the lifts or the merge unwinds every
-        // reference this attempt took, then rethrows.
+        // content, outside any segment-map critical section. lift()
+        // consumes its input root on every path, so each lifted tree
+        // is adopted as soon as it exists.
         SegDesc cur = snapshot(v);
+        EntryRef curRef = EntryRef::adopt(builder_, cur.root);
         const int H = std::max({base.height, cur.height, mine.height});
-        Entry o, c, n;
-        std::optional<Entry> merged;
-        try {
-            o = lift({builder_.retain(base.root), base.height, 0}, H);
-        } catch (const MemPressureError &) {
-            builder_.release(mine.root);
-            releaseSnapshot(cur);
-            if (base_retained)
-                releaseSnapshot(base);
-            throw;
-        }
-        try {
-            c = lift({builder_.retain(cur.root), cur.height, 0}, H);
-        } catch (const MemPressureError &) {
-            builder_.release(o);
-            builder_.release(mine.root);
-            releaseSnapshot(cur);
-            if (base_retained)
-                releaseSnapshot(base);
-            throw;
-        }
-        try {
-            n = lift({mine.root, mine.height, 0}, H); // consumes mine
-        } catch (const MemPressureError &) {
-            builder_.release(o);
-            builder_.release(c);
-            releaseSnapshot(cur);
-            if (base_retained)
-                releaseSnapshot(base);
-            throw;
-        }
-        try {
-            merged = mergeUpdate(mem_, o, c, n, H, stats);
-        } catch (const MemPressureError &) {
-            builder_.release(o);
-            builder_.release(c);
-            builder_.release(n);
-            releaseSnapshot(cur);
-            if (base_retained)
-                releaseSnapshot(base);
-            throw;
-        }
-        builder_.release(o);
-        builder_.release(n);
+        EntryRef o = EntryRef::adopt(
+            builder_,
+            lift({builder_.retain(base.root), base.height, 0}, H));
+        EntryRef c = EntryRef::adopt(
+            builder_,
+            lift({builder_.retain(cur.root), cur.height, 0}, H));
+        EntryRef n = EntryRef::adopt(
+            builder_, lift({mineRef.release(), mine.height, 0}, H));
+        std::optional<Entry> merged =
+            mergeUpdate(mem_, o.entry(), c.entry(), n.entry(), H, stats);
+        o.reset();
+        n.reset();
 
         if (!merged) {
             ++mergeFailures_;
-            builder_.release(c);
-            releaseSnapshot(cur);
-            if (base_retained)
-                releaseSnapshot(base);
             return false;
         }
         ++mergeCommits_;
 
         // Retry: the merge result becomes our new proposal, with the
-        // current content as its base (paper §3.4 pseudo-code).
-        builder_.release(c);
-        if (base_retained)
-            releaseSnapshot(base);
-        base = cur;
-        base_retained = true;
+        // current content as its base (paper §3.4 pseudo-code); the
+        // snapshot reference moves from curRef into baseRef.
+        mineRef = EntryRef::adopt(builder_, *merged);
         mine = SegDesc{*merged, H,
                        std::max(cur.byteLen, desired.byteLen)};
+        c.reset();
+        base = cur;
+        baseRef = std::move(curRef);
     }
 }
 

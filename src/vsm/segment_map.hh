@@ -36,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/ownership.hh"
 #include "common/thread_annotations.hh"
 #include "seg/builder.hh"
 #include "seg/merge.hh"
@@ -65,7 +66,8 @@ class SegmentMap
      * Create a segment entry. Takes ownership of @p d's root
      * reference (unless @p flags has kSegWeak).
      */
-    Vsid create(const SegDesc &d, std::uint32_t flags = 0)
+    Vsid create(HICAMP_CONSUMES_REF const SegDesc &d,
+                std::uint32_t flags = 0)
         HICAMP_EXCLUDES(mapMutex_);
 
     /**
@@ -93,10 +95,11 @@ class SegmentMap
      * tryRetain revalidation (DESIGN.md §7), sound by protocol rather
      * than by lock.
      */
-    SegDesc snapshot(Vsid v) HICAMP_NO_THREAD_SAFETY_ANALYSIS;
+    HICAMP_RETURNS_REF SegDesc snapshot(Vsid v)
+        HICAMP_NO_THREAD_SAFETY_ANALYSIS;
 
     /** Release a snapshot previously acquired with snapshot(). */
-    void releaseSnapshot(const SegDesc &d);
+    HICAMP_RELEASES_REF void releaseSnapshot(const SegDesc &d);
 
     std::uint32_t flags(Vsid v) const;
     bool isReadOnly(Vsid v) const;
@@ -108,7 +111,8 @@ class SegmentMap
      * true. Otherwise returns false and the caller keeps ownership of
      * @p desired. Rejected (false, no transfer) on read-only entries.
      */
-    bool cas(Vsid v, const SegDesc &expected, const SegDesc &desired)
+    bool cas(Vsid v, HICAMP_BORROWS_REF const SegDesc &expected,
+             const SegDesc &desired)
         HICAMP_EXCLUDES(mapMutex_);
 
     /**
@@ -122,7 +126,8 @@ class SegmentMap
      * retry budget is exhausted (TooManyConflicts) or memory pressure
      * interrupts a merge (OutOfMemory), leaking nothing either way.
      */
-    bool mcas(Vsid v, const SegDesc &old_base, const SegDesc &desired,
+    bool mcas(Vsid v, HICAMP_BORROWS_REF const SegDesc &old_base,
+              HICAMP_CONSUMES_REF const SegDesc &desired,
               MergeStats *stats = nullptr) HICAMP_EXCLUDES(mapMutex_);
 
     /** Delete an entry, releasing its root reference. */
@@ -146,7 +151,8 @@ class SegmentMap
      * common case). Takes ownership of @p d's root; returns an owned
      * entry at height H.
      */
-    Entry lift(const SegDesc &d, int H);
+    HICAMP_RETURNS_REF Entry lift(HICAMP_CONSUMES_REF const SegDesc &d,
+                                  int H);
 
     /// @name Audit support (src/analysis)
     /// @{

@@ -1,0 +1,15 @@
+// Negative compilation: HICAMP_RETURNS_REF carries [[nodiscard]], so
+// silently dropping an owned reference is rejected when unused-result
+// warnings are errors (the flag the harness passes).  Works under
+// both gcc and clang.
+#include "mem/memory.hh"
+
+namespace hicamp {
+
+void
+dropLookupResult(Memory &mem, const Line &l)
+{
+    mem.lookup(l); // ill-formed-by-flags: owned reference discarded
+}
+
+} // namespace hicamp

@@ -1,0 +1,26 @@
+// Positive control for the ownership negative-compilation cases:
+// moving a handle, adopting an owned result, transferring with
+// release(), and explicitly voiding a transfer all compile under the
+// exact flags that reject plidref_copy.cc and discard_returns_ref.cc.
+#include "mem/plid_ref.hh"
+#include "seg/entry_ref.hh"
+
+namespace hicamp {
+
+Plid
+adoptAndTransfer(Memory &mem, const Line &l)
+{
+    PlidRef held = PlidRef::adopt(mem, mem.lookup(l));
+    PlidRef moved = std::move(held); // moves are fine; copies are not
+    return moved.release();
+}
+
+void
+adoptAndRelease(Memory &mem, const Line &l)
+{
+    PlidRef held = PlidRef::lookup(mem, l);
+    held.reset();
+    (void)held.release(); // explicit discard of an empty transfer
+}
+
+} // namespace hicamp

@@ -1,0 +1,16 @@
+// Negative compilation: copying a PlidRef would mint a second owner
+// for a single reference, so the copy operations are deleted — a
+// second reference must be an explicit PlidRef::acquire.  This file
+// must fail to compile under ANY compiler (no TSA needed).
+#include "mem/plid_ref.hh"
+
+namespace hicamp {
+
+PlidRef
+duplicateHandle(PlidRef &held)
+{
+    PlidRef copy = held; // ill-formed: copy constructor is deleted
+    return copy;
+}
+
+} // namespace hicamp

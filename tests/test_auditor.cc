@@ -386,7 +386,7 @@ TEST_F(AuditorDeathTest, ScopedAuditPanicsOnLeak)
             ScopedAudit guard(m, nullptr);
             Line l = m.makeLine();
             l.set(0, 0xdeadull << 32);
-            m.internLine(l); // owned reference dropped on the floor
+            (void)m.internLine(l); // owned reference dropped on the floor
         },
         "heap audit");
 }
@@ -400,7 +400,7 @@ TEST_F(AuditorDeathTest, ExitAuditHookPanicsOnLeak)
             installExitAudit(hc);
             Line l = hc.mem.makeLine();
             l.set(0, 0xdeadull << 32);
-            hc.mem.internLine(l); // owned reference never released
+            (void)hc.mem.internLine(l); // owned reference never released
         },
         "heap audit");
 }

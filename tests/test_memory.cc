@@ -115,7 +115,7 @@ TEST(Memory, LookupTrafficCategories)
 {
     Memory mem(smallCfg());
     mem.resetTraffic();
-    mem.lookup(dataLine(mem, 5));
+    (void)mem.lookup(dataLine(mem, 5));
     // Fresh allocation with cold caches: at least the signature read
     // goes to DRAM in the lookup category; refcount traffic appears in
     // the RC category; nothing lands in plain reads/writes yet.
@@ -132,7 +132,7 @@ TEST(Memory, CachedLookupAvoidsDram)
     mem.resetTraffic();
     // Same content again: the LLC content-search hits; only RC traffic
     // (which itself hits the cached RC line) may occur.
-    mem.lookup(dataLine(mem, 6));
+    (void)mem.lookup(dataLine(mem, 6));
     EXPECT_EQ(mem.dram().lookups(), 0u);
     EXPECT_EQ(mem.dram().reads(), 0u);
 }
@@ -179,7 +179,7 @@ TEST(Memory, SigFalsePositivesAreRare)
 {
     Memory mem(smallCfg());
     for (Word v = 1; v <= 2000; ++v)
-        mem.lookup(dataLine(mem, v));
+        (void)mem.lookup(dataLine(mem, v));
     // 8-bit signatures: expected false-positive rate well under 5%
     // (paper footnote 4). Allow slack for the small store.
     EXPECT_LT(mem.sigFalsePositives(), 2000u / 10);
@@ -210,8 +210,8 @@ TEST(Memory, WordTagsSurviveRoundTrip)
 TEST(Memory, LiveBytesTracksLines)
 {
     Memory mem(smallCfg());
-    mem.lookup(dataLine(mem, 10));
-    mem.lookup(dataLine(mem, 11));
+    (void)mem.lookup(dataLine(mem, 10));
+    (void)mem.lookup(dataLine(mem, 11));
     EXPECT_EQ(mem.liveBytes(), 2u * 16u);
 }
 

@@ -300,7 +300,7 @@ TEST(ObsMemory, EveryStatsFamilyReachableByName)
 {
     Memory mem(obsCfg());
     for (Word t = 1; t <= 32; ++t)
-        mem.lookup(taggedLine(mem, t));
+        (void)mem.lookup(taggedLine(mem, t));
     MetricsSnapshot s = mem.metrics().snapshot();
     EXPECT_EQ(s.registry, "mem");
     // DRAM categories agree with the raw quiescent-point reads.
@@ -346,7 +346,7 @@ TEST(ObsMemory, PhaseDeltaExcludesWarmupWithoutReset)
     // readers). The discipline now is flush + snapshot + delta.
     Memory mem(obsCfg());
     for (Word t = 1; t <= 20; ++t)
-        mem.lookup(taggedLine(mem, t)); // "warmup"
+        (void)mem.lookup(taggedLine(mem, t)); // "warmup"
     std::uint64_t warm_lookups = mem.dram().lookups();
     ASSERT_GT(warm_lookups, 0u);
 
@@ -356,7 +356,7 @@ TEST(ObsMemory, PhaseDeltaExcludesWarmupWithoutReset)
     EXPECT_EQ(before.counter("dram.lookup"), warm_lookups);
 
     for (Word t = 100; t < 110; ++t)
-        mem.lookup(taggedLine(mem, t)); // "measured"
+        (void)mem.lookup(taggedLine(mem, t)); // "measured"
     MetricsSnapshot d = obs::delta(before, mem.metrics().snapshot());
     EXPECT_EQ(d.counter("ops.lookups"), 10u);
     EXPECT_EQ(d.counter("dram.lookup"),

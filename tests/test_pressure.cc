@@ -71,7 +71,7 @@ TEST(Pressure, LiveLineBudgetGivesTypedOom)
     EXPECT_EQ(mem.liveLines(), 4u);
 
     try {
-        mem.lookup(taggedLine(mem, 99));
+        (void)mem.lookup(taggedLine(mem, 99));
         FAIL() << "allocation beyond maxLiveLines must throw";
     } catch (const MemPressureError &e) {
         EXPECT_EQ(e.status(), MemStatus::OutOfMemory);
@@ -218,7 +218,7 @@ TEST(Pressure, BuildRetriesExhaustIntoTypedError)
     fc.allocFailEvery = 1; // every fresh allocation fails
     mem.faults().reconfigure(fc);
     try {
-        builder.buildWords(w.data(), m.data(), w.size());
+        (void)builder.buildWords(w.data(), m.data(), w.size());
         FAIL() << "build under total allocation failure must throw";
     } catch (const MemPressureError &e) {
         EXPECT_EQ(e.status(), MemStatus::OutOfMemory);

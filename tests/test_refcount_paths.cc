@@ -1,0 +1,344 @@
+/**
+ * @file
+ * Ownership-path tests for the RAII reference layer (DESIGN.md §10):
+ * PlidRef / EntryRef / OwnedEntries balance exactly one reference per
+ * handle on every path, and the three historical box-ref leaks
+ * (HTable::insert, HQueue::push, AtomicHeap::Tx::write) stay fixed —
+ * each is pinned by the interleaving that used to leak: the box line
+ * already interned (dedup, so boxing succeeds under total allocation
+ * failure) and the operation failing *after* the box reference is in
+ * flight.  A seeded fault-injection sweep then holds the tryRetain
+ * failure paths to the same bar: after every rejected retain and
+ * absorbed pressure error, the heap audits clean.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+
+#include "audit_check.hh"
+#include "common/fault.hh"
+#include "common/status.hh"
+#include "lang/atomic_heap.hh"
+#include "lang/context.hh"
+#include "lang/hqueue.hh"
+#include "lang/hstring.hh"
+#include "lang/htable.hh"
+#include "mem/plid_ref.hh"
+#include "seg/builder.hh"
+#include "seg/entry_ref.hh"
+
+namespace hicamp {
+namespace {
+
+MemoryConfig
+baseCfg()
+{
+    MemoryConfig c;
+    c.lineBytes = 16;
+    c.numBuckets = 1 << 12;
+    c.faults.allowEnvOverride = false;
+    return c;
+}
+
+Line
+taggedLine(Memory &mem, Word tag)
+{
+    Line l = mem.makeLine();
+    l.set(0, tag + 1);
+    l.set(1, tag * 0x9e3779b97f4a7c15ull + 7);
+    return l;
+}
+
+// ---------------------------------------------------------------------
+// PlidRef: one handle, one reference, every path.
+// ---------------------------------------------------------------------
+
+TEST(RefcountPaths, PlidRefReleasesOnScopeExit)
+{
+    Memory mem(baseCfg());
+    {
+        PlidRef p = PlidRef::lookup(mem, taggedLine(mem, 1));
+        ASSERT_TRUE(p);
+        EXPECT_EQ(mem.refCount(p.get()), 1u);
+        EXPECT_EQ(mem.liveLines(), 1u);
+    }
+    EXPECT_EQ(mem.liveLines(), 0u);
+    expectCleanAudit(mem, nullptr);
+}
+
+TEST(RefcountPaths, PlidRefMoveTransfersNotDuplicates)
+{
+    Memory mem(baseCfg());
+    PlidRef a = PlidRef::lookup(mem, taggedLine(mem, 2));
+    const Plid plid = a.get();
+    PlidRef b = std::move(a);
+    EXPECT_FALSE(a);
+    ASSERT_TRUE(b);
+    EXPECT_EQ(b.get(), plid);
+    EXPECT_EQ(mem.refCount(plid), 1u) << "move must not add a ref";
+    b.reset();
+    EXPECT_EQ(mem.liveLines(), 0u);
+    expectCleanAudit(mem, nullptr);
+}
+
+TEST(RefcountPaths, PlidRefAcquireAddsExactlyOne)
+{
+    Memory mem(baseCfg());
+    PlidRef a = PlidRef::lookup(mem, taggedLine(mem, 3));
+    {
+        PlidRef extra = PlidRef::acquire(mem, a.get());
+        EXPECT_EQ(mem.refCount(a.get()), 2u);
+    }
+    EXPECT_EQ(mem.refCount(a.get()), 1u);
+    a.reset();
+    EXPECT_EQ(mem.liveLines(), 0u);
+}
+
+TEST(RefcountPaths, PlidRefReleaseHandsOwnershipOver)
+{
+    Memory mem(baseCfg());
+    PlidRef a = PlidRef::lookup(mem, taggedLine(mem, 4));
+    Plid raw = a.release();
+    EXPECT_FALSE(a);
+    EXPECT_EQ(mem.refCount(raw), 1u) << "release transfers, not drops";
+    mem.decRef(raw); // we own it now
+    EXPECT_EQ(mem.liveLines(), 0u);
+    expectCleanAudit(mem, nullptr);
+}
+
+TEST(RefcountPaths, PlidRefTryAcquireFailsEmptyOnDeadLine)
+{
+    Memory mem(baseCfg());
+    Plid p;
+    {
+        PlidRef a = PlidRef::lookup(mem, taggedLine(mem, 5));
+        p = a.get();
+    } // reference dropped; the line is reclaimed
+    EXPECT_EQ(mem.liveLines(), 0u);
+    PlidRef again = PlidRef::tryAcquire(mem, p);
+    EXPECT_FALSE(again) << "tryAcquire on a dead line must fail clean";
+    expectCleanAudit(mem, nullptr);
+}
+
+// ---------------------------------------------------------------------
+// EntryRef / OwnedEntries: builder-side rollback by scope.
+// ---------------------------------------------------------------------
+
+TEST(RefcountPaths, EntryRefBalancesARealLeafLine)
+{
+    Memory mem(baseCfg());
+    SegBuilder b(mem);
+    // Full-width words: compaction cannot fold the leaf into the
+    // entry, so a real line (and a real reference) is at stake.
+    Word w[kMaxLineWords] = {0xa1a1a1a1a1a1a1a1ull,
+                             0xb2b2b2b2b2b2b2b2ull};
+    WordMeta m[kMaxLineWords] = {WordMeta::raw(), WordMeta::raw()};
+    {
+        EntryRef e = EntryRef::adopt(b, b.makeLeaf(w, m));
+        ASSERT_TRUE(e);
+        EXPECT_EQ(mem.liveLines(), 1u);
+        EntryRef extra = EntryRef::retain(b, e.entry());
+        EXPECT_EQ(mem.refCount(e.entry().word), 2u);
+    }
+    EXPECT_EQ(mem.liveLines(), 0u);
+    expectCleanAudit(mem, nullptr);
+}
+
+TEST(RefcountPaths, OwnedEntriesReleasesWhenNotDisowned)
+{
+    Memory mem(baseCfg());
+    SegBuilder b(mem);
+    Word w[kMaxLineWords] = {0xc3c3c3c3c3c3c3c3ull,
+                             0xd4d4d4d4d4d4d4d4ull};
+    WordMeta m[kMaxLineWords] = {WordMeta::raw(), WordMeta::raw()};
+    {
+        OwnedEntries kids(b);
+        kids.push(b.makeLeaf(w, m));
+        EXPECT_EQ(kids.size(), 1u);
+        EXPECT_EQ(mem.liveLines(), 1u);
+        // scope unwinds without disown(): the guard rolls back
+    }
+    EXPECT_EQ(mem.liveLines(), 0u);
+    expectCleanAudit(mem, nullptr);
+}
+
+TEST(RefcountPaths, OwnedEntriesDisownTransfersToMakeNode)
+{
+    Memory mem(baseCfg());
+    SegBuilder b(mem);
+    Word w[kMaxLineWords] = {0xe5e5e5e5e5e5e5e5ull,
+                             0xf6f6f6f6f6f6f6f6ull};
+    WordMeta m[kMaxLineWords] = {WordMeta::raw(), WordMeta::raw()};
+    OwnedEntries kids(b);
+    kids.push(b.makeLeaf(w, m));
+    kids.push(Entry::zero());
+    Entry node = b.makeNode(kids.disown(), 0);
+    EXPECT_EQ(kids.size(), 0u) << "disown empties the guard";
+    b.release(node);
+    EXPECT_EQ(mem.liveLines(), 0u);
+    expectCleanAudit(mem, nullptr);
+}
+
+// ---------------------------------------------------------------------
+// Regressions: the three box-ref leaks.  Interleaving that used to
+// leak: box the value once (faults off, line interned), then repeat
+// the operation under total allocation failure — boxSegment dedups
+// (no fresh line, so the box reference gets in flight), and the
+// retry loop exhausts on commit pressure with that reference live.
+// ---------------------------------------------------------------------
+
+TEST(RefcountPaths, HTableInsertSeekThrowDoesNotLeakBoxRef)
+{
+    Hicamp hc(baseCfg());
+    {
+        HTable table(hc);
+        HString row(hc, "row payload long enough to need real lines");
+        table.insert(row);
+        // the live HString handle owns a root reference the auditor
+        // cannot see on its own
+        Auditor::Options held;
+        held.externalSegs = {row.desc()};
+
+        FaultConfig fc;
+        fc.allocFailEvery = 1;
+        hc.mem.faults().reconfigure(fc);
+        EXPECT_THROW(table.insert(row), MemPressureError);
+        hc.mem.faults().reconfigure({});
+        expectCleanAudit(hc, held);
+
+        // pressure lifted: the same insert succeeds and reads back
+        EXPECT_EQ(table.insert(row), 1u);
+        expectCleanAudit(hc, held);
+    }
+    EXPECT_EQ(hc.mem.liveLines(), 0u);
+    expectCleanAudit(hc);
+}
+
+TEST(RefcountPaths, HQueuePushSeekThrowDoesNotLeakBoxRef)
+{
+    Hicamp hc(baseCfg());
+    {
+        HQueue q(hc);
+        HString v(hc, "queued payload long enough to box for real");
+        q.push(v);
+        Auditor::Options held;
+        held.externalSegs = {v.desc()};
+
+        FaultConfig fc;
+        fc.allocFailEvery = 1;
+        hc.mem.faults().reconfigure(fc);
+        EXPECT_THROW(q.push(v), MemPressureError);
+        hc.mem.faults().reconfigure({});
+        expectCleanAudit(hc, held);
+
+        q.push(v);
+        expectCleanAudit(hc, held);
+    }
+    EXPECT_EQ(hc.mem.liveLines(), 0u);
+    expectCleanAudit(hc);
+}
+
+TEST(RefcountPaths, AtomicHeapTxWriteSeekThrowDoesNotLeakBoxRef)
+{
+    Hicamp hc(baseCfg());
+    {
+        AtomicHeap heap(hc);
+        HString v(hc, "heap payload long enough to box for real");
+        // built now so only its *box* line is missing under faults
+        HString fresh(hc, "never yet boxed payload, also full lines");
+        Auditor::Options held;
+        held.externalSegs = {v.desc(), fresh.desc()};
+        {
+            AtomicHeap::Tx tx(heap);
+            tx.write(0, v);
+            ASSERT_TRUE(tx.commit());
+        }
+        expectCleanAudit(hc, held);
+
+        FaultConfig fc;
+        fc.allocFailEvery = 1;
+        hc.mem.faults().reconfigure(fc);
+        {
+            // boxSegment dedup-misses on the never-boxed value and
+            // throws with the retained root reference in flight;
+            // consume-on-failure must balance it
+            AtomicHeap::Tx tx(heap);
+            EXPECT_THROW(tx.write(3, fresh), MemPressureError);
+        }
+        {
+            // the dedup'd box buffers fine; the commit rebuild is
+            // what hits pressure — abort must release the boxed ref
+            AtomicHeap::Tx tx(heap);
+            tx.write(50, v);
+            EXPECT_FALSE(tx.commit());
+            EXPECT_NE(tx.commitStatus(), MemStatus::Ok);
+        } // Tx unwinds; its buffered state rolls back
+        hc.mem.faults().reconfigure({});
+        expectCleanAudit(hc, held);
+    }
+    EXPECT_EQ(hc.mem.liveLines(), 0u);
+    expectCleanAudit(hc);
+}
+
+// ---------------------------------------------------------------------
+// tryRetain failure paths: seeded sweep of alloc faults + refcount
+// saturation; every rejected retain / absorbed pressure error must
+// leave auditor-clean refcounts.
+// ---------------------------------------------------------------------
+
+TEST(RefcountPaths, SeededFaultSweepKeepsRefcountsAuditClean)
+{
+    for (std::uint64_t seed = 1; seed <= 4; ++seed) {
+        Hicamp hc(baseCfg());
+        HQueue q(hc);
+
+        FaultConfig fc;
+        fc.seed = 0x5eed0000 + seed;
+        fc.allocFailP = 0.2;
+        fc.saturateEvery = 7;
+        hc.mem.faults().reconfigure(fc);
+
+        for (int i = 0; i < 24; ++i) {
+            try {
+                // the boxed value itself allocates, so build it
+                // inside the guarded region too
+                HString v(hc, "sweep-" + std::to_string(i % 5));
+                q.push(v);
+            } catch (const MemPressureError &) {
+                // retries exhausted under injection: the failed
+                // operation must have unwound leak-free
+            }
+            AuditReport r = Auditor::audit(hc, {});
+            ASSERT_TRUE(r.clean())
+                << "seed " << seed << " op " << i << ": " << r.summary();
+        }
+        // the sweep is only meaningful if injection actually bit
+        EXPECT_GT(hc.mem.faults().allocFailsInjected() +
+                      hc.mem.faults().saturationsInjected(),
+                  0u)
+            << "seed " << seed << " injected nothing";
+
+        hc.mem.faults().reconfigure({});
+        expectCleanAudit(hc);
+    }
+}
+
+TEST(RefcountPaths, RejectedTryRetainLeavesCountsIntact)
+{
+    Memory mem(baseCfg());
+    Plid dead;
+    {
+        PlidRef a = PlidRef::lookup(mem, taggedLine(mem, 9));
+        dead = a.get();
+    }
+    // a stream of rejected retains on a reclaimed line is a no-op
+    for (int i = 0; i < 16; ++i)
+        EXPECT_FALSE(mem.tryRetain(dead));
+    EXPECT_EQ(mem.liveLines(), 0u);
+    expectCleanAudit(mem, nullptr);
+}
+
+} // namespace
+} // namespace hicamp

@@ -108,9 +108,9 @@ TEST_P(SegFixture, SharedPrefixSharesLines)
 TEST_P(SegFixture, IdenticalSegmentIsFreeDedup)
 {
     std::string text(2048, 'q');
-    builder.buildBytes(text.data(), text.size());
+    (void)builder.buildBytes(text.data(), text.size());
     std::uint64_t lines_before = mem.liveLines();
-    builder.buildBytes(text.data(), text.size());
+    (void)builder.buildBytes(text.data(), text.size());
     EXPECT_EQ(mem.liveLines(), lines_before);
 }
 

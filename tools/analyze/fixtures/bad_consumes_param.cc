@@ -1,0 +1,11 @@
+// Fixture: the declaration promises to take the reference over, but
+// the body never touches the parameter.
+// Expect: consumes-param-not-consumed
+namespace hicamp {
+void
+swallowRef(Memory &mem, HICAMP_CONSUMES_REF Plid victim, bool log)
+{
+    if (log)
+        note(log);
+}
+} // namespace hicamp

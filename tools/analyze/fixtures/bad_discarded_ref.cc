@@ -1,0 +1,9 @@
+// Fixture: the owned result of a HICAMP_RETURNS_REF call is ignored
+// outright.  Expect: discarded-ref
+namespace hicamp {
+void
+discardLookup(Memory &mem, const Line &l)
+{
+    mem.lookup(l); // fresh reference dropped on the floor
+}
+} // namespace hicamp

@@ -1,0 +1,12 @@
+// Fixture: one owned reference, two releases on the same path.
+// Expect: double-release
+namespace hicamp {
+void
+doubleDecRef(Memory &mem, const Line &l, bool flag)
+{
+    Plid p = mem.lookup(l);
+    if (flag)
+        mem.decRef(p);
+    mem.decRef(p); // second release when flag was true
+}
+} // namespace hicamp

@@ -1,0 +1,15 @@
+// Fixture: a builder entry released twice along the else path.
+// Expect: double-release
+namespace hicamp {
+void
+doubleReleaseEntry(SegBuilder &b, const Word *w, const WordMeta *m,
+                   bool keep)
+{
+    Entry e = b.makeLeaf(w, m);
+    if (keep)
+        publish(e);
+    else
+        b.release(e);
+    b.release(e);
+}
+} // namespace hicamp

@@ -1,0 +1,12 @@
+// Fixture: owned lookup result dropped on an early return.
+// Expect: leak
+namespace hicamp {
+void
+leakEarlyReturn(Memory &mem, const Line &l, bool flag)
+{
+    Plid p = mem.lookup(l);
+    if (flag)
+        return; // p still owns its reference here
+    mem.decRef(p);
+}
+} // namespace hicamp

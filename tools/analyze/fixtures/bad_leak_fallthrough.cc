@@ -1,0 +1,10 @@
+// Fixture: owned reference falls off the end of the function.
+// Expect: leak
+namespace hicamp {
+void
+leakFallthrough(Memory &mem, const Line &l)
+{
+    Plid p = mem.internLine(l);
+    (void)p;
+}
+} // namespace hicamp

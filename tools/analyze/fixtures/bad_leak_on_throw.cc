@@ -1,0 +1,12 @@
+// Fixture: consume-on-failure violated — the owned reference is
+// dropped when the path unwinds.  Expect: leak-on-throw
+namespace hicamp {
+void
+leakOnThrow(Memory &mem, const Line &l, bool pressure)
+{
+    Plid p = mem.lookup(l);
+    if (pressure)
+        throw MemPressureError(FaultKind::LineSpace, "fixture");
+    mem.decRef(p);
+}
+} // namespace hicamp

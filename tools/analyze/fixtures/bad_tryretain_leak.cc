@@ -1,0 +1,13 @@
+// Fixture: tryRetain is branch-sensitive — only the success branch
+// owes the release, and here it never pays.
+// Expect: unbalanced-acquire
+namespace hicamp {
+bool
+tryRetainLeak(Memory &mem, Plid p)
+{
+    if (mem.tryRetain(p)) {
+        return true; // the retained reference is never released
+    }
+    return false;
+}
+} // namespace hicamp

@@ -1,0 +1,11 @@
+// Fixture: a bare incRef with no matching release or consuming
+// transfer on the path.  Expect: unbalanced-acquire
+namespace hicamp {
+void
+unbalancedIncRef(Memory &mem, Plid p, bool pin)
+{
+    if (pin)
+        mem.incRef(p); // acquired, never released or handed off
+    note(pin);
+}
+} // namespace hicamp

@@ -1,0 +1,11 @@
+// Fixture: the PLID is read after its reference was dropped — the
+// line may already be reclaimed.  Expect: use-after-release
+namespace hicamp {
+void
+useAfterRelease(Memory &mem, const Line &l)
+{
+    Plid p = mem.lookup(l);
+    mem.decRef(p);
+    publish(p); // stale read
+}
+} // namespace hicamp

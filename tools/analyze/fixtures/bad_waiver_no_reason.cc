@@ -1,0 +1,10 @@
+// Fixture: a waiver with no rationale.  Expect: waiver-missing-reason
+namespace hicamp {
+void
+waivedWithoutReason(Memory &mem, const Line &l)
+{
+    // hicamp-refcount: waive()
+    Plid p = mem.lookup(l);
+    (void)p;
+}
+} // namespace hicamp

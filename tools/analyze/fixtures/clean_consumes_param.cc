@@ -1,0 +1,11 @@
+// Clean twin of bad_consumes_param: the consumed parameter is
+// released, honoring the contract on every path.
+namespace hicamp {
+void
+consumeRef(Memory &mem, HICAMP_CONSUMES_REF Plid victim, bool log)
+{
+    if (log)
+        note(log);
+    mem.decRef(victim);
+}
+} // namespace hicamp

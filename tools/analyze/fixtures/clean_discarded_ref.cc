@@ -1,0 +1,10 @@
+// Clean twin of bad_discarded_ref: the result is adopted and
+// balanced by the RAII handle.
+namespace hicamp {
+void
+adoptLookup(Memory &mem, const Line &l)
+{
+    PlidRef p = PlidRef::adopt(mem, mem.lookup(l));
+    publish(p.get());
+}
+} // namespace hicamp

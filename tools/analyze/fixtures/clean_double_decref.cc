@@ -1,0 +1,13 @@
+// Clean twin of bad_double_decref: exactly one release per path.
+namespace hicamp {
+void
+singleDecRef(Memory &mem, const Line &l, bool flag)
+{
+    Plid p = mem.lookup(l);
+    if (flag) {
+        mem.decRef(p);
+        return;
+    }
+    mem.decRef(p);
+}
+} // namespace hicamp

@@ -1,0 +1,12 @@
+// Clean twin of bad_double_release_entry: each path releases once.
+namespace hicamp {
+void
+singleReleaseEntry(SegBuilder &b, const Word *w, const WordMeta *m,
+                   bool keep)
+{
+    Entry e = b.makeLeaf(w, m);
+    if (keep)
+        publish(e);
+    b.release(e);
+}
+} // namespace hicamp

@@ -1,0 +1,13 @@
+// Clean twin of bad_leak_early_return: every path releases.
+namespace hicamp {
+void
+noLeakEarlyReturn(Memory &mem, const Line &l, bool flag)
+{
+    Plid p = mem.lookup(l);
+    if (flag) {
+        mem.decRef(p);
+        return;
+    }
+    mem.decRef(p);
+}
+} // namespace hicamp

@@ -1,0 +1,9 @@
+// Clean twin of bad_leak_fallthrough: released before the end.
+namespace hicamp {
+void
+noLeakFallthrough(Memory &mem, const Line &l)
+{
+    Plid p = mem.internLine(l);
+    mem.decRef(p);
+}
+} // namespace hicamp

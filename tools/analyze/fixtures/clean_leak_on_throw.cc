@@ -1,0 +1,13 @@
+// Clean twin of bad_leak_on_throw: release before unwinding.
+namespace hicamp {
+void
+releaseBeforeThrow(Memory &mem, const Line &l, bool pressure)
+{
+    Plid p = mem.lookup(l);
+    if (pressure) {
+        mem.decRef(p);
+        throw MemPressureError(FaultKind::LineSpace, "fixture");
+    }
+    mem.decRef(p);
+}
+} // namespace hicamp

@@ -1,0 +1,13 @@
+// Clean twin of bad_tryretain_leak: success branch releases; the
+// failure branch owes nothing.
+namespace hicamp {
+bool
+tryRetainBalanced(Memory &mem, Plid p)
+{
+    if (!mem.tryRetain(p))
+        return false;
+    publish(p);
+    mem.decRef(p);
+    return true;
+}
+} // namespace hicamp

@@ -1,0 +1,13 @@
+// Clean twin of bad_unbalanced_incref: the acquired reference is
+// handed to a consuming call (internLine consumes its line's refs).
+namespace hicamp {
+void
+balancedIncRef(Memory &mem, Line &l, Plid p, bool pin)
+{
+    if (pin) {
+        mem.incRef(p);
+        mem.decRef(p);
+    }
+    note(pin);
+}
+} // namespace hicamp

@@ -1,0 +1,10 @@
+// Clean twin of bad_use_after_release: use first, release last.
+namespace hicamp {
+void
+useThenRelease(Memory &mem, const Line &l)
+{
+    Plid p = mem.lookup(l);
+    publish(p);
+    mem.decRef(p);
+}
+} // namespace hicamp

@@ -1,0 +1,12 @@
+// Clean twin of bad_waiver_no_reason: the waiver carries a rationale,
+// so the (deliberate) imbalance below is accepted and documented.
+namespace hicamp {
+void
+waivedWithReason(Memory &mem, const Line &l)
+{
+    // hicamp-refcount: waive(fixture models a pinned boot-time line
+    // that is never reclaimed)
+    Plid p = mem.lookup(l);
+    (void)p;
+}
+} // namespace hicamp

@@ -1,0 +1,1117 @@
+#!/usr/bin/env python3
+"""Path-sensitive refcount-ownership checker for the HICAMP line
+reference discipline (DESIGN.md §10; companion of tools/lint/
+hicamp_lint.py, which keeps the coarser function-granularity rule).
+
+Every PLID value held by the model owns one line reference.  The
+annotation vocabulary in src/common/ownership.hh makes each function's
+share of that contract machine-readable; this checker harvests those
+annotations into a knowledge base (KB), then walks every path through
+the statement tree of every function that touches references and
+reports where a path ends with the discipline violated.
+
+Rules
+-----
+leak
+    A path reaches ``return`` (or falls off the end of the function)
+    while a local still owns a reference produced by a
+    ``HICAMP_RETURNS_REF`` call (``lookup``, ``internLine``,
+    ``makeNode``, ``boxSegment``, ...) that was neither released,
+    transferred to a consuming callee, nor returned.
+
+leak-on-throw
+    Same, but the path ends at a ``throw`` — the consume-on-failure
+    rule means unwinding is *not* an excuse to drop a reference.
+
+double-release
+    A release primitive (``decRef``, ``release(e)``, ``releaseSeg``,
+    ...) runs on a local whose reference was already released on this
+    path.
+
+use-after-release
+    A released local is subsequently read (passed to a call, returned,
+    or mentioned) before being re-assigned a fresh reference.
+
+unbalanced-acquire
+    A bare acquire (``incRef``, ``retain`` with unused result,
+    ``tryRetain`` succeeding into a branch) has no matching release or
+    ownership-consuming transfer on some path.  ``tryRetain`` is
+    branch-sensitive: only the success branch owes the release.
+
+discarded-ref
+    The result of a ``HICAMP_RETURNS_REF`` call is ignored outright.
+    ``[[nodiscard]]`` catches this at compile time; the checker keeps
+    fixtures honest without a compiler.  An explicit ``(void)`` cast,
+    a ``release()``/``disown()`` transfer, or nesting inside another
+    call's argument list is a deliberate hand-off and stays silent.
+
+consumes-param-not-consumed
+    A function declaring ``HICAMP_CONSUMES_REF`` on a parameter never
+    touches that parameter in any discharging position — the taken-over
+    reference cannot have gone anywhere.
+
+waiver-missing-reason
+    ``// hicamp-refcount: waive()`` with an empty rationale.  Waivers
+    are load-bearing documentation; the reason is mandatory.
+
+Waive a finding with ``// hicamp-refcount: waive(<reason>)`` on the
+finding's line or in the contiguous ``//`` comment run directly above.
+
+Engine: token-level by default; uses libclang for exact function
+extents when the ``clang`` python bindings are importable (CI installs
+them; the container image does not, so the token engine is the
+reference).  Functions marked ``HICAMP_REF_PRIMITIVE`` — the refcount
+machinery itself — are skipped: their bodies define the semantics
+rather than using them.  Path enumeration is capped (kPathCap); past
+the cap only the first branch of further forks is followed.
+
+Exit status: 0 clean, 1 findings, 2 usage/internal error.
+"""
+
+import argparse
+import os
+import re
+import sys
+
+kPathCap = 4096
+
+WAIVER_RE = re.compile(r"hicamp-refcount:\s*waive\(")
+WAIVER_EMPTY_RE = re.compile(r"hicamp-refcount:\s*waive\(\s*\)")
+
+# Types whose destructor already balances the reference: assignments
+# into them are self-managing, not a tracked ownership transfer.
+RAII_TYPES = ("PlidRef", "EntryRef", "OwnedEntries")
+
+# Seed KB: the primitive vocabulary, present even when harvesting sees
+# only part of the tree (fixture runs pass single files).
+SEED_PRODUCERS = {
+    "lookup", "internLine", "makeLeaf", "makeNode", "build",
+    "buildBytes", "buildWords", "setWord", "snapshot", "lift",
+    "boxSegment",
+}
+SEED_ACQUIRERS = {"incRef", "retain", "incRefIfLive", "addRef",
+                  "tryRetain", "acquire", "tryAcquire"}
+SEED_TRY_ACQUIRERS = {"tryRetain", "incRefIfLive", "tryAcquire"}
+SEED_RELEASERS = {"decRef", "release", "releaseSeg", "releaseSnapshot",
+                  "releaseWords", "retire", "freeLine", "reset"}
+SEED_CONSUMER_INDICES = {
+    "internLine": {0}, "intern": {1}, "makeLeaf": {0}, "makeNode": {0},
+    "build": {0}, "setWord": {3}, "push": {0}, "adopt": {1},
+    "create": {0}, "mcas": {2}, "lift": {0}, "write": {0},
+}
+
+KEYWORDS = {"if", "for", "while", "switch", "return", "catch", "sizeof",
+            "throw", "do", "else", "new", "delete", "alignof",
+            "static_assert", "decltype"}
+NOISE_IDS = {"std", "static_cast", "const_cast", "reinterpret_cast",
+             "dynamic_cast", "this", "nullptr", "true", "false",
+            }
+
+ANNOT_NAME_RE = re.compile(
+    r"HICAMP_(RETURNS|CONSUMES|BORROWS|ACQUIRES|RELEASES)_REF|"
+    r"HICAMP_REF_PRIMITIVE")
+
+
+def strip_comments_and_strings(text):
+    """Blank out comments and string/char literals, preserving line
+    structure, so token scans don't match inside them."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j < 0 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n if j < 0 else j + 2
+            out.append("".join(ch if ch == "\n" else " "
+                               for ch in text[i:j]))
+            i = j
+        elif c in "\"'":
+            q = c
+            j = i + 1
+            while j < n and text[j] != q:
+                j += 2 if text[j] == "\\" else 1
+            j = min(j + 1, n)
+            out.append(q + " " * (j - i - 2) + (q if j - i >= 2 else ""))
+            i = j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def _waived_at(raw_lines, lineno, waiver_re=WAIVER_RE):
+    """True if the waiver marker sits on the flagged line or in the
+    contiguous run of // comment lines directly above it."""
+    if 1 <= lineno <= len(raw_lines) and \
+            waiver_re.search(raw_lines[lineno - 1]):
+        return True
+    ln = lineno - 1
+    while 1 <= ln <= len(raw_lines) and \
+            raw_lines[ln - 1].lstrip().startswith("//"):
+        if waiver_re.search(raw_lines[ln - 1]):
+            return True
+        ln -= 1
+    return False
+
+
+class Finding:
+    def __init__(self, path, line, rule, message):
+        self.path = path
+        self.line = line
+        self.rule = rule
+        self.message = message
+
+    def key(self):
+        return (self.path, self.line, self.rule)
+
+    def __str__(self):
+        return f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Knowledge base
+
+
+class KB:
+    """Role-by-name map of the ownership vocabulary: seeded with the
+    primitive set, extended by harvesting the annotation macros from
+    the declarations under --root's src/."""
+
+    def __init__(self):
+        self.producers = set(SEED_PRODUCERS)
+        self.acquirers = set(SEED_ACQUIRERS)
+        self.try_acquirers = set(SEED_TRY_ACQUIRERS)
+        self.releasers = set(SEED_RELEASERS)
+        self.consumer_indices = {k: set(v) for k, v in
+                                 SEED_CONSUMER_INDICES.items()}
+        self.consumed_params = {}  # name -> {param names}
+
+    def harvest(self, root):
+        src = os.path.join(root, "src")
+        if not os.path.isdir(src):
+            return
+        for dirpath, _, files in os.walk(src):
+            for f in sorted(files):
+                if f.endswith((".hh", ".cc")):
+                    try:
+                        text = open(os.path.join(dirpath, f),
+                                    encoding="utf-8").read()
+                    except OSError:
+                        continue
+                    self.harvest_text(strip_comments_and_strings(text))
+
+    def harvest_text(self, code):
+        # RETURNS/ACQUIRES/RELEASES precede the declarator: the next
+        # `name(` after the macro is the annotated function.
+        for macro, bucket in (("HICAMP_RETURNS_REF", self.producers),
+                              ("HICAMP_ACQUIRES_REF", self.acquirers),
+                              ("HICAMP_RELEASES_REF", self.releasers)):
+            for m in re.finditer(r"\b" + macro + r"\b", code):
+                nm = re.search(r"\b([A-Za-z_]\w*)\s*\(",
+                               code[m.end():m.end() + 400])
+                if nm and not nm.group(1).startswith("HICAMP_") \
+                        and nm.group(1) not in KEYWORDS:
+                    name = nm.group(1)
+                    # release()/disown() are the RAII transfer forms:
+                    # producer semantics only with zero args, which
+                    # is_producer_use special-cases — classifying the
+                    # names as producers would shadow the release
+                    # primitive of the same name.
+                    if bucket is self.producers and \
+                            name in ("release", "disown"):
+                        continue
+                    bucket.add(name)
+        # CONSUMES sits inside a parameter list: find the enclosing
+        # `name( ... )`, record both the argument index (for call-site
+        # matching) and the parameter name (for definition matching).
+        for m in re.finditer(r"\b([A-Za-z_]\w*)\s*\(", code):
+            name = m.group(1)
+            if name in KEYWORDS or name.startswith("HICAMP_"):
+                continue
+            span = balanced_span(code, m.end() - 1)
+            if span is None:
+                continue
+            inner = code[m.end():span - 1]
+            if "HICAMP_CONSUMES_REF" not in inner:
+                continue
+            for idx, param in enumerate(split_top_commas(inner)):
+                if "HICAMP_CONSUMES_REF" not in param:
+                    continue
+                self.consumer_indices.setdefault(name, set()).add(idx)
+                pname = param_name(param)
+                if pname:
+                    self.consumed_params.setdefault(
+                        name, set()).add(pname)
+
+
+def balanced_span(code, open_paren):
+    """Index one past the close paren matching code[open_paren]."""
+    d = 0
+    for j in range(open_paren, len(code)):
+        if code[j] == "(":
+            d += 1
+        elif code[j] == ")":
+            d -= 1
+            if d == 0:
+                return j + 1
+    return None
+
+
+def split_top_commas(text):
+    parts, depth, start = [], 0, 0
+    for i, c in enumerate(text):
+        if c in "([{<":
+            depth += 1
+        elif c in ")]}>":
+            depth -= 1
+        elif c == "," and depth == 0:
+            parts.append(text[start:i])
+            start = i + 1
+    parts.append(text[start:])
+    return parts
+
+
+def param_name(param):
+    """Last identifier of a parameter declaration (default stripped)."""
+    p = param.split("=")[0]
+    ids = re.findall(r"[A-Za-z_]\w*", p)
+    ids = [i for i in ids if i not in KEYWORDS and
+           not i.startswith("HICAMP_") and i not in
+           ("const", "unsigned", "signed", "struct", "class")]
+    return ids[-1] if ids else None
+
+
+def base_id(expr):
+    """First meaningful identifier of an argument expression — the
+    variable whose ownership the expression stands for (``*merged`` ->
+    merged, ``words + start`` -> words, ``d.root`` -> d)."""
+    for m in re.finditer(r"[A-Za-z_]\w*", expr):
+        if m.group(0) not in NOISE_IDS and m.group(0) not in KEYWORDS:
+            return m.group(0)
+    return None
+
+
+# ---------------------------------------------------------------------------
+# Function extraction (shared idiom with hicamp_lint)
+
+
+def functions_tokens(code):
+    """Yield (start_line, head, body) for every function definition:
+    a ``{`` following ``)``, with head = text since the previous
+    top-level separator (``;`` ``}`` ``{``) — the declarator carrying
+    the annotation macros."""
+    out = []
+    i, n = 0, len(code)
+    line = 1
+    last_nonspace = ""
+    head_start = 0
+    while i < n:
+        c = code[i]
+        if c == "\n":
+            line += 1
+        elif c == "{":
+            if last_nonspace == ")":
+                head = code[head_start:i]
+                j, d, l2 = i + 1, 1, line
+                while j < n and d:
+                    if code[j] == "\n":
+                        l2 += 1
+                    elif code[j] == "{":
+                        d += 1
+                    elif code[j] == "}":
+                        d -= 1
+                    j += 1
+                out.append((line, head, code[i + 1:j - 1]))
+                line = l2
+                i = j
+                last_nonspace = "}"
+                head_start = i
+                continue
+            head_start = i + 1
+        elif c in ";}":
+            head_start = i + 1
+        if not c.isspace():
+            last_nonspace = c
+        i += 1
+    return out
+
+
+def functions_libclang(path, code):
+    """Exact extents via libclang when the bindings exist; None (token
+    fallback) otherwise.  Head/body split stays token-level inside the
+    extent — the annotations are macro names in the source text."""
+    try:
+        from clang import cindex  # type: ignore
+    except Exception:
+        return None
+    try:
+        tu = cindex.Index.create().parse(
+            path, args=["-std=c++20", "-Isrc"])
+        lines = code.splitlines()
+        out = []
+        for cur in tu.cursor.walk_preorder():
+            if cur.kind in (cindex.CursorKind.FUNCTION_DECL,
+                            cindex.CursorKind.CXX_METHOD,
+                            cindex.CursorKind.FUNCTION_TEMPLATE,
+                            cindex.CursorKind.CONSTRUCTOR) \
+                    and cur.is_definition() \
+                    and cur.location.file \
+                    and cur.location.file.name == path:
+                lo, hi = cur.extent.start.line, cur.extent.end.line
+                text = "\n".join(lines[lo - 1:hi])
+                m = re.search(r"\)\s*[^){]*\{", text)
+                if not m:
+                    continue
+                brace = text.find("{", m.start())
+                out.append((lo, text[:brace], text[brace + 1:]))
+        return out or None
+    except Exception:
+        return None
+
+
+def head_function(head):
+    """(name, [param names]) of the declarator in head, or (None, [])."""
+    for m in reversed(list(re.finditer(r"\b([A-Za-z_]\w*)\s*\(", head))):
+        name = m.group(1)
+        if name in KEYWORDS or name.startswith("HICAMP_") or \
+                name == "noexcept":
+            continue
+        span = balanced_span(head, m.end() - 1)
+        if span is None:
+            continue
+        params = [param_name(p) for p in
+                  split_top_commas(head[m.end():span - 1])]
+        return name, [p for p in params if p]
+    return None, []
+
+
+# ---------------------------------------------------------------------------
+# Statement tree
+
+
+class Stmt:
+    def __init__(self, kind, line, text="", cond="", children=None,
+                 orelse=None, catches=None):
+        self.kind = kind        # stmt/return/throw/if/loop/try/block
+        self.line = line
+        self.text = text
+        self.cond = cond
+        self.children = children or []
+        self.orelse = orelse
+        self.catches = catches or []
+
+
+def parse_stmts(code, line0):
+    """Parse a function body into a statement tree.  Whole-statement
+    granularity: a simple statement's text runs to the ``;`` at zero
+    paren/brace nesting, so init-lists and lambdas stay inside."""
+    stmts, i = _parse_seq(code, 0, line0)
+    return stmts
+
+
+def _line_at(code, i, line0):
+    return line0 + code.count("\n", 0, i)
+
+
+def _skip_ws(code, i):
+    while i < len(code) and code[i].isspace():
+        i += 1
+    return i
+
+
+def _read_balanced(code, i, open_c, close_c):
+    d = 0
+    for j in range(i, len(code)):
+        if code[j] == open_c:
+            d += 1
+        elif code[j] == close_c:
+            d -= 1
+            if d == 0:
+                return j + 1
+    return len(code)
+
+
+def _read_simple(code, i):
+    """Advance past one simple statement (to just after its ``;``)."""
+    pd = bd = 0
+    j = i
+    n = len(code)
+    while j < n:
+        c = code[j]
+        if c == "(":
+            pd += 1
+        elif c == ")":
+            pd -= 1
+        elif c == "{":
+            bd += 1
+        elif c == "}":
+            if bd == 0:
+                return j  # statement ends at enclosing block close
+            bd -= 1
+        elif c == ";" and pd == 0 and bd == 0:
+            return j + 1
+        j += 1
+    return n
+
+
+def _parse_seq(code, i, line0):
+    out = []
+    n = len(code)
+    while True:
+        i = _skip_ws(code, i)
+        if i >= n:
+            return out, i
+        node, i = _parse_one(code, i, line0)
+        if node is not None:
+            out.append(node)
+
+
+def _parse_one(code, i, line0):
+    n = len(code)
+    line = _line_at(code, i, line0)
+    kw = re.match(r"(if|for|while|do|switch|try|return|throw|else|"
+                  r"break|continue|case|default)\b", code[i:])
+    c = code[i]
+    if c == "{":
+        end = _read_balanced(code, i, "{", "}")
+        children, _ = _parse_seq(code[i + 1:end - 1], 0,
+                                 _line_at(code, i + 1, line0))
+        return Stmt("block", line, children=children), end
+    if c == "}":
+        # stray close (we parse body text without its braces)
+        return None, i + 1
+    if c == ";":
+        return None, i + 1
+    if kw:
+        word = kw.group(1)
+        if word in ("if", "while", "for", "switch"):
+            p = code.find("(", i)
+            pe = _read_balanced(code, p, "(", ")")
+            cond = code[p + 1:pe - 1]
+            body, j = _parse_stmt_or_block(code, pe, line0)
+            if word == "if":
+                j2 = _skip_ws(code, j)
+                orelse = None
+                if code[j2:j2 + 4] == "else" and \
+                        not re.match(r"\w", code[j2 + 4:j2 + 5]):
+                    orelse, j = _parse_stmt_or_block(code, j2 + 4, line0)
+                return Stmt("if", line, cond=cond,
+                            children=[body] if body else [],
+                            orelse=[orelse] if orelse else None), j
+            kind = "block" if word == "switch" else "loop"
+            return Stmt(kind, line, cond=cond,
+                        children=[body] if body else []), j
+        if word == "do":
+            body, j = _parse_stmt_or_block(code, i + 2, line0)
+            j = _skip_ws(code, j)
+            if code[j:j + 5] == "while":
+                p = code.find("(", j)
+                j = _read_balanced(code, p, "(", ")")
+                j = _skip_ws(code, j)
+                if j < n and code[j] == ";":
+                    j += 1
+            return Stmt("block", line,
+                        children=[body] if body else []), j
+        if word == "try":
+            j = _skip_ws(code, i + 3)
+            end = _read_balanced(code, j, "{", "}")
+            children, _ = _parse_seq(code[j + 1:end - 1], 0,
+                                     _line_at(code, j + 1, line0))
+            catches = []
+            j = end
+            while True:
+                j2 = _skip_ws(code, j)
+                if not code[j2:].startswith("catch"):
+                    break
+                p = code.find("(", j2)
+                pe = _read_balanced(code, p, "(", ")")
+                b = _skip_ws(code, pe)
+                be = _read_balanced(code, b, "{", "}")
+                cb, _ = _parse_seq(code[b + 1:be - 1], 0,
+                                   _line_at(code, b + 1, line0))
+                catches.append(cb)
+                j = be
+            return Stmt("try", line, children=children,
+                        catches=catches), j
+        if word in ("return", "throw"):
+            end = _read_simple(code, i)
+            return Stmt(word, line,
+                        text=code[i + len(word):end].strip(" ;")), end
+        if word in ("break", "continue"):
+            end = _read_simple(code, i)
+            return None, end
+        if word in ("case", "default", "else"):
+            # labels (and a stray else) — skip to the colon / keyword
+            col = code.find(":", i)
+            if word == "else" or col < 0:
+                end = i + len(word)
+                return None, end
+            return None, col + 1
+    end = _read_simple(code, i)
+    return Stmt("stmt", line, text=code[i:end].rstrip(";")), end
+
+
+def _parse_stmt_or_block(code, i, line0):
+    i = _skip_ws(code, i)
+    if i >= len(code):
+        return None, i
+    return _parse_one(code, i, line0)
+
+
+# ---------------------------------------------------------------------------
+# Path-sensitive analysis
+
+
+OWNED, RELEASED, ESCAPED = "owned", "released", "escaped"
+
+ASSIGN_RE = re.compile(r"(?<![=!<>+\-*/&|^%])=(?!=)")
+DECL_BRACE_RE = re.compile(
+    r"^\s*((?:[A-Za-z_][\w:<>,\s]*[\s&*])+)([A-Za-z_]\w*)\s*\{")
+TARGET_RE = re.compile(
+    r"([A-Za-z_]\w*)((?:\s*(?:\.|->)\s*\w+|\s*\[[^\]]*\])*)\s*$")
+VOID_CAST_RE = re.compile(r"\(\s*void\s*\)\s*$")
+
+
+class Var:
+    __slots__ = ("state", "line", "kind", "rel_off", "rel_line")
+
+    def __init__(self, state, line, kind):
+        self.state = state
+        self.line = line
+        self.kind = kind       # 'var' (producer result) or 'acq'
+        self.rel_off = -1
+        self.rel_line = 0
+
+    def clone(self):
+        v = Var(self.state, self.line, self.kind)
+        v.rel_off = self.rel_off
+        v.rel_line = self.rel_line
+        return v
+
+
+def clone_state(state):
+    return {k: v.clone() for k, v in state.items()}
+
+
+class FunctionAnalysis:
+    def __init__(self, path, raw_lines, kb, findings):
+        self.path = path
+        self.raw_lines = raw_lines
+        self.kb = kb
+        self.findings = findings
+        self.paths = 0
+        self.reported = set()
+
+    # -- findings ---------------------------------------------------------
+
+    def report(self, line, rule, message):
+        if (line, rule) in self.reported:
+            return
+        self.reported.add((line, rule))
+        if rule != "waiver-missing-reason" and \
+                _waived_at(self.raw_lines, line):
+            return
+        self.findings.append(Finding(self.path, line, rule, message))
+
+    # -- call scanning ----------------------------------------------------
+
+    def scan_calls(self, text):
+        calls = []
+        for m in re.finditer(r"\b([A-Za-z_]\w*)\s*\(", text):
+            name = m.group(1)
+            if name in KEYWORDS or name.startswith("HICAMP_"):
+                continue
+            span = balanced_span(text, m.end() - 1)
+            if span is None:
+                continue
+            inner = text[m.end():span - 1]
+            args = [] if not inner.strip() else split_top_commas(inner)
+            calls.append({"name": name, "start": m.start(),
+                          "open": m.end() - 1, "end": span,
+                          "args": args, "args_off": m.end()})
+        for c in calls:
+            c["enclosed"] = any(o is not c and
+                                o["open"] < c["start"] < o["end"]
+                                for o in calls)
+        return calls
+
+    def is_producer_use(self, name, args):
+        """retain-family calls act like producers when their value is
+        used; bare in statement position they are raw acquires."""
+        return name in self.kb.producers or \
+            (name in self.kb.acquirers and
+             name not in self.kb.try_acquirers) or \
+            (name in ("release", "disown") and not args)
+
+    # -- per-statement event engine --------------------------------------
+
+    def process_stmt(self, text, line, state, in_return=False,
+                     in_cond=False):
+        """Apply the ownership events of one statement text to state."""
+        calls = self.scan_calls(text)
+
+        # assignment / brace-init target
+        eq_off, target, target_suffix, decl_type = -1, None, "", ""
+        depth = 0
+        for i, ch in enumerate(text):
+            if ch in "([{":
+                depth += 1
+            elif ch in ")]}":
+                depth -= 1
+            elif ch == "=" and depth == 0 and \
+                    ASSIGN_RE.match(text, i):
+                eq_off = i
+                break
+        if eq_off >= 0:
+            lhs = text[:eq_off]
+            tm = TARGET_RE.search(lhs.strip())
+            if tm:
+                target, target_suffix = tm.group(1), tm.group(2)
+                decl_type = lhs.strip()[:tm.start()]
+        else:
+            dm = DECL_BRACE_RE.match(text)
+            if dm and not any(c["open"] == dm.end() - 1 for c in calls):
+                decl_type, target = dm.group(1), dm.group(2)
+                eq_off = dm.end() - 1
+
+        rhs_producer = False
+        events = []  # (offset, kind, payload)
+
+        for c in calls:
+            name, args = c["name"], c["args"]
+            in_rhs = eq_off >= 0 and c["start"] > eq_off
+
+            # releases: a release-family name applied to an argument
+            if name in self.kb.releasers and args and \
+                    not self.is_producer_use(name, args):
+                b = base_id(args[0])
+                if b:
+                    events.append((c["start"], "release", (b, c)))
+                continue
+            if name == "reset" and not args:
+                rm = re.search(r"([A-Za-z_]\w*)\s*\.\s*reset\s*\($",
+                               text[:c["open"] + 1])
+                if rm:
+                    events.append((c["start"], "release",
+                                   (rm.group(1), c)))
+                continue
+
+            # producers (including retain-as-value and transfers);
+            # a producer can *also* consume (makeNode, internLine),
+            # so fall through to the consumer scan below
+            if self.is_producer_use(name, args):
+                transfer = name in ("release", "disown") and not args
+                if c["enclosed"] or in_return or transfer:
+                    pass  # handed to a callee / caller / structure
+                elif in_rhs:
+                    rhs_producer = True
+                elif VOID_CAST_RE.search(text[:c["start"]]):
+                    pass  # explicit discard, compile-time visible
+                elif name in self.kb.acquirers:
+                    # bare retain/incRef: the argument gained a
+                    # reference someone must now release
+                    b = base_id(args[0]) if args else None
+                    if b:
+                        events.append((c["start"], "acquire", b))
+                    continue  # the acquire IS the arg event
+                else:
+                    self.report(
+                        line, "discarded-ref",
+                        f"result of '{name}' owns a reference and is "
+                        "discarded; assign, transfer or release it")
+            elif name in self.kb.try_acquirers:
+                # bare try-acquire in statement position: result
+                # ignored, but a success still took a reference
+                # (condition position is handled branch-sensitively
+                # by _apply_cond)
+                if not in_cond and eq_off < 0 and not c["enclosed"] \
+                        and not in_return:
+                    b = base_id(args[0]) if args else None
+                    if b:
+                        events.append((c["start"], "acquire", b))
+                continue
+
+            # consumers: annotated argument positions take ownership
+            idxs = self.kb.consumer_indices.get(name)
+            if idxs:
+                for i in idxs:
+                    if i < len(args):
+                        b = base_id(args[i])
+                        if b:
+                            events.append((c["start"], "consume", b))
+                other = [k for k in range(len(args)) if k not in idxs]
+            else:
+                other = range(len(args))
+            # any argument of any call discharges obligations: an
+            # unknown callee may have taken the reference over
+            if not c["enclosed"]:
+                for k in other:
+                    b = base_id(args[k])
+                    if b:
+                        events.append((c["start"], "soft", b))
+
+        events.sort(key=lambda e: e[0])
+        released_here = set()
+        for off, kind, payload in events:
+            if kind == "release":
+                b, c = payload
+                released_here.add(b)
+                self._release(b, off, line, state)
+            elif kind == "acquire":
+                state[f"acq:{payload}:{line}:{off}"] = \
+                    Var(OWNED, line, "acq")
+            elif kind == "consume":
+                self._consume(payload, line, state)
+            elif kind == "soft":
+                self._soft(payload, line, state)
+
+        # assignment effect, after call events of the RHS.  Only
+        # reference-carrying declared types are tracked: a name
+        # collision on a producer (another class's snapshot()) must
+        # not turn an unrelated local into a tracked reference.
+        if target:
+            v = state.get(target)
+            ref_type = not decl_type.strip() or re.search(
+                r"\b(Plid|Entry|SegDesc|auto)\b", decl_type)
+            if rhs_producer and ref_type and \
+                    not any(t in decl_type for t in RAII_TYPES) and \
+                    not target.endswith("_"):
+                if v is not None and v.state == OWNED and \
+                        not target_suffix and v.kind == "var":
+                    self.report(
+                        line, "leak",
+                        f"'{target}' still owns the reference "
+                        f"acquired at line {v.line} when it is "
+                        "overwritten")
+                state[target] = Var(OWNED, line, "var")
+            elif rhs_producer and target.endswith("_"):
+                pass  # escaped into object state
+            # tracked vars mentioned on the RHS moved their ownership
+            if eq_off >= 0:
+                rhs = text[eq_off + 1:]
+                for k, vv in list(state.items()):
+                    nmv = k if vv.kind == "var" else k.split(":")[1]
+                    if nmv != target and vv.state == OWNED and \
+                            re.search(rf"\b{re.escape(nmv)}\b", rhs):
+                        vv.state = ESCAPED
+
+        # use-after-release: released locals mentioned again (the
+        # statement that performed a release is the release itself,
+        # not a stale read — double-release is reported separately)
+        for k, vv in state.items():
+            if vv.kind != "var" or vv.state != RELEASED or \
+                    k in released_here:
+                continue
+            for m in re.finditer(rf"\b{re.escape(k)}\b", text):
+                if vv.rel_line == line and m.start() <= vv.rel_off:
+                    continue
+                if target == k and eq_off >= 0 and m.start() < eq_off:
+                    continue  # re-assignment target, not a read
+                self.report(
+                    line, "use-after-release",
+                    f"'{k}' is read after its reference was released "
+                    f"at line {vv.rel_line}")
+                break
+
+    def _release(self, b, off, line, state):
+        v = state.get(b)
+        if v is not None and v.kind == "var":
+            if v.state == OWNED:
+                v.state = RELEASED
+                v.rel_off = off
+                v.rel_line = line
+            elif v.state == RELEASED:
+                self.report(
+                    line, "double-release",
+                    f"'{b}' was already released at line "
+                    f"{v.rel_line} on this path")
+            return
+        # otherwise discharge the most recent matching acquire
+        for k in reversed(list(state.keys())):
+            vv = state[k]
+            if vv.kind == "acq" and vv.state == OWNED and \
+                    k.split(":")[1] == b:
+                vv.state = RELEASED
+                return
+
+    def _consume(self, b, line, state):
+        for k, vv in state.items():
+            nmv = k if vv.kind == "var" else k.split(":")[1]
+            if nmv != b:
+                continue
+            if vv.state == OWNED:
+                vv.state = ESCAPED
+            elif vv.state == RELEASED and vv.kind == "var":
+                self.report(
+                    line, "use-after-release",
+                    f"'{b}' is handed to a consuming call after its "
+                    f"reference was released at line {vv.rel_line}")
+
+    def _soft(self, b, line, state):
+        for k, vv in state.items():
+            nmv = k if vv.kind == "var" else k.split(":")[1]
+            if nmv == b and vv.state == OWNED:
+                vv.state = ESCAPED
+
+    # -- path walking -----------------------------------------------------
+
+    def end_path(self, state, terminal, line):
+        for k, vv in state.items():
+            if vv.state != OWNED:
+                continue
+            name = k if vv.kind == "var" else k.split(":")[1]
+            if terminal == "throw":
+                rule = "leak-on-throw"
+                how = "the throw"
+            elif terminal == "return":
+                rule = "leak" if vv.kind == "var" else \
+                    "unbalanced-acquire"
+                how = f"the return at line {line}"
+            else:
+                rule = "leak" if vv.kind == "var" else \
+                    "unbalanced-acquire"
+                how = "the end of the function"
+            what = "the reference acquired" if vv.kind == "acq" else \
+                "an owned reference acquired"
+            self.report(
+                vv.line, rule,
+                f"'{name}' still owns {what} at line {vv.line} when "
+                f"the path reaches {how}; release or transfer it "
+                "(or waive with // hicamp-refcount: waive(reason))")
+
+    def fork(self):
+        self.paths += 1
+        return self.paths <= kPathCap
+
+    def walk_seq(self, nodes, idx, state):
+        """Walk nodes[idx:] with state; returns the list of surviving
+        states (paths that did not terminate)."""
+        while idx < len(nodes):
+            node = nodes[idx]
+            idx += 1
+            k = node.kind
+            if k == "stmt":
+                self.process_stmt(node.text, node.line, state)
+            elif k == "return":
+                self.process_stmt(node.text, node.line, state,
+                                  in_return=True)
+                self._escape_mentions(node.text, state)
+                self.end_path(state, "return", node.line)
+                return []
+            elif k == "throw":
+                self.process_stmt(node.text, node.line, state)
+                self._escape_mentions(node.text, state)
+                self.end_path(state, "throw", node.line)
+                return []
+            elif k == "block":
+                if node.cond:
+                    self.process_stmt(node.cond, node.line, state,
+                                      in_cond=True)
+                survivors = self.walk_seq(node.children, 0, state)
+                out = []
+                for s in survivors:
+                    out.extend(self.walk_seq(nodes, idx, s))
+                return out
+            elif k == "if":
+                then_state = state
+                else_state = clone_state(state) if self.fork() else None
+                self._apply_cond(node, then_state, else_state)
+                survivors = self.walk_seq(node.children, 0, then_state)
+                if else_state is not None:
+                    if node.orelse:
+                        survivors += self.walk_seq(node.orelse, 0,
+                                                   else_state)
+                    else:
+                        survivors.append(else_state)
+                out = []
+                for s in survivors:
+                    out.extend(self.walk_seq(nodes, idx, s))
+                return out
+            elif k == "loop":
+                # Loops are analyzed as executing exactly once: the
+                # zero-iteration path would report ownership moved by
+                # the (always-taken in practice) body as leaked, and
+                # a second iteration adds no new ownership facts to a
+                # path-local analysis.
+                self._apply_cond(node, state, None)
+                survivors = self.walk_seq(node.children, 0, state)
+                out = []
+                for s in survivors:
+                    out.extend(self.walk_seq(nodes, idx, s))
+                return out
+            elif k == "try":
+                catch_states = [clone_state(state)
+                                for _ in node.catches if self.fork()]
+                survivors = self.walk_seq(node.children, 0, state)
+                for cs, cb in zip(catch_states, node.catches):
+                    survivors += self.walk_seq(cb, 0, cs)
+                out = []
+                for s in survivors:
+                    out.extend(self.walk_seq(nodes, idx, s))
+                return out
+        return [state]
+
+    def _apply_cond(self, node, succ_state, fail_state):
+        """Condition events; try-acquires are branch-sensitive — only
+        the success branch owes the acquired reference."""
+        cond, line = node.cond, node.line
+        calls = self.scan_calls(cond)
+        tries = [c for c in calls if c["name"] in self.kb.try_acquirers]
+        self.process_stmt(cond, line, succ_state, in_cond=True)
+        if fail_state is not None:
+            self.process_stmt(cond, line, fail_state, in_cond=True)
+        for c in tries:
+            negated = bool(re.search(r"!\s*[\w.\->:]*$",
+                                     cond[:c["start"]]))
+            b = base_id(c["args"][0]) if c["args"] else None
+            if not b:
+                continue
+            tgt = fail_state if negated else succ_state
+            if tgt is not None:
+                tgt[f"acq:{b}:{line}:{c['start']}"] = \
+                    Var(OWNED, line, "acq")
+
+    def _escape_mentions(self, text, state):
+        for k, vv in state.items():
+            name = k if vv.kind == "var" else k.split(":")[1]
+            if vv.state == OWNED and \
+                    re.search(rf"\b{re.escape(name)}\b", text):
+                vv.state = ESCAPED
+            elif vv.state == RELEASED and vv.kind == "var" and \
+                    re.search(rf"\b{re.escape(name)}\b", text):
+                self.report(
+                    vv.rel_line, "use-after-release",
+                    f"'{name}' is returned/thrown after its "
+                    f"reference was released at line {vv.rel_line}")
+
+
+# ---------------------------------------------------------------------------
+# File driver
+
+
+def relevant(body):
+    """Cheap gate: only bodies that mention the vocabulary at all."""
+    return re.search(
+        r"\b(lookup|internLine|makeLeaf|makeNode|build\w*|setWord|"
+        r"snapshot|lift|boxSegment|incRef\w*|decRef|retain|tryRetain|"
+        r"addRef|release\w*|retire|freeLine|adopt|intern|disown)\s*\(",
+        body) is not None
+
+
+def check_file(path, kb, findings):
+    raw = open(path, encoding="utf-8").read()
+    raw_lines = raw.splitlines()
+    code = strip_comments_and_strings(raw)
+
+    # reasonless waivers are findings wherever they sit
+    for i, l in enumerate(raw_lines):
+        if WAIVER_EMPTY_RE.search(l):
+            findings.append(Finding(
+                path, i + 1, "waiver-missing-reason",
+                "waiver has no rationale; write "
+                "// hicamp-refcount: waive(<why this is sound>)"))
+
+    funcs = functions_libclang(path, code) or functions_tokens(code)
+    for start_line, head, body in funcs:
+        if "HICAMP_REF_PRIMITIVE" in head:
+            continue
+        if "HICAMP_ACQUIRES_REF" in head or \
+                "HICAMP_RELEASES_REF" in head:
+            # one-sided by contract: the declared imbalance IS the
+            # function's job (retain/release wrapper bodies)
+            continue
+        fa = FunctionAnalysis(path, raw_lines, kb, findings)
+        name, params = head_function(head)
+
+        # consumes-param-not-consumed: declaration promised to take
+        # the reference over; a body never touching the parameter in a
+        # discharging position cannot have kept that promise.
+        consumed = set()
+        if "HICAMP_CONSUMES_REF" in head:
+            for m in re.finditer(
+                    r"HICAMP_CONSUMES_REF\b([^,()]*(?:\([^)]*\))?[^,()]*)",
+                    head):
+                pn = param_name(m.group(1))
+                if pn and pn in params:
+                    consumed.add(pn)
+        if name in kb.consumed_params:
+            consumed |= {p for p in kb.consumed_params[name]
+                         if p in params}
+        for pn in consumed:
+            if not re.search(rf"\b{re.escape(pn)}\b", body):
+                fa.report(
+                    start_line, "consumes-param-not-consumed",
+                    f"parameter '{pn}' is declared "
+                    "HICAMP_CONSUMES_REF but the body never releases, "
+                    "forwards or stores it; the taken-over reference "
+                    "has nowhere to go")
+
+        if not relevant(body):
+            continue
+        tree = parse_stmts(body, start_line)
+        survivors = fa.walk_seq(tree, 0, {})
+        for s in survivors:
+            fa.end_path(s, "end",
+                        start_line + body.count("\n"))
+
+
+def default_targets(root):
+    targets = []
+    top = os.path.join(root, "src")
+    if os.path.isdir(top):
+        for dirpath, _, files in os.walk(top):
+            for f in sorted(files):
+                if f.endswith((".hh", ".cc")):
+                    targets.append(os.path.join(dirpath, f))
+    return targets
+
+
+def main(argv=None):
+    ap = argparse.ArgumentParser(
+        description="HICAMP refcount-ownership checker")
+    ap.add_argument("files", nargs="*",
+                    help="files to check (default: src/ under --root)")
+    ap.add_argument("--root", default=os.path.dirname(
+        os.path.dirname(os.path.dirname(os.path.abspath(__file__)))),
+        help="repository root (annotation KB is harvested from its "
+             "src/ tree)")
+    ap.add_argument("--no-harvest", action="store_true",
+                    help="seed KB only (hermetic fixture runs)")
+    args = ap.parse_args(argv)
+
+    root = os.path.abspath(args.root)
+    kb = KB()
+    if not args.no_harvest:
+        kb.harvest(root)
+
+    files = [os.path.abspath(f) for f in args.files] or \
+        default_targets(root)
+    findings = []
+    seen = set()
+    for path in files:
+        if not os.path.isfile(path):
+            print(f"refcount_check: no such file: {path}",
+                  file=sys.stderr)
+            return 2
+        check_file(path, kb, findings)
+
+    uniq = []
+    for f in sorted(findings, key=lambda f: (f.path, f.line, f.rule)):
+        if f.key() in seen:
+            continue
+        seen.add(f.key())
+        uniq.append(f)
+    for f in uniq:
+        print(f)
+    print(f"refcount_check: {len(uniq)} finding(s) in "
+          f"{len(files)} file(s)")
+    return 1 if uniq else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

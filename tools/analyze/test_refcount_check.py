@@ -1,0 +1,104 @@
+#!/usr/bin/env python3
+"""Self-test for tools/analyze/refcount_check.py.
+
+Every bad_*.cc fixture must produce exactly its expected rule (the
+``Expect:`` line in the fixture header); every clean_*.cc twin must
+come back with zero findings.  Fixture runs are hermetic: --no-harvest
+keeps the KB at the seeded vocabulary so a single fixture file checks
+the same way everywhere.
+"""
+
+import io
+import os
+import re
+import sys
+import unittest
+from contextlib import redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import refcount_check  # noqa: E402
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "fixtures")
+
+
+def run_checker(paths):
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        status = refcount_check.main(["--no-harvest"] + paths)
+    return status, buf.getvalue()
+
+
+def expected_rule(path):
+    text = open(path, encoding="utf-8").read()
+    m = re.search(r"Expect:\s*([\w-]+)", text)
+    return m.group(1) if m else None
+
+
+class FixtureTests(unittest.TestCase):
+    def test_every_bad_fixture_is_flagged_with_its_rule(self):
+        bads = sorted(f for f in os.listdir(FIXTURES)
+                      if f.startswith("bad_") and f.endswith(".cc"))
+        self.assertGreaterEqual(len(bads), 10,
+                                "fixture corpus shrank below 10 bugs")
+        for f in bads:
+            path = os.path.join(FIXTURES, f)
+            rule = expected_rule(path)
+            self.assertIsNotNone(rule, f"{f} lacks an Expect: header")
+            status, out = run_checker([path])
+            self.assertEqual(status, 1,
+                             f"{f} expected findings, got:\n{out}")
+            self.assertIn(f"[{rule}]", out,
+                          f"{f} expected rule {rule}, got:\n{out}")
+
+    def test_every_clean_twin_passes(self):
+        cleans = sorted(f for f in os.listdir(FIXTURES)
+                        if f.startswith("clean_") and f.endswith(".cc"))
+        self.assertGreaterEqual(len(cleans), 10)
+        for f in cleans:
+            status, out = run_checker([os.path.join(FIXTURES, f)])
+            self.assertEqual(
+                status, 0, f"{f} should be clean but got:\n{out}")
+
+    def test_bad_corpus_in_one_run(self):
+        bads = sorted(os.path.join(FIXTURES, f)
+                      for f in os.listdir(FIXTURES)
+                      if f.startswith("bad_") and f.endswith(".cc"))
+        status, out = run_checker(bads)
+        self.assertEqual(status, 1)
+        # one finding per seeded bug: no fixture double-reports
+        for f in bads:
+            rule = expected_rule(f)
+            hits = [l for l in out.splitlines()
+                    if l.startswith(f + ":")]
+            self.assertEqual(
+                len(hits), 1,
+                f"{os.path.basename(f)} wants exactly one finding, "
+                f"got {hits}")
+            self.assertIn(f"[{rule}]", hits[0])
+
+
+class EngineTests(unittest.TestCase):
+    def test_waiver_suppresses_with_reason(self):
+        path = os.path.join(FIXTURES, "clean_waiver_reason.cc")
+        status, out = run_checker([path])
+        self.assertEqual(status, 0, out)
+
+    def test_missing_file_is_usage_error(self):
+        status, _ = run_checker([os.path.join(FIXTURES, "nope.cc")])
+        self.assertEqual(status, 2)
+
+    def test_kb_harvests_annotations(self):
+        kb = refcount_check.KB()
+        kb.harvest_text(
+            "HICAMP_RETURNS_REF Plid grab(const Line &l);\n"
+            "void give(HICAMP_CONSUMES_REF Plid p, int n);\n"
+            "HICAMP_RELEASES_REF void drop(Plid p);\n")
+        self.assertIn("grab", kb.producers)
+        self.assertIn("drop", kb.releasers)
+        self.assertEqual(kb.consumer_indices.get("give"), {0})
+        self.assertEqual(kb.consumed_params.get("give"), {"p"})
+
+
+if __name__ == "__main__":
+    unittest.main()

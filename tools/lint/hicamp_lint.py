@@ -18,7 +18,11 @@ retain-balance
     deliberate over-approximation a token-level pass can check
     deterministically.  Waive a site with
     ``// hicamp-lint: retain-ok(<reason>)`` on the call's line or the
-    line above.
+    line above.  Bodies built on the RAII ownership layer (``PlidRef``
+    / ``EntryRef`` / ``OwnedEntries``, DESIGN.md §10) are skipped:
+    the path-sensitive checker ``tools/analyze/refcount_check.py``
+    owns those, and reporting them here twice would force double
+    waivers.
 
 assert-side-effect
     ``HICAMP_DEBUG_ASSERT`` is compiled out of release builds, so any
@@ -84,6 +88,10 @@ RELEASE_RE = re.compile(
     r"retire|freeLine)\s*\(")
 VALUE_RETURN_RE = re.compile(r"\breturn\s+[^;]")
 RETAIN_WAIVER_RE = re.compile(r"hicamp-lint:\s*retain-ok\(")
+# RAII ownership vocabulary (DESIGN.md §10): bodies using it belong to
+# the path-sensitive tools/analyze/refcount_check.py, not this rule.
+RAII_VOCAB_RE = re.compile(
+    r"\b(?:PlidRef|EntryRef|OwnedEntries)\b")
 RELAXED_WAIVER_RE = re.compile(r"hicamp-lint:\s*relaxed-ok\(")
 RELAXED_LOAD_RE = re.compile(
     r"\.\s*(?:load|test)\s*\(\s*std::memory_order_relaxed\s*\)")
@@ -252,6 +260,8 @@ def check_retain_balance(path, raw, code, findings):
     bodies = function_bodies_libclang(path) or \
         function_bodies_tokens(code)
     for start_line, body in bodies:
+        if RAII_VOCAB_RE.search(body):
+            continue  # owned by the path-sensitive refcount checker
         acquires = []
         has_negative_addref = False
         for m in ACQUIRE_RE.finditer(body):
@@ -469,7 +479,8 @@ def default_targets(root):
         if not os.path.isdir(top):
             continue
         for dirpath, _, files in os.walk(top):
-            if "lint" in dirpath.split(os.sep):
+            parts = dirpath.split(os.sep)
+            if "lint" in parts or "analyze" in parts:
                 continue  # fixtures are violations on purpose
             for f in sorted(files):
                 if f.endswith((".hh", ".cc")):

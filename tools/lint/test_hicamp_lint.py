@@ -133,6 +133,17 @@ class CleanRunTests(unittest.TestCase):
                          f"{proc.stdout}{proc.stderr}")
         self.assertEqual(findings_of(proc.stdout), set())
 
+    def test_raii_bodies_are_deferred_to_refcount_checker(self):
+        # Acquires handed to PlidRef/OwnedEntries have no release
+        # primitive and no value return, but the RAII layer balances
+        # them; retain-balance must stay silent (the path-sensitive
+        # refcount checker owns those bodies).
+        path = os.path.join(FIXTURES, "plidref_raii.cc")
+        proc = run_lint("--no-lock-order", path)
+        self.assertEqual(proc.returncode, 0,
+                         f"{proc.stdout}{proc.stderr}")
+        self.assertEqual(findings_of(proc.stdout), set())
+
     def test_missing_file_is_usage_error(self):
         proc = run_lint("--no-lock-order",
                         os.path.join(FIXTURES, "no_such_file.cc"))
