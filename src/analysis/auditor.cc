@@ -40,6 +40,8 @@ auditKindName(AuditKind k)
         return "bucket-layout";
       case AuditKind::CounterDrift:
         return "counter-drift";
+      case AuditKind::LimboState:
+        return "limbo-state";
       case AuditKind::RefSaturated:
         return "refcount-saturated";
     }
@@ -55,7 +57,7 @@ constexpr AuditKind kAllKinds[] = {
     AuditKind::DagCycle,       AuditKind::DagMalformed,
     AuditKind::CompactionPath, AuditKind::CompactionData,
     AuditKind::BucketLayout,   AuditKind::CounterDrift,
-    AuditKind::RefSaturated,
+    AuditKind::LimboState,     AuditKind::RefSaturated,
 };
 
 /** Replicates SegBuilder::tryInline's packability test (no output). */
@@ -93,6 +95,13 @@ class AuditRun
     {
         // Audits run at quiescent points (no concurrent mutators);
         // the store/map iteration primitives take their own locks.
+        // First drive the store to an *epoch*-quiescent point (§12):
+        // every retirement with no surviving reader is physically
+        // freed, so the refcount-total check below is exact and
+        // whatever stays in limbo is genuinely reader-pinned.
+        if (opts_.syncEpoch)
+            store_.epochSynchronize();
+        scanLimbo();
         scanStore();
         scanRoots();
         scanIterators();
@@ -134,6 +143,67 @@ class AuditRun
         }
         ++expected_[target];
         ++rep_.refsAccounted;
+    }
+
+    /**
+     * Pass 0 — limbo sweep (§12): every line parked in the epoch
+     * domain's limbo lists must be *live-but-retired* — its refcount
+     * consumed by retirement, its slot unpublished, but its content
+     * storage intact (never dangling) until grace expiry. The
+     * storage checks run inside an epoch guard so the slots cannot
+     * drain mid-scan; the dedup probe runs after the guard exits
+     * (its miss path falls back to stripe locks, which §7 forbids
+     * inside a pinned section).
+     */
+    void
+    scanLimbo()
+    {
+        struct LimboLine {
+            Plid plid;
+            Line content;
+        };
+        std::vector<LimboLine> limbo;
+        {
+            EpochGuard eg(store_.epochDomain());
+            store_.forEachLimbo([&](Plid p) {
+                // Materializing the content is itself the "never
+                // dangling" check: limbo parks the slot's storage,
+                // so the copy must succeed under the guard.
+                limbo.push_back({p, store_.read(p)});
+                if (store_.isLive(p)) {
+                    add(AuditKind::LimboState, p,
+                        "retired line still published as live");
+                }
+                const std::uint32_t refs = store_.refCount(p);
+                if (refs != 0) {
+                    add(AuditKind::LimboState, p,
+                        strfmt("limbo line carries refcount %u "
+                               "(retirement consumes the store's "
+                               "reference)",
+                               refs));
+                }
+            });
+        }
+        rep_.limboScanned = limbo.size();
+        if (limbo.size() != store_.limboLines()) {
+            add(AuditKind::CounterDrift, kZeroPlid,
+                strfmt("limboLines counter %llu but the deferred "
+                       "list holds %llu",
+                       static_cast<unsigned long long>(
+                           store_.limboLines()),
+                       static_cast<unsigned long long>(limbo.size())));
+        }
+        // Unpublished: a retired line must be invisible to dedup. A
+        // fresh insert of the same content may legally coexist — but
+        // it must have been given a different slot.
+        for (const LimboLine &ll : limbo) {
+            auto probe = store_.find(ll.content);
+            if (probe.found && probe.plid == ll.plid) {
+                add(AuditKind::LimboState, ll.plid,
+                    "limbo line still reachable through dedup "
+                    "lookup");
+            }
+        }
     }
 
     /**
@@ -347,6 +417,24 @@ class AuditRun
                     strfmt("stored refcount %u but %llu references "
                            "accounted (free would dangle them)",
                            refs, static_cast<unsigned long long>(exp)));
+            }
+        }
+
+        // Refcount total at the epoch-quiescent point (§12): the
+        // store's slot-by-slot sum must equal the live-line sum —
+        // a difference means a stale count survived on a retired
+        // (limbo or freed) slot. Only exact once synchronized.
+        if (opts_.syncEpoch) {
+            std::uint64_t sum = 0;
+            for (const auto &kv : stored_)
+                sum += kv.second;
+            const std::uint64_t total = store_.totalRefs();
+            if (total != sum) {
+                add(AuditKind::CounterDrift, kZeroPlid,
+                    strfmt("totalRefs() %llu but the live-line scan "
+                           "sums %llu at the epoch-quiescent point",
+                           static_cast<unsigned long long>(total),
+                           static_cast<unsigned long long>(sum)));
             }
         }
     }
@@ -648,10 +736,12 @@ AuditReport::print(std::FILE *out) const
     counts.print(out);
     std::fprintf(
         out,
-        "scanned: %llu lines (%llu overflow), %llu edges, %llu roots, "
+        "scanned: %llu lines (%llu overflow, %llu in limbo), %llu "
+        "edges, %llu roots, "
         "%llu iterators, %llu external refs, %llu refs accounted\n",
         static_cast<unsigned long long>(linesScanned),
         static_cast<unsigned long long>(overflowScanned),
+        static_cast<unsigned long long>(limboScanned),
         static_cast<unsigned long long>(edgesScanned),
         static_cast<unsigned long long>(rootsScanned),
         static_cast<unsigned long long>(iteratorsScanned),

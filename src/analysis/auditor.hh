@@ -27,6 +27,12 @@
  *     the bucket its content hash selects, its signature way entry
  *     matches, and overflow lines are reachable through the overflow
  *     pointer chain.
+ *  5. Epoch/limbo invariants (DESIGN.md §12): every line parked in
+ *     limbo is live-but-retired — unpublished (invisible to dedup
+ *     lookup), refcount zero, content storage still intact — never
+ *     dangling; and at the epoch-quiescent point the audit
+ *     establishes first, the store's refcount total exactly equals
+ *     the live-line sum (no stale count survives on a retired slot).
  *
  * The audit is a stop-the-world diagnostic: it takes the memory
  * system's global lock and never generates modelled DRAM traffic.
@@ -61,6 +67,7 @@ enum class AuditKind : std::uint8_t {
     CompactionData,  ///< packable subtree that should be inline
     BucketLayout,    ///< line in wrong bucket / bad signature / chain
     CounterDrift,    ///< store counters disagree with a full scan
+    LimboState,      ///< retired line violates a §12 limbo invariant
     RefSaturated,    ///< sticky-saturated refcount (informational)
 };
 
@@ -92,6 +99,7 @@ struct AuditReport {
     /// @{
     std::uint64_t linesScanned = 0;
     std::uint64_t overflowScanned = 0;
+    std::uint64_t limboScanned = 0;
     std::uint64_t edgesScanned = 0;
     std::uint64_t rootsScanned = 0;
     std::uint64_t iteratorsScanned = 0;
@@ -131,6 +139,11 @@ class Auditor
         /// snapshot descriptors the caller still holds (each owns one
         /// root reference)
         std::vector<SegDesc> externalSegs;
+        /// drive the store to an epoch-quiescent point first
+        /// (LineStore::epochSynchronize, §12) so refcount totals are
+        /// exact and limbo holds only reader-pinned retirements;
+        /// clear it to inspect an in-flight state as-is
+        bool syncEpoch = true;
         /// recording cap; further violations only bump `truncated`
         std::size_t maxViolations = 64;
     };

@@ -124,13 +124,22 @@ class HICAMP_CAPABILITY("lock_rank") LockRank
  *   rank 2  vsm    — SegmentMap::mapMutex_ (+ the per-slot seqlock
  *           write side, entered only under it)
  *   rank 3  stripe — LineStore bucket stripes
- *   rank 4  leaf   — cache set spinlocks, the fault-injector mutex,
+ *   rank 4  epoch  — read-side epoch guards (mem/epoch.hh). Never a
+ *           blocking lock; ranked so that acquiring a stripe *inside*
+ *           an epoch-pinned read section is a compile error — the §12
+ *           protocol requires read sections to stay lock-free, and a
+ *           stripe acquired under a pinned epoch could deadlock
+ *           against a writer flushing limbo (which reacquires
+ *           stripes). Taking a guard while *holding* a stripe is
+ *           fine (retire pins after locking).
+ *   rank 5  leaf   — cache set spinlocks, the fault-injector mutex,
  *           stats shards (lock-free; listed for completeness)
  */
 namespace lockrank {
 inline LockRank vsm;
 inline LockRank stripe HICAMP_ACQUIRED_AFTER(vsm);
-inline LockRank leaf HICAMP_ACQUIRED_AFTER(stripe);
+inline LockRank epoch HICAMP_ACQUIRED_AFTER(stripe);
+inline LockRank leaf HICAMP_ACQUIRED_AFTER(epoch);
 } // namespace lockrank
 
 /** std::mutex as an annotated capability. */

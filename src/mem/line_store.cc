@@ -44,7 +44,9 @@ LineStore::LineStore(std::uint64_t num_buckets, unsigned line_words,
       metas_(num_buckets * BucketLayout::kNumData * line_words, 0),
       sigs_(num_buckets * BucketLayout::kNumData, 0),
       refs_(num_buckets * BucketLayout::kNumData),
-      liveMask_(num_buckets), overflow_(numStripes_)
+      liveMask_(num_buckets), limboMask_(num_buckets),
+      overflow_(numStripes_), epoch_(limits.epochBatchSize),
+      lockExcl_(numStripes_), lockShared_(numStripes_)
 {
     HICAMP_ASSERT(std::has_single_bit(num_buckets),
                   "bucket count must be a power of two");
@@ -57,17 +59,85 @@ LineStore::LineStore(std::uint64_t num_buckets, unsigned line_words,
                   : (std::uint32_t{1} << limits.refcountBits) - 1;
 }
 
+LineStore::~LineStore()
+{
+    // Deferred frees dereference this object's arrays: run every
+    // limbo entry before any member is destroyed. No concurrent
+    // readers may exist here (destruction races nothing).
+    epoch_.drainAllUnsafe();
+}
+
+const LineStore::OverflowEntry *
+LineStore::overflowEntryAcquire(unsigned stripe, std::uint64_t idx) const
+{
+    if (stripe >= numStripes_)
+        return nullptr;
+    const OverflowShard &shard = overflow_[stripe];
+    // Acquire on the published size and the chunk-directory slot:
+    // pairs with the release stores in overflowAllocSlot, so a
+    // published index always sees a constructed chunk.
+    if (idx >= shard.size.load(std::memory_order_acquire))
+        return nullptr;
+    OverflowEntry *chunk =
+        shard.chunks[idx >> OverflowShard::kChunkShift].load(
+            std::memory_order_acquire);
+    if (chunk == nullptr)
+        return nullptr;
+    return &chunk[idx & (OverflowShard::kChunkSize - 1)];
+}
+
+LineStore::OverflowEntry &
+LineStore::overflowEntryAt(unsigned stripe, std::uint64_t idx) const
+{
+    OverflowEntry *e = const_cast<LineStore *>(this)
+                           ->overflowEntryAcquire(stripe, idx);
+    HICAMP_DEBUG_ASSERT(e != nullptr, "malformed overflow PLID");
+    return *e;
+}
+
+std::uint64_t
+LineStore::overflowAllocSlot(OverflowShard &shard)
+{
+    if (!shard.freeList.empty()) {
+        const std::uint64_t idx = shard.freeList.back();
+        shard.freeList.pop_back();
+        return idx;
+    }
+    const std::uint64_t idx = shard.size.load(std::memory_order_relaxed);
+    const std::uint64_t ci = idx >> OverflowShard::kChunkShift;
+    HICAMP_ASSERT(ci < OverflowShard::kMaxChunks,
+                  "overflow shard slab exhausted");
+    if (shard.chunks[ci].load(std::memory_order_relaxed) == nullptr) {
+        // Construct the whole chunk before publishing its pointer;
+        // the release pairs with readers' acquire directory loads.
+        shard.chunks[ci].store(new OverflowEntry[OverflowShard::kChunkSize],
+                               std::memory_order_release);
+    }
+    shard.size.store(idx + 1, std::memory_order_release);
+    return idx;
+}
+
 std::uint64_t
 LineStore::bucketOfPlid(Plid plid) const
 {
     if (isOverflow(plid)) {
         const unsigned stripe = overflowStripe(plid);
         HICAMP_DEBUG_ASSERT(stripe < numStripes_, "malformed PLID");
+        if (limits_.epochReclaim) {
+            // Lock-free (§12): homeBucket is written once before the
+            // entry is published and rewritten only when the slot
+            // recycles through the free list — which the caller's
+            // reference (or the grace period, for limbo lines)
+            // excludes for the duration of the guard.
+            EpochGuard eg(epoch_);
+            const OverflowEntry *e =
+                overflowEntryAcquire(stripe, overflowIdx(plid));
+            HICAMP_DEBUG_ASSERT(e != nullptr, "malformed overflow PLID");
+            return e->homeBucket;
+        }
+        noteShared(stripe);
         StripeShared g(stripes_, stripe);
-        const std::uint64_t idx = overflowIdx(plid);
-        HICAMP_DEBUG_ASSERT(idx < overflow_[stripe].entries.size(),
-                            "malformed PLID");
-        return overflow_[stripe].entries[idx].homeBucket;
+        return overflowEntryAt(stripe, overflowIdx(plid)).homeBucket;
     }
     return plid >> BucketLayout::kWayBits;
 }
@@ -98,6 +168,25 @@ LineStore::setSlotLive(std::uint64_t slot, bool live)
                                    std::memory_order_release);
     } else {
         liveMask_[bucket].fetch_and(
+            static_cast<std::uint16_t>(~(1u << bit)),
+            std::memory_order_release);
+    }
+}
+
+void
+LineStore::setSlotLimbo(std::uint64_t slot, bool limbo)
+{
+    std::uint64_t bucket = slot / BucketLayout::kNumData;
+    unsigned bit = static_cast<unsigned>(slot % BucketLayout::kNumData);
+    // Release on set so a reader's live-or-limbo debug check never
+    // observes the transient neither state (retire sets limbo before
+    // it clears live).
+    if (limbo) {
+        limboMask_[bucket].fetch_or(
+            static_cast<std::uint16_t>(1u << bit),
+            std::memory_order_release);
+    } else {
+        limboMask_[bucket].fetch_and(
             static_cast<std::uint16_t>(~(1u << bit)),
             std::memory_order_release);
     }
@@ -145,14 +234,43 @@ LineStore::findImpl(const Line &content, std::uint64_t hash) const
             return r;
         }
     }
-    const OverflowShard &shard = overflow_[stripeOfBucket(b)];
+    const unsigned stripe = stripeOfBucket(b);
+    const OverflowShard &shard = overflow_[stripe];
     auto [lo, hi] = shard.index.equal_range(hash);
     for (auto it = lo; it != hi; ++it) {
-        const OverflowEntry &e = shard.entries[it->second];
+        const OverflowEntry &e = overflowEntryAt(stripe, it->second);
         if (e.live.load(std::memory_order_relaxed) && e.line == content) {
-            r.plid = overflowPlid(stripeOfBucket(b), it->second);
+            r.plid = overflowPlid(stripe, it->second);
             r.found = true;
             r.overflow = true;
+            return r;
+        }
+    }
+    return r;
+}
+
+LineStore::FindResult
+LineStore::probeHome(const Line &content, std::uint64_t hash) const
+{
+    HICAMP_DEBUG_ASSERT(epoch_.activeOnThisThread(),
+                        "lock-free probe outside an epoch guard");
+    FindResult r;
+    const std::uint64_t b = bucketOf(hash);
+    const std::uint8_t sig = signatureOfHash(hash);
+    const std::uint64_t base = b * BucketLayout::kNumData;
+    for (unsigned w = 0; w < BucketLayout::kNumData; ++w) {
+        const std::uint64_t slot = base + w;
+        // The acquire load of the occupancy bit orders the slot's
+        // content stores (publication) before our reads; the epoch
+        // guard keeps the storage from being recycled between this
+        // check and the materialize (§12).
+        if (!slotLive(slot) || sigs_[slot] != sig)
+            continue;
+        r.candidates.push_back(plidOf(b, w));
+        r.candidateLines.push_back(materialize(slot));
+        if (slotEquals(slot, content)) {
+            r.plid = r.candidates.back();
+            r.found = true;
             return r;
         }
     }
@@ -166,6 +284,18 @@ LineStore::find(const Line &content) const
     HICAMP_ASSERT(!content.isZero(), "zero line is implicit (PLID 0)");
     const std::uint64_t hash = content.contentHash();
     const unsigned stripe = stripeOfBucket(bucketOf(hash));
+    if (limits_.epochReclaim) {
+        // Lock-free probe (§12): a home-bucket hit — the hot case —
+        // returns without touching the stripe. The guard must close
+        // before the locked fallback (§7 rank order).
+        EpochGuard eg(epoch_);
+        FindResult r = probeHome(content, hash);
+        if (r.found)
+            return r;
+    }
+    // Miss (or possible overflow resident): the overflow hash chain
+    // lives behind the stripe lock.
+    noteShared(stripe);
     StripeShared g(stripes_, stripe);
     return findImpl(content, hash);
 }
@@ -178,86 +308,129 @@ LineStore::findOrInsert(const Line &content, bool take_ref)
     const std::uint64_t hash = content.contentHash();
     const std::uint64_t b = bucketOf(hash);
     const unsigned stripe = stripeOfBucket(b);
-    StripeExclusive g(stripes_, stripe);
 
-    FindResult r = findImpl(content, hash);
-    if (r.found) {
-        // Dedup hit. Taking the reference inside the bucket's
-        // critical section is what lets a hit on a dying (count 0)
-        // line resurrect it safely: retire() serializes on the same
-        // stripe lock and re-checks the count.
-        if (take_ref) {
-            if (r.overflow) {
-                adjustRef(
-                    overflow_[stripe].entries[overflowIdx(r.plid)].refs,
-                    +1);
-            } else {
-                adjustRef(refs_[slotOf(r.plid)], +1);
-            }
-        }
-        return r;
-    }
-
-    if (!tryReserveLine()) {
-        r.status = MemStatus::OutOfMemory;
-        return r;
-    }
-
-    const std::uint8_t sig = signatureOfHash(hash);
-    const std::uint64_t base = b * BucketLayout::kNumData;
-    if (liveMask_[b].load(std::memory_order_relaxed) !=
-        (1u << BucketLayout::kNumData) - 1) {
-        for (unsigned w = 0; w < BucketLayout::kNumData; ++w) {
-            const std::uint64_t slot = base + w;
-            if (slotLive(slot))
-                continue;
-            Word *dst = &words_[slot * lineWords_];
-            std::uint16_t *dm = &metas_[slot * lineWords_];
-            for (unsigned i = 0; i < lineWords_; ++i) {
-                dst[i] = content.word(i);
-                dm[i] = content.meta(i).value();
-            }
-            sigs_[slot] = sig;
-            refs_[slot].store(take_ref ? 1 : 0,
-                              std::memory_order_relaxed);
-            // Publication point: release-store of the occupancy bit
-            // makes the content above visible to lock-free readers.
-            setSlotLive(slot, true);
-            r.plid = plidOf(b, w);
-            HICAMP_TRACE_EVENT(Store, Publish, r.plid,
-                               lineWords_ * sizeof(Word));
-            return r;
+    if (limits_.epochReclaim) {
+        // Lock-free probe phase (§12, ck_hs style): the dedup hit —
+        // the hot path — completes with zero locks. The guard scope
+        // closes before the locked fallback below (§7: a stripe may
+        // not be acquired inside an epoch section).
+        EpochGuard eg(epoch_);
+        FindResult r = probeHome(content, hash);
+        if (r.found) {
+            if (!take_ref)
+                return r;
+            // tryAcquireRef refuses a zero count, so this can never
+            // resurrect a dying line from outside the lock: success
+            // means some holder kept the count nonzero, and retire()
+            // re-checks the count under the stripe before it would
+            // unpublish.
+            if (tryAcquireRef(refs_[slotOf(r.plid)]))
+                return r;
+            // Count observed at zero: the line is being retired.
+            // Fall through to the locked path, which serializes
+            // against retire() and may legitimately resurrect it.
         }
     }
 
-    // Home bucket full: spill to this stripe's overflow shard, if the
-    // finite capacity model still has room for one more line.
-    if (!tryReserveOverflow()) {
-        liveLines_.fetch_sub(1, std::memory_order_relaxed);
-        r.status = MemStatus::OutOfMemory;
-        return r;
+    for (unsigned attempt = 0;; ++attempt) {
+        {
+            noteExcl(stripe);
+            StripeExclusive g(stripes_, stripe);
+
+            FindResult r = findImpl(content, hash);
+            if (r.found) {
+                // Dedup hit. Taking the reference inside the bucket's
+                // critical section is what lets a hit on a dying
+                // (count 0) line resurrect it safely: retire()
+                // serializes on the same stripe lock and re-checks
+                // the count.
+                if (take_ref) {
+                    if (r.overflow) {
+                        adjustRef(overflowEntryAt(stripe,
+                                                  overflowIdx(r.plid))
+                                      .refs,
+                                  +1);
+                    } else {
+                        adjustRef(refs_[slotOf(r.plid)], +1);
+                    }
+                }
+                return r;
+            }
+
+            if (!tryReserveLine()) {
+                r.status = MemStatus::OutOfMemory;
+                return r;
+            }
+
+            const std::uint8_t sig = signatureOfHash(hash);
+            const std::uint64_t base = b * BucketLayout::kNumData;
+            // A way is allocatable only if it is neither live nor
+            // parked in limbo — limbo storage must stay intact for
+            // readers whose guard predates its retirement (§12).
+            const std::uint16_t occupied =
+                liveMask_[b].load(std::memory_order_relaxed) |
+                limboMask_[b].load(std::memory_order_relaxed);
+            if (occupied != (1u << BucketLayout::kNumData) - 1) {
+                for (unsigned w = 0; w < BucketLayout::kNumData; ++w) {
+                    if ((occupied >> w) & 1)
+                        continue;
+                    const std::uint64_t slot = base + w;
+                    Word *dst = &words_[slot * lineWords_];
+                    std::uint16_t *dm = &metas_[slot * lineWords_];
+                    for (unsigned i = 0; i < lineWords_; ++i) {
+                        dst[i] = content.word(i);
+                        dm[i] = content.meta(i).value();
+                    }
+                    sigs_[slot] = sig;
+                    refs_[slot].store(take_ref ? 1 : 0,
+                                      std::memory_order_relaxed);
+                    // Publication point: release-store of the
+                    // occupancy bit makes the content above visible
+                    // to lock-free readers.
+                    setSlotLive(slot, true);
+                    r.plid = plidOf(b, w);
+                    HICAMP_TRACE_EVENT(Store, Publish, r.plid,
+                                       lineWords_ * sizeof(Word));
+                    return r;
+                }
+            }
+
+            // Home bucket full. When limbo ways are what blocks the
+            // insert and we have not flushed yet, drop the lock,
+            // synchronize the epoch and retry once: with no pinned
+            // reader this reuses the same way the immediate-free
+            // mode would, instead of spilling to overflow.
+            if (!(limits_.epochReclaim && attempt == 0 &&
+                  limboMask_[b].load(std::memory_order_relaxed) != 0)) {
+                // Spill to this stripe's overflow shard, if the
+                // finite capacity model still has room.
+                if (!tryReserveOverflow()) {
+                    liveLines_.fetch_sub(1, std::memory_order_relaxed);
+                    r.status = MemStatus::OutOfMemory;
+                    return r;
+                }
+                OverflowShard &shard = overflow_[stripe];
+                const std::uint64_t idx = overflowAllocSlot(shard);
+                OverflowEntry &e = overflowEntryAt(stripe, idx);
+                e.line = content;
+                e.homeBucket = b;
+                e.hash = hash;
+                e.refs.store(take_ref ? 1 : 0,
+                             std::memory_order_relaxed);
+                e.limbo.store(false, std::memory_order_relaxed);
+                e.live.store(true, std::memory_order_release);
+                shard.index.emplace(hash, idx);
+                r.plid = overflowPlid(stripe, idx);
+                r.overflow = true;
+                HICAMP_TRACE_EVENT(Store, OverflowAlloc, r.plid,
+                                   lineWords_ * sizeof(Word));
+                return r;
+            }
+            // Give the reservation back while we retry unlocked.
+            liveLines_.fetch_sub(1, std::memory_order_relaxed);
+        }
+        epoch_.synchronize();
     }
-    OverflowShard &shard = overflow_[stripe];
-    std::uint64_t idx;
-    if (!shard.freeList.empty()) {
-        idx = shard.freeList.back();
-        shard.freeList.pop_back();
-    } else {
-        idx = shard.entries.size();
-        shard.entries.emplace_back();
-    }
-    OverflowEntry &e = shard.entries[idx];
-    e.line = content;
-    e.homeBucket = b;
-    e.hash = hash;
-    e.refs.store(take_ref ? 1 : 0, std::memory_order_relaxed);
-    e.live.store(true, std::memory_order_release);
-    shard.index.emplace(hash, idx);
-    r.plid = overflowPlid(stripe, idx);
-    r.overflow = true;
-    HICAMP_TRACE_EVENT(Store, OverflowAlloc, r.plid,
-                       lineWords_ * sizeof(Word));
-    return r;
 }
 
 Line
@@ -268,9 +441,25 @@ LineStore::read(Plid plid) const
     if (isOverflow(plid)) {
         const unsigned stripe = overflowStripe(plid);
         HICAMP_DEBUG_ASSERT(stripe < numStripes_, "malformed PLID");
+        if (limits_.epochReclaim) {
+            // Lock-free: the guard keeps the entry's storage from
+            // being recycled while we copy it. A line the caller
+            // held a reference to (or saw live inside this same
+            // guard) is at worst in limbo — content still intact.
+            EpochGuard eg(epoch_);
+            const OverflowEntry *e =
+                overflowEntryAcquire(stripe, overflowIdx(plid));
+            HICAMP_DEBUG_ASSERT(
+                e != nullptr &&
+                    (e->live.load(std::memory_order_acquire) ||
+                     e->limbo.load(std::memory_order_acquire)),
+                "read of dead overflow line");
+            return e->line;
+        }
+        noteShared(stripe);
         StripeShared g(stripes_, stripe);
         const OverflowEntry &e =
-            overflow_[stripe].entries[overflowIdx(plid)];
+            overflowEntryAt(stripe, overflowIdx(plid));
         HICAMP_DEBUG_ASSERT(e.live.load(std::memory_order_relaxed),
                             "read of dead overflow line");
         return e.line;
@@ -278,7 +467,16 @@ LineStore::read(Plid plid) const
     // Home-bucket lines are immutable once published, so this path is
     // lock-free: the acquire load of the occupancy bit pairs with the
     // release in setSlotLive, ordering the content stores before us.
+    // Under epoch reclamation the copy additionally runs inside a
+    // guard so retire() parks (rather than clears) the slot under us.
     const std::uint64_t slot = slotOf(plid);
+    if (limits_.epochReclaim) {
+        EpochGuard eg(epoch_);
+        const bool ok = slotLive(slot) || slotLimbo(slot);
+        HICAMP_DEBUG_ASSERT(ok, "read of unallocated PLID");
+        (void)ok;
+        return materialize(slot);
+    }
     const bool live = slotLive(slot); // acquire
     HICAMP_DEBUG_ASSERT(live, "read of unallocated PLID");
     (void)live;
@@ -291,14 +489,11 @@ LineStore::isLive(Plid plid) const
     if (plid == kZeroPlid)
         return true;
     if (isOverflow(plid)) {
-        const unsigned stripe = overflowStripe(plid);
-        if (stripe >= numStripes_)
-            return false;
-        StripeShared g(stripes_, stripe);
-        const std::uint64_t idx = overflowIdx(plid);
-        return idx < overflow_[stripe].entries.size() &&
-               overflow_[stripe].entries[idx].live.load(
-                   std::memory_order_acquire);
+        // Lock-free in both modes: the slab's chunk directory only
+        // grows and the flag is atomic.
+        const OverflowEntry *e =
+            overflowEntryAcquire(overflowStripe(plid), overflowIdx(plid));
+        return e != nullptr && e->live.load(std::memory_order_acquire);
     }
     std::uint64_t bucket = plid >> BucketLayout::kWayBits;
     unsigned way = static_cast<unsigned>(plid & (BucketLayout::kWays - 1));
@@ -314,12 +509,30 @@ LineStore::refCount(Plid plid) const
 {
     if (plid == kZeroPlid)
         return 1; // the zero line is never reclaimed
+    if (limits_.epochReclaim) {
+        EpochGuard eg(epoch_);
+        return refCountImpl(plid);
+    }
+    return refCountImpl(plid);
+}
+
+std::uint32_t
+LineStore::refCountImpl(Plid plid) const
+{
+    // Torn-read satellite: a refcount snapshot is only meaningful as
+    // *stable storage* inside an epoch section — outside one the
+    // slot could be recycled mid-read. The value is advisory either
+    // way (holders retain/release concurrently); only retire()'s
+    // stripe-locked re-check may gate a free on it.
+    HICAMP_DEBUG_ASSERT(
+        !limits_.epochReclaim || epoch_.activeOnThisThread(),
+        "refcount snapshot outside an epoch guard is advisory only");
     if (isOverflow(plid)) {
-        const unsigned stripe = overflowStripe(plid);
-        HICAMP_DEBUG_ASSERT(stripe < numStripes_, "malformed PLID");
-        StripeShared g(stripes_, stripe);
-        return overflow_[stripe].entries[overflowIdx(plid)].refs.load(
-            std::memory_order_relaxed);
+        const OverflowEntry *e =
+            overflowEntryAcquire(overflowStripe(plid), overflowIdx(plid));
+        HICAMP_DEBUG_ASSERT(e != nullptr, "malformed PLID");
+        return e != nullptr ? e->refs.load(std::memory_order_relaxed)
+                            : 0;
     }
     return refs_[slotOf(plid)].load(std::memory_order_relaxed);
 }
@@ -379,13 +592,15 @@ LineStore::addRef(Plid plid, std::int32_t delta)
 {
     HICAMP_DEBUG_ASSERT(plid != kZeroPlid, "refcounting the zero line");
     if (isOverflow(plid)) {
-        const unsigned stripe = overflowStripe(plid);
-        HICAMP_DEBUG_ASSERT(stripe < numStripes_, "malformed PLID");
-        StripeShared g(stripes_, stripe);
-        OverflowEntry &e = overflow_[stripe].entries[overflowIdx(plid)];
-        HICAMP_DEBUG_ASSERT(e.live.load(std::memory_order_relaxed),
+        // Lock-free: the caller holds a reference, which pins the
+        // entry's identity (it cannot pass retire()'s zero check),
+        // and the slab gives stable addresses without a lock.
+        OverflowEntry *e =
+            overflowEntryAcquire(overflowStripe(plid), overflowIdx(plid));
+        HICAMP_DEBUG_ASSERT(e != nullptr &&
+                                e->live.load(std::memory_order_relaxed),
                             "refcount of dead overflow line");
-        return adjustRef(e.refs, delta);
+        return adjustRef(e->refs, delta);
     }
     const std::uint64_t slot = slotOf(plid);
     HICAMP_DEBUG_ASSERT(slotLive(slot), "refcount of unallocated PLID");
@@ -398,17 +613,16 @@ LineStore::incRefIfLive(Plid plid)
     if (plid == kZeroPlid)
         return true;
     if (isOverflow(plid)) {
-        const unsigned stripe = overflowStripe(plid);
-        if (stripe >= numStripes_)
+        // Lock-free weak acquire. As with the home path, a PLID from
+        // an unsynchronized channel may have been freed and its slot
+        // reused by different content — a success only means *some*
+        // live line is pinned, and the caller must re-verify content
+        // (Memory::lookupImpl does; DESIGN.md §10).
+        OverflowEntry *e =
+            overflowEntryAcquire(overflowStripe(plid), overflowIdx(plid));
+        if (e == nullptr || !e->live.load(std::memory_order_acquire))
             return false;
-        StripeShared g(stripes_, stripe);
-        const std::uint64_t idx = overflowIdx(plid);
-        if (idx >= overflow_[stripe].entries.size())
-            return false;
-        OverflowEntry &e = overflow_[stripe].entries[idx];
-        if (!e.live.load(std::memory_order_acquire))
-            return false;
-        return tryAcquireRef(e.refs);
+        return tryAcquireRef(e->refs);
     }
     std::uint64_t bucket = plid >> BucketLayout::kWayBits;
     unsigned way = static_cast<unsigned>(plid & (BucketLayout::kWays - 1));
@@ -441,9 +655,10 @@ LineStore::saturateRef(Plid plid)
 {
     HICAMP_DEBUG_ASSERT(plid != kZeroPlid, "refcounting the zero line");
     if (isOverflow(plid)) {
-        const unsigned stripe = overflowStripe(plid);
-        StripeShared g(stripes_, stripe);
-        saturateRefSlot(overflow_[stripe].entries[overflowIdx(plid)].refs);
+        OverflowEntry *e =
+            overflowEntryAcquire(overflowStripe(plid), overflowIdx(plid));
+        HICAMP_ASSERT(e != nullptr, "malformed PLID");
+        saturateRefSlot(e->refs);
         return;
     }
     saturateRefSlot(refs_[slotOf(plid)]);
@@ -478,15 +693,26 @@ LineStore::tryReserveOverflow()
 HICAMP_REF_PRIMITIVE std::optional<LineStore::Retired>
 LineStore::retire(Plid plid)
 {
+    auto out = retireLocked(plid);
+    // The batching step runs with no stripe lock held: a triggered
+    // advance drains limbo, and those callbacks re-acquire stripes.
+    if (out.has_value() && limits_.epochReclaim)
+        epoch_.maybeAdvance();
+    return out;
+}
+
+std::optional<LineStore::Retired>
+LineStore::retireLocked(Plid plid)
+{
     HICAMP_ASSERT(plid != kZeroPlid, "freeing the zero line");
     if (isOverflow(plid)) {
         const unsigned stripe = overflowStripe(plid);
         HICAMP_DEBUG_ASSERT(stripe < numStripes_, "malformed PLID");
+        noteExcl(stripe);
         StripeExclusive g(stripes_, stripe);
         OverflowShard &shard = overflow_[stripe];
         const std::uint64_t idx = overflowIdx(plid);
-        HICAMP_DEBUG_ASSERT(idx < shard.entries.size(), "malformed PLID");
-        OverflowEntry &e = shard.entries[idx];
+        OverflowEntry &e = overflowEntryAt(stripe, idx);
         // A concurrent dedup hit may have resurrected the line (or
         // another thread already retired it) — both serialize here.
         if (!e.live.load(std::memory_order_relaxed) ||
@@ -501,9 +727,23 @@ LineStore::retire(Plid plid)
                 break;
             }
         }
-        e.live.store(false, std::memory_order_release);
-        e.line = Line(lineWords_);
-        shard.freeList.push_back(idx);
+        if (limits_.epochReclaim) {
+            // Unpublish now; park the storage (§12). limbo is set
+            // before live clears so a concurrent live-or-limbo check
+            // never sees the transient neither state. The content
+            // stays intact for readers already inside a guard; the
+            // deferred free clears it and recycles the slot at grace
+            // expiry. Retirement consumes the store's reference.
+            e.limbo.store(true, std::memory_order_release);
+            e.live.store(false, std::memory_order_release);
+            limboLines_.fetch_add(1, std::memory_order_relaxed);
+            epoch_.defer(&LineStore::limboFreeOverflowThunk, this,
+                         plid);
+        } else {
+            e.live.store(false, std::memory_order_release);
+            e.line = Line(lineWords_);
+            shard.freeList.push_back(idx);
+        }
         overflowLive_.fetch_sub(1, std::memory_order_relaxed);
         const std::uint64_t prev =
             liveLines_.fetch_sub(1, std::memory_order_relaxed);
@@ -514,6 +754,7 @@ LineStore::retire(Plid plid)
     }
     const std::uint64_t bucket = plid >> BucketLayout::kWayBits;
     const unsigned stripe = stripeOfBucket(bucket);
+    noteExcl(stripe);
     StripeExclusive g(stripes_, stripe);
     const std::uint64_t slot = slotOf(plid);
     if (!slotLive(slot) ||
@@ -521,7 +762,57 @@ LineStore::retire(Plid plid)
         return std::nullopt;
     }
     Retired out{materialize(slot), bucket, false};
-    setSlotLive(slot, false);
+    if (limits_.epochReclaim) {
+        // Unpublish now, park the way (§12): signature and content
+        // stay intact for in-flight readers until grace expiry, and
+        // the allocator skips limbo ways.
+        setSlotLimbo(slot, true);
+        setSlotLive(slot, false);
+        limboLines_.fetch_add(1, std::memory_order_relaxed);
+        epoch_.defer(&LineStore::limboFreeHomeThunk, this, slot);
+    } else {
+        setSlotLive(slot, false);
+        sigs_[slot] = 0;
+        Word *w = &words_[slot * lineWords_];
+        std::uint16_t *m = &metas_[slot * lineWords_];
+        for (unsigned i = 0; i < lineWords_; ++i) {
+            w[i] = 0;
+            m[i] = 0;
+        }
+    }
+    const std::uint64_t prev =
+        liveLines_.fetch_sub(1, std::memory_order_relaxed);
+    HICAMP_ASSERT(prev > 0, "live line count underflow");
+    HICAMP_TRACE_EVENT(Store, Retire, plid, lineWords_ * sizeof(Word));
+    return out;
+}
+
+void
+LineStore::limboFreeHomeThunk(void *self, std::uint64_t slot)
+{
+    static_cast<LineStore *>(self)->limboFreeHome(slot);
+}
+
+void
+LineStore::limboFreeOverflowThunk(void *self, std::uint64_t plid)
+{
+    static_cast<LineStore *>(self)->limboFreeOverflow(
+        static_cast<Plid>(plid));
+}
+
+void
+LineStore::limboFreeHome(std::uint64_t slot)
+{
+    const std::uint64_t bucket = slot / BucketLayout::kNumData;
+    const unsigned stripe = stripeOfBucket(bucket);
+    noteExcl(stripe);
+    StripeExclusive g(stripes_, stripe);
+    // A limbo way can be neither resurrected (it is unpublished and
+    // its count is zero, which tryAcquireRef refuses) nor reused
+    // (the allocator skips limbo bits), so it must still be exactly
+    // as retire() left it.
+    HICAMP_DEBUG_ASSERT(slotLimbo(slot) && !slotLive(slot),
+                        "limbo home way mutated before grace expiry");
     sigs_[slot] = 0;
     Word *w = &words_[slot * lineWords_];
     std::uint16_t *m = &metas_[slot * lineWords_];
@@ -529,11 +820,66 @@ LineStore::retire(Plid plid)
         w[i] = 0;
         m[i] = 0;
     }
+    setSlotLimbo(slot, false);
     const std::uint64_t prev =
-        liveLines_.fetch_sub(1, std::memory_order_relaxed);
-    HICAMP_ASSERT(prev > 0, "live line count underflow");
-    HICAMP_TRACE_EVENT(Store, Retire, plid, lineWords_ * sizeof(Word));
-    return out;
+        limboLines_.fetch_sub(1, std::memory_order_relaxed);
+    HICAMP_ASSERT(prev > 0, "limbo line count underflow");
+}
+
+void
+LineStore::limboFreeOverflow(Plid plid)
+{
+    const unsigned stripe = overflowStripe(plid);
+    const std::uint64_t idx = overflowIdx(plid);
+    noteExcl(stripe);
+    StripeExclusive g(stripes_, stripe);
+    OverflowEntry &e = overflowEntryAt(stripe, idx);
+    HICAMP_DEBUG_ASSERT(e.limbo.load(std::memory_order_relaxed) &&
+                            !e.live.load(std::memory_order_relaxed),
+                        "limbo overflow entry mutated before grace "
+                        "expiry");
+    e.line = Line(lineWords_);
+    e.limbo.store(false, std::memory_order_release);
+    overflow_[stripe].freeList.push_back(idx);
+    const std::uint64_t prev =
+        limboLines_.fetch_sub(1, std::memory_order_relaxed);
+    HICAMP_ASSERT(prev > 0, "limbo line count underflow");
+}
+
+void
+LineStore::forEachLimbo(const std::function<void(Plid)> &fn) const
+{
+    epoch_.forEachDeferred([&](EpochManager::DeferFn f, void *ctx,
+                               std::uint64_t arg) {
+        if (ctx != static_cast<const void *>(this))
+            return;
+        if (f == &LineStore::limboFreeHomeThunk) {
+            const std::uint64_t bucket = arg / BucketLayout::kNumData;
+            const unsigned way =
+                static_cast<unsigned>(arg % BucketLayout::kNumData);
+            fn(plidOf(bucket, way));
+        } else if (f == &LineStore::limboFreeOverflowThunk) {
+            fn(static_cast<Plid>(arg));
+        }
+    });
+}
+
+std::uint64_t
+LineStore::stripeLockExclusiveOps() const
+{
+    std::uint64_t t = 0;
+    for (unsigned s = 0; s < numStripes_; ++s)
+        t += lockExcl_[s].load(std::memory_order_relaxed);
+    return t;
+}
+
+std::uint64_t
+LineStore::stripeLockSharedOps() const
+{
+    std::uint64_t t = 0;
+    for (unsigned s = 0; s < numStripes_; ++s)
+        t += lockShared_[s].load(std::memory_order_relaxed);
+    return t;
 }
 
 HICAMP_REF_PRIMITIVE void
@@ -549,6 +895,7 @@ LineStore::corruptForTest(Plid plid, unsigned word_idx, Word xor_mask)
     HICAMP_ASSERT(!isOverflow(plid) && plid != kZeroPlid,
                   "corruptForTest targets home-bucket lines");
     const std::uint64_t bucket = plid >> BucketLayout::kWayBits;
+    noteExcl(stripeOfBucket(bucket));
     StripeExclusive g(stripes_, stripeOfBucket(bucket));
     const std::uint64_t slot = slotOf(plid);
     HICAMP_ASSERT(slotLive(slot), "corrupting a dead line");
@@ -572,6 +919,7 @@ LineStore::forEachLive(
     for (std::uint64_t b = 0; b < numBuckets_; ++b) {
         batch.clear();
         {
+            noteShared(stripeOfBucket(b));
             StripeShared g(stripes_, stripeOfBucket(b));
             if (liveMask_[b].load(std::memory_order_relaxed) == 0)
                 continue;
@@ -591,10 +939,13 @@ LineStore::forEachLive(
     for (unsigned s = 0; s < numStripes_; ++s) {
         batch.clear();
         {
+            noteShared(s);
             StripeShared g(stripes_, s);
             const OverflowShard &shard = overflow_[s];
-            for (std::uint64_t i = 0; i < shard.entries.size(); ++i) {
-                const OverflowEntry &e = shard.entries[i];
+            const std::uint64_t n =
+                shard.size.load(std::memory_order_relaxed);
+            for (std::uint64_t i = 0; i < n; ++i) {
+                const OverflowEntry &e = overflowEntryAt(s, i);
                 if (e.live.load(std::memory_order_relaxed)) {
                     batch.push_back(
                         {overflowPlid(s, i), e.line,
@@ -613,6 +964,7 @@ LineStore::storedSignature(Plid plid) const
     HICAMP_ASSERT(!isOverflow(plid) && plid != kZeroPlid,
                   "signatures cover home-bucket lines only");
     const std::uint64_t bucket = plid >> BucketLayout::kWayBits;
+    noteShared(stripeOfBucket(bucket));
     StripeShared g(stripes_, stripeOfBucket(bucket));
     return sigs_[slotOf(plid)];
 }
@@ -623,13 +975,15 @@ LineStore::overflowChainContains(Plid plid) const
     HICAMP_ASSERT(isOverflow(plid), "not an overflow PLID");
     const unsigned stripe = overflowStripe(plid);
     HICAMP_ASSERT(stripe < numStripes_, "not an overflow PLID");
+    noteShared(stripe);
     StripeShared g(stripes_, stripe);
     const OverflowShard &shard = overflow_[stripe];
     const std::uint64_t idx = overflowIdx(plid);
     // Recompute from current content (not the memoized insert-time
     // hash): a poisoned line must look unindexed, exactly as the
     // chain walk of real hardware would miss it.
-    const std::uint64_t hash = shard.entries[idx].line.contentHash();
+    const std::uint64_t hash =
+        overflowEntryAt(stripe, idx).line.contentHash();
     auto [lo, hi] = shard.index.equal_range(hash);
     for (auto it = lo; it != hi; ++it) {
         if (it->second == idx)
@@ -645,21 +999,16 @@ LineStore::forgeDuplicateForTest(Plid plid)
     const std::uint64_t hash = content.contentHash();
     const std::uint64_t b = bucketOf(hash);
     const unsigned stripe = stripeOfBucket(b);
+    noteExcl(stripe);
     StripeExclusive g(stripes_, stripe);
     OverflowShard &shard = overflow_[stripe];
-    std::uint64_t idx;
-    if (!shard.freeList.empty()) {
-        idx = shard.freeList.back();
-        shard.freeList.pop_back();
-    } else {
-        idx = shard.entries.size();
-        shard.entries.emplace_back();
-    }
-    OverflowEntry &e = shard.entries[idx];
+    const std::uint64_t idx = overflowAllocSlot(shard);
+    OverflowEntry &e = overflowEntryAt(stripe, idx);
     e.line = content;
     e.homeBucket = b;
     e.hash = hash;
     e.refs.store(0, std::memory_order_relaxed);
+    e.limbo.store(false, std::memory_order_relaxed);
     e.live.store(true, std::memory_order_release);
     shard.index.emplace(hash, idx);
     overflowLive_.fetch_add(1, std::memory_order_relaxed);
@@ -675,14 +1024,16 @@ LineStore::poisonWordForTest(Plid plid, unsigned word_idx, Word w,
                   "poisonWordForTest out of range");
     if (isOverflow(plid)) {
         const unsigned stripe = overflowStripe(plid);
+        noteExcl(stripe);
         StripeExclusive g(stripes_, stripe);
-        OverflowEntry &e = overflow_[stripe].entries[overflowIdx(plid)];
+        OverflowEntry &e = overflowEntryAt(stripe, overflowIdx(plid));
         HICAMP_ASSERT(e.live.load(std::memory_order_relaxed),
                       "poisoning a dead line");
         e.line.set(word_idx, w, m);
         return;
     }
     const std::uint64_t bucket = plid >> BucketLayout::kWayBits;
+    noteExcl(stripeOfBucket(bucket));
     StripeExclusive g(stripes_, stripeOfBucket(bucket));
     const std::uint64_t slot = slotOf(plid);
     HICAMP_ASSERT(slotLive(slot), "poisoning a dead line");
@@ -700,8 +1051,12 @@ LineStore::totalRefs() const
             t += refs_[slot].load(std::memory_order_relaxed);
     }
     for (unsigned s = 0; s < numStripes_; ++s) {
+        noteShared(s);
         StripeShared g(stripes_, s);
-        for (const auto &e : overflow_[s].entries) {
+        const std::uint64_t n =
+            overflow_[s].size.load(std::memory_order_relaxed);
+        for (std::uint64_t i = 0; i < n; ++i) {
+            const OverflowEntry &e = overflowEntryAt(s, i);
             if (e.live.load(std::memory_order_relaxed))
                 t += e.refs.load(std::memory_order_relaxed);
         }

@@ -7,23 +7,33 @@
  * the bucket selected by the hash of its content; its PLID is the
  * concatenation of bucket number and way.
  *
- * Concurrency model (DESIGN.md §7): synchronization mirrors the
+ * Concurrency model (DESIGN.md §7, §12): synchronization mirrors the
  * paper's memory organization instead of a single global lock.
- *  - A striped std::shared_mutex array covers the hash buckets:
- *    lookups/allocations/frees in different stripes run in parallel,
- *    exactly as independent DRAM rows would service independent
- *    lookup commands.
+ *  - A striped std::shared_mutex array covers the hash buckets for
+ *    the *mutating* paths: insert-on-miss, 1→0 retirement and the
+ *    overflow hash chain. Mutations in different stripes run in
+ *    parallel, exactly as independent DRAM rows would service
+ *    independent commands.
  *  - Reference counts are std::atomic, updated with commutative CAS
  *    loops that need no bucket lock; only the dealloc path (a count
  *    observed at zero) takes the bucket stripe exclusively, via
  *    retire(), to unpublish the line.
  *  - Lines are immutable once published (the architecture's core
- *    invariant), so read() of a home-bucket line is entirely lock-
- *    free: publication is a release-store of the bucket's occupancy
- *    bit after the content is written, and readers acquire-load that
- *    bit before materializing. Overflow lines live in per-stripe
- *    shards (deque + hash chain) and are read under the stripe's
- *    shared lock, which concurrent readers hold simultaneously.
+ *    invariant), so the *read* paths — read(), isLive(), refCount(),
+ *    incRefIfLive() and the dedup probe of find()/findOrInsert() —
+ *    acquire no lock at all. Publication is a release-store of the
+ *    bucket's occupancy bit after the content is written; readers
+ *    acquire-load that bit before materializing. Overflow lines live
+ *    in per-stripe chunked slabs whose chunk directory only grows,
+ *    so they are indexable lock-free too.
+ *  - What makes lock-free reads safe against slot *reuse* is epoch-
+ *    based reclamation (mem/epoch.hh, ck_epoch style): retire()
+ *    unpublishes a line but parks its storage in limbo, and the slot
+ *    is cleared and reused only after a grace period proves no
+ *    reader that could still see it remains. Content-reading paths
+ *    pin an EpochGuard for their extent. Limits::epochReclaim=false
+ *    restores the seed's immediate-free behavior (reads of overflow
+ *    content then fall back to the stripe's shared lock).
  *
  * This class is pure state plus protocol *descriptions* (which DRAM
  * rows an operation touches); traffic attribution and cache filtering
@@ -36,8 +46,8 @@
 
 #include <atomic>
 #include <cstdint>
-#include <deque>
 #include <functional>
+#include <utility>
 #include <memory>
 #include <optional>
 #include <unordered_map>
@@ -48,6 +58,7 @@
 #include "common/status.hh"
 #include "common/thread_annotations.hh"
 #include "common/types.hh"
+#include "mem/epoch.hh"
 
 namespace hicamp {
 
@@ -93,6 +104,13 @@ class LineStore
         /// reference-count field width; counts saturate sticky at
         /// 2^bits - 1 (§3.1: limited-width counts, saturating)
         unsigned refcountBits = 32;
+        /// Epoch-based reclamation (§12): retire() parks storage in
+        /// limbo and read paths run lock-free under an EpochGuard.
+        /// false restores the seed's immediate-free, stripe-locked
+        /// behavior (the bench's "sharded" mode).
+        bool epochReclaim = true;
+        /// retirements batched per epoch-advance attempt
+        unsigned epochBatchSize = 32;
     };
 
     /**
@@ -105,6 +123,10 @@ class LineStore
     LineStore(std::uint64_t num_buckets, unsigned line_words,
               const Limits &limits, unsigned stripes = kDefaultStripes);
     LineStore(std::uint64_t num_buckets, unsigned line_words);
+
+    /** Drains limbo (no concurrent readers may exist) and frees the
+     *  overflow slabs. */
+    ~LineStore();
 
     static constexpr unsigned kDefaultStripes = 64;
 
@@ -167,21 +189,77 @@ class LineStore
 
     /**
      * Read a line by PLID. Zero PLID returns the all-zero line.
-     * Lock-free for home-bucket lines (immutable once published);
-     * overflow lines are copied under the stripe's shared lock. The
-     * caller must hold a reference (or otherwise know the line is
-     * live) — reading a freed PLID is undefined. Exempt from the
-     * capability analysis: the home-bucket path reads published
-     * content with no lock, made sound by the liveMask_ release/
-     * acquire publication protocol (DESIGN.md §7), which the lock
-     * model cannot express.
+     * Entirely lock-free under epoch reclamation: the whole copy
+     * runs inside an EpochGuard, so a concurrent retire() parks the
+     * storage in limbo instead of clearing it under us (§12). With
+     * epochReclaim off, overflow lines are copied under the stripe's
+     * shared lock instead. The caller must hold a reference or be
+     * inside a guard that predates retirement — reading a PLID that
+     * was already *physically* freed is undefined. Exempt from the
+     * capability analysis: reads published content with no lock,
+     * made sound by the liveMask_ release/acquire publication
+     * protocol plus the epoch grace period (DESIGN.md §7/§12), which
+     * the lock model cannot express.
      */
     Line read(Plid plid) const HICAMP_NO_THREAD_SAFETY_ANALYSIS;
 
-    /** True if the PLID names a live line. */
+    /** True if the PLID names a live line. Lock-free. */
     bool isLive(Plid plid) const HICAMP_EXCLUDES(stripes_);
 
+    /**
+     * Reference-count snapshot. Lock-free; pins an EpochGuard so the
+     * counter word itself is stable storage for the duration of the
+     * load. The value is *advisory* the instant it returns —
+     * concurrent holders may retain/release at any time — so it must
+     * only feed statistics, audits at quiescent points, or
+     * heuristics, never a free decision (retire() re-checks the
+     * count under the stripe lock; DESIGN.md §12).
+     */
     std::uint32_t refCount(Plid plid) const HICAMP_EXCLUDES(stripes_);
+
+    /// @name Epoch reclamation surface (DESIGN.md §12)
+    /// @{
+    /** This store's epoch domain (guard entry for composite read
+     *  sections, metrics export, tests). */
+    EpochManager &epochDomain() const { return epoch_; }
+
+    /** Lines retired but still parked in limbo (unpublished, storage
+     *  intact until grace expiry). */
+    std::uint64_t
+    limboLines() const
+    {
+        return limboLines_.load(std::memory_order_relaxed);
+    }
+
+    /**
+     * Drive the epoch until every retirement deferred before the
+     * call is physically freed (best effort if readers stay pinned).
+     * The auditor runs this before exact-snapshot passes; returns
+     * the number of deferred frees executed. Must not be called with
+     * a stripe lock held.
+     */
+    std::size_t
+    epochSynchronize() const HICAMP_EXCLUDES(stripes_)
+    {
+        return epoch_.synchronize();
+    }
+
+    /**
+     * Visit the PLID of every line currently parked in limbo
+     * (auditor support: limbo lines are retired-but-not-freed, never
+     * dangling). Runs under the limbo lock; @p fn must not retire,
+     * defer or advance.
+     */
+    void forEachLimbo(const std::function<void(Plid)> &fn) const;
+    /// @}
+
+    /// @name Stripe-lock traffic counters (bench lock-wall model)
+    /// @{
+    /** Exclusive stripe-lock acquisitions since construction. */
+    std::uint64_t stripeLockExclusiveOps() const;
+    /** Shared stripe-lock acquisitions since construction. */
+    std::uint64_t stripeLockSharedOps() const;
+    /// @}
 
     /**
      * Adjust a refcount; returns the new value. Lock-free commutative
@@ -251,6 +329,13 @@ class LineStore
      * re-finding the same content: both paths serialize on the
      * bucket's stripe lock, and findOrInsert(take_ref) re-increments
      * under it.
+     *
+     * Under epoch reclamation the unpublish is immediate but the
+     * physical free is deferred: the slot goes to limbo and is
+     * cleared/reused only at grace expiry, so lock-free readers that
+     * entered their guard before this call still see intact storage
+     * (§12). The store's one reference on the content is consumed
+     * here, at retirement — limbo parks storage, not ownership.
      */
     HICAMP_REF_PRIMITIVE std::optional<Retired> retire(Plid plid)
         HICAMP_EXCLUDES(stripes_);
@@ -346,18 +431,38 @@ class LineStore
                                 ///< no recompute on free/chain checks)
         std::atomic<std::uint32_t> refs{0};
         std::atomic<bool> live{false};
+        /// retired but parked in limbo: content stays intact for
+        /// readers whose guard predates the retirement (§12)
+        std::atomic<bool> limbo{false};
     };
 
     /**
-     * Per-stripe overflow area: a deque (stable element addresses
-     * under growth) plus the Fig. 2 hash chain. Mutated under the
-     * stripe's exclusive lock; read under its shared lock.
+     * Per-stripe overflow area: a chunked slab plus the Fig. 2 hash
+     * chain. The chunk directory and published size are atomic and
+     * only ever grow, so entry *lookup* by index is lock-free (an
+     * acquire load of the directory slot pairs with the release
+     * publish in overflowGrow); entry allocation, the free list and
+     * the hash-chain index are mutated under the stripe's exclusive
+     * lock.
      */
     struct OverflowShard {
-        std::deque<OverflowEntry> entries;
+        /// 1024 entries per chunk, 512 chunks: 512Ki entries/shard
+        static constexpr unsigned kChunkShift = 10;
+        static constexpr std::uint64_t kChunkSize = std::uint64_t{1}
+                                                    << kChunkShift;
+        static constexpr std::uint64_t kMaxChunks = 512;
+
+        std::vector<std::atomic<OverflowEntry *>> chunks{kMaxChunks};
+        std::atomic<std::uint64_t> size{0}; ///< published entry count
         std::vector<std::uint64_t> freeList;
         /// content-hash -> entry indices (Fig. 2 overflow chains)
         std::unordered_multimap<std::uint64_t, std::uint64_t> index;
+
+        ~OverflowShard()
+        {
+            for (auto &c : chunks)
+                delete[] c.load(std::memory_order_relaxed);
+        }
     };
 
     bool isOverflow(Plid plid) const { return plid >= kOverflowBase; }
@@ -398,9 +503,80 @@ class LineStore
     Line materialize(std::uint64_t slot) const
         HICAMP_REQUIRES_SHARED(stripes_);
 
+    /**
+     * Lock-free entry lookup by index; nullptr for out-of-range or
+     * not-yet-published indices. Safe without any lock: the chunk
+     * directory only grows and chunks are freed only at destruction.
+     */
+    const OverflowEntry *overflowEntryAcquire(unsigned stripe,
+                                              std::uint64_t idx) const;
+    OverflowEntry *
+    overflowEntryAcquire(unsigned stripe, std::uint64_t idx)
+    {
+        return const_cast<OverflowEntry *>(
+            std::as_const(*this).overflowEntryAcquire(stripe, idx));
+    }
+    /** Entry lookup under the stripe lock (index already validated
+     *  by the caller's chain walk or reservation). */
+    OverflowEntry &overflowEntryAt(unsigned stripe, std::uint64_t idx)
+        const HICAMP_REQUIRES_SHARED(stripes_);
+    /** Pop the free list or grow the slab by one published entry. */
+    std::uint64_t overflowAllocSlot(OverflowShard &shard)
+        HICAMP_REQUIRES(stripes_);
+
     /** Probe under the caller-held stripe lock. */
     FindResult findImpl(const Line &content, std::uint64_t hash) const
         HICAMP_REQUIRES_SHARED(stripes_);
+
+    /**
+     * Lock-free home-bucket probe (§12, ck_hs style): walks the
+     * bucket's ways with acquire loads + signature filtering. The
+     * caller must hold an EpochGuard (debug-asserted) — that is what
+     * keeps a slot's content stable between the occupancy check and
+     * the materialize. Exempt from the capability analysis for the
+     * same reason as read().
+     */
+    FindResult probeHome(const Line &content, std::uint64_t hash) const
+        HICAMP_NO_THREAD_SAFETY_ANALYSIS;
+
+    /** retire() body (stripe-locked); the public wrapper runs the
+     *  epoch batching step after the lock is released. */
+    std::optional<Retired> retireLocked(Plid plid)
+        HICAMP_EXCLUDES(stripes_);
+
+    /// @name Limbo plumbing (§12)
+    /// @{
+    bool
+    slotLimbo(std::uint64_t slot) const
+    {
+        return (limboMask_[slot / BucketLayout::kNumData].load(
+                    std::memory_order_relaxed) >>
+                (slot % BucketLayout::kNumData)) &
+               1;
+    }
+    void setSlotLimbo(std::uint64_t slot, bool limbo)
+        HICAMP_REQUIRES(stripes_);
+    /** Deferred physical frees, run at grace expiry (they take the
+     *  stripe lock themselves; never invoked with one held). */
+    static void limboFreeHomeThunk(void *self, std::uint64_t slot);
+    static void limboFreeOverflowThunk(void *self, std::uint64_t plid);
+    void limboFreeHome(std::uint64_t slot) HICAMP_EXCLUDES(stripes_);
+    void limboFreeOverflow(Plid plid) HICAMP_EXCLUDES(stripes_);
+    /// @}
+
+    void
+    noteExcl(unsigned stripe) const
+    {
+        lockExcl_[stripe].fetch_add(1, std::memory_order_relaxed);
+    }
+    void
+    noteShared(unsigned stripe) const
+    {
+        lockShared_[stripe].fetch_add(1, std::memory_order_relaxed);
+    }
+
+    /** refCount() body; debug-asserts the epoch-guard discipline. */
+    std::uint32_t refCountImpl(Plid plid) const;
 
     /** Saturating commutative refcount adjust (shared CAS loop). */
     std::uint32_t adjustRef(std::atomic<std::uint32_t> &r,
@@ -436,12 +612,33 @@ class LineStore
     /// per-bucket occupancy bitmask over data ways; the release-store
     /// publication point for lock-free readers
     std::vector<std::atomic<std::uint16_t>> liveMask_;
+    /// per-bucket limbo bitmask: retired slots whose storage is
+    /// still parked for in-flight readers. Mutated only under the
+    /// stripe's exclusive lock; the allocator treats live|limbo as
+    /// occupied (§12). Not TSA-guarded: read lock-free by the debug
+    /// live-or-limbo assertions on read paths.
+    std::vector<std::atomic<std::uint16_t>> limboMask_;
 
-    /// per-stripe overflow areas (index == stripe)
-    std::vector<OverflowShard> overflow_ HICAMP_GUARDED_BY(stripes_);
+    /// Per-stripe overflow areas (index == stripe). Not TSA-guarded
+    /// as a whole: the chunk directory and published size inside are
+    /// lock-free by protocol (see OverflowShard); freeList and index
+    /// are mutated only under the stripe's exclusive lock and walked
+    /// under at least its shared lock (§8 exemption table).
+    std::vector<OverflowShard> overflow_;
     std::atomic<std::uint64_t> overflowLive_{0};
 
     std::atomic<std::uint64_t> liveLines_{0};
+    std::atomic<std::uint64_t> limboLines_{0};
+
+    /// Epoch domain for this store's deferred reclamation (§12).
+    /// mutable: const read paths pin guards. Declared after the
+    /// storage it references; ~LineStore drains limbo explicitly
+    /// before any member is destroyed.
+    mutable EpochManager epoch_;
+
+    /// per-stripe lock-acquisition tallies (bench lock-wall model)
+    mutable std::vector<std::atomic<std::uint64_t>> lockExcl_;
+    mutable std::vector<std::atomic<std::uint64_t>> lockShared_;
 };
 
 } // namespace hicamp

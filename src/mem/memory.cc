@@ -18,7 +18,8 @@ Memory::Memory(const MemoryConfig &cfg)
     : cfg_(cfg),
       store_(cfg.numBuckets, cfg.lineBytes / kWordBytes,
              LineStore::Limits{cfg.overflowCapacity, cfg.maxLiveLines,
-                               cfg.refcountBits},
+                               cfg.refcountBits, cfg.epochReclaim,
+                               cfg.epochBatchSize},
              cfg.lockStripes),
       l1_(cfg.l1Bytes, cfg.l1Ways, cfg.lineBytes,
           /*content_searchable=*/false),
@@ -42,6 +43,15 @@ Memory::Memory(const MemoryConfig &cfg)
     pressure_.add("backoff_iters", &contention_.backoffIters);
     pressure_.add("commit_exhausted", &contention_.exhausted);
     registerMetrics();
+}
+
+Memory::~Memory()
+{
+    // Members die in reverse declaration order: metrics_ (and the
+    // grace histogram it owns) before store_, whose destructor drains
+    // the remaining limbo and would fire the observer into the freed
+    // histogram. Detach it first; the final drains go unobserved.
+    store_.epochDomain().setGraceObserver({});
 }
 
 void
@@ -95,6 +105,24 @@ Memory::registerMetrics()
                       [this] { return store_.saturatedLines(); });
 
     candHist_ = &metrics_.histogram("lookup.candidates");
+
+    // Epoch-reclamation telemetry (§12): advance/free tallies and the
+    // current limbo depth as gauges (they are the domain's own
+    // monotone counters; a registry reset must not clear them), plus
+    // the grace-period latency histogram, fed by the observer below.
+    // Wired here — before any concurrent use — per the observer's
+    // installation contract.
+    EpochManager &ep = store_.epochDomain();
+    metrics_.addGauge("epoch.epoch", [&ep] { return ep.epoch(); });
+    metrics_.addGauge("epoch.advances", [&ep] { return ep.advances(); });
+    metrics_.addGauge("epoch.deferred_frees",
+                      [&ep] { return ep.deferredFrees(); });
+    metrics_.addGauge("epoch.limbo_depth", [&ep] {
+        return static_cast<std::uint64_t>(ep.limboDepth());
+    });
+    graceHist_ = &metrics_.histogram("epoch.grace_ns");
+    ep.setGraceObserver(
+        [this](std::uint64_t ns) { graceHist_->record(ns); });
 }
 
 void
@@ -354,10 +382,26 @@ Memory::readLineImpl(Plid plid, DramCat cat)
         return makeLine();
     HICAMP_TRACE_SCOPE(Mem, ReadLine, plid, cfg_.lineBytes);
     ++readOps_;
-    // Lock-free for home-bucket lines: the caller holds a reference,
-    // and published lines are immutable.
-    Line content = store_.read(plid);
-    modelLineFetch(plid, store_.bucketOfPlid(plid), content, cat);
+    Line content;
+    std::uint64_t home;
+    if (cfg_.epochReclaim) {
+        // Zero-lock read section (§12): one guard pins the epoch
+        // across the ground-truth copy and the home-bucket fetch; the
+        // store's internal guards simply re-enter it (the nesting
+        // count deepens — no second pin, no lock). The caller holds a
+        // reference, so the worst case is a line sitting in limbo,
+        // whose content is intact by the limbo invariant.
+        EpochGuard eg(store_.epochDomain());
+        content = store_.read(plid);
+        home = store_.bucketOfPlid(plid);
+    } else {
+        // Legacy mode: the store takes stripe shared locks internally
+        // for overflow lines; home-bucket reads stay lock-free via
+        // publication ordering.
+        content = store_.read(plid);
+        home = store_.bucketOfPlid(plid);
+    }
+    modelLineFetch(plid, home, content, cat);
     return content;
 }
 
@@ -388,8 +432,20 @@ Memory::tryRetain(Plid plid)
         return true;
     auto g = guard();
     DramStats::WriterScope ws(dram_);
-    if (!store_.incRefIfLive(plid))
-        return false;
+    {
+        // §12: pin the conditional CAS and its liveness revalidation
+        // in one epoch section, so the slot cannot be physically
+        // recycled between the count update and the re-check. The
+        // assert is the revalidation: a successful CAS implies a
+        // nonzero prior count, which retire()'s locked zero-check can
+        // never have passed — so the line must still be published.
+        EpochGuard eg(store_.epochDomain());
+        if (!store_.incRefIfLive(plid))
+            return false;
+        HICAMP_DEBUG_ASSERT(store_.isLive(plid),
+                            "tryRetain raced a retirement that "
+                            "unpublished a referenced line");
+    }
     HICAMP_TRACE_EVENT(Mem, IncRef, plid, 0);
     rcTouch(plid);
     return true;

@@ -59,6 +59,17 @@ struct MemoryConfig {
     /// scaling benches can measure the sharded design against the
     /// global-lock convoy on identical workloads
     bool globalLock = false;
+    /// epoch-based reclamation (DESIGN.md §12): read/lookup hot paths
+    /// run under an EpochGuard instead of the stripe shared lock, and
+    /// 1→0 retirement parks storage in limbo until a grace period
+    /// expires. Clearing this restores the immediate-free, fully
+    /// stripe-locked design (the "sharded" bench baseline).
+    bool epochReclaim = true;
+    /// retirements that accumulate before a retiring writer attempts
+    /// an epoch advance (grace-period batching: higher values
+    /// amortize the grace check's record scan over more frees at the
+    /// cost of deeper limbo; see README "Threading knobs")
+    unsigned epochBatchSize = 32;
     /// @}
 
     /// @name Finite-capacity / fault model
@@ -85,7 +96,9 @@ struct MemoryConfig {
  *
  * Thread-safe, without a global ordering point: synchronization is
  * striped over the store's hash buckets, reference counts are atomic,
- * and reads of (immutable) published lines are lock-free — see
+ * and reads of (immutable) published lines are lock-free — under
+ * epoch reclamation (the default, §12) the read/lookup hot paths run
+ * in epoch-pinned sections that acquire no lock at all — see
  * DESIGN.md §7 for the full concurrency model and lock order. The
  * paper's architecture needs no data-line coherence because lines are
  * immutable; the sharding here is the software analogue of its
@@ -95,6 +108,7 @@ class Memory
 {
   public:
     explicit Memory(const MemoryConfig &cfg = {});
+    ~Memory();
 
     unsigned lineBytes() const { return cfg_.lineBytes; }
     unsigned lineWords() const { return cfg_.lineBytes / kWordBytes; }
@@ -153,6 +167,10 @@ class Memory
      * the primitive behind lock-free snapshots (DESIGN.md §7): unlike
      * incRef(), the caller need not already hold a reference proving
      * the line stays live.
+     *
+     * Under epoch reclamation the CAS and its liveness revalidation
+     * are pinned inside one epoch guard (§12), so the slot cannot be
+     * physically recycled between the count update and the re-check.
      */
     HICAMP_ACQUIRES_REF bool tryRetain(Plid plid);
 
@@ -169,7 +187,13 @@ class Memory
     HICAMP_RELEASES_REF void decRef(Plid plid)
         HICAMP_EXCLUDES(lockrank::vsm);
 
-    /** Current refcount (test/diagnostic use). */
+    /**
+     * Current refcount (test/diagnostic use). An *advisory* snapshot
+     * (§12): the store reads the count inside an epoch guard, but by
+     * the time the caller inspects the value concurrent inc/dec may
+     * have moved it. Exact totals require an epoch-quiescent point —
+     * see StoreAuditor and LineStore::epochSynchronize().
+     */
     std::uint32_t refCount(Plid plid) const;
 
     /** True if the PLID names a live line (diagnostic). */
@@ -450,6 +474,9 @@ class Memory
     obs::MetricsRegistry metrics_{"mem"};
     /// candidate data-line probes per lookup (registry-owned)
     obs::Log2Histogram *candHist_ = nullptr;
+    /// nanoseconds each retired line spent in limbo (§12 grace
+    /// latency; registry-owned, fed by the store's grace observer)
+    obs::Log2Histogram *graceHist_ = nullptr;
 
     void registerMetrics();
 };

@@ -75,12 +75,31 @@ class PlidRef
 
     /** Conditional acquisition through Memory::tryRetain: returns an
      *  owning handle, or an empty one when the line was unpublished or
-     *  mid-reclamation (the caller must fall back or retry). */
+     *  mid-reclamation (the caller must fall back or retry).
+     *
+     *  The retain and its liveness revalidation run inside one epoch
+     *  guard (DESIGN.md §12): the guard keeps the slot's storage from
+     *  being recycled between the count CAS and the re-check, so a
+     *  returned handle names a line that was provably live at a point
+     *  inside the guard. The defensive undo runs *after* the guard
+     *  exits — releasing a reference can reclaim, and reclamation
+     *  takes stripe locks, which are forbidden inside a pinned
+     *  section (§7 rank order; the epoch-guard lint rule). */
     static PlidRef
     tryAcquire(Memory &mem, Plid plid)
     {
-        if (!mem.tryRetain(plid))
+        bool retained, revalidated;
+        {
+            EpochGuard g(mem.store().epochDomain());
+            retained = mem.tryRetain(plid);
+            revalidated = retained && mem.isLive(plid);
+        }
+        if (!retained)
             return PlidRef();
+        if (!revalidated) {
+            mem.decRef(plid); // lost a race with retirement: undo
+            return PlidRef();
+        }
         return PlidRef(&mem, plid);
     }
 

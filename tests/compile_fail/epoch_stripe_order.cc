@@ -1,0 +1,23 @@
+// compile_fail case: acquires a stripe (rank 3) inside an
+// epoch-pinned read section (rank 4) — violating the DESIGN.md §12
+// rule that read sections are lock-free (a stripe taken under a pin
+// could wait on a writer whose limbo flush reacquires stripes).
+// EpochGuard co-acquires the `lockrank::epoch` anchor, declared
+// ACQUIRED_AFTER the stripe anchor, so under `clang++
+// -Wthread-safety-beta -Werror` the inversion is a compile error
+// (the ctest entry is WILL_FAIL).
+#include "common/thread_annotations.hh"
+#include "mem/epoch.hh"
+
+namespace {
+hicamp::StripeBank stripes(4); // stripe rank (line-store buckets)
+} // namespace
+
+int
+main()
+{
+    hicamp::EpochManager domain;
+    hicamp::EpochGuard g(domain);
+    hicamp::StripeExclusive s(stripes, 0); // BAD: stripe inside guard
+    return 0;
+}

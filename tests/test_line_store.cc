@@ -101,6 +101,10 @@ TEST(LineStore, FreedSlotIsReusable)
     LineStore s(1 << 10, 2);
     auto r1 = s.findOrInsert(lineOf(2, 5, 5));
     s.freeLine(r1.plid);
+    // Under epoch reclamation the freed way sits in limbo until a
+    // grace period elapses; with no pinned readers a synchronize
+    // makes it immediately reusable (§12).
+    s.epochSynchronize();
     auto r2 = s.findOrInsert(lineOf(2, 5, 5));
     EXPECT_FALSE(r2.found); // was freed, so it is a fresh allocation
     EXPECT_EQ(r1.plid, r2.plid); // same empty way gets picked again
@@ -146,7 +150,9 @@ TEST(LineStore, OverflowFreeAndReuse)
     s.freeLine(r13.plid);
     EXPECT_EQ(s.overflowLines(), 0u);
     EXPECT_FALSE(s.find(lineOf(2, 13, 13)).found);
-    // Next spill reuses the freed overflow slot.
+    // Flush limbo (no readers are pinned) so the freed overflow slot
+    // returns to the free list, then the next spill reuses it.
+    s.epochSynchronize();
     auto r14 = s.findOrInsert(lineOf(2, 14, 14));
     EXPECT_TRUE(r14.overflow);
     EXPECT_EQ(r14.plid, r13.plid);

@@ -1,0 +1,15 @@
+// Fixture: limbo retirement consumes the store's reference (§12) —
+// freeLine parks the line in limbo, but from this path's point of
+// view the reference is gone; handing the same PLID to the epoch
+// domain's defer afterwards is a second hand-off of a dead reference,
+// even though the line is still observable until grace expiry.
+// Expect: use-after-release
+namespace hicamp {
+void
+retireThenDefer(LineStore &store, EpochManager &ep, const Line &l)
+{
+    Plid p = store.lookup(l);
+    store.freeLine(p); // retire: store's reference consumed here
+    ep.defer(&LineStore::limboFreeHome, &store, p); // dead hand-off
+}
+} // namespace hicamp

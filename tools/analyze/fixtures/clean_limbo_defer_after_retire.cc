@@ -1,0 +1,20 @@
+// Fixture twin: each path hands the reference over exactly once.
+// Retiring (freeLine) consumes the store's reference and internally
+// parks the line in limbo; deferring is the *alternative* hand-off,
+// transferring ownership to the epoch domain for grace-expiry
+// reclamation — either is balanced alone.
+namespace hicamp {
+void
+retireOnly(LineStore &store, const Line &l)
+{
+    Plid p = store.lookup(l);
+    store.freeLine(p); // consumed: limbo until grace expiry
+}
+
+void
+deferOnly(LineStore &store, EpochManager &ep, const Line &l)
+{
+    Plid p = store.lookup(l);
+    ep.defer(&LineStore::limboFreeHome, &store, p); // domain owns it
+}
+} // namespace hicamp

@@ -30,7 +30,12 @@ double-release
 
 use-after-release
     A released local is subsequently read (passed to a call, returned,
-    or mentioned) before being re-assigned a fresh reference.
+    or mentioned) before being re-assigned a fresh reference.  Limbo
+    retirement (DESIGN.md §12) is a release in this sense: ``retire``/
+    ``freeLine`` consume the store's reference even though the line
+    remains observable in limbo until grace expiry, so handing the
+    same PLID to ``EpochManager::defer`` (or any consuming call)
+    afterwards is flagged.
 
 unbalanced-acquire
     A bare acquire (``incRef``, ``retain`` with unused result,
@@ -98,6 +103,14 @@ SEED_CONSUMER_INDICES = {
     "internLine": {0}, "intern": {1}, "makeLeaf": {0}, "makeNode": {0},
     "build": {0}, "setWord": {3}, "push": {0}, "adopt": {1},
     "create": {0}, "mcas": {2}, "lift": {0}, "write": {0},
+    # EpochManager::defer(fn, ctx, arg) — §12 limbo retirement: the
+    # epoch domain takes over the retired line's storage reference
+    # and runs fn at grace expiry.  Retiring (retire/freeLine) already
+    # consumed the store's reference, so deferring a line that was
+    # *also* released on this path is a double hand-off of a dead
+    # reference — which the consume-on-released check reports as
+    # use-after-release.
+    "defer": {1, 2},
 }
 
 KEYWORDS = {"if", "for", "while", "switch", "return", "catch", "sizeof",

@@ -1,0 +1,57 @@
+// epoch-guard fixture: lock-guard constructions inside and outside
+// EpochGuard scopes.  Token-level lint input — never compiled.
+
+#include "common/thread_annotations.hh"
+#include "mem/epoch.hh"
+
+namespace hicamp {
+
+extern StripeBank stripes;
+extern CapMutex mapMutex;
+extern EpochManager domain;
+
+// Stripe taken while the pin is live: the §12 violation.
+unsigned
+badStripeUnderPin(unsigned s)
+{
+    EpochGuard eg(domain);
+    StripeExclusive g(stripes, s); // EXPECT-LINE: epoch-guard
+    return s;
+}
+
+// Shared stripes and plain mutex guards are violations too.
+unsigned
+badSharedAndMutexUnderPin(unsigned s)
+{
+    EpochGuard eg(domain);
+    {
+        StripeShared g(stripes, s); // EXPECT-LINE: epoch-guard
+    }
+    CapLockGuard m(mapMutex); // EXPECT-LINE: epoch-guard
+    return s;
+}
+
+// The guard's block closes before the stripe is taken: legal, and
+// exactly the shape of the probe-then-lock fallback in line_store.cc.
+unsigned
+goodProbeThenLock(unsigned s, bool fast)
+{
+    if (fast) {
+        EpochGuard eg(domain);
+        return s;
+    }
+    StripeExclusive g(stripes, s);
+    return s + 1;
+}
+
+// A justified exception stays silent with a reasoned waiver.
+unsigned
+waivedUnderPin(unsigned s)
+{
+    EpochGuard eg(domain);
+    // hicamp-lint: epoch-guard-ok(drain path owns the stripe already)
+    StripeExclusive g(stripes, s);
+    return s;
+}
+
+} // namespace hicamp

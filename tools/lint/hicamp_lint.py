@@ -53,6 +53,20 @@ stat-registry
     phase snapshot/delta discipline — exactly how the pre-registry
     stats plumbing rotted.
 
+epoch-guard
+    No lock acquisition inside an epoch-pinned read section
+    (DESIGN.md §12): constructing a ``StripeExclusive``,
+    ``StripeShared`` or ``CapLockGuard`` lexically inside the scope of
+    a live ``EpochGuard`` is flagged.  Read sections must be lock-free
+    — a stripe taken under a pin could wait on a writer whose limbo
+    flush needs the grace period to expire, and the declared rank
+    order (stripe < epoch) forbids the inversion.  TSA enforces this
+    on capability-annotated paths; this rule covers the files and
+    template bodies the analysis cannot see.  Leaf-rank guards
+    (spinlocks, seqlocks) are legal under a pin and stay silent.
+    Waive with ``// hicamp-lint: epoch-guard-ok(<reason>)`` on the
+    line or the line above.
+
 lock-order
     The ``ACQUIRED_AFTER`` chain declared on the LockRank anchors in
     ``src/common/thread_annotations.hh`` must match the machine-
@@ -102,6 +116,11 @@ MUTATOR_CALL_RE = re.compile(
     r"fetch_or|fetch_and|push_back|pop_back|emplace\w*|insert|erase|"
     r"clear|reset|release|swap)\s*\(")
 INC_DEC_RE = re.compile(r"\+\+|--")
+
+EPOCH_GUARD_DECL_RE = re.compile(r"\bEpochGuard\s+\w+\s*[({]")
+EPOCH_LOCK_CTOR_RE = re.compile(
+    r"\b(StripeExclusive|StripeShared|CapLockGuard)\s+\w+\s*[({]")
+EPOCH_WAIVER_RE = re.compile(r"hicamp-lint:\s*epoch-guard-ok\(")
 
 STAT_DECL_RE = re.compile(
     r"^\s*(?:ShardedCounter|AtomicCounter|Counter)\s+\w")
@@ -365,6 +384,54 @@ def check_relaxed_control(path, rel, raw, code, findings):
     _ = code_lines  # structure kept for libclang parity
 
 
+def balanced_extent_end(code, open_off):
+    """Offset just past the closer matching the bracket at open_off."""
+    open_ch = code[open_off]
+    close_ch = ")" if open_ch == "(" else "}"
+    d = 0
+    for j in range(open_off, len(code)):
+        if code[j] == open_ch:
+            d += 1
+        elif code[j] == close_ch:
+            d -= 1
+            if d == 0:
+                return j + 1
+    return len(code)
+
+
+def check_epoch_guard(path, raw, code, findings):
+    raw_lines = raw.splitlines()
+    seen = set()
+    for m in EPOCH_GUARD_DECL_RE.finditer(code):
+        # Skip the constructor's own argument list, then walk to the
+        # close of the enclosing block: that is the guard's lifetime.
+        start = balanced_extent_end(code, m.end() - 1)
+        depth = 0
+        end = len(code)
+        for k in range(start, len(code)):
+            c = code[k]
+            if c == "{":
+                depth += 1
+            elif c == "}":
+                depth -= 1
+                if depth < 0:
+                    end = k
+                    break
+        for lm in EPOCH_LOCK_CTOR_RE.finditer(code, start, end):
+            lineno = line_of_offset(code, lm.start())
+            if (lineno, lm.group(1)) in seen:
+                continue  # nested guards: report once
+            seen.add((lineno, lm.group(1)))
+            if _waived_at(raw_lines, lineno, EPOCH_WAIVER_RE):
+                continue
+            findings.append(Finding(
+                path, lineno, "epoch-guard",
+                f"'{lm.group(1)}' constructed inside an EpochGuard "
+                "scope; epoch read sections are lock-free (§12, rank "
+                "stripe < epoch) — close the guard first or waive "
+                "with // hicamp-lint: epoch-guard-ok(reason)"))
+
+
 def check_stat_registry(path, rel, raw, code, findings):
     if rel in STAT_EXEMPT or rel.startswith("src/obs/"):
         return
@@ -469,6 +536,7 @@ def lint_file(root, path, findings):
     check_retain_balance(path, raw, code, findings)
     check_assert_side_effects(path, code, findings)
     check_relaxed_control(path, rel, raw, code, findings)
+    check_epoch_guard(path, raw, code, findings)
     check_stat_registry(path, rel, raw, code, findings)
 
 

@@ -83,6 +83,12 @@ class FixtureTests(unittest.TestCase):
         # the relaxed-ok-waived load stay silent.
         self.assert_fixture("relaxed_condition.cc")
 
+    def test_epoch_stripe(self):
+        # Stripe/mutex guards constructed under a live EpochGuard;
+        # the close-then-lock fallback shape and the waived site stay
+        # silent.
+        self.assert_fixture("epoch_stripe.cc")
+
     def test_unregistered_counter(self):
         # Counter members without registration or waiver; the waived
         # one and the block under a single waiver stay silent, and
