@@ -24,7 +24,9 @@
 #include <cstdint>
 #include <thread>
 
+#include "common/atomic_annotations.hh"
 #include "common/rng.hh"
+
 #include "common/status.hh"
 
 namespace hicamp {
@@ -45,13 +47,13 @@ struct RetryPolicy {
 /** Contention telemetry shared by every retry loop of one machine. */
 struct ContentionStats {
     /// commit attempts that lost the CAS race
-    std::atomic<std::uint64_t> conflicts{0};
+    HICAMP_ATOMIC_COUNTER std::atomic<std::uint64_t> conflicts{0};
     /// attempts re-issued after a conflict or transient failure
-    std::atomic<std::uint64_t> retries{0};
+    HICAMP_ATOMIC_COUNTER std::atomic<std::uint64_t> retries{0};
     /// total randomized backoff iterations spun
-    std::atomic<std::uint64_t> backoffIters{0};
+    HICAMP_ATOMIC_COUNTER std::atomic<std::uint64_t> backoffIters{0};
     /// loops that gave up with MemStatus::TooManyConflicts
-    std::atomic<std::uint64_t> exhausted{0};
+    HICAMP_ATOMIC_COUNTER std::atomic<std::uint64_t> exhausted{0};
 
     void
     reset()
@@ -133,11 +135,13 @@ class CommitRetry
     static std::uint64_t
     nextStream()
     {
-        static std::atomic<std::uint64_t> counter{1};
+        HICAMP_ATOMIC_COUNTER static std::atomic<std::uint64_t>
+            counter{1};
         return counter.fetch_add(1, std::memory_order_relaxed);
     }
 
-    static inline std::atomic<std::uint64_t> spinSink_{0};
+    HICAMP_ATOMIC_COUNTER static inline std::atomic<std::uint64_t>
+        spinSink_{0};
 
     RetryPolicy policy_;
     ContentionStats *stats_;

@@ -14,7 +14,9 @@
 #include <cstddef>
 #include <cstring>
 
+#include "common/atomic_annotations.hh"
 #include "common/hash.hh"
+
 #include "common/logging.hh"
 #include "common/types.hh"
 
@@ -161,7 +163,8 @@ class Line
     unsigned nWords_;
     std::array<Word, kMaxLineWords> words_;
     std::array<WordMeta, kMaxLineWords> metas_;
-    mutable std::atomic<std::uint64_t> hashCache_{kHashUnset};
+    HICAMP_ATOMIC_FLAG mutable std::atomic<std::uint64_t> hashCache_{
+        kHashUnset};
 };
 
 /** std::hash adapter so Line can key unordered containers. */

@@ -23,6 +23,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/atomic_annotations.hh"
+
 namespace hicamp {
 
 /** A single monotonically increasing statistic. */
@@ -67,7 +69,7 @@ class AtomicCounter
     void reset() { value_.store(0, std::memory_order_relaxed); }
 
   private:
-    std::atomic<std::uint64_t> value_;
+    HICAMP_ATOMIC_COUNTER std::atomic<std::uint64_t> value_;
 };
 
 /**
@@ -114,14 +116,14 @@ class ShardedCounter
 
   private:
     struct alignas(64) Shard {
-        std::atomic<std::uint64_t> v{0};
+        HICAMP_ATOMIC_COUNTER std::atomic<std::uint64_t> v{0};
     };
 
     /** Stable per-thread shard index (round-robin assignment). */
     static unsigned
     homeShard()
     {
-        static std::atomic<unsigned> next{0};
+        HICAMP_ATOMIC_COUNTER static std::atomic<unsigned> next{0};
         thread_local unsigned slot =
             next.fetch_add(1, std::memory_order_relaxed) & (kShards - 1);
         return slot;
@@ -159,7 +161,8 @@ class StatGroup
     }
 
     void
-    add(const std::string &stat_name, std::atomic<std::uint64_t> *c)
+    add(const std::string &stat_name,
+        HICAMP_ATOMIC_COUNTER std::atomic<std::uint64_t> *c)
     {
         stats_.push_back(
             {stat_name,

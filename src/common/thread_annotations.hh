@@ -44,6 +44,8 @@
 #include <shared_mutex>
 #include <thread>
 
+#include "common/atomic_annotations.hh"
+
 #if defined(__clang__) && defined(__has_attribute)
 #if __has_attribute(capability)
 #define HICAMP_TSA(x) __attribute__((x))
@@ -274,7 +276,7 @@ class HICAMP_CAPABILITY("spinlock") SpinBank
     void
     lock(unsigned i) HICAMP_ACQUIRE()
     {
-        std::atomic_flag &f = locks_[i].flag;
+        HICAMP_ATOMIC_FLAG std::atomic_flag &f = locks_[i].flag;
         while (f.test_and_set(std::memory_order_acquire)) {
             // Spin on a plain load (no cache-line ping-pong),
             // yielding periodically so a descheduled holder on an
@@ -296,7 +298,7 @@ class HICAMP_CAPABILITY("spinlock") SpinBank
 
   private:
     struct alignas(64) PaddedFlag {
-        std::atomic_flag flag = ATOMIC_FLAG_INIT;
+        HICAMP_ATOMIC_FLAG std::atomic_flag flag = ATOMIC_FLAG_INIT;
     };
     std::unique_ptr<PaddedFlag[]> locks_;
 };
@@ -315,15 +317,22 @@ class HICAMP_CAPABILITY("seqlock") SeqCount
 {
   public:
     /** Open the write critical section: bump to odd, fence. */
+    // hicamp-atomic: primitive(seqlock write-side entry: the odd
+    // bump may be relaxed because writers are externally serialized;
+    // the release fence orders it before the section's field stores)
     void
     writeBegin() HICAMP_ACQUIRE()
     {
         const std::uint32_t s0 = v_.load(std::memory_order_relaxed);
         v_.store(s0 + 1, std::memory_order_relaxed);
+        // hicamp-atomic: waive(seqlock protocol fence: orders the odd
+        // bump before the guarded field stores for readers)
         std::atomic_thread_fence(std::memory_order_release);
     }
 
     /** Publish: bump back to even with release ordering. */
+    // hicamp-atomic: primitive(seqlock write-side exit: the release
+    // store of the even count publishes the section's field stores)
     void
     writeEnd() HICAMP_RELEASE()
     {
@@ -332,6 +341,9 @@ class HICAMP_CAPABILITY("seqlock") SeqCount
     }
 
     /** Reader: current sequence (acquire; odd = writer in flight). */
+    // hicamp-atomic: primitive(seqlock read-side entry: acquire pairs
+    // with writeEnd's release so the guarded loads see a count's
+    // fields; callers loop on readBegin/validate)
     std::uint32_t
     readBegin() const
     {
@@ -340,15 +352,20 @@ class HICAMP_CAPABILITY("seqlock") SeqCount
 
     /** Reader: true if the fields read since readBegin() are a
      *  consistent snapshot of sequence @p s1. */
+    // hicamp-atomic: primitive(seqlock read-side exit: the acquire
+    // fence orders the guarded loads before the re-check, so an
+    // unchanged even count proves an untorn snapshot)
     bool
     validate(std::uint32_t s1) const
     {
+        // hicamp-atomic: waive(seqlock protocol fence: keeps the
+        // guarded field loads from sinking below the re-check)
         std::atomic_thread_fence(std::memory_order_acquire);
         return v_.load(std::memory_order_relaxed) == s1;
     }
 
   private:
-    std::atomic<std::uint32_t> v_{0};
+    HICAMP_ATOMIC_SEQLOCK std::atomic<std::uint32_t> v_{0};
 };
 
 } // namespace hicamp

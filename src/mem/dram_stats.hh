@@ -13,7 +13,9 @@
 #include <atomic>
 #include <cstdint>
 
+#include "common/atomic_annotations.hh"
 #include "common/logging.hh"
+
 #include "common/stats.hh"
 
 namespace hicamp {
@@ -58,6 +60,10 @@ class DramStats
 #ifndef NDEBUG
         explicit WriterScope(const DramStats &s) : s_(&s)
         {
+            // hicamp-atomic: waive(scope-open mark only; the release
+            // decrement is the publication quiescent()'s acquire
+            // pairs with, and an open that races the quiescence check
+            // is invisible to it at any order)
             s_->writers_.fetch_add(1, std::memory_order_relaxed);
         }
         ~WriterScope()
@@ -136,7 +142,7 @@ class DramStats
     // constructor — dram.<category> entries)
     ShardedCounter counts_[static_cast<unsigned>(DramCat::NumCats)];
     /// in-flight WriterScope holders (debug contract check only)
-    mutable std::atomic<std::uint64_t> writers_{0};
+    HICAMP_ATOMIC_PUBLISH mutable std::atomic<std::uint64_t> writers_{0};
 };
 
 } // namespace hicamp

@@ -59,7 +59,7 @@ EpochManager::threadRecord()
         if (e.serial == state_->serial)
             return *e.rec;
 
-    static std::atomic<std::uint64_t> tokenCounter{0};
+    HICAMP_ATOMIC_COUNTER static std::atomic<std::uint64_t> tokenCounter{0};
     const std::uint64_t token =
         tokenCounter.fetch_add(1, std::memory_order_relaxed) + 1;
     for (unsigned i = 0; i < kMaxRecords; ++i) {
@@ -73,6 +73,9 @@ EpochManager::threadRecord()
                 expect, token, std::memory_order_acq_rel,
                 std::memory_order_relaxed))
             continue;
+        // hicamp-atomic: waive(the acq_rel owner CAS above
+        // synchronized with the releasing park stores of the previous
+        // holder, so the relaxed check sees the parked value)
         HICAMP_DEBUG_ASSERT(
             r.epoch.load(std::memory_order_relaxed) == 0,
             "claimed epoch record was not parked");

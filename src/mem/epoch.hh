@@ -46,6 +46,7 @@
 #include <mutex>
 #include <vector>
 
+#include "common/atomic_annotations.hh"
 #include "common/logging.hh"
 #include "common/thread_annotations.hh"
 
@@ -127,6 +128,9 @@ class HICAMP_CAPABILITY("epoch") EpochManager
         std::uint64_t e = state_->global.load(std::memory_order_seq_cst);
         for (;;) {
             r.epoch.store(e, std::memory_order_seq_cst);
+            // hicamp-atomic: waive(stable-pin fence (§12): orders the
+            // pin store before the global re-read so pin and advance
+            // cannot both miss each other)
             std::atomic_thread_fence(std::memory_order_seq_cst);
             const std::uint64_t cur =
                 state_->global.load(std::memory_order_seq_cst);
@@ -177,6 +181,8 @@ class HICAMP_CAPABILITY("epoch") EpochManager
         // tag+1 or later therefore provably sees the unpublish, and a
         // reader pinned at or before the tag holds the drain back —
         // the two cases the grace bound is proved from.
+        // hicamp-atomic: waive(retirement fence (§12): orders the
+        // caller's unpublish stores before the epoch tag load)
         std::atomic_thread_fence(std::memory_order_seq_cst);
         const auto now = std::chrono::steady_clock::now();
         std::lock_guard<std::mutex> g(state_->limboMu);
@@ -201,6 +207,9 @@ class HICAMP_CAPABILITY("epoch") EpochManager
     {
         std::uint64_t e =
             state_->global.load(std::memory_order_seq_cst);
+        // hicamp-atomic: waive(grace-check fence (§12): orders the
+        // global read before the per-record pin scan so a pin that
+        // raced the read is seen by the scan)
         std::atomic_thread_fence(std::memory_order_seq_cst);
         const unsigned hwm =
             state_->highWater.load(std::memory_order_acquire);
@@ -278,6 +287,8 @@ class HICAMP_CAPABILITY("epoch") EpochManager
     std::uint64_t
     epoch() const
     {
+        // hicamp-atomic: waive(metrics snapshot: a stale epoch value
+        // is fine, no protocol decision is taken on it)
         return state_->global.load(std::memory_order_relaxed);
     }
     /** Successful epoch advances (`epoch.advances`). */
@@ -336,10 +347,10 @@ class HICAMP_CAPABILITY("epoch") EpochManager
      *  line (the grace check scans them; readers write them). */
     struct alignas(64) Record {
         /** 0 = parked (quiescent); else the pinned global epoch. */
-        std::atomic<std::uint64_t> epoch{0};
+        HICAMP_ATOMIC_EPOCH std::atomic<std::uint64_t> epoch{0};
         /** Slot owner token; 0 = free. Claim/release hand-off is the
          *  acq_rel CAS, so `nesting` below needs no atomicity. */
-        std::atomic<std::uint64_t> owner{0};
+        HICAMP_ATOMIC_CLAIM_CAS std::atomic<std::uint64_t> owner{0};
         /** Guard re-entrancy depth; touched only by the owner. */
         std::uint32_t nesting = 0;
     };
@@ -358,8 +369,8 @@ class HICAMP_CAPABILITY("epoch") EpochManager
      * domain lives (thread-local destructors hold a weak_ptr).
      */
     struct State {
-        std::atomic<std::uint64_t> global{1};
-        std::atomic<unsigned> highWater{0};
+        HICAMP_ATOMIC_EPOCH std::atomic<std::uint64_t> global{1};
+        HICAMP_ATOMIC_CLAIM_CAS std::atomic<unsigned> highWater{0};
         std::array<Record, kMaxRecords> recs;
         std::mutex limboMu;
         std::vector<Deferred> limbo; // guarded by limboMu
@@ -411,13 +422,13 @@ class HICAMP_CAPABILITY("epoch") EpochManager
 
     std::shared_ptr<State> state_;
     unsigned batchSize_;
-    std::atomic<std::uint64_t> advances_{0};
-    std::atomic<std::uint64_t> frees_{0};
-    std::atomic<std::size_t> depth_{0};
-    std::atomic<std::uint64_t> pending_{0};
+    HICAMP_ATOMIC_COUNTER std::atomic<std::uint64_t> advances_{0};
+    HICAMP_ATOMIC_COUNTER std::atomic<std::uint64_t> frees_{0};
+    HICAMP_ATOMIC_COUNTER std::atomic<std::size_t> depth_{0};
+    HICAMP_ATOMIC_COUNTER std::atomic<std::uint64_t> pending_{0};
     std::function<void(std::uint64_t)> graceObserver_;
 
-    static std::atomic<std::uint64_t> serialCounter_;
+    HICAMP_ATOMIC_COUNTER static std::atomic<std::uint64_t> serialCounter_;
 };
 
 /**

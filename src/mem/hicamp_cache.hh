@@ -22,7 +22,9 @@
 #include <optional>
 #include <vector>
 
+#include "common/atomic_annotations.hh"
 #include "common/line.hh"
+
 #include "common/stats.hh"
 #include "common/thread_annotations.hh"
 #include "common/types.hh"
@@ -173,7 +175,7 @@ class HicampCache
     unsigned ways_;
     std::uint64_t numSets_;
     bool searchable_;
-    std::atomic<std::uint64_t> lruClock_{0};
+    HICAMP_ATOMIC_COUNTER std::atomic<std::uint64_t> lruClock_{0};
     std::vector<Entry> entries_ HICAMP_GUARDED_BY(locks_);
     mutable SpinBank locks_;
 };

@@ -103,10 +103,13 @@ LineStore::overflowAllocSlot(OverflowShard &shard)
         shard.freeList.pop_back();
         return idx;
     }
+    // hicamp-atomic: waive(exclusive stripe lock: all size/chunk
+    // writers hold it, so the re-reads below cannot race a growth)
     const std::uint64_t idx = shard.size.load(std::memory_order_relaxed);
     const std::uint64_t ci = idx >> OverflowShard::kChunkShift;
     HICAMP_ASSERT(ci < OverflowShard::kMaxChunks,
                   "overflow shard slab exhausted");
+    // hicamp-atomic: waive(exclusive stripe lock, as above)
     if (shard.chunks[ci].load(std::memory_order_relaxed) == nullptr) {
         // Construct the whole chunk before publishing its pointer;
         // the release pairs with readers' acquire directory loads.
@@ -178,17 +181,28 @@ LineStore::setSlotLimbo(std::uint64_t slot, bool limbo)
 {
     std::uint64_t bucket = slot / BucketLayout::kNumData;
     unsigned bit = static_cast<unsigned>(slot % BucketLayout::kNumData);
-    // Release on set so a reader's live-or-limbo debug check never
-    // observes the transient neither state (retire sets limbo before
-    // it clears live).
+    // Relaxed on purpose: the limbo bit itself is never the
+    // synchronization edge. A lock-free reader only consults it
+    // after its acquire load of liveMask_ observed the release
+    // clear that retire() sequences *after* setting limbo, so the
+    // set bit is already visible by happens-before; every other
+    // access (allocator scan, grace-expiry free) holds the stripe
+    // lock. The liveMask_ release/acquire pair in setSlotLive /
+    // slotLive carries the ordering for both masks.
     if (limbo) {
+        // hicamp-atomic: waive(ordering carried by liveMask_: retire
+        // sets limbo before the release clear of live, and readers
+        // check limbo only after acquiring live — see comment above)
         limboMask_[bucket].fetch_or(
             static_cast<std::uint16_t>(1u << bit),
-            std::memory_order_release);
+            std::memory_order_relaxed);
     } else {
+        // hicamp-atomic: waive(stripe-lock-serialized: limbo is
+        // cleared only by grace-expiry frees under the exclusive
+        // stripe lock, after no lock-free reader can hold the PLID)
         limboMask_[bucket].fetch_and(
             static_cast<std::uint16_t>(~(1u << bit)),
-            std::memory_order_release);
+            std::memory_order_relaxed);
     }
 }
 
@@ -239,6 +253,8 @@ LineStore::findImpl(const Line &content, std::uint64_t hash) const
     auto [lo, hi] = shard.index.equal_range(hash);
     for (auto it = lo; it != hi; ++it) {
         const OverflowEntry &e = overflowEntryAt(stripe, it->second);
+        // hicamp-atomic: waive(caller holds the stripe lock (REQUIRES
+        // above); live flips only under the exclusive lock)
         if (e.live.load(std::memory_order_relaxed) && e.line == content) {
             r.plid = overflowPlid(stripe, it->second);
             r.found = true;
@@ -367,6 +383,8 @@ LineStore::findOrInsert(const Line &content, bool take_ref)
             // A way is allocatable only if it is neither live nor
             // parked in limbo — limbo storage must stay intact for
             // readers whose guard predates its retirement (§12).
+            // hicamp-atomic: waive(exclusive stripe lock serializes
+            // the occupancy scan with every mask writer)
             const std::uint16_t occupied =
                 liveMask_[b].load(std::memory_order_relaxed) |
                 limboMask_[b].load(std::memory_order_relaxed);
@@ -400,6 +418,8 @@ LineStore::findOrInsert(const Line &content, bool take_ref)
             // synchronize the epoch and retry once: with no pinned
             // reader this reuses the same way the immediate-free
             // mode would, instead of spilling to overflow.
+            // hicamp-atomic: waive(exclusive stripe lock, as the
+            // occupancy scan above)
             if (!(limits_.epochReclaim && attempt == 0 &&
                   limboMask_[b].load(std::memory_order_relaxed) != 0)) {
                 // Spill to this stripe's overflow shard, if the
@@ -417,6 +437,8 @@ LineStore::findOrInsert(const Line &content, bool take_ref)
                 e.hash = hash;
                 e.refs.store(take_ref ? 1 : 0,
                              std::memory_order_relaxed);
+                // hicamp-atomic: waive(ordered by the release publication of
+                // // live on the next line)
                 e.limbo.store(false, std::memory_order_relaxed);
                 e.live.store(true, std::memory_order_release);
                 shard.index.emplace(hash, idx);
@@ -460,6 +482,8 @@ LineStore::read(Plid plid) const
         StripeShared g(stripes_, stripe);
         const OverflowEntry &e =
             overflowEntryAt(stripe, overflowIdx(plid));
+        // hicamp-atomic: waive(shared stripe lock held; live flips
+        // // only under the exclusive lock)
         HICAMP_DEBUG_ASSERT(e.live.load(std::memory_order_relaxed),
                             "read of dead overflow line");
         return e.line;
@@ -597,6 +621,9 @@ LineStore::addRef(Plid plid, std::int32_t delta)
         // and the slab gives stable addresses without a lock.
         OverflowEntry *e =
             overflowEntryAcquire(overflowStripe(plid), overflowIdx(plid));
+        // hicamp-atomic: waive(advisory debug check only; the held
+        // // reference pins the entry's identity, no protocol
+        // // decision is taken on this load)
         HICAMP_DEBUG_ASSERT(e != nullptr &&
                                 e->live.load(std::memory_order_relaxed),
                             "refcount of dead overflow line");
@@ -715,6 +742,8 @@ LineStore::retireLocked(Plid plid)
         OverflowEntry &e = overflowEntryAt(stripe, idx);
         // A concurrent dedup hit may have resurrected the line (or
         // another thread already retired it) — both serialize here.
+        // hicamp-atomic: waive(exclusive stripe lock serializes this
+        // // re-check with resurrection and concurrent retire)
         if (!e.live.load(std::memory_order_relaxed) ||
             e.refs.load(std::memory_order_relaxed) != 0) {
             return std::nullopt;
@@ -834,6 +863,8 @@ LineStore::limboFreeOverflow(Plid plid)
     noteExcl(stripe);
     StripeExclusive g(stripes_, stripe);
     OverflowEntry &e = overflowEntryAt(stripe, idx);
+    // hicamp-atomic: waive(exclusive stripe lock held, and grace
+    // // expiry means no lock-free reader can hold this PLID)
     HICAMP_DEBUG_ASSERT(e.limbo.load(std::memory_order_relaxed) &&
                             !e.live.load(std::memory_order_relaxed),
                         "limbo overflow entry mutated before grace "
@@ -921,6 +952,8 @@ LineStore::forEachLive(
         {
             noteShared(stripeOfBucket(b));
             StripeShared g(stripes_, stripeOfBucket(b));
+            // hicamp-atomic: waive(shared stripe lock held; mask writers
+            // // hold the exclusive lock)
             if (liveMask_[b].load(std::memory_order_relaxed) == 0)
                 continue;
             for (unsigned w = 0; w < BucketLayout::kNumData; ++w) {
@@ -942,10 +975,13 @@ LineStore::forEachLive(
             noteShared(s);
             StripeShared g(stripes_, s);
             const OverflowShard &shard = overflow_[s];
+            // hicamp-atomic: waive(shared stripe lock held; size and live
+            // // are written only under the exclusive lock)
             const std::uint64_t n =
                 shard.size.load(std::memory_order_relaxed);
             for (std::uint64_t i = 0; i < n; ++i) {
                 const OverflowEntry &e = overflowEntryAt(s, i);
+                // hicamp-atomic: waive(shared stripe lock held, as above)
                 if (e.live.load(std::memory_order_relaxed)) {
                     batch.push_back(
                         {overflowPlid(s, i), e.line,
@@ -1008,6 +1044,8 @@ LineStore::forgeDuplicateForTest(Plid plid)
     e.homeBucket = b;
     e.hash = hash;
     e.refs.store(0, std::memory_order_relaxed);
+    // hicamp-atomic: waive(ordered by the release publication of
+    // // live on the next line)
     e.limbo.store(false, std::memory_order_relaxed);
     e.live.store(true, std::memory_order_release);
     shard.index.emplace(hash, idx);
@@ -1027,6 +1065,7 @@ LineStore::poisonWordForTest(Plid plid, unsigned word_idx, Word w,
         noteExcl(stripe);
         StripeExclusive g(stripes_, stripe);
         OverflowEntry &e = overflowEntryAt(stripe, overflowIdx(plid));
+        // hicamp-atomic: waive(exclusive stripe lock held)
         HICAMP_ASSERT(e.live.load(std::memory_order_relaxed),
                       "poisoning a dead line");
         e.line.set(word_idx, w, m);
@@ -1053,10 +1092,13 @@ LineStore::totalRefs() const
     for (unsigned s = 0; s < numStripes_; ++s) {
         noteShared(s);
         StripeShared g(stripes_, s);
+        // hicamp-atomic: waive(shared stripe lock held; size and live
+        // // are written only under the exclusive lock)
         const std::uint64_t n =
             overflow_[s].size.load(std::memory_order_relaxed);
         for (std::uint64_t i = 0; i < n; ++i) {
             const OverflowEntry &e = overflowEntryAt(s, i);
+            // hicamp-atomic: waive(shared stripe lock held, as above)
             if (e.live.load(std::memory_order_relaxed))
                 t += e.refs.load(std::memory_order_relaxed);
         }

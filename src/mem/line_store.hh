@@ -53,6 +53,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/atomic_annotations.hh"
 #include "common/line.hh"
 #include "common/ownership.hh"
 #include "common/status.hh"
@@ -429,11 +430,11 @@ class LineStore
         std::uint64_t homeBucket = 0;
         std::uint64_t hash = 0; ///< memoized content hash (satellite:
                                 ///< no recompute on free/chain checks)
-        std::atomic<std::uint32_t> refs{0};
-        std::atomic<bool> live{false};
+        HICAMP_ATOMIC_CLAIM_CAS std::atomic<std::uint32_t> refs{0};
+        HICAMP_ATOMIC_PUBLISH std::atomic<bool> live{false};
         /// retired but parked in limbo: content stays intact for
         /// readers whose guard predates the retirement (§12)
-        std::atomic<bool> limbo{false};
+        HICAMP_ATOMIC_PUBLISH std::atomic<bool> limbo{false};
     };
 
     /**
@@ -452,8 +453,10 @@ class LineStore
                                                     << kChunkShift;
         static constexpr std::uint64_t kMaxChunks = 512;
 
-        std::vector<std::atomic<OverflowEntry *>> chunks{kMaxChunks};
-        std::atomic<std::uint64_t> size{0}; ///< published entry count
+        HICAMP_ATOMIC_PUBLISH std::vector<std::atomic<OverflowEntry *>>
+            chunks{kMaxChunks};
+        /// published entry count
+        HICAMP_ATOMIC_PUBLISH std::atomic<std::uint64_t> size{0};
         std::vector<std::uint64_t> freeList;
         /// content-hash -> entry indices (Fig. 2 overflow chains)
         std::unordered_multimap<std::uint64_t, std::uint64_t> index;
@@ -461,6 +464,8 @@ class LineStore
         ~OverflowShard()
         {
             for (auto &c : chunks)
+                // hicamp-atomic: waive(single-threaded destruction;
+                // no reader outlives the shard)
                 delete[] c.load(std::memory_order_relaxed);
         }
     };
@@ -549,6 +554,11 @@ class LineStore
     bool
     slotLimbo(std::uint64_t slot) const
     {
+        // hicamp-atomic: waive(ordering carried by liveMask_: the
+        // lock-free live-or-limbo check consults this only after
+        // slotLive()'s acquire observed the release clear that
+        // retire() sequences after setting limbo; all other callers
+        // hold the stripe lock — see setSlotLimbo)
         return (limboMask_[slot / BucketLayout::kNumData].load(
                     std::memory_order_relaxed) >>
                 (slot % BucketLayout::kNumData)) &
@@ -579,11 +589,13 @@ class LineStore
     std::uint32_t refCountImpl(Plid plid) const;
 
     /** Saturating commutative refcount adjust (shared CAS loop). */
-    std::uint32_t adjustRef(std::atomic<std::uint32_t> &r,
+    std::uint32_t adjustRef(HICAMP_ATOMIC_CLAIM_CAS
+                            std::atomic<std::uint32_t> &r,
                             std::int32_t delta);
     /** Increment iff nonzero (or saturated); see incRefIfLive. */
-    bool tryAcquireRef(std::atomic<std::uint32_t> &r);
-    void saturateRefSlot(std::atomic<std::uint32_t> &r);
+    bool tryAcquireRef(HICAMP_ATOMIC_CLAIM_CAS std::atomic<std::uint32_t> &r);
+    void saturateRefSlot(HICAMP_ATOMIC_CLAIM_CAS
+                         std::atomic<std::uint32_t> &r);
 
     /** Reserve one live line against maxLiveLines (CAS, exact). */
     bool tryReserveLine();
@@ -595,7 +607,7 @@ class LineStore
     Limits limits_;
     unsigned numStripes_;
     std::uint32_t refMax_;
-    std::atomic<std::uint64_t> saturatedLines_{0};
+    HICAMP_ATOMIC_COUNTER std::atomic<std::uint64_t> saturatedLines_{0};
 
     /// Bucket-striped locks: allocation/dedup/free per stripe. The
     /// whole bank is one capability — stripes are never nested, so
@@ -608,16 +620,16 @@ class LineStore
     std::vector<std::uint16_t> metas_ HICAMP_GUARDED_BY(stripes_);
     /// numBuckets * kNumData
     std::vector<std::uint8_t> sigs_ HICAMP_GUARDED_BY(stripes_);
-    std::vector<std::atomic<std::uint32_t>> refs_;
+    HICAMP_ATOMIC_CLAIM_CAS std::vector<std::atomic<std::uint32_t>> refs_;
     /// per-bucket occupancy bitmask over data ways; the release-store
     /// publication point for lock-free readers
-    std::vector<std::atomic<std::uint16_t>> liveMask_;
+    HICAMP_ATOMIC_PUBLISH std::vector<std::atomic<std::uint16_t>> liveMask_;
     /// per-bucket limbo bitmask: retired slots whose storage is
     /// still parked for in-flight readers. Mutated only under the
     /// stripe's exclusive lock; the allocator treats live|limbo as
     /// occupied (§12). Not TSA-guarded: read lock-free by the debug
     /// live-or-limbo assertions on read paths.
-    std::vector<std::atomic<std::uint16_t>> limboMask_;
+    HICAMP_ATOMIC_PUBLISH std::vector<std::atomic<std::uint16_t>> limboMask_;
 
     /// Per-stripe overflow areas (index == stripe). Not TSA-guarded
     /// as a whole: the chunk directory and published size inside are
@@ -625,10 +637,10 @@ class LineStore
     /// are mutated only under the stripe's exclusive lock and walked
     /// under at least its shared lock (§8 exemption table).
     std::vector<OverflowShard> overflow_;
-    std::atomic<std::uint64_t> overflowLive_{0};
+    HICAMP_ATOMIC_CLAIM_CAS std::atomic<std::uint64_t> overflowLive_{0};
 
-    std::atomic<std::uint64_t> liveLines_{0};
-    std::atomic<std::uint64_t> limboLines_{0};
+    HICAMP_ATOMIC_CLAIM_CAS std::atomic<std::uint64_t> liveLines_{0};
+    HICAMP_ATOMIC_COUNTER std::atomic<std::uint64_t> limboLines_{0};
 
     /// Epoch domain for this store's deferred reclamation (§12).
     /// mutable: const read paths pin guards. Declared after the
@@ -637,8 +649,10 @@ class LineStore
     mutable EpochManager epoch_;
 
     /// per-stripe lock-acquisition tallies (bench lock-wall model)
-    mutable std::vector<std::atomic<std::uint64_t>> lockExcl_;
-    mutable std::vector<std::atomic<std::uint64_t>> lockShared_;
+    HICAMP_ATOMIC_COUNTER mutable std::vector<std::atomic<std::uint64_t>>
+        lockExcl_;
+    HICAMP_ATOMIC_COUNTER mutable std::vector<std::atomic<std::uint64_t>>
+        lockShared_;
 };
 
 } // namespace hicamp

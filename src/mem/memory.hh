@@ -24,7 +24,9 @@
 #include <memory>
 #include <mutex>
 
+#include "common/atomic_annotations.hh"
 #include "common/backoff.hh"
+
 #include "common/fault.hh"
 #include "common/line.hh"
 #include "common/ownership.hh"
@@ -440,7 +442,7 @@ class Memory
     DramStats dram_;
     std::function<void(Vsid)> vsidRelease_;
     std::function<void(Plid)> lineFreed_;
-    std::atomic<std::uint64_t> nextTransient_{1};
+    HICAMP_ATOMIC_COUNTER std::atomic<std::uint64_t> nextTransient_{1};
 
     // hicamp-lint: stat-ok(every counter below is registered into
     // metrics_ by registerMetrics(), called from the constructor)
@@ -453,7 +455,8 @@ class Memory
     ShardedCounter dedupHits_;
     ShardedCounter overflowWalks_;
     /// per-bank (= per-stripe) share of rowActs_, for the scaling model
-    std::unique_ptr<std::atomic<std::uint64_t>[]> bankActs_;
+    HICAMP_ATOMIC_COUNTER std::unique_ptr<std::atomic<std::uint64_t>[]>
+        bankActs_;
 
     FaultInjector faults_;
     ContentionStats contention_;

@@ -18,6 +18,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "common/atomic_annotations.hh"
+
 namespace hicamp::obs {
 
 class Log2Histogram
@@ -96,8 +98,9 @@ class Log2Histogram
     }
 
   private:
-    std::atomic<std::uint64_t> buckets_[kBuckets] = {};
-    std::atomic<std::uint64_t> sum_{0};
+    HICAMP_ATOMIC_COUNTER std::atomic<std::uint64_t> buckets_[kBuckets] =
+        {};
+    HICAMP_ATOMIC_COUNTER std::atomic<std::uint64_t> sum_{0};
 };
 
 } // namespace hicamp::obs

@@ -152,7 +152,9 @@ MetricsRegistry::addCounter(std::string name, const Counter *c)
 }
 
 void
-MetricsRegistry::addCounter(std::string name, std::atomic<std::uint64_t> *c)
+MetricsRegistry::addCounter(std::string name,
+                            HICAMP_ATOMIC_COUNTER
+                            std::atomic<std::uint64_t> *c)
 {
     addCounter(std::move(name),
                [c] { return c->load(std::memory_order_relaxed); },

@@ -40,7 +40,9 @@
 #include <utility>
 #include <vector>
 
+#include "common/atomic_annotations.hh"
 #include "common/stats.hh"
+
 #include "obs/histogram.hh"
 
 namespace hicamp::obs {
@@ -102,7 +104,8 @@ class MetricsRegistry
     void addCounter(std::string name, const ShardedCounter *c);
     void addCounter(std::string name, const AtomicCounter *c);
     void addCounter(std::string name, const Counter *c);
-    void addCounter(std::string name, std::atomic<std::uint64_t> *c);
+    void addCounter(std::string name,
+                    HICAMP_ATOMIC_COUNTER std::atomic<std::uint64_t> *c);
     /// @}
 
     /** A level reading (live lines, ring occupancy): no reset. */

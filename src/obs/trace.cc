@@ -149,6 +149,9 @@ FlightRecorder::myRing()
     rings_.push_back(std::make_unique<Ring>(
         capacity_, static_cast<std::uint16_t>(rings_.size())));
     tlsRing.ring = rings_.back().get();
+    // hicamp-atomic: waive(mutex_-serialized with resetForTest's
+    // generation bump; the lock-free fast path above re-reads with
+    // acquire)
     tlsRing.generation = generation_.load(std::memory_order_relaxed);
     return *rings_.back();
 }

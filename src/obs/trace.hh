@@ -100,6 +100,8 @@ std::uint32_t traceMaskFor(const char *spec);
 #include <mutex>
 #include <vector>
 
+#include "common/atomic_annotations.hh"
+
 namespace hicamp::obs {
 
 class FlightRecorder
@@ -166,18 +168,18 @@ class FlightRecorder
         std::vector<TraceEvent> buf;
         /// total events this ring ever received; single writer (the
         /// owning thread), relaxed so a racy dropped() read is benign
-        std::atomic<std::uint64_t> count{0};
+        HICAMP_ATOMIC_COUNTER std::atomic<std::uint64_t> count{0};
         std::uint16_t tid;
     };
 
     FlightRecorder();
     Ring &myRing();
 
-    std::atomic<std::uint32_t> mask_;
-    std::atomic<std::uint64_t> tick_{0};
+    HICAMP_ATOMIC_FLAG std::atomic<std::uint32_t> mask_;
+    HICAMP_ATOMIC_COUNTER std::atomic<std::uint64_t> tick_{0};
     std::size_t capacity_;
     /// bumped by resetForTest() to invalidate threads' cached rings
-    std::atomic<std::uint64_t> generation_{1};
+    HICAMP_ATOMIC_PUBLISH std::atomic<std::uint64_t> generation_{1};
     mutable std::mutex mutex_;
     std::vector<std::unique_ptr<Ring>> rings_;
 };

@@ -16,6 +16,9 @@ SegmentMap::SegmentMap(Memory &mem)
     : mem_(mem), builder_(mem),
       chunks_(new std::atomic<SlotChunk *>[kMaxChunks])
 {
+    // hicamp-atomic: waive(single-threaded construction; the
+    // directory is published by the constructor's completing
+    // // happens-before edge to any thread that learns of the map)
     for (std::uint64_t i = 0; i < kMaxChunks; ++i)
         chunks_[i].store(nullptr, std::memory_order_relaxed);
     chunks_[0].store(new SlotChunk, std::memory_order_release);
@@ -34,16 +37,21 @@ SegmentMap::~SegmentMap()
 {
     mem_.metrics().removeByPrefix("vsm.");
     mem_.setLineFreedHook(nullptr);
+    // hicamp-atomic: waive(single-threaded destruction; no
+    // concurrent reader may outlive the map)
     const std::uint64_t n = slotCount_.load(std::memory_order_relaxed);
     for (Vsid v = 1; v < n; ++v) {
         EntrySlot &s = slotFor(v);
+        // hicamp-atomic: waive(single-threaded destruction, as above)
         if (s.live.load(std::memory_order_relaxed) &&
             !(s.flags.load(std::memory_order_relaxed) &
               (kSegWeak | kSegAlias)))
             builder_.release(readDesc(s).root);
+        // hicamp-atomic: waive(single-threaded destruction, as above)
         s.live.store(false, std::memory_order_relaxed);
     }
     for (std::uint64_t i = 0; i < kMaxChunks; ++i)
+        // hicamp-atomic: waive(single-threaded destruction, as above)
         delete chunks_[i].load(std::memory_order_relaxed);
 }
 
@@ -128,6 +136,8 @@ SegmentMap::onLineFreed(Plid plid)
     auto [lo, hi] = weakWatch_.equal_range(plid);
     for (auto it = lo; it != hi; ++it) {
         EntrySlot &slot = slotFor(it->second);
+        // hicamp-atomic: waive(mapMutex_ held: serialized with
+        // // create()'s slot initialization and destroy()'s unpublish)
         if (slot.live.load(std::memory_order_relaxed) &&
             (slot.flags.load(std::memory_order_relaxed) & kSegWeak))
             writeDesc(slot, SegDesc{});
@@ -141,9 +151,14 @@ SegmentMap::create(const SegDesc &d, std::uint32_t flags)
     Vsid v;
     {
         CapLockGuard g(mapMutex_, lockrank::vsm);
+        // hicamp-atomic: waive(mapMutex_ held: slotCount_ and the
+        // // chunk directory are only grown under it; the release
+        // // stores of the chunk pointer, live and slotCount_ below are
+        // // what lock-free readers pair their acquires with)
         v = slotCount_.load(std::memory_order_relaxed);
         const std::uint64_t chunk = v >> kSlotChunkBits;
         HICAMP_ASSERT(chunk < kMaxChunks, "segment map full");
+        // hicamp-atomic: waive(mapMutex_ held, as above)
         if (chunks_[chunk].load(std::memory_order_relaxed) == nullptr)
             chunks_[chunk].store(new SlotChunk,
                                  std::memory_order_release);
@@ -171,15 +186,19 @@ SegmentMap::aliasReadOnly(Vsid target)
     Vsid v;
     {
         CapLockGuard g(mapMutex_, lockrank::vsm);
+        // hicamp-atomic: waive(mapMutex_ held: serialized with every
+        // // writer, same as create())
         HICAMP_ASSERT(target != kNullVsid &&
                           target < slotCount_.load(
                                        std::memory_order_relaxed) &&
                           slotFor(target).live.load(
                               std::memory_order_relaxed),
                       "alias of dead VSID");
+        // hicamp-atomic: waive(mapMutex_ held, as above)
         v = slotCount_.load(std::memory_order_relaxed);
         const std::uint64_t chunk = v >> kSlotChunkBits;
         HICAMP_ASSERT(chunk < kMaxChunks, "segment map full");
+        // hicamp-atomic: waive(mapMutex_ held, as above)
         if (chunks_[chunk].load(std::memory_order_relaxed) == nullptr)
             chunks_[chunk].store(new SlotChunk,
                                  std::memory_order_release);
@@ -428,10 +447,14 @@ SegmentMap::forEachLive(
     // Holds mapMutex_ across the callbacks: audits run at quiescent
     // points, and fn may freely read the store (bucket stripes rank
     // below the map mutex).
+    // hicamp-atomic: waive(mapMutex_ held: serialized with every
+    // // writer, so the audit scan cannot race a publish)
     CapLockGuard g(mapMutex_, lockrank::vsm);
+    // hicamp-atomic: waive(mapMutex_ held: serialized with every writer)
     const std::uint64_t n = slotCount_.load(std::memory_order_relaxed);
     for (Vsid v = 1; v < n; ++v) {
         const EntrySlot &s = slotFor(v);
+        // hicamp-atomic: waive(mapMutex_ held, as above)
         if (s.live.load(std::memory_order_relaxed))
             fn(v, readDesc(s),
                s.flags.load(std::memory_order_relaxed));
@@ -465,10 +488,14 @@ SegmentMap::liveIterators() const
 std::uint64_t
 SegmentMap::liveEntries() const
 {
+    // hicamp-atomic: waive(mapMutex_ held: serialized with every
+    // // writer, a point-in-time tally)
     CapLockGuard g(mapMutex_, lockrank::vsm);
+    // hicamp-atomic: waive(mapMutex_ held: serialized with every writer)
     const std::uint64_t n = slotCount_.load(std::memory_order_relaxed);
     std::uint64_t count = 0;
     for (Vsid v = 1; v < n; ++v)
+        // hicamp-atomic: waive(mapMutex_ held, as above)
         count += slotFor(v).live.load(std::memory_order_relaxed) ? 1 : 0;
     return count;
 }

@@ -36,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/atomic_annotations.hh"
 #include "common/ownership.hh"
 #include "common/thread_annotations.hh"
 #include "seg/builder.hh"
@@ -189,13 +190,18 @@ class SegmentMap
         /// per-slot publication seqlock; its write side is entered
         /// only under mapMutex_ (writeDesc), so writers never race
         SeqCount seq;
-        std::atomic<Word> rootWord HICAMP_GUARDED_BY(seq) = 0;
-        std::atomic<std::uint16_t> rootMeta HICAMP_GUARDED_BY(seq) = 0;
-        std::atomic<std::int32_t> height HICAMP_GUARDED_BY(seq) = 0;
-        std::atomic<std::uint64_t> byteLen HICAMP_GUARDED_BY(seq) = 0;
-        std::atomic<std::uint32_t> flags{0};
-        std::atomic<Vsid> aliasTarget{kNullVsid};
-        std::atomic<bool> live{false};
+        HICAMP_ATOMIC_SEQLOCK std::atomic<Word> rootWord
+            HICAMP_GUARDED_BY(seq) = 0;
+        HICAMP_ATOMIC_SEQLOCK std::atomic<std::uint16_t> rootMeta
+            HICAMP_GUARDED_BY(seq) = 0;
+        HICAMP_ATOMIC_SEQLOCK std::atomic<std::int32_t> height
+            HICAMP_GUARDED_BY(seq) = 0;
+        HICAMP_ATOMIC_SEQLOCK std::atomic<std::uint64_t> byteLen
+            HICAMP_GUARDED_BY(seq) = 0;
+        /// immutable after create(): ordered by the `live` publish
+        HICAMP_ATOMIC_FLAG std::atomic<std::uint32_t> flags{0};
+        HICAMP_ATOMIC_FLAG std::atomic<Vsid> aliasTarget{kNullVsid};
+        HICAMP_ATOMIC_PUBLISH std::atomic<bool> live{false};
     };
 
     /// slots per chunk; chunks are never reallocated, so readers can
@@ -237,8 +243,9 @@ class SegmentMap
     mutable CapMutex mapMutex_;
     /// written under mapMutex_, read lock-free by slotFor()'s acquire
     /// load (chunks have stable addresses; see kSlotChunkBits)
-    std::unique_ptr<std::atomic<SlotChunk *>[]> chunks_;
-    std::atomic<std::uint64_t> slotCount_{1}; ///< slot 0 == null VSID
+    HICAMP_ATOMIC_PUBLISH std::unique_ptr<std::atomic<SlotChunk *>[]> chunks_;
+    /// slot 0 == null VSID
+    HICAMP_ATOMIC_PUBLISH std::atomic<std::uint64_t> slotCount_{1};
     std::vector<const IteratorRegister *> iterators_
         HICAMP_GUARDED_BY(mapMutex_);
     std::unordered_multimap<Plid, Vsid> weakWatch_

@@ -290,6 +290,102 @@ TEST(EpochHammer, ConcurrentReadRetireChurn)
     EXPECT_EQ(s.totalRefs(), 0u);
 }
 
+/**
+ * Regression for the retire()/read() live-or-limbo handoff: retire
+ * sets the limbo bit *before* the release clear of the live bit, and
+ * a lock-free reader consults limbo (relaxed — the liveMask_
+ * release/acquire pair carries the ordering for both masks, see
+ * setSlotLimbo) only after its acquire load of the live mask. Unlike
+ * ConcurrentReadRetireChurn above, readers here call read() without
+ * an isLive() gate: a PLID obtained inside a guard must stay
+ * readable through a concurrent retirement, so if the two mask
+ * writes ever reorder — or the limbo load ever misses the published
+ * bit — read()'s live-or-limbo debug assert fires on the transient
+ * neither-live-nor-limbo state. TSan (CI job) additionally proves
+ * the relaxed limbo traffic race-free.
+ */
+TEST(EpochHammer, ReadRacingRetireSeesLiveOrLimbo)
+{
+    constexpr std::uint64_t kBuckets = 1 << 10;
+    LineStore s(kBuckets, 2);
+    constexpr int kWriters = 2;
+    constexpr int kReaders = 2;
+    constexpr int kSlots = 32;
+    constexpr int kRounds = 400;
+    // Home-bucket PLIDs are dense (bucket << way bits | way);
+    // overflow PLIDs sit above this bound and take a locked read
+    // path, so writers keep them out of the shared slots.
+    constexpr Plid kHomeBound = kBuckets << BucketLayout::kWayBits;
+
+    std::vector<std::atomic<Plid>> slots(kSlots);
+    for (auto &p : slots)
+        p.store(kZeroPlid);
+    std::atomic<bool> stop{false};
+
+    std::vector<std::thread> threads;
+    for (int w = 0; w < kWriters; ++w) {
+        threads.emplace_back([&, w] {
+            Rng rng(1700 + w);
+            for (int i = 0; i < kRounds; ++i) {
+                const int slot = w * (kSlots / kWriters) +
+                                 static_cast<int>(
+                                     rng.below(kSlots / kWriters));
+                const Plid old = slots[slot].exchange(kZeroPlid);
+                if (old != kZeroPlid && s.addRef(old, -1) == 0)
+                    s.retire(old);
+                const Word v = static_cast<Word>(
+                    (static_cast<Word>(w + 11) << 32) | (i + 1));
+                auto r = s.findOrInsert(lineOf(2, v, v * 5),
+                                        /*take_ref=*/true);
+                ASSERT_EQ(r.status, MemStatus::Ok);
+                if (r.plid >= kHomeBound) {
+                    // Overflow spill: retire it again rather than
+                    // publish a locked-path PLID to the readers.
+                    if (s.addRef(r.plid, -1) == 0)
+                        s.retire(r.plid);
+                    continue;
+                }
+                slots[slot].store(r.plid);
+            }
+        });
+    }
+    for (int t = 0; t < kReaders; ++t) {
+        threads.emplace_back([&, t] {
+            Rng rng(9100 + t);
+            while (!stop.load(std::memory_order_acquire)) {
+                EpochGuard g(s.epochDomain());
+                for (int i = 0; i < 8; ++i) {
+                    const Plid p = slots[rng.below(kSlots)].load();
+                    if (p == kZeroPlid)
+                        continue;
+                    // No isLive() gate: the slot may retire under us
+                    // mid-read, and read() itself must then observe
+                    // limbo (parked storage), never the unallocated
+                    // state, with the content still bucket-coherent.
+                    const Line l = s.read(p);
+                    ASSERT_EQ(s.bucketOf(l.contentHash()),
+                              s.bucketOfPlid(p));
+                }
+            }
+        });
+    }
+    for (int w = 0; w < kWriters; ++w)
+        threads[w].join();
+    stop.store(true, std::memory_order_release);
+    for (int t = kWriters; t < kWriters + kReaders; ++t)
+        threads[t].join();
+
+    for (auto &slot : slots) {
+        const Plid p = slot.load();
+        if (p != kZeroPlid && s.addRef(p, -1) == 0)
+            s.retire(p);
+    }
+    s.epochSynchronize();
+    EXPECT_EQ(s.limboLines(), 0u);
+    EXPECT_EQ(s.liveLines(), 0u);
+    EXPECT_EQ(s.totalRefs(), 0u);
+}
+
 TEST(Epoch, TryAcquireRevalidatesInsideGuard)
 {
     Memory mem;

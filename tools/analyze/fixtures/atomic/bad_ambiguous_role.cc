@@ -1,0 +1,11 @@
+// Fixture: one name declared under two roles — names are the unit of
+// classification.
+// Expect: ambiguous-role
+namespace hicamp {
+struct A {
+    HICAMP_ATOMIC_COUNTER std::atomic<int> n_{0};
+};
+struct B {
+    HICAMP_ATOMIC_PUBLISH std::atomic<int> n_{0};
+};
+} // namespace hicamp

@@ -1,0 +1,10 @@
+// Fixture: a bare fence with no justification — fences belong to
+// role primitives.
+// Expect: bare-fence
+namespace hicamp {
+void
+mysteryBarrier()
+{
+    std::atomic_thread_fence(std::memory_order_acquire);
+}
+} // namespace hicamp

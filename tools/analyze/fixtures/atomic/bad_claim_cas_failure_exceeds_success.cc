@@ -1,0 +1,15 @@
+// Fixture: the failure order is stronger than the success order.
+// Expect: claim-cas-failure-exceeds-success
+namespace hicamp {
+struct Slot {
+    HICAMP_ATOMIC_CLAIM_CAS std::atomic<unsigned> owner{0};
+};
+bool
+claim(Slot &s, unsigned me)
+{
+    unsigned expect = 0;
+    return s.owner.compare_exchange_strong(
+        expect, me, std::memory_order_relaxed,
+        std::memory_order_acquire);
+}
+} // namespace hicamp

@@ -1,0 +1,17 @@
+// Fixture: a failed CAS stored nothing, so a release failure order
+// is meaningless (and ill-formed per the C++ memory model pre-C++17
+// relaxation rules the codebase targets).
+// Expect: claim-cas-release-on-failure
+namespace hicamp {
+struct Slot {
+    HICAMP_ATOMIC_CLAIM_CAS std::atomic<unsigned> owner{0};
+};
+bool
+claim(Slot &s, unsigned me)
+{
+    unsigned expect = 0;
+    return s.owner.compare_exchange_strong(
+        expect, me, std::memory_order_acq_rel,
+        std::memory_order_release);
+}
+} // namespace hicamp

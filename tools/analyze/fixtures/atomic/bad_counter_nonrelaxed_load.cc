@@ -1,0 +1,13 @@
+// Fixture: counter read with acquire — a counter carries no
+// publication; acquire here implies a protocol the role forbids.
+// Expect: counter-nonrelaxed-load
+namespace hicamp {
+struct Stats {
+    HICAMP_ATOMIC_COUNTER std::atomic<unsigned long> hits{0};
+};
+unsigned long
+hitCount(const Stats &s)
+{
+    return s.hits.load(std::memory_order_acquire);
+}
+} // namespace hicamp

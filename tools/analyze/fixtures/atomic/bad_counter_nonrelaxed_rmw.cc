@@ -1,0 +1,13 @@
+// Fixture: a statistics counter bumped with acq_rel — counters are
+// relaxed-only; stronger orders suggest the field is mis-roled.
+// Expect: counter-nonrelaxed-rmw
+namespace hicamp {
+struct Stats {
+    HICAMP_ATOMIC_COUNTER std::atomic<unsigned long> hits{0};
+};
+void
+recordHit(Stats &s)
+{
+    s.hits.fetch_add(1, std::memory_order_acq_rel);
+}
+} // namespace hicamp

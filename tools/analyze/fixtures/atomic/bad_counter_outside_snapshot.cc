@@ -1,0 +1,11 @@
+// Fixture: a counter declared in another module read here without a
+// documented quiescent point.
+// With: mod_counter_decl.cc
+// Expect: counter-load-outside-snapshot
+namespace hicamp {
+unsigned long
+peekTicks(const TickSource &t)
+{
+    return t.ticks_.load(std::memory_order_relaxed);
+}
+} // namespace hicamp

@@ -1,0 +1,11 @@
+// Fixture: an epoch word touched outside its declaring module — the
+// pin protocol lives there only.
+// With: mod_epoch_decl.cc
+// Expect: epoch-outside-module
+namespace hicamp {
+unsigned long
+stealEpoch(const Domain &d)
+{
+    return d.globalEpoch_.load(std::memory_order_seq_cst);
+}
+} // namespace hicamp

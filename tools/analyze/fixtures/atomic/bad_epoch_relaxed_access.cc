@@ -1,0 +1,14 @@
+// Fixture: the global epoch word read relaxed inside the pin
+// protocol's own module — the stable-pin handshake needs stronger
+// orders.
+// Expect: epoch-relaxed-access
+namespace hicamp {
+struct Domain {
+    HICAMP_ATOMIC_EPOCH std::atomic<unsigned long> global{1};
+};
+unsigned long
+currentEpoch(const Domain &d)
+{
+    return d.global.load(std::memory_order_relaxed);
+}
+} // namespace hicamp

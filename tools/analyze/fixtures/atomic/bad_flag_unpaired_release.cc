@@ -1,0 +1,12 @@
+// Fixture: the flag is released but no acquire side exists anywhere.
+// Expect: flag-unpaired-release
+namespace hicamp {
+struct Lock {
+    HICAMP_ATOMIC_FLAG std::atomic_flag lk = ATOMIC_FLAG_INIT;
+};
+void
+unlock(Lock &l)
+{
+    l.lk.clear(std::memory_order_release);
+}
+} // namespace hicamp

@@ -1,0 +1,19 @@
+// Fixture: a lock-style flag acquired with a relaxed test_and_set —
+// the critical section's loads can float above the lock.
+// Expect: flag-weak-test-and-set
+namespace hicamp {
+struct Lock {
+    HICAMP_ATOMIC_FLAG std::atomic_flag lk = ATOMIC_FLAG_INIT;
+};
+void
+lock(Lock &l)
+{
+    while (l.lk.test_and_set(std::memory_order_relaxed)) {
+    }
+}
+void
+unlock(Lock &l)
+{
+    l.lk.clear(std::memory_order_release);
+}
+} // namespace hicamp

@@ -1,0 +1,13 @@
+// Fixture: a primitive marker with no rationale.
+// Expect: primitive-missing-rationale
+namespace hicamp {
+struct Desc {
+    HICAMP_ATOMIC_SEQLOCK std::atomic<unsigned> v_{0};
+};
+// hicamp-atomic: primitive()
+void
+bump(Desc &d)
+{
+    d.v_.store(1, std::memory_order_relaxed);
+}
+} // namespace hicamp

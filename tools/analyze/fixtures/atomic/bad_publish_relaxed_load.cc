@@ -1,0 +1,22 @@
+// Fixture: the lock-free reader loads the publication flag relaxed,
+// so the payload read below it is unordered against the publish.
+// Expect: publish-relaxed-load
+namespace hicamp {
+struct Box {
+    int payload = 0;
+    HICAMP_ATOMIC_PUBLISH std::atomic<bool> ready{false};
+};
+void
+publishBox(Box &b, int v)
+{
+    b.payload = v;
+    b.ready.store(true, std::memory_order_release);
+}
+int
+readBox(const Box &b)
+{
+    if (b.ready.load(std::memory_order_relaxed))
+        return b.payload;
+    return -1;
+}
+} // namespace hicamp

@@ -1,0 +1,20 @@
+// Fixture: data published through a flag, but the store is relaxed —
+// a reader that sees the flag may still miss the payload.
+// Expect: publish-relaxed-store
+namespace hicamp {
+struct Box {
+    int payload = 0;
+    HICAMP_ATOMIC_PUBLISH std::atomic<bool> ready{false};
+};
+void
+publishBox(Box &b, int v)
+{
+    b.payload = v;
+    b.ready.store(true, std::memory_order_relaxed);
+}
+bool
+readBox(const Box &b)
+{
+    return b.ready.load(std::memory_order_acquire);
+}
+} // namespace hicamp

@@ -1,0 +1,13 @@
+// Fixture: an acquire load whose field is never release-stored; the
+// reader synchronizes with nothing.
+// Expect: publish-unpaired-acquire
+namespace hicamp {
+struct Gate {
+    HICAMP_ATOMIC_PUBLISH std::atomic<bool> open{false};
+};
+bool
+gateOpen(const Gate &g)
+{
+    return g.open.load(std::memory_order_acquire);
+}
+} // namespace hicamp

@@ -1,0 +1,13 @@
+// Fixture: a release store whose field is never acquire-loaded —
+// either the release is dead weight or a reader misses its acquire.
+// Expect: publish-unpaired-release
+namespace hicamp {
+struct Gate {
+    HICAMP_ATOMIC_PUBLISH std::atomic<bool> open{false};
+};
+void
+openGate(Gate &g)
+{
+    g.open.store(true, std::memory_order_release);
+}
+} // namespace hicamp

@@ -1,0 +1,14 @@
+// Fixture: seqlock-published field read with no readBegin/validate
+// retry loop around it — a torn read is silent.
+// Expect: seqlock-load-outside-retry
+namespace hicamp {
+struct Desc {
+    SeqCount seq;
+    HICAMP_ATOMIC_SEQLOCK std::atomic<unsigned long> root{0};
+};
+unsigned long
+peekRoot(const Desc &d)
+{
+    return d.root.load(std::memory_order_relaxed);
+}
+} // namespace hicamp

@@ -1,0 +1,20 @@
+// Fixture: seqlock-published field accessed with acquire inside the
+// retry loop — the SeqCount fences carry the ordering; per-field
+// acquire hides the protocol.
+// Expect: seqlock-nonrelaxed-access
+namespace hicamp {
+struct Desc {
+    SeqCount seq;
+    HICAMP_ATOMIC_SEQLOCK std::atomic<unsigned long> root{0};
+};
+unsigned long
+readRoot(const Desc &d)
+{
+    for (;;) {
+        unsigned s1 = d.seq.readBegin();
+        unsigned long r = d.root.load(std::memory_order_acquire);
+        if (d.seq.validate(s1))
+            return r;
+    }
+}
+} // namespace hicamp

@@ -1,0 +1,14 @@
+// Fixture: seqlock-published field stored without entering the
+// write section — readers cannot detect the torn update.
+// Expect: seqlock-store-outside-write-section
+namespace hicamp {
+struct Desc {
+    SeqCount seq;
+    HICAMP_ATOMIC_SEQLOCK std::atomic<unsigned long> root{0};
+};
+void
+setRoot(Desc &d, unsigned long r)
+{
+    d.root.store(r, std::memory_order_relaxed);
+}
+} // namespace hicamp

@@ -1,0 +1,7 @@
+// Fixture: an atomic field with no role annotation.
+// Expect: unannotated-atomic-field
+namespace hicamp {
+struct Stats {
+    std::atomic<unsigned long> hits{0};
+};
+} // namespace hicamp

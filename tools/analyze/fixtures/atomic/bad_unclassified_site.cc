@@ -1,0 +1,10 @@
+// Fixture: an atomic operation on an object the checker cannot
+// resolve to any role-annotated field.
+// Expect: unclassified-site
+namespace hicamp {
+int
+readMystery()
+{
+    return g_mystery.load(std::memory_order_relaxed);
+}
+} // namespace hicamp

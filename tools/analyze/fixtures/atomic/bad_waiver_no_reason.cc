@@ -1,0 +1,23 @@
+// Fixture: a waiver with no rationale — waivers must say why.
+// Expect: waiver-missing-rationale
+namespace hicamp {
+struct Box {
+    HICAMP_ATOMIC_PUBLISH std::atomic<bool> ready{false};
+};
+void
+initBox(Box &b)
+{
+    // hicamp-atomic: waive()
+    b.ready.store(false, std::memory_order_relaxed);
+}
+void
+publish(Box &b)
+{
+    b.ready.store(true, std::memory_order_release);
+}
+bool
+readBox(const Box &b)
+{
+    return b.ready.load(std::memory_order_acquire);
+}
+} // namespace hicamp

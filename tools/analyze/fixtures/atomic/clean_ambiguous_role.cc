@@ -1,0 +1,9 @@
+// Clean twin: distinct names for distinct roles.
+namespace hicamp {
+struct A {
+    HICAMP_ATOMIC_COUNTER std::atomic<int> count_{0};
+};
+struct B {
+    HICAMP_ATOMIC_PUBLISH std::atomic<int> ready_{0};
+};
+} // namespace hicamp

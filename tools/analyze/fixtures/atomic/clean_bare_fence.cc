@@ -1,0 +1,10 @@
+// Clean twin: the fence documents the protocol it belongs to.
+namespace hicamp {
+void
+retirementBarrier()
+{
+    // hicamp-atomic: waive(retirement fence: orders the caller's
+    // unpublish stores before the epoch tag read that follows)
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+}
+} // namespace hicamp

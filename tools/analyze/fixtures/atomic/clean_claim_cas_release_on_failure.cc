@@ -1,0 +1,14 @@
+// Clean twin: relaxed failure order — the retry loop re-reads anyway.
+namespace hicamp {
+struct Slot {
+    HICAMP_ATOMIC_CLAIM_CAS std::atomic<unsigned> owner{0};
+};
+bool
+claim(Slot &s, unsigned me)
+{
+    unsigned expect = 0;
+    return s.owner.compare_exchange_strong(
+        expect, me, std::memory_order_acq_rel,
+        std::memory_order_relaxed);
+}
+} // namespace hicamp

@@ -1,0 +1,11 @@
+// Clean twin: relaxed load in the declaring module.
+namespace hicamp {
+struct Stats {
+    HICAMP_ATOMIC_COUNTER std::atomic<unsigned long> hits{0};
+};
+unsigned long
+hitCount(const Stats &s)
+{
+    return s.hits.load(std::memory_order_relaxed);
+}
+} // namespace hicamp

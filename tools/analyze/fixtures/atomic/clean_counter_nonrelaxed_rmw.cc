@@ -1,0 +1,16 @@
+// Clean twin: relaxed bump, relaxed same-module read.
+namespace hicamp {
+struct Stats {
+    HICAMP_ATOMIC_COUNTER std::atomic<unsigned long> hits{0};
+};
+void
+recordHit(Stats &s)
+{
+    s.hits.fetch_add(1, std::memory_order_relaxed);
+}
+unsigned long
+hitCount(const Stats &s)
+{
+    return s.hits.load(std::memory_order_relaxed);
+}
+} // namespace hicamp

@@ -1,0 +1,11 @@
+// Clean twin: the cross-module read documents its quiescent point.
+// With: mod_counter_decl.cc
+namespace hicamp {
+unsigned long
+peekTicks(const TickSource &t)
+{
+    // hicamp-atomic: waive(end-of-phase snapshot: all worker threads
+    // joined before this read, no tick can be in flight)
+    return t.ticks_.load(std::memory_order_relaxed);
+}
+} // namespace hicamp

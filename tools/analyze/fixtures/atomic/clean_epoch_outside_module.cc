@@ -1,0 +1,10 @@
+// Clean twin: foreign modules go through the owning module's API
+// instead of touching the epoch word.
+// With: mod_epoch_decl.cc
+namespace hicamp {
+unsigned long
+askEpoch(const Domain &d)
+{
+    return readEpoch(d);
+}
+} // namespace hicamp

@@ -1,0 +1,11 @@
+// Clean twin: seq_cst read, as the stable-pin handshake requires.
+namespace hicamp {
+struct Domain {
+    HICAMP_ATOMIC_EPOCH std::atomic<unsigned long> global{1};
+};
+unsigned long
+currentEpoch(const Domain &d)
+{
+    return d.global.load(std::memory_order_seq_cst);
+}
+} // namespace hicamp

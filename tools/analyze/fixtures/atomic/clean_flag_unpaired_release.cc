@@ -1,0 +1,17 @@
+// Clean twin: acquire claim pairs with the release clear.
+namespace hicamp {
+struct Lock {
+    HICAMP_ATOMIC_FLAG std::atomic_flag lk = ATOMIC_FLAG_INIT;
+};
+void
+lock(Lock &l)
+{
+    while (l.lk.test_and_set(std::memory_order_acquire)) {
+    }
+}
+void
+unlock(Lock &l)
+{
+    l.lk.clear(std::memory_order_release);
+}
+} // namespace hicamp

@@ -1,0 +1,13 @@
+// Clean twin: the primitive marker says which protocol it defines.
+namespace hicamp {
+struct Desc {
+    HICAMP_ATOMIC_SEQLOCK std::atomic<unsigned> v_{0};
+};
+// hicamp-atomic: primitive(defines the write-side entry of this
+// fixture's sequence protocol; writers are externally serialized)
+void
+bump(Desc &d)
+{
+    d.v_.store(1, std::memory_order_relaxed);
+}
+} // namespace hicamp

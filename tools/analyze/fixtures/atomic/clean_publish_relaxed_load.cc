@@ -1,0 +1,28 @@
+// Clean twin: a lock-serialized re-check may stay relaxed with a
+// reasoned waiver naming the serializing lock.
+namespace hicamp {
+struct Box {
+    int payload = 0;
+    HICAMP_ATOMIC_PUBLISH std::atomic<bool> ready{false};
+};
+void
+publishBox(Box &b, int v)
+{
+    b.payload = v;
+    b.ready.store(true, std::memory_order_release);
+}
+int
+readBoxLocked(const Box &b)
+{
+    // hicamp-atomic: waive(boxMutex_ held: serialized with the
+    // publishing store, no ordering needed)
+    if (b.ready.load(std::memory_order_relaxed))
+        return b.payload;
+    return -1;
+}
+bool
+readBox(const Box &b)
+{
+    return b.ready.load(std::memory_order_acquire);
+}
+} // namespace hicamp

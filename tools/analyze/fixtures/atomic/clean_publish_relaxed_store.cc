@@ -1,0 +1,18 @@
+// Clean twin: release publication paired with an acquire reader.
+namespace hicamp {
+struct Box {
+    int payload = 0;
+    HICAMP_ATOMIC_PUBLISH std::atomic<bool> ready{false};
+};
+void
+publishBox(Box &b, int v)
+{
+    b.payload = v;
+    b.ready.store(true, std::memory_order_release);
+}
+bool
+readBox(const Box &b)
+{
+    return b.ready.load(std::memory_order_acquire);
+}
+} // namespace hicamp

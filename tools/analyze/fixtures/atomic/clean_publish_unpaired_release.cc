@@ -1,0 +1,16 @@
+// Clean twin: the acquire-side reader closes the pairing.
+namespace hicamp {
+struct Gate {
+    HICAMP_ATOMIC_PUBLISH std::atomic<bool> open{false};
+};
+void
+openGate(Gate &g)
+{
+    g.open.store(true, std::memory_order_release);
+}
+bool
+gateOpen(const Gate &g)
+{
+    return g.open.load(std::memory_order_acquire);
+}
+} // namespace hicamp

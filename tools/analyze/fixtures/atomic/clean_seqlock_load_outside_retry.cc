@@ -1,0 +1,17 @@
+// Clean twin: the load sits inside the standard retry loop.
+namespace hicamp {
+struct Desc {
+    SeqCount seq;
+    HICAMP_ATOMIC_SEQLOCK std::atomic<unsigned long> root{0};
+};
+unsigned long
+readRoot(const Desc &d)
+{
+    for (;;) {
+        unsigned s1 = d.seq.readBegin();
+        unsigned long r = d.root.load(std::memory_order_relaxed);
+        if (d.seq.validate(s1))
+            return r;
+    }
+}
+} // namespace hicamp

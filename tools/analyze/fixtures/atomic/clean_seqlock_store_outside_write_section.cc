@@ -1,0 +1,14 @@
+// Clean twin: the store sits between writeBegin and writeEnd.
+namespace hicamp {
+struct Desc {
+    SeqCount seq;
+    HICAMP_ATOMIC_SEQLOCK std::atomic<unsigned long> root{0};
+};
+void
+setRoot(Desc &d, unsigned long r)
+{
+    d.seq.writeBegin();
+    d.root.store(r, std::memory_order_relaxed);
+    d.seq.writeEnd();
+}
+} // namespace hicamp

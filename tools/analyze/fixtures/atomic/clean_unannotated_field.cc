@@ -1,0 +1,6 @@
+// Clean twin: the field declares its role.
+namespace hicamp {
+struct Stats {
+    HICAMP_ATOMIC_COUNTER std::atomic<unsigned long> hits{0};
+};
+} // namespace hicamp

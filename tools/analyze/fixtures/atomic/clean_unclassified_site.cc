@@ -1,0 +1,11 @@
+// Clean twin: the field is declared with a role in the same file.
+namespace hicamp {
+struct G {
+    HICAMP_ATOMIC_COUNTER std::atomic<int> g_known{0};
+};
+int
+readKnown(const G &g)
+{
+    return g.g_known.load(std::memory_order_relaxed);
+}
+} // namespace hicamp

@@ -1,0 +1,11 @@
+// Companion module: declares (and legitimately bumps) the counter.
+namespace hicamp {
+struct TickSource {
+    HICAMP_ATOMIC_COUNTER std::atomic<unsigned long> ticks_{0};
+};
+void
+tick(TickSource &t)
+{
+    t.ticks_.fetch_add(1, std::memory_order_relaxed);
+}
+} // namespace hicamp

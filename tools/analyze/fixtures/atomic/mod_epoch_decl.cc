@@ -1,0 +1,11 @@
+// Companion module: owns the epoch word and its protocol.
+namespace hicamp {
+struct Domain {
+    HICAMP_ATOMIC_EPOCH std::atomic<unsigned long> globalEpoch_{1};
+};
+unsigned long
+readEpoch(const Domain &d)
+{
+    return d.globalEpoch_.load(std::memory_order_seq_cst);
+}
+} // namespace hicamp

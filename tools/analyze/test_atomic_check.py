@@ -1,0 +1,110 @@
+#!/usr/bin/env python3
+"""Self-test for tools/analyze/atomic_check.py.
+
+Every bad_*.cc fixture under fixtures/atomic/ must produce exactly its
+expected rule (the ``Expect:`` line in the fixture header); every
+clean_*.cc twin must come back with zero findings.  Fixture runs are
+hermetic: --no-harvest keeps the KB to the checked files, so a fixture
+checks the same way everywhere.  A fixture that needs a cross-module
+declaration names its companion with a ``With:`` header line; the
+companion (mod_*.cc, no bad_/clean_ prefix) is passed in the same run
+and must itself be clean.
+"""
+
+import io
+import os
+import re
+import sys
+import unittest
+from contextlib import redirect_stdout
+
+sys.path.insert(0, os.path.dirname(os.path.abspath(__file__)))
+import atomic_check  # noqa: E402
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+FIXTURES = os.path.join(HERE, "fixtures", "atomic")
+
+
+def run_checker(paths):
+    buf = io.StringIO()
+    with redirect_stdout(buf):
+        status = atomic_check.main(["--no-harvest"] + paths)
+    return status, buf.getvalue()
+
+
+def header(path, key):
+    text = open(path, encoding="utf-8").read()
+    m = re.search(key + r":\s*([\w.-]+)", text)
+    return m.group(1) if m else None
+
+
+def run_paths(path):
+    """The fixture plus any With: companion, companions first."""
+    companion = header(path, "With")
+    out = []
+    if companion:
+        out.append(os.path.join(FIXTURES, companion))
+    out.append(path)
+    return out
+
+
+class FixtureTests(unittest.TestCase):
+    def test_every_bad_fixture_is_flagged_with_its_rule(self):
+        bads = sorted(f for f in os.listdir(FIXTURES)
+                      if f.startswith("bad_") and f.endswith(".cc"))
+        self.assertGreaterEqual(len(bads), 15,
+                                "fixture corpus shrank below 15 bugs")
+        for f in bads:
+            path = os.path.join(FIXTURES, f)
+            rule = header(path, "Expect")
+            self.assertIsNotNone(rule, f"{f} lacks an Expect: header")
+            status, out = run_checker(run_paths(path))
+            self.assertEqual(status, 1,
+                             f"{f} expected findings, got:\n{out}")
+            self.assertIn(f"[{rule}]", out,
+                          f"{f} expected rule {rule}, got:\n{out}")
+            # The seeded bug must be attributed to the bad file, not
+            # its companion.
+            for line in out.splitlines():
+                if f"[{rule}]" in line:
+                    self.assertIn(f, line.split(":", 1)[0])
+
+    def test_every_clean_twin_passes(self):
+        cleans = sorted(f for f in os.listdir(FIXTURES)
+                        if f.startswith("clean_") and f.endswith(".cc"))
+        self.assertGreaterEqual(len(cleans), 15)
+        for f in cleans:
+            path = os.path.join(FIXTURES, f)
+            status, out = run_checker(run_paths(path))
+            self.assertEqual(status, 0,
+                             f"{f} expected a clean pass, got:\n{out}")
+
+    def test_companions_are_clean_alone(self):
+        mods = sorted(f for f in os.listdir(FIXTURES)
+                      if f.startswith("mod_") and f.endswith(".cc"))
+        for f in mods:
+            status, out = run_checker([os.path.join(FIXTURES, f)])
+            self.assertEqual(status, 0,
+                             f"{f} expected a clean pass, got:\n{out}")
+
+    def test_bad_and_clean_twins_match(self):
+        names = os.listdir(FIXTURES)
+        bads = {f[len("bad_"):] for f in names if f.startswith("bad_")}
+        cleans = {f[len("clean_"):] for f in names
+                  if f.startswith("clean_")}
+        self.assertEqual(bads, cleans,
+                         "every seeded bug needs a clean twin")
+
+    def test_repo_tree_is_clean(self):
+        # The annotated tree must pass with its reasoned waivers; this
+        # is the same gate the atomic-analysis CI job enforces.
+        root = os.path.dirname(os.path.dirname(HERE))
+        buf = io.StringIO()
+        with redirect_stdout(buf):
+            status = atomic_check.main(["--root", root])
+        self.assertEqual(status, 0,
+                         f"repo tree not clean:\n{buf.getvalue()}")
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)

@@ -1,17 +1,21 @@
-// Lint fixture: a relaxed atomic load steering control flow in a
-// file that is not on the blessed list and carries no waiver — the
-// relaxed-control rule must flag it.
+// Lint fixture: a relaxed atomic load steering control flow on a
+// field that carries no HICAMP_ATOMIC_* role and no waiver — the
+// relaxed-control rule must flag it.  Role-annotated fields are
+// deferred to tools/analyze/atomic_check.py and must stay silent
+// here.
 #include <atomic>
 
 std::atomic<bool> ready{false};
-std::atomic<int> count{0};
+std::atomic<int> pending{0};
+// Role-annotated: owned by atomic_check, not relaxed-control.
+HICAMP_ATOMIC_COUNTER std::atomic<int> ticks{0};
 
 int
 consume()
 {
     if (ready.load(std::memory_order_relaxed)) // EXPECT-LINE: relaxed-control
-        return count.load(std::memory_order_acquire);
-    while (count.load(std::memory_order_relaxed) < 4) { // EXPECT-LINE: relaxed-control
+        return pending.load(std::memory_order_acquire);
+    while (pending.load(std::memory_order_relaxed) < 4) { // EXPECT-LINE: relaxed-control
     }
     return -1;
 }
@@ -23,7 +27,11 @@ consumeOk()
     if (ready.load(std::memory_order_acquire))
         return 1;
     // hicamp-lint: relaxed-ok(fixture: pretend an outer lock serializes)
-    if (count.load(std::memory_order_relaxed) > 0)
+    if (pending.load(std::memory_order_relaxed) > 0)
         return 2;
+    // Deferred: ticks has a role annotation, so the role-aware
+    // checker classifies this load (relaxed is the counter contract).
+    if (ticks.load(std::memory_order_relaxed) > 8)
+        return 3;
     return 0;
 }

@@ -2,10 +2,15 @@
 # Run the benchmark suite and aggregate the results.
 #
 # Usage: tools/run_benches.sh [--quick] [--build-dir DIR] [--out-dir DIR]
+#                              [--check-static]
 #
-#   --quick      smoke-sized runs (CI); full sweeps otherwise
-#   --build-dir  build tree holding bench/ binaries (default: build)
-#   --out-dir    where logs and BENCH_*.json land (default: repo root)
+#   --quick         smoke-sized runs (CI); full sweeps otherwise
+#   --build-dir     build tree holding bench/ binaries (default: build)
+#   --out-dir       where logs and BENCH_*.json land (default: repo root)
+#   --check-static  preflight the static gates (hicamp_lint,
+#                   refcount_check, atomic_check) and refuse to bench
+#                   a failing tree — numbers from a tree that flunks
+#                   its own protocol checkers are not worth archiving
 #
 # Every bench's stdout is captured under $out_dir/bench-logs/,
 # bench_mt_scaling writes BENCH_mt_scaling.json itself, and a
@@ -21,17 +26,37 @@ set -u
 quick=0
 build_dir=build
 out_dir=""
+check_static=0
 while [ $# -gt 0 ]; do
     case "$1" in
       --quick) quick=1 ;;
       --build-dir) shift; build_dir=$1 ;;
       --out-dir) shift; out_dir=$1 ;;
+      --check-static) check_static=1 ;;
       *) echo "unknown argument: $1" >&2; exit 2 ;;
     esac
     shift
 done
 
 root=$(cd "$(dirname "$0")/.." && pwd)
+
+if [ "$check_static" = 1 ]; then
+    echo "== static preflight (lint + refcount + atomic) =="
+    static_ok=1
+    for checker in \
+        "$root/tools/lint/hicamp_lint.py" \
+        "$root/tools/analyze/refcount_check.py" \
+        "$root/tools/analyze/atomic_check.py"; do
+        if ! python3 "$checker" --root "$root"; then
+            static_ok=0
+        fi
+    done
+    if [ "$static_ok" != 1 ]; then
+        echo "run_benches: static preflight failed; refusing to" \
+             "bench a tree that flunks its own checkers" >&2
+        exit 1
+    fi
+fi
 case "$build_dir" in
   /*) ;;
   *) build_dir="$root/$build_dir" ;;
