@@ -70,6 +70,7 @@
 #include <vector>
 
 #include "bench_obs.hh"
+#include "common/cli.hh"
 #include "common/rng.hh"
 #include "common/table.hh"
 #include "lang/harray.hh"
@@ -492,12 +493,11 @@ main(int argc, char **argv)
 {
     bool smoke = false;
     std::string json_path = "BENCH_mt_scaling.json";
-    for (int i = 1; i < argc; ++i) {
-        if (std::strcmp(argv[i], "--smoke") == 0)
-            smoke = true;
-        else if (std::strcmp(argv[i], "--json") == 0 && i + 1 < argc)
-            json_path = argv[++i];
-    }
+    cli::FlagSet flags("bench_mt_scaling",
+                       "global vs sharded vs epoch scaling sweep");
+    flags.toggle("--smoke", &smoke, "smoke-sized runs (CI)");
+    flags.str("--json", &json_path, "trajectory output path");
+    flags.parse(argc, argv);
 
     // The structure-level workloads scale to 16 threads; the bare
     // read/lookup hammer — the §12 headline — goes to 64.

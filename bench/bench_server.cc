@@ -1,0 +1,754 @@
+/**
+ * @file
+ * Closed-loop load generator for the serving front-end (DESIGN.md
+ * §14): drives a live loopback McServer through real sockets and the
+ * real memcached text protocol, in four phases per worker count —
+ *
+ *  - "preload": pipelined SETs installing a WebCorpus working set
+ *    (large enough that steady-state traffic reaches the line store);
+ *  - "steady": the paper §5.1.2 request mix — Zipf-popular keys,
+ *    90:10 get:set with deletes — issued closed-loop (one request in
+ *    flight per client, latency measured per request);
+ *  - "storm": a hot-key storm (zipf s = 1.4, get-heavy) hammering the
+ *    head of the popularity curve, the worst case for the one-batch-
+ *    per-connection ordering rule;
+ *  - "churn": short-lived connections (connect, set, get, quit) — the
+ *    accept/close path and the PLID-leak surface.
+ *
+ * Each phase reports ops/s and client-side p50/p99/p999 latency (from
+ * a Log2Histogram of per-request nanoseconds) plus the phase's server
+ * registry delta; BENCH_server.json carries the sweep at 1/4/16
+ * workers.
+ *
+ * Wall-clock numbers measure the host; on single-core CI every worker
+ * count timeshares one CPU and wall ops/s cannot scale. The modeled
+ * throughput is the architectural claim (same model as
+ * bench_mt_scaling): every steady-phase DRAM command targets its home
+ * bucket's bank, banks overlap while commands within a bank serialize
+ * at t_RC, and workers spread the command stream —
+ *
+ *   t_model = max(row_acts / workers, hottest_bank) * t_RC
+ *
+ * The SELFCHECK verdict requires modeled 16-worker throughput >= 3x
+ * 1-worker on the steady phase. The network thread is off this
+ * critical path by design: it never touches the heap, and its byte
+ * shuffling overlaps the workers' DRAM time.
+ *
+ * Graceful degradation is part of the bench contract: under fault
+ * injection (--fault-alloc-p or HICAMP_FAULT_ALLOC_P) allocation
+ * failures surface as per-request "SERVER_ERROR out of memory" lines,
+ * which the clients count and tolerate; the run still ends with a
+ * clean heap audit and exit 0.
+ *
+ * Usage: bench_server [--smoke] [--json PATH] [--check-static]
+ *                     [--clients N] [--fault-* ...]
+ *
+ * --check-static is the fast CI preflight: a canned protocol exchange
+ * with exact-byte verification plus an exit audit, no timed phases
+ * (fault injection is forced off so the expected bytes are exact).
+ */
+
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include "analysis/auditor.hh"
+#include "bench_obs.hh"
+#include "common/cli.hh"
+#include "common/table.hh"
+#include "obs/histogram.hh"
+#include "server/server.hh"
+#include "server/store.hh"
+#include "workloads/memcached_workload.hh"
+
+using namespace hicamp;
+
+namespace {
+
+constexpr double kTrcNs = 50.0; // DRAM row-cycle time (§5.1.1 model)
+
+/** Blocking buffered memcached client for the load threads. */
+class LoadClient
+{
+  public:
+    explicit LoadClient(std::uint16_t port)
+    {
+        // The 16-worker sweep on small CI boxes can transiently
+        // overflow the accept backlog; a few retries ride it out.
+        for (int attempt = 0; attempt < 5 && fd_ < 0; ++attempt) {
+            fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+            if (fd_ < 0)
+                break;
+            timeval tv{10, 0};
+            ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+            sockaddr_in addr{};
+            addr.sin_family = AF_INET;
+            addr.sin_port = htons(port);
+            ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+            if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                          sizeof addr) == 0)
+                break;
+            ::close(fd_);
+            fd_ = -1;
+            std::this_thread::sleep_for(std::chrono::milliseconds(10));
+        }
+    }
+
+    ~LoadClient()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    bool ok() const { return fd_ >= 0; }
+
+    bool
+    send(std::string_view bytes)
+    {
+        std::size_t off = 0;
+        while (off < bytes.size()) {
+            const ssize_t n =
+                ::write(fd_, bytes.data() + off, bytes.size() - off);
+            if (n <= 0)
+                return false;
+            off += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    /** One CRLF-terminated line, without the terminator. */
+    bool
+    readLine(std::string &line)
+    {
+        for (;;) {
+            const std::size_t nl = buf_.find("\r\n", scan_);
+            if (nl != std::string::npos) {
+                line.assign(buf_, 0, nl);
+                buf_.erase(0, nl + 2);
+                scan_ = 0;
+                return true;
+            }
+            scan_ = buf_.size() > 1 ? buf_.size() - 1 : 0;
+            if (!fill())
+                return false;
+        }
+    }
+
+    /** Exactly @p n bytes (a data block + its CRLF). */
+    bool
+    readN(std::size_t n, std::string &out)
+    {
+        while (buf_.size() < n)
+            if (!fill())
+                return false;
+        out.assign(buf_, 0, n);
+        buf_.erase(0, n);
+        scan_ = 0;
+        return true;
+    }
+
+    /**
+     * Consume one full response for @p op; @p oom counts per-request
+     * SERVER_ERROR degradation (tolerated, never a client failure).
+     */
+    bool
+    readResponse(McRequest::Op op, std::uint64_t &oom)
+    {
+        std::string line;
+        if (op != McRequest::Op::Get) {
+            if (!readLine(line))
+                return false;
+            if (line.rfind("SERVER_ERROR", 0) == 0)
+                ++oom;
+            return true;
+        }
+        for (;;) {
+            if (!readLine(line))
+                return false;
+            if (line.rfind("VALUE ", 0) == 0) {
+                const std::size_t sp = line.rfind(' ');
+                const std::size_t len = static_cast<std::size_t>(
+                    std::strtoull(line.c_str() + sp + 1, nullptr, 10));
+                std::string block;
+                if (!readN(len + 2, block))
+                    return false;
+                continue;
+            }
+            if (line == "END")
+                return true;
+            if (line.rfind("SERVER_ERROR", 0) == 0)
+                ++oom;
+            return true; // ERROR / CLIENT_ERROR also end the response
+        }
+    }
+
+  private:
+    bool
+    fill()
+    {
+        char tmp[8192];
+        const ssize_t n = ::read(fd_, tmp, sizeof tmp);
+        if (n <= 0)
+            return false;
+        buf_.append(tmp, static_cast<std::size_t>(n));
+        return true;
+    }
+
+    int fd_ = -1;
+    std::string buf_;
+    std::size_t scan_ = 0; ///< resume offset for the CRLF search
+};
+
+std::string
+encode(const McRequest &req, const std::vector<WebItem> &items)
+{
+    const std::string &key = items[req.itemIndex].key;
+    switch (req.op) {
+      case McRequest::Op::Get:
+        return "get " + key + "\r\n";
+      case McRequest::Op::Set:
+        return "set " + key + " 0 0 " +
+               std::to_string(req.newValue.size()) + "\r\n" +
+               req.newValue + "\r\n";
+      case McRequest::Op::Delete:
+        return "delete " + key + "\r\n";
+    }
+    return {};
+}
+
+/** One phase's client-side results. */
+struct PhaseStats {
+    std::string name;
+    std::uint64_t ops = 0;
+    std::uint64_t oomResponses = 0;
+    std::uint64_t clientFailures = 0;
+    double wallMs = 0.0;
+    double p50Us = 0.0, p99Us = 0.0, p999Us = 0.0;
+    obs::MetricsSnapshot serverDelta;
+    std::uint64_t rowActs = 0; ///< heap delta during the phase
+
+    double
+    opsPerSec() const
+    {
+        return wallMs > 0.0 ? ops * 1e3 / wallMs : 0.0;
+    }
+};
+
+/** Log2-bucket percentile: midpoint of the bucket holding quantile
+ *  @p q (factor-two resolution, plenty for a trajectory metric). */
+double
+percentileUs(const obs::Log2Histogram &h, double q)
+{
+    const auto buckets = h.bucketSnapshot();
+    std::uint64_t total = 0;
+    for (auto b : buckets)
+        total += b;
+    if (total == 0)
+        return 0.0;
+    const auto need = static_cast<std::uint64_t>(
+        std::ceil(q * static_cast<double>(total)));
+    std::uint64_t cum = 0;
+    for (unsigned b = 0; b < buckets.size(); ++b) {
+        cum += buckets[b];
+        if (cum >= need && buckets[b] > 0) {
+            const double lo =
+                static_cast<double>(obs::Log2Histogram::bucketLo(b));
+            const double hi =
+                static_cast<double>(obs::Log2Histogram::bucketHi(b));
+            return (lo + hi) / 2.0 / 1e3; // ns -> us
+        }
+    }
+    return 0.0;
+}
+
+/** A timed multi-client phase over @p body(thread_index, client,
+ *  histogram, oom_counter) -> ops done; wraps registry deltas. */
+template <typename Body>
+PhaseStats
+runPhase(const std::string &name, server::McServer &srv, Hicamp &hc,
+         int clients, Body body)
+{
+    PhaseStats ps;
+    ps.name = name;
+    obs::Log2Histogram lat;
+    bench::Phase serverPhase(srv.metrics());
+    bench::Phase heapPhase(hc.mem.metrics());
+    std::vector<std::uint64_t> ops(clients, 0);
+    std::vector<std::uint64_t> oom(clients, 0);
+    std::vector<std::uint64_t> fails(clients, 0);
+    const auto t0 = std::chrono::steady_clock::now();
+    std::vector<std::thread> ts;
+    ts.reserve(clients);
+    for (int c = 0; c < clients; ++c) {
+        ts.emplace_back([&, c] {
+            body(c, lat, ops[c], oom[c], fails[c]);
+        });
+    }
+    for (auto &th : ts)
+        th.join();
+    const auto t1 = std::chrono::steady_clock::now();
+    ps.wallMs =
+        std::chrono::duration<double, std::milli>(t1 - t0).count();
+    for (int c = 0; c < clients; ++c) {
+        ps.ops += ops[c];
+        ps.oomResponses += oom[c];
+        ps.clientFailures += fails[c];
+    }
+    ps.p50Us = percentileUs(lat, 0.50);
+    ps.p99Us = percentileUs(lat, 0.99);
+    ps.p999Us = percentileUs(lat, 0.999);
+    ps.serverDelta = serverPhase.delta();
+    ps.rowActs = heapPhase.delta().counter("row_activations");
+    return ps;
+}
+
+/** One closed-loop request: send, time to full response. */
+bool
+issueTimed(LoadClient &cli, const std::string &wire, McRequest::Op op,
+           obs::Log2Histogram &lat, std::uint64_t &oom)
+{
+    const auto t0 = std::chrono::steady_clock::now();
+    if (!cli.send(wire) || !cli.readResponse(op, oom))
+        return false;
+    const auto t1 = std::chrono::steady_clock::now();
+    lat.record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(t1 - t0)
+            .count()));
+    return true;
+}
+
+/** One full run at a worker count. */
+struct WorkerRun {
+    unsigned workers = 0;
+    std::vector<PhaseStats> phases;
+    std::uint64_t steadyOps = 0;
+    std::uint64_t steadyRowActs = 0;
+    std::uint64_t steadyMaxBank = 0;
+    bool auditClean = false;
+
+    const PhaseStats *
+    phase(const std::string &name) const
+    {
+        for (const auto &p : phases)
+            if (p.name == name)
+                return &p;
+        return nullptr;
+    }
+
+    /// §3.1 bank-parallel model over the steady phase.
+    double
+    modelMs() const
+    {
+        const double serial = static_cast<double>(steadyRowActs);
+        const double perBank = static_cast<double>(steadyMaxBank);
+        return std::max(serial / workers, perBank) * kTrcNs / 1e6;
+    }
+
+    double
+    modelOpsPerSec() const
+    {
+        const double ms = modelMs();
+        return ms > 0.0 ? steadyOps * 1e3 / ms : 0.0;
+    }
+};
+
+struct RunParams {
+    std::uint64_t preloadItems;
+    std::uint64_t steadyReqs;
+    std::uint64_t stormReqs;
+    int churnConns; ///< per client thread
+    int clients;
+};
+
+MemoryConfig
+benchMemConfig(const FaultConfig &faults)
+{
+    MemoryConfig mcfg;
+    mcfg.numBuckets = 1 << 16;
+    mcfg.lockStripes = 16; // §5.1.1 bank count
+    // LLC well below the working set so steady-state traffic reaches
+    // the store and the DRAM model has something to measure.
+    mcfg.l2Bytes = 128 * 1024;
+    mcfg.faults = faults;
+    return mcfg;
+}
+
+WorkerRun
+runAtWorkers(unsigned workers, const RunParams &rp,
+             const FaultConfig &faults)
+{
+    Hicamp hc(benchMemConfig(faults));
+    server::McStore store(hc);
+    server::ServerConfig scfg;
+    scfg.workers = workers;
+    scfg.maxConns = 256;
+    server::McServer srv(store, scfg);
+    srv.start();
+    const std::uint16_t port = srv.port();
+
+    WorkerRun run;
+    run.workers = workers;
+
+    WebCorpus::Params cp;
+    cp.numItems = rp.preloadItems;
+    cp.minBytes = 128;
+    cp.maxBytes = 2048;
+    const auto items = WebCorpus::generate(cp);
+
+    // Preload through the protocol, pipelined in windows so the large
+    // working set installs quickly without abandoning closed-loop
+    // accounting elsewhere.
+    run.phases.push_back(runPhase(
+        "preload", srv, hc, rp.clients,
+        [&](int c, obs::Log2Histogram &, std::uint64_t &ops,
+            std::uint64_t &oom, std::uint64_t &fails) {
+            LoadClient cli(port);
+            if (!cli.ok()) {
+                ++fails;
+                return;
+            }
+            constexpr std::size_t kWindow = 32;
+            std::string wire;
+            std::size_t inFlight = 0;
+            const auto drain = [&] {
+                if (!cli.send(wire))
+                    return false;
+                wire.clear();
+                std::string line;
+                for (; inFlight > 0; --inFlight) {
+                    if (!cli.readLine(line))
+                        return false;
+                    if (line.rfind("SERVER_ERROR", 0) == 0)
+                        ++oom;
+                }
+                return true;
+            };
+            for (std::size_t i = c; i < items.size();
+                 i += static_cast<std::size_t>(rp.clients)) {
+                wire += "set " + items[i].key + " 0 0 " +
+                        std::to_string(items[i].payload.size()) +
+                        "\r\n" + items[i].payload + "\r\n";
+                ++inFlight;
+                ++ops;
+                if (inFlight >= kWindow && !drain()) {
+                    ++fails;
+                    return;
+                }
+            }
+            if (inFlight > 0 && !drain())
+                ++fails;
+        }));
+
+    // Steady state: the §5.1.2 mix, closed-loop, latency per request.
+    McWorkloadParams wp;
+    wp.numRequests = rp.steadyReqs;
+    const auto steadyReqs = generateMcRequests(items, wp);
+    const std::uint64_t bank0 = hc.mem.maxBankActivations();
+    run.phases.push_back(runPhase(
+        "steady", srv, hc, rp.clients,
+        [&](int c, obs::Log2Histogram &lat, std::uint64_t &ops,
+            std::uint64_t &oom, std::uint64_t &fails) {
+            LoadClient cli(port);
+            if (!cli.ok()) {
+                ++fails;
+                return;
+            }
+            for (std::size_t i = c; i < steadyReqs.size();
+                 i += static_cast<std::size_t>(rp.clients)) {
+                const auto &req = steadyReqs[i];
+                if (!issueTimed(cli, encode(req, items), req.op, lat,
+                                oom)) {
+                    ++fails;
+                    return;
+                }
+                ++ops;
+            }
+        }));
+    run.steadyOps = run.phases.back().ops;
+    run.steadyRowActs = run.phases.back().rowActs;
+    // Bank counters only grow, so the steady-phase hottest-bank delta
+    // is bounded by (and in practice tracks) this difference.
+    run.steadyMaxBank = hc.mem.maxBankActivations() - bank0;
+
+    // Hot-key storm: steep zipf, get-heavy — the head of the
+    // popularity curve hammers a handful of map slots.
+    McWorkloadParams sp;
+    sp.seed = 1234;
+    sp.numRequests = rp.stormReqs;
+    sp.zipfS = 1.4;
+    sp.getFraction = 0.97;
+    sp.deleteFraction = 0.0;
+    const auto stormReqs = generateMcRequests(items, sp);
+    run.phases.push_back(runPhase(
+        "storm", srv, hc, rp.clients,
+        [&](int c, obs::Log2Histogram &lat, std::uint64_t &ops,
+            std::uint64_t &oom, std::uint64_t &fails) {
+            LoadClient cli(port);
+            if (!cli.ok()) {
+                ++fails;
+                return;
+            }
+            for (std::size_t i = c; i < stormReqs.size();
+                 i += static_cast<std::size_t>(rp.clients)) {
+                const auto &req = stormReqs[i];
+                if (!issueTimed(cli, encode(req, items), req.op, lat,
+                                oom)) {
+                    ++fails;
+                    return;
+                }
+                ++ops;
+            }
+        }));
+
+    // Connection churn: short-lived connections, one set + get each,
+    // closed by quit. The exit audit below proves none of them leaked
+    // a PLID.
+    run.phases.push_back(runPhase(
+        "churn", srv, hc, rp.clients,
+        [&](int c, obs::Log2Histogram &lat, std::uint64_t &ops,
+            std::uint64_t &oom, std::uint64_t &fails) {
+            for (int i = 0; i < rp.churnConns; ++i) {
+                LoadClient cli(port);
+                if (!cli.ok()) {
+                    ++fails;
+                    return;
+                }
+                const std::string key =
+                    "churn-c" + std::to_string(c) + "-" +
+                    std::to_string(i % 7);
+                const std::string val(64 + (i % 32), 'v');
+                if (!issueTimed(cli,
+                                "set " + key + " 0 0 " +
+                                    std::to_string(val.size()) +
+                                    "\r\n" + val + "\r\n",
+                                McRequest::Op::Set, lat, oom) ||
+                    !issueTimed(cli, "get " + key + "\r\n",
+                                McRequest::Op::Get, lat, oom)) {
+                    ++fails;
+                    return;
+                }
+                cli.send("quit\r\n");
+                ops += 2;
+            }
+        }));
+
+    srv.stop();
+    const AuditReport report = Auditor::audit(hc);
+    run.auditClean = report.clean();
+    if (!run.auditClean)
+        std::fprintf(stderr, "workers=%u exit audit: %s\n", workers,
+                     report.summary().c_str());
+    return run;
+}
+
+/**
+ * --check-static: canned exchange with exact-byte verification — the
+ * CI preflight that proves the binary serves the protocol at all
+ * before anyone pays for a timed run.
+ */
+int
+checkStatic()
+{
+    FaultConfig noFaults;
+    noFaults.allowEnvOverride = false; // exact bytes need no faults
+    Hicamp hc(benchMemConfig(noFaults));
+    server::McStore store(hc);
+    server::ServerConfig scfg;
+    scfg.workers = 2;
+    server::McServer srv(store, scfg);
+    srv.start();
+
+    bool ok = true;
+    const auto expect = [&](LoadClient &cli, std::string_view wire,
+                            std::string_view wantLine) {
+        std::string line;
+        if (!cli.send(wire) || !cli.readLine(line) ||
+            line != wantLine) {
+            std::printf("SELFCHECK static exchange %.*s -> '%s' "
+                        "(want '%.*s') FAIL\n",
+                        static_cast<int>(wire.find('\r')), wire.data(),
+                        line.c_str(), static_cast<int>(wantLine.size()),
+                        wantLine.data());
+            ok = false;
+        }
+    };
+    LoadClient cli(srv.port());
+    if (!cli.ok()) {
+        std::printf("SELFCHECK static connect FAIL\n");
+        srv.stop();
+        return 1;
+    }
+    expect(cli, "set k 0 0 5\r\nhello\r\n", "STORED");
+    expect(cli, "get k\r\n", "VALUE k 0 5");
+    {
+        std::string data, end;
+        if (!cli.readN(7, data) || data != "hello\r\n" ||
+            !cli.readLine(end) || end != "END") {
+            std::printf("SELFCHECK static get body FAIL\n");
+            ok = false;
+        }
+    }
+    expect(cli, "incr missing 1\r\n", "NOT_FOUND");
+    expect(cli, "set " + std::string(server::kMaxKeyBytes + 1, 'k') +
+                    " 0 0 2\r\nxy\r\n",
+           "CLIENT_ERROR bad command line format");
+    expect(cli, "delete k\r\n", "DELETED");
+    expect(cli, "bogus\r\n", "ERROR");
+    cli.send("quit\r\n");
+
+    srv.stop();
+    const AuditReport report = Auditor::audit(hc);
+    if (!report.clean()) {
+        std::printf("SELFCHECK static audit %s FAIL\n",
+                    report.summary().c_str());
+        ok = false;
+    }
+    std::printf("SELFCHECK static preflight %s\n", ok ? "PASS" : "FAIL");
+    return ok ? 0 : 1;
+}
+
+void
+writeJson(const std::vector<WorkerRun> &runs, const std::string &path,
+          bool smoke, double speedup, bool verdict)
+{
+    std::FILE *f = std::fopen(path.c_str(), "w");
+    if (!f) {
+        std::fprintf(stderr, "cannot write %s\n", path.c_str());
+        return;
+    }
+    std::fprintf(f, "{\n  \"bench\": \"server\",\n");
+    std::fprintf(f, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+    std::fprintf(f, "  \"t_rc_ns\": %.0f,\n", kTrcNs);
+    std::fprintf(f, "  \"results\": [\n");
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+        const WorkerRun &r = runs[i];
+        std::fprintf(f, "    {\"workers\": %u, \"phases\": [\n",
+                     r.workers);
+        for (std::size_t p = 0; p < r.phases.size(); ++p) {
+            const PhaseStats &ps = r.phases[p];
+            std::fprintf(
+                f,
+                "      {\"phase\": \"%s\", \"ops\": %llu, "
+                "\"wall_ms\": %.3f, \"ops_per_s\": %.1f, "
+                "\"p50_us\": %.1f, \"p99_us\": %.1f, "
+                "\"p999_us\": %.1f, \"oom_responses\": %llu, "
+                "\"row_acts\": %llu, \"metrics\": %s}%s\n",
+                ps.name.c_str(),
+                static_cast<unsigned long long>(ps.ops), ps.wallMs,
+                ps.opsPerSec(), ps.p50Us, ps.p99Us, ps.p999Us,
+                static_cast<unsigned long long>(ps.oomResponses),
+                static_cast<unsigned long long>(ps.rowActs),
+                bench::metricsJson(ps.serverDelta).c_str(),
+                p + 1 < r.phases.size() ? "," : "");
+        }
+        std::fprintf(
+            f,
+            "    ], \"steady_row_acts\": %llu, "
+            "\"steady_max_bank_acts\": %llu, \"model_ms\": %.3f, "
+            "\"model_ops_per_s\": %.1f, \"audit_clean\": %s}%s\n",
+            static_cast<unsigned long long>(r.steadyRowActs),
+            static_cast<unsigned long long>(r.steadyMaxBank),
+            r.modelMs(), r.modelOpsPerSec(),
+            r.auditClean ? "true" : "false",
+            i + 1 < runs.size() ? "," : "");
+    }
+    std::fprintf(f, "  ],\n");
+    std::fprintf(f, "  \"speedup_model_16w\": %.3f,\n", speedup);
+    std::fprintf(f, "  \"speedup_target\": 3.0,\n");
+    std::fprintf(f, "  \"speedup_pass\": %s\n",
+                 verdict ? "true" : "false");
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    std::printf("\nwrote %s\n", path.c_str());
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    bool smoke = false;
+    bool checkStaticMode = false;
+    std::string jsonPath = "BENCH_server.json";
+    unsigned clients = 4;
+    FaultConfig faults;
+    cli::FlagSet flags("bench_server",
+                       "closed-loop load generator for the memcached "
+                       "server (DESIGN.md §14)");
+    flags.toggle("--smoke", &smoke, "smoke-sized runs (CI)");
+    flags.str("--json", &jsonPath, "trajectory output path");
+    flags.toggle("--check-static", &checkStaticMode,
+                 "canned protocol preflight, no timed phases");
+    flags.u32("--clients", &clients, "load-generator client threads");
+    cli::addFaultFlags(flags, faults);
+    flags.parse(argc, argv);
+    if (clients == 0 || clients > 64) {
+        std::fprintf(stderr, "--clients out of range (1..64)\n");
+        return 2;
+    }
+
+    if (checkStaticMode)
+        return checkStatic();
+
+    RunParams rp;
+    rp.preloadItems = smoke ? 250 : 4000;
+    rp.steadyReqs = smoke ? 1200 : 20000;
+    rp.stormReqs = smoke ? 500 : 8000;
+    rp.churnConns = smoke ? 15 : 75;
+    rp.clients = static_cast<int>(smoke ? std::min(clients, 2u)
+                                        : clients);
+
+    std::printf("== memcached server load sweep: %d clients, "
+                "1/4/16 workers ==\n\n",
+                rp.clients);
+
+    std::vector<WorkerRun> runs;
+    Table t({"workers", "phase", "ops", "wall ms", "ops/s", "p50 us",
+             "p99 us", "p999 us", "oom", "row acts"});
+    bool allAuditsClean = true;
+    std::uint64_t clientFailures = 0;
+    for (unsigned w : {1u, 4u, 16u}) {
+        WorkerRun run = runAtWorkers(w, rp, faults);
+        for (const auto &ps : run.phases) {
+            t.addRow({std::to_string(run.workers), ps.name,
+                      std::to_string(ps.ops), strfmt("%.1f", ps.wallMs),
+                      strfmt("%.0f", ps.opsPerSec()),
+                      strfmt("%.1f", ps.p50Us),
+                      strfmt("%.1f", ps.p99Us),
+                      strfmt("%.1f", ps.p999Us),
+                      std::to_string(ps.oomResponses),
+                      std::to_string(ps.rowActs)});
+            clientFailures += ps.clientFailures;
+        }
+        allAuditsClean = allAuditsClean && run.auditClean;
+        runs.push_back(std::move(run));
+    }
+    t.print();
+
+    const double base = runs.front().modelOpsPerSec();
+    const double hot = runs.back().modelOpsPerSec();
+    const double speedup = base > 0.0 ? hot / base : 0.0;
+    const bool speedupOk = speedup >= 3.0;
+    std::printf("\nmodeled steady-state throughput: %.0f ops/s at 1 "
+                "worker, %.0f ops/s at 16 (%.2fx)\n",
+                base, hot, speedup);
+    std::printf("SELFCHECK modeled 16-worker speedup >= 3x: %s\n",
+                speedupOk ? "PASS" : "FAIL");
+    std::printf("SELFCHECK all clients served without desync: %s\n",
+                clientFailures == 0 ? "PASS" : "FAIL");
+    std::printf("SELFCHECK exit heap audits clean: %s\n",
+                allAuditsClean ? "PASS" : "FAIL");
+
+    writeJson(runs, jsonPath, smoke, speedup, speedupOk);
+    bench::finishBench();
+    return (speedupOk && allAuditsClean && clientFailures == 0) ? 0 : 1;
+}

@@ -20,12 +20,11 @@
 #include <atomic>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 #include <thread>
 #include <vector>
 
 #include "apps/memcached/hicamp_memcached.hh"
-#include "common/fault.hh"
+#include "common/cli.hh"
 #include "common/status.hh"
 #include "obs/export.hh"
 #include "obs/metrics.hh"
@@ -33,48 +32,16 @@
 
 using namespace hicamp;
 
-namespace {
-
-FaultConfig
-parseFaultFlags(int argc, char **argv)
-{
-    FaultConfig fc;
-    for (int i = 1; i < argc; ++i) {
-        auto want = [&](const char *flag) {
-            if (std::strcmp(argv[i], flag) != 0)
-                return false;
-            if (++i >= argc) {
-                std::fprintf(stderr, "%s needs a value\n", flag);
-                std::exit(2);
-            }
-            return true;
-        };
-        if (want("--fault-seed"))
-            fc.seed = std::strtoull(argv[i], nullptr, 0);
-        else if (want("--fault-alloc-p"))
-            fc.allocFailP = std::strtod(argv[i], nullptr);
-        else if (want("--fault-alloc-every"))
-            fc.allocFailEvery = std::strtoull(argv[i], nullptr, 0);
-        else if (want("--fault-flip-p"))
-            fc.bitFlipP = std::strtod(argv[i], nullptr);
-        else if (want("--fault-flip-every"))
-            fc.bitFlipEvery = std::strtoull(argv[i], nullptr, 0);
-        else {
-            std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-            std::exit(2);
-        }
-    }
-    return fc;
-}
-
-} // namespace
-
 int
 main(int argc, char **argv)
 {
     MemoryConfig cfg;
     cfg.numBuckets = 1 << 17;
-    cfg.faults = parseFaultFlags(argc, argv);
+    cli::FlagSet flags("example_memcached_server",
+                       "in-process memcached driver (paper §4.4); see "
+                       "example_hicamp_server for the networked one");
+    cli::addFaultFlags(flags, cfg.faults);
+    flags.parse(argc, argv);
     Hicamp hc(cfg);
     HicampMemcached server(hc);
 

@@ -17,47 +17,14 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
 
 #include "apps/spmv/hicamp_matrix.hh"
-#include "common/fault.hh"
+#include "common/cli.hh"
 #include "obs/export.hh"
 #include "obs/metrics.hh"
 #include "workloads/matrixgen.hh"
 
 using namespace hicamp;
-
-namespace {
-
-FaultConfig
-parseFaultFlags(int argc, char **argv)
-{
-    FaultConfig fc;
-    for (int i = 1; i < argc; ++i) {
-        auto want = [&](const char *flag) {
-            if (std::strcmp(argv[i], flag) != 0)
-                return false;
-            if (++i >= argc) {
-                std::fprintf(stderr, "%s needs a value\n", flag);
-                std::exit(2);
-            }
-            return true;
-        };
-        if (want("--fault-seed"))
-            fc.seed = std::strtoull(argv[i], nullptr, 0);
-        else if (want("--fault-flip-p"))
-            fc.bitFlipP = std::strtod(argv[i], nullptr);
-        else if (want("--fault-flip-every"))
-            fc.bitFlipEvery = std::strtoull(argv[i], nullptr, 0);
-        else {
-            std::fprintf(stderr, "unknown flag %s\n", argv[i]);
-            std::exit(2);
-        }
-    }
-    return fc;
-}
-
-} // namespace
 
 int
 main(int argc, char **argv)
@@ -72,7 +39,11 @@ main(int argc, char **argv)
 
     MemoryConfig cfg;
     cfg.numBuckets = 1 << 16;
-    cfg.faults = parseFaultFlags(argc, argv);
+    cli::FlagSet flags("example_spmv_solver",
+                       "CG Poisson solve through the HICAMP memory "
+                       "model (paper §5.2)");
+    cli::addFaultFlags(flags, cfg.faults);
+    flags.parse(argc, argv);
     Memory mem(cfg);
     QtsMatrix Ah(mem, A);
 

@@ -1,0 +1,232 @@
+/**
+ * @file
+ * Shared command-line flag parser for the example drivers, tools and
+ * benches.
+ *
+ * Every driver used to hand-roll the same `want()` strcmp chain, and
+ * the copies drifted: some rejected unknown flags, the benches
+ * silently ignored them — a typo like `--fault-allocp` ran an
+ * un-faulted experiment with no warning, and `--smokee` ran the full
+ * sweep instead of the smoke one. FlagSet centralizes the contract:
+ * an unrecognized flag or a malformed value prints the usage table to
+ * stderr and exits 2 (the bench/CI convention for usage errors), and
+ * `--help` prints it to stdout and exits 0.
+ *
+ * Flags bind directly to variables (`u64`, `f64`, `prob`, `str`,
+ * `toggle`) or to a callback (`onValue`); `addFaultFlags` wires the
+ * five `--fault-*` knobs of the deterministic injector identically
+ * everywhere.
+ */
+
+#ifndef HICAMP_COMMON_CLI_HH
+#define HICAMP_COMMON_CLI_HH
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/fault.hh"
+
+namespace hicamp::cli {
+
+class FlagSet
+{
+  public:
+    FlagSet(std::string prog, std::string about)
+        : prog_(std::move(prog)), about_(std::move(about))
+    {
+    }
+
+    /** Value flag bound through a callback; @p value_name is the
+     *  usage-table placeholder (e.g. "N", "P", "PATH"). */
+    void
+    onValue(const char *name, const char *value_name, const char *help,
+            std::function<void(const char *)> sink)
+    {
+        flags_.push_back(
+            {name, value_name, help, std::move(sink), nullptr});
+    }
+
+    /** Valueless switch flag. */
+    void
+    onSwitch(const char *name, const char *help,
+             std::function<void()> sink)
+    {
+        flags_.push_back({name, nullptr, help, nullptr, std::move(sink)});
+    }
+
+    void
+    u64(const char *name, std::uint64_t *out, const char *help)
+    {
+        onValue(name, "N", help, [this, name, out](const char *s) {
+            *out = parseU64(name, s);
+        });
+    }
+
+    void
+    u32(const char *name, unsigned *out, const char *help)
+    {
+        onValue(name, "N", help, [this, name, out](const char *s) {
+            *out = static_cast<unsigned>(parseU64(name, s));
+        });
+    }
+
+    void
+    f64(const char *name, double *out, const char *help)
+    {
+        onValue(name, "X", help, [this, name, out](const char *s) {
+            *out = parseF64(name, s);
+        });
+    }
+
+    /** Double constrained to [0, 1] (injection probabilities). */
+    void
+    prob(const char *name, double *out, const char *help)
+    {
+        onValue(name, "P", help, [this, name, out](const char *s) {
+            double v = parseF64(name, s);
+            if (v < 0.0 || v > 1.0)
+                fail(name, s, "probability outside [0, 1]");
+            *out = v;
+        });
+    }
+
+    void
+    str(const char *name, std::string *out, const char *help)
+    {
+        onValue(name, "S", help,
+                [out](const char *s) { *out = s; });
+    }
+
+    /** Switch that sets @p out to true. */
+    void
+    toggle(const char *name, bool *out, const char *help)
+    {
+        onSwitch(name, help, [out] { *out = true; });
+    }
+
+    /**
+     * Parse the whole command line. Unknown flags, missing values and
+     * malformed values print the usage table to stderr and exit 2;
+     * `--help`/`-h` prints it to stdout and exits 0.
+     */
+    void
+    parse(int argc, char **argv)
+    {
+        for (int i = 1; i < argc; ++i) {
+            const char *arg = argv[i];
+            if (std::strcmp(arg, "--help") == 0 ||
+                std::strcmp(arg, "-h") == 0) {
+                usage(stdout);
+                std::exit(0);
+            }
+            const Flag *f = find(arg);
+            if (f == nullptr) {
+                std::fprintf(stderr, "%s: unknown flag %s\n",
+                             prog_.c_str(), arg);
+                usage(stderr);
+                std::exit(2);
+            }
+            if (f->onSwitch) {
+                f->onSwitch();
+                continue;
+            }
+            if (++i >= argc) {
+                std::fprintf(stderr, "%s: %s needs a value\n",
+                             prog_.c_str(), arg);
+                usage(stderr);
+                std::exit(2);
+            }
+            f->onValue(argv[i]);
+        }
+    }
+
+    void
+    usage(std::FILE *out) const
+    {
+        std::fprintf(out, "usage: %s [flags]\n  %s\n", prog_.c_str(),
+                     about_.c_str());
+        for (const auto &f : flags_) {
+            std::string head = "  " + f.name;
+            if (f.valueName != nullptr)
+                head += std::string(" <") + f.valueName + ">";
+            std::fprintf(out, "%-28s %s\n", head.c_str(), f.help.c_str());
+        }
+    }
+
+  private:
+    struct Flag {
+        std::string name;
+        const char *valueName; ///< nullptr for switches
+        std::string help;
+        std::function<void(const char *)> onValue;
+        std::function<void()> onSwitch;
+    };
+
+    const Flag *
+    find(const char *name) const
+    {
+        for (const auto &f : flags_)
+            if (f.name == name)
+                return &f;
+        return nullptr;
+    }
+
+    [[noreturn]] void
+    fail(const char *flag, const char *value, const char *why)
+    {
+        std::fprintf(stderr, "%s: bad value '%s' for %s (%s)\n",
+                     prog_.c_str(), value, flag, why);
+        usage(stderr);
+        std::exit(2);
+    }
+
+    std::uint64_t
+    parseU64(const char *flag, const char *s)
+    {
+        char *end = nullptr;
+        std::uint64_t v = std::strtoull(s, &end, 0);
+        if (end == s || *end != '\0')
+            fail(flag, s, "expected an unsigned integer");
+        return v;
+    }
+
+    double
+    parseF64(const char *flag, const char *s)
+    {
+        char *end = nullptr;
+        double v = std::strtod(s, &end);
+        if (end == s || *end != '\0')
+            fail(flag, s, "expected a number");
+        return v;
+    }
+
+    std::string prog_;
+    std::string about_;
+    std::vector<Flag> flags_;
+};
+
+/** The deterministic fault injector's standard flag block, identical
+ *  across every driver that exposes injection. */
+inline void
+addFaultFlags(FlagSet &fs, FaultConfig &fc)
+{
+    fs.u64("--fault-seed", &fc.seed, "fault-injector RNG seed");
+    fs.prob("--fault-alloc-p", &fc.allocFailP,
+            "per-allocation failure probability");
+    fs.u64("--fault-alloc-every", &fc.allocFailEvery,
+           "fail every Nth allocation (0 = off)");
+    fs.prob("--fault-flip-p", &fc.bitFlipP,
+            "per-read DRAM bit-flip probability");
+    fs.u64("--fault-flip-every", &fc.bitFlipEvery,
+           "flip a bit every Nth read (0 = off)");
+}
+
+} // namespace hicamp::cli
+
+#endif // HICAMP_COMMON_CLI_HH

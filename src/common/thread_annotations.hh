@@ -136,12 +136,21 @@ class HICAMP_CAPABILITY("lock_rank") LockRank
  *           fine (retire pins after locking).
  *   rank 5  leaf   — cache set spinlocks, the fault-injector mutex,
  *           stats shards (lock-free; listed for completeness)
+ *   rank 6  server — the serving front-end's per-connection output
+ *           locks (src/server/). Terminal by design: a worker fully
+ *           materializes its responses against the heap FIRST and
+ *           only then locks the connection to append them, so a heap
+ *           entry (which may acquire vsm/stripe/leaf locks) while a
+ *           connection lock is held inverts the declared order and is
+ *           a compile error — "never call into the heap under a
+ *           connection lock" as a checked contract, not a comment.
  */
 namespace lockrank {
 inline LockRank vsm;
 inline LockRank stripe HICAMP_ACQUIRED_AFTER(vsm);
 inline LockRank epoch HICAMP_ACQUIRED_AFTER(stripe);
 inline LockRank leaf HICAMP_ACQUIRED_AFTER(epoch);
+inline LockRank server HICAMP_ACQUIRED_AFTER(leaf);
 } // namespace lockrank
 
 /** std::mutex as an annotated capability. */

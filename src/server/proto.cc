@@ -1,0 +1,244 @@
+/**
+ * @file
+ * Incremental memcached text-protocol parser (see proto.hh for the
+ * contract). The good path never consumes a partial command: a
+ * storage command whose data block is not fully buffered re-parses
+ * from scratch on the next read, which keeps the parser stateless for
+ * well-formed traffic. The one piece of cross-read state is the drain
+ * of a *doomed* data block (oversized key, malformed arguments): its
+ * bytes may exceed what we are willing to buffer, so they are
+ * swallowed incrementally and the error response is emitted once the
+ * stream is back in sync.
+ */
+
+#include "server/proto.hh"
+
+#include <charconv>
+
+namespace hicamp::server {
+
+namespace {
+
+/** Split the next space-delimited token off @p s (memcached allows
+ *  runs of spaces between fields). Empty view when exhausted. */
+std::string_view
+nextToken(std::string_view &s)
+{
+    std::size_t b = 0;
+    while (b < s.size() && s[b] == ' ')
+        ++b;
+    std::size_t e = b;
+    while (e < s.size() && s[e] != ' ')
+        ++e;
+    std::string_view tok = s.substr(b, e - b);
+    s.remove_prefix(e);
+    return tok;
+}
+
+template <typename UInt>
+bool
+parseUInt(std::string_view tok, UInt &out)
+{
+    if (tok.empty())
+        return false;
+    auto [p, ec] =
+        std::from_chars(tok.data(), tok.data() + tok.size(), out);
+    return ec == std::errc() && p == tok.data() + tok.size();
+}
+
+McCommand
+badLine(std::string_view response)
+{
+    McCommand c;
+    c.op = McCommand::Op::BadLine;
+    c.error.assign(response.data(), response.size());
+    return c;
+}
+
+constexpr std::string_view kBadFormat =
+    "CLIENT_ERROR bad command line format\r\n";
+constexpr std::string_view kBadChunk =
+    "CLIENT_ERROR bad data chunk\r\n";
+constexpr std::string_view kTooLarge =
+    "SERVER_ERROR object too large for cache\r\n";
+
+} // namespace
+
+ParseResult
+ProtoParser::step(std::string_view buf, std::size_t &consumed,
+                  McCommand &out)
+{
+    consumed = 0;
+
+    // Finish swallowing a doomed data block before looking at bytes
+    // as protocol again.
+    if (drainLeft_ > 0) {
+        const std::size_t eat = std::min(drainLeft_, buf.size());
+        drainLeft_ -= eat;
+        consumed = eat;
+        if (drainLeft_ > 0)
+            return ParseResult::NeedMore;
+        out = badLine(drainError_);
+        drainError_.clear();
+        return ParseResult::Ok;
+    }
+
+    // One command per line; accept \r\n (protocol) and tolerate bare
+    // \n from sloppy clients rather than desynchronizing on it.
+    const std::size_t nl = buf.find('\n');
+    if (nl == std::string_view::npos) {
+        if (buf.size() > kMaxLineBytes)
+            return ParseResult::Fatal; // can never resynchronize
+        return ParseResult::NeedMore;
+    }
+    if (nl > kMaxLineBytes)
+        return ParseResult::Fatal;
+
+    std::string_view line = buf.substr(0, nl);
+    if (!line.empty() && line.back() == '\r')
+        line.remove_suffix(1);
+    return parseLine(line, buf.substr(nl + 1), nl + 1, consumed, out);
+}
+
+ParseResult
+ProtoParser::parseLine(std::string_view line, std::string_view rest,
+                       std::size_t line_consumed,
+                       std::size_t &consumed, McCommand &out)
+{
+    std::string_view s = line;
+    const std::string_view cmd = nextToken(s);
+
+    const bool is_get = cmd == "get" || cmd == "gets";
+    const bool is_store =
+        cmd == "set" || cmd == "add" || cmd == "replace";
+    const bool is_arith = cmd == "incr" || cmd == "decr";
+
+    if (is_get) {
+        out = McCommand{};
+        out.op = McCommand::Op::Get;
+        for (;;) {
+            std::string_view key = nextToken(s);
+            if (key.empty())
+                break;
+            if (key.size() > kMaxKeyBytes) {
+                out = badLine(kBadFormat);
+                consumed = line_consumed;
+                return ParseResult::Ok;
+            }
+            out.keys.push_back(key);
+        }
+        if (out.keys.empty())
+            out = badLine(resp::kError);
+        consumed = line_consumed;
+        return ParseResult::Ok;
+    }
+
+    if (is_store) {
+        std::string_view key = nextToken(s);
+        std::uint32_t flags = 0, exptime = 0;
+        std::uint64_t bytes = 0;
+        const bool args_ok = !key.empty() &&
+                             parseUInt(nextToken(s), flags) &&
+                             parseUInt(nextToken(s), exptime) &&
+                             parseUInt(nextToken(s), bytes);
+        std::string_view tail = nextToken(s);
+        const bool noreply = tail == "noreply";
+        const bool tail_ok = tail.empty() || noreply;
+
+        if (!args_ok) {
+            // The announced block size is unknowable: answer now and
+            // hope the client did not send one (memcached does the
+            // same — a stray block then parses as garbage commands,
+            // each answered with ERROR, and the stream re-syncs at
+            // the next real command line).
+            out = badLine(kBadFormat);
+            consumed = line_consumed;
+            return ParseResult::Ok;
+        }
+
+        std::string_view doom; // non-empty: swallow block, then err
+        if (!tail_ok || key.size() > kMaxKeyBytes)
+            doom = kBadFormat;
+        else if (bytes > kMaxValueBytes)
+            doom = kTooLarge;
+
+        if (!doom.empty()) {
+            const std::size_t block = bytes + 2; // incl CRLF
+            if (rest.size() >= block) {
+                out = badLine(doom);
+                consumed = line_consumed + block;
+            } else {
+                drainLeft_ = block - rest.size();
+                drainError_.assign(doom.data(), doom.size());
+                consumed = line_consumed + rest.size();
+                return ParseResult::NeedMore;
+            }
+            return ParseResult::Ok;
+        }
+
+        // Good command: wait until the whole block (and its CRLF) is
+        // buffered, then hand out a zero-copy view of it.
+        if (rest.size() < bytes + 2)
+            return ParseResult::NeedMore; // consumed stays 0
+        out = McCommand{};
+        out.op = cmd == "set"   ? McCommand::Op::Set
+                 : cmd == "add" ? McCommand::Op::Add
+                                : McCommand::Op::Replace;
+        out.keys.push_back(key);
+        out.flags = flags;
+        out.exptime = exptime;
+        out.noreply = noreply;
+        out.data = rest.substr(0, bytes);
+        consumed = line_consumed + bytes + 2;
+        if (rest[bytes] != '\r' || rest[bytes + 1] != '\n') {
+            // Client lied about the size; the stream is suspect but
+            // memcached stays up: reject the chunk, keep parsing.
+            out = badLine(kBadChunk);
+        }
+        return ParseResult::Ok;
+    }
+
+    if (cmd == "delete" || is_arith) {
+        std::string_view key = nextToken(s);
+        std::uint64_t delta = 0;
+        bool ok = !key.empty() && key.size() <= kMaxKeyBytes;
+        if (is_arith)
+            ok = ok && parseUInt(nextToken(s), delta);
+        std::string_view tail = nextToken(s);
+        const bool noreply = tail == "noreply";
+        ok = ok && (tail.empty() || noreply);
+        if (!ok) {
+            out = badLine(is_arith
+                              ? std::string_view(
+                                    "CLIENT_ERROR invalid numeric "
+                                    "delta argument\r\n")
+                              : kBadFormat);
+        } else {
+            out = McCommand{};
+            out.op = cmd == "delete" ? McCommand::Op::Delete
+                     : cmd == "incr" ? McCommand::Op::Incr
+                                     : McCommand::Op::Decr;
+            out.keys.push_back(key);
+            out.delta = delta;
+            out.noreply = noreply;
+        }
+        consumed = line_consumed;
+        return ParseResult::Ok;
+    }
+
+    out = McCommand{};
+    if (cmd == "stats") {
+        out.op = McCommand::Op::Stats;
+    } else if (cmd == "version") {
+        out.op = McCommand::Op::Version;
+    } else if (cmd == "quit") {
+        out.op = McCommand::Op::Quit;
+    } else {
+        // Unknown command — including the empty line.
+        out = badLine(resp::kError);
+    }
+    consumed = line_consumed;
+    return ParseResult::Ok;
+}
+
+} // namespace hicamp::server

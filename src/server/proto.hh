@@ -1,0 +1,144 @@
+/**
+ * @file
+ * Incremental memcached text-protocol parser (DESIGN.md §14).
+ *
+ * The parser runs over the connection's receive buffer *in place*: it
+ * consumes bytes and produces McCommand records whose key/data fields
+ * are std::string_view windows into that buffer — no copy happens at
+ * parse time. The single unavoidable copy (crossing the thread
+ * boundary into the worker batch) is taken explicitly by the caller
+ * via McCommand::own() once per command.
+ *
+ * It is resumable at every byte: a command line or data block split
+ * across any number of reads ("torn reads") parses identically to one
+ * arriving whole, because the parser never consumes a partial
+ * command — it returns NeedMore and is re-run when more bytes land.
+ *
+ * Malformed traffic degrades per the memcached protocol instead of
+ * killing the connection: an unknown command answers "ERROR\r\n", bad
+ * arguments and oversized keys answer "CLIENT_ERROR ...\r\n" (for
+ * storage commands the announced data block is still swallowed so the
+ * stream stays in sync), and only an unterminated line longer than
+ * kMaxLineBytes — a stream that can never resynchronize — asks the
+ * caller to close the connection.
+ */
+
+#ifndef HICAMP_SERVER_PROTO_HH
+#define HICAMP_SERVER_PROTO_HH
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace hicamp::server {
+
+/** memcached's protocol limits. */
+constexpr std::size_t kMaxKeyBytes = 250;
+/** A command line that exceeds this without a terminator is garbage
+ *  we can never resync from; the connection must close. */
+constexpr std::size_t kMaxLineBytes = 8192;
+/** Largest accepted value block (memcached's classic 1 MB default). */
+constexpr std::size_t kMaxValueBytes = 1u << 20;
+
+/** One parsed client command. Views point into the receive buffer and
+ *  are valid only until the next feed/consume; own() materializes
+ *  them (the one copy, taken when crossing to a worker). */
+struct McCommand {
+    enum class Op : std::uint8_t {
+        Get,     ///< get/gets with one or more keys
+        Set,
+        Add,
+        Replace,
+        Delete,
+        Incr,
+        Decr,
+        Stats,
+        Version,
+        Quit,
+        /// protocol error: emit `error` verbatim, keep the stream
+        BadLine,
+    };
+
+    Op op = Op::BadLine;
+    std::vector<std::string_view> keys; ///< get: all keys; others: [0]
+    std::string_view data;              ///< set/add/replace payload
+    std::uint32_t flags = 0;
+    std::uint32_t exptime = 0; ///< parsed, stored, not enforced
+    std::uint64_t delta = 0;   ///< incr/decr amount
+    bool noreply = false;
+    std::string error; ///< BadLine: the full response line to emit
+
+    /// Owned copies of the views (filled by own()).
+    std::vector<std::string> ownedKeys;
+    std::string ownedData;
+
+    /** Copy the buffer views into owned storage; after this the
+     *  command survives buffer compaction and thread handoff. */
+    void
+    own()
+    {
+        ownedKeys.reserve(keys.size());
+        for (auto k : keys)
+            ownedKeys.emplace_back(k);
+        keys.clear();
+        ownedData.assign(data.data(), data.size());
+        data = {};
+    }
+};
+
+/** Parser verdict for one step. */
+enum class ParseResult : std::uint8_t {
+    Ok,       ///< one command produced, bytes consumed
+    NeedMore, ///< no full command in the buffer yet
+    Fatal,    ///< unresynchronizable stream: close the connection
+};
+
+/**
+ * Incremental parser state for one connection. step() is fed the
+ * unconsumed window of the receive buffer and reports how many bytes
+ * it consumed; the connection discards consumed bytes at its leisure
+ * (compaction), so a pipelined burst parses with zero intermediate
+ * copies.
+ */
+class ProtoParser
+{
+  public:
+    /**
+     * Try to parse one command from @p buf.
+     *
+     * @param buf       unconsumed receive bytes
+     * @param consumed  out: bytes eaten from the front of @p buf
+     * @param out       out: the parsed command when Ok
+     */
+    ParseResult step(std::string_view buf, std::size_t &consumed,
+                     McCommand &out);
+
+  private:
+    ParseResult parseLine(std::string_view line, std::string_view rest,
+                          std::size_t line_consumed,
+                          std::size_t &consumed, McCommand &out);
+
+    /// A doomed storage command (oversized key, bad arguments) still
+    /// announced a data block; those bytes are swallowed — possibly
+    /// across many reads — so the stream stays in sync, and the error
+    /// is emitted once the drain completes.
+    std::size_t drainLeft_ = 0; ///< data-block bytes left to swallow
+    std::string drainError_;    ///< response to emit once drained
+};
+
+/** Well-formed single-word responses, shared by server and tests. */
+namespace resp {
+inline constexpr std::string_view kStored = "STORED\r\n";
+inline constexpr std::string_view kNotStored = "NOT_STORED\r\n";
+inline constexpr std::string_view kDeleted = "DELETED\r\n";
+inline constexpr std::string_view kNotFound = "NOT_FOUND\r\n";
+inline constexpr std::string_view kEnd = "END\r\n";
+inline constexpr std::string_view kError = "ERROR\r\n";
+inline constexpr std::string_view kOom =
+    "SERVER_ERROR out of memory\r\n";
+} // namespace resp
+
+} // namespace hicamp::server
+
+#endif // HICAMP_SERVER_PROTO_HH

@@ -1,0 +1,166 @@
+/**
+ * @file
+ * Bounded MPMC ring for the network/worker handoff (DESIGN.md §14).
+ *
+ * The ck_ring-shaped queue in the Vyukov bounded-MPMC style: a
+ * power-of-two slot array where each slot carries its own sequence
+ * word. Producers claim a slot by CASing the tail cursor, fill it,
+ * and *publish* it with a release store of the slot's sequence;
+ * consumers acquire-load that sequence, claim with a CAS on the head
+ * cursor, drain the payload and recycle the slot for the producer one
+ * lap ahead. Nothing ever blocks and no mutex exists on the handoff —
+ * the partially-cache-coherent-index guideline the serving front-end
+ * follows (PAPERS.md, arXiv 2511.06460): cross-thread communication
+ * through explicit publication points only.
+ *
+ * Memory-order roles (§13): the cursors are claim-CAS words — a
+ * successful CAS only *reserves* an index; it publishes nothing, so
+ * relaxed success order is correct and the slot sequence carries all
+ * ordering. Each slot's sequence word is a publish field: its release
+ * store makes the payload visible, the paired acquire load on the
+ * other side receives it.
+ *
+ * Capacity is fixed at construction; tryPush/tryPop fail fast instead
+ * of waiting, which is what the server's backpressure builds on: a
+ * full request ring parks the connection's batch until a worker
+ * drains (never drops), and the completion ring is sized so it cannot
+ * fill (at most one in-flight batch per connection).
+ */
+
+#ifndef HICAMP_SERVER_RING_HH
+#define HICAMP_SERVER_RING_HH
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <utility>
+
+#include "common/atomic_annotations.hh"
+#include "common/logging.hh"
+
+namespace hicamp::server {
+
+template <typename T>
+class MpmcRing
+{
+  public:
+    /** @param capacity slot count; rounded up to a power of two. */
+    explicit MpmcRing(std::size_t capacity)
+    {
+        std::size_t cap = 2;
+        while (cap < capacity)
+            cap <<= 1;
+        mask_ = cap - 1;
+        slots_ = std::make_unique<Slot[]>(cap);
+        // hicamp-atomic: waive(pre-publication init: the ring is not
+        // shared until the constructor returns, and handing the ring
+        // to another thread provides the ordering)
+        for (std::size_t i = 0; i < cap; ++i)
+            slots_[i].seq.store(i, std::memory_order_relaxed);
+    }
+
+    MpmcRing(const MpmcRing &) = delete;
+    MpmcRing &operator=(const MpmcRing &) = delete;
+
+    std::size_t capacity() const { return mask_ + 1; }
+
+    /**
+     * Enqueue by move; returns false (leaving @p v intact) when the
+     * ring is full. Lock-free: a stalled producer never blocks other
+     * producers or any consumer.
+     */
+    bool
+    tryPush(T &&v)
+    {
+        std::uint64_t pos = tail_.load(std::memory_order_relaxed);
+        for (;;) {
+            Slot &s = slots_[pos & mask_];
+            const std::uint64_t seq =
+                s.seq.load(std::memory_order_acquire);
+            const std::int64_t dif =
+                static_cast<std::int64_t>(seq) -
+                static_cast<std::int64_t>(pos);
+            if (dif == 0) {
+                // Slot free at our lap: reserve it. Relaxed success
+                // is correct for a pure index reservation — the
+                // slot-sequence release below publishes the payload.
+                if (tail_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed,
+                        std::memory_order_relaxed)) {
+                    s.value = std::move(v);
+                    s.seq.store(pos + 1, std::memory_order_release);
+                    return true;
+                }
+            } else if (dif < 0) {
+                return false; // full: consumer a whole lap behind
+            } else {
+                pos = tail_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /** Dequeue into @p out; false when the ring is empty. */
+    bool
+    tryPop(T &out)
+    {
+        std::uint64_t pos = head_.load(std::memory_order_relaxed);
+        for (;;) {
+            Slot &s = slots_[pos & mask_];
+            const std::uint64_t seq =
+                s.seq.load(std::memory_order_acquire);
+            const std::int64_t dif =
+                static_cast<std::int64_t>(seq) -
+                static_cast<std::int64_t>(pos + 1);
+            if (dif == 0) {
+                if (head_.compare_exchange_weak(
+                        pos, pos + 1, std::memory_order_relaxed,
+                        std::memory_order_relaxed)) {
+                    out = std::move(s.value);
+                    s.value = T{};
+                    // Recycle for the producer one lap ahead; release
+                    // publishes the drained slot state.
+                    s.seq.store(pos + mask_ + 1,
+                                std::memory_order_release);
+                    return true;
+                }
+            } else if (dif < 0) {
+                return false; // empty (or producer mid-publish)
+            } else {
+                pos = head_.load(std::memory_order_relaxed);
+            }
+        }
+    }
+
+    /** Approximate occupancy (racy by nature; for gauges only). */
+    std::size_t
+    sizeApprox() const
+    {
+        const std::uint64_t t = tail_.load(std::memory_order_relaxed);
+        const std::uint64_t h = head_.load(std::memory_order_relaxed);
+        return t >= h ? static_cast<std::size_t>(t - h) : 0;
+    }
+
+  private:
+    struct Slot {
+        /// Publication word of this slot: release-stored after the
+        /// payload write, acquire-loaded before the payload read.
+        HICAMP_ATOMIC_PUBLISH std::atomic<std::uint64_t> seq{0};
+        T value{};
+        // Payload and sequence share the slot; the cursors below are
+        // padded so producers and consumers do not false-share them.
+    };
+
+    std::unique_ptr<Slot[]> slots_;
+    std::size_t mask_ = 0;
+    /// Producer cursor: CAS reserves an index, publishes nothing.
+    alignas(64) HICAMP_ATOMIC_CLAIM_CAS std::atomic<std::uint64_t>
+        tail_{0};
+    /// Consumer cursor: same reservation-only contract.
+    alignas(64) HICAMP_ATOMIC_CLAIM_CAS std::atomic<std::uint64_t>
+        head_{0};
+};
+
+} // namespace hicamp::server
+
+#endif // HICAMP_SERVER_RING_HH

@@ -10,6 +10,7 @@
 #define HICAMP_WORKLOADS_MEMCACHED_WORKLOAD_HH
 
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "common/rng.hh"
@@ -41,24 +42,44 @@ inline std::vector<McRequest>
 generateMcRequests(const std::vector<WebItem> &items,
                    const McWorkloadParams &p)
 {
+    // An empty corpus would otherwise construct Zipf over a zero
+    // domain (divide-by-zero in the CDF normalization).
+    if (items.empty())
+        return {};
+    HICAMP_ASSERT(items.size() <=
+                      std::numeric_limits<std::uint32_t>::max(),
+                  "corpus too large for McRequest::itemIndex");
     Rng rng(p.seed);
     Zipf pop(items.size(), p.zipfS);
     std::vector<McRequest> reqs;
     reqs.reserve(p.numRequests);
-    // Evolving payloads for realistic set content.
+    // Evolving payloads for realistic set content; a deleted key's
+    // stale payload must not keep evolving (see the Set branch).
     std::vector<std::string> current;
     current.reserve(items.size());
     for (const auto &it : items)
         current.push_back(it.payload);
+    std::vector<bool> deleted(items.size(), false);
 
     for (std::uint64_t i = 0; i < p.numRequests; ++i) {
-        auto idx = static_cast<std::uint32_t>(pop.sample(rng));
+        const std::uint64_t rank = pop.sample(rng);
+        // Zipf draws 0-based ranks < items.size(), which the assert
+        // above bounds; the cast cannot truncate.
+        auto idx = static_cast<std::uint32_t>(rank);
         double roll = rng.uniform();
         if (roll < p.getFraction) {
             reqs.push_back({McRequest::Op::Get, idx, {}});
         } else if (roll < p.getFraction + p.deleteFraction) {
+            deleted[idx] = true;
             reqs.push_back({McRequest::Op::Delete, idx, {}});
         } else {
+            // Set after Delete models a fresh insert: restart from
+            // the item's base payload instead of mutating the stale
+            // pre-delete content (which no live store holds anymore).
+            if (deleted[idx]) {
+                current[idx] = items[idx].payload;
+                deleted[idx] = false;
+            }
             current[idx] = WebCorpus::mutate(current[idx], rng);
             reqs.push_back({McRequest::Op::Set, idx, current[idx]});
         }

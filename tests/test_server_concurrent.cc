@@ -1,0 +1,286 @@
+/**
+ * @file
+ * Concurrency hammer for the serving front-end (DESIGN.md §14), run
+ * under TSan in CI: churning client connections race SET/GET/DELETE
+ * (plus incr and noreply traffic) against a multi-worker server on
+ * one shared heap, and the heap is audited after the storm. The
+ * interesting races are the ring handoff (net thread vs workers),
+ * the per-connection output lock, and snapshot GETs overlapping
+ * merge-update SET commits.
+ */
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "audit_check.hh"
+#include "server/server.hh"
+#include "server/store.hh"
+
+namespace hicamp::server {
+namespace {
+
+/** Blocking client; expectations are counted, not asserted, so the
+ *  hammer threads stay gtest-safe (EXPECT only on the main thread). */
+class RawClient
+{
+  public:
+    explicit RawClient(std::uint16_t port)
+    {
+        fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+        if (fd_ < 0)
+            return;
+        timeval tv{10, 0};
+        ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+        sockaddr_in addr{};
+        addr.sin_family = AF_INET;
+        addr.sin_port = htons(port);
+        ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+        if (::connect(fd_, reinterpret_cast<sockaddr *>(&addr),
+                      sizeof addr) != 0) {
+            ::close(fd_);
+            fd_ = -1;
+        }
+    }
+
+    ~RawClient()
+    {
+        if (fd_ >= 0)
+            ::close(fd_);
+    }
+
+    bool ok() const { return fd_ >= 0; }
+
+    bool
+    send(std::string_view bytes)
+    {
+        std::size_t off = 0;
+        while (off < bytes.size()) {
+            const ssize_t n =
+                ::write(fd_, bytes.data() + off, bytes.size() - off);
+            if (n <= 0)
+                return false;
+            off += static_cast<std::size_t>(n);
+        }
+        return true;
+    }
+
+    std::string
+    recvUntilClose()
+    {
+        std::string out;
+        char buf[4096];
+        for (;;) {
+            const ssize_t n = ::read(fd_, buf, sizeof buf);
+            if (n <= 0)
+                break;
+            out.append(buf, static_cast<std::size_t>(n));
+        }
+        return out;
+    }
+
+  private:
+    int fd_ = -1;
+};
+
+TEST(ServerConcurrent, ChurningConnectionsRaceSetGetDelete)
+{
+    MemoryConfig mc;
+    mc.numBuckets = 1 << 14;
+    Hicamp hc(mc);
+    McStore store(hc);
+    ServerConfig sc;
+    sc.workers = 3;
+    sc.maxConns = 64;
+    sc.ringSlots = 8; // small on purpose: exercises backpressure
+    McServer srv(store, sc);
+    srv.start();
+    const std::uint16_t port = srv.port();
+
+    // A shared hot key set so the threads genuinely collide on the
+    // same map slots (merge-update + compareAndSet retry paths).
+    constexpr int kThreads = 4;
+    constexpr int kConnsPerThread = 25;
+    std::atomic<std::uint64_t> failures{0};
+    std::atomic<std::uint64_t> responsesSeen{0};
+    std::vector<std::thread> clients;
+    clients.reserve(kThreads);
+    for (int t = 0; t < kThreads; ++t) {
+        clients.emplace_back([t, port, &failures, &responsesSeen] {
+            for (int conn = 0; conn < kConnsPerThread; ++conn) {
+                RawClient cli(port);
+                if (!cli.ok()) {
+                    ++failures;
+                    continue;
+                }
+                const std::string hot =
+                    "hot" + std::to_string((t + conn) % 3);
+                const std::string mine = "t" + std::to_string(t) +
+                                         "c" + std::to_string(conn);
+                const std::string payload(64 + conn, 'a' + t);
+                std::string script;
+                script += "set " + hot + " 1 0 " +
+                          std::to_string(payload.size()) + "\r\n" +
+                          payload + "\r\n";
+                script += "set " + mine + " 0 0 4 noreply\r\nmine\r\n";
+                script += "get " + hot + " " + mine + "\r\n";
+                script += "delete " + hot + "\r\n";
+                script += "incr ctr 1\r\n";
+                script += "get " + mine + "\r\nquit\r\n";
+                if (!cli.send(script)) {
+                    ++failures;
+                    continue;
+                }
+                const std::string got = cli.recvUntilClose();
+                // Responses race with other threads, so content is
+                // nondeterministic — but the *shape* is not: every
+                // reply stream ends with the final get's END and
+                // contains one STORED for the first set.
+                if (got.find("STORED\r\n") == std::string::npos ||
+                    got.rfind("END\r\n") !=
+                        got.size() - 5) {
+                    ++failures;
+                    continue;
+                }
+                ++responsesSeen;
+            }
+        });
+    }
+    for (auto &th : clients)
+        th.join();
+
+    EXPECT_EQ(failures.load(), 0u);
+    EXPECT_EQ(responsesSeen.load(),
+              static_cast<std::uint64_t>(kThreads * kConnsPerThread));
+
+    srv.stop();
+    const auto snap = srv.metrics().snapshot();
+    EXPECT_EQ(snap.counter("server.conns.accepted"),
+              snap.counter("server.conns.closed"));
+    EXPECT_EQ(snap.gauge("server.conns.open"), 0u);
+    EXPECT_GE(snap.counter("server.cmds.set"),
+              2ull * kThreads * kConnsPerThread);
+
+    // The churn held no PLIDs outside the store: the heap must
+    // account for every reference with all clients gone.
+    expectCleanAudit(hc);
+}
+
+TEST(ServerConcurrent, SnapshotGetsOverlapCommitsOnOneKey)
+{
+    // A writer connection rewrites one key while readers hammer GETs
+    // on it: snapshot isolation says every GET sees a complete old or
+    // complete new value, never a torn mix — checked with
+    // self-describing payloads (homogeneous byte, length keyed to the
+    // byte). GETs here read iterator-register snapshots in workers
+    // while the SET commits race them on the same map slot.
+    MemoryConfig mc;
+    mc.numBuckets = 1 << 14;
+    Hicamp hc(mc);
+    McStore store(hc);
+    store.set("snap", 0, std::string(500, 'A'));
+    ServerConfig sc;
+    sc.workers = 3;
+    McServer srv(store, sc);
+    srv.start();
+    const std::uint16_t port = srv.port();
+
+    const auto lenFor = [](char c) {
+        return c == 'A' ? std::size_t{500} : std::size_t{900};
+    };
+    std::atomic<std::uint64_t> badReads{0};
+    std::atomic<std::uint64_t> goodReads{0};
+    std::atomic<std::uint64_t> failures{0};
+
+    std::thread writer([port, &failures, &lenFor] {
+        RawClient cli(port);
+        if (!cli.ok()) {
+            ++failures;
+            return;
+        }
+        std::string script;
+        for (int i = 0; i < 120; ++i) {
+            const char c = (i % 2) ? 'B' : 'A';
+            const std::string payload(lenFor(c), c);
+            script += "set snap 0 0 " +
+                      std::to_string(payload.size()) +
+                      " noreply\r\n" + payload + "\r\n";
+        }
+        script += "quit\r\n";
+        if (!cli.send(script))
+            ++failures;
+        cli.recvUntilClose();
+    });
+
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 2; ++r) {
+        readers.emplace_back([port, &failures, &badReads, &goodReads,
+                              &lenFor] {
+            RawClient cli(port);
+            if (!cli.ok()) {
+                ++failures;
+                return;
+            }
+            std::string script;
+            for (int i = 0; i < 150; ++i)
+                script += "get snap\r\n";
+            script += "quit\r\n";
+            if (!cli.send(script)) {
+                ++failures;
+                return;
+            }
+            const std::string got = cli.recvUntilClose();
+            std::size_t pos = 0;
+            while (pos < got.size()) {
+                const std::size_t nl = got.find("\r\n", pos);
+                if (nl == std::string::npos)
+                    break;
+                const std::string line = got.substr(pos, nl - pos);
+                pos = nl + 2;
+                if (line == "END")
+                    continue;
+                // "VALUE snap 0 <len>" then <len> raw bytes.
+                const std::size_t lenAt = line.rfind(' ');
+                const std::size_t len = static_cast<std::size_t>(
+                    std::stoul(line.substr(lenAt + 1)));
+                if (pos + len + 2 > got.size()) {
+                    ++failures;
+                    break;
+                }
+                const std::string_view data(got.data() + pos, len);
+                pos += len + 2;
+                const char c = data.empty() ? '?' : data[0];
+                bool torn = lenFor(c) != len;
+                for (char b : data)
+                    if (b != c)
+                        torn = true;
+                if (torn)
+                    ++badReads;
+                else
+                    ++goodReads;
+            }
+        });
+    }
+
+    writer.join();
+    for (auto &th : readers)
+        th.join();
+    srv.stop();
+
+    EXPECT_EQ(failures.load(), 0u);
+    EXPECT_EQ(badReads.load(), 0u);
+    EXPECT_GT(goodReads.load(), 0u);
+    expectCleanAudit(hc);
+}
+
+} // namespace
+} // namespace hicamp::server

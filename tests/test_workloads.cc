@@ -14,6 +14,7 @@
 
 #include "apps/vm/vm_model.hh"
 #include "workloads/matrixgen.hh"
+#include "workloads/memcached_workload.hh"
 #include "workloads/webcorpus.hh"
 
 namespace hicamp {
@@ -157,6 +158,67 @@ TEST(VmProfiles, TileAllocationMatchesFig9Slopes)
     EXPECT_NEAR(gb(tile[3]), 0.44, 0.05); // web
     EXPECT_NEAR(gb(tile[4]), 0.21, 0.05); // file
     EXPECT_NEAR(gb(tile[5]), 0.21, 0.05); // standby
+}
+
+TEST(McRequestGen, EmptyCorpusYieldsNoRequests)
+{
+    // Regression: Zipf over an empty domain divided by zero.
+    McWorkloadParams p;
+    p.numRequests = 100;
+    EXPECT_TRUE(generateMcRequests({}, p).empty());
+}
+
+TEST(McRequestGen, SetAfterDeleteRestartsFromBasePayload)
+{
+    // Regression: a Set following a Delete used to keep mutating the
+    // stale pre-delete payload. WebCorpus::mutate overwrites ONE
+    // short stamp (<= 9 bytes) per call, so a Set that restarts from
+    // the base payload differs from it in at most 9 positions, while
+    // the old compounding chain accumulates a stamp per Set and
+    // drifts arbitrarily far. With one item and a delete-heavy mix,
+    // every post-delete Set must stay within one stamp of base.
+    std::vector<WebItem> items;
+    items.push_back({"k0", std::string(256, 'a')});
+    McWorkloadParams p;
+    p.seed = 9;
+    p.numRequests = 600;
+    p.getFraction = 0.10;
+    p.deleteFraction = 0.45;
+    auto reqs = generateMcRequests(items, p);
+    const std::string &base = items[0].payload;
+    const auto diffBytes = [&](const std::string &s) {
+        std::size_t d = 0;
+        for (std::size_t i = 0; i < s.size(); ++i)
+            d += s[i] != base[i];
+        return d;
+    };
+    bool deleted = false;
+    int setsAfterDelete = 0;
+    for (const auto &r : reqs) {
+        if (r.op == McRequest::Op::Delete) {
+            deleted = true;
+        } else if (r.op == McRequest::Op::Set) {
+            ASSERT_EQ(r.newValue.size(), base.size());
+            if (deleted) {
+                ++setsAfterDelete;
+                EXPECT_LE(diffBytes(r.newValue), 9u);
+                deleted = false;
+            }
+        }
+    }
+    EXPECT_GT(setsAfterDelete, 10);
+}
+
+TEST(McRequestGen, IndicesStayInDomain)
+{
+    std::vector<WebItem> items;
+    for (int i = 0; i < 17; ++i)
+        items.push_back({"k" + std::to_string(i),
+                         std::string(64, static_cast<char>('a' + i))});
+    McWorkloadParams p;
+    p.numRequests = 2000;
+    for (const auto &r : generateMcRequests(items, p))
+        EXPECT_LT(r.itemIndex, items.size());
 }
 
 TEST(VmModelDeterminism, SameSeedsSameCurves)

@@ -27,7 +27,7 @@
 #include <string>
 
 #include "analysis/auditor.hh"
-#include "common/fault.hh"
+#include "common/cli.hh"
 #include "common/status.hh"
 #include "lang/context.hh"
 #include "lang/harray.hh"
@@ -55,97 +55,46 @@ struct CliOptions {
 };
 
 [[noreturn]] void
-usage(const char *argv0)
+badUsage(cli::FlagSet &flags, const char *why)
 {
-    std::fprintf(
-        stderr,
-        "usage: %s [--workload smoke|map|memcached] [--items N]\n"
-        "          [--requests N] [--line-bytes 16|32|64] [--buckets N]\n"
-        "          [--no-compaction-check]\n"
-        "          [--overflow-cap N] [--max-live-lines N]\n"
-        "          [--refcount-bits N] [--fault-seed S]\n"
-        "          [--fault-alloc-p P] [--fault-alloc-every N]\n"
-        "          [--fault-flip-p P] [--fault-flip-every N]\n",
-        argv0);
+    std::fprintf(stderr, "audit: %s\n", why);
+    flags.usage(stderr);
     std::exit(2);
-}
-
-std::uint64_t
-parseU64(const char *s, const char *argv0)
-{
-    char *end = nullptr;
-    std::uint64_t v = std::strtoull(s, &end, 0);
-    if (end == s || *end != '\0')
-        usage(argv0);
-    return v;
-}
-
-double
-parseProb(const char *s, const char *argv0)
-{
-    char *end = nullptr;
-    double v = std::strtod(s, &end);
-    if (end == s || *end != '\0' || v < 0.0 || v > 1.0)
-        usage(argv0);
-    return v;
 }
 
 CliOptions
 parseArgs(int argc, char **argv)
 {
     CliOptions o;
-    for (int i = 1; i < argc; ++i) {
-        auto want = [&](const char *flag) {
-            if (std::strcmp(argv[i], flag) != 0)
-                return false;
-            if (i + 1 >= argc)
-                usage(argv[0]);
-            ++i;
-            return true;
-        };
-        if (want("--workload")) {
-            o.workload = argv[i];
-        } else if (want("--items")) {
-            o.items = parseU64(argv[i], argv[0]);
-        } else if (want("--requests")) {
-            o.requests = parseU64(argv[i], argv[0]);
-        } else if (want("--line-bytes")) {
-            o.lineBytes =
-                static_cast<unsigned>(parseU64(argv[i], argv[0]));
-        } else if (want("--buckets")) {
-            o.buckets = parseU64(argv[i], argv[0]);
-        } else if (want("--overflow-cap")) {
-            o.overflowCap = parseU64(argv[i], argv[0]);
-        } else if (want("--max-live-lines")) {
-            o.maxLiveLines = parseU64(argv[i], argv[0]);
-        } else if (want("--refcount-bits")) {
-            o.refcountBits =
-                static_cast<unsigned>(parseU64(argv[i], argv[0]));
-        } else if (want("--fault-seed")) {
-            o.faults.seed = parseU64(argv[i], argv[0]);
-        } else if (want("--fault-alloc-p")) {
-            o.faults.allocFailP = parseProb(argv[i], argv[0]);
-        } else if (want("--fault-alloc-every")) {
-            o.faults.allocFailEvery = parseU64(argv[i], argv[0]);
-        } else if (want("--fault-flip-p")) {
-            o.faults.bitFlipP = parseProb(argv[i], argv[0]);
-        } else if (want("--fault-flip-every")) {
-            o.faults.bitFlipEvery = parseU64(argv[i], argv[0]);
-        } else if (std::strcmp(argv[i], "--no-compaction-check") == 0) {
-            o.checkCompaction = false;
-        } else {
-            usage(argv[0]);
-        }
-    }
+    cli::FlagSet flags("audit",
+                       "run a named workload, then demand a clean "
+                       "heap-invariant report (live + teardown)");
+    flags.str("--workload", &o.workload, "smoke | map | memcached");
+    flags.u64("--items", &o.items, "corpus size");
+    flags.u64("--requests", &o.requests, "request-stream length");
+    flags.u32("--line-bytes", &o.lineBytes, "line size: 16, 32 or 64");
+    flags.u64("--buckets", &o.buckets, "hash-bucket (DRAM row) count");
+    flags.u64("--overflow-cap", &o.overflowCap,
+              "overflow-area line capacity");
+    flags.u64("--max-live-lines", &o.maxLiveLines,
+              "hard budget on live lines");
+    flags.u32("--refcount-bits", &o.refcountBits,
+              "refcount field width (2..32, saturating)");
+    bool no_compaction_check = false;
+    flags.toggle("--no-compaction-check", &no_compaction_check,
+                 "skip the path/data compaction invariant");
+    cli::addFaultFlags(flags, o.faults);
+    flags.parse(argc, argv);
+    o.checkCompaction = !no_compaction_check;
     if (o.items == 0 || o.buckets == 0)
-        usage(argv[0]);
+        badUsage(flags, "--items and --buckets must be nonzero");
     if (o.refcountBits < 2 || o.refcountBits > 32)
-        usage(argv[0]);
+        badUsage(flags, "--refcount-bits outside 2..32");
     if (o.lineBytes != 16 && o.lineBytes != 32 && o.lineBytes != 64)
-        usage(argv[0]);
+        badUsage(flags, "--line-bytes must be 16, 32 or 64");
     if (o.workload != "smoke" && o.workload != "map" &&
         o.workload != "memcached")
-        usage(argv[0]);
+        badUsage(flags, "unknown --workload");
     return o;
 }
 
@@ -286,7 +235,7 @@ main(int argc, char **argv)
         } else if (o.workload == "memcached") {
             clean = runMemcached(hc, o, aopts);
         } else {
-            usage(argv[0]);
+            std::abort(); // unreachable: parseArgs validated the name
         }
     } catch (const MemPressureError &e) {
         // The graceful-degradation contract: the workload surfaces a

@@ -13,8 +13,10 @@
 #                   its own protocol checkers are not worth archiving
 #
 # Every bench's stdout is captured under $out_dir/bench-logs/,
-# bench_mt_scaling writes BENCH_mt_scaling.json itself, and a
-# BENCH_summary.json with per-bench pass/fail status is emitted.
+# bench_mt_scaling and bench_server write their own BENCH_*.json
+# trajectory files, and a BENCH_summary.json with per-bench pass/fail
+# status is emitted. Every BENCH_*.json present afterwards must parse
+# as non-empty JSON or the suite fails.
 #
 # A bench fails if its process exits non-zero OR its output contains a
 # FAIL verdict row: benches with internal self-checks print
@@ -117,12 +119,35 @@ for b in "${benches[@]}"; do
     run_one "$b"
 done
 
-# The multi-threaded scaling bench owns its JSON trajectory file.
+# These benches own their JSON trajectory files.
 if [ "$quick" = 1 ]; then
     run_one bench_mt_scaling --smoke --json "$out_dir/BENCH_mt_scaling.json"
+    run_one bench_server --smoke --json "$out_dir/BENCH_server.json"
 else
     run_one bench_mt_scaling --json "$out_dir/BENCH_mt_scaling.json"
+    run_one bench_server --json "$out_dir/BENCH_server.json"
 fi
+
+# Every JSON artifact a bench produced must parse and be non-empty: a
+# truncated or empty trajectory file silently poisons downstream
+# comparisons, so it fails the suite like any bench failure.
+json_bad=0
+echo
+echo "== validating BENCH_*.json artifacts =="
+for j in "$out_dir"/BENCH_*.json; do
+    [ -e "$j" ] || continue
+    if python3 -c '
+import json, sys
+with open(sys.argv[1]) as f:
+    data = json.load(f)
+sys.exit(0 if data else 1)
+' "$j" 2>/dev/null; then
+        echo "   OK    $(basename "$j")"
+    else
+        echo "   BAD   $(basename "$j") (unparseable or empty)" >&2
+        json_bad=1
+    fi
+done
 
 {
     echo '{'
@@ -130,7 +155,7 @@ fi
     echo '  "benches": {'
     n=${#status[@]}
     i=0
-    for b in "${benches[@]}" bench_mt_scaling; do
+    for b in "${benches[@]}" bench_mt_scaling bench_server; do
         i=$((i + 1))
         sep=$([ "$i" -lt "$n" ] && echo , || echo '')
         echo "    \"$b\": \"${status[$b]}\"$sep"
@@ -145,13 +170,17 @@ fi
 failed=0
 echo
 echo "== bench summary =="
-for b in "${benches[@]}" bench_mt_scaling; do
+for b in "${benches[@]}" bench_mt_scaling bench_server; do
     case "${status[$b]}" in
       ok)      printf '   PASS  %s\n' "$b" ;;
       missing) printf '   MISS  %s\n' "$b"; failed=1 ;;
       *)       printf '   FAIL  %s\n' "$b"; failed=1 ;;
     esac
 done
+if [ "$json_bad" != 0 ]; then
+    echo "   FAIL  json-artifact validation"
+    failed=1
+fi
 echo
 echo "wrote $out_dir/BENCH_summary.json ($([ "$failed" = 0 ] && echo all green || echo FAILURES))"
 exit "$failed"

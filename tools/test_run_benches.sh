@@ -39,6 +39,7 @@ all_benches=(
     bench_ablation_compaction
     bench_ablation_sharding
     bench_mt_scaling
+    bench_server
 )
 
 make_stubs() {
@@ -102,7 +103,33 @@ rc=0
 [ "$rc" -ne 0 ]
 check "non-zero bench exit fails the suite" $?
 
-# --- case 4: --out-dir keeps everything out of the repo root ---------
+# --- case 4: a bench emits a truncated JSON artifact -----------------
+build4=$scratch/build-badjson
+out4=$scratch/out-badjson
+make_stubs "$build4"
+cat > "$build4/bench/bench_server" <<'EOF'
+#!/usr/bin/env bash
+# Consume --smoke --json PATH like the real bench, then truncate the
+# artifact mid-object (a crash between fopen and the final brace).
+while [ $# -gt 0 ]; do
+    case "$1" in
+      --json) shift; printf '{"bench": "server", "resul' > "$1" ;;
+    esac
+    shift
+done
+echo "stub bench: wrote a truncated artifact"
+exit 0
+EOF
+chmod +x "$build4/bench/bench_server"
+rc=0
+"$script" --quick --build-dir "$build4" --out-dir "$out4" \
+    > "$scratch/badjson.log" 2>&1 || rc=$?
+[ "$rc" -ne 0 ]
+check "truncated BENCH_*.json fails the suite" $?
+grep -q 'BAD   BENCH_server.json' "$scratch/badjson.log"
+check "validation names the bad artifact" $?
+
+# --- case 5: --out-dir keeps everything out of the repo root ---------
 found=$(find "$out1" -maxdepth 1 -name 'BENCH_*.json' | wc -l)
 [ "$found" -ge 1 ]
 check "--out-dir receives the BENCH_*.json artifacts" $?
